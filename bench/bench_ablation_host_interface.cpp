@@ -1,0 +1,59 @@
+// Ablation: host -> FPGA input staging (paper footnote 2). The prototype
+// cached inputs on the FPGA because Vitis lacked host streaming for the
+// U280; this bench quantifies what streaming would cost and shows the
+// accelerator's throughput does not depend on that workaround.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "fpga/host_interface.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: host input staging -- cached (paper prototype) vs streamed",
+      "footnote 2");
+
+  TablePrinter table({"Model", "Mode", "Bytes/query", "Added latency/query",
+                      "Link ceiling (items/s)", "Accel throughput",
+                      "Link-bound?"});
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    EngineOptions options;
+    options.materialize = false;
+    const auto engine = MicroRecEngine::Build(model, options).value();
+    const double accel = engine.Throughput();
+
+    struct ModeRow {
+      InputMode mode;
+      const char* name;
+    };
+    for (const auto& m :
+         {ModeRow{InputMode::kCachedOnFpga, "cached (paper)"},
+          ModeRow{InputMode::kStreamedPerItem, "streamed per-item"},
+          ModeRow{InputMode::kStreamedBatched, "streamed batched(256)"}}) {
+      const auto report = AnalyzeHostTransfer(model, m.mode);
+      const bool bound = report.max_queries_per_s < accel;
+      table.AddRow(
+          {model.name, m.name, std::to_string(report.bytes_per_query),
+           report.latency_per_query == 0.0
+               ? "0"
+               : FormatNanos(report.latency_per_query),
+           std::isinf(report.max_queries_per_s)
+               ? "unbounded"
+               : TablePrinter::Sci(report.max_queries_per_s, 2),
+           TablePrinter::Sci(accel, 2), bound ? "YES" : "no"});
+    }
+  }
+  table.Print();
+  bench::PrintNote(
+      "batched DMA sustains orders of magnitude more queries than the "
+      "pipeline consumes; only naive per-item DMA (1.5 us setup each) "
+      "would bottleneck -- the cached-input prototype was a toolchain "
+      "workaround, not a performance requirement");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: memory-controller request pipelining. The paper-calibrated
+// channel model serializes same-channel accesses fully (the published
+// 12-table rows are exactly 2x the 8-table rows, so the hardware showed no
+// visible overlap). This sweep asks how much a controller that hides part
+// of the next request's initiation under the current transfer would help
+// -- i.e. how conservative the calibration is.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "memsim/hybrid_memory.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: same-channel request overlap (memory controller pipelining)",
+      "calibration sensitivity");
+  bench::PrintNote(
+      "overlap = fraction of a queued access's initiation hidden under the "
+      "previous transfer; the paper's measurements imply ~0");
+
+  // Plans for both models, driven through the event simulator at each
+  // overlap setting.
+  TablePrinter table({"Overlap", "small lookup (ns)", "vs overlap 0",
+                      "large lookup (ns)", "vs overlap 0"});
+  double base_small = 0.0, base_large = 0.0;
+  for (double overlap : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    double small_ns = 0.0, large_ns = 0.0;
+    for (bool large : {false, true}) {
+      const RecModelSpec model =
+          large ? LargeProductionModel() : SmallProductionModel();
+      EngineOptions options;
+      options.materialize = false;
+      const auto engine = MicroRecEngine::Build(model, options).value();
+      HybridMemorySystem memory(options.platform, overlap);
+      const auto result =
+          memory.IssueBatch(engine.plan().ToBankAccesses(1));
+      (large ? large_ns : small_ns) = result.latency_ns();
+    }
+    if (overlap == 0.0) {
+      base_small = small_ns;
+      base_large = large_ns;
+    }
+    table.AddRow({TablePrinter::Num(overlap, 2),
+                  TablePrinter::Num(small_ns, 1),
+                  TablePrinter::Speedup(base_small / small_ns),
+                  TablePrinter::Num(large_ns, 1),
+                  TablePrinter::Speedup(base_large / large_ns)});
+  }
+  table.Print();
+  bench::PrintNote(
+      "overlap only helps channels serving 2+ accesses per inference; the "
+      "small model's 1-round plan is overlap-insensitive while the large "
+      "model's 2-round plan would gain up to ~1.5x from an aggressive "
+      "controller -- the Cartesian benefit does not depend on this");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation: row-buffer mechanics behind the Cartesian product
+// (paper section 3.3: "reducing the memory accesses by half can lead to a
+// speedup of almost 2x" because row initiation, not transfer, dominates
+// short vector reads). Sweeps vector lengths and reports separate-vs-merged
+// access latency from the bank-level DRAM model.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "memsim/bank_model.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: one merged access vs two separate accesses (row buffer)",
+      "section 3.3 mechanism");
+
+  TablePrinter table({"Elements per vector", "Bytes", "2 separate (ns)",
+                      "1 merged (ns)", "Speedup", "Activation share"});
+  const DramBankTiming timing = DefaultHbmBankTiming();
+  for (std::uint32_t elems : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const Bytes bytes = elems * 4ull;
+    const auto cmp = CompareSeparateVsMerged(bytes, bytes, timing);
+    // Fraction of a single access spent on row activation.
+    const double activation_share =
+        timing.activate_ns /
+        (timing.activate_ns + timing.cas_ns +
+         static_cast<double>((bytes + timing.beat_bytes - 1) /
+                             timing.beat_bytes) *
+             timing.beat_ns);
+    table.AddRow({std::to_string(elems), std::to_string(bytes),
+                  TablePrinter::Num(cmp.separate_ns, 1),
+                  TablePrinter::Num(cmp.merged_ns, 1),
+                  TablePrinter::Speedup(cmp.speedup),
+                  TablePrinter::Num(100.0 * activation_share, 1) + "%"});
+  }
+  table.Print();
+  bench::PrintNote(
+      "at the paper's typical 4-64 element vectors the merged access "
+      "approaches the ideal 2x because row activation dominates; beyond "
+      "~256 elements transfer time takes over and merging saturates");
+  return 0;
+}

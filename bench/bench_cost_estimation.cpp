@@ -1,0 +1,49 @@
+// Regenerates the paper's cost-estimation appendix: throughput per dollar
+// for the CPU server vs the FPGA card at AWS prices.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "cpu/paper_baseline.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader("Appendix: Cost estimation (AWS hourly pricing)",
+                     "cost appendix");
+  bench::PrintNote(
+      "paper prices: CPU server $1.82/h, FPGA (U250-class) $1.65/h; with a "
+      "4-5x fixed32 speedup, FPGA wins long-term");
+
+  constexpr double kCpuDollarsPerHour = 1.82;
+  constexpr double kFpgaDollarsPerHour = 1.65;
+
+  TablePrinter table({"Model", "Engine", "Items/s", "$/hour",
+                      "M items per $", "Cost advantage"});
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    const double cpu_tp = PaperEndToEndThroughput(large, 2048).value();
+    const double cpu_per_dollar = cpu_tp * 3600.0 / kCpuDollarsPerHour / 1e6;
+    table.AddRow({model.name, "CPU (paper B=2048)", TablePrinter::Sci(cpu_tp, 2),
+                  TablePrinter::Num(kCpuDollarsPerHour),
+                  TablePrinter::Num(cpu_per_dollar, 1), "1.00x"});
+    for (Precision p : {Precision::kFixed16, Precision::kFixed32}) {
+      EngineOptions options;
+      options.precision = p;
+      options.materialize = false;
+      const auto engine = MicroRecEngine::Build(model, options).value();
+      const double fpga_per_dollar =
+          engine.Throughput() * 3600.0 / kFpgaDollarsPerHour / 1e6;
+      table.AddRow({model.name, std::string("FPGA ") + PrecisionName(p),
+                    TablePrinter::Sci(engine.Throughput(), 2),
+                    TablePrinter::Num(kFpgaDollarsPerHour),
+                    TablePrinter::Num(fpga_per_dollar, 1),
+                    TablePrinter::Speedup(fpga_per_dollar / cpu_per_dollar)});
+    }
+  }
+  table.Print();
+  return 0;
+}

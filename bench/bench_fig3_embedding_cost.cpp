@@ -1,0 +1,64 @@
+// Regenerates paper Figure 3: the embedding layer's share of CPU inference
+// latency at small batch sizes (the motivation plot: lookups plus operator
+// dispatch dominate, and batch 1 costs nearly as much as batch 64).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "cpu/cpu_engine.hpp"
+#include "cpu/paper_baseline.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+using namespace microrec;
+
+int main(int argc, char** argv) {
+  const bool skip_measure = argc > 1 && std::string(argv[1]) == "--no-measure";
+  bench::PrintHeader(
+      "Figure 3: The embedding layer is expensive during CPU inference",
+      "Figure 3");
+
+  TablePrinter table({"Model", "Batch", "Embedding (ms)", "Total (ms)",
+                      "Embedding share", "Source"});
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+
+    for (std::uint32_t b : {1u, 64u}) {
+      // Paper-published points.
+      const Nanoseconds emb = PaperEmbeddingLatency(large, b).value();
+      const Nanoseconds total = PaperEndToEndLatency(large, b).value();
+      table.AddRow({model.name, std::to_string(b),
+                    TablePrinter::Num(ToMillis(emb), 2),
+                    TablePrinter::Num(ToMillis(total), 2),
+                    TablePrinter::Num(100.0 * emb / total, 1) + "%", "paper"});
+    }
+
+    if (!skip_measure) {
+      CpuEngine cpu(model, bench::kBenchPhysicalRowCap);
+      QueryGenerator gen(model, IndexDistribution::kUniform, 29);
+      for (std::uint32_t b : {1u, 64u}) {
+        const auto queries = gen.NextBatch(b);
+        CpuBatchTiming timing;
+        cpu.InferBatch(queries, &timing);  // warmup
+        cpu.InferBatch(queries, &timing);
+        // Attribute the modelled framework overhead to the embedding layer
+        // (it is dominated by the per-table operator dispatch, figure 3's
+        // point).
+        const Nanoseconds emb = timing.embedding_ns +
+                                timing.overhead_ns;
+        const Nanoseconds total = timing.total_ns();
+        table.AddRow({model.name, std::to_string(b),
+                      TablePrinter::Num(ToMillis(emb), 2),
+                      TablePrinter::Num(ToMillis(total), 2),
+                      TablePrinter::Num(100.0 * emb / total, 1) + "%",
+                      "this host"});
+      }
+    }
+  }
+  table.Print();
+  bench::PrintNote(
+      "batch-1 and batch-64 latencies are close: per-batch operator "
+      "dispatch, not per-item work, dominates small batches");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Regenerates paper Figure 7: end-to-end throughput as a function of the
+// number of embedding lookup rounds. While the (multiplied) embedding stage
+// stays shorter than the widest GEMM stage, throughput is flat; beyond
+// that, the memory system becomes the pipeline bottleneck.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "fpga/pipeline_model.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 7: End-to-end throughput vs rounds of embedding lookups",
+      "Figure 7");
+  bench::PrintNote(
+      "paper: the small / large model tolerate ~6 / ~4 extra lookup rounds "
+      "at fixed16 before throughput degrades");
+
+  TablePrinter table({"Rounds", "small items/s", "small vs 1 round",
+                      "large items/s", "large vs 1 round"});
+
+  // Per-round lookup latency and pipeline config per model (fixed16, as in
+  // the paper's figure).
+  struct ModelState {
+    RecModelSpec model;
+    Nanoseconds lookup_per_round;
+    AcceleratorConfig config;
+    double base_throughput = 0.0;
+  };
+  std::vector<ModelState> models;
+  for (bool large : {false, true}) {
+    ModelState state{large ? LargeProductionModel() : SmallProductionModel(),
+                     0.0, AcceleratorConfig::PaperConfig(Precision::kFixed16,
+                                                         large)};
+    EngineOptions options;
+    options.materialize = false;
+    const auto engine = MicroRecEngine::Build(state.model, options).value();
+    state.lookup_per_round = engine.EmbeddingLookupLatency();
+    state.config.layers.resize(state.model.mlp.hidden.size(),
+                               state.config.layers.back());
+    models.push_back(std::move(state));
+  }
+
+  for (std::uint32_t rounds = 1; rounds <= 10; ++rounds) {
+    std::vector<std::string> row = {std::to_string(rounds)};
+    for (auto& state : models) {
+      const auto timing = ComputePipelineTiming(
+          state.model.mlp, state.config,
+          state.lookup_per_round * static_cast<double>(rounds));
+      if (rounds == 1) state.base_throughput = timing.throughput_items_per_s;
+      row.push_back(TablePrinter::Sci(timing.throughput_items_per_s, 3));
+      row.push_back(TablePrinter::Num(
+                        100.0 * timing.throughput_items_per_s /
+                            state.base_throughput, 1) + "%");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Full-system cross-validation: drives the event-driven dataflow pipeline
+// with per-item lookups issued against the event-driven memory simulator,
+// and compares the result with the analytic model used for Table 2. Also
+// prints the memory-trace load profile (the straggler channel that sets
+// lookup latency).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "core/system_sim.hpp"
+#include "memsim/bandwidth.hpp"
+#include "memsim/trace_analysis.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader(
+      "Full-system simulation vs analytic model (Table 2 cross-check)",
+      "Table 2 validation");
+
+  TablePrinter table({"Build", "Analytic items/s", "Simulated items/s",
+                      "Delta", "Sim p99 latency", "Sim lookup max",
+                      "Peak bank util"});
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    for (Precision p : {Precision::kFixed16, Precision::kFixed32}) {
+      EngineOptions options;
+      options.precision = p;
+      options.materialize = false;
+      const auto engine = MicroRecEngine::Build(model, options).value();
+      SystemSimulator sim(engine);
+      // Saturating arrivals measure throughput; rate-matched arrivals
+      // (one item per initiation interval) measure unqueued item latency.
+      const auto saturated = sim.Run(5000);
+      const auto paced =
+          sim.Run(2000, engine.timing().initiation_interval_ns);
+      const double delta =
+          100.0 * (saturated.throughput_items_per_s - engine.Throughput()) /
+          engine.Throughput();
+      table.AddRow({std::string(large ? "large-" : "small-") + PrecisionName(p),
+                    TablePrinter::Sci(engine.Throughput(), 3),
+                    TablePrinter::Sci(saturated.throughput_items_per_s, 3),
+                    TablePrinter::Num(delta, 2) + "%",
+                    FormatNanos(paced.item_latency_p99),
+                    FormatNanos(paced.lookup_latency_max),
+                    TablePrinter::Num(100.0 * saturated.peak_bank_utilization,
+                                      1) + "%"});
+    }
+  }
+  table.Print();
+
+  // Refresh sensitivity: the same full-system run with HBM2-like refresh
+  // enabled on every DRAM channel.
+  {
+    TablePrinter refresh_table({"Config", "Simulated items/s", "Lookup max"});
+    for (bool with_refresh : {false, true}) {
+      EngineOptions options;
+      options.materialize = false;
+      if (with_refresh) {
+        options.platform.hbm_timing.refresh = RefreshSpec::Hbm2Default();
+        options.platform.ddr_timing.refresh = RefreshSpec::Hbm2Default();
+      }
+      const auto engine =
+          MicroRecEngine::Build(SmallProductionModel(), options).value();
+      SystemSimulator sim(engine);
+      const auto report = sim.Run(5000);
+      refresh_table.AddRow({with_refresh ? "HBM2 refresh on" : "refresh off",
+                            TablePrinter::Sci(report.throughput_items_per_s, 3),
+                            FormatNanos(report.lookup_latency_max)});
+    }
+    std::printf("\nRefresh sensitivity (small model, fixed16):\n");
+    refresh_table.Print();
+    bench::PrintNote(
+        "refresh occasionally defers a lookup by up to tRFC (~260 ns) but "
+        "the pipeline hides it: throughput is unchanged while the lookup "
+        "stage stays shorter than the widest GEMM stage");
+  }
+
+  // Bandwidth accounting: the embedding traffic vs what the interfaces and
+  // the card could move (the "latency-bound, not bandwidth-bound" story).
+  {
+    EngineOptions options;
+    options.materialize = false;
+    const auto engine =
+        MicroRecEngine::Build(SmallProductionModel(), options).value();
+    const auto bw = AnalyzeEmbeddingBandwidth(
+        engine.plan().ToBankAccesses(1), engine.Throughput(),
+        options.platform);
+    std::printf(
+        "\nBandwidth (small model at full throughput): %llu B/inference, "
+        "%.3f GB/s effective of %.1f GB/s interface peak (%.2f%%) and "
+        "%.0f GB/s card rating (%.3f%%)\n",
+        (unsigned long long)bw.bytes_per_inference, bw.effective_gbs,
+        bw.interface_peak_gbs, 100.0 * bw.interface_utilization, bw.rated_gbs,
+        100.0 * bw.rated_utilization);
+    bench::PrintNote(
+        "embedding lookups are latency-bound: the levers are channel count "
+        "and access count (the paper's two contributions), not bytes/s");
+  }
+
+  // Memory load profile of one inference on the small model.
+  std::printf("\nPer-bank load of one small-model inference "
+              "(trace analysis):\n");
+  EngineOptions options;
+  options.materialize = false;
+  const auto engine =
+      MicroRecEngine::Build(SmallProductionModel(), options).value();
+  HybridMemorySystem memory(options.platform);
+  memory.set_trace_enabled(true);
+  memory.IssueBatch(engine.plan().ToBankAccesses(1));
+  const TraceSummary summary =
+      SummarizeTrace(memory.trace(), options.platform);
+  std::printf("%s", summary.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,150 @@
+// google-benchmark microbenchmarks of the hot kernels: embedding gathers,
+// GEMM, quantized forward passes, the heuristic search, and the memory
+// simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "embedding/embedding_table.hpp"
+#include "memsim/hybrid_memory.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "placement/heuristic.hpp"
+#include "tensor/gemm.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+namespace {
+
+void BM_GatherConcat(benchmark::State& state) {
+  const auto model = SmallProductionModel();
+  std::vector<EmbeddingTable> tables;
+  for (const auto& spec : model.tables) {
+    tables.push_back(EmbeddingTable::Materialize(
+        spec, TableContentSeed(model, spec.id), 1 << 16));
+  }
+  QueryGenerator gen(model, IndexDistribution::kUniform, 7);
+  const auto queries = gen.NextBatch(256);
+  std::vector<float> out(model.FeatureLength());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    GatherConcat(tables, queries[i % queries.size()].indices, out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tables.size()));
+}
+BENCHMARK(BM_GatherConcat);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  MatrixF a(m, 352), b(352, 1024), c;
+  for (float& v : a.flat()) v = rng.NextFloat(-1, 1);
+  for (float& v : b.flat()) v = rng.NextFloat(-1, 1);
+  for (auto _ : state) {
+    GemmBlocked(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(GemmOps(m, 352, 1024)));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GemmAvx2(benchmark::State& state) {
+  if (!CpuSupportsAvx2()) {
+    state.SkipWithError("host lacks AVX2/FMA");
+    return;
+  }
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  MatrixF a(m, 352), b(352, 1024), c;
+  for (float& v : a.flat()) v = rng.NextFloat(-1, 1);
+  for (float& v : b.flat()) v = rng.NextFloat(-1, 1);
+  for (auto _ : state) {
+    GemmAvx2(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(GemmOps(m, 352, 1024)));
+}
+BENCHMARK(BM_GemmAvx2)->Arg(1)->Arg(64)->Arg(256);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(100'000'000, 0.99);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_FloatMlpForward(benchmark::State& state) {
+  MlpSpec spec;
+  spec.input_dim = 352;
+  spec.hidden = {1024, 512, 256};
+  const MlpModel model = MlpModel::Create(spec, 3);
+  Rng rng(4);
+  std::vector<float> input(spec.input_dim);
+  for (float& v : input) v = rng.NextFloat(-0.25f, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(input));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FloatMlpForward);
+
+void BM_QuantizedMlpForward16(benchmark::State& state) {
+  MlpSpec spec;
+  spec.input_dim = 352;
+  spec.hidden = {1024, 512, 256};
+  const MlpModel model = MlpModel::Create(spec, 3);
+  const auto qmlp = QuantizedMlp<Fixed16>::FromFloat(model);
+  Rng rng(5);
+  std::vector<float> input(spec.input_dim);
+  for (float& v : input) v = rng.NextFloat(-0.25f, 0.25f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qmlp.Forward(input));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantizedMlpForward16);
+
+void BM_HeuristicSearch(benchmark::State& state) {
+  Rng rng(6);
+  const auto tables =
+      RandomTables(rng, static_cast<std::uint32_t>(state.range(0)));
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  for (auto _ : state) {
+    auto plan = HeuristicSearch(tables, platform, {});
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_HeuristicSearch)->Arg(16)->Arg(47)->Arg(98);
+
+void BM_MemorySimBatch(benchmark::State& state) {
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  HybridMemorySystem mem(platform);
+  std::vector<BankAccess> accesses;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    accesses.push_back(BankAccess{
+        static_cast<std::uint32_t>(rng.NextBounded(platform.total_banks())),
+        4 * (1 + rng.NextBounded(64)), static_cast<std::uint64_t>(i)});
+  }
+  Nanoseconds t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.IssueBatch(accesses, t).completion_ns);
+    t += 10'000.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_MemorySimBatch);
+
+}  // namespace
+}  // namespace microrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Extension: fleet-scale serving economics. Combines the paper's cost
+// appendix with the serving simulators: how many devices and dollars does
+// a target traffic level need, and what latency does each fleet deliver?
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "cpu/paper_baseline.hpp"
+#include "serving/hybrid.hpp"
+#include "serving/scaleout.hpp"
+#include "serving/serving_sim.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader(
+      "Extension: fleet provisioning and latency at datacenter traffic",
+      "cost appendix, scaled out");
+
+  const auto model = SmallProductionModel();
+  EngineOptions options;
+  options.materialize = false;
+  const auto engine = MicroRecEngine::Build(model, options).value();
+
+  const DeviceClass cpu{PaperEndToEndThroughput(false, 2048).value(), 1.82};
+  const DeviceClass fpga{engine.Throughput(), 1.65};
+
+  // Part 1: provisioning sweep.
+  {
+    TablePrinter table({"Target qps", "CPU servers", "CPU $/h",
+                        "FPGA cards", "FPGA $/h", "FPGA cost advantage"});
+    for (double qps : {1e5, 5e5, 1e6, 5e6, 1e7}) {
+      const auto cpu_plan = ProvisionFleet(qps, cpu);
+      const auto fpga_plan = ProvisionFleet(qps, fpga);
+      table.AddRow({TablePrinter::Sci(qps, 0),
+                    std::to_string(cpu_plan.devices),
+                    TablePrinter::Num(cpu_plan.dollars_per_hour),
+                    std::to_string(fpga_plan.devices),
+                    TablePrinter::Num(fpga_plan.dollars_per_hour),
+                    TablePrinter::Speedup(cpu_plan.dollars_per_hour /
+                                          fpga_plan.dollars_per_hour)});
+    }
+    table.Print();
+  }
+
+  // Part 2: latency of a provisioned FPGA fleet vs an equally provisioned
+  // batched-CPU fleet at 1M qps.
+  {
+    const double qps = 1e6;
+    const auto fpga_plan = ProvisionFleet(qps, fpga);
+    const auto arrivals = PoissonArrivals(qps, 200'000, 11);
+    const auto fpga_fleet = SimulateReplicatedPipelines(
+        arrivals, static_cast<std::uint32_t>(fpga_plan.devices),
+        engine.ItemLatency(), engine.timing().initiation_interval_ns,
+        Milliseconds(30));
+    std::printf("\nFPGA fleet of %llu cards at %.0e qps:\n  %s\n",
+                (unsigned long long)fpga_plan.devices, qps,
+                fpga_fleet.ToString().c_str());
+    std::printf("Every query completes in ~%s -- the batching CPU fleet's "
+                "floor is its batch window plus a multi-ms batch (see "
+                "bench_table2 / online_serving example).\n",
+                FormatNanos(fpga_fleet.p99).c_str());
+  }
+
+  // Part 3: hybrid scheduling (DeepRecSys-style, from the paper's related
+  // work): an under-provisioned FPGA pool protected by CPU spillover.
+  {
+    const double fpga_capacity =
+        kNanosPerSecond / engine.timing().initiation_interval_ns;
+    const auto arrivals = PoissonArrivals(1.4 * fpga_capacity, 100'000, 21);
+
+    HybridFleetConfig config;
+    config.fpga_replicas = 1;
+    config.fpga_item_latency_ns = engine.ItemLatency();
+    config.fpga_initiation_interval_ns =
+        engine.timing().initiation_interval_ns;
+    config.cpu_servers = 5;
+    config.cpu_max_batch = 256;
+    config.cpu_batch_timeout_ns = Milliseconds(5);
+    config.cpu_batch_latency = [](std::uint64_t b) {
+      return Milliseconds(3.0) + static_cast<double>(b) * Microseconds(12.0);
+    };
+    config.spill_threshold_ns = Milliseconds(1);
+
+    const auto hybrid = SimulateHybridFleet(arrivals, config, Milliseconds(30));
+    HybridFleetConfig fpga_only = config;
+    fpga_only.cpu_servers = 0;
+    const auto alone = SimulateHybridFleet(arrivals, fpga_only, Milliseconds(30));
+
+    std::printf("\nHybrid scheduling at 1.4x one card's capacity "
+                "(1 FPGA + 5 CPU servers):\n");
+    TablePrinter table({"Fleet", "FPGA queries", "CPU queries", "p50", "p99",
+                        "SLA violations"});
+    table.AddRow({"FPGA only (overloaded)",
+                  std::to_string(alone.fpga_queries),
+                  std::to_string(alone.cpu_queries),
+                  FormatNanos(alone.overall.p50),
+                  FormatNanos(alone.overall.p99),
+                  TablePrinter::Num(100.0 * alone.overall.sla_violation_rate,
+                                    1) + "%"});
+    table.AddRow({"hybrid with CPU spill",
+                  std::to_string(hybrid.fpga_queries),
+                  std::to_string(hybrid.cpu_queries),
+                  FormatNanos(hybrid.overall.p50),
+                  FormatNanos(hybrid.overall.p99),
+                  TablePrinter::Num(100.0 * hybrid.overall.sla_violation_rate,
+                                    1) + "%"});
+    table.Print();
+    bench::PrintNote(
+        "spilling the surplus to batched CPU servers bounds the tail at a "
+        "CPU batch's cost while the median stays on the microsecond FPGA "
+        "path -- the DeepRecSys scheduling idea applied to MicroRec");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Regenerates paper Table 1: specification of the production models.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader("Table 1: Specification of the production models",
+                     "Table 1");
+
+  TablePrinter table({"Model", "Table Num", "Feat Len", "Hidden-Layer",
+                      "Size (paper)", "Size (ours)"});
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    std::string hidden = "(";
+    for (std::size_t i = 0; i < model.mlp.hidden.size(); ++i) {
+      hidden += (i ? "," : "") + std::to_string(model.mlp.hidden[i]);
+    }
+    hidden += ")";
+    char ours[32];
+    std::snprintf(ours, sizeof(ours), "%.2f GB",
+                  static_cast<double>(model.TotalEmbeddingBytes()) / 1e9);
+    table.AddRow({large ? "Large" : "Small",
+                  std::to_string(model.tables.size()),
+                  std::to_string(model.FeatureLength()), hidden,
+                  large ? "15.1 GB" : "1.3 GB", ours});
+  }
+  table.Print();
+
+  // Extra detail the paper describes qualitatively (section 2.2): the wild
+  // size variance between tables.
+  TablePrinter detail({"Model", "Min rows", "Max rows", "Dims", "On-chip budget",
+                       "Lookups/table"});
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    std::uint64_t min_rows = ~0ull, max_rows = 0;
+    std::uint32_t min_dim = ~0u, max_dim = 0;
+    for (const auto& t : model.tables) {
+      min_rows = std::min(min_rows, t.rows);
+      max_rows = std::max(max_rows, t.rows);
+      min_dim = std::min(min_dim, t.dim);
+      max_dim = std::max(max_dim, t.dim);
+    }
+    detail.AddRow({model.name, std::to_string(min_rows),
+                   std::to_string(max_rows),
+                   std::to_string(min_dim) + "-" + std::to_string(max_dim),
+                   std::to_string(model.max_onchip_tables) + " tables",
+                   std::to_string(model.lookups_per_table)});
+  }
+  detail.Print();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Regenerates paper Table 2: end-to-end recommendation inference, CPU
+// baseline at batch sizes 1..2048 versus MicroRec at fixed16/fixed32.
+//
+// Two CPU columns are reported per batch: the paper's published baseline
+// (16-vCPU Xeon + TensorFlow Serving) and a measurement on this host (real
+// gathers + blocked GEMM + the calibrated framework-overhead model). The
+// FPGA numbers come from the calibrated accelerator simulation.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "cpu/cpu_engine.hpp"
+#include "cpu/paper_baseline.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+using namespace microrec;
+
+namespace {
+
+struct FpgaPoint {
+  Nanoseconds item_latency;
+  double throughput;
+  double gops;
+};
+
+FpgaPoint BuildFpga(const RecModelSpec& model, Precision precision) {
+  EngineOptions options;
+  options.precision = precision;
+  options.materialize = false;
+  const auto engine = MicroRecEngine::Build(model, options).value();
+  return FpgaPoint{engine.ItemLatency(), engine.Throughput(), engine.Gops()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool skip_measure = argc > 1 && std::string(argv[1]) == "--no-measure";
+  bench::PrintHeader(
+      "Table 2: End-to-end recommendation inference (CPU vs MicroRec)",
+      "Table 2");
+  bench::PrintNote(
+      "paper headline: 2.5-5.4x throughput speedup vs CPU batch-2048; "
+      "16.3-31.0 us single-item latency");
+  if (!skip_measure) {
+    bench::PrintNote(
+        "host-measured CPU columns run on this machine (1 core here vs the "
+        "paper's 16 vCPU) -- compare shapes via the paper-baseline rows");
+  }
+
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    std::printf("\n--- %s model (%zu tables, feat %u) ---\n",
+                large ? "Larger" : "Smaller", model.tables.size(),
+                model.FeatureLength());
+
+    const FpgaPoint fp16 = BuildFpga(model, Precision::kFixed16);
+    const FpgaPoint fp32 = BuildFpga(model, Precision::kFixed32);
+    const std::uint64_t ops = model.mlp.OpsPerItem();
+
+    TablePrinter table({"", "B=1", "B=64", "B=256", "B=512", "B=1024",
+                        "B=2048", "FPGA fx16", "FPGA fx32"});
+
+    // Row 1: paper-published CPU latency + our simulated FPGA latency.
+    std::vector<std::string> row = {"Latency paper (ms)"};
+    for (std::uint32_t b : PaperBatchSizes()) {
+      row.push_back(TablePrinter::Num(
+          ToMillis(PaperEndToEndLatency(large, b).value()), 2));
+    }
+    row.push_back(TablePrinter::Sci(ToMillis(fp16.item_latency), 2));
+    row.push_back(TablePrinter::Sci(ToMillis(fp32.item_latency), 2));
+    table.AddRow(row);
+
+    // Row 2: paper-published CPU throughput + simulated FPGA.
+    row = {"Items/s paper"};
+    for (std::uint32_t b : PaperBatchSizes()) {
+      row.push_back(
+          TablePrinter::Sci(PaperEndToEndThroughput(large, b).value(), 2));
+    }
+    row.push_back(TablePrinter::Sci(fp16.throughput, 2));
+    row.push_back(TablePrinter::Sci(fp32.throughput, 2));
+    table.AddRow(row);
+
+    // Row 3: GOP/s derived from ops/item.
+    row = {"GOP/s"};
+    for (std::uint32_t b : PaperBatchSizes()) {
+      row.push_back(TablePrinter::Num(
+          static_cast<double>(ops) *
+              PaperEndToEndThroughput(large, b).value() / 1e9,
+          2));
+    }
+    row.push_back(TablePrinter::Num(fp16.gops, 2));
+    row.push_back(TablePrinter::Num(fp32.gops, 2));
+    table.AddRow(row);
+
+    // Rows 4-5: speedups vs the paper CPU baseline (the paper's comparison
+    // uses FPGA *batch* latency, i.e. steady-state throughput).
+    for (Precision p : {Precision::kFixed16, Precision::kFixed32}) {
+      const FpgaPoint& point = p == Precision::kFixed16 ? fp16 : fp32;
+      row = {std::string("Speedup FPGA ") + PrecisionName(p)};
+      for (std::uint32_t b : PaperBatchSizes()) {
+        row.push_back(TablePrinter::Speedup(
+            point.throughput / PaperEndToEndThroughput(large, b).value()));
+      }
+      table.AddRow(row);
+    }
+
+    // Optional host-measured CPU rows.
+    if (!skip_measure) {
+      CpuEngine cpu(model, bench::kBenchPhysicalRowCap);
+      QueryGenerator gen(model, IndexDistribution::kUniform, 17);
+      std::vector<std::string> lat_row = {"Latency host (ms)"};
+      std::vector<std::string> tp_row = {"Items/s host"};
+      for (std::uint32_t b : PaperBatchSizes()) {
+        const auto queries = gen.NextBatch(b);
+        CpuBatchTiming timing;
+        const int reps = b >= 1024 ? 1 : 2;
+        Nanoseconds best = 0.0;
+        for (int r = 0; r <= reps; ++r) {  // first iteration warms up
+          cpu.InferBatch(queries, &timing);
+          if (r == 0 || timing.total_ns() < best) best = timing.total_ns();
+        }
+        lat_row.push_back(TablePrinter::Num(ToMillis(best), 2));
+        tp_row.push_back(
+            TablePrinter::Sci(static_cast<double>(b) / ToSeconds(best), 2));
+      }
+      table.AddRow(lat_row);
+      table.AddRow(tp_row);
+    }
+
+    table.Print();
+  }
+  return 0;
+}

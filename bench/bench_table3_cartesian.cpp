@@ -1,0 +1,59 @@
+// Regenerates paper Table 3: benefit and overhead of Cartesian products on
+// both production models (table counts, DRAM access rounds, storage and
+// lookup-latency relative to the no-Cartesian configuration).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "placement/heuristic.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  bench::PrintHeader("Table 3: Benefit and overhead of Cartesian products",
+                     "Table 3");
+  bench::PrintNote(
+      "paper reference values: small 47->42 tables, 39->34 in DRAM, 2->1 "
+      "rounds, 103.2% storage, 59.2% latency; large 98->84, 82->68, 3->2, "
+      "101.9%, 72.1%");
+
+  TablePrinter table({"", "Table Num", "Tables in DRAM", "DRAM Access Rounds",
+                      "Storage", "Lookup Latency", "Latency (ns)"});
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    table.AddSection(large ? "Larger Recommendation Model"
+                           : "Smaller Recommendation Model");
+
+    PlacementOptions options;
+    options.max_onchip_tables = model.max_onchip_tables;
+    options.lookups_per_table = model.lookups_per_table;
+
+    PlacementOptions no_cartesian = options;
+    no_cartesian.allow_cartesian = false;
+    const auto without =
+        HeuristicSearch(model.tables, platform, no_cartesian).value();
+    const auto with = HeuristicSearch(model.tables, platform, options).value();
+
+    const double storage_pct = 100.0 * static_cast<double>(with.storage_bytes) /
+                               static_cast<double>(without.storage_bytes);
+    const double latency_pct = 100.0 * with.lookup_latency_ns /
+                               without.lookup_latency_ns;
+
+    table.AddRow({"Without Cartesian", std::to_string(without.tables_total),
+                  std::to_string(without.tables_in_dram),
+                  std::to_string(without.dram_access_rounds), "100%", "100%",
+                  TablePrinter::Num(without.lookup_latency_ns, 1)});
+    table.AddRow({"With Cartesian", std::to_string(with.tables_total),
+                  std::to_string(with.tables_in_dram),
+                  std::to_string(with.dram_access_rounds),
+                  TablePrinter::Num(storage_pct, 1) + "%",
+                  TablePrinter::Num(latency_pct, 1) + "%",
+                  TablePrinter::Num(with.lookup_latency_ns, 1)});
+  }
+  table.Print();
+  return 0;
+}

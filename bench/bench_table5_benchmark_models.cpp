@@ -1,0 +1,73 @@
+// Regenerates paper Table 5: embedding lookup performance on Facebook's
+// DLRM-RMC2 benchmark class (8 / 12 tables, 4 lookups per table, vector
+// lengths 4-64) against the published Broadwell baseline.
+//
+// Per the paper's setup, no Cartesian products are applied and each table
+// fits one HBM bank. The 32/48 lookups of one inference can only proceed
+// in parallel if tables are *replicated* across channels -- the
+// ReplicateAndPlace API chooses replica counts and banks and reports the
+// resulting rounds and latency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "cpu/paper_baseline.hpp"
+#include "placement/replication.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+namespace {
+
+ReplicationPlan PlanFor(std::uint32_t num_tables, std::uint32_t vec_len) {
+  const auto model = DlrmRmc2Model(num_tables, vec_len);
+  ReplicationOptions options;
+  options.lookups_per_table = model.lookups_per_table;
+  return ReplicateAndPlace(model.tables, MemoryPlatformSpec::AlveoU280(),
+                           options)
+      .value();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 5: Embedding lookup speedup vs Facebook's DLRM-RMC2 baseline",
+      "Table 5");
+  bench::PrintNote(
+      "paper reference: 8 tables 334.5-648.4 ns (72.4x-37.3x), 12 tables "
+      "648.5-1296.9 ns (37.3x-18.7x)");
+
+  const std::uint32_t lens[] = {4, 8, 16, 32, 64};
+
+  TablePrinter table({"Performance", "len=4", "len=8", "len=16", "len=32",
+                      "len=64"});
+  for (std::uint32_t tables : {8u, 12u}) {
+    table.AddSection(std::to_string(tables) + " Tables (" +
+                     (tables == 8 ? "Speedup Upper Bound" : "Speedup Lower Bound") +
+                     ")");
+    std::vector<std::string> lookup_row = {"Lookup (ns)"};
+    std::vector<std::string> speedup_row = {"Speedup"};
+    std::vector<std::string> rounds_row = {"DRAM rounds"};
+    std::vector<std::string> replication_row = {"Replication storage"};
+    for (std::uint32_t len : lens) {
+      const ReplicationPlan plan = PlanFor(tables, len);
+      const Nanoseconds baseline = FacebookEmbeddingBaseline(tables, len).value();
+      lookup_row.push_back(TablePrinter::Num(plan.lookup_latency_ns, 1));
+      speedup_row.push_back(
+          TablePrinter::Speedup(baseline / plan.lookup_latency_ns, 1));
+      rounds_row.push_back(std::to_string(plan.dram_access_rounds));
+      replication_row.push_back(
+          TablePrinter::Num(100.0 * static_cast<double>(plan.storage_bytes) /
+                                static_cast<double>(plan.storage_bytes -
+                                                    plan.replication_overhead_bytes),
+                            0) + "%");
+    }
+    table.AddRow(lookup_row);
+    table.AddRow(speedup_row);
+    table.AddRow(rounds_row);
+    table.AddRow(replication_row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Regenerates paper Table 6 (appendix): FPGA clock frequency and resource
+// utilisation for the four builds (small/large model x fixed16/fixed32),
+// printing our HLS-style estimate next to the published post-route values.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "fpga/resource_model.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+namespace {
+
+struct PaperRow {
+  double freq;
+  std::uint32_t bram, dsp, uram;
+  std::uint64_t ff, lut;
+};
+
+// Paper Table 6, published values.
+PaperRow PaperValues(bool large, Precision p) {
+  if (!large && p == Precision::kFixed16)
+    return {120, 1566, 4625, 642, 683641, 485323};
+  if (!large && p == Precision::kFixed32)
+    return {140, 1657, 5193, 770, 764067, 568864};
+  if (large && p == Precision::kFixed16)
+    return {120, 1566, 4625, 642, 691042, 514517};
+  return {135, 1721, 5193, 770, 777527, 584220};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 6: FPGA frequency & resource utilisation (Alveo U280)",
+      "Table 6 (appendix)");
+  bench::PrintNote(
+      "'est' columns are this repo's HLS-style estimates; 'paper' columns "
+      "are the published post-route numbers. The paper notes HLS estimates "
+      "are optimized downward by the Vivado backend.");
+
+  const FpgaResourceBudget budget;
+  TablePrinter table({"Build", "Freq MHz", "BRAM18 est/paper", "DSP est/paper",
+                      "FF est/paper", "LUT est/paper", "URAM est/paper",
+                      "BRAM%", "DSP%", "URAM%"});
+
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    for (Precision p : {Precision::kFixed16, Precision::kFixed32}) {
+      EngineOptions options;
+      options.precision = p;
+      options.materialize = false;
+      const auto engine = MicroRecEngine::Build(model, options).value();
+      const ResourceEstimate est = engine.EstimateResources();
+      const PaperRow paper = PaperValues(large, p);
+      table.AddRow({std::string(large ? "large-" : "small-") + PrecisionName(p),
+                    TablePrinter::Num(engine.accelerator_config().clock.freq_mhz, 0) +
+                        " / " + TablePrinter::Num(paper.freq, 0),
+                    std::to_string(est.bram18) + " / " + std::to_string(paper.bram),
+                    std::to_string(est.dsp48) + " / " + std::to_string(paper.dsp),
+                    std::to_string(est.flip_flops) + " / " + std::to_string(paper.ff),
+                    std::to_string(est.luts) + " / " + std::to_string(paper.lut),
+                    std::to_string(est.uram) + " / " + std::to_string(paper.uram),
+                    TablePrinter::Num(est.bram_pct(budget), 0) + "%",
+                    TablePrinter::Num(est.dsp_pct(budget), 0) + "%",
+                    TablePrinter::Num(est.uram_pct(budget), 0) + "%"});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures. Each bench binary prints one table/figure in a layout
+// mirroring the publication, with paper-published values alongside this
+// reproduction's numbers wherever the paper reports them.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace microrec::bench {
+
+/// Wall-clock time of one call to fn, in nanoseconds.
+inline Nanoseconds TimeOnce(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<Nanoseconds>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Median of `reps` timed calls after one warmup.
+inline Nanoseconds TimeMedian(int reps, const std::function<void()>& fn) {
+  fn();  // warmup
+  std::vector<Nanoseconds> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) samples.push_back(TimeOnce(fn));
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Physical row cap used when benches materialize production-scale tables:
+/// keeps host memory use modest while preserving random-access behaviour
+/// (see DESIGN.md section 2, substitution table).
+inline constexpr std::uint64_t kBenchPhysicalRowCap = 1ull << 18;
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s of MicroRec, MLSys 2021)\n", paper_ref.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+}  // namespace microrec::bench

@@ -1,0 +1,80 @@
+// Placement explorer: run the heuristic table-combination + allocation
+// search (paper Algorithm 1) on a model of your choosing and dump the full
+// bank map, with an optional comparison against exhaustive search.
+//
+//   ./build/examples/placement_explorer                 # small production model
+//   ./build/examples/placement_explorer large           # large production model
+//   ./build/examples/placement_explorer random <N>      # N random tables
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "placement/brute_force.hpp"
+#include "placement/heuristic.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "small";
+
+  std::vector<TableSpec> tables;
+  PlacementOptions options;
+  if (mode == "small") {
+    const auto model = SmallProductionModel();
+    tables = model.tables;
+    options.max_onchip_tables = model.max_onchip_tables;
+  } else if (mode == "large") {
+    const auto model = LargeProductionModel();
+    tables = model.tables;
+    options.max_onchip_tables = model.max_onchip_tables;
+  } else if (mode == "random") {
+    const std::uint32_t n = argc > 2 ? std::atoi(argv[2]) : 20;
+    Rng rng(2024);
+    tables = RandomTables(rng, n);
+  } else {
+    std::fprintf(stderr, "usage: %s [small|large|random [N]]\n", argv[0]);
+    return 2;
+  }
+
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  std::printf("Platform: %s\n", platform.ToString().c_str());
+  std::printf("Input: %zu tables, %s total\n\n", tables.size(),
+              FormatBytes(TotalStorage(tables)).c_str());
+
+  auto plan = HeuristicSearch(tables, platform, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "heuristic failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  std::cout << plan->ToString(platform);
+
+  // Compare against the no-Cartesian configuration.
+  PlacementOptions no_cartesian = options;
+  no_cartesian.allow_cartesian = false;
+  const auto baseline = HeuristicSearch(tables, platform, no_cartesian);
+  if (baseline.ok()) {
+    std::printf("\nWithout Cartesian products: %s lookup, %u rounds "
+                "(Cartesian gives %.1f%% of that latency)\n",
+                FormatNanos(baseline->lookup_latency_ns).c_str(),
+                baseline->dram_access_rounds,
+                100.0 * plan->lookup_latency_ns / baseline->lookup_latency_ns);
+  }
+
+  // On small instances, also verify against the exhaustive optimum.
+  if (tables.size() <= 10) {
+    const auto optimal = BruteForceSearch(tables, platform, options);
+    if (optimal.ok()) {
+      std::printf("Brute-force optimum: %s (heuristic is %.2fx of optimal, "
+                  "searched %llu partitions)\n",
+                  FormatNanos(optimal->lookup_latency_ns).c_str(),
+                  plan->lookup_latency_ns / optimal->lookup_latency_ns,
+                  static_cast<unsigned long long>(CountPairPartitions(
+                      static_cast<std::uint32_t>(tables.size()))));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Precision study: calibrate Q formats for a model and quantify the CTR
+// error of the fixed16/fixed32 datapaths against the float reference --
+// making the repo's Q5.10 / Q15.16 choice (the paper leaves the format
+// unspecified) reproducible from first principles.
+//
+//   ./build/examples/precision_study
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "nn/calibration.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+int main() {
+  MlpSpec spec;
+  spec.input_dim = 352;  // the smaller production model's MLP
+  spec.hidden = {1024, 512, 256};
+  const MlpModel model = MlpModel::Create(spec, /*seed=*/2024);
+
+  // Sample inputs drawn like embedding outputs (bounded, zero-centred).
+  Rng rng(7);
+  std::vector<std::vector<float>> inputs(64);
+  for (auto& input : inputs) {
+    input.resize(spec.input_dim);
+    for (float& v : input) v = rng.NextFloat(-0.25f, 0.25f);
+  }
+
+  // 1. What dynamic range does the datapath actually see?
+  const ValueRange range = ScanModelRange(model, inputs);
+  std::printf("Observed dynamic range over %zu values: max |v| = %.4f, "
+              "mean |v| = %.4f\n",
+              range.count, range.max_abs, range.mean_abs);
+
+  // 2. Recommended Q formats.
+  for (int bits : {16, 32}) {
+    const auto rec = RecommendQFormat(range, bits);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%2d-bit recommendation: Q%d.%d (epsilon %.2e)\n", bits,
+                rec->int_bits, rec->frac_bits, rec->epsilon);
+  }
+  std::printf("library formats:       Q%d.%d and Q%d.%d\n",
+              16 - 1 - Fixed16::kFracBits, Fixed16::kFracBits,
+              32 - 1 - Fixed32::kFracBits, Fixed32::kFracBits);
+
+  // 3. End-to-end CTR error of each precision.
+  const auto r16 = EvaluateQuantizedAccuracy<Fixed16>(model, inputs);
+  const auto r32 = EvaluateQuantizedAccuracy<Fixed32>(model, inputs);
+  std::printf("\nCTR error vs float reference over %zu queries:\n",
+              r16.samples);
+  std::printf("  fixed16: max %.2e  mean %.2e\n", r16.max_abs_error,
+              r16.mean_abs_error);
+  std::printf("  fixed32: max %.2e  mean %.2e\n", r32.max_abs_error,
+              r32.mean_abs_error);
+  std::printf("\nA CTR error of ~1e-3 is far below ranking noise; fixed16 "
+              "trades a little accuracy for the higher throughput seen in "
+              "Table 2.\n");
+  return 0;
+}

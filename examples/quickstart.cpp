@@ -1,0 +1,62 @@
+// Quickstart: build a MicroRec engine for the smaller production model,
+// inspect the placement the heuristic chose, and score a few queries.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/microrec.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+using namespace microrec;
+
+int main() {
+  // 1. Pick a model. The zoo reproduces the paper's production models.
+  const RecModelSpec model = SmallProductionModel();
+  std::printf("Model %s: %zu tables, feature length %u, embeddings %s\n",
+              model.name.c_str(), model.tables.size(), model.FeatureLength(),
+              FormatBytes(model.TotalEmbeddingBytes()).c_str());
+
+  // 2. Build the engine. This runs the heuristic table-combination +
+  //    allocation search and the pipeline timing model, and materializes
+  //    embedding storage for functional scoring.
+  EngineOptions options;
+  options.precision = Precision::kFixed16;
+  auto engine_or = MicroRecEngine::Build(model, options);
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "Build failed: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  const MicroRecEngine& engine = engine_or.value();
+
+  // 3. What did placement decide? (Compare with paper Table 3.)
+  const PlacementPlan& plan = engine.plan();
+  std::printf(
+      "Placement: %u tables after combining (%u Cartesian products), "
+      "%u in DRAM, %u on-chip, %u DRAM access round(s)\n",
+      plan.tables_total, plan.cartesian_products, plan.tables_in_dram,
+      plan.tables_onchip, plan.dram_access_rounds);
+  std::printf("  storage %s (+%s overhead), embedding lookup %s\n",
+              FormatBytes(plan.storage_bytes).c_str(),
+              FormatBytes(plan.storage_overhead_bytes).c_str(),
+              FormatNanos(plan.lookup_latency_ns).c_str());
+
+  // 4. Timing (compare with paper Table 2's FPGA columns).
+  std::printf("Pipeline: item latency %s, throughput %.3e items/s, %.1f GOP/s\n",
+              FormatNanos(engine.ItemLatency()).c_str(), engine.Throughput(),
+              engine.Gops());
+
+  // 5. Score some queries through the fixed-point datapath.
+  QueryGenerator gen(model, IndexDistribution::kUniform, /*seed=*/7);
+  for (int i = 0; i < 5; ++i) {
+    const SparseQuery query = gen.Next();
+    auto ctr = engine.Infer(query);
+    if (!ctr.ok()) {
+      std::fprintf(stderr, "Infer failed: %s\n", ctr.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  query %d -> predicted CTR %.4f\n", i, *ctr);
+  }
+  return 0;
+}

@@ -1,0 +1,378 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/microrec.hpp"
+#include "core/serialization.hpp"
+#include "core/system_sim.hpp"
+#include "placement/heuristic.hpp"
+#include "serving/serving_sim.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/trace.hpp"
+
+namespace microrec::cli {
+
+namespace {
+
+Status WriteFileOrStream(const ArgList& args, const std::string& content,
+                         std::ostream& out) {
+  const auto path = args.GetOption("out");
+  if (!path.has_value()) {
+    out << content;
+    return Status::Ok();
+  }
+  std::ofstream file(*path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open --out file " + *path);
+  }
+  file << content;
+  out << "wrote " << content.size() << " bytes to " << *path << "\n";
+  return Status::Ok();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+StatusOr<RecModelSpec> LoadModelArg(const ArgList& args) {
+  if (args.positional().size() != 1) {
+    return Status::InvalidArgument("expected exactly one <model-file>");
+  }
+  auto text = ReadFile(args.positional()[0]);
+  if (!text.ok()) return text.status();
+  return ParseModel(*text);
+}
+
+PlacementOptions OptionsFor(const RecModelSpec& model, const ArgList& args) {
+  PlacementOptions options;
+  options.max_onchip_tables = model.max_onchip_tables;
+  options.lookups_per_table = model.lookups_per_table;
+  options.allow_cartesian = !args.HasFlag("no-cartesian");
+  options.allow_onchip = !args.HasFlag("no-onchip");
+  return options;
+}
+
+}  // namespace
+
+Status CmdModelGen(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(
+      args.CheckAllowed({"out", "tables", "veclen"}));
+  if (args.positional().size() != 1) {
+    return Status::InvalidArgument(
+        "modelgen expects one positional argument: small | large | dlrm");
+  }
+  const std::string& kind = args.positional()[0];
+  RecModelSpec model;
+  if (kind == "small") {
+    model = SmallProductionModel();
+  } else if (kind == "large") {
+    model = LargeProductionModel();
+  } else if (kind == "dlrm") {
+    auto tables = args.GetUint("tables", 8);
+    auto veclen = args.GetUint("veclen", 32);
+    if (!tables.ok()) return tables.status();
+    if (!veclen.ok()) return veclen.status();
+    model = DlrmRmc2Model(static_cast<std::uint32_t>(*tables),
+                          static_cast<std::uint32_t>(*veclen));
+  } else {
+    return Status::InvalidArgument("unknown model kind '" + kind + "'");
+  }
+  return WriteFileOrStream(args, SerializeModel(model), out);
+}
+
+Status CmdInspect(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed({}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  out << "model " << model->name << ": " << model->tables.size()
+      << " tables, feature length " << model->FeatureLength()
+      << ", embeddings " << FormatBytes(model->TotalEmbeddingBytes()) << "\n";
+  out << "mlp: " << model->mlp.input_dim;
+  for (auto h : model->mlp.hidden) out << " -> " << h;
+  out << " -> 1 (" << model->mlp.OpsPerItem() << " ops/item)\n";
+
+  std::uint64_t min_rows = ~0ull, max_rows = 0;
+  std::uint32_t min_dim = ~0u, max_dim = 0;
+  for (const auto& t : model->tables) {
+    min_rows = std::min(min_rows, t.rows);
+    max_rows = std::max(max_rows, t.rows);
+    min_dim = std::min(min_dim, t.dim);
+    max_dim = std::max(max_dim, t.dim);
+  }
+  out << "tables: rows " << min_rows << ".." << max_rows << ", dims "
+      << min_dim << ".." << max_dim << ", " << model->lookups_per_table
+      << " lookup(s) per table, on-chip budget " << model->max_onchip_tables
+      << "\n";
+  return Status::Ok();
+}
+
+Status CmdPlan(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(
+      args.CheckAllowed({"out", "no-cartesian", "no-onchip"}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan =
+      HeuristicSearch(model->tables, platform, OptionsFor(*model, args));
+  if (!plan.ok()) return plan.status();
+
+  out << "placement for " << model->name << " on " << platform.ToString()
+      << ":\n";
+  out << "  " << plan->tables_total << " tables ("
+      << plan->cartesian_products << " products), " << plan->tables_in_dram
+      << " in DRAM, " << plan->tables_onchip << " on-chip\n";
+  out << "  lookup latency " << FormatNanos(plan->lookup_latency_ns) << ", "
+      << plan->dram_access_rounds << " DRAM round(s), storage overhead "
+      << FormatBytes(plan->storage_overhead_bytes) << "\n";
+  return WriteFileOrStream(args, SerializePlan(*plan), out);
+}
+
+Status CmdTrace(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(
+      args.CheckAllowed({"out", "queries", "qps", "seed", "zipf"}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  auto queries = args.GetUint("queries", 1000);
+  if (!queries.ok()) return queries.status();
+  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
+  auto qps = args.GetUint("qps", 100'000);
+  if (!qps.ok()) return qps.status();
+  if (*qps == 0) return Status::InvalidArgument("--qps must be >= 1");
+  auto seed = args.GetUint("seed", 42);
+  if (!seed.ok()) return seed.status();
+
+  IndexDistribution distribution = IndexDistribution::kUniform;
+  double theta = 0.0;
+  if (const auto zipf = args.GetOption("zipf")) {
+    try {
+      theta = std::stod(*zipf);
+    } catch (...) {
+      return Status::InvalidArgument("--zipf expects a number");
+    }
+    distribution = IndexDistribution::kZipf;
+  }
+
+  QueryGenerator generator(*model, distribution, *seed, theta);
+  const auto arrivals =
+      PoissonArrivals(static_cast<double>(*qps), *queries, *seed + 1);
+  const auto trace = RecordTrace(generator, arrivals);
+  return WriteFileOrStream(args, SerializeTrace(trace), out);
+}
+
+Status CmdSimulate(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"plan", "trace", "precision", "items", "no-cartesian", "no-onchip"}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  auto precision = args.GetUint("precision", 16);
+  if (!precision.ok()) return precision.status();
+  if (*precision != 16 && *precision != 32) {
+    return Status::InvalidArgument("--precision must be 16 or 32");
+  }
+  auto items = args.GetUint("items", 2000);
+  if (!items.ok()) return items.status();
+  if (*items == 0) return Status::InvalidArgument("--items must be >= 1");
+
+  EngineOptions options;
+  options.precision =
+      *precision == 16 ? Precision::kFixed16 : Precision::kFixed32;
+  options.materialize = false;
+  options.enable_cartesian = !args.HasFlag("no-cartesian");
+  options.enable_onchip = !args.HasFlag("no-onchip");
+  auto engine = MicroRecEngine::Build(*model, options);
+  if (!engine.ok()) return engine.status();
+
+  // Optional externally-supplied plan overrides the engine's own for the
+  // lookup-latency report.
+  if (const auto plan_path = args.GetOption("plan")) {
+    auto text = ReadFile(*plan_path);
+    if (!text.ok()) return text.status();
+    auto plan = ParsePlan(*text, *model);
+    if (!plan.ok()) return plan.status();
+    MICROREC_RETURN_IF_ERROR(ValidatePlan(*plan, options.platform));
+    PlacementOptions popts;
+    popts.lookups_per_table = model->lookups_per_table;
+    plan->FinalizeMetrics(options.platform, popts,
+                          model->TotalEmbeddingBytes());
+    out << "external plan: lookup latency "
+        << FormatNanos(plan->lookup_latency_ns) << ", "
+        << plan->dram_access_rounds << " round(s)\n";
+  }
+
+  out << "analytic: item latency " << FormatNanos(engine->ItemLatency())
+      << ", throughput " << engine->Throughput() << " items/s, "
+      << engine->Gops() << " GOP/s, lookup "
+      << FormatNanos(engine->EmbeddingLookupLatency()) << "\n";
+
+  SystemSimulator sim(*engine);
+  SystemSimReport report;
+  if (const auto trace_path = args.GetOption("trace")) {
+    auto text = ReadFile(*trace_path);
+    if (!text.ok()) return text.status();
+    auto trace = ParseTrace(*text, *model);
+    if (!trace.ok()) return trace.status();
+    if (trace->empty()) return Status::InvalidArgument("trace is empty");
+    std::vector<Nanoseconds> arrivals;
+    arrivals.reserve(trace->size());
+    for (const auto& timed : *trace) arrivals.push_back(timed.arrival_ns);
+    report = sim.RunArrivals(arrivals);
+    out << "replayed trace of " << trace->size() << " queries\n";
+  } else {
+    report = sim.Run(*items);
+  }
+  out << "simulated " << report.items << " items: throughput "
+      << report.throughput_items_per_s << " items/s, item p99 "
+      << FormatNanos(report.item_latency_p99) << ", lookup max "
+      << FormatNanos(report.lookup_latency_max) << ", peak bank util "
+      << 100.0 * report.peak_bank_utilization << "%\n";
+  return Status::Ok();
+}
+
+Status CmdSelfCheck(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed({}));
+  if (!args.positional().empty()) {
+    return Status::InvalidArgument("selfcheck takes no arguments");
+  }
+
+  int failures = 0;
+  auto check = [&](const char* name, bool ok, const std::string& detail) {
+    out << (ok ? "[PASS] " : "[FAIL] ") << name << " (" << detail << ")\n";
+    if (!ok) ++failures;
+  };
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+
+  // 1. Memory calibration: the two Table 5 endpoints the timing was
+  //    fitted on, and one it predicts.
+  {
+    const Nanoseconds len4 = platform.hbm_timing.AccessLatency(16);
+    const Nanoseconds len64 = platform.hbm_timing.AccessLatency(256);
+    check("Table 5 anchor, len 4", std::abs(len4 - 334.5) < 2.0,
+          std::to_string(len4) + " ns vs paper 334.5");
+    check("Table 5 anchor, len 64", std::abs(len64 - 648.4) < 2.0,
+          std::to_string(len64) + " ns vs paper 648.4");
+  }
+
+  // 2. Op accounting identity: ops/item x the paper's items/s reproduces
+  //    its GOP/s for both models.
+  {
+    MlpSpec mlp;
+    mlp.hidden = {1024, 512, 256};
+    mlp.input_dim = 352;
+    const double small_gops = mlp.OpsPerItem() * 3.05e5 / 1e9;
+    check("GOP/s identity, small model", std::abs(small_gops - 619.5) < 2.0,
+          std::to_string(small_gops) + " vs paper 619.50");
+    mlp.input_dim = 876;
+    const double large_gops = mlp.OpsPerItem() * 1.95e5 / 1e9;
+    check("GOP/s identity, large model", std::abs(large_gops - 606.4) < 2.0,
+          std::to_string(large_gops) + " vs paper 606.41");
+  }
+
+  // 3. Table 3 structure on both production models.
+  for (bool large : {false, true}) {
+    const RecModelSpec model =
+        large ? LargeProductionModel() : SmallProductionModel();
+    PlacementOptions options;
+    options.max_onchip_tables = model.max_onchip_tables;
+    auto with = HeuristicSearch(model.tables, platform, options);
+    PlacementOptions no_cart = options;
+    no_cart.allow_cartesian = false;
+    auto without = HeuristicSearch(model.tables, platform, no_cart);
+    if (!with.ok() || !without.ok()) {
+      check("Table 3 structure", false, "placement failed");
+      continue;
+    }
+    const bool ok =
+        large ? (with->tables_total == 84 && with->tables_in_dram == 68 &&
+                 with->dram_access_rounds == 2 &&
+                 without->dram_access_rounds == 3)
+              : (with->tables_total == 42 && with->tables_in_dram == 34 &&
+                 with->dram_access_rounds == 1 &&
+                 without->dram_access_rounds == 2);
+    check(large ? "Table 3 structure, large model"
+                : "Table 3 structure, small model",
+          ok,
+          std::to_string(with->tables_total) + " tables, " +
+              std::to_string(with->tables_in_dram) + " DRAM, rounds " +
+              std::to_string(without->dram_access_rounds) + "->" +
+              std::to_string(with->dram_access_rounds));
+  }
+
+  // 4. Event-driven simulation agrees with the analytic model.
+  {
+    EngineOptions options;
+    options.materialize = false;
+    auto engine = MicroRecEngine::Build(SmallProductionModel(), options);
+    if (!engine.ok()) {
+      check("full-system agreement", false, engine.status().ToString());
+    } else {
+      SystemSimulator sim(*engine);
+      const auto report = sim.Run(2000);
+      const double delta =
+          std::abs(report.throughput_items_per_s - engine->Throughput()) /
+          engine->Throughput();
+      check("full-system agreement", delta < 0.02,
+            "delta " + std::to_string(100.0 * delta) + "%");
+    }
+  }
+
+  if (failures > 0) {
+    return Status::Internal(std::to_string(failures) + " check(s) failed");
+  }
+  out << "all checks passed\n";
+  return Status::Ok();
+}
+
+std::string UsageText() {
+  return
+      "usage: microrec <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  modelgen <small|large|dlrm> [--tables N] [--veclen L] [--out F]\n"
+      "      emit a model spec (microrec-model v1 text format)\n"
+      "  inspect <model-file>\n"
+      "      summarize a model spec\n"
+      "  plan <model-file> [--no-cartesian] [--no-onchip] [--out F]\n"
+      "      run the heuristic table-combination + allocation search\n"
+      "  trace <model-file> [--queries N] [--qps R] [--seed S]\n"
+      "        [--zipf THETA] [--out F]\n"
+      "      record a Poisson query trace for replay\n"
+      "  simulate <model-file> [--plan F] [--trace F] [--precision 16|32]\n"
+      "           [--items N]\n"
+      "      analytic + full-system timing of the accelerator\n"
+      "  selfcheck\n"
+      "      verify the reproduction's calibration anchors\n";
+}
+
+Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
+  if (tokens.empty()) {
+    out << UsageText();
+    return Status::InvalidArgument("missing command");
+  }
+  const std::string& command = tokens[0];
+  const std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+  auto args = ArgList::Parse(
+      rest, /*flag_keys=*/{"no-cartesian", "no-onchip"});
+  if (!args.ok()) return args.status();
+
+  if (command == "modelgen") return CmdModelGen(*args, out);
+  if (command == "inspect") return CmdInspect(*args, out);
+  if (command == "plan") return CmdPlan(*args, out);
+  if (command == "trace") return CmdTrace(*args, out);
+  if (command == "simulate") return CmdSimulate(*args, out);
+  if (command == "selfcheck") return CmdSelfCheck(*args, out);
+  out << UsageText();
+  return Status::InvalidArgument("unknown command '" + command + "'");
+}
+
+}  // namespace microrec::cli

@@ -1,0 +1,41 @@
+// Subcommands of the `microrec` CLI tool. Each command is a pure function
+// over parsed arguments and an output stream so tests can drive it without
+// a process boundary; the thin main() in tools/microrec.cpp dispatches.
+//
+//   microrec modelgen <small|large|dlrm> [--tables N] [--veclen L] [--out F]
+//   microrec inspect  <model-file>
+//   microrec plan     <model-file> [--no-cartesian] [--no-onchip] [--out F]
+//   microrec trace    <model-file> [--queries N] [--qps R] [--seed S]
+//                     [--zipf THETA] [--out F]
+//   microrec simulate <model-file> [--plan F] [--trace F]
+//                     [--precision 16|32] [--items N]
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "common/status.hpp"
+
+namespace microrec::cli {
+
+Status CmdModelGen(const ArgList& args, std::ostream& out);
+Status CmdInspect(const ArgList& args, std::ostream& out);
+Status CmdPlan(const ArgList& args, std::ostream& out);
+Status CmdTrace(const ArgList& args, std::ostream& out);
+Status CmdSimulate(const ArgList& args, std::ostream& out);
+
+/// Reruns the reproduction's calibration anchors (Table 5 lookup points,
+/// the GOP/s identity, Table 3 placement structure, event-sim agreement)
+/// and reports PASS/FAIL per check. Returns non-OK if any check fails.
+Status CmdSelfCheck(const ArgList& args, std::ostream& out);
+
+/// Dispatches `tokens` (argv without the program name) to a subcommand.
+/// Unknown / missing subcommands print usage and return InvalidArgument.
+Status RunCli(const std::vector<std::string>& tokens, std::ostream& out);
+
+/// The usage text.
+std::string UsageText();
+
+}  // namespace microrec::cli

@@ -1,0 +1,40 @@
+// Tiny leveled logger for the library. Benchmarks print their tables via
+// std::cout directly; this logger is for diagnostics only and defaults to
+// warnings so test / bench output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace microrec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const std::string& msg);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace microrec
+
+#define MICROREC_LOG(level) \
+  ::microrec::internal::LogStream(::microrec::LogLevel::level)

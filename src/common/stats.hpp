@@ -1,0 +1,51 @@
+// Streaming summary statistics and percentile helpers used by the serving
+// simulator and benchmark harnesses (latency distributions, SLA tracking).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace microrec {
+
+/// Accumulates count/mean/variance/min/max in one pass (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects samples and answers percentile queries. Unsorted storage;
+/// Percentile() sorts lazily and caches.
+class PercentileTracker {
+ public:
+  void Add(double x);
+  std::size_t count() const { return samples_.size(); }
+
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  /// Requires at least one sample.
+  double Percentile(double q) const;
+
+  double Mean() const;
+  double Max() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace microrec

@@ -1,0 +1,50 @@
+#include "common/status.hpp"
+
+#include <cstdio>
+
+namespace microrec {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "MICROREC_CHECK failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace microrec

@@ -1,0 +1,90 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MICROREC_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  MICROREC_CHECK(row.size() <= header_.size());
+  row.resize(header_.size());
+  rows_.push_back(Row{/*is_section=*/false, {}, std::move(row)});
+}
+
+void TablePrinter::AddSection(std::string label) {
+  rows_.push_back(Row{/*is_section=*/true, std::move(label), {}});
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.is_section) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::size_t total = 1;  // leading '|'
+  for (auto w : widths) total += w + 3;
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      out += " ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+    return out;
+  };
+
+  std::string out;
+  const std::string rule(total, '-');
+  out += rule + "\n";
+  out += render_row(header_);
+  out += rule + "\n";
+  for (const auto& row : rows_) {
+    if (row.is_section) {
+      std::string label = "  -- " + row.section_label + " --";
+      out += label + "\n";
+    } else {
+      out += render_row(row.cells);
+    }
+  }
+  out += rule + "\n";
+  return out;
+}
+
+void TablePrinter::Print() const { std::cout << ToString(); }
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Speedup(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+  return buf;
+}
+
+}  // namespace microrec

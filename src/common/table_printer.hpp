@@ -1,0 +1,48 @@
+// ASCII table formatting for the benchmark harnesses: every bench binary
+// reproduces one of the paper's tables/figures and prints it through this.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace microrec {
+
+/// Collects rows of string cells and renders an aligned, pipe-separated
+/// table with a header rule, similar to the layout in the paper.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; it may have fewer cells than the header (the rest
+  /// render empty) but not more.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a full-width section label row (e.g. "Smaller Model").
+  void AddSection(std::string label);
+
+  /// Renders the table. Each call re-measures column widths.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+  /// Scientific notation, e.g. "3.05e+05".
+  static std::string Sci(double v, int precision = 2);
+  /// "12.34x" speedup formatting.
+  static std::string Speedup(double v, int precision = 2);
+
+ private:
+  struct Row {
+    bool is_section = false;
+    std::string section_label;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace microrec

@@ -1,0 +1,68 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  MICROREC_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t shards = std::min(count, workers_.size());
+  const std::size_t chunk = (count + shards - 1) / shards;
+  std::vector<std::future<void>> futures;
+  futures.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    futures.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace microrec

@@ -1,0 +1,37 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace microrec {
+
+std::string FormatBytes(Bytes bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1_GiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(1_GiB));
+  } else if (bytes >= 1_MiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(1_MiB));
+  } else if (bytes >= 1_KiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(1_KiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatNanos(Nanoseconds ns) {
+  char buf[64];
+  if (ns >= kNanosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ToSeconds(ns));
+  } else if (ns >= kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ToMillis(ns));
+  } else if (ns >= kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ToMicros(ns));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace microrec

@@ -1,0 +1,57 @@
+// Strongly named time / size units used throughout the timing models.
+//
+// All simulator timing is carried as double nanoseconds: the models are
+// analytic (fractions of cycles appear naturally) and sub-ns resolution
+// avoids accumulation error over millions of simulated accesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace microrec {
+
+/// Time in nanoseconds (double: analytic models produce fractional ns).
+using Nanoseconds = double;
+
+constexpr Nanoseconds kNanosPerMicro = 1e3;
+constexpr Nanoseconds kNanosPerMilli = 1e6;
+constexpr Nanoseconds kNanosPerSecond = 1e9;
+
+constexpr Nanoseconds Microseconds(double us) { return us * kNanosPerMicro; }
+constexpr Nanoseconds Milliseconds(double ms) { return ms * kNanosPerMilli; }
+constexpr Nanoseconds Seconds(double s) { return s * kNanosPerSecond; }
+
+constexpr double ToMicros(Nanoseconds ns) { return ns / kNanosPerMicro; }
+constexpr double ToMillis(Nanoseconds ns) { return ns / kNanosPerMilli; }
+constexpr double ToSeconds(Nanoseconds ns) { return ns / kNanosPerSecond; }
+
+/// Storage sizes, always in bytes.
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator"" _KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator"" _MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+constexpr Bytes operator"" _GiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+/// Clock frequency in MHz; period in ns.
+struct ClockSpec {
+  double freq_mhz = 120.0;
+
+  constexpr Nanoseconds period_ns() const { return 1e3 / freq_mhz; }
+  constexpr Nanoseconds CyclesToNs(double cycles) const {
+    return cycles * period_ns();
+  }
+  constexpr double NsToCycles(Nanoseconds ns) const { return ns / period_ns(); }
+};
+
+/// Formats a byte count as a human-readable string ("1.3 GiB").
+std::string FormatBytes(Bytes bytes);
+
+/// Formats nanoseconds at an appropriate scale ("458 ns", "16.3 us",
+/// "28.2 ms").
+std::string FormatNanos(Nanoseconds ns);
+
+}  // namespace microrec

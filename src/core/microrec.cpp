@@ -1,0 +1,145 @@
+#include "core/microrec.hpp"
+
+#include <cstring>
+
+#include "nn/mlp.hpp"
+#include "placement/heuristic.hpp"
+
+namespace microrec {
+
+StatusOr<MicroRecEngine> MicroRecEngine::Build(const RecModelSpec& model,
+                                               const EngineOptions& options) {
+  MICROREC_RETURN_IF_ERROR(model.Validate());
+
+  MicroRecEngine engine;
+  engine.model_ = model;
+  engine.options_ = options;
+
+  // 1. Table combination + bank allocation (paper Algorithm 1).
+  PlacementOptions popts;
+  popts.lookups_per_table = model.lookups_per_table;
+  popts.allow_cartesian = options.enable_cartesian;
+  popts.allow_onchip = options.enable_onchip;
+  popts.max_onchip_tables = model.max_onchip_tables;
+  popts.max_product_bytes = options.max_product_bytes;
+  StatusOr<PlacementPlan> plan =
+      HeuristicSearch(model.tables, options.platform, popts);
+  if (!plan.ok()) return plan.status();
+  engine.plan_ = std::move(plan).value();
+  MICROREC_RETURN_IF_ERROR(ValidatePlan(engine.plan_, options.platform));
+
+  engine.onchip_table_bytes_ = 0;
+  for (const auto& p : engine.plan_.placements) {
+    if (options.platform.KindOfBank(p.bank) == MemoryKind::kOnChip) {
+      engine.onchip_table_bytes_ += p.table.TotalBytes();
+    }
+  }
+
+  // 2/3. Accelerator build + pipeline timing.
+  if (options.accelerator.has_value()) {
+    engine.config_ = *options.accelerator;
+  } else {
+    const bool large = model.FeatureLength() > 500;
+    engine.config_ = AcceleratorConfig::PaperConfig(options.precision, large);
+    engine.config_.layers.resize(
+        model.mlp.hidden.size(),
+        engine.config_.layers.empty() ? LayerPeConfig{32, 8}
+                                      : engine.config_.layers.back());
+  }
+  MICROREC_RETURN_IF_ERROR(engine.config_.Validate());
+  engine.timing_ = ComputePipelineTiming(model.mlp, engine.config_,
+                                         engine.plan_.lookup_latency_ns);
+
+  // 4. Functional datapath.
+  if (options.materialize) {
+    engine.tables_.reserve(model.tables.size());
+    for (const auto& spec : model.tables) {
+      engine.tables_.push_back(EmbeddingTable::Materialize(
+          spec, TableContentSeed(model, spec.id), options.max_physical_rows));
+    }
+    const MlpModel float_mlp =
+        MlpModel::Create(model.mlp, MlpWeightSeed(model));
+    if (options.precision == Precision::kFixed16) {
+      engine.mlp16_ = QuantizedMlp<Fixed16>::FromFloat(float_mlp);
+    } else {
+      engine.mlp32_ = QuantizedMlp<Fixed32>::FromFloat(float_mlp);
+    }
+  }
+
+  return engine;
+}
+
+ResourceEstimate MicroRecEngine::EstimateResources() const {
+  ResourceModelInputs inputs;
+  inputs.dram_channels =
+      options_.platform.hbm_channels + options_.platform.ddr_channels;
+  inputs.axi_width_bits = options_.platform.hbm_timing.axi_width_bits;
+  inputs.onchip_table_bytes = onchip_table_bytes_;
+  return ::microrec::EstimateResources(model_.mlp, config_, inputs);
+}
+
+StatusOr<std::vector<float>> MicroRecEngine::GatherFeatures(
+    const SparseQuery& query) const {
+  if (tables_.empty()) {
+    return Status::FailedPrecondition(
+        "engine built with materialize=false; no functional storage");
+  }
+  const std::uint32_t lookups = model_.lookups_per_table;
+  if (query.indices.size() != tables_.size() * lookups) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query.indices.size()) +
+        " indices, expected " + std::to_string(tables_.size() * lookups));
+  }
+  std::vector<float> features(model_.FeatureLength());
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const std::uint32_t dim = tables_[t].spec().dim;
+    if (lookups == 1) {
+      const std::uint64_t row = query.indices[t];
+      if (row >= tables_[t].spec().rows) {
+        return Status::OutOfRange("index " + std::to_string(row) +
+                                  " out of range for table " +
+                                  tables_[t].spec().name);
+      }
+      const auto vec = tables_[t].Lookup(row);
+      std::memcpy(features.data() + offset, vec.data(), dim * sizeof(float));
+    } else {
+      for (std::uint32_t l = 0; l < lookups; ++l) {
+        const std::uint64_t row = query.indices[t * lookups + l];
+        if (row >= tables_[t].spec().rows) {
+          return Status::OutOfRange("index " + std::to_string(row) +
+                                    " out of range for table " +
+                                    tables_[t].spec().name);
+        }
+        const auto vec = tables_[t].Lookup(row);
+        for (std::uint32_t d = 0; d < dim; ++d) {
+          features[offset + d] += vec[d];
+        }
+      }
+    }
+    offset += dim;
+  }
+  return features;
+}
+
+StatusOr<float> MicroRecEngine::Infer(const SparseQuery& query) const {
+  StatusOr<std::vector<float>> features = GatherFeatures(query);
+  if (!features.ok()) return features.status();
+  if (mlp16_.has_value()) return mlp16_->Forward(*features);
+  if (mlp32_.has_value()) return mlp32_->Forward(*features);
+  return Status::FailedPrecondition("no quantized MLP built");
+}
+
+StatusOr<std::vector<float>> MicroRecEngine::InferBatch(
+    std::span<const SparseQuery> queries) const {
+  std::vector<float> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    StatusOr<float> p = Infer(q);
+    if (!p.ok()) return p.status();
+    out.push_back(*p);
+  }
+  return out;
+}
+
+}  // namespace microrec

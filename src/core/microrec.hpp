@@ -1,0 +1,119 @@
+// MicroRec public API: the FPGA-accelerated recommendation inference engine.
+//
+// Build() runs the full paper pipeline for a model:
+//   1. heuristic table combination + bank allocation (placement/),
+//   2. hybrid-memory lookup timing (memsim/),
+//   3. pipelined-dataflow timing + resource estimation (fpga/),
+//   4. a functional fixed-point datapath (nn/quantized_mlp.hpp) over
+//      materialized embedding storage, so Infer() returns real CTR scores
+//      that tests compare against the float CPU reference.
+//
+// Typical use (see examples/quickstart.cpp):
+//   auto engine = MicroRecEngine::Build(SmallProductionModel(), {});
+//   float ctr = engine->Infer(query).value();
+//   auto t = engine->timing();  // item latency, throughput, GOP/s
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "embedding/embedding_table.hpp"
+#include "fixedpoint/fixed_point.hpp"
+#include "fpga/config.hpp"
+#include "fpga/pipeline_model.hpp"
+#include "fpga/resource_model.hpp"
+#include "memsim/dram_timing.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "placement/plan.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+
+struct EngineOptions {
+  Precision precision = Precision::kFixed16;
+  MemoryPlatformSpec platform = MemoryPlatformSpec::AlveoU280();
+
+  /// Paper Table 4's ablation knobs: HBM-only (no Cartesian) vs
+  /// HBM + Cartesian.
+  bool enable_cartesian = true;
+  bool enable_onchip = true;
+
+  /// Materialize embedding storage for functional inference. Disable for
+  /// timing-only studies of huge models.
+  bool materialize = true;
+  /// Physical row cap per materialized table (see embedding_table.hpp).
+  std::uint64_t max_physical_rows = std::uint64_t(1) << 20;
+
+  /// Explicit accelerator build; if unset, PaperConfig(precision) with the
+  /// clock matched to the model size is used.
+  std::optional<AcceleratorConfig> accelerator;
+
+  Bytes max_product_bytes = 64_MiB;
+};
+
+class MicroRecEngine {
+ public:
+  /// Runs placement and constructs the engine. Fails if the model is
+  /// invalid or no feasible placement exists on the platform.
+  static StatusOr<MicroRecEngine> Build(const RecModelSpec& model,
+                                        const EngineOptions& options);
+
+  const RecModelSpec& model() const { return model_; }
+  const EngineOptions& options() const { return options_; }
+  const PlacementPlan& plan() const { return plan_; }
+  const AcceleratorConfig& accelerator_config() const { return config_; }
+  const PipelineTiming& timing() const { return timing_; }
+
+  /// HLS-style resource estimate for this build.
+  ResourceEstimate EstimateResources() const;
+
+  // ---- Timing queries (the quantities the paper's tables report) ----
+
+  /// Embedding lookup + concatenation latency per item.
+  Nanoseconds EmbeddingLookupLatency() const { return plan_.lookup_latency_ns; }
+  /// End-to-end latency of a single item through the pipeline.
+  Nanoseconds ItemLatency() const { return timing_.item_latency_ns; }
+  /// Steady-state throughput (items/s) of the deep pipeline.
+  double Throughput() const { return timing_.throughput_items_per_s; }
+  double Gops() const { return timing_.gops; }
+  /// Time to stream a batch through the pipeline (Table 2's basis).
+  Nanoseconds BatchLatency(std::uint64_t batch) const {
+    return timing_.BatchLatency(batch);
+  }
+
+  // ---- Functional inference (requires options.materialize) ----
+
+  /// Scores one query through the fixed-point datapath.
+  StatusOr<float> Infer(const SparseQuery& query) const;
+
+  /// Scores a batch; stops at the first error.
+  StatusOr<std::vector<float>> InferBatch(
+      std::span<const SparseQuery> queries) const;
+
+  /// The concatenated (float) feature vector the lookup module would emit
+  /// for a query; exposed for tests.
+  StatusOr<std::vector<float>> GatherFeatures(const SparseQuery& query) const;
+
+ private:
+  MicroRecEngine() = default;
+
+  RecModelSpec model_;
+  EngineOptions options_;
+  PlacementPlan plan_;
+  AcceleratorConfig config_;
+  PipelineTiming timing_;
+  Bytes onchip_table_bytes_ = 0;
+
+  // Functional state (materialize only).
+  std::vector<EmbeddingTable> tables_;  // indexed by original table id
+  std::optional<QuantizedMlp<Fixed16>> mlp16_;
+  std::optional<QuantizedMlp<Fixed32>> mlp32_;
+};
+
+}  // namespace microrec

@@ -1,0 +1,47 @@
+// Text serialization of model specs and placement plans.
+//
+// A line-oriented format ("microrec/v1") so users can export a model
+// definition, run the placement search offline, and ship the resulting
+// bank map to a deployment -- and so experiments are inspectable artifacts
+// rather than in-process state. Round-trip fidelity is covered by tests.
+//
+// Model format:
+//   microrec-model v1
+//   name <string>
+//   seed <u64>
+//   lookups_per_table <u32>
+//   max_onchip_tables <u32>
+//   mlp <input_dim> <hidden0,hidden1,...>
+//   table <id> <rows> <dim> <element_bytes> <name>
+//   ...
+//
+// Plan format (write + parse):
+//   microrec-plan v1
+//   place <bank> <member_table_id>[x<member_table_id>...]
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "placement/plan.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace microrec {
+
+/// Serializes a model spec to the v1 text format.
+std::string SerializeModel(const RecModelSpec& model);
+
+/// Parses a v1 model; returns InvalidArgument with a line number on any
+/// malformed input.
+StatusOr<RecModelSpec> ParseModel(const std::string& text);
+
+/// Serializes a placement plan (bank assignments only; metrics are
+/// recomputed on load via FinalizeMetrics).
+std::string SerializePlan(const PlacementPlan& plan);
+
+/// Parses a plan against the model that produced it: member table ids must
+/// exist in `model`, and each original table must appear exactly once.
+StatusOr<PlacementPlan> ParsePlan(const std::string& text,
+                                  const RecModelSpec& model);
+
+}  // namespace microrec

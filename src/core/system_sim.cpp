@@ -1,0 +1,66 @@
+#include "core/system_sim.hpp"
+
+#include <algorithm>
+
+namespace microrec {
+
+SystemSimulator::SystemSimulator(const MicroRecEngine& engine)
+    : engine_(engine) {}
+
+SystemSimReport SystemSimulator::Run(std::uint64_t num_items,
+                                     Nanoseconds inter_arrival_ns) {
+  MICROREC_CHECK(num_items >= 1);
+  std::vector<Nanoseconds> arrivals(num_items);
+  for (std::uint64_t i = 0; i < num_items; ++i) {
+    arrivals[i] = static_cast<double>(i) * inter_arrival_ns;
+  }
+  return RunArrivals(arrivals);
+}
+
+SystemSimReport SystemSimulator::RunArrivals(
+    const std::vector<Nanoseconds>& arrivals) {
+  MICROREC_CHECK(!arrivals.empty());
+  const std::uint64_t num_items = arrivals.size();
+
+  // Fresh memory system for the run.
+  HybridMemorySystem memory(engine_.options().platform);
+  const std::vector<BankAccess> accesses =
+      engine_.plan().ToBankAccesses(engine_.model().lookups_per_table);
+
+  DataflowPipeline pipeline(engine_.timing().stages);
+
+  PercentileTracker lookup_latencies;
+  const auto result = pipeline.Run(
+      arrivals, [&](std::size_t /*item*/, std::size_t stage,
+                    Nanoseconds enter_ns) -> Nanoseconds {
+        if (stage != 0) return -1.0;  // compute stages keep their defaults
+        const LookupBatchResult batch = memory.IssueBatch(accesses, enter_ns);
+        lookup_latencies.Add(batch.latency_ns());
+        return batch.latency_ns();
+      });
+
+  SystemSimReport report;
+  report.items = num_items;
+  report.makespan_ns = result.makespan_ns;
+  report.throughput_items_per_s = result.throughput_items_per_s();
+  PercentileTracker item_latencies;
+  for (const auto& item : result.items) {
+    item_latencies.Add(item.latency_ns());
+  }
+  report.item_latency_p50 = item_latencies.Percentile(0.50);
+  report.item_latency_p99 = item_latencies.Percentile(0.99);
+  report.item_latency_max = item_latencies.Max();
+  report.lookup_latency_mean = lookup_latencies.Mean();
+  report.lookup_latency_max = lookup_latencies.Max();
+
+  double peak = 0.0;
+  for (std::uint32_t b = 0; b < memory.num_banks(); ++b) {
+    if (result.makespan_ns > 0.0) {
+      peak = std::max(peak, memory.bank_stats(b).busy_ns / result.makespan_ns);
+    }
+  }
+  report.peak_bank_utilization = peak;
+  return report;
+}
+
+}  // namespace microrec

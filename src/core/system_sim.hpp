@@ -1,0 +1,57 @@
+// Full-system simulation: the compute pipeline (dataflow simulator) driven
+// by per-item embedding latencies from the event-driven hybrid-memory
+// simulator, instead of the analytic lookup constant.
+//
+// This is the closest software analogue of running the real accelerator:
+// every inference issues its placement-mapped bank accesses against the
+// memory system at the moment its embedding stage starts, so contention
+// between pipelined items is modelled rather than assumed away. Tests
+// assert it converges to the analytic model when the memory system is
+// uncontended, and benches use it to cross-validate the Table 2 numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "core/microrec.hpp"
+#include "fpga/dataflow_sim.hpp"
+#include "memsim/hybrid_memory.hpp"
+
+namespace microrec {
+
+struct SystemSimReport {
+  std::uint64_t items = 0;
+  Nanoseconds makespan_ns = 0.0;
+  double throughput_items_per_s = 0.0;
+  Nanoseconds item_latency_p50 = 0.0;
+  Nanoseconds item_latency_p99 = 0.0;
+  Nanoseconds item_latency_max = 0.0;
+  Nanoseconds lookup_latency_mean = 0.0;
+  Nanoseconds lookup_latency_max = 0.0;
+  /// Busiest memory bank's busy fraction over the run.
+  double peak_bank_utilization = 0.0;
+};
+
+class SystemSimulator {
+ public:
+  /// Builds from an engine (placement + pipeline config are taken from it).
+  /// The engine may be timing-only (materialize=false).
+  explicit SystemSimulator(const MicroRecEngine& engine);
+
+  /// Streams `num_items` inferences with a fixed inter-arrival gap
+  /// (0 = an always-full input queue).
+  SystemSimReport Run(std::uint64_t num_items,
+                      Nanoseconds inter_arrival_ns = 0.0);
+
+  /// Streams items at explicit (nondecreasing) arrival times -- e.g. a
+  /// recorded trace's timestamps or a Poisson process.
+  SystemSimReport RunArrivals(const std::vector<Nanoseconds>& arrivals);
+
+ private:
+  const MicroRecEngine& engine_;
+};
+
+}  // namespace microrec

@@ -1,0 +1,107 @@
+#include "cpu/cpu_engine.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace microrec {
+
+namespace {
+
+Nanoseconds NowNs() {
+  return static_cast<Nanoseconds>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+CpuEngine::CpuEngine(const RecModelSpec& model, std::uint64_t max_physical_rows,
+                     FrameworkOverheadParams overhead, std::size_t threads)
+    : model_(model),
+      mlp_(MlpModel::Create(model.mlp, MlpWeightSeed(model))),
+      overhead_(overhead),
+      pool_(threads) {
+  MICROREC_CHECK(model_.Validate().ok());
+  tables_.reserve(model_.tables.size());
+  for (const auto& spec : model_.tables) {
+    tables_.push_back(EmbeddingTable::Materialize(
+        spec, TableContentSeed(model_, spec.id), max_physical_rows));
+  }
+}
+
+void CpuEngine::GatherQuery(const SparseQuery& query,
+                            std::span<float> out) const {
+  const std::uint32_t lookups = model_.lookups_per_table;
+  MICROREC_CHECK(query.indices.size() == tables_.size() * lookups);
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const std::uint32_t dim = tables_[t].spec().dim;
+    MICROREC_CHECK(offset + dim <= out.size());
+    float* dst = out.data() + offset;
+    if (lookups == 1) {
+      const auto vec = tables_[t].Lookup(query.indices[t]);
+      std::memcpy(dst, vec.data(), dim * sizeof(float));
+    } else {
+      // Multi-lookup models (DLRM-style) sum-pool the vectors per table.
+      std::memset(dst, 0, dim * sizeof(float));
+      for (std::uint32_t l = 0; l < lookups; ++l) {
+        const auto vec = tables_[t].Lookup(query.indices[t * lookups + l]);
+        for (std::uint32_t d = 0; d < dim; ++d) dst[d] += vec[d];
+      }
+    }
+    offset += dim;
+  }
+  MICROREC_CHECK(offset == out.size());
+}
+
+void CpuEngine::EmbeddingLayer(std::span<const SparseQuery> queries,
+                               MatrixF& features) const {
+  features.Resize(queries.size(), feature_length());
+  pool_.ParallelFor(queries.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      GatherQuery(queries[i], features.row(i));
+    }
+  });
+}
+
+std::vector<float> CpuEngine::InferBatch(std::span<const SparseQuery> queries,
+                                         CpuBatchTiming* timing) const {
+  MatrixF features;
+  const Nanoseconds t0 = NowNs();
+  EmbeddingLayer(queries, features);
+  const Nanoseconds t1 = NowNs();
+  std::vector<float> probs = mlp_.ForwardBatch(features);
+  const Nanoseconds t2 = NowNs();
+  if (timing != nullptr) {
+    timing->embedding_ns = t1 - t0;
+    timing->dnn_ns = t2 - t1;
+    timing->overhead_ns =
+        overhead_.EmbeddingOverhead(
+            static_cast<std::uint32_t>(tables_.size())) +
+        overhead_.DnnOverhead(
+            static_cast<std::uint32_t>(model_.mlp.hidden.size()));
+  }
+  return probs;
+}
+
+float CpuEngine::InferOne(const SparseQuery& query) const {
+  std::vector<float> features(feature_length());
+  GatherQuery(query, features);
+  return mlp_.Forward(features);
+}
+
+CpuBatchTiming CpuEngine::MeasureEmbeddingLayer(
+    std::span<const SparseQuery> queries) const {
+  MatrixF features;
+  const Nanoseconds t0 = NowNs();
+  EmbeddingLayer(queries, features);
+  const Nanoseconds t1 = NowNs();
+  CpuBatchTiming timing;
+  timing.embedding_ns = t1 - t0;
+  timing.overhead_ns = overhead_.EmbeddingOverhead(
+      static_cast<std::uint32_t>(tables_.size()));
+  return timing;
+}
+
+}  // namespace microrec

@@ -1,0 +1,78 @@
+// CPU baseline inference engine (the system the paper compares against:
+// TensorFlow Serving on a 16-vCPU server).
+//
+// The engine performs *real* work on the host -- random gathers over
+// materialized embedding tables and blocked-GEMM MLP inference -- and adds
+// the calibrated framework-overhead model on top, reproducing the baseline's
+// structure: per-batch operator dispatch + memory-bound embedding stage +
+// compute-bound FC stage. Wall-clock measurements on this host are reported
+// alongside the paper's published numbers (cpu/paper_baseline.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "cpu/overhead_model.hpp"
+#include "embedding/embedding_table.hpp"
+#include "nn/mlp.hpp"
+#include "tensor/matrix.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+
+/// Per-batch timing breakdown.
+struct CpuBatchTiming {
+  Nanoseconds embedding_ns = 0.0;  ///< measured gather + concat
+  Nanoseconds dnn_ns = 0.0;        ///< measured GEMM + activations
+  Nanoseconds overhead_ns = 0.0;   ///< modelled framework dispatch
+
+  Nanoseconds total_ns() const { return embedding_ns + dnn_ns + overhead_ns; }
+};
+
+class CpuEngine {
+ public:
+  /// Materializes the model's tables (capped per table by
+  /// `max_physical_rows`) and builds the float MLP. `threads` sizes the
+  /// worker pool used for batched gathers and GEMM sharding.
+  CpuEngine(const RecModelSpec& model, std::uint64_t max_physical_rows,
+            FrameworkOverheadParams overhead = {}, std::size_t threads = 1);
+
+  const RecModelSpec& model() const { return model_; }
+  const MlpModel& mlp() const { return mlp_; }
+  std::span<const EmbeddingTable> tables() const { return tables_; }
+
+  /// Gathers + concatenates embeddings for a batch into `features`
+  /// ([batch x feature_len]). This is the embedding layer in isolation
+  /// (Table 4's measured quantity).
+  void EmbeddingLayer(std::span<const SparseQuery> queries,
+                      MatrixF& features) const;
+
+  /// Full inference over a batch; fills `timing` if non-null.
+  std::vector<float> InferBatch(std::span<const SparseQuery> queries,
+                                CpuBatchTiming* timing = nullptr) const;
+
+  /// Reference single-item forward used by correctness tests.
+  float InferOne(const SparseQuery& query) const;
+
+  /// Embedding layer timing alone (measured + overhead) for a batch.
+  CpuBatchTiming MeasureEmbeddingLayer(
+      std::span<const SparseQuery> queries) const;
+
+  std::uint32_t feature_length() const { return model_.FeatureLength(); }
+
+ private:
+  /// Writes the concatenated feature vector of one query into `out`.
+  void GatherQuery(const SparseQuery& query, std::span<float> out) const;
+
+  RecModelSpec model_;
+  std::vector<EmbeddingTable> tables_;
+  MlpModel mlp_;
+  FrameworkOverheadParams overhead_;
+  mutable ThreadPool pool_;
+};
+
+}  // namespace microrec

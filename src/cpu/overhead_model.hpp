@@ -1,0 +1,42 @@
+// TensorFlow-Serving framework-overhead model.
+//
+// The paper attributes a large share of CPU embedding-layer time to
+// operator dispatch: "37 types of operators are involved in the embedding
+// layer (e.g., slice and concatenation), and these operators are invoked
+// many times during inference", which is why batch-1 and batch-64 latencies
+// are nearly equal (figure 3). We model that cost as a per-batch fixed term
+// proportional to the number of tables: each table's lookup expands into a
+// fixed set of framework operators whose dispatch cost does not shrink
+// with batch size.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace microrec {
+
+struct FrameworkOverheadParams {
+  /// Distinct operator types the embedding layer expands to (paper: 37).
+  std::uint32_t op_types = 37;
+  /// Average invocations of each op type per table per batch.
+  double invocations_per_table = 1.0;
+  /// Dispatch + scheduling cost per operator invocation. Calibrated so the
+  /// small production model's 47 tables cost ~2.4 ms at batch 1, matching
+  /// the paper's figure 3 / Table 4 anchors.
+  Nanoseconds per_invocation_ns = 1400.0;
+
+  /// Per-batch fixed overhead of the embedding layer for `num_tables`.
+  Nanoseconds EmbeddingOverhead(std::uint32_t num_tables) const {
+    return static_cast<double>(op_types) * invocations_per_table *
+           static_cast<double>(num_tables) * per_invocation_ns;
+  }
+
+  /// Per-batch overhead of the dense (FC) part: a handful of fused matmul /
+  /// bias / activation ops per layer.
+  Nanoseconds DnnOverhead(std::uint32_t num_layers) const {
+    return 6.0 * static_cast<double>(num_layers) * per_invocation_ns;
+  }
+};
+
+}  // namespace microrec

@@ -1,0 +1,88 @@
+#include "cpu/paper_baseline.hpp"
+
+#include <array>
+
+namespace microrec {
+
+namespace {
+
+struct Anchor {
+  std::uint32_t batch;
+  double value;
+};
+
+constexpr std::array<std::uint32_t, 6> kBatches = {1, 64, 256, 512, 1024, 2048};
+
+// Paper Table 2, "Latency (ms)".
+constexpr std::array<double, 6> kEndToEndMsSmall = {3.34,  5.41,  8.15,
+                                                    11.15, 17.17, 28.18};
+constexpr std::array<double, 6> kEndToEndMsLarge = {7.48,  10.23, 15.62,
+                                                    21.06, 31.72, 56.98};
+
+// Paper Table 2, "Throughput (items/s)".
+constexpr std::array<double, 6> kThroughputSmall = {299.71,  1.18e4, 3.14e4,
+                                                    4.59e4,  5.96e4, 7.27e4};
+constexpr std::array<double, 6> kThroughputLarge = {133.68, 6.26e3, 1.64e4,
+                                                    2.43e4, 3.23e4, 3.59e4};
+
+// Paper Table 4, embedding layer "Latency (ms)".
+constexpr std::array<double, 6> kEmbeddingMsSmall = {2.59, 3.86, 4.71,
+                                                     5.96, 8.39, 12.96};
+constexpr std::array<double, 6> kEmbeddingMsLarge = {6.25,  8.05,  10.92,
+                                                     13.67, 18.11, 31.25};
+
+StatusOr<std::size_t> BatchIndex(std::uint32_t batch) {
+  for (std::size_t i = 0; i < kBatches.size(); ++i) {
+    if (kBatches[i] == batch) return i;
+  }
+  return Status::NotFound("batch size " + std::to_string(batch) +
+                          " not in the paper's evaluation grid");
+}
+
+}  // namespace
+
+const std::vector<std::uint32_t>& PaperBatchSizes() {
+  static const std::vector<std::uint32_t> sizes(kBatches.begin(),
+                                                kBatches.end());
+  return sizes;
+}
+
+StatusOr<Nanoseconds> PaperEndToEndLatency(bool large_model,
+                                           std::uint32_t batch) {
+  auto idx = BatchIndex(batch);
+  if (!idx.ok()) return idx.status();
+  const auto& ms = large_model ? kEndToEndMsLarge : kEndToEndMsSmall;
+  return Milliseconds(ms[*idx]);
+}
+
+StatusOr<double> PaperEndToEndThroughput(bool large_model,
+                                         std::uint32_t batch) {
+  auto idx = BatchIndex(batch);
+  if (!idx.ok()) return idx.status();
+  const auto& tp = large_model ? kThroughputLarge : kThroughputSmall;
+  return tp[*idx];
+}
+
+StatusOr<Nanoseconds> PaperEmbeddingLatency(bool large_model,
+                                            std::uint32_t batch) {
+  auto idx = BatchIndex(batch);
+  if (!idx.ok()) return idx.status();
+  const auto& ms = large_model ? kEmbeddingMsLarge : kEmbeddingMsSmall;
+  return Milliseconds(ms[*idx]);
+}
+
+StatusOr<Nanoseconds> FacebookEmbeddingBaseline(std::uint32_t num_tables,
+                                                std::uint32_t vec_len) {
+  if (num_tables < 8 || num_tables > 12) {
+    return Status::OutOfRange("DLRM-RMC2 has 8-12 tables");
+  }
+  if (vec_len < 4 || vec_len > 64) {
+    return Status::OutOfRange("assumed vector lengths are 4-64");
+  }
+  // Back-derived from Table 5: lookup latency x reported speedup is
+  // ~24.2 us per item across every configuration -- a single published
+  // per-item embedding-stage cost (Broadwell server, batch 256).
+  return Nanoseconds(24190.0);
+}
+
+}  // namespace microrec

@@ -1,0 +1,40 @@
+// The paper's published CPU baseline measurements (16 vCPU Xeon E5-2686 v4,
+// AVX2, 8-channel 128 GB DRAM, TensorFlow Serving).
+//
+// Benches report speedups against these anchors so that the reproduction's
+// comparison basis matches the paper even though this host's CPU differs;
+// the measured-on-this-host numbers are printed alongside.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace microrec {
+
+/// Batch sizes the paper evaluates in Tables 2 and 4.
+const std::vector<std::uint32_t>& PaperBatchSizes();
+
+/// End-to-end inference latency per batch (paper Table 2, "Latency (ms)").
+/// `large_model` selects between the two production models.
+StatusOr<Nanoseconds> PaperEndToEndLatency(bool large_model,
+                                           std::uint32_t batch);
+
+/// End-to-end throughput in items/s (paper Table 2).
+StatusOr<double> PaperEndToEndThroughput(bool large_model,
+                                         std::uint32_t batch);
+
+/// Embedding-layer latency per batch (paper Table 4, "Latency (ms)").
+StatusOr<Nanoseconds> PaperEmbeddingLatency(bool large_model,
+                                            std::uint32_t batch);
+
+/// Facebook's published DLRM-RMC2 embedding baseline, derived from the
+/// paper's Table 5 (lookup latency x reported speedup at the stated
+/// configuration): per-item embedding latency at batch 256 for
+/// `num_tables` in {8, 12} and `vec_len` in {4, 8, 16, 32, 64}.
+StatusOr<Nanoseconds> FacebookEmbeddingBaseline(std::uint32_t num_tables,
+                                                std::uint32_t vec_len);
+
+}  // namespace microrec

@@ -1,0 +1,59 @@
+#include "embedding/cartesian.hpp"
+
+#include <cstring>
+
+namespace microrec {
+
+StatusOr<CartesianProductTable> CartesianProductTable::Materialize(
+    std::vector<EmbeddingTable> members, Bytes max_bytes) {
+  if (members.empty()) {
+    return Status::InvalidArgument("Cartesian product needs >= 1 member");
+  }
+  std::vector<TableSpec> specs;
+  specs.reserve(members.size());
+  for (const auto& m : members) {
+    if (!m.fully_materialized()) {
+      return Status::FailedPrecondition(
+          "Cartesian materialization requires fully materialized members "
+          "(table " + m.spec().name + " is capped)");
+    }
+    specs.push_back(m.spec());
+  }
+  CombinedTable combined(specs);
+  const Bytes bytes =
+      combined.rows() * static_cast<Bytes>(combined.dim()) * sizeof(float);
+  if (bytes > max_bytes) {
+    return Status::ResourceExhausted(
+        "product " + combined.DebugName() + " needs " + FormatBytes(bytes) +
+        " > limit " + FormatBytes(max_bytes));
+  }
+
+  CartesianProductTable table;
+  table.combined_ = std::move(combined);
+  table.data_.resize(table.combined_.rows() * table.combined_.dim());
+
+  // Enumerate combined rows in row-major member order and concatenate.
+  const std::uint64_t total_rows = table.combined_.rows();
+  const std::uint32_t dim = table.combined_.dim();
+  for (std::uint64_t row = 0; row < total_rows; ++row) {
+    const std::vector<std::uint64_t> member_rows =
+        table.combined_.DecomposeRowIndex(row);
+    float* dst = table.data_.data() + row * dim;
+    std::size_t offset = 0;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const std::span<const float> vec = members[m].Lookup(member_rows[m]);
+      std::memcpy(dst + offset, vec.data(), vec.size() * sizeof(float));
+      offset += vec.size();
+    }
+  }
+  table.members_ = std::move(members);
+  return table;
+}
+
+std::span<const float> CartesianProductTable::Lookup(
+    std::uint64_t combined_row) const {
+  MICROREC_CHECK(combined_row < rows());
+  return {data_.data() + combined_row * dim(), dim()};
+}
+
+}  // namespace microrec

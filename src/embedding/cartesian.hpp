@@ -1,0 +1,54 @@
+// Materialized Cartesian-product tables (paper figure 5).
+//
+// A product table physically stores, for every combination of member rows,
+// the concatenation of the member vectors -- so one memory access retrieves
+// all member embeddings. This file provides the materialized form used for
+// functional verification and CPU measurement; the spec-level math lives in
+// table_spec.hpp (CombinedTable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "embedding/embedding_table.hpp"
+#include "embedding/table_spec.hpp"
+
+namespace microrec {
+
+class CartesianProductTable {
+ public:
+  /// Builds the physical product of fully materialized member tables.
+  /// Fails (InvalidArgument / ResourceExhausted) if a member is only
+  /// partially materialized or the product exceeds `max_bytes`.
+  static StatusOr<CartesianProductTable> Materialize(
+      std::vector<EmbeddingTable> members, Bytes max_bytes = 1_GiB);
+
+  const CombinedTable& combined() const { return combined_; }
+  const std::vector<EmbeddingTable>& members() const { return members_; }
+
+  std::uint64_t rows() const { return combined_.rows(); }
+  std::uint32_t dim() const { return combined_.dim(); }
+  Bytes MaterializedBytes() const {
+    return rows() * static_cast<Bytes>(dim()) * sizeof(float);
+  }
+
+  /// The stored (concatenated) vector at a combined row index.
+  std::span<const float> Lookup(std::uint64_t combined_row) const;
+
+  /// The combined row index for per-member row indices; pass the result to
+  /// Lookup. This is the index arithmetic the accelerator performs when a
+  /// sparse feature group maps to a product table.
+  std::uint64_t RowIndexOf(const std::vector<std::uint64_t>& member_rows) const {
+    return combined_.CombinedRowIndex(member_rows);
+  }
+
+ private:
+  CartesianProductTable() = default;
+
+  CombinedTable combined_;
+  std::vector<EmbeddingTable> members_;
+  std::vector<float> data_;  // row-major [rows x dim]
+};
+
+}  // namespace microrec

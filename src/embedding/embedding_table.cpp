@@ -1,0 +1,64 @@
+#include "embedding/embedding_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace microrec {
+
+EmbeddingTable EmbeddingTable::Materialize(const TableSpec& spec,
+                                           std::uint64_t seed,
+                                           std::uint64_t max_physical_rows) {
+  MICROREC_CHECK(spec.Validate().ok());
+  MICROREC_CHECK(max_physical_rows >= 1);
+  EmbeddingTable table;
+  table.spec_ = spec;
+  table.seed_ = seed;
+  table.physical_rows_ = std::min<std::uint64_t>(spec.rows, max_physical_rows);
+  table.data_.resize(table.physical_rows_ * spec.dim);
+  for (std::uint64_t r = 0; r < table.physical_rows_; ++r) {
+    float* row = table.data_.data() + r * spec.dim;
+    for (std::uint32_t c = 0; c < spec.dim; ++c) {
+      row[c] = ReferenceValue(seed, r, c);
+    }
+  }
+  return table;
+}
+
+std::span<const float> EmbeddingTable::Lookup(std::uint64_t row) const {
+  MICROREC_CHECK(row < spec_.rows);
+  const std::uint64_t physical = row % physical_rows_;
+  return {data_.data() + physical * spec_.dim, spec_.dim};
+}
+
+float EmbeddingTable::ReferenceValue(std::uint64_t seed, std::uint64_t row,
+                                     std::uint32_t col) {
+  // One SplitMix64 step over a mixed key: cheap, stateless, well distributed.
+  std::uint64_t key = seed ^ (row * 0x9e3779b97f4a7c15ull) ^
+                      (static_cast<std::uint64_t>(col) * 0xc2b2ae3d27d4eb4full);
+  const std::uint64_t bits = SplitMix64(key);
+  // Map to (-0.25, 0.25).
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0,1)
+  return static_cast<float>((unit - 0.5) * 0.5);
+}
+
+void GatherConcat(std::span<const EmbeddingTable> tables,
+                  std::span<const std::uint64_t> indices,
+                  std::span<float> out) {
+  MICROREC_CHECK(tables.size() == indices.size());
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const std::span<const float> vec = tables[t].Lookup(indices[t]);
+    MICROREC_CHECK(offset + vec.size() <= out.size());
+    std::memcpy(out.data() + offset, vec.data(), vec.size() * sizeof(float));
+    offset += vec.size();
+  }
+  MICROREC_CHECK(offset == out.size());
+}
+
+std::uint32_t ConcatDim(std::span<const EmbeddingTable> tables) {
+  std::uint32_t dim = 0;
+  for (const auto& t : tables) dim += t.spec().dim;
+  return dim;
+}
+
+}  // namespace microrec

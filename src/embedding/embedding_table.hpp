@@ -1,0 +1,71 @@
+// Materialized embedding tables with deterministic synthetic contents.
+//
+// Contents are a pure function of (seed, row, col) so that any two
+// materializations of the same spec agree, and so that a Cartesian product
+// table can be checked entry-by-entry against its members without reading
+// the members' storage.
+//
+// Physical row capping: production tables reach hundreds of millions of
+// rows; a materialization may cap physical rows (lookups wrap modulo the
+// cap). The cap affects only host memory use -- all size accounting and
+// placement decisions use the spec's virtual sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "embedding/table_spec.hpp"
+
+namespace microrec {
+
+class EmbeddingTable {
+ public:
+  /// Materializes min(spec.rows, max_physical_rows) rows of deterministic
+  /// content derived from `seed`.
+  static EmbeddingTable Materialize(const TableSpec& spec, std::uint64_t seed,
+                                    std::uint64_t max_physical_rows =
+                                        std::uint64_t(1) << 22);
+
+  const TableSpec& spec() const { return spec_; }
+  std::uint64_t physical_rows() const { return physical_rows_; }
+  std::uint64_t seed() const { return seed_; }
+  bool fully_materialized() const { return physical_rows_ == spec_.rows; }
+
+  /// The embedding vector for a (virtual) row index; indices beyond the
+  /// physical cap wrap. Never fails for row < spec().rows.
+  std::span<const float> Lookup(std::uint64_t row) const;
+
+  /// Ground-truth content function: what Lookup(row)[col] returns for a
+  /// fully materialized table. Deterministic in (seed, row, col); values
+  /// are in (-0.25, 0.25) so MLP pre-activations stay in fixed-point range.
+  static float ReferenceValue(std::uint64_t seed, std::uint64_t row,
+                              std::uint32_t col);
+
+  /// Physical bytes actually allocated.
+  Bytes MaterializedBytes() const {
+    return physical_rows_ * spec_.VectorBytes();
+  }
+
+ private:
+  EmbeddingTable() = default;
+
+  TableSpec spec_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t physical_rows_ = 0;
+  std::vector<float> data_;  // row-major [physical_rows_ x dim]
+};
+
+/// Gathers the vectors for `indices` (one per table, in order) from
+/// `tables` and concatenates them into `out`. This is the CPU baseline's
+/// embedding layer kernel. `out` must be exactly the concatenated length.
+void GatherConcat(std::span<const EmbeddingTable> tables,
+                  std::span<const std::uint64_t> indices,
+                  std::span<float> out);
+
+/// Sum of the dims of `tables` (the concatenated feature length).
+std::uint32_t ConcatDim(std::span<const EmbeddingTable> tables);
+
+}  // namespace microrec

@@ -1,0 +1,42 @@
+#include "embedding/hot_cache.hpp"
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+EmbeddingCacheSim::EmbeddingCacheSim(Bytes capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool EmbeddingCacheSim::Access(std::uint32_t table_id, std::uint64_t row,
+                               Bytes entry_bytes) {
+  MICROREC_CHECK(entry_bytes > 0);
+  const Key key{table_id, row};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return true;
+  }
+  ++stats_.misses;
+  if (entry_bytes > capacity_) return false;  // uncacheable
+
+  while (stats_.bytes_cached + entry_bytes > capacity_) {
+    const Entry& victim = lru_.back();
+    stats_.bytes_cached -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, entry_bytes});
+  index_[key] = lru_.begin();
+  stats_.bytes_cached += entry_bytes;
+  return false;
+}
+
+void EmbeddingCacheSim::Clear() {
+  lru_.clear();
+  index_.clear();
+  stats_.bytes_cached = 0;
+}
+
+}  // namespace microrec

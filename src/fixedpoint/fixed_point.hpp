@@ -1,0 +1,151 @@
+// Saturating Q-format fixed-point arithmetic.
+//
+// MicroRec's FPGA datapath computes in 16-bit and 32-bit fixed point
+// (paper Table 2 / Table 6: "fixed-point 16", "fixed-point 32"). This header
+// provides a compile-time Q-format type used by the accelerator's functional
+// simulation, so the numbers we produce go through the same
+// quantize -> multiply -> accumulate -> saturate path the hardware would.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace microrec {
+
+namespace internal {
+template <int Bits>
+struct IntOfSize;
+template <>
+struct IntOfSize<16> {
+  using type = std::int16_t;
+  using wide = std::int32_t;
+};
+template <>
+struct IntOfSize<32> {
+  using type = std::int32_t;
+  using wide = std::int64_t;
+};
+}  // namespace internal
+
+/// Signed fixed-point value with `TotalBits` storage bits of which
+/// `FracBits` are fractional (Q(TotalBits-1-FracBits).FracBits). All
+/// arithmetic saturates instead of wrapping, matching DSP-block behaviour.
+template <int TotalBits, int FracBits>
+class FixedPoint {
+  static_assert(TotalBits == 16 || TotalBits == 32,
+                "only 16/32-bit fixed point is modelled");
+  static_assert(FracBits >= 0 && FracBits < TotalBits,
+                "fractional bits must fit in the word");
+
+ public:
+  using Storage = typename internal::IntOfSize<TotalBits>::type;
+  using Wide = typename internal::IntOfSize<TotalBits>::wide;
+
+  static constexpr int kTotalBits = TotalBits;
+  static constexpr int kFracBits = FracBits;
+  static constexpr double kScale = static_cast<double>(1ll << FracBits);
+  static constexpr Storage kRawMax = std::numeric_limits<Storage>::max();
+  static constexpr Storage kRawMin = std::numeric_limits<Storage>::min();
+
+  constexpr FixedPoint() = default;
+
+  /// Quantizes a real number (round-to-nearest, saturating).
+  static FixedPoint FromDouble(double v) {
+    const double scaled = v * kScale;
+    const double rounded =
+        scaled >= 0.0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+    return FromWideSaturating(static_cast<Wide>(std::clamp(
+        rounded, static_cast<double>(kRawMin), static_cast<double>(kRawMax))));
+  }
+  static FixedPoint FromFloat(float v) {
+    return FromDouble(static_cast<double>(v));
+  }
+  static constexpr FixedPoint FromRaw(Storage raw) {
+    FixedPoint fp;
+    fp.raw_ = raw;
+    return fp;
+  }
+
+  constexpr Storage raw() const { return raw_; }
+  constexpr double ToDouble() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+  constexpr float ToFloat() const { return static_cast<float>(ToDouble()); }
+
+  /// Largest / smallest representable values.
+  static constexpr FixedPoint Max() { return FromRaw(kRawMax); }
+  static constexpr FixedPoint Min() { return FromRaw(kRawMin); }
+  /// Quantization step.
+  static constexpr double Epsilon() { return 1.0 / kScale; }
+
+  constexpr FixedPoint operator+(FixedPoint other) const {
+    return FromWideSaturating(static_cast<Wide>(raw_) +
+                              static_cast<Wide>(other.raw_));
+  }
+  constexpr FixedPoint operator-(FixedPoint other) const {
+    return FromWideSaturating(static_cast<Wide>(raw_) -
+                              static_cast<Wide>(other.raw_));
+  }
+  /// Fixed-point multiply: wide product, round-to-nearest on the dropped
+  /// fractional bits, then saturate back to storage width.
+  constexpr FixedPoint operator*(FixedPoint other) const {
+    Wide prod = static_cast<Wide>(raw_) * static_cast<Wide>(other.raw_);
+    if constexpr (FracBits > 0) {
+      // Round-half-away-from-zero on the FracBits being dropped. The shift
+      // is applied to the magnitude: an arithmetic right shift of a biased
+      // negative value would round toward -inf instead.
+      const Wide bias = static_cast<Wide>(1) << (FracBits - 1);
+      prod = prod >= 0 ? (prod + bias) >> FracBits
+                       : -((-prod + bias) >> FracBits);
+    }
+    return FromWideSaturating(prod);
+  }
+  constexpr FixedPoint operator-() const {
+    return FromWideSaturating(-static_cast<Wide>(raw_));
+  }
+
+  constexpr FixedPoint& operator+=(FixedPoint other) {
+    *this = *this + other;
+    return *this;
+  }
+  constexpr FixedPoint& operator-=(FixedPoint other) {
+    *this = *this - other;
+    return *this;
+  }
+  constexpr FixedPoint& operator*=(FixedPoint other) {
+    *this = *this * other;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const FixedPoint&) const = default;
+
+ private:
+  static constexpr FixedPoint FromWideSaturating(Wide w) {
+    const Wide clamped = std::clamp<Wide>(w, kRawMin, kRawMax);
+    return FromRaw(static_cast<Storage>(clamped));
+  }
+
+  Storage raw_ = 0;
+};
+
+/// The two precisions evaluated in the paper. Q5.10 / Q15.16 keep the
+/// integer range needed by the (1024,512,256) MLP's pre-activation sums
+/// while maximising fractional resolution.
+using Fixed16 = FixedPoint<16, 10>;
+using Fixed32 = FixedPoint<32, 16>;
+
+/// Runtime tag for the two hardware precisions.
+enum class Precision { kFixed16, kFixed32 };
+
+constexpr int BitsOf(Precision p) {
+  return p == Precision::kFixed16 ? 16 : 32;
+}
+constexpr const char* PrecisionName(Precision p) {
+  return p == Precision::kFixed16 ? "fixed16" : "fixed32";
+}
+
+}  // namespace microrec

@@ -1,0 +1,56 @@
+// Bulk float <-> fixed-point conversion and quantization-error analysis.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fixedpoint/fixed_point.hpp"
+
+namespace microrec {
+
+/// Quantizes a float span to fixed point.
+template <typename Fixed>
+std::vector<Fixed> Quantize(std::span<const float> values) {
+  std::vector<Fixed> out;
+  out.reserve(values.size());
+  for (float v : values) out.push_back(Fixed::FromFloat(v));
+  return out;
+}
+
+/// Dequantizes back to float.
+template <typename Fixed>
+std::vector<float> Dequantize(std::span<const Fixed> values) {
+  std::vector<float> out;
+  out.reserve(values.size());
+  for (Fixed v : values) out.push_back(v.ToFloat());
+  return out;
+}
+
+/// Summary of the error introduced by one quantization round trip.
+struct QuantizationError {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+  double rmse = 0.0;
+};
+
+/// Measures round-trip error of quantizing `values` to `Fixed`.
+template <typename Fixed>
+QuantizationError MeasureQuantizationError(std::span<const float> values) {
+  QuantizationError err;
+  if (values.empty()) return err;
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  for (float v : values) {
+    const double q = Fixed::FromFloat(v).ToDouble();
+    const double e = std::abs(static_cast<double>(v) - q);
+    err.max_abs = std::max(err.max_abs, e);
+    sum_abs += e;
+    sum_sq += e * e;
+  }
+  err.mean_abs = sum_abs / static_cast<double>(values.size());
+  err.rmse = std::sqrt(sum_sq / static_cast<double>(values.size()));
+  return err;
+}
+
+}  // namespace microrec

@@ -1,0 +1,39 @@
+#include "fpga/config.hpp"
+
+namespace microrec {
+
+Status AcceleratorConfig::Validate() const {
+  if (layers.empty()) {
+    return Status::InvalidArgument("AcceleratorConfig: no layer PE configs");
+  }
+  for (const auto& l : layers) {
+    if (l.num_pes == 0 || l.mults_per_pe == 0) {
+      return Status::InvalidArgument(
+          "AcceleratorConfig: layer PE/mult counts must be >= 1");
+    }
+  }
+  if (clock.freq_mhz <= 0.0) {
+    return Status::InvalidArgument("AcceleratorConfig: clock must be > 0");
+  }
+  return Status::Ok();
+}
+
+AcceleratorConfig AcceleratorConfig::PaperConfig(Precision precision,
+                                                 bool large_model) {
+  AcceleratorConfig config;
+  config.precision = precision;
+  // Effective parallel multipliers per PE: fitted to the published
+  // throughput (DESIGN.md section 5): ~10 16-bit or ~5 32-bit multiplies
+  // per cycle out of the 14 / 18 DSP slices a PE consumes.
+  const std::uint32_t mults = precision == Precision::kFixed16 ? 10 : 5;
+  config.layers = {LayerPeConfig{128, mults}, LayerPeConfig{128, mults},
+                   LayerPeConfig{32, mults}};
+  if (precision == Precision::kFixed16) {
+    config.clock = ClockSpec{120.0};
+  } else {
+    config.clock = ClockSpec{large_model ? 135.0 : 140.0};
+  }
+  return config;
+}
+
+}  // namespace microrec

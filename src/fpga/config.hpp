@@ -1,0 +1,55 @@
+// Accelerator build configuration (paper section 4 and Table 6).
+//
+// One configuration corresponds to one synthesized bitstream: a precision,
+// a clock, and per-FC-layer PE provisioning. PaperConfig() reproduces the
+// published build: 128 / 128 / 32 PEs for the three hidden layers at
+// 120 MHz (fixed16) or 135-140 MHz (fixed32).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "fixedpoint/fixed_point.hpp"
+
+namespace microrec {
+
+/// PE provisioning for one FC layer's GEMM stage.
+struct LayerPeConfig {
+  std::uint32_t num_pes = 0;
+  /// Parallel multipliers per PE feeding its add tree. Derived from the
+  /// DSP budget per PE (appendix: 14 DSPs per fixed16 PE, 18 per fixed32
+  /// PE; a 32-bit multiply consumes several DSP48s, a 16-bit one roughly
+  /// one, hence the asymmetry).
+  std::uint32_t mults_per_pe = 0;
+
+  std::uint64_t macs_per_cycle() const {
+    return static_cast<std::uint64_t>(num_pes) * mults_per_pe;
+  }
+};
+
+struct AcceleratorConfig {
+  Precision precision = Precision::kFixed16;
+  ClockSpec clock{120.0};
+  std::vector<LayerPeConfig> layers;
+
+  /// Fixed pipeline-stage overheads in cycles (paper 4.1: each FC module
+  /// splits into feature broadcasting / GEMM / result gathering).
+  std::uint32_t broadcast_cycles = 16;
+  std::uint32_t gather_cycles = 16;
+  /// Sigmoid head + result writeback.
+  std::uint32_t head_cycles = 16;
+  /// Add-tree drain + pipeline fill per GEMM stage.
+  std::uint32_t gemm_fixed_overhead_cycles = 8;
+
+  Status Validate() const;
+
+  /// The published build for a 3-hidden-layer model. `large_model` selects
+  /// the clock actually achieved after routing (Table 6: the large fixed32
+  /// build closes at 135 MHz instead of 140).
+  static AcceleratorConfig PaperConfig(Precision precision,
+                                       bool large_model = false);
+};
+
+}  // namespace microrec

@@ -1,0 +1,55 @@
+#include "fpga/dataflow_sim.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+DataflowPipeline::DataflowPipeline(std::vector<StageTiming> stages)
+    : stages_(std::move(stages)) {
+  MICROREC_CHECK(!stages_.empty());
+}
+
+DataflowRunResult DataflowPipeline::Run(
+    const std::vector<Nanoseconds>& arrivals,
+    const StageLatencyOverride& override_fn) const {
+  const std::size_t n = arrivals.size();
+  const std::size_t s = stages_.size();
+
+  DataflowRunResult result;
+  result.items.resize(n);
+  result.stages.reserve(s);
+  for (const auto& stage : stages_) {
+    result.stages.push_back(DataflowStageStats{stage.name, 0.0, 0});
+  }
+  if (n == 0) return result;
+
+  // exit_prev[j]: when the previous item left stage j (stage busy until then).
+  std::vector<Nanoseconds> exit_prev(s, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    MICROREC_CHECK(i == 0 || arrivals[i] >= arrivals[i - 1]);
+    Nanoseconds ready = arrivals[i];  // item ready to enter stage 0
+    for (std::size_t j = 0; j < s; ++j) {
+      const Nanoseconds enter = std::max(ready, exit_prev[j]);
+      Nanoseconds service = stages_[j].latency_ns;
+      if (override_fn) {
+        const Nanoseconds t = override_fn(i, j, enter);
+        if (t >= 0.0) service = t;
+      }
+      const Nanoseconds exit = enter + service;
+      if (j == 0) result.items[i].start_ns = enter;
+      exit_prev[j] = exit;
+      ready = exit;
+      result.stages[j].busy_ns += service;
+      result.stages[j].items += 1;
+    }
+    result.items[i].arrival_ns = arrivals[i];
+    result.items[i].completion_ns = ready;
+    result.makespan_ns = std::max(result.makespan_ns, ready);
+  }
+  return result;
+}
+
+}  // namespace microrec

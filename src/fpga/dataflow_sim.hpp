@@ -1,0 +1,83 @@
+// Discrete-event simulation of the deeply pipelined dataflow (figure 6).
+//
+// The analytic PipelineModel computes steady-state numbers in closed form;
+// this simulator executes the pipeline item by item -- each stage serves
+// one item at a time and stages are decoupled by FIFOs, as in the paper's
+// hardware -- and therefore captures fill/drain transients and *per-item
+// variable* stage latencies. The latter is what
+// couples the compute pipeline to the memory simulator: the embedding
+// stage's service time can differ per item (bank contention, multi-round
+// lookups), which no closed form captures.
+//
+// Property tests assert that with constant stage times the simulation
+// reproduces the analytic model exactly (item latency = sum of stages,
+// steady-state spacing = max stage, batch latency = fill + (B-1) * II).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fpga/pipeline_model.hpp"
+
+namespace microrec {
+
+/// Per-item result of a dataflow run.
+struct DataflowItemTiming {
+  Nanoseconds arrival_ns = 0.0;
+  Nanoseconds start_ns = 0.0;      ///< entered the first stage
+  Nanoseconds completion_ns = 0.0; ///< left the last stage
+
+  Nanoseconds latency_ns() const { return completion_ns - arrival_ns; }
+};
+
+/// Per-stage utilisation from a run.
+struct DataflowStageStats {
+  std::string name;
+  Nanoseconds busy_ns = 0.0;
+  std::uint64_t items = 0;
+};
+
+struct DataflowRunResult {
+  std::vector<DataflowItemTiming> items;
+  std::vector<DataflowStageStats> stages;
+  Nanoseconds makespan_ns = 0.0;
+
+  /// Items per second over the whole run (including fill/drain).
+  double throughput_items_per_s() const {
+    return makespan_ns > 0.0
+               ? static_cast<double>(items.size()) / ToSeconds(makespan_ns)
+               : 0.0;
+  }
+};
+
+/// Returns the service time of stage `stage` for item `item` entering the
+/// stage at `enter_ns`; return a negative value to keep the stage's default
+/// time. The enter timestamp is what lets an override issue requests
+/// against a stateful backend (the memory simulator) at the right moment.
+using StageLatencyOverride = std::function<Nanoseconds(
+    std::size_t item, std::size_t stage, Nanoseconds enter_ns)>;
+
+class DataflowPipeline {
+ public:
+  /// Builds from the analytic model's stage list (the two models share one
+  /// source of stage timings).
+  explicit DataflowPipeline(std::vector<StageTiming> stages);
+
+  std::size_t num_stages() const { return stages_.size(); }
+
+  /// Runs `arrivals.size()` items through the pipeline. An item enters
+  /// stage s when (a) it has left stage s-1 (or arrived, for s=0; the
+  /// inter-stage FIFO holds it meanwhile) and (b) the previous item has
+  /// left stage s. `override_fn`, when set, supplies per-item service
+  /// times (return < 0 to keep the default).
+  DataflowRunResult Run(const std::vector<Nanoseconds>& arrivals,
+                        const StageLatencyOverride& override_fn = nullptr) const;
+
+ private:
+  std::vector<StageTiming> stages_;
+};
+
+}  // namespace microrec

@@ -1,0 +1,66 @@
+#include "fpga/pipeline_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+Nanoseconds PipelineTiming::BatchLatency(std::uint64_t batch) const {
+  if (batch == 0) return 0.0;
+  return item_latency_ns +
+         static_cast<double>(batch - 1) * initiation_interval_ns;
+}
+
+PipelineTiming ComputePipelineTiming(const MlpSpec& mlp,
+                                     const AcceleratorConfig& config,
+                                     Nanoseconds embedding_latency_ns) {
+  MICROREC_CHECK(mlp.Validate().ok());
+  MICROREC_CHECK(config.Validate().ok());
+  MICROREC_CHECK(config.layers.size() == mlp.hidden.size());
+
+  PipelineTiming timing;
+  const Nanoseconds period = config.clock.period_ns();
+
+  auto add_stage = [&](std::string name, double cycles) {
+    timing.stages.push_back(StageTiming{std::move(name), cycles, cycles * period});
+  };
+
+  // Stage 0: embedding lookup + concatenation. Its latency comes from the
+  // memory system, expressed here in (fractional) fabric cycles.
+  timing.stages.push_back(StageTiming{"embedding_lookup",
+                                      embedding_latency_ns / period,
+                                      embedding_latency_ns});
+
+  for (std::size_t i = 0; i < mlp.hidden.size(); ++i) {
+    const LayerPeConfig& pe = config.layers[i];
+    add_stage("fc" + std::to_string(i) + "_broadcast", config.broadcast_cycles);
+    // Partial GEMM per PE: in*out MACs spread over num_pes * mults_per_pe
+    // multipliers, plus add-tree depth and pipeline fill.
+    const double mac_cycles =
+        std::ceil(static_cast<double>(mlp.LayerMacs(i)) /
+                  static_cast<double>(pe.macs_per_cycle()));
+    const double tree_depth = std::ceil(std::log2(std::max(2u, pe.mults_per_pe)));
+    add_stage("fc" + std::to_string(i) + "_gemm",
+              mac_cycles + tree_depth + config.gemm_fixed_overhead_cycles);
+    add_stage("fc" + std::to_string(i) + "_gather", config.gather_cycles);
+  }
+  add_stage("sigmoid_head", config.head_cycles);
+
+  timing.item_latency_ns = 0.0;
+  timing.initiation_interval_ns = 0.0;
+  for (const auto& stage : timing.stages) {
+    timing.item_latency_ns += stage.latency_ns;
+    timing.initiation_interval_ns =
+        std::max(timing.initiation_interval_ns, stage.latency_ns);
+  }
+  timing.throughput_items_per_s =
+      kNanosPerSecond / timing.initiation_interval_ns;
+  timing.ops_per_item = mlp.OpsPerItem();
+  timing.gops = static_cast<double>(timing.ops_per_item) *
+                timing.throughput_items_per_s / 1e9;
+  return timing;
+}
+
+}  // namespace microrec

@@ -1,0 +1,51 @@
+// Analytic timing model of the deeply pipelined accelerator
+// (paper section 4.1, figure 6).
+//
+// The dataflow is: embedding lookup -> [broadcast, GEMM, gather] per FC
+// layer -> sigmoid head, with FIFOs between stages. Items stream through
+// item-by-item (no batching), so:
+//   * initiation interval (II)  = the slowest stage's occupancy, which sets
+//     steady-state throughput = clock / II;
+//   * single-item latency       = the sum of all stage latencies;
+//   * batch latency (Table 2's comparison basis) = fill + (B-1) * II.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fpga/config.hpp"
+#include "nn/mlp.hpp"
+
+namespace microrec {
+
+struct StageTiming {
+  std::string name;
+  double cycles = 0.0;
+  Nanoseconds latency_ns = 0.0;
+};
+
+struct PipelineTiming {
+  std::vector<StageTiming> stages;
+  Nanoseconds item_latency_ns = 0.0;         ///< sum of stage latencies
+  Nanoseconds initiation_interval_ns = 0.0;  ///< max stage latency
+  double throughput_items_per_s = 0.0;
+  std::uint64_t ops_per_item = 0;
+  double gops = 0.0;  ///< ops_per_item * throughput / 1e9
+
+  /// End-to-end time to stream a batch of `batch` items through the
+  /// pipeline: one fill (item latency) plus (batch-1) initiation intervals.
+  Nanoseconds BatchLatency(std::uint64_t batch) const;
+};
+
+/// Computes pipeline timing for an MLP with a given embedding-lookup stage
+/// latency. `lookup_rounds` scales the embedding stage for multi-round
+/// models (figure 7): the embedding stage occupies the memory system for
+/// `embedding_latency_ns * lookup_rounds / 1` -- callers pass the
+/// already-multiplied latency when sweeping rounds.
+PipelineTiming ComputePipelineTiming(const MlpSpec& mlp,
+                                     const AcceleratorConfig& config,
+                                     Nanoseconds embedding_latency_ns);
+
+}  // namespace microrec

@@ -1,0 +1,65 @@
+// FPGA resource estimation (paper Table 6 and the AXI-width appendix).
+//
+// This is an HLS-style pre-synthesis estimate assembled from the per-PE
+// costs the paper reports (fixed16 PE: 4 BRAM18 + 14 DSP; fixed32 PE:
+// 7 BRAM18 + 18 DSP), FIFO costs that scale with the AXI interface width
+// (the appendix's argument for 32-bit interfaces), on-chip weight storage,
+// and fitted per-PE LUT/FF/URAM constants. The paper itself notes Vivado's
+// backend optimizes below the HLS estimate, so the bench prints estimate
+// vs. published side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "fpga/config.hpp"
+#include "nn/mlp.hpp"
+
+namespace microrec {
+
+/// Totals available on the target card, defaulting to the Alveo U280
+/// figures implied by the paper's utilisation percentages.
+struct FpgaResourceBudget {
+  std::uint32_t bram18 = 2016;
+  std::uint32_t dsp48 = 9024;
+  std::uint64_t flip_flops = 2607360;
+  std::uint64_t luts = 1303680;
+  std::uint32_t uram = 960;
+};
+
+struct ResourceEstimate {
+  std::uint32_t bram18 = 0;
+  std::uint32_t dsp48 = 0;
+  std::uint64_t flip_flops = 0;
+  std::uint64_t luts = 0;
+  std::uint32_t uram = 0;
+
+  double bram_pct(const FpgaResourceBudget& b) const;
+  double dsp_pct(const FpgaResourceBudget& b) const;
+  double ff_pct(const FpgaResourceBudget& b) const;
+  double lut_pct(const FpgaResourceBudget& b) const;
+  double uram_pct(const FpgaResourceBudget& b) const;
+
+  /// True iff every resource fits the budget.
+  bool Fits(const FpgaResourceBudget& b) const;
+
+  std::string ToString(const FpgaResourceBudget& b) const;
+};
+
+/// Inputs beyond the accelerator config that shape the estimate.
+struct ResourceModelInputs {
+  std::uint32_t dram_channels = 34;    ///< FIFO pairs to DRAM (32 HBM + 2 DDR)
+  std::uint32_t axi_width_bits = 32;   ///< appendix trade-off knob
+  Bytes onchip_table_bytes = 0;        ///< embedding tables cached on chip
+};
+
+/// BRAM18 slices for one DRAM-channel FIFO at a given AXI width; exposed
+/// for the AXI-width ablation bench.
+std::uint32_t FifoBram18PerChannel(std::uint32_t axi_width_bits);
+
+ResourceEstimate EstimateResources(const MlpSpec& mlp,
+                                   const AcceleratorConfig& config,
+                                   const ResourceModelInputs& inputs);
+
+}  // namespace microrec

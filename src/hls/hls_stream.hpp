@@ -1,0 +1,38 @@
+// Software model of an HLS stream (hls::stream<T>): the FIFO connecting
+// dataflow processes in the kernel (paper section 4.1: "BRAMs or registers
+// are applied to build pipes (FIFOs) as inter-module connections").
+//
+// The functional kernel model executes its dataflow processes in
+// topological order (each process runs to completion before its consumer),
+// so streams here are unbounded buffers with strict FIFO semantics and
+// underflow checking; cycle-accurate FIFO timing lives in
+// fpga/dataflow_sim.hpp, not here.
+#pragma once
+
+#include <deque>
+
+#include "common/status.hpp"
+
+namespace microrec::hls {
+
+template <typename T>
+class Stream {
+ public:
+  void Write(const T& value) { fifo_.push_back(value); }
+
+  /// Reading an empty stream is a deadlock in hardware; here it aborts.
+  T Read() {
+    MICROREC_CHECK(!fifo_.empty());
+    T value = std::move(fifo_.front());
+    fifo_.pop_front();
+    return value;
+  }
+
+  bool Empty() const { return fifo_.empty(); }
+  std::size_t Size() const { return fifo_.size(); }
+
+ private:
+  std::deque<T> fifo_;
+};
+
+}  // namespace microrec::hls

@@ -1,0 +1,267 @@
+#include "hls/kernel_model.hpp"
+
+#include <algorithm>
+
+namespace microrec::hls {
+
+namespace {
+
+/// Combined *physical* row index over the members' physical row counts
+/// (row-major, first member varies slowest) -- the address computation the
+/// lookup module performs for a product table.
+std::uint64_t CombinedPhysicalRow(
+    const std::vector<std::uint64_t>& member_rows,
+    const std::vector<std::uint64_t>& physical_rows) {
+  MICROREC_CHECK(member_rows.size() == physical_rows.size());
+  std::uint64_t index = 0;
+  for (std::size_t i = 0; i < member_rows.size(); ++i) {
+    index = index * physical_rows[i] + member_rows[i] % physical_rows[i];
+  }
+  return index;
+}
+
+}  // namespace
+
+template <typename Fixed>
+StatusOr<KernelModel<Fixed>> KernelModel<Fixed>::Build(
+    const RecModelSpec& model, const PlacementPlan& plan,
+    std::uint64_t max_physical_rows) {
+  MICROREC_RETURN_IF_ERROR(model.Validate());
+  if (model.lookups_per_table != 1) {
+    return Status::Unimplemented(
+        "kernel model supports single-lookup models (the production "
+        "configuration); use MicroRecEngine for multi-lookup models");
+  }
+
+  KernelModel kernel;
+  kernel.model_ = model;
+  kernel.feature_length_ = model.FeatureLength();
+
+  // Feature offsets by original table order.
+  std::vector<std::uint32_t> feature_offset(model.tables.size(), 0);
+  {
+    std::uint32_t offset = 0;
+    for (std::size_t t = 0; t < model.tables.size(); ++t) {
+      feature_offset[t] = offset;
+      offset += model.tables[t].dim;
+    }
+  }
+
+  // Materialized source tables (same seed scheme as every other engine).
+  std::vector<EmbeddingTable> sources;
+  sources.reserve(model.tables.size());
+  for (const auto& spec : model.tables) {
+    sources.push_back(EmbeddingTable::Materialize(
+        spec, TableContentSeed(model, spec.id), max_physical_rows));
+  }
+
+  // Find the largest bank index used by the plan.
+  std::uint32_t max_bank = 0;
+  for (const auto& p : plan.placements) max_bank = std::max(max_bank, p.bank);
+  kernel.banks_.resize(max_bank + 1);
+
+  kernel.address_map_.reserve(plan.placements.size());
+  for (const auto& placement : plan.placements) {
+    PlacedTableAddress addr;
+    addr.bank = placement.bank;
+    addr.base_element = kernel.banks_[placement.bank].size();
+    addr.vector_dim = placement.table.dim();
+
+    std::uint32_t element_offset = 0;
+    std::uint64_t physical_rows_product = 1;
+    for (std::size_t m = 0; m < placement.table.members().size(); ++m) {
+      const TableSpec& member = placement.table.members()[m];
+      MICROREC_CHECK(member.id < sources.size());
+      const std::uint64_t phys = sources[member.id].physical_rows();
+      addr.member_physical_rows.push_back(phys);
+      physical_rows_product *= phys;
+      MemberAddress ma;
+      ma.original_table_id = member.id;
+      ma.feature_offset = feature_offset[member.id];
+      ma.dim = member.dim;
+      ma.member_pos = static_cast<std::uint32_t>(m);
+      ma.element_offset = element_offset;
+      element_offset += member.dim;
+      addr.members.push_back(ma);
+    }
+
+    // Materialize this (possibly product) table's quantized rows into the
+    // bank array, row-major over the members' physical rows.
+    const std::uint64_t elements = physical_rows_product * addr.vector_dim;
+    if (elements > (std::uint64_t(1) << 28)) {
+      return Status::ResourceExhausted(
+          "placed table " + placement.table.DebugName() +
+          " needs " + std::to_string(elements) +
+          " elements; lower max_physical_rows");
+    }
+    auto& bank = kernel.banks_[placement.bank];
+    bank.reserve(bank.size() + elements);
+    std::vector<std::uint64_t> member_rows(addr.members.size(), 0);
+    for (std::uint64_t row = 0; row < physical_rows_product; ++row) {
+      // Decompose row over physical row counts.
+      std::uint64_t rest = row;
+      for (std::size_t m = addr.members.size(); m-- > 0;) {
+        member_rows[m] = rest % addr.member_physical_rows[m];
+        rest /= addr.member_physical_rows[m];
+      }
+      for (std::size_t m = 0; m < addr.members.size(); ++m) {
+        const auto vec =
+            sources[addr.members[m].original_table_id].Lookup(member_rows[m]);
+        for (float v : vec) bank.push_back(Fixed::FromFloat(v));
+      }
+    }
+    kernel.address_map_.push_back(std::move(addr));
+  }
+
+  // Original table id -> placed address.
+  kernel.by_table_.assign(model.tables.size(), nullptr);
+  for (const auto& addr : kernel.address_map_) {
+    for (const auto& member : addr.members) {
+      MICROREC_CHECK(kernel.by_table_[member.original_table_id] == nullptr);
+      kernel.by_table_[member.original_table_id] = &addr;
+    }
+  }
+  for (std::size_t t = 0; t < model.tables.size(); ++t) {
+    if (kernel.by_table_[t] == nullptr) {
+      return Status::InvalidArgument("plan does not place table " +
+                                     std::to_string(t));
+    }
+  }
+
+  // Quantized MLP parameters, identical derivation to the other engines.
+  const MlpModel float_mlp = MlpModel::Create(model.mlp, MlpWeightSeed(model));
+  const std::size_t layers = model.mlp.hidden.size();
+  kernel.weights_.resize(layers);
+  kernel.biases_.resize(layers);
+  for (std::size_t i = 0; i < layers; ++i) {
+    for (float v : float_mlp.weights(i).flat()) {
+      kernel.weights_[i].push_back(Fixed::FromFloat(v));
+    }
+    for (float v : float_mlp.biases(i)) {
+      kernel.biases_[i].push_back(Fixed::FromFloat(v));
+    }
+  }
+  for (float v : float_mlp.head_weights().flat()) {
+    kernel.head_weights_.push_back(Fixed::FromFloat(v));
+  }
+  kernel.head_bias_ = Fixed::FromFloat(float_mlp.head_bias());
+  return kernel;
+}
+
+template <typename Fixed>
+Status KernelModel<Fixed>::LookupProcess(const SparseQuery& query,
+                                         Stream<Fixed>& feature_stream) const {
+  if (query.indices.size() != model_.tables.size()) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(query.indices.size()) +
+        " indices, expected " + std::to_string(model_.tables.size()));
+  }
+  for (std::size_t t = 0; t < model_.tables.size(); ++t) {
+    if (query.indices[t] >= model_.tables[t].rows) {
+      return Status::OutOfRange("index out of range for table " +
+                                model_.tables[t].name);
+    }
+  }
+
+  std::vector<Fixed> features(feature_length_);
+  for (const auto& addr : address_map_) {
+    // Address computation: gather the member indices, fold into one
+    // combined row, read the contiguous (product) vector once.
+    std::vector<std::uint64_t> member_rows;
+    member_rows.reserve(addr.members.size());
+    for (const auto& member : addr.members) {
+      member_rows.push_back(query.indices[member.original_table_id]);
+    }
+    const std::uint64_t row =
+        CombinedPhysicalRow(member_rows, addr.member_physical_rows);
+    const Fixed* vec =
+        banks_[addr.bank].data() + addr.base_element + row * addr.vector_dim;
+    // Scatter member segments to their feature positions.
+    for (const auto& member : addr.members) {
+      for (std::uint32_t d = 0; d < member.dim; ++d) {
+        features[member.feature_offset + d] = vec[member.element_offset + d];
+      }
+    }
+  }
+  for (Fixed v : features) feature_stream.Write(v);
+  return Status::Ok();
+}
+
+template <typename Fixed>
+void KernelModel<Fixed>::FcProcess(std::size_t layer, Stream<Fixed>& in,
+                                   Stream<Fixed>& out) const {
+  const std::uint32_t in_dim = model_.mlp.LayerInputDim(layer);
+  const std::uint32_t out_dim = model_.mlp.hidden[layer];
+
+  // Feature broadcast: drain the input stream into the PE-local buffer.
+  std::vector<Fixed> activ(in_dim);
+  for (std::uint32_t i = 0; i < in_dim; ++i) activ[i] = in.Read();
+
+  // Partial GEMM per output neuron: parallel multiplies feeding an add
+  // tree with a wide accumulator, saturating writeback, bias, ReLU.
+  const Fixed* w = weights_[layer].data();
+  for (std::uint32_t j = 0; j < out_dim; ++j) {
+    std::int64_t acc = 0;
+    for (std::uint32_t i = 0; i < in_dim; ++i) {
+      acc += static_cast<std::int64_t>(activ[i].raw()) *
+             static_cast<std::int64_t>(w[i * out_dim + j].raw());
+    }
+    Fixed sum = SaturateFromWideProductSum<Fixed>(acc);
+    sum += biases_[layer][j];
+    if (sum < Fixed()) sum = Fixed();  // ReLU
+    out.Write(sum);  // result gathering
+  }
+}
+
+template <typename Fixed>
+float KernelModel<Fixed>::HeadProcess(Stream<Fixed>& in) const {
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < head_weights_.size(); ++j) {
+    acc += static_cast<std::int64_t>(in.Read().raw()) *
+           static_cast<std::int64_t>(head_weights_[j].raw());
+  }
+  Fixed logit = SaturateFromWideProductSum<Fixed>(acc);
+  logit += head_bias_;
+  return Sigmoid(logit.ToFloat());
+}
+
+template <typename Fixed>
+StatusOr<float> KernelModel<Fixed>::Run(const SparseQuery& query) const {
+  // Dataflow region: processes connected by streams, executed in
+  // topological order (see hls_stream.hpp).
+  Stream<Fixed> features;
+  MICROREC_RETURN_IF_ERROR(LookupProcess(query, features));
+
+  std::vector<Stream<Fixed>> fc_streams(model_.mlp.hidden.size());
+  Stream<Fixed>* current = &features;
+  for (std::size_t layer = 0; layer < model_.mlp.hidden.size(); ++layer) {
+    FcProcess(layer, *current, fc_streams[layer]);
+    current = &fc_streams[layer];
+  }
+  return HeadProcess(*current);
+}
+
+template <typename Fixed>
+StatusOr<std::vector<float>> KernelModel<Fixed>::RunBatch(
+    std::span<const SparseQuery> queries) const {
+  std::vector<float> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    StatusOr<float> ctr = Run(q);
+    if (!ctr.ok()) return ctr.status();
+    out.push_back(*ctr);
+  }
+  return out;
+}
+
+template <typename Fixed>
+std::uint64_t KernelModel<Fixed>::total_bank_elements() const {
+  std::uint64_t total = 0;
+  for (const auto& bank : banks_) total += bank.size();
+  return total;
+}
+
+template class KernelModel<Fixed16>;
+template class KernelModel<Fixed32>;
+
+}  // namespace microrec::hls

@@ -1,0 +1,107 @@
+// Functional model of the MicroRec Vitis kernel (paper section 4),
+// structured the way the HLS design is: an embedding lookup module reading
+// from per-bank memories, FC modules built from PEs with add trees,
+// connected by streams, processing queries item by item.
+//
+// Unlike MicroRecEngine::Infer (which gathers float vectors and quantizes
+// at the MLP boundary), this model stores *quantized* embedding vectors in
+// per-bank arrays laid out exactly as the placement plan maps tables to
+// channels -- including materialized Cartesian-product rows -- and performs
+// the hardware's address arithmetic: a product lookup computes the combined
+// row index from its member indices and reads one contiguous vector.
+// A test asserts bit-identical CTR outputs against MicroRecEngine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "embedding/embedding_table.hpp"
+#include "fixedpoint/fixed_point.hpp"
+#include "hls/hls_stream.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quantized_mlp.hpp"
+#include "placement/plan.hpp"
+#include "tensor/activations.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec::hls {
+
+/// Where one member table's vector lives inside a bank and inside the
+/// concatenated feature vector.
+struct MemberAddress {
+  std::uint32_t original_table_id = 0;
+  std::uint32_t feature_offset = 0;   ///< start in the concatenated vector
+  std::uint32_t dim = 0;
+  std::uint32_t member_pos = 0;       ///< position within the combined table
+  std::uint32_t element_offset = 0;   ///< offset within the combined vector
+};
+
+/// One placed (possibly product) table inside a bank memory.
+struct PlacedTableAddress {
+  std::uint32_t bank = 0;
+  std::uint64_t base_element = 0;     ///< start of this table in the bank array
+  std::uint32_t vector_dim = 0;       ///< combined vector length
+  std::vector<std::uint64_t> member_physical_rows;  ///< strides source
+  std::vector<MemberAddress> members;
+};
+
+template <typename Fixed>
+class KernelModel {
+ public:
+  /// Builds bank memories + address map from a model and its placement
+  /// plan, and quantizes the MLP weights. Only single-lookup models are
+  /// supported (the production models' configuration; footnote 1).
+  static StatusOr<KernelModel> Build(const RecModelSpec& model,
+                                     const PlacementPlan& plan,
+                                     std::uint64_t max_physical_rows =
+                                         std::uint64_t(1) << 20);
+
+  /// Runs one query through the kernel dataflow; returns the CTR.
+  StatusOr<float> Run(const SparseQuery& query) const;
+
+  /// Streams a batch through (functional; order preserved).
+  StatusOr<std::vector<float>> RunBatch(
+      std::span<const SparseQuery> queries) const;
+
+  std::uint32_t feature_length() const { return feature_length_; }
+  const std::vector<PlacedTableAddress>& address_map() const {
+    return address_map_;
+  }
+  /// Total quantized elements stored across bank memories.
+  std::uint64_t total_bank_elements() const;
+
+ private:
+  KernelModel() = default;
+
+  // ---- Dataflow processes (section 4.2 / 4.3) ----
+
+  /// Embedding lookup module: resolves bank addresses, reads the (product)
+  /// vectors, scatters member segments into feature order, streams out the
+  /// concatenated quantized feature vector.
+  Status LookupProcess(const SparseQuery& query,
+                       Stream<Fixed>& feature_stream) const;
+
+  /// One FC module: feature broadcast -> PE partial GEMMs -> gather.
+  void FcProcess(std::size_t layer, Stream<Fixed>& in,
+                 Stream<Fixed>& out) const;
+
+  /// Sigmoid head on the dequantized logit.
+  float HeadProcess(Stream<Fixed>& in) const;
+
+  RecModelSpec model_;
+  std::uint32_t feature_length_ = 0;
+  std::vector<std::vector<Fixed>> banks_;          // per-bank element arrays
+  std::vector<PlacedTableAddress> address_map_;    // per placed table
+  std::vector<const PlacedTableAddress*> by_table_;  // original id -> placed
+
+  // Quantized MLP parameters (row-major [in x out] like the float model).
+  std::vector<std::vector<Fixed>> weights_;
+  std::vector<std::vector<Fixed>> biases_;
+  std::vector<Fixed> head_weights_;
+  Fixed head_bias_{};
+};
+
+}  // namespace microrec::hls

@@ -1,0 +1,40 @@
+#include "memsim/bandwidth.hpp"
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+double InterfacePeakGBs(const MemoryPlatformSpec& platform) {
+  double total = 0.0;
+  auto channel_peak = [](const ChannelTiming& timing) {
+    if (timing.beat_ns <= 0.0) return 0.0;
+    const double bytes_per_beat = timing.axi_width_bits / 8.0;
+    return bytes_per_beat / timing.beat_ns;  // bytes per ns == GB/s
+  };
+  total += platform.hbm_channels * channel_peak(platform.hbm_timing);
+  total += platform.ddr_channels * channel_peak(platform.ddr_timing);
+  return total;
+}
+
+BandwidthReport AnalyzeEmbeddingBandwidth(
+    const std::vector<BankAccess>& accesses, double inferences_per_s,
+    const MemoryPlatformSpec& platform) {
+  MICROREC_CHECK(inferences_per_s >= 0.0);
+  BandwidthReport report;
+  for (const auto& access : accesses) {
+    if (platform.KindOfBank(access.bank) == MemoryKind::kOnChip) continue;
+    report.bytes_per_inference += access.bytes;
+  }
+  report.inferences_per_s = inferences_per_s;
+  report.effective_gbs =
+      static_cast<double>(report.bytes_per_inference) * inferences_per_s / 1e9;
+  report.interface_peak_gbs = InterfacePeakGBs(platform);
+  if (report.interface_peak_gbs > 0.0) {
+    report.interface_utilization =
+        report.effective_gbs / report.interface_peak_gbs;
+  }
+  report.rated_utilization = report.effective_gbs / report.rated_gbs;
+  return report;
+}
+
+}  // namespace microrec

@@ -1,0 +1,44 @@
+// Memory bandwidth accounting.
+//
+// The U280's HBM is rated "up to 425 GB/s" (paper section 3.2.1), yet
+// MicroRec's embedding traffic moves only a few hundred bytes per
+// inference. These helpers make the distinction quantitative: embedding
+// lookups are *latency*-bound (row initiation per random access), so the
+// levers are channel count and access count -- exactly the paper's two
+// contributions -- not bytes per second.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "memsim/dram_timing.hpp"
+#include "memsim/hybrid_memory.hpp"
+
+namespace microrec {
+
+/// Card-level rated HBM bandwidth (the figure the paper quotes).
+inline constexpr double kU280RatedHbmGBs = 425.0;
+
+/// Peak bytes/s deliverable through the simulated AXI interfaces: per
+/// channel, one beat of axi_width_bits every beat_ns, summed over DRAM
+/// channels. With the paper's 32-bit interfaces this is far below the
+/// card rating -- deliberately, per the AXI-width appendix.
+double InterfacePeakGBs(const MemoryPlatformSpec& platform);
+
+struct BandwidthReport {
+  Bytes bytes_per_inference = 0;
+  double inferences_per_s = 0.0;
+  double effective_gbs = 0.0;        ///< bytes actually moved per second
+  double interface_peak_gbs = 0.0;
+  double rated_gbs = kU280RatedHbmGBs;
+  double interface_utilization = 0.0;  ///< effective / interface peak
+  double rated_utilization = 0.0;      ///< effective / card rating
+};
+
+/// Bandwidth implied by running `accesses` once per inference at
+/// `inferences_per_s`.
+BandwidthReport AnalyzeEmbeddingBandwidth(
+    const std::vector<BankAccess>& accesses, double inferences_per_s,
+    const MemoryPlatformSpec& platform);
+
+}  // namespace microrec

@@ -1,0 +1,76 @@
+#include "memsim/bank_model.hpp"
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+ChannelTiming DramBankTiming::AsChannelTiming() const {
+  return ChannelTiming{activate_ns + cas_ns, beat_ns, beat_bytes * 8,
+                       RefreshSpec{}};
+}
+
+DramBankTiming DefaultHbmBankTiming() {
+  // activate + cas = 313.6 ns, beat = 5.23 ns: identical totals to the
+  // calibrated HbmChannelTiming() for closed-row random reads.
+  return DramBankTiming{};
+}
+
+DramBank::DramBank(DramBankTiming timing) : timing_(timing) {
+  MICROREC_CHECK(timing_.row_bytes > 0);
+  MICROREC_CHECK(timing_.beat_bytes > 0);
+}
+
+Nanoseconds DramBank::Read(std::uint64_t addr, Bytes bytes) {
+  MICROREC_CHECK(bytes > 0);
+  Nanoseconds latency = 0.0;
+  std::uint64_t remaining = bytes;
+  std::uint64_t cursor = addr;
+  ++stats_.reads;
+  stats_.bytes_read += bytes;
+
+  // One CAS per read command.
+  latency += timing_.cas_ns;
+
+  while (remaining > 0) {
+    const std::uint64_t row = cursor / timing_.row_bytes;
+    if (row != open_row_) {
+      latency += timing_.activate_ns;
+      open_row_ = row;
+      ++stats_.row_activations;
+    } else {
+      ++stats_.row_hits;
+    }
+    const std::uint64_t row_end = (row + 1) * timing_.row_bytes;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(remaining, row_end - cursor);
+    const std::uint64_t beats =
+        (chunk + timing_.beat_bytes - 1) / timing_.beat_bytes;
+    latency += static_cast<double>(beats) * timing_.beat_ns;
+    cursor += chunk;
+    remaining -= chunk;
+  }
+  return latency;
+}
+
+void DramBank::PrechargeAll() { open_row_ = kNoOpenRow; }
+
+CartesianAccessComparison CompareSeparateVsMerged(Bytes vector_a_bytes,
+                                                  Bytes vector_b_bytes,
+                                                  const DramBankTiming& timing) {
+  CartesianAccessComparison cmp;
+  // Two random reads: each starts on a closed row (random embedding rows
+  // almost never share a DRAM row).
+  DramBank separate(timing);
+  cmp.separate_ns = separate.Read(0, vector_a_bytes);
+  separate.PrechargeAll();
+  cmp.separate_ns += separate.Read(1'000'000, vector_b_bytes);
+
+  // One merged read of the concatenated product vector.
+  DramBank merged(timing);
+  cmp.merged_ns = merged.Read(0, vector_a_bytes + vector_b_bytes);
+
+  cmp.speedup = cmp.separate_ns / cmp.merged_ns;
+  return cmp;
+}
+
+}  // namespace microrec

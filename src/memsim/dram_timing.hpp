@@ -1,0 +1,100 @@
+// Timing and capacity parameters of the memory devices on the simulated
+// FPGA card (Xilinx Alveo U280 per the paper: 32-channel HBM2, 2-channel
+// DDR4, on-chip BRAM/URAM).
+//
+// Calibration (DESIGN.md section 5): a random embedding read through the
+// Vitis-generated memory controller costs a fixed initiation latency plus a
+// per-beat transfer cost over a 32-bit AXI interface. Fitting the paper's
+// single-round measurements (Table 5: 334.5 ns at vector length 4 and
+// 648.4 ns at length 64) gives base ~= 313.6 ns and beat ~= 5.23 ns; the
+// paper's 12-table rows are exactly 2x the 8-table rows, confirming that
+// consecutive accesses on one channel serialize.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace microrec {
+
+/// Which physical resource a bank belongs to.
+enum class MemoryKind { kHbm, kDdr, kOnChip };
+
+const char* MemoryKindName(MemoryKind kind);
+
+/// Periodic refresh: the channel is blocked for `duration_ns` every
+/// `interval_ns` (DRAM tREFI/tRFC). Disabled when interval_ns == 0; the
+/// default models steal ~6-7% of bandwidth like HBM2's all-bank refresh.
+struct RefreshSpec {
+  Nanoseconds interval_ns = 0.0;
+  Nanoseconds duration_ns = 0.0;
+
+  bool enabled() const { return interval_ns > 0.0 && duration_ns > 0.0; }
+
+  static RefreshSpec Disabled() { return RefreshSpec{}; }
+  static RefreshSpec Hbm2Default() { return RefreshSpec{3900.0, 260.0}; }
+};
+
+/// Per-channel access timing. An access of `bytes` costs
+/// base_ns + ceil(bytes * 8 / axi_width_bits) * beat_ns.
+struct ChannelTiming {
+  Nanoseconds base_ns = 0.0;   ///< initiation (row activate + controller)
+  Nanoseconds beat_ns = 0.0;   ///< per AXI beat transfer time
+  std::uint32_t axi_width_bits = 32;
+  RefreshSpec refresh;         ///< disabled by default (see ChannelSim)
+
+  /// Latency of a single random access transferring `bytes`, ignoring
+  /// refresh (the simulator applies refresh stalls time-dependently).
+  Nanoseconds AccessLatency(Bytes bytes) const;
+
+  /// Number of AXI beats for `bytes`.
+  std::uint64_t Beats(Bytes bytes) const;
+};
+
+/// Calibrated defaults (see header comment). HBM and DDR4 expose "close
+/// access latency" through the Vitis memory controller (paper section
+/// 3.2.2), so they share timing and differ in channel count / capacity.
+ChannelTiming HbmChannelTiming();
+ChannelTiming DdrChannelTiming();
+/// On-chip BRAM/URAM access completes in about one third of a DRAM access
+/// (paper section 3.2.2): no read-initiation overhead, only control logic
+/// plus a sequential read at the fabric clock.
+ChannelTiming OnChipTiming();
+
+/// Full card description: number of channels of each kind and per-channel
+/// capacity. Defaults model the Alveo U280 used in the paper.
+struct MemoryPlatformSpec {
+  std::uint32_t hbm_channels = 32;
+  Bytes hbm_channel_capacity = 256_MiB;  // 8 GB HBM / 32 pseudo-channels
+  ChannelTiming hbm_timing = HbmChannelTiming();
+
+  std::uint32_t ddr_channels = 2;
+  Bytes ddr_channel_capacity = 16_GiB;   // 32 GB DDR4 / 2 channels
+  ChannelTiming ddr_timing = DdrChannelTiming();
+
+  std::uint32_t onchip_banks = 8;
+  Bytes onchip_bank_capacity = 512_KiB;  // a few MB of BRAM/URAM for tables
+  ChannelTiming onchip_timing = OnChipTiming();
+
+  std::uint32_t dram_channels() const { return hbm_channels + ddr_channels; }
+  std::uint32_t total_banks() const {
+    return hbm_channels + ddr_channels + onchip_banks;
+  }
+
+  /// U280 configuration used throughout the paper's evaluation.
+  static MemoryPlatformSpec AlveoU280();
+  /// A DDR-only card (the heuristic "can be generalized to any FPGAs, no
+  /// matter whether they are equipped with HBM").
+  static MemoryPlatformSpec DdrOnlyCard(std::uint32_t channels = 4);
+
+  /// Kind/timing/capacity of a flat bank index. Banks are ordered
+  /// [HBM 0..hbm_channels) [DDR ..) [on-chip ..).
+  MemoryKind KindOfBank(std::uint32_t bank) const;
+  const ChannelTiming& TimingOfBank(std::uint32_t bank) const;
+  Bytes CapacityOfBank(std::uint32_t bank) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace microrec

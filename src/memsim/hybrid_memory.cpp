@@ -1,0 +1,82 @@
+#include "memsim/hybrid_memory.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+HybridMemorySystem::HybridMemorySystem(MemoryPlatformSpec spec, double overlap)
+    : spec_(std::move(spec)), overlap_(overlap) {
+  channels_.reserve(spec_.total_banks());
+  for (std::uint32_t b = 0; b < spec_.total_banks(); ++b) {
+    channels_.emplace_back(spec_.TimingOfBank(b), overlap_);
+  }
+}
+
+LookupBatchResult HybridMemorySystem::IssueBatch(
+    const std::vector<BankAccess>& accesses, Nanoseconds start_ns) {
+  LookupBatchResult result;
+  result.start_ns = start_ns;
+  result.completion_ns = start_ns;
+  result.completions.reserve(accesses.size());
+  for (const auto& access : accesses) {
+    MICROREC_CHECK(access.bank < channels_.size());
+    const MemCompletion done = channels_[access.bank].Serve(
+        MemRequest{start_ns, access.bytes, access.tag});
+    result.completion_ns = std::max(result.completion_ns, done.completion_ns);
+    if (trace_enabled_) {
+      trace_.push_back(AccessTraceRecord{access.bank, access.bytes, access.tag,
+                                         done.start_ns, done.completion_ns});
+    }
+    result.completions.push_back(done);
+  }
+  return result;
+}
+
+Nanoseconds HybridMemorySystem::BatchLatencyIdle(
+    const std::vector<BankAccess>& accesses) const {
+  return RoundLatencyModel(spec_).BatchLatency(accesses);
+}
+
+const ChannelStats& HybridMemorySystem::bank_stats(std::uint32_t bank) const {
+  MICROREC_CHECK(bank < channels_.size());
+  return channels_[bank].stats();
+}
+
+const ChannelSim& HybridMemorySystem::bank(std::uint32_t bank) const {
+  MICROREC_CHECK(bank < channels_.size());
+  return channels_[bank];
+}
+
+void HybridMemorySystem::Reset() {
+  for (auto& ch : channels_) ch.Reset();
+  trace_.clear();
+}
+
+Nanoseconds RoundLatencyModel::BatchLatency(
+    const std::vector<BankAccess>& accesses) const {
+  std::vector<Nanoseconds> per_bank(spec_.total_banks(), 0.0);
+  for (const auto& access : accesses) {
+    MICROREC_CHECK(access.bank < spec_.total_banks());
+    per_bank[access.bank] +=
+        spec_.TimingOfBank(access.bank).AccessLatency(access.bytes);
+  }
+  Nanoseconds worst = 0.0;
+  for (Nanoseconds t : per_bank) worst = std::max(worst, t);
+  return worst;
+}
+
+std::uint32_t RoundLatencyModel::DramAccessRounds(
+    const std::vector<BankAccess>& accesses) const {
+  std::vector<std::uint32_t> per_bank(spec_.total_banks(), 0);
+  std::uint32_t worst = 0;
+  for (const auto& access : accesses) {
+    MICROREC_CHECK(access.bank < spec_.total_banks());
+    if (spec_.KindOfBank(access.bank) == MemoryKind::kOnChip) continue;
+    worst = std::max(worst, ++per_bank[access.bank]);
+  }
+  return worst;
+}
+
+}  // namespace microrec

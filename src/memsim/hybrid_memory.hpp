@@ -1,0 +1,101 @@
+// The card-level hybrid memory system: every HBM pseudo-channel, DDR
+// channel, and on-chip bank is an independently addressable ChannelSim.
+// A lookup batch (one inference's embedding reads) fans out across banks in
+// parallel and serializes within each bank -- exactly the behaviour the
+// paper's round analysis relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "memsim/channel_sim.hpp"
+#include "memsim/dram_timing.hpp"
+
+namespace microrec {
+
+/// One read directed at a specific bank.
+struct BankAccess {
+  std::uint32_t bank = 0;
+  Bytes bytes = 0;
+  std::uint64_t tag = 0;
+};
+
+/// Outcome of issuing a batch of accesses concurrently.
+struct LookupBatchResult {
+  Nanoseconds start_ns = 0.0;
+  Nanoseconds completion_ns = 0.0;  ///< when the slowest bank finished
+  std::vector<MemCompletion> completions;
+
+  Nanoseconds latency_ns() const { return completion_ns - start_ns; }
+};
+
+/// Optional per-access trace record (enable via set_trace_enabled).
+struct AccessTraceRecord {
+  std::uint32_t bank = 0;
+  Bytes bytes = 0;
+  std::uint64_t tag = 0;
+  Nanoseconds start_ns = 0.0;
+  Nanoseconds completion_ns = 0.0;
+};
+
+class HybridMemorySystem {
+ public:
+  /// `overlap` is forwarded to every ChannelSim (0 = paper-calibrated full
+  /// serialization within a channel).
+  explicit HybridMemorySystem(MemoryPlatformSpec spec, double overlap = 0.0);
+
+  const MemoryPlatformSpec& spec() const { return spec_; }
+  std::uint32_t num_banks() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+
+  /// Issues all accesses at `start_ns`: banks proceed in parallel, accesses
+  /// to the same bank serialize in the given order. Returns per-access and
+  /// aggregate completion times.
+  LookupBatchResult IssueBatch(const std::vector<BankAccess>& accesses,
+                               Nanoseconds start_ns = 0.0);
+
+  /// Latency of the batch if the system were idle, without mutating
+  /// simulation time (convenience for analytic callers).
+  Nanoseconds BatchLatencyIdle(const std::vector<BankAccess>& accesses) const;
+
+  const ChannelStats& bank_stats(std::uint32_t bank) const;
+  const ChannelSim& bank(std::uint32_t bank) const;
+
+  void Reset();
+
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  const std::vector<AccessTraceRecord>& trace() const { return trace_; }
+
+ private:
+  MemoryPlatformSpec spec_;
+  double overlap_;
+  std::vector<ChannelSim> channels_;
+  bool trace_enabled_ = false;
+  std::vector<AccessTraceRecord> trace_;
+};
+
+/// Analytic round-based latency model (DESIGN.md section 5): the latency of
+/// a concurrent lookup batch equals the largest per-bank sum of access
+/// latencies. Matches the event-driven simulator exactly when the system
+/// starts idle; validated by property tests.
+class RoundLatencyModel {
+ public:
+  explicit RoundLatencyModel(MemoryPlatformSpec spec) : spec_(std::move(spec)) {}
+
+  const MemoryPlatformSpec& spec() const { return spec_; }
+
+  /// Latency of issuing `accesses` concurrently on an idle system.
+  Nanoseconds BatchLatency(const std::vector<BankAccess>& accesses) const;
+
+  /// Maximum number of accesses any single DRAM (HBM or DDR) bank receives:
+  /// the paper's "DRAM access rounds".
+  std::uint32_t DramAccessRounds(const std::vector<BankAccess>& accesses) const;
+
+ private:
+  MemoryPlatformSpec spec_;
+};
+
+}  // namespace microrec

@@ -1,0 +1,60 @@
+#include "memsim/trace_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace microrec {
+
+TraceSummary SummarizeTrace(const std::vector<AccessTraceRecord>& trace,
+                            const MemoryPlatformSpec& platform) {
+  std::map<std::uint32_t, BankLoadProfile> by_bank;
+  TraceSummary summary;
+  for (const auto& rec : trace) {
+    auto& profile = by_bank[rec.bank];
+    profile.bank = rec.bank;
+    profile.kind = platform.KindOfBank(rec.bank);
+    profile.accesses += 1;
+    profile.bytes += rec.bytes;
+    profile.busy_ns += rec.completion_ns - rec.start_ns;
+    profile.last_completion_ns =
+        std::max(profile.last_completion_ns, rec.completion_ns);
+    summary.total_accesses += 1;
+    summary.total_bytes += rec.bytes;
+    if (rec.completion_ns > summary.makespan_ns) {
+      summary.makespan_ns = rec.completion_ns;
+      summary.critical_bank = rec.bank;
+    }
+  }
+  summary.banks.reserve(by_bank.size());
+  double dram_sum = 0.0, dram_max = 0.0;
+  std::size_t dram_count = 0;
+  for (auto& [bank, profile] : by_bank) {
+    if (profile.kind != MemoryKind::kOnChip) {
+      dram_sum += profile.busy_ns;
+      dram_max = std::max(dram_max, profile.busy_ns);
+      ++dram_count;
+    }
+    summary.banks.push_back(profile);
+  }
+  if (dram_count > 0 && dram_sum > 0.0) {
+    summary.dram_imbalance =
+        dram_max / (dram_sum / static_cast<double>(dram_count));
+  }
+  return summary;
+}
+
+std::string TraceSummary::ToString() const {
+  std::ostringstream os;
+  os << total_accesses << " accesses, " << FormatBytes(total_bytes)
+     << ", makespan " << FormatNanos(makespan_ns) << ", critical bank "
+     << critical_bank << ", DRAM imbalance " << dram_imbalance << "\n";
+  for (const auto& b : banks) {
+    os << "  bank " << b.bank << " (" << MemoryKindName(b.kind) << "): "
+       << b.accesses << " accesses, " << FormatBytes(b.bytes) << ", busy "
+       << FormatNanos(b.busy_ns) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace microrec

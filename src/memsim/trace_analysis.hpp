@@ -1,0 +1,43 @@
+// Post-hoc analysis of memory access traces: per-bank load profiles and
+// critical-path attribution. Used to explain *why* a placement achieves
+// its latency (which channel is the straggler, how balanced the load is)
+// -- the quantities behind the paper's load-balancing argument in 3.3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "memsim/dram_timing.hpp"
+#include "memsim/hybrid_memory.hpp"
+
+namespace microrec {
+
+struct BankLoadProfile {
+  std::uint32_t bank = 0;
+  MemoryKind kind = MemoryKind::kHbm;
+  std::uint64_t accesses = 0;
+  Bytes bytes = 0;
+  Nanoseconds busy_ns = 0.0;
+  Nanoseconds last_completion_ns = 0.0;
+};
+
+struct TraceSummary {
+  std::vector<BankLoadProfile> banks;  ///< only banks that saw traffic
+  std::uint64_t total_accesses = 0;
+  Bytes total_bytes = 0;
+  Nanoseconds makespan_ns = 0.0;       ///< latest completion
+  std::uint32_t critical_bank = 0;     ///< bank finishing last
+  /// max busy / mean busy over active DRAM banks: 1.0 = perfectly
+  /// balanced; large values mean one channel dominates the latency.
+  double dram_imbalance = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Summarizes a trace captured by HybridMemorySystem (set_trace_enabled).
+TraceSummary SummarizeTrace(const std::vector<AccessTraceRecord>& trace,
+                            const MemoryPlatformSpec& platform);
+
+}  // namespace microrec

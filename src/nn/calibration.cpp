@@ -1,0 +1,104 @@
+#include "nn/calibration.hpp"
+
+#include <cmath>
+
+#include "nn/quantized_mlp.hpp"
+#include "tensor/activations.hpp"
+#include "tensor/gemm.hpp"
+
+namespace microrec {
+
+void ValueRange::Observe(double v) {
+  const double a = std::abs(v);
+  max_abs = std::max(max_abs, a);
+  mean_abs = (mean_abs * static_cast<double>(count) + a) /
+             static_cast<double>(count + 1);
+  ++count;
+}
+
+void ValueRange::Merge(const ValueRange& other) {
+  if (other.count == 0) return;
+  max_abs = std::max(max_abs, other.max_abs);
+  mean_abs = (mean_abs * static_cast<double>(count) +
+              other.mean_abs * static_cast<double>(other.count)) /
+             static_cast<double>(count + other.count);
+  count += other.count;
+}
+
+StatusOr<QFormatRecommendation> RecommendQFormat(const ValueRange& range,
+                                                 int total_bits) {
+  if (total_bits != 16 && total_bits != 32) {
+    return Status::InvalidArgument("total_bits must be 16 or 32");
+  }
+  QFormatRecommendation rec;
+  rec.total_bits = total_bits;
+  // Integer bits to hold 2 * max_abs (a 2x headroom margin).
+  const double target = std::max(range.max_abs * 2.0, 1e-30);
+  rec.int_bits = std::max(0, static_cast<int>(std::ceil(std::log2(target))));
+  rec.frac_bits = total_bits - 1 - rec.int_bits;  // 1 sign bit
+  if (rec.frac_bits < 0) {
+    return Status::OutOfRange(
+        "value range " + std::to_string(range.max_abs) +
+        " cannot fit a " + std::to_string(total_bits) + "-bit word");
+  }
+  rec.epsilon = std::pow(2.0, -rec.frac_bits);
+  return rec;
+}
+
+ValueRange ScanModelRange(const MlpModel& model,
+                          std::span<const std::vector<float>> sample_inputs) {
+  ValueRange range;
+  const MlpSpec& spec = model.spec();
+  for (std::size_t layer = 0; layer < spec.hidden.size(); ++layer) {
+    for (float w : model.weights(layer).flat()) range.Observe(w);
+    for (float b : model.biases(layer)) range.Observe(b);
+  }
+  for (float w : model.head_weights().flat()) range.Observe(w);
+  range.Observe(model.head_bias());
+
+  // Pre-activation sums: the widest values the datapath holds.
+  for (const auto& input : sample_inputs) {
+    MICROREC_CHECK(input.size() == spec.input_dim);
+    std::vector<float> activ(input.begin(), input.end());
+    for (float v : activ) range.Observe(v);
+    std::vector<float> next;
+    for (std::size_t layer = 0; layer < spec.hidden.size(); ++layer) {
+      next.assign(spec.hidden[layer], 0.0f);
+      Gemv(activ, model.weights(layer), next);
+      for (std::size_t j = 0; j < next.size(); ++j) {
+        next[j] += model.biases(layer)[j];
+        range.Observe(next[j]);  // pre-activation
+      }
+      ReluInPlace(next);
+      activ.swap(next);
+    }
+  }
+  return range;
+}
+
+template <typename Fixed>
+AccuracyReport EvaluateQuantizedAccuracy(
+    const MlpModel& model, std::span<const std::vector<float>> sample_inputs) {
+  const auto quantized = QuantizedMlp<Fixed>::FromFloat(model);
+  AccuracyReport report;
+  double sum = 0.0;
+  for (const auto& input : sample_inputs) {
+    const double err =
+        std::abs(static_cast<double>(model.Forward(input)) -
+                 static_cast<double>(quantized.Forward(input)));
+    report.max_abs_error = std::max(report.max_abs_error, err);
+    sum += err;
+    ++report.samples;
+  }
+  if (report.samples > 0) {
+    report.mean_abs_error = sum / static_cast<double>(report.samples);
+  }
+  return report;
+}
+
+template AccuracyReport EvaluateQuantizedAccuracy<Fixed16>(
+    const MlpModel&, std::span<const std::vector<float>>);
+template AccuracyReport EvaluateQuantizedAccuracy<Fixed32>(
+    const MlpModel&, std::span<const std::vector<float>>);
+
+}  // namespace microrec

@@ -1,0 +1,64 @@
+// Q-format calibration: pick fractional-bit budgets from observed value
+// ranges and validate end-to-end quantized accuracy.
+//
+// The paper evaluates "16-bit and 32-bit fixed-point" without specifying
+// the Q format; this module makes the repo's choice (Q5.10 / Q15.16)
+// reproducible: given a model's weights and sampled activations, it
+// reports the integer bits actually needed and the CTR error the chosen
+// formats incur.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.hpp"
+#include "fixedpoint/fixed_point.hpp"
+#include "nn/mlp.hpp"
+
+namespace microrec {
+
+/// Range statistics of a value population.
+struct ValueRange {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+  std::size_t count = 0;
+
+  void Observe(double v);
+  void Merge(const ValueRange& other);
+};
+
+/// Recommended Q format for a word size, derived from a ValueRange.
+struct QFormatRecommendation {
+  int total_bits = 16;
+  /// Integer bits (excluding sign) needed to represent max_abs with a 2x
+  /// safety margin.
+  int int_bits = 0;
+  int frac_bits = 0;
+  /// Quantization step of the recommendation.
+  double epsilon = 0.0;
+};
+
+/// Chooses integer bits = ceil(log2(2 * max_abs)) (>= 0) and gives the rest
+/// to the fraction. Fails if the range cannot fit the word at all.
+StatusOr<QFormatRecommendation> RecommendQFormat(const ValueRange& range,
+                                                 int total_bits);
+
+/// Scans an MLP's weights, biases, and the pre-activation sums produced by
+/// `sample_inputs` (each of length spec.input_dim) through a float forward
+/// pass; returns the combined range the fixed-point datapath must cover.
+ValueRange ScanModelRange(const MlpModel& model,
+                          std::span<const std::vector<float>> sample_inputs);
+
+/// End-to-end accuracy of a quantized datapath vs the float reference over
+/// sample inputs: max / mean absolute CTR difference.
+struct AccuracyReport {
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  std::size_t samples = 0;
+};
+
+template <typename Fixed>
+AccuracyReport EvaluateQuantizedAccuracy(
+    const MlpModel& model, std::span<const std::vector<float>> sample_inputs);
+
+}  // namespace microrec

@@ -1,0 +1,132 @@
+#include "nn/interaction.hpp"
+
+namespace microrec {
+
+const char* InteractionOpName(InteractionOp op) {
+  switch (op) {
+    case InteractionOp::kConcat:
+      return "concat";
+    case InteractionOp::kSum:
+      return "sum";
+    case InteractionOp::kWeightedSum:
+      return "weighted_sum";
+    case InteractionOp::kElementWiseMul:
+      return "elementwise_mul";
+    case InteractionOp::kPairwiseDot:
+      return "pairwise_dot";
+  }
+  return "?";
+}
+
+namespace {
+
+Status CheckEqualLengths(std::span<const std::vector<float>> vectors) {
+  for (std::size_t i = 1; i < vectors.size(); ++i) {
+    if (vectors[i].size() != vectors[0].size()) {
+      return Status::InvalidArgument(
+          "interaction requires equal vector lengths, got " +
+          std::to_string(vectors[0].size()) + " and " +
+          std::to_string(vectors[i].size()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<float>> ApplyInteraction(
+    InteractionOp op, std::span<const std::vector<float>> vectors,
+    std::span<const float> weights) {
+  if (vectors.empty()) {
+    return Status::InvalidArgument("interaction needs >= 1 input vector");
+  }
+  switch (op) {
+    case InteractionOp::kConcat: {
+      std::vector<float> out;
+      for (const auto& v : vectors) out.insert(out.end(), v.begin(), v.end());
+      return out;
+    }
+    case InteractionOp::kSum: {
+      MICROREC_RETURN_IF_ERROR(CheckEqualLengths(vectors));
+      std::vector<float> out(vectors[0].size(), 0.0f);
+      for (const auto& v : vectors) {
+        for (std::size_t d = 0; d < out.size(); ++d) out[d] += v[d];
+      }
+      return out;
+    }
+    case InteractionOp::kWeightedSum: {
+      MICROREC_RETURN_IF_ERROR(CheckEqualLengths(vectors));
+      if (weights.size() != vectors.size()) {
+        return Status::InvalidArgument(
+            "weighted sum needs one weight per vector (" +
+            std::to_string(vectors.size()) + "), got " +
+            std::to_string(weights.size()));
+      }
+      std::vector<float> out(vectors[0].size(), 0.0f);
+      for (std::size_t i = 0; i < vectors.size(); ++i) {
+        for (std::size_t d = 0; d < out.size(); ++d) {
+          out[d] += weights[i] * vectors[i][d];
+        }
+      }
+      return out;
+    }
+    case InteractionOp::kElementWiseMul: {
+      MICROREC_RETURN_IF_ERROR(CheckEqualLengths(vectors));
+      std::vector<float> out(vectors[0]);
+      for (std::size_t i = 1; i < vectors.size(); ++i) {
+        for (std::size_t d = 0; d < out.size(); ++d) out[d] *= vectors[i][d];
+      }
+      return out;
+    }
+    case InteractionOp::kPairwiseDot: {
+      MICROREC_RETURN_IF_ERROR(CheckEqualLengths(vectors));
+      std::vector<float> out;
+      for (const auto& v : vectors) out.insert(out.end(), v.begin(), v.end());
+      for (std::size_t i = 0; i < vectors.size(); ++i) {
+        for (std::size_t j = i + 1; j < vectors.size(); ++j) {
+          float dot = 0.0f;
+          for (std::size_t d = 0; d < vectors[i].size(); ++d) {
+            dot += vectors[i][d] * vectors[j][d];
+          }
+          out.push_back(dot);
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled interaction op");
+}
+
+StatusOr<std::uint32_t> InteractionOutputDim(
+    InteractionOp op, std::span<const std::uint32_t> input_dims) {
+  if (input_dims.empty()) {
+    return Status::InvalidArgument("interaction needs >= 1 input");
+  }
+  std::uint32_t sum = 0;
+  for (auto d : input_dims) sum += d;
+  switch (op) {
+    case InteractionOp::kConcat:
+      return sum;
+    case InteractionOp::kSum:
+    case InteractionOp::kWeightedSum:
+    case InteractionOp::kElementWiseMul:
+      for (auto d : input_dims) {
+        if (d != input_dims[0]) {
+          return Status::InvalidArgument("inputs must share one length");
+        }
+      }
+      return input_dims[0];
+    case InteractionOp::kPairwiseDot: {
+      const auto n = static_cast<std::uint32_t>(input_dims.size());
+      for (auto d : input_dims) {
+        if (d != input_dims[0]) {
+          return Status::InvalidArgument("inputs must share one length");
+        }
+      }
+      return sum + n * (n - 1) / 2;
+    }
+  }
+  return Status::Internal("unhandled interaction op");
+}
+
+}  // namespace microrec

@@ -1,0 +1,45 @@
+// Feature-interaction operations (paper section 2.1: "feature interaction
+// operations (e.g., concatenation, weighted sum, and element-wise
+// multiplication)" are one of the per-model design choices).
+//
+// The production models concatenate; these alternatives let the repo model
+// the wider design space (DLRM-style pairwise dot interactions, DIN-style
+// weighted sums) and are exercised by tests and the precision study.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+enum class InteractionOp {
+  kConcat,        ///< [a, b, c] -> a ++ b ++ c (the paper's models)
+  kSum,           ///< element-wise sum (all inputs equal length)
+  kWeightedSum,   ///< sum of w_i * v_i
+  kElementWiseMul,///< Hadamard product chain
+  kPairwiseDot,   ///< DLRM-style: all pairwise dot products, appended
+};
+
+const char* InteractionOpName(InteractionOp op);
+
+/// Applies `op` to per-table embedding vectors. `weights` is used only by
+/// kWeightedSum (must match vectors.size()).
+///
+/// Output lengths:
+///   kConcat          sum of lengths
+///   kSum/kWeightedSum/kElementWiseMul
+///                    the common length (all inputs must agree)
+///   kPairwiseDot     sum of lengths + n*(n-1)/2 dot products
+StatusOr<std::vector<float>> ApplyInteraction(
+    InteractionOp op, std::span<const std::vector<float>> vectors,
+    std::span<const float> weights = {});
+
+/// Output feature length of `op` for the given input lengths; mirrors
+/// ApplyInteraction's contract so model builders can size MLP inputs.
+StatusOr<std::uint32_t> InteractionOutputDim(
+    InteractionOp op, std::span<const std::uint32_t> input_dims);
+
+}  // namespace microrec

@@ -1,0 +1,108 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+#include "tensor/activations.hpp"
+#include "tensor/gemm.hpp"
+
+namespace microrec {
+
+std::uint64_t MlpSpec::OpsPerItem() const {
+  std::uint64_t ops = 0;
+  for (std::size_t i = 0; i < hidden.size(); ++i) ops += 2 * LayerMacs(i);
+  return ops;
+}
+
+std::uint32_t MlpSpec::LayerInputDim(std::size_t i) const {
+  MICROREC_CHECK(i < hidden.size());
+  return i == 0 ? input_dim : hidden[i - 1];
+}
+
+std::uint64_t MlpSpec::LayerMacs(std::size_t i) const {
+  return static_cast<std::uint64_t>(LayerInputDim(i)) * hidden[i];
+}
+
+Status MlpSpec::Validate() const {
+  if (input_dim == 0) return Status::InvalidArgument("MLP input_dim == 0");
+  if (hidden.empty()) return Status::InvalidArgument("MLP has no hidden layers");
+  for (auto h : hidden) {
+    if (h == 0) return Status::InvalidArgument("MLP hidden layer width == 0");
+  }
+  return Status::Ok();
+}
+
+MlpModel MlpModel::Create(const MlpSpec& spec, std::uint64_t seed) {
+  MICROREC_CHECK(spec.Validate().ok());
+  MlpModel model;
+  model.spec_ = spec;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < spec.hidden.size(); ++i) {
+    const std::uint32_t in = spec.LayerInputDim(i);
+    const std::uint32_t out = spec.hidden[i];
+    // He-style scaling keeps pre-activations well inside the fixed-point
+    // dynamic range for the quantized datapath.
+    const float scale = 1.0f / std::sqrt(static_cast<float>(in));
+    MatrixF w(in, out);
+    for (float& v : w.flat()) {
+      v = static_cast<float>(rng.NextGaussian()) * scale;
+    }
+    std::vector<float> b(out);
+    for (float& v : b) v = static_cast<float>(rng.NextGaussian()) * 0.01f;
+    model.weights_.push_back(std::move(w));
+    model.biases_.push_back(std::move(b));
+  }
+  const std::uint32_t last = spec.hidden.back();
+  model.head_weights_.Resize(last, 1);
+  const float head_scale = 1.0f / std::sqrt(static_cast<float>(last));
+  for (float& v : model.head_weights_.flat()) {
+    v = static_cast<float>(rng.NextGaussian()) * head_scale;
+  }
+  model.head_bias_ = static_cast<float>(rng.NextGaussian()) * 0.01f;
+  return model;
+}
+
+float MlpModel::Forward(std::span<const float> input) const {
+  MICROREC_CHECK(input.size() == spec_.input_dim);
+  std::vector<float> activ(input.begin(), input.end());
+  std::vector<float> next;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    next.assign(spec_.hidden[i], 0.0f);
+    Gemv(activ, weights_[i], next);
+    for (std::size_t j = 0; j < next.size(); ++j) next[j] += biases_[i][j];
+    ReluInPlace(next);
+    activ.swap(next);
+  }
+  float logit = head_bias_;
+  for (std::size_t j = 0; j < activ.size(); ++j) {
+    logit += activ[j] * head_weights_(j, 0);
+  }
+  return Sigmoid(logit);
+}
+
+std::vector<float> MlpModel::ForwardBatch(const MatrixF& inputs) const {
+  MICROREC_CHECK(inputs.cols() == spec_.input_dim);
+  MatrixF activ = inputs;
+  MatrixF next;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    GemmAuto(activ, weights_[i], next);
+    for (std::size_t r = 0; r < next.rows(); ++r) {
+      auto row = next.row(r);
+      for (std::size_t j = 0; j < row.size(); ++j) row[j] += biases_[i][j];
+      ReluInPlace(row);
+    }
+    activ = std::move(next);
+    next = MatrixF();
+  }
+  std::vector<float> out(activ.rows());
+  for (std::size_t r = 0; r < activ.rows(); ++r) {
+    float logit = head_bias_;
+    const auto row = activ.row(r);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      logit += row[j] * head_weights_(j, 0);
+    }
+    out[r] = Sigmoid(logit);
+  }
+  return out;
+}
+
+}  // namespace microrec

@@ -1,0 +1,67 @@
+// The CTR-prediction MLP ("top fully-connected layers", paper figure 1).
+//
+// MlpSpec describes the architecture; MlpModel holds float weights and is
+// the numerical ground truth used by the CPU baseline and by tests. The
+// paper's models take the concatenated embedding vector straight into three
+// hidden FC layers (1024, 512, 256) -- no bottom FCs -- followed by a
+// 1-unit sigmoid click-probability head.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "tensor/matrix.hpp"
+
+namespace microrec {
+
+struct MlpSpec {
+  std::uint32_t input_dim = 0;
+  std::vector<std::uint32_t> hidden = {1024, 512, 256};
+
+  /// Ops per inference counted the paper's way: 2 * MACs over the hidden
+  /// FC layers (the 1-unit head is negligible and excluded, matching the
+  /// GOP/s figures in Table 2 -- see DESIGN.md section 5).
+  std::uint64_t OpsPerItem() const;
+
+  /// MACs of hidden layer `i` (in_dim(i) * hidden[i]).
+  std::uint64_t LayerMacs(std::size_t i) const;
+  std::uint32_t LayerInputDim(std::size_t i) const;
+
+  Status Validate() const;
+};
+
+/// Float MLP with deterministic He-style initialisation.
+class MlpModel {
+ public:
+  static MlpModel Create(const MlpSpec& spec, std::uint64_t seed);
+
+  const MlpSpec& spec() const { return spec_; }
+
+  /// Weight matrix of hidden layer i, shape [in_dim x out_dim].
+  const MatrixF& weights(std::size_t i) const { return weights_[i]; }
+  std::span<const float> biases(std::size_t i) const { return biases_[i]; }
+  /// Head weights, shape [last_hidden x 1], and scalar head bias.
+  const MatrixF& head_weights() const { return head_weights_; }
+  float head_bias() const { return head_bias_; }
+
+  /// Single-item forward pass: input length spec().input_dim, returns the
+  /// click probability (sigmoid output).
+  float Forward(std::span<const float> input) const;
+
+  /// Batched forward pass: `inputs` is [batch x input_dim]; returns one
+  /// probability per row. Uses the blocked GEMM kernel (this is the path
+  /// the CPU baseline measures).
+  std::vector<float> ForwardBatch(const MatrixF& inputs) const;
+
+ private:
+  MlpSpec spec_;
+  std::vector<MatrixF> weights_;           // [in x out] per hidden layer
+  std::vector<std::vector<float>> biases_; // per hidden layer
+  MatrixF head_weights_;                   // [last_hidden x 1]
+  float head_bias_ = 0.0f;
+};
+
+}  // namespace microrec

@@ -1,0 +1,131 @@
+#include "placement/allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace microrec {
+
+namespace {
+
+/// Per-lookup latency contribution of a table on a DRAM bank.
+Nanoseconds DramAccessCost(const CombinedTable& table,
+                           const MemoryPlatformSpec& platform,
+                           const PlacementOptions& options) {
+  // HBM and DDR share timing on this platform; use HBM's as representative.
+  const ChannelTiming& t = platform.hbm_channels > 0 ? platform.hbm_timing
+                                                     : platform.ddr_timing;
+  return static_cast<double>(options.lookups_per_table) *
+         t.AccessLatency(table.VectorBytes());
+}
+
+}  // namespace
+
+StatusOr<PlacementPlan> AllocateToBanks(std::vector<CombinedTable> tables,
+                                        const MemoryPlatformSpec& platform,
+                                        const PlacementOptions& options) {
+  PlacementPlan plan;
+
+  // ---- Stage 1: heuristic rule 4 -- cache the smallest tables on-chip.
+  // Sort ascending by total size; greedily take tables while (a) they fit
+  // the remaining on-chip capacity via first-fit packing and (b) no on-chip
+  // bank's serialized lookup time exceeds one off-chip access (otherwise
+  // "caching tables on-chip is meaningless", paper 3.4.2).
+  std::sort(tables.begin(), tables.end(),
+            [](const CombinedTable& a, const CombinedTable& b) {
+              return a.TotalBytes() < b.TotalBytes();
+            });
+
+  const std::uint32_t onchip_base = platform.hbm_channels + platform.ddr_channels;
+  std::vector<Bytes> onchip_used(platform.onchip_banks, 0);
+  std::vector<Nanoseconds> onchip_latency(platform.onchip_banks, 0.0);
+
+  // Budget per on-chip bank: one off-chip access for a typical (largest
+  // remaining) vector. Computed against the largest vector overall, which
+  // is conservative in the right direction.
+  Bytes largest_vector = 0;
+  for (const auto& t : tables) {
+    largest_vector = std::max(largest_vector, t.VectorBytes());
+  }
+  const ChannelTiming& dram_t = platform.hbm_channels > 0
+                                    ? platform.hbm_timing
+                                    : platform.ddr_timing;
+  const Nanoseconds onchip_budget = dram_t.AccessLatency(largest_vector);
+
+  std::uint32_t onchip_placed = 0;
+  const std::uint32_t onchip_table_budget =
+      options.max_onchip_tables == 0 ? std::numeric_limits<std::uint32_t>::max()
+                                     : options.max_onchip_tables;
+
+  std::vector<CombinedTable> dram_tables;
+  for (auto& table : tables) {
+    bool placed_onchip = false;
+    if (options.allow_onchip && platform.onchip_banks > 0 &&
+        onchip_placed < onchip_table_budget) {
+      const Bytes bytes = table.TotalBytes();
+      const Nanoseconds access =
+          static_cast<double>(options.lookups_per_table) *
+          platform.onchip_timing.AccessLatency(table.VectorBytes());
+      for (std::uint32_t b = 0; b < platform.onchip_banks; ++b) {
+        if (onchip_used[b] + bytes <= platform.onchip_bank_capacity &&
+            onchip_latency[b] + access <= onchip_budget) {
+          onchip_used[b] += bytes;
+          onchip_latency[b] += access;
+          plan.placements.push_back(TablePlacement{table, onchip_base + b});
+          placed_onchip = true;
+          ++onchip_placed;
+          break;
+        }
+      }
+    }
+    if (!placed_onchip) dram_tables.push_back(std::move(table));
+  }
+
+  // ---- Stage 2: spread the rest over DRAM channels, LPT-greedy.
+  // Process tables in descending per-lookup cost; assign each to the
+  // feasible channel with the least accumulated lookup time (ties: most
+  // free capacity), so channel loads balance (paper 3.3's motivation).
+  std::sort(dram_tables.begin(), dram_tables.end(),
+            [&](const CombinedTable& a, const CombinedTable& b) {
+              return DramAccessCost(a, platform, options) >
+                     DramAccessCost(b, platform, options);
+            });
+
+  const std::uint32_t dram_banks = platform.hbm_channels + platform.ddr_channels;
+  if (dram_banks == 0 && !dram_tables.empty()) {
+    return Status::ResourceExhausted("no DRAM channels on platform");
+  }
+  std::vector<Bytes> dram_free(dram_banks);
+  std::vector<Nanoseconds> dram_load(dram_banks, 0.0);
+  for (std::uint32_t b = 0; b < dram_banks; ++b) {
+    dram_free[b] = platform.CapacityOfBank(b);
+  }
+
+  for (auto& table : dram_tables) {
+    const Bytes bytes = table.TotalBytes();
+    const Nanoseconds cost = DramAccessCost(table, platform, options);
+    std::uint32_t best_bank = dram_banks;
+    for (std::uint32_t b = 0; b < dram_banks; ++b) {
+      if (dram_free[b] < bytes) continue;
+      // Least-loaded channel first; ties broken best-fit (least free
+      // capacity) so high-capacity channels stay available for the tables
+      // that can only live there.
+      if (best_bank == dram_banks || dram_load[b] < dram_load[best_bank] ||
+          (dram_load[b] == dram_load[best_bank] &&
+           dram_free[b] < dram_free[best_bank])) {
+        best_bank = b;
+      }
+    }
+    if (best_bank == dram_banks) {
+      return Status::ResourceExhausted(
+          "table " + table.DebugName() + " (" + FormatBytes(bytes) +
+          ") does not fit any DRAM channel");
+    }
+    dram_free[best_bank] -= bytes;
+    dram_load[best_bank] += cost;
+    plan.placements.push_back(TablePlacement{std::move(table), best_bank});
+  }
+
+  return plan;
+}
+
+}  // namespace microrec

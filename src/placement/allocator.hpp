@@ -1,0 +1,27 @@
+// Bank allocation (heuristic rule 4 and the shared DRAM allocator).
+//
+// Given a set of combined tables, the allocator (1) optionally caches the
+// smallest tables on-chip -- subject to on-chip capacity and to the rule
+// that co-located on-chip tables must not be slower to read than an
+// off-chip access -- and (2) spreads the remaining tables across HBM/DDR
+// channels by longest-processing-time-first greedy scheduling under
+// per-bank capacity constraints, which balances per-channel lookup time.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "embedding/table_spec.hpp"
+#include "memsim/dram_timing.hpp"
+#include "placement/plan.hpp"
+
+namespace microrec {
+
+/// Allocates `tables` to the banks of `platform`. Returns a plan with
+/// placements only (caller runs FinalizeMetrics), or ResourceExhausted if
+/// the tables cannot fit.
+StatusOr<PlacementPlan> AllocateToBanks(std::vector<CombinedTable> tables,
+                                        const MemoryPlatformSpec& platform,
+                                        const PlacementOptions& options);
+
+}  // namespace microrec

@@ -1,0 +1,106 @@
+#include "placement/brute_force.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "placement/allocator.hpp"
+
+namespace microrec {
+
+namespace {
+
+/// Recursively enumerates singleton/pair partitions of tables[from..],
+/// invoking `visit` with each complete partition.
+template <typename Visitor>
+void EnumeratePartitions(const std::vector<TableSpec>& tables,
+                         std::vector<bool>& used, std::size_t from,
+                         std::vector<CombinedTable>& current,
+                         const PlacementOptions& options, Visitor&& visit) {
+  while (from < tables.size() && used[from]) ++from;
+  if (from == tables.size()) {
+    visit(current);
+    return;
+  }
+  used[from] = true;
+
+  // Option A: tables[from] stays single.
+  current.emplace_back(tables[from]);
+  EnumeratePartitions(tables, used, from + 1, current, options, visit);
+  current.pop_back();
+
+  // Option B: pair tables[from] with any later unused table.
+  for (std::size_t j = from + 1; j < tables.size(); ++j) {
+    if (used[j]) continue;
+    CombinedTable product(std::vector<TableSpec>{tables[j], tables[from]});
+    if (product.TotalBytes() > options.max_product_bytes) continue;
+    used[j] = true;
+    current.push_back(std::move(product));
+    EnumeratePartitions(tables, used, from + 1, current, options, visit);
+    current.pop_back();
+    used[j] = false;
+  }
+
+  used[from] = false;
+}
+
+}  // namespace
+
+std::uint64_t CountPairPartitions(std::uint32_t n) {
+  // T(n) = T(n-1) + (n-1) * T(n-2), T(0) = T(1) = 1.
+  std::uint64_t prev2 = 1, prev1 = 1;
+  if (n == 0 || n == 1) return 1;
+  for (std::uint32_t i = 2; i <= n; ++i) {
+    const std::uint64_t cur = prev1 + static_cast<std::uint64_t>(i - 1) * prev2;
+    prev2 = prev1;
+    prev1 = cur;
+  }
+  return prev1;
+}
+
+StatusOr<PlacementPlan> BruteForceSearch(std::vector<TableSpec> tables,
+                                         const MemoryPlatformSpec& platform,
+                                         const PlacementOptions& options) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("BruteForceSearch: no tables");
+  }
+  if (tables.size() > 12) {
+    return Status::InvalidArgument(
+        "BruteForceSearch: > 12 tables is intractable (" +
+        std::to_string(CountPairPartitions(
+            static_cast<std::uint32_t>(tables.size()))) +
+        " partitions); use HeuristicSearch");
+  }
+  const Bytes original_storage = TotalStorage(tables);
+
+  bool have_best = false;
+  PlacementPlan best;
+  std::vector<bool> used(tables.size(), false);
+  std::vector<CombinedTable> current;
+  EnumeratePartitions(
+      tables, used, 0, current, options,
+      [&](const std::vector<CombinedTable>& partition) {
+        StatusOr<PlacementPlan> plan_or =
+            AllocateToBanks(partition, platform, options);
+        if (!plan_or.ok()) return;
+        PlacementPlan plan = std::move(plan_or).value();
+        plan.FinalizeMetrics(platform, options, original_storage);
+        const bool better =
+            !have_best ||
+            plan.lookup_latency_ns < best.lookup_latency_ns - 1e-9 ||
+            (std::abs(plan.lookup_latency_ns - best.lookup_latency_ns) <=
+                 1e-9 &&
+             plan.storage_bytes < best.storage_bytes);
+        if (better) {
+          best = std::move(plan);
+          have_best = true;
+        }
+      });
+
+  if (!have_best) {
+    return Status::ResourceExhausted(
+        "BruteForceSearch: no feasible allocation");
+  }
+  return best;
+}
+
+}  // namespace microrec

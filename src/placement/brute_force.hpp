@@ -1,0 +1,27 @@
+// Exhaustive search over pairings, used to validate the heuristic
+// (paper section 3.4.1 describes why this is infeasible at scale; we run it
+// only for small table counts in tests and the heuristic-quality ablation).
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "embedding/table_spec.hpp"
+#include "memsim/dram_timing.hpp"
+#include "placement/plan.hpp"
+
+namespace microrec {
+
+/// Enumerates every partition of `tables` into singletons and pairs (all
+/// possible rule-2-compatible Cartesian combinations, with no rule-1/3
+/// pruning), allocates each with the shared allocator, and returns the best
+/// plan by (latency, storage). Exponential: requires tables.size() <= 12.
+StatusOr<PlacementPlan> BruteForceSearch(std::vector<TableSpec> tables,
+                                         const MemoryPlatformSpec& platform,
+                                         const PlacementOptions& options);
+
+/// Number of singleton/pair partitions of n elements (telephone numbers);
+/// exposed for tests and the ablation's search-space report.
+std::uint64_t CountPairPartitions(std::uint32_t n);
+
+}  // namespace microrec

@@ -1,0 +1,106 @@
+#include "placement/heuristic.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "placement/allocator.hpp"
+
+namespace microrec {
+
+std::vector<CombinedTable> CombineCandidates(
+    const std::vector<TableSpec>& tables_sorted_asc, std::uint32_t n,
+    const PlacementOptions& options) {
+  const std::uint32_t total = static_cast<std::uint32_t>(tables_sorted_asc.size());
+  MICROREC_CHECK(n <= total);
+
+  std::vector<CombinedTable> out;
+  out.reserve(total);
+
+  // Rule 3: pair candidate i (small) with candidate n-1-i (large).
+  std::uint32_t lo = 0;
+  std::uint32_t hi = n;  // exclusive
+  while (lo < hi) {
+    if (hi - lo == 1) {
+      // Odd candidate count: the middle table stays single (rule 2 forbids
+      // triples).
+      out.emplace_back(tables_sorted_asc[lo]);
+      ++lo;
+      break;
+    }
+    CombinedTable product(
+        std::vector<TableSpec>{tables_sorted_asc[hi - 1], tables_sorted_asc[lo]});
+    if (product.TotalBytes() <= options.max_product_bytes) {
+      out.push_back(std::move(product));
+    } else {
+      // The product would be too costly; keep the pair unmerged.
+      out.emplace_back(tables_sorted_asc[lo]);
+      out.emplace_back(tables_sorted_asc[hi - 1]);
+    }
+    ++lo;
+    --hi;
+  }
+  for (std::uint32_t i = n; i < total; ++i) {
+    out.emplace_back(tables_sorted_asc[i]);
+  }
+  return out;
+}
+
+StatusOr<PlacementPlan> HeuristicSearch(std::vector<TableSpec> tables,
+                                        const MemoryPlatformSpec& platform,
+                                        const PlacementOptions& options) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("HeuristicSearch: no tables");
+  }
+  for (const auto& t : tables) {
+    MICROREC_RETURN_IF_ERROR(t.Validate());
+  }
+  const Bytes original_storage = TotalStorage(tables);
+
+  // Rule 1 presorting: ascending size, so "the n smallest" is a prefix.
+  std::sort(tables.begin(), tables.end(),
+            [](const TableSpec& a, const TableSpec& b) {
+              if (a.TotalBytes() != b.TotalBytes()) {
+                return a.TotalBytes() < b.TotalBytes();
+              }
+              return a.id < b.id;  // deterministic order
+            });
+
+  std::uint32_t max_n = static_cast<std::uint32_t>(tables.size());
+  if (!options.allow_cartesian) {
+    max_n = 0;
+  } else if (options.max_cartesian_candidates != 0) {
+    max_n = std::min(max_n, options.max_cartesian_candidates);
+  }
+
+  bool have_best = false;
+  PlacementPlan best;
+  for (std::uint32_t n = 0; n <= max_n; ++n) {
+    std::vector<CombinedTable> combined = CombineCandidates(tables, n, options);
+    StatusOr<PlacementPlan> plan_or =
+        AllocateToBanks(std::move(combined), platform, options);
+    if (!plan_or.ok()) {
+      MICROREC_LOG(kDebug) << "n=" << n
+                           << " infeasible: " << plan_or.status().ToString();
+      continue;
+    }
+    PlacementPlan plan = std::move(plan_or).value();
+    plan.FinalizeMetrics(platform, options, original_storage);
+
+    const bool better =
+        !have_best || plan.lookup_latency_ns < best.lookup_latency_ns - 1e-9 ||
+        (std::abs(plan.lookup_latency_ns - best.lookup_latency_ns) <= 1e-9 &&
+         plan.storage_bytes < best.storage_bytes);
+    if (better) {
+      best = std::move(plan);
+      have_best = true;
+    }
+  }
+
+  if (!have_best) {
+    return Status::ResourceExhausted(
+        "HeuristicSearch: no feasible allocation for any candidate count");
+  }
+  return best;
+}
+
+}  // namespace microrec

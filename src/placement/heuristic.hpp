@@ -1,0 +1,34 @@
+// Heuristic-rule-based search for table combination and allocation
+// (paper Algorithm 1, section 3.4.2). O(N^2): an outer loop over the number
+// of Cartesian candidates, an O(N) combine step applying rules 1-3, and an
+// O(N) allocation applying rule 4.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "embedding/table_spec.hpp"
+#include "memsim/dram_timing.hpp"
+#include "placement/plan.hpp"
+
+namespace microrec {
+
+/// Applies heuristic rules 1-3 for a fixed candidate count `n`:
+///   rule 1 -- only the n smallest tables are product candidates;
+///   rule 2 -- products join exactly two tables;
+///   rule 3 -- within the candidates, smallest pairs with largest.
+/// Pairs whose product would exceed options.max_product_bytes are left
+/// unmerged. `tables` must be sorted ascending by TotalBytes().
+std::vector<CombinedTable> CombineCandidates(
+    const std::vector<TableSpec>& tables_sorted_asc, std::uint32_t n,
+    const PlacementOptions& options);
+
+/// Full Algorithm 1: iterates n over 0..N, combines, allocates, and keeps
+/// the plan with the lowest modelled lookup latency (ties broken by lower
+/// storage). Returns ResourceExhausted only if no n yields a feasible
+/// allocation.
+StatusOr<PlacementPlan> HeuristicSearch(std::vector<TableSpec> tables,
+                                        const MemoryPlatformSpec& platform,
+                                        const PlacementOptions& options);
+
+}  // namespace microrec

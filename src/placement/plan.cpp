@@ -1,0 +1,92 @@
+#include "placement/plan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace microrec {
+
+std::vector<BankAccess> PlacementPlan::ToBankAccesses(
+    std::uint32_t lookups_per_table) const {
+  std::vector<BankAccess> accesses;
+  accesses.reserve(placements.size() * lookups_per_table);
+  std::uint64_t tag = 0;
+  for (const auto& p : placements) {
+    for (std::uint32_t i = 0; i < lookups_per_table; ++i) {
+      accesses.push_back(BankAccess{p.bank, p.table.VectorBytes(), tag});
+    }
+    ++tag;
+  }
+  return accesses;
+}
+
+void PlacementPlan::FinalizeMetrics(const MemoryPlatformSpec& platform,
+                                    const PlacementOptions& options,
+                                    Bytes original_storage_bytes) {
+  tables_total = static_cast<std::uint32_t>(placements.size());
+  tables_in_dram = 0;
+  tables_onchip = 0;
+  cartesian_products = 0;
+  storage_bytes = 0;
+  for (const auto& p : placements) {
+    storage_bytes += p.table.TotalBytes();
+    if (p.table.is_product()) ++cartesian_products;
+    if (platform.KindOfBank(p.bank) == MemoryKind::kOnChip) {
+      ++tables_onchip;
+    } else {
+      ++tables_in_dram;
+    }
+  }
+  storage_overhead_bytes = storage_bytes >= original_storage_bytes
+                               ? storage_bytes - original_storage_bytes
+                               : 0;
+  RoundLatencyModel model(platform);
+  const auto accesses = ToBankAccesses(options.lookups_per_table);
+  lookup_latency_ns = model.BatchLatency(accesses);
+  dram_access_rounds = model.DramAccessRounds(accesses);
+}
+
+std::string PlacementPlan::ToString(const MemoryPlatformSpec& platform) const {
+  std::ostringstream os;
+  os << "PlacementPlan: " << tables_total << " tables ("
+     << cartesian_products << " products), " << tables_in_dram << " in DRAM, "
+     << tables_onchip << " on-chip\n"
+     << "  storage " << FormatBytes(storage_bytes) << " (+"
+     << FormatBytes(storage_overhead_bytes) << " overhead), lookup latency "
+     << FormatNanos(lookup_latency_ns) << ", DRAM rounds "
+     << dram_access_rounds << "\n";
+  std::map<std::uint32_t, std::vector<const TablePlacement*>> by_bank;
+  for (const auto& p : placements) by_bank[p.bank].push_back(&p);
+  for (const auto& [bank, list] : by_bank) {
+    os << "  bank " << bank << " (" << MemoryKindName(platform.KindOfBank(bank))
+       << "):";
+    for (const auto* p : list) {
+      os << " " << p->table.DebugName() << "[" << FormatBytes(p->table.TotalBytes())
+         << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status ValidatePlan(const PlacementPlan& plan,
+                    const MemoryPlatformSpec& platform) {
+  std::vector<Bytes> used(platform.total_banks(), 0);
+  for (const auto& p : plan.placements) {
+    if (p.bank >= platform.total_banks()) {
+      return Status::OutOfRange("bank index " + std::to_string(p.bank) +
+                                " out of range");
+    }
+    used[p.bank] += p.table.TotalBytes();
+  }
+  for (std::uint32_t b = 0; b < platform.total_banks(); ++b) {
+    if (used[b] > platform.CapacityOfBank(b)) {
+      return Status::ResourceExhausted(
+          "bank " + std::to_string(b) + " over capacity: " +
+          FormatBytes(used[b]) + " > " + FormatBytes(platform.CapacityOfBank(b)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace microrec

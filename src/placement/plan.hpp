@@ -1,0 +1,89 @@
+// Placement plans: the output of the table-combination + bank-allocation
+// search (paper section 3.4).
+//
+// A plan assigns every (possibly Cartesian-combined) table to one memory
+// bank of the platform and carries the derived metrics the paper reports in
+// Table 3: table count after combining, tables left in DRAM, DRAM access
+// rounds, storage overhead, and modelled lookup latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "embedding/table_spec.hpp"
+#include "memsim/dram_timing.hpp"
+#include "memsim/hybrid_memory.hpp"
+
+namespace microrec {
+
+/// One table (single or product) assigned to one bank.
+struct TablePlacement {
+  CombinedTable table;
+  std::uint32_t bank = 0;
+};
+
+/// Options controlling the search.
+struct PlacementOptions {
+  /// Lookups per table per inference. The production models look up each
+  /// table once; DLRM-RMC2 looks up each table 4 times (paper 5.4.2).
+  std::uint32_t lookups_per_table = 1;
+
+  /// Hard cap on the materialized size of any single Cartesian product;
+  /// keeps products "almost for free" relative to large tables (paper 3.3).
+  Bytes max_product_bytes = 64_MiB;
+
+  /// Candidate-pool bound for heuristic rule 1: only this many of the
+  /// smallest tables may participate in products (0 = up to all tables).
+  std::uint32_t max_cartesian_candidates = 0;
+
+  /// Whether rule 4 (caching the smallest tables on-chip) is applied.
+  bool allow_onchip = true;
+
+  /// Whether any Cartesian combining is attempted (false gives the paper's
+  /// "HBM only" configuration of Table 4).
+  bool allow_cartesian = true;
+
+  /// Upper bound on the number of tables cached on-chip (0 = no bound).
+  /// Models the "assigned on-chip storage" of rule 4: each bitstream
+  /// budgets a fixed slice of BRAM/URAM for tables, the rest being needed
+  /// by the DNN pipeline (the paper caches 8 of 47 and 16 of 98 tables).
+  std::uint32_t max_onchip_tables = 0;
+};
+
+/// A complete allocation with derived metrics.
+struct PlacementPlan {
+  std::vector<TablePlacement> placements;
+
+  // ---- Derived metrics (filled by FinalizeMetrics) ----
+  Nanoseconds lookup_latency_ns = 0.0;  ///< round-model batch latency
+  std::uint32_t dram_access_rounds = 0;
+  std::uint32_t tables_total = 0;       ///< combined-table count
+  std::uint32_t tables_in_dram = 0;
+  std::uint32_t tables_onchip = 0;
+  Bytes storage_bytes = 0;              ///< total after combining
+  Bytes storage_overhead_bytes = 0;     ///< vs. storing originals separately
+  std::uint32_t cartesian_products = 0; ///< number of product tables
+
+  /// Expands the plan into one BankAccess per lookup (lookups_per_table
+  /// accesses per table), for the memory simulator / round model.
+  std::vector<BankAccess> ToBankAccesses(
+      std::uint32_t lookups_per_table = 1) const;
+
+  /// Recomputes the derived metrics from `placements`.
+  void FinalizeMetrics(const MemoryPlatformSpec& platform,
+                       const PlacementOptions& options,
+                       Bytes original_storage_bytes);
+
+  /// Multi-line human-readable dump.
+  std::string ToString(const MemoryPlatformSpec& platform) const;
+};
+
+/// Validates structural invariants: every bank within capacity, bank ids in
+/// range, element widths consistent. Returns the first violation found.
+Status ValidatePlan(const PlacementPlan& plan,
+                    const MemoryPlatformSpec& platform);
+
+}  // namespace microrec

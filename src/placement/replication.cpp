@@ -1,0 +1,133 @@
+#include "placement/replication.hpp"
+
+#include <algorithm>
+
+namespace microrec {
+
+std::vector<BankAccess> ReplicationPlan::ToBankAccesses(
+    std::uint32_t lookups_per_table) const {
+  std::vector<BankAccess> accesses;
+  accesses.reserve(tables.size() * lookups_per_table);
+  std::uint64_t tag = 0;
+  for (const auto& replicated : tables) {
+    for (std::uint32_t l = 0; l < lookups_per_table; ++l) {
+      const std::uint32_t bank =
+          replicated.banks[l % replicated.banks.size()];
+      accesses.push_back(
+          BankAccess{bank, replicated.table.VectorBytes(), tag});
+    }
+    ++tag;
+  }
+  return accesses;
+}
+
+StatusOr<ReplicationPlan> ReplicateAndPlace(
+    const std::vector<TableSpec>& tables, const MemoryPlatformSpec& platform,
+    const ReplicationOptions& options) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("ReplicateAndPlace: no tables");
+  }
+  if (options.lookups_per_table == 0) {
+    return Status::InvalidArgument("lookups_per_table must be >= 1");
+  }
+  const std::uint32_t dram_banks =
+      platform.hbm_channels + platform.ddr_channels;
+  if (dram_banks == 0) {
+    return Status::ResourceExhausted("platform has no DRAM channels");
+  }
+  const std::uint32_t replica_target =
+      options.max_replicas == 0
+          ? options.lookups_per_table
+          : std::min(options.max_replicas, options.lookups_per_table);
+
+  std::vector<Bytes> free(dram_banks);
+  std::vector<Nanoseconds> load(dram_banks, 0.0);
+  for (std::uint32_t b = 0; b < dram_banks; ++b) {
+    free[b] = platform.CapacityOfBank(b);
+  }
+
+  ReplicationPlan plan;
+  Bytes single_copy_total = 0;
+
+  // Largest tables first so scarce capacity is claimed before channels
+  // fill with replicas of small tables.
+  std::vector<const TableSpec*> order;
+  order.reserve(tables.size());
+  for (const auto& t : tables) {
+    MICROREC_RETURN_IF_ERROR(t.Validate());
+    order.push_back(&t);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const TableSpec* a, const TableSpec* b) {
+              return a->TotalBytes() > b->TotalBytes();
+            });
+
+  plan.tables.reserve(order.size());
+  for (const TableSpec* table : order) {
+    single_copy_total += table->TotalBytes();
+    ReplicatedTable replicated;
+    replicated.table = *table;
+    plan.tables.push_back(std::move(replicated));
+  }
+
+  // Replicas are placed in rounds -- every table receives its r-th copy
+  // before any table gets its (r+1)-th -- so scarce channels are shared
+  // fairly instead of early tables hogging all their replicas.
+  for (std::uint32_t r = 0; r < replica_target; ++r) {
+    for (auto& replicated : plan.tables) {
+      const TableSpec& table = replicated.table;
+      // Least-loaded feasible bank not already hosting a replica of this
+      // table (a second copy on the same channel adds nothing).
+      std::uint32_t best = dram_banks;
+      for (std::uint32_t b = 0; b < dram_banks; ++b) {
+        if (free[b] < table.TotalBytes()) continue;
+        if (std::find(replicated.banks.begin(), replicated.banks.end(), b) !=
+            replicated.banks.end()) {
+          continue;
+        }
+        if (best == dram_banks || load[b] < load[best] ||
+            (load[b] == load[best] && free[b] < free[best])) {
+          best = b;
+        }
+      }
+      if (best == dram_banks) {
+        if (r == 0) {
+          return Status::ResourceExhausted("table " + table.name +
+                                           " fits no DRAM channel");
+        }
+        continue;  // no room for another replica of this table
+      }
+      const Nanoseconds share =
+          platform.TimingOfBank(best).AccessLatency(table.VectorBytes()) *
+          (static_cast<double>(options.lookups_per_table) / replica_target);
+      if (r > 0) {
+        // Benefit check: an extra replica only helps if the new bank would
+        // finish no later than the table's busiest existing replica bank;
+        // otherwise the copy just concentrates load (e.g. surplus replicas
+        // piling onto the two high-capacity DDR channels).
+        Nanoseconds busiest_existing = 0.0;
+        for (auto bank : replicated.banks) {
+          busiest_existing = std::max(busiest_existing, load[bank]);
+        }
+        if (load[best] + share > busiest_existing + 1e-9) continue;
+      }
+      free[best] -= table.TotalBytes();
+      replicated.banks.push_back(best);
+      load[best] += share;
+    }
+  }
+
+  plan.storage_bytes = 0;
+  for (const auto& replicated : plan.tables) {
+    plan.storage_bytes += replicated.table.TotalBytes() * replicated.replicas();
+  }
+  plan.replication_overhead_bytes = plan.storage_bytes - single_copy_total;
+
+  const auto accesses = plan.ToBankAccesses(options.lookups_per_table);
+  RoundLatencyModel model(platform);
+  plan.lookup_latency_ns = model.BatchLatency(accesses);
+  plan.dram_access_rounds = model.DramAccessRounds(accesses);
+  return plan;
+}
+
+}  // namespace microrec

@@ -1,0 +1,61 @@
+// Table replication for multi-lookup models (paper section 5.4.2).
+//
+// DLRM-style models look up each table several times per inference. On the
+// paper's platform, 8 tables x 4 lookups complete in ONE memory round --
+// which is only possible if each table is reachable through 4 different
+// channels, i.e. replicated. This module makes that mechanism explicit:
+// given per-table lookup counts and a platform, it chooses a replication
+// factor per table (bounded by capacity), places the replicas, and spreads
+// each inference's lookups across them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "embedding/table_spec.hpp"
+#include "memsim/dram_timing.hpp"
+#include "memsim/hybrid_memory.hpp"
+
+namespace microrec {
+
+/// One table replicated over a set of banks.
+struct ReplicatedTable {
+  TableSpec table;
+  std::vector<std::uint32_t> banks;  ///< one entry per replica
+
+  std::uint32_t replicas() const {
+    return static_cast<std::uint32_t>(banks.size());
+  }
+};
+
+struct ReplicationPlan {
+  std::vector<ReplicatedTable> tables;
+  Bytes storage_bytes = 0;           ///< total including replicas
+  Bytes replication_overhead_bytes = 0;  ///< extra copies only
+  Nanoseconds lookup_latency_ns = 0.0;
+  std::uint32_t dram_access_rounds = 0;
+
+  /// Bank accesses of one inference: `lookups_per_table` lookups per
+  /// table, rotated over that table's replicas.
+  std::vector<BankAccess> ToBankAccesses(
+      std::uint32_t lookups_per_table) const;
+};
+
+struct ReplicationOptions {
+  std::uint32_t lookups_per_table = 4;
+  /// Cap on replicas per table (0 = up to lookups_per_table).
+  std::uint32_t max_replicas = 0;
+};
+
+/// Greedy replication + placement: every table gets up to
+/// `lookups_per_table` replicas (so its lookups can all proceed in
+/// parallel), replicas land on the least-loaded DRAM channels with
+/// capacity, and the plan reports the resulting round count and latency.
+/// Fails if even a single copy of some table fits nowhere.
+StatusOr<ReplicationPlan> ReplicateAndPlace(
+    const std::vector<TableSpec>& tables, const MemoryPlatformSpec& platform,
+    const ReplicationOptions& options);
+
+}  // namespace microrec

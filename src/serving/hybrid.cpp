@@ -1,0 +1,154 @@
+#include "serving/hybrid.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+
+namespace microrec {
+
+namespace {
+
+/// Online model of one batched CPU server: queries are assigned in arrival
+/// order; batches launch when full, or once their aggregation window has
+/// provably closed relative to the advancing simulation clock.
+class OnlineBatchedServer {
+ public:
+  OnlineBatchedServer(std::uint64_t max_batch, Nanoseconds timeout,
+                      const BatchLatencyFn& latency_fn)
+      : max_batch_(max_batch), timeout_(timeout), latency_fn_(latency_fn) {}
+
+  void Assign(std::size_t query_id, Nanoseconds arrival) {
+    pending_.push_back({query_id, arrival});
+  }
+
+  /// Launches every batch whose composition can no longer change given
+  /// that all future assignments arrive at or after `now`. Appends
+  /// (query_id, completion) pairs to `completions`.
+  void Flush(Nanoseconds now,
+             std::vector<std::pair<std::size_t, Nanoseconds>>& completions,
+             bool final_flush = false) {
+    while (!pending_.empty()) {
+      const Nanoseconds window_open =
+          std::max(pending_.front().arrival, server_free_);
+      const Nanoseconds window_close = window_open + timeout_;
+      // Members: pending queries that arrived by window close.
+      std::size_t count = 0;
+      while (count < pending_.size() && count < max_batch_ &&
+             pending_[count].arrival <= window_close) {
+        ++count;
+      }
+      const bool full = count == max_batch_;
+      // A non-full batch may still grow while future arrivals could fall
+      // inside the window.
+      if (!full && !final_flush && window_close >= now) return;
+      const Nanoseconds launch =
+          full ? std::max(window_open, pending_[count - 1].arrival)
+               : window_close;
+      if (!full && !final_flush && launch > now) return;
+      const Nanoseconds done = launch + latency_fn_(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        completions.emplace_back(pending_[i].query_id, done);
+      }
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(count));
+      server_free_ = done;
+    }
+  }
+
+ private:
+  struct Pending {
+    std::size_t query_id;
+    Nanoseconds arrival;
+  };
+
+  std::uint64_t max_batch_;
+  Nanoseconds timeout_;
+  const BatchLatencyFn& latency_fn_;
+  std::vector<Pending> pending_;
+  Nanoseconds server_free_ = 0.0;
+};
+
+}  // namespace
+
+HybridFleetReport SimulateHybridFleet(const std::vector<Nanoseconds>& arrivals,
+                                      const HybridFleetConfig& config,
+                                      Nanoseconds sla_ns) {
+  MICROREC_CHECK(!arrivals.empty());
+  MICROREC_CHECK(config.fpga_replicas >= 1);
+  MICROREC_CHECK(config.fpga_initiation_interval_ns > 0.0);
+  const bool can_spill =
+      config.cpu_servers > 0 && config.spill_threshold_ns > 0.0 &&
+      static_cast<bool>(config.cpu_batch_latency);
+
+  std::vector<Nanoseconds> fpga_next_start(config.fpga_replicas, 0.0);
+  std::vector<OnlineBatchedServer> cpu_servers;
+  cpu_servers.reserve(config.cpu_servers);
+  for (std::uint32_t s = 0; s < config.cpu_servers; ++s) {
+    cpu_servers.emplace_back(config.cpu_max_batch, config.cpu_batch_timeout_ns,
+                             config.cpu_batch_latency);
+  }
+
+  std::vector<Nanoseconds> completion(arrivals.size(), 0.0);
+  std::vector<std::pair<std::size_t, Nanoseconds>> cpu_completions;
+  HybridFleetReport report;
+  std::size_t next_cpu = 0;
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Nanoseconds arrival = arrivals[i];
+    // Earliest-available FPGA replica.
+    std::uint32_t best = 0;
+    for (std::uint32_t k = 1; k < config.fpga_replicas; ++k) {
+      if (fpga_next_start[k] < fpga_next_start[best]) best = k;
+    }
+    const Nanoseconds start = std::max(arrival, fpga_next_start[best]);
+    const Nanoseconds queue_delay = start - arrival;
+
+    if (can_spill && queue_delay > config.spill_threshold_ns) {
+      cpu_servers[next_cpu].Assign(i, arrival);
+      next_cpu = (next_cpu + 1) % cpu_servers.size();
+      ++report.cpu_queries;
+    } else {
+      fpga_next_start[best] = start + config.fpga_initiation_interval_ns;
+      completion[i] = start + config.fpga_item_latency_ns;
+      ++report.fpga_queries;
+    }
+    for (auto& server : cpu_servers) server.Flush(arrival, cpu_completions);
+  }
+  for (auto& server : cpu_servers) {
+    server.Flush(arrivals.back(), cpu_completions, /*final_flush=*/true);
+  }
+  for (const auto& [query_id, done] : cpu_completions) {
+    completion[query_id] = done;
+  }
+
+  PercentileTracker latencies;
+  std::uint64_t violations = 0;
+  Nanoseconds makespan = 0.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Nanoseconds latency = completion[i] - arrivals[i];
+    latencies.Add(latency);
+    if (latency > sla_ns) ++violations;
+    makespan = std::max(makespan, completion[i]);
+  }
+
+  ServingReport& overall = report.overall;
+  overall.queries = arrivals.size();
+  const Nanoseconds span = arrivals.back() - arrivals.front();
+  overall.offered_qps =
+      span > 0.0 ? static_cast<double>(arrivals.size() - 1) / ToSeconds(span)
+                 : 0.0;
+  overall.achieved_qps =
+      makespan > 0.0 ? static_cast<double>(arrivals.size()) / ToSeconds(makespan)
+                     : 0.0;
+  overall.p50 = latencies.Percentile(0.50);
+  overall.p95 = latencies.Percentile(0.95);
+  overall.p99 = latencies.Percentile(0.99);
+  overall.max = latencies.Max();
+  overall.mean = latencies.Mean();
+  overall.sla_violation_rate =
+      static_cast<double>(violations) / static_cast<double>(arrivals.size());
+  return report;
+}
+
+}  // namespace microrec

@@ -1,0 +1,48 @@
+// Hybrid CPU + FPGA serving (an extension grounded in the paper's related
+// work: DeepRecSys / Gupta et al. 2020a schedule recommendation queries
+// across CPUs and accelerators to maximize throughput under latency
+// constraints).
+//
+// The dispatcher sends each query to the FPGA pool unless the pool's
+// predicted queueing delay exceeds a spill threshold, in which case the
+// query falls back to a batched CPU server -- trading its latency for
+// protecting the FPGA pool's tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "serving/serving_sim.hpp"
+
+namespace microrec {
+
+struct HybridFleetConfig {
+  // FPGA pool: item-streaming pipelines.
+  std::uint32_t fpga_replicas = 1;
+  Nanoseconds fpga_item_latency_ns = 0.0;
+  Nanoseconds fpga_initiation_interval_ns = 0.0;
+
+  // CPU pool: batched servers.
+  std::uint32_t cpu_servers = 0;
+  std::uint64_t cpu_max_batch = 256;
+  Nanoseconds cpu_batch_timeout_ns = 0.0;
+  BatchLatencyFn cpu_batch_latency;
+
+  /// Spill to CPU when the FPGA pool's predicted queueing delay exceeds
+  /// this (0 = never spill; queries queue on the FPGAs regardless).
+  Nanoseconds spill_threshold_ns = 0.0;
+};
+
+struct HybridFleetReport {
+  ServingReport overall;
+  std::uint64_t fpga_queries = 0;
+  std::uint64_t cpu_queries = 0;
+};
+
+/// Simulates the hybrid fleet over an arrival stream.
+HybridFleetReport SimulateHybridFleet(const std::vector<Nanoseconds>& arrivals,
+                                      const HybridFleetConfig& config,
+                                      Nanoseconds sla_ns);
+
+}  // namespace microrec

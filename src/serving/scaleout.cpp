@@ -1,0 +1,75 @@
+#include "serving/scaleout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "common/status.hpp"
+
+namespace microrec {
+
+ServingReport SimulateReplicatedPipelines(
+    const std::vector<Nanoseconds>& arrivals, std::uint32_t replicas,
+    Nanoseconds item_latency_ns, Nanoseconds initiation_interval_ns,
+    Nanoseconds sla_ns) {
+  MICROREC_CHECK(!arrivals.empty());
+  MICROREC_CHECK(replicas >= 1);
+
+  // next_start[k]: earliest time replica k can begin a new item.
+  std::vector<Nanoseconds> next_start(replicas, 0.0);
+  PercentileTracker latencies;
+  std::uint64_t violations = 0;
+  Nanoseconds makespan = 0.0;
+
+  for (const Nanoseconds arrival : arrivals) {
+    // Least-loaded dispatch.
+    std::uint32_t best = 0;
+    for (std::uint32_t k = 1; k < replicas; ++k) {
+      if (next_start[k] < next_start[best]) best = k;
+    }
+    const Nanoseconds start = std::max(arrival, next_start[best]);
+    next_start[best] = start + initiation_interval_ns;
+    const Nanoseconds done = start + item_latency_ns;
+    makespan = std::max(makespan, done);
+    const Nanoseconds latency = done - arrival;
+    latencies.Add(latency);
+    if (latency > sla_ns) ++violations;
+  }
+
+  ServingReport report;
+  report.queries = arrivals.size();
+  const Nanoseconds span = arrivals.back() - arrivals.front();
+  report.offered_qps =
+      span > 0.0 ? static_cast<double>(arrivals.size() - 1) / ToSeconds(span)
+                 : 0.0;
+  report.achieved_qps =
+      makespan > 0.0 ? static_cast<double>(arrivals.size()) / ToSeconds(makespan)
+                     : 0.0;
+  report.p50 = latencies.Percentile(0.50);
+  report.p95 = latencies.Percentile(0.95);
+  report.p99 = latencies.Percentile(0.99);
+  report.max = latencies.Max();
+  report.mean = latencies.Mean();
+  report.sla_violation_rate =
+      static_cast<double>(violations) / static_cast<double>(arrivals.size());
+  return report;
+}
+
+FleetPlan ProvisionFleet(double target_qps, const DeviceClass& device,
+                         double headroom) {
+  MICROREC_CHECK(target_qps > 0.0);
+  MICROREC_CHECK(device.throughput_items_per_s > 0.0);
+  MICROREC_CHECK(headroom >= 1.0);
+  FleetPlan plan;
+  plan.devices = static_cast<std::uint64_t>(std::ceil(
+      target_qps * headroom / device.throughput_items_per_s));
+  plan.devices = std::max<std::uint64_t>(plan.devices, 1);
+  plan.capacity_items_per_s =
+      static_cast<double>(plan.devices) * device.throughput_items_per_s;
+  plan.dollars_per_hour =
+      static_cast<double>(plan.devices) * device.dollars_per_hour;
+  plan.utilization = target_qps / plan.capacity_items_per_s;
+  return plan;
+}
+
+}  // namespace microrec

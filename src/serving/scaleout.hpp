@@ -1,0 +1,41 @@
+// Scale-out serving: multiple MicroRec pipelines behind a least-loaded
+// dispatcher, and fleet provisioning against a target load (an extension
+// of the paper's cost appendix: how many CPU servers vs FPGA cards does a
+// given traffic level need, and at what hourly cost?).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "serving/serving_sim.hpp"
+
+namespace microrec {
+
+/// Simulates `replicas` identical item-streaming pipelines with
+/// least-loaded dispatch: each query goes to the replica that can start it
+/// earliest. Latency per query = start - arrival + item_latency.
+ServingReport SimulateReplicatedPipelines(
+    const std::vector<Nanoseconds>& arrivals, std::uint32_t replicas,
+    Nanoseconds item_latency_ns, Nanoseconds initiation_interval_ns,
+    Nanoseconds sla_ns);
+
+/// One device class in a provisioning exercise.
+struct DeviceClass {
+  double throughput_items_per_s = 0.0;
+  double dollars_per_hour = 0.0;
+};
+
+struct FleetPlan {
+  std::uint64_t devices = 0;
+  double dollars_per_hour = 0.0;
+  double capacity_items_per_s = 0.0;
+  double utilization = 0.0;  ///< target / capacity
+};
+
+/// Devices needed to serve `target_qps` with `headroom` (e.g. 1.25 = plan
+/// for 80% peak utilisation), and the resulting hourly cost.
+FleetPlan ProvisionFleet(double target_qps, const DeviceClass& device,
+                         double headroom = 1.25);
+
+}  // namespace microrec

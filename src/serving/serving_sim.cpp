@@ -1,0 +1,128 @@
+#include "serving/serving_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+std::vector<Nanoseconds> PoissonArrivals(double rate_qps,
+                                         std::uint64_t num_queries,
+                                         std::uint64_t seed) {
+  MICROREC_CHECK(rate_qps > 0.0);
+  Rng rng(seed);
+  std::vector<Nanoseconds> arrivals;
+  arrivals.reserve(num_queries);
+  const double mean_gap_ns = kNanosPerSecond / rate_qps;
+  Nanoseconds t = 0.0;
+  for (std::uint64_t i = 0; i < num_queries; ++i) {
+    // Exponential inter-arrival via inverse CDF; clamp u away from 0.
+    const double u = std::max(rng.NextDouble(), 1e-12);
+    t += -std::log(u) * mean_gap_ns;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+std::string ServingReport::ToString() const {
+  std::ostringstream os;
+  os << queries << " queries @" << offered_qps << " qps offered, "
+     << achieved_qps << " achieved | latency p50 " << FormatNanos(p50)
+     << " p95 " << FormatNanos(p95) << " p99 " << FormatNanos(p99) << " max "
+     << FormatNanos(max) << " | SLA violations "
+     << 100.0 * sla_violation_rate << "%";
+  return os.str();
+}
+
+namespace {
+
+ServingReport Summarize(const std::vector<Nanoseconds>& arrivals,
+                        const std::vector<Nanoseconds>& completions,
+                        Nanoseconds sla_ns) {
+  MICROREC_CHECK(arrivals.size() == completions.size());
+  MICROREC_CHECK(!arrivals.empty());
+  PercentileTracker latencies;
+  std::uint64_t violations = 0;
+  Nanoseconds makespan_end = 0.0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Nanoseconds latency = completions[i] - arrivals[i];
+    latencies.Add(latency);
+    if (latency > sla_ns) ++violations;
+    makespan_end = std::max(makespan_end, completions[i]);
+  }
+  ServingReport report;
+  report.queries = arrivals.size();
+  const Nanoseconds span = arrivals.back() - arrivals.front();
+  report.offered_qps =
+      span > 0.0 ? static_cast<double>(arrivals.size() - 1) / ToSeconds(span)
+                 : 0.0;
+  report.achieved_qps =
+      makespan_end > 0.0
+          ? static_cast<double>(arrivals.size()) / ToSeconds(makespan_end)
+          : 0.0;
+  report.p50 = latencies.Percentile(0.50);
+  report.p95 = latencies.Percentile(0.95);
+  report.p99 = latencies.Percentile(0.99);
+  report.max = latencies.Max();
+  report.mean = latencies.Mean();
+  report.sla_violation_rate =
+      static_cast<double>(violations) / static_cast<double>(arrivals.size());
+  return report;
+}
+
+}  // namespace
+
+ServingReport SimulateBatchedServer(const std::vector<Nanoseconds>& arrivals,
+                                    std::uint64_t max_batch,
+                                    Nanoseconds batch_timeout_ns,
+                                    const BatchLatencyFn& latency_fn,
+                                    Nanoseconds sla_ns) {
+  MICROREC_CHECK(!arrivals.empty());
+  MICROREC_CHECK(max_batch >= 1);
+  std::vector<Nanoseconds> completions(arrivals.size());
+
+  Nanoseconds server_free = 0.0;
+  std::size_t next = 0;
+  while (next < arrivals.size()) {
+    // The batch window opens when the first pending query is available and
+    // the server is idle.
+    const Nanoseconds window_open = std::max(arrivals[next], server_free);
+    const Nanoseconds window_close = window_open + batch_timeout_ns;
+    // Take every query that has arrived by window close, up to max_batch.
+    std::size_t end = next;
+    while (end < arrivals.size() && end - next < max_batch &&
+           arrivals[end] <= window_close) {
+      ++end;
+    }
+    // A full batch launches as soon as its last member arrives; a partial
+    // batch waits out the aggregation timeout hoping for more queries.
+    const bool full = (end - next) == max_batch;
+    const Nanoseconds launch =
+        full ? std::max(window_open, arrivals[end - 1]) : window_close;
+    const Nanoseconds done = launch + latency_fn(end - next);
+    for (std::size_t i = next; i < end; ++i) completions[i] = done;
+    server_free = done;
+    next = end;
+  }
+  return Summarize(arrivals, completions, sla_ns);
+}
+
+ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
+                                      Nanoseconds item_latency_ns,
+                                      Nanoseconds initiation_interval_ns,
+                                      Nanoseconds sla_ns) {
+  MICROREC_CHECK(!arrivals.empty());
+  std::vector<Nanoseconds> completions(arrivals.size());
+  Nanoseconds last_start = -initiation_interval_ns;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Nanoseconds start =
+        std::max(arrivals[i], last_start + initiation_interval_ns);
+    completions[i] = start + item_latency_ns;
+    last_start = start;
+  }
+  return Summarize(arrivals, completions, sla_ns);
+}
+
+}  // namespace microrec

@@ -1,0 +1,63 @@
+// Online-serving simulation (an extension of paper section 4.1's latency
+// argument).
+//
+// CPU serving must aggregate queries into batches to reach throughput,
+// paying batch-wait plus a batch-sized processing time against the SLA of
+// tens of milliseconds. MicroRec streams items through the pipeline with a
+// per-item initiation interval, so tail latency collapses to microseconds.
+// These simulators quantify that difference for a given arrival process.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace microrec {
+
+/// Query arrival timestamps (ns, nondecreasing).
+std::vector<Nanoseconds> PoissonArrivals(double rate_qps,
+                                         std::uint64_t num_queries,
+                                         std::uint64_t seed);
+
+/// Percentile summary of per-query latencies.
+struct ServingReport {
+  std::uint64_t queries = 0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;  ///< queries / makespan
+  Nanoseconds p50 = 0.0;
+  Nanoseconds p95 = 0.0;
+  Nanoseconds p99 = 0.0;
+  Nanoseconds max = 0.0;
+  Nanoseconds mean = 0.0;
+  double sla_violation_rate = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Latency of processing a batch of the given size (ns).
+using BatchLatencyFn = std::function<Nanoseconds(std::uint64_t batch)>;
+
+/// Simulates a single-executor server that collects up to `max_batch`
+/// queries (or waits at most `batch_timeout_ns` after the first pending
+/// query) and processes each batch in latency_fn(batch). A query's latency
+/// is its completion time minus its arrival.
+ServingReport SimulateBatchedServer(const std::vector<Nanoseconds>& arrivals,
+                                    std::uint64_t max_batch,
+                                    Nanoseconds batch_timeout_ns,
+                                    const BatchLatencyFn& latency_fn,
+                                    Nanoseconds sla_ns);
+
+/// Simulates the item-streaming pipeline: query i begins at
+/// max(arrival_i, start_{i-1} + initiation_interval) and completes
+/// item_latency later.
+ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
+                                      Nanoseconds item_latency_ns,
+                                      Nanoseconds initiation_interval_ns,
+                                      Nanoseconds sla_ns);
+
+}  // namespace microrec

@@ -1,0 +1,13 @@
+#include "tensor/activations.hpp"
+
+namespace microrec {
+
+void ReluInPlace(std::span<float> values) {
+  for (float& v : values) v = Relu(v);
+}
+
+void SigmoidInPlace(std::span<float> values) {
+  for (float& v : values) v = Sigmoid(v);
+}
+
+}  // namespace microrec

@@ -1,0 +1,80 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+
+namespace microrec {
+
+void GemmReference(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  MICROREC_CHECK(a.cols() == b.rows());
+  c.Resize(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a(i, p) * b(p, j);
+      }
+      c(i, j) = acc;
+    }
+  }
+}
+
+void GemmBlocked(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  MICROREC_CHECK(a.cols() == b.rows());
+  c.Resize(a.rows(), b.cols());
+  c.Fill(0.0f);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // Block sizes chosen so an (MB x KB) A-panel and (KB x NB) B-panel fit in
+  // L1/L2 comfortably; i-k-j loop order streams B rows and keeps C rows hot.
+  constexpr std::size_t kMB = 64, kKB = 128, kNB = 256;
+  for (std::size_t i0 = 0; i0 < m; i0 += kMB) {
+    const std::size_t i1 = std::min(m, i0 + kMB);
+    for (std::size_t p0 = 0; p0 < k; p0 += kKB) {
+      const std::size_t p1 = std::min(k, p0 + kKB);
+      for (std::size_t j0 = 0; j0 < n; j0 += kNB) {
+        const std::size_t j1 = std::min(n, j0 + kNB);
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* crow = c.data() + i * n;
+          const float* arow = a.data() + i * k;
+          for (std::size_t p = p0; p < p1; ++p) {
+            const float av = arow[p];
+            const float* brow = b.data() + p * n;
+            for (std::size_t j = j0; j < j1; ++j) {
+              crow[j] += av * brow[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+bool CpuSupportsAvx2() {
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+}
+
+void GemmAuto(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  if (CpuSupportsAvx2()) {
+    GemmAvx2(a, b, c);
+  } else {
+    GemmBlocked(a, b, c);
+  }
+}
+
+void Gemv(std::span<const float> x, const MatrixF& b, std::span<float> y) {
+  MICROREC_CHECK(x.size() == b.rows());
+  MICROREC_CHECK(y.size() == b.cols());
+  const std::size_t k = b.rows(), n = b.cols();
+  std::fill(y.begin(), y.end(), 0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float xv = x[p];
+    const float* brow = b.data() + p * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      y[j] += xv * brow[j];
+    }
+  }
+}
+
+}  // namespace microrec

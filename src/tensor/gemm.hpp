@@ -1,0 +1,42 @@
+// GEMM / GEMV kernels for the CPU baseline and for reference computation.
+//
+// Two float implementations are provided: a straightforward reference kernel
+// (used by tests as ground truth) and a cache-blocked kernel that the CPU
+// baseline engine measures. Correctness of blocked vs. reference is covered
+// by property tests.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/matrix.hpp"
+
+namespace microrec {
+
+/// C(m,n) = A(m,k) * B(k,n). Reference triple loop, no blocking.
+void GemmReference(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// Cache-blocked GEMM with k-innermost accumulation; same contract as
+/// GemmReference.
+void GemmBlocked(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// AVX2+FMA vectorized blocked GEMM. Only call when the host supports
+/// AVX2/FMA (see GemmAuto); same contract as GemmReference.
+void GemmAvx2(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// True iff this host can run the AVX2 kernel.
+bool CpuSupportsAvx2();
+
+/// Dispatches to GemmAvx2 when the host supports it, GemmBlocked otherwise
+/// -- the CPU baseline's GEMM (the paper's baseline is AVX2 FMA-enabled).
+void GemmAuto(const MatrixF& a, const MatrixF& b, MatrixF& c);
+
+/// y(n) = x(k) * B(k,n) for a single row vector x; used at batch size 1.
+void Gemv(std::span<const float> x, const MatrixF& b, std::span<float> y);
+
+/// Number of floating-point operations for an (m,k)x(k,n) GEMM counting one
+/// multiply + one add per MAC, matching the paper's GOP/s accounting.
+constexpr std::size_t GemmOps(std::size_t m, std::size_t k, std::size_t n) {
+  return 2 * m * k * n;
+}
+
+}  // namespace microrec

@@ -1,0 +1,114 @@
+// Dense row-major matrix / vector containers with cache-line alignment.
+//
+// These are deliberately small: the repo needs exactly the shapes used by
+// CTR-model MLPs (tall-skinny activations x weight matrices), not a general
+// tensor library.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Row-major 2-D array of T, 64-byte aligned storage.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) { Resize(rows, cols); }
+
+  Matrix(const Matrix& other) { CopyFrom(other); }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Matrix(Matrix&& other) noexcept { MoveFrom(std::move(other)); }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+      Free();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~Matrix() { Free(); }
+
+  void Resize(std::size_t rows, std::size_t cols) {
+    Free();
+    rows_ = rows;
+    cols_ = cols;
+    if (rows * cols > 0) {
+      data_ = static_cast<T*>(::operator new[](
+          rows * cols * sizeof(T), std::align_val_t(kCacheLineBytes)));
+      for (std::size_t i = 0; i < rows * cols; ++i) new (data_ + i) T();
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    MICROREC_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    MICROREC_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) {
+    MICROREC_CHECK(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const {
+    MICROREC_CHECK(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+
+  std::span<T> flat() { return {data_, size()}; }
+  std::span<const T> flat() const { return {data_, size()}; }
+
+  void Fill(T value) {
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = value;
+  }
+
+ private:
+  void Free() {
+    if (data_ != nullptr) {
+      for (std::size_t i = 0; i < size(); ++i) data_[i].~T();
+      ::operator delete[](data_, std::align_val_t(kCacheLineBytes));
+      data_ = nullptr;
+    }
+    rows_ = cols_ = 0;
+  }
+
+  void CopyFrom(const Matrix& other) {
+    Resize(other.rows_, other.cols_);
+    for (std::size_t i = 0; i < size(); ++i) data_[i] = other.data_[i];
+  }
+
+  void MoveFrom(Matrix&& other) noexcept {
+    data_ = std::exchange(other.data_, nullptr);
+    rows_ = std::exchange(other.rows_, 0);
+    cols_ = std::exchange(other.cols_, 0);
+  }
+
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+using MatrixF = Matrix<float>;
+
+}  // namespace microrec

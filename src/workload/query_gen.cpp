@@ -1,0 +1,39 @@
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+
+QueryGenerator::QueryGenerator(const RecModelSpec& model,
+                               IndexDistribution distribution,
+                               std::uint64_t seed, double theta)
+    : model_(model), distribution_(distribution), rng_(seed) {
+  if (distribution_ == IndexDistribution::kZipf) {
+    zipf_.reserve(model_.tables.size());
+    for (const auto& t : model_.tables) {
+      zipf_.emplace_back(t.rows, theta);
+    }
+  }
+}
+
+SparseQuery QueryGenerator::Next() {
+  SparseQuery query;
+  query.indices.reserve(model_.tables.size() * model_.lookups_per_table);
+  for (std::size_t t = 0; t < model_.tables.size(); ++t) {
+    for (std::uint32_t l = 0; l < model_.lookups_per_table; ++l) {
+      if (distribution_ == IndexDistribution::kZipf) {
+        query.indices.push_back(zipf_[t].Sample(rng_));
+      } else {
+        query.indices.push_back(rng_.NextBounded(model_.tables[t].rows));
+      }
+    }
+  }
+  return query;
+}
+
+std::vector<SparseQuery> QueryGenerator::NextBatch(std::size_t batch) {
+  std::vector<SparseQuery> queries;
+  queries.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) queries.push_back(Next());
+  return queries;
+}
+
+}  // namespace microrec

@@ -1,0 +1,45 @@
+// Query-stream generation: per-table sparse indices for inference requests.
+//
+// Supports uniform and Zipf-skewed index draws (recommendation traffic is
+// skewed toward hot users/items). Generation is deterministic given the
+// seed so CPU and accelerator paths score identical queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace microrec {
+
+/// One inference request: one row index per table, in table order. With
+/// lookups_per_table > 1 the layout is [table0_lookup0, table0_lookup1,
+/// ..., table1_lookup0, ...].
+struct SparseQuery {
+  std::vector<std::uint64_t> indices;
+};
+
+enum class IndexDistribution { kUniform, kZipf };
+
+class QueryGenerator {
+ public:
+  /// `theta` is the Zipf exponent (ignored for kUniform).
+  QueryGenerator(const RecModelSpec& model, IndexDistribution distribution,
+                 std::uint64_t seed, double theta = 0.9);
+
+  /// Draws the next query.
+  SparseQuery Next();
+
+  /// Draws a batch of queries.
+  std::vector<SparseQuery> NextBatch(std::size_t batch);
+
+ private:
+  const RecModelSpec& model_;
+  IndexDistribution distribution_;
+  Rng rng_;
+  std::vector<ZipfSampler> zipf_;  // one per table (kZipf only)
+};
+
+}  // namespace microrec

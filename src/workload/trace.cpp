@@ -1,0 +1,98 @@
+#include "workload/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace microrec {
+
+std::vector<TimedQuery> RecordTrace(QueryGenerator& generator,
+                                    const std::vector<Nanoseconds>& arrivals) {
+  std::vector<TimedQuery> trace;
+  trace.reserve(arrivals.size());
+  for (const Nanoseconds arrival : arrivals) {
+    trace.push_back(TimedQuery{arrival, generator.Next()});
+  }
+  return trace;
+}
+
+std::string SerializeTrace(const std::vector<TimedQuery>& trace) {
+  std::ostringstream os;
+  os << "microrec-trace v1\n";
+  char buf[32];
+  for (const auto& timed : trace) {
+    std::snprintf(buf, sizeof(buf), "%.3f", timed.arrival_ns);
+    os << "q " << buf;
+    for (std::uint64_t idx : timed.query.indices) os << " " << idx;
+    os << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<std::vector<TimedQuery>> ParseTrace(const std::string& text,
+                                             const RecModelSpec& model) {
+  const std::size_t expected_indices =
+      model.tables.size() * model.lookups_per_table;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::vector<TimedQuery> trace;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!saw_header) {
+      std::string magic, version;
+      ls >> magic >> version;
+      if (magic != "microrec-trace" || version != "v1") {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) +
+            ": expected 'microrec-trace v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+    std::string tag;
+    ls >> tag;
+    if (tag != "q") {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 'q', got '" + tag + "'");
+    }
+    TimedQuery timed;
+    if (!(ls >> timed.arrival_ns) || timed.arrival_ns < 0.0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad arrival time");
+    }
+    if (!trace.empty() && timed.arrival_ns < trace.back().arrival_ns) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": arrivals must be nondecreasing");
+    }
+    std::uint64_t idx;
+    while (ls >> idx) timed.query.indices.push_back(idx);
+    if (timed.query.indices.size() != expected_indices) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(expected_indices) + " indices, got " +
+          std::to_string(timed.query.indices.size()));
+    }
+    for (std::size_t t = 0; t < model.tables.size(); ++t) {
+      for (std::uint32_t l = 0; l < model.lookups_per_table; ++l) {
+        const std::uint64_t value =
+            timed.query.indices[t * model.lookups_per_table + l];
+        if (value >= model.tables[t].rows) {
+          return Status::OutOfRange(
+              "line " + std::to_string(line_no) + ": index " +
+              std::to_string(value) + " out of range for table " +
+              model.tables[t].name);
+        }
+      }
+    }
+    trace.push_back(std::move(timed));
+  }
+  if (!saw_header) return Status::InvalidArgument("empty trace");
+  return trace;
+}
+
+}  // namespace microrec

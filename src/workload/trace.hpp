@@ -1,0 +1,40 @@
+// Query-trace recording and replay.
+//
+// A trace pins down an exact workload -- arrival times and sparse indices
+// per query -- so different engines (CPU baseline, analytic model, full
+// system simulation) score byte-identical request streams, and so
+// experiments can be re-run long after the generator that produced them
+// has changed. Text format ("microrec-trace v1"):
+//   microrec-trace v1
+//   q <arrival_ns> <idx0> <idx1> ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+
+struct TimedQuery {
+  Nanoseconds arrival_ns = 0.0;
+  SparseQuery query;
+};
+
+/// Pairs a generator's queries with the given arrival times.
+std::vector<TimedQuery> RecordTrace(QueryGenerator& generator,
+                                    const std::vector<Nanoseconds>& arrivals);
+
+std::string SerializeTrace(const std::vector<TimedQuery>& trace);
+
+/// Parses and validates against `model`: every query must carry
+/// tables * lookups_per_table indices, each within its table's rows, and
+/// arrivals must be nondecreasing.
+StatusOr<std::vector<TimedQuery>> ParseTrace(const std::string& text,
+                                             const RecModelSpec& model);
+
+}  // namespace microrec

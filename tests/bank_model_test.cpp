@@ -1,0 +1,119 @@
+// Tests for the row-buffer-level DRAM bank model and the section-3.3
+// "merged access is almost 2x cheaper" analysis.
+#include <gtest/gtest.h>
+
+#include "memsim/bank_model.hpp"
+#include "memsim/dram_timing.hpp"
+
+namespace microrec {
+namespace {
+
+TEST(BankModelTest, DefaultTimingMatchesChannelCalibration) {
+  // The closed-row bank read must equal the calibrated channel-level
+  // access latency for any size.
+  const DramBankTiming timing = DefaultHbmBankTiming();
+  const ChannelTiming channel = HbmChannelTiming();
+  for (Bytes bytes : {16ull, 64ull, 128ull, 256ull}) {
+    DramBank bank(timing);
+    EXPECT_NEAR(bank.Read(1'000'000, bytes), channel.AccessLatency(bytes),
+                0.5)
+        << bytes;
+    EXPECT_NEAR(timing.AsChannelTiming().AccessLatency(bytes),
+                channel.AccessLatency(bytes), 0.5);
+  }
+}
+
+TEST(BankModelTest, OpenRowHitSkipsActivation) {
+  DramBank bank;
+  const Nanoseconds cold = bank.Read(0, 64);        // activates row 0
+  const Nanoseconds warm = bank.Read(128, 64);      // same row: hit
+  EXPECT_NEAR(cold - warm, bank.timing().activate_ns, 1e-9);
+  EXPECT_EQ(bank.stats().row_activations, 1u);
+  EXPECT_EQ(bank.stats().row_hits, 1u);
+}
+
+TEST(BankModelTest, DifferentRowReactivates) {
+  DramBank bank;
+  bank.Read(0, 64);
+  const std::uint64_t far = 100 * bank.timing().row_bytes;
+  bank.Read(far, 64);
+  EXPECT_EQ(bank.stats().row_activations, 2u);
+}
+
+TEST(BankModelTest, PrechargeClosesRow) {
+  DramBank bank;
+  bank.Read(0, 64);
+  bank.PrechargeAll();
+  bank.Read(0, 64);  // same address, but row was closed
+  EXPECT_EQ(bank.stats().row_activations, 2u);
+}
+
+TEST(BankModelTest, ReadSpanningRowsActivatesEach) {
+  DramBank bank;
+  const std::uint32_t row_bytes = bank.timing().row_bytes;
+  // Start 16 bytes before a row boundary, read 64: touches 2 rows.
+  bank.Read(row_bytes - 16, 64);
+  EXPECT_EQ(bank.stats().row_activations, 2u);
+}
+
+TEST(BankModelTest, StatsTrackBytes) {
+  DramBank bank;
+  bank.Read(0, 100);
+  bank.Read(5000, 28);
+  EXPECT_EQ(bank.stats().reads, 2u);
+  EXPECT_EQ(bank.stats().bytes_read, 128u);
+}
+
+TEST(BankModelTest, HitRateComputation) {
+  DramBank bank;
+  bank.Read(0, 4);
+  bank.Read(8, 4);
+  bank.Read(16, 4);
+  // 1 activation, 2 hits.
+  EXPECT_NEAR(bank.stats().row_hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+// The paper's core claim: merging two short vectors into one access gives
+// a speedup approaching 2x, shrinking as vectors grow (transfer starts to
+// matter).
+TEST(CartesianAccessTest, ShortVectorsApproachTwoX) {
+  const auto cmp = CompareSeparateVsMerged(16, 16);  // two dim-4 vectors
+  EXPECT_GT(cmp.speedup, 1.8);
+  EXPECT_LT(cmp.speedup, 2.0);
+}
+
+TEST(CartesianAccessTest, SpeedupDecreasesWithVectorLength) {
+  double prev = 3.0;
+  for (Bytes bytes : {16ull, 32ull, 64ull, 128ull, 256ull}) {
+    const auto cmp = CompareSeparateVsMerged(bytes, bytes);
+    EXPECT_LT(cmp.speedup, prev) << bytes;
+    EXPECT_GT(cmp.speedup, 1.0) << bytes;
+    prev = cmp.speedup;
+  }
+}
+
+TEST(CartesianAccessTest, MergedNeverSlower) {
+  for (Bytes a : {8ull, 64ull, 512ull}) {
+    for (Bytes b : {8ull, 64ull, 512ull}) {
+      const auto cmp = CompareSeparateVsMerged(a, b);
+      EXPECT_LE(cmp.merged_ns, cmp.separate_ns);
+      EXPECT_DOUBLE_EQ(cmp.speedup, cmp.separate_ns / cmp.merged_ns);
+    }
+  }
+}
+
+// Parameterized sweep mirroring the paper's "4 to 64 elements" range.
+class CartesianSpeedupSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CartesianSpeedupSweep, SpeedupInPlausibleBand) {
+  const Bytes bytes = static_cast<Bytes>(GetParam()) * 4;  // fp32 elements
+  const auto cmp = CompareSeparateVsMerged(bytes, bytes);
+  EXPECT_GT(cmp.speedup, 1.3);
+  EXPECT_LE(cmp.speedup, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(VectorLengths, CartesianSpeedupSweep,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,131 @@
+// Tests for Q-format calibration and quantized-accuracy evaluation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/calibration.hpp"
+
+namespace microrec {
+namespace {
+
+std::vector<std::vector<float>> SampleInputs(std::uint32_t dim, int n,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> inputs(n);
+  for (auto& input : inputs) {
+    input.resize(dim);
+    for (float& v : input) v = rng.NextFloat(-0.25f, 0.25f);
+  }
+  return inputs;
+}
+
+TEST(ValueRangeTest, ObserveAndMerge) {
+  ValueRange a;
+  a.Observe(1.0);
+  a.Observe(-3.0);
+  EXPECT_DOUBLE_EQ(a.max_abs, 3.0);
+  EXPECT_DOUBLE_EQ(a.mean_abs, 2.0);
+  EXPECT_EQ(a.count, 2u);
+
+  ValueRange b;
+  b.Observe(5.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.max_abs, 5.0);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.mean_abs, 3.0);
+}
+
+TEST(ValueRangeTest, MergeEmptyIsNoop) {
+  ValueRange a;
+  a.Observe(2.0);
+  a.Merge(ValueRange{});
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_DOUBLE_EQ(a.max_abs, 2.0);
+}
+
+TEST(RecommendQFormatTest, SmallRangeMaximizesFraction) {
+  ValueRange range;
+  range.Observe(0.4);  // 2 * 0.4 < 1 -> 0 integer bits
+  const auto rec = RecommendQFormat(range, 16).value();
+  EXPECT_EQ(rec.int_bits, 0);
+  EXPECT_EQ(rec.frac_bits, 15);
+  EXPECT_DOUBLE_EQ(rec.epsilon, std::pow(2.0, -15));
+}
+
+TEST(RecommendQFormatTest, WiderRangeSpendsIntegerBits) {
+  ValueRange range;
+  range.Observe(10.0);  // needs ceil(log2(20)) = 5 integer bits
+  const auto rec = RecommendQFormat(range, 16).value();
+  EXPECT_EQ(rec.int_bits, 5);
+  EXPECT_EQ(rec.frac_bits, 10);  // exactly our Fixed16 = Q5.10
+}
+
+TEST(RecommendQFormatTest, RejectsBadWordSize) {
+  ValueRange range;
+  range.Observe(1.0);
+  EXPECT_FALSE(RecommendQFormat(range, 8).ok());
+}
+
+TEST(RecommendQFormatTest, RejectsImpossibleRange) {
+  ValueRange range;
+  range.Observe(1e30);
+  EXPECT_EQ(RecommendQFormat(range, 16).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ScanModelRangeTest, CoversWeightsAndActivations) {
+  MlpSpec spec;
+  spec.input_dim = 16;
+  spec.hidden = {32, 16};
+  const MlpModel model = MlpModel::Create(spec, 5);
+  const auto inputs = SampleInputs(spec.input_dim, 20, 6);
+  const ValueRange range = ScanModelRange(model, inputs);
+  EXPECT_GT(range.count, 0u);
+  EXPECT_GT(range.max_abs, 0.0);
+  // A model with He-scaled weights and bounded inputs stays in a small
+  // range -- well inside Q5.10.
+  EXPECT_LT(range.max_abs, 16.0);
+}
+
+TEST(ScanModelRangeTest, ProductionModelFitsChosenFormats) {
+  // The repo's chosen formats (Q5.10 / Q15.16) must cover the production
+  // MLP's observed dynamic range with margin.
+  MlpSpec spec;
+  spec.input_dim = 352;
+  spec.hidden = {1024, 512, 256};
+  const MlpModel model = MlpModel::Create(spec, 7);
+  const auto inputs = SampleInputs(spec.input_dim, 10, 8);
+  const ValueRange range = ScanModelRange(model, inputs);
+  const auto rec16 = RecommendQFormat(range, 16).value();
+  EXPECT_LE(rec16.int_bits, 5);   // fits Q5.10
+  const auto rec32 = RecommendQFormat(range, 32).value();
+  EXPECT_LE(rec32.int_bits, 15);  // fits Q15.16
+}
+
+TEST(EvaluateQuantizedAccuracyTest, Fixed32TighterThanFixed16) {
+  MlpSpec spec;
+  spec.input_dim = 24;
+  spec.hidden = {48, 24};
+  const MlpModel model = MlpModel::Create(spec, 9);
+  const auto inputs = SampleInputs(spec.input_dim, 50, 10);
+  const auto r16 = EvaluateQuantizedAccuracy<Fixed16>(model, inputs);
+  const auto r32 = EvaluateQuantizedAccuracy<Fixed32>(model, inputs);
+  EXPECT_EQ(r16.samples, 50u);
+  EXPECT_LT(r32.max_abs_error, r16.max_abs_error);
+  EXPECT_LE(r16.mean_abs_error, r16.max_abs_error);
+  EXPECT_LT(r32.max_abs_error, 1e-3);
+  EXPECT_LT(r16.max_abs_error, 0.05);
+}
+
+TEST(EvaluateQuantizedAccuracyTest, EmptyInputs) {
+  MlpSpec spec;
+  spec.input_dim = 8;
+  spec.hidden = {8};
+  const MlpModel model = MlpModel::Create(spec, 11);
+  const auto report = EvaluateQuantizedAccuracy<Fixed16>(
+      model, std::span<const std::vector<float>>{});
+  EXPECT_EQ(report.samples, 0u);
+  EXPECT_DOUBLE_EQ(report.max_abs_error, 0.0);
+}
+
+}  // namespace
+}  // namespace microrec

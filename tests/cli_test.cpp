@@ -1,0 +1,239 @@
+// Tests for the microrec CLI: argument parsing and each subcommand driven
+// through the same functions the binary dispatches to.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+namespace microrec::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Temp-dir fixture: every file written by a test is cleaned up.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("microrec_cli_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Runs the CLI and returns (status, captured stdout).
+  std::pair<Status, std::string> Run(const std::vector<std::string>& tokens) {
+    std::ostringstream out;
+    Status status = RunCli(tokens, out);
+    return {status, out.str()};
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------- ArgList
+
+TEST(ArgListTest, PositionalAndOptions) {
+  auto args = ArgList::Parse({"model.txt", "--out", "plan.txt"}).value();
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "model.txt");
+  EXPECT_EQ(args.GetOption("out").value(), "plan.txt");
+  EXPECT_FALSE(args.GetOption("missing").has_value());
+}
+
+TEST(ArgListTest, FlagsConsumeNoValue) {
+  auto args =
+      ArgList::Parse({"--no-cartesian", "file"}, {"no-cartesian"}).value();
+  EXPECT_TRUE(args.HasFlag("no-cartesian"));
+  ASSERT_EQ(args.positional().size(), 1u);
+}
+
+TEST(ArgListTest, OptionMissingValueFails) {
+  auto args = ArgList::Parse({"--out"});
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgListTest, TypedAccess) {
+  auto args = ArgList::Parse({"--items", "500"}).value();
+  EXPECT_EQ(args.GetUint("items", 7).value(), 500u);
+  EXPECT_EQ(args.GetUint("other", 7).value(), 7u);
+  auto bad = ArgList::Parse({"--items", "abc"}).value();
+  EXPECT_FALSE(bad.GetUint("items", 7).ok());
+}
+
+TEST(ArgListTest, CheckAllowedRejectsUnknown) {
+  auto args = ArgList::Parse({"--bogus", "1"}).value();
+  EXPECT_FALSE(args.CheckAllowed({"out"}).ok());
+  EXPECT_TRUE(args.CheckAllowed({"bogus"}).ok());
+}
+
+// ---------------------------------------------------------------- Commands
+
+TEST_F(CliTest, NoCommandPrintsUsage) {
+  auto [status, out] = Run({});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  auto [status, out] = Run({"frobnicate"});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, ModelGenToStdout) {
+  auto [status, out] = Run({"modelgen", "small"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("microrec-model v1"), std::string::npos);
+  EXPECT_NE(out.find("name alibaba-small"), std::string::npos);
+}
+
+TEST_F(CliTest, ModelGenDlrmHonorsOptions) {
+  auto [status, out] =
+      Run({"modelgen", "dlrm", "--tables", "12", "--veclen", "64"});
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(out.find("dlrm-rmc2-12t-64d"), std::string::npos);
+}
+
+TEST_F(CliTest, ModelGenRejectsUnknownKind) {
+  auto [status, out] = Run({"modelgen", "medium"});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, RoundTripThroughFiles) {
+  const std::string model_path = Path("model.txt");
+  {
+    auto [status, out] = Run({"modelgen", "small", "--out", model_path});
+    ASSERT_TRUE(status.ok()) << status;
+  }
+  {
+    auto [status, out] = Run({"inspect", model_path});
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_NE(out.find("47 tables"), std::string::npos);
+    EXPECT_NE(out.find("feature length 352"), std::string::npos);
+  }
+  const std::string plan_path = Path("plan.txt");
+  {
+    auto [status, out] = Run({"plan", model_path, "--out", plan_path});
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_NE(out.find("5 products"), std::string::npos);
+    EXPECT_NE(out.find("1 DRAM round"), std::string::npos);
+  }
+  {
+    auto [status, out] = Run({"simulate", model_path, "--plan", plan_path,
+                              "--items", "100"});
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_NE(out.find("analytic:"), std::string::npos);
+    EXPECT_NE(out.find("simulated 100 items"), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, PlanNoCartesianFlag) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"plan", model_path, "--no-cartesian"});
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(out.find("0 products"), std::string::npos);
+  EXPECT_NE(out.find("2 DRAM round"), std::string::npos);
+}
+
+TEST_F(CliTest, InspectMissingFileFails) {
+  auto [status, out] = Run({"inspect", Path("nope.txt")});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CliTest, SimulateRejectsBadPrecision) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"simulate", model_path, "--precision", "8"});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, SimulateRejectsCorruptPlan) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string plan_path = Path("plan.txt");
+  std::ofstream(plan_path) << "microrec-plan v1\nplace 0 9999\n";
+  auto [status, out] = Run({"simulate", model_path, "--plan", plan_path});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, TraceRecordAndReplay) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string trace_path = Path("trace.txt");
+  {
+    auto [status, out] = Run({"trace", model_path, "--queries", "50", "--qps",
+                              "100000", "--zipf", "0.9", "--out", trace_path});
+    ASSERT_TRUE(status.ok()) << status;
+  }
+  {
+    auto [status, out] =
+        Run({"simulate", model_path, "--trace", trace_path});
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_NE(out.find("replayed trace of 50 queries"), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, TraceIsDeterministicPerSeed) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [s1, a] = Run({"trace", model_path, "--queries", "10", "--seed", "5"});
+  auto [s2, b] = Run({"trace", model_path, "--queries", "10", "--seed", "5"});
+  auto [s3, c] = Run({"trace", model_path, "--queries", "10", "--seed", "6"});
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(CliTest, TraceRejectsBadZipf) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"trace", model_path, "--zipf", "hot"});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, SimulateRejectsMismatchedTrace) {
+  // A trace recorded for the DLRM model cannot replay against the small
+  // production model (index count differs).
+  const std::string small_path = Path("small.txt");
+  const std::string dlrm_path = Path("dlrm.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", small_path}).first.ok());
+  ASSERT_TRUE(Run({"modelgen", "dlrm", "--out", dlrm_path}).first.ok());
+  const std::string trace_path = Path("trace.txt");
+  ASSERT_TRUE(Run({"trace", dlrm_path, "--queries", "5", "--out", trace_path})
+                  .first.ok());
+  auto [status, out] = Run({"simulate", small_path, "--trace", trace_path});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, SelfCheckPasses) {
+  auto [status, out] = Run({"selfcheck"});
+  ASSERT_TRUE(status.ok()) << status << "\n" << out;
+  EXPECT_NE(out.find("all checks passed"), std::string::npos);
+  EXPECT_EQ(out.find("[FAIL]"), std::string::npos);
+}
+
+TEST_F(CliTest, SelfCheckRejectsArguments) {
+  auto [status, out] = Run({"selfcheck", "extra"});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, UnknownOptionRejected) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"plan", model_path, "--frob", "1"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unknown option"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microrec::cli

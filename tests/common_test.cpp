@@ -1,0 +1,349 @@
+// Unit tests for src/common: status handling, units, RNG, Zipf sampling,
+// thread pool, streaming statistics, and table formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "common/table_printer.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "common/zipf.hpp"
+
+namespace microrec {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad arg");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kNotFound, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fn = [](bool fail) -> Status {
+    MICROREC_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::Ok());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(fn(false).ok());
+  EXPECT_EQ(fn(true).code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Units
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Microseconds(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(Milliseconds(2.0), 2e6);
+  EXPECT_DOUBLE_EQ(Seconds(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(ToMicros(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(ToMillis(2e6), 2.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(1e9), 1.0);
+}
+
+TEST(UnitsTest, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(8_GiB, 8ull * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, ClockSpec) {
+  ClockSpec clock{200.0};
+  EXPECT_DOUBLE_EQ(clock.period_ns(), 5.0);
+  EXPECT_DOUBLE_EQ(clock.CyclesToNs(10), 50.0);
+  EXPECT_DOUBLE_EQ(clock.NsToCycles(50.0), 10.0);
+}
+
+TEST(UnitsTest, FormatBytesPicksScale) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1_MiB), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(5 * 1_GiB), "5.00 GiB");
+}
+
+TEST(UnitsTest, FormatNanosPicksScale) {
+  EXPECT_EQ(FormatNanos(458.0), "458.0 ns");
+  EXPECT_EQ(FormatNanos(Microseconds(16.3)), "16.300 us");
+  EXPECT_EQ(FormatNanos(Milliseconds(28.18)), "28.180 ms");
+  EXPECT_EQ(FormatNanos(Seconds(1.5)), "1.500 s");
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.Next() == child.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, HashSeedSeparatesStreams) {
+  EXPECT_NE(HashSeed(1, 0), HashSeed(1, 1));
+  EXPECT_NE(HashSeed(1, 0), HashSeed(2, 0));
+  EXPECT_EQ(HashSeed(1, 0), HashSeed(1, 0));
+}
+
+// ---------------------------------------------------------------- Zipf
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(1000, 0.0);
+  Rng rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(static_cast<double>(zipf.Sample(rng)));
+  }
+  EXPECT_NEAR(stats.mean(), 499.5, 15.0);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  for (double theta : {0.0, 0.5, 0.9, 0.99, 1.2}) {
+    ZipfSampler zipf(50, theta);
+    Rng rng(2);
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(zipf.Sample(rng), 50u) << "theta=" << theta;
+    }
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnHotRanks) {
+  ZipfSampler zipf(10000, 0.99);
+  Rng rng(3);
+  int in_top_100 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) in_top_100 += (zipf.Sample(rng) < 100);
+  // For theta=0.99 the top 1% of ranks carries roughly half the mass.
+  EXPECT_GT(in_top_100, n / 3);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(200, 0.8);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < 200; ++r) sum += zipf.Pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasesInRank) {
+  ZipfSampler zipf(100, 1.1);
+  for (std::uint64_t r = 1; r < 100; ++r) {
+    EXPECT_LT(zipf.Pmf(r), zipf.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfSampler zipf(1, 0.9);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, GeneralizedHarmonicMatchesDirectSum) {
+  for (double theta : {0.0, 0.5, 1.0, 1.5}) {
+    double direct = 0.0;
+    for (int i = 1; i <= 1000; ++i) direct += std::pow(i, -theta);
+    EXPECT_NEAR(GeneralizedHarmonic(1000, theta), direct, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversExactRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(PercentileTrackerTest, ExactPercentilesOnKnownData) {
+  PercentileTracker t;
+  for (int i = 1; i <= 100; ++i) t.Add(i);
+  EXPECT_NEAR(t.Percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(t.Percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(t.Percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(t.Percentile(0.99), 99.01, 1e-6);
+  EXPECT_DOUBLE_EQ(t.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(t.Max(), 100.0);
+}
+
+TEST(PercentileTrackerTest, InterleavedAddAndQuery) {
+  PercentileTracker t;
+  t.Add(10.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 10.0);
+  t.Add(20.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 20.0);
+  t.Add(0.0);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 0.0);
+}
+
+// ---------------------------------------------------------------- TablePrinter
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "2"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("| beta"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SectionsAndShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddSection("Smaller Model");
+  table.AddRow({"x"});  // short row padded
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("Smaller Model"), std::string::npos);
+  EXPECT_NE(out.find("| x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Sci(305000.0, 2), "3.05e+05");
+  EXPECT_EQ(TablePrinter::Speedup(13.82, 2), "13.82x");
+}
+
+}  // namespace
+}  // namespace microrec

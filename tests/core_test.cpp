@@ -1,0 +1,274 @@
+// Tests for the MicroRecEngine facade: building, timing queries, functional
+// inference, error handling, and the ablation knobs.
+#include <gtest/gtest.h>
+
+#include "core/microrec.hpp"
+#include "core/system_sim.hpp"
+#include "cpu/cpu_engine.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+namespace {
+
+RecModelSpec TinyModel() {
+  RecModelSpec model;
+  model.name = "tiny-core-test";
+  model.seed = 99;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    TableSpec spec;
+    spec.id = i;
+    spec.name = "t" + std::to_string(i);
+    spec.rows = 64 + 16 * i;
+    spec.dim = (i % 2 == 0) ? 4 : 8;
+    model.tables.push_back(spec);
+  }
+  model.mlp.input_dim = model.FeatureLength();
+  model.mlp.hidden = {48, 24, 12};
+  return model;
+}
+
+TEST(MicroRecEngineTest, BuildTinyModel) {
+  auto engine = MicroRecEngine::Build(TinyModel(), {});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_GT(engine->EmbeddingLookupLatency(), 0.0);
+  EXPECT_GT(engine->ItemLatency(), engine->EmbeddingLookupLatency());
+  EXPECT_GT(engine->Throughput(), 0.0);
+  EXPECT_GT(engine->Gops(), 0.0);
+}
+
+TEST(MicroRecEngineTest, BuildRejectsInvalidModel) {
+  RecModelSpec model = TinyModel();
+  model.mlp.input_dim += 1;  // breaks feature-length consistency
+  auto engine = MicroRecEngine::Build(model, {});
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MicroRecEngineTest, InferIsDeterministicAndProbability) {
+  auto engine = MicroRecEngine::Build(TinyModel(), {});
+  ASSERT_TRUE(engine.ok());
+  QueryGenerator gen(engine->model(), IndexDistribution::kUniform, 1);
+  for (int i = 0; i < 20; ++i) {
+    const SparseQuery q = gen.Next();
+    auto a = engine->Infer(q);
+    auto b = engine->Infer(q);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(*a, *b);
+    EXPECT_GT(*a, 0.0f);
+    EXPECT_LT(*a, 1.0f);
+  }
+}
+
+TEST(MicroRecEngineTest, WrongIndexCountRejected) {
+  auto engine = MicroRecEngine::Build(TinyModel(), {});
+  ASSERT_TRUE(engine.ok());
+  SparseQuery q;
+  q.indices = {1, 2, 3};  // needs 8
+  EXPECT_EQ(engine->Infer(q).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MicroRecEngineTest, OutOfRangeIndexRejected) {
+  auto engine = MicroRecEngine::Build(TinyModel(), {});
+  ASSERT_TRUE(engine.ok());
+  SparseQuery q;
+  q.indices.assign(8, 0);
+  q.indices[0] = 1'000'000;  // table 0 has only 64 rows
+  EXPECT_EQ(engine->Infer(q).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(MicroRecEngineTest, TimingOnlyBuildRefusesInference) {
+  EngineOptions options;
+  options.materialize = false;
+  auto engine = MicroRecEngine::Build(TinyModel(), options);
+  ASSERT_TRUE(engine.ok());
+  SparseQuery q;
+  q.indices.assign(8, 0);
+  EXPECT_EQ(engine->Infer(q).status().code(), StatusCode::kFailedPrecondition);
+  // Timing queries still work.
+  EXPECT_GT(engine->Throughput(), 0.0);
+}
+
+TEST(MicroRecEngineTest, GatherFeaturesMatchesCpuGather) {
+  const auto model = TinyModel();
+  auto engine = MicroRecEngine::Build(model, {});
+  ASSERT_TRUE(engine.ok());
+  CpuEngine cpu(model, 1 << 20);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 2);
+  for (int i = 0; i < 10; ++i) {
+    const SparseQuery q = gen.Next();
+    auto features = engine->GatherFeatures(q);
+    ASSERT_TRUE(features.ok());
+    std::vector<float> expected(model.FeatureLength());
+    GatherConcat(cpu.tables(), q.indices, expected);
+    EXPECT_EQ(*features, expected);
+  }
+}
+
+TEST(MicroRecEngineTest, Fixed32MatchesCpuReferenceClosely) {
+  const auto model = TinyModel();
+  EngineOptions options;
+  options.precision = Precision::kFixed32;
+  auto engine = MicroRecEngine::Build(model, options);
+  ASSERT_TRUE(engine.ok());
+  CpuEngine cpu(model, 1 << 20);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 3);
+  for (int i = 0; i < 30; ++i) {
+    const SparseQuery q = gen.Next();
+    EXPECT_NEAR(engine->Infer(q).value(), cpu.InferOne(q), 2e-3f);
+  }
+}
+
+TEST(MicroRecEngineTest, Fixed16MatchesCpuReferenceLoosely) {
+  const auto model = TinyModel();
+  auto engine = MicroRecEngine::Build(model, {});  // fixed16 default
+  ASSERT_TRUE(engine.ok());
+  CpuEngine cpu(model, 1 << 20);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 4);
+  for (int i = 0; i < 30; ++i) {
+    const SparseQuery q = gen.Next();
+    EXPECT_NEAR(engine->Infer(q).value(), cpu.InferOne(q), 0.05f);
+  }
+}
+
+TEST(MicroRecEngineTest, InferBatchMatchesInfer) {
+  auto engine = MicroRecEngine::Build(TinyModel(), {});
+  ASSERT_TRUE(engine.ok());
+  QueryGenerator gen(engine->model(), IndexDistribution::kUniform, 5);
+  const auto queries = gen.NextBatch(7);
+  auto batch = engine->InferBatch(queries);
+  ASSERT_TRUE(batch.ok());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ((*batch)[i], engine->Infer(queries[i]).value());
+  }
+}
+
+TEST(MicroRecEngineTest, CartesianKnobChangesPlan) {
+  const auto model = SmallProductionModel();
+  EngineOptions with;
+  with.materialize = false;
+  EngineOptions without = with;
+  without.enable_cartesian = false;
+  auto e_with = MicroRecEngine::Build(model, with);
+  auto e_without = MicroRecEngine::Build(model, without);
+  ASSERT_TRUE(e_with.ok());
+  ASSERT_TRUE(e_without.ok());
+  EXPECT_GT(e_with->plan().cartesian_products, 0u);
+  EXPECT_EQ(e_without->plan().cartesian_products, 0u);
+  EXPECT_LT(e_with->EmbeddingLookupLatency(),
+            e_without->EmbeddingLookupLatency());
+}
+
+TEST(MicroRecEngineTest, OnchipKnobChangesPlacement) {
+  const auto model = SmallProductionModel();
+  EngineOptions base;
+  base.materialize = false;
+  EngineOptions no_chip = base;
+  no_chip.enable_onchip = false;
+  auto e_chip = MicroRecEngine::Build(model, base);
+  auto e_nochip = MicroRecEngine::Build(model, no_chip);
+  ASSERT_TRUE(e_chip.ok());
+  ASSERT_TRUE(e_nochip.ok());
+  EXPECT_GT(e_chip->plan().tables_onchip, 0u);
+  EXPECT_EQ(e_nochip->plan().tables_onchip, 0u);
+}
+
+TEST(MicroRecEngineTest, CustomAcceleratorConfigRespected) {
+  EngineOptions options;
+  options.materialize = false;
+  AcceleratorConfig config;
+  config.precision = Precision::kFixed16;
+  config.clock = ClockSpec{200.0};
+  config.layers = {LayerPeConfig{64, 8}, LayerPeConfig{64, 8},
+                   LayerPeConfig{16, 8}};
+  options.accelerator = config;
+  auto engine = MicroRecEngine::Build(TinyModel(), options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_DOUBLE_EQ(engine->accelerator_config().clock.freq_mhz, 200.0);
+}
+
+TEST(MicroRecEngineTest, ResourceEstimateAvailable) {
+  EngineOptions options;
+  options.materialize = false;
+  auto engine = MicroRecEngine::Build(SmallProductionModel(), options);
+  ASSERT_TRUE(engine.ok());
+  const auto est = engine->EstimateResources();
+  EXPECT_GT(est.dsp48, 0u);
+  EXPECT_GT(est.bram18, 0u);
+  EXPECT_TRUE(est.Fits(FpgaResourceBudget{}));
+}
+
+TEST(MicroRecEngineTest, BatchLatencyConsistentWithTiming) {
+  EngineOptions options;
+  options.materialize = false;
+  auto engine = MicroRecEngine::Build(SmallProductionModel(), options);
+  ASSERT_TRUE(engine.ok());
+  const Nanoseconds b1 = engine->BatchLatency(1);
+  const Nanoseconds b2048 = engine->BatchLatency(2048);
+  EXPECT_DOUBLE_EQ(b1, engine->ItemLatency());
+  EXPECT_NEAR(b2048 - b1, 2047.0 * engine->timing().initiation_interval_ns,
+              1e-6);
+}
+
+TEST(MicroRecEngineTest, ProductionModelsBuildAtBothPrecisions) {
+  for (bool large : {false, true}) {
+    const auto model = large ? LargeProductionModel() : SmallProductionModel();
+    for (Precision p : {Precision::kFixed16, Precision::kFixed32}) {
+      EngineOptions options;
+      options.precision = p;
+      options.materialize = false;  // timing-only: keep memory small
+      auto engine = MicroRecEngine::Build(model, options);
+      ASSERT_TRUE(engine.ok()) << model.name << " " << PrecisionName(p);
+      // Microsecond-scale item latency (paper: 16.3-31.0 us).
+      EXPECT_GT(engine->ItemLatency(), Microseconds(3));
+      EXPECT_LT(engine->ItemLatency(), Microseconds(60));
+    }
+  }
+}
+
+TEST(MicroRecEngineTest, ProductByteCapLimitsMerging) {
+  const auto model = SmallProductionModel();
+  EngineOptions base;
+  base.materialize = false;
+  EngineOptions capped = base;
+  capped.max_product_bytes = 1024;  // too small for any product
+  auto merged = MicroRecEngine::Build(model, base);
+  auto blocked = MicroRecEngine::Build(model, capped);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_GT(merged->plan().cartesian_products, 0u);
+  EXPECT_EQ(blocked->plan().cartesian_products, 0u);
+  EXPECT_GE(blocked->EmbeddingLookupLatency(),
+            merged->EmbeddingLookupLatency());
+}
+
+TEST(MicroRecEngineTest, RefreshPlatformPropagates) {
+  const auto model = SmallProductionModel();
+  EngineOptions options;
+  options.materialize = false;
+  options.platform.hbm_timing.refresh = RefreshSpec::Hbm2Default();
+  auto engine = MicroRecEngine::Build(model, options);
+  ASSERT_TRUE(engine.ok());
+  // The analytic plan latency ignores refresh (time-independent)...
+  EXPECT_NEAR(engine->EmbeddingLookupLatency(), 397.3, 1.0);
+  // ...while the system simulator occasionally observes a deferred lookup.
+  SystemSimulator sim(*engine);
+  const auto report = sim.Run(3000);
+  EXPECT_GE(report.lookup_latency_max, report.lookup_latency_mean);
+}
+
+TEST(MicroRecEngineTest, MultiLookupModelBuilds) {
+  auto model = DlrmRmc2Model(8, 16);
+  for (auto& t : model.tables) t.rows = 1000;  // shrink materialization
+  auto engine = MicroRecEngine::Build(model, {});
+  ASSERT_TRUE(engine.ok());
+  QueryGenerator gen(model, IndexDistribution::kUniform, 6);
+  const auto q = gen.Next();
+  auto p = engine->Infer(q);
+  ASSERT_TRUE(p.ok());
+  // Multi-lookup pooling matches the CPU engine.
+  CpuEngine cpu(model, 1 << 20);
+  EXPECT_NEAR(*p, cpu.InferOne(q), 0.05f);
+}
+
+}  // namespace
+}  // namespace microrec

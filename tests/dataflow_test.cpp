@@ -1,0 +1,125 @@
+// Tests for the event-driven dataflow pipeline simulator and its agreement
+// with the analytic pipeline model.
+#include <gtest/gtest.h>
+
+#include "fpga/config.hpp"
+#include "fpga/dataflow_sim.hpp"
+#include "fpga/pipeline_model.hpp"
+
+namespace microrec {
+namespace {
+
+std::vector<StageTiming> ThreeStages(double a, double b, double c) {
+  return {StageTiming{"s0", 0, a}, StageTiming{"s1", 0, b},
+          StageTiming{"s2", 0, c}};
+}
+
+TEST(DataflowTest, SingleItemLatencyIsSumOfStages) {
+  DataflowPipeline pipeline(ThreeStages(10, 20, 30));
+  const auto result = pipeline.Run({0.0});
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.items[0].latency_ns(), 60.0);
+  EXPECT_DOUBLE_EQ(result.makespan_ns, 60.0);
+}
+
+TEST(DataflowTest, SteadyStateSpacingIsBottleneckStage) {
+  DataflowPipeline pipeline(ThreeStages(10, 50, 30));
+  std::vector<Nanoseconds> arrivals(20, 0.0);  // saturating input
+  const auto result = pipeline.Run(arrivals);
+  // After warmup, completions are spaced by the 50 ns bottleneck.
+  for (std::size_t i = 5; i < 20; ++i) {
+    EXPECT_NEAR(result.items[i].completion_ns -
+                    result.items[i - 1].completion_ns,
+                50.0, 1e-9)
+        << i;
+  }
+}
+
+TEST(DataflowTest, MakespanMatchesAnalyticBatchLatency) {
+  // Constant stage times: event simulation == closed form.
+  MlpSpec mlp;
+  mlp.input_dim = 352;
+  mlp.hidden = {1024, 512, 256};
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(mlp, config, 458.0);
+
+  DataflowPipeline pipeline(timing.stages);
+  for (std::uint64_t batch : {1ull, 7ull, 64ull, 500ull}) {
+    std::vector<Nanoseconds> arrivals(batch, 0.0);
+    const auto result = pipeline.Run(arrivals);
+    EXPECT_NEAR(result.makespan_ns, timing.BatchLatency(batch), 1e-6)
+        << "batch " << batch;
+    EXPECT_NEAR(result.items[0].latency_ns(), timing.item_latency_ns, 1e-6);
+  }
+}
+
+TEST(DataflowTest, SparseArrivalsPassThroughUnqueued) {
+  DataflowPipeline pipeline(ThreeStages(10, 20, 30));
+  const auto result = pipeline.Run({0.0, 1000.0, 2000.0});
+  for (const auto& item : result.items) {
+    EXPECT_DOUBLE_EQ(item.latency_ns(), 60.0);
+  }
+}
+
+TEST(DataflowTest, StageStatsAccumulate) {
+  DataflowPipeline pipeline(ThreeStages(10, 20, 30));
+  const auto result = pipeline.Run({0.0, 0.0, 0.0});
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_EQ(result.stages[1].items, 3u);
+  EXPECT_DOUBLE_EQ(result.stages[1].busy_ns, 60.0);
+  EXPECT_EQ(result.stages[0].name, "s0");
+}
+
+TEST(DataflowTest, OverrideReplacesStageZeroOnly) {
+  DataflowPipeline pipeline(ThreeStages(10, 20, 30));
+  const auto result = pipeline.Run(
+      {0.0, 0.0},
+      [](std::size_t item, std::size_t stage, Nanoseconds) -> Nanoseconds {
+        if (stage == 0) return item == 0 ? 100.0 : 5.0;
+        return -1.0;  // keep defaults
+      });
+  // Item 0: 100 + 20 + 30 = 150.
+  EXPECT_DOUBLE_EQ(result.items[0].completion_ns, 150.0);
+  // Item 1: stage0 enters at 100 (stage busy), 5 ns service, then queues.
+  EXPECT_DOUBLE_EQ(result.items[1].completion_ns, 180.0);
+}
+
+TEST(DataflowTest, OverrideSeesEnterTimes) {
+  DataflowPipeline pipeline(ThreeStages(10, 20, 30));
+  std::vector<Nanoseconds> enters;
+  pipeline.Run({0.0, 0.0, 0.0},
+               [&](std::size_t, std::size_t stage,
+                   Nanoseconds enter) -> Nanoseconds {
+                 if (stage == 0) enters.push_back(enter);
+                 return -1.0;
+               });
+  ASSERT_EQ(enters.size(), 3u);
+  EXPECT_DOUBLE_EQ(enters[0], 0.0);
+  EXPECT_DOUBLE_EQ(enters[1], 10.0);  // after item 0 left stage 0
+  EXPECT_DOUBLE_EQ(enters[2], 20.0);
+}
+
+TEST(DataflowTest, EmptyRun) {
+  DataflowPipeline pipeline(ThreeStages(10, 20, 30));
+  const auto result = pipeline.Run({});
+  EXPECT_TRUE(result.items.empty());
+  EXPECT_DOUBLE_EQ(result.makespan_ns, 0.0);
+  EXPECT_DOUBLE_EQ(result.throughput_items_per_s(), 0.0);
+}
+
+TEST(DataflowTest, ThroughputConvergesToAnalytic) {
+  MlpSpec mlp;
+  mlp.input_dim = 352;
+  mlp.hidden = {1024, 512, 256};
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(mlp, config, 458.0);
+  DataflowPipeline pipeline(timing.stages);
+  std::vector<Nanoseconds> arrivals(5000, 0.0);
+  const auto result = pipeline.Run(arrivals);
+  // Long run amortizes fill/drain: within 1% of the analytic throughput.
+  EXPECT_NEAR(result.throughput_items_per_s(), timing.throughput_items_per_s,
+              0.01 * timing.throughput_items_per_s);
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,97 @@
+// Failure-injection tests: contract violations must abort loudly (never
+// UB), recoverable input errors must return Status, and logging must be
+// safe at every level.
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/status.hpp"
+#include "embedding/embedding_table.hpp"
+#include "embedding/table_spec.hpp"
+#include "hls/hls_stream.hpp"
+#include "tensor/matrix.hpp"
+
+namespace microrec {
+namespace {
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MessagesBelowLevelAreDiscardedWithoutCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  MICROREC_LOG(kDebug) << "invisible " << 42;
+  MICROREC_LOG(kInfo) << "also invisible";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamAcceptsMixedTypes) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // keep test output clean
+  MICROREC_LOG(kWarning) << "x=" << 1 << " y=" << 2.5 << " z=" << "str";
+  SetLogLevel(original);
+}
+
+// ---------------------------------------------------------------- Aborts
+
+using FailureDeathTest = ::testing::Test;
+
+TEST(FailureDeathTest, MatrixOutOfBoundsAborts) {
+  MatrixF m(2, 2);
+  EXPECT_DEATH(m(2, 0) = 1.0f, "MICROREC_CHECK");
+  EXPECT_DEATH(m(0, 5) = 1.0f, "MICROREC_CHECK");
+}
+
+TEST(FailureDeathTest, MatrixRowOutOfBoundsAborts) {
+  MatrixF m(2, 2);
+  EXPECT_DEATH(m.row(7), "MICROREC_CHECK");
+}
+
+TEST(FailureDeathTest, HlsStreamUnderflowAborts) {
+  hls::Stream<int> stream;
+  EXPECT_DEATH(stream.Read(), "MICROREC_CHECK");
+}
+
+TEST(FailureDeathTest, EmbeddingLookupPastVocabularyAborts) {
+  TableSpec spec;
+  spec.id = 0;
+  spec.name = "t";
+  spec.rows = 10;
+  spec.dim = 4;
+  const auto table = EmbeddingTable::Materialize(spec, 1);
+  EXPECT_DEATH(table.Lookup(10), "MICROREC_CHECK");
+}
+
+TEST(FailureDeathTest, MismatchedElementWidthProductAborts) {
+  TableSpec a;
+  a.id = 0;
+  a.name = "a";
+  a.rows = 2;
+  a.dim = 4;
+  TableSpec b = a;
+  b.id = 1;
+  b.element_bytes = 2;
+  EXPECT_DEATH(CombinedTable({a, b}), "MICROREC_CHECK");
+}
+
+TEST(FailureDeathTest, CombinedRowIndexValidatesMemberCount) {
+  const CombinedTable product(std::vector<TableSpec>{
+      TableSpec{0, "a", 4, 4, 4}, TableSpec{1, "b", 4, 4, 4}});
+  EXPECT_DEATH(product.CombinedRowIndex({1}), "MICROREC_CHECK");
+  EXPECT_DEATH(product.CombinedRowIndex({1, 99}), "MICROREC_CHECK");
+}
+
+// ---------------------------------------------------------------- StatusOr
+
+TEST(FailureDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> err = Status::NotFound("nope");
+  EXPECT_DEATH(err.value(), "");
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,178 @@
+// Unit + property tests for the fixed-point datapath types.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fixedpoint/fixed_point.hpp"
+#include "fixedpoint/quantize.hpp"
+
+namespace microrec {
+namespace {
+
+// Typed tests run every property against both hardware precisions.
+template <typename T>
+class FixedPointTypedTest : public ::testing::Test {};
+
+using Precisions = ::testing::Types<Fixed16, Fixed32>;
+TYPED_TEST_SUITE(FixedPointTypedTest, Precisions);
+
+TYPED_TEST(FixedPointTypedTest, ZeroDefault) {
+  TypeParam v;
+  EXPECT_EQ(v.raw(), 0);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 0.0);
+}
+
+TYPED_TEST(FixedPointTypedTest, RoundTripWithinEpsilon) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = (rng.NextDouble() - 0.5) * 10.0;
+    const double q = TypeParam::FromDouble(v).ToDouble();
+    EXPECT_NEAR(q, v, TypeParam::Epsilon() / 2 + 1e-12) << "v=" << v;
+  }
+}
+
+TYPED_TEST(FixedPointTypedTest, ExactValuesRepresentExactly) {
+  // Multiples of the quantization step must be exact.
+  for (int k = -100; k <= 100; ++k) {
+    const double v = k * TypeParam::Epsilon();
+    EXPECT_DOUBLE_EQ(TypeParam::FromDouble(v).ToDouble(), v);
+  }
+}
+
+TYPED_TEST(FixedPointTypedTest, SaturatesAtExtremes) {
+  EXPECT_EQ(TypeParam::FromDouble(1e12).raw(), TypeParam::kRawMax);
+  EXPECT_EQ(TypeParam::FromDouble(-1e12).raw(), TypeParam::kRawMin);
+}
+
+TYPED_TEST(FixedPointTypedTest, AdditionMatchesRealArithmetic) {
+  Rng rng(18);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = (rng.NextDouble() - 0.5) * 4.0;
+    const double b = (rng.NextDouble() - 0.5) * 4.0;
+    const auto fa = TypeParam::FromDouble(a);
+    const auto fb = TypeParam::FromDouble(b);
+    EXPECT_NEAR((fa + fb).ToDouble(), fa.ToDouble() + fb.ToDouble(), 1e-12);
+  }
+}
+
+TYPED_TEST(FixedPointTypedTest, AdditionSaturatesNotWraps) {
+  const auto max = TypeParam::Max();
+  const auto one = TypeParam::FromDouble(1.0);
+  EXPECT_EQ((max + one).raw(), TypeParam::kRawMax);
+  const auto min = TypeParam::Min();
+  EXPECT_EQ((min - one).raw(), TypeParam::kRawMin);
+}
+
+TYPED_TEST(FixedPointTypedTest, MultiplicationWithinRoundingError) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = (rng.NextDouble() - 0.5) * 4.0;
+    const double b = (rng.NextDouble() - 0.5) * 4.0;
+    const auto fa = TypeParam::FromDouble(a);
+    const auto fb = TypeParam::FromDouble(b);
+    const double exact = fa.ToDouble() * fb.ToDouble();
+    EXPECT_NEAR((fa * fb).ToDouble(), exact, TypeParam::Epsilon())
+        << a << " * " << b;
+  }
+}
+
+TYPED_TEST(FixedPointTypedTest, NegationIsInvolutiveExceptMin) {
+  const auto v = TypeParam::FromDouble(1.25);
+  EXPECT_EQ((-(-v)).raw(), v.raw());
+  // Negating the most negative raw value saturates to max instead of UB.
+  EXPECT_EQ((-TypeParam::Min()).raw(), TypeParam::kRawMax);
+}
+
+TYPED_TEST(FixedPointTypedTest, ComparisonFollowsRealOrder) {
+  const auto a = TypeParam::FromDouble(-0.5);
+  const auto b = TypeParam::FromDouble(0.25);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, TypeParam::FromDouble(-0.5));
+}
+
+TYPED_TEST(FixedPointTypedTest, CompoundOperators) {
+  auto v = TypeParam::FromDouble(1.0);
+  v += TypeParam::FromDouble(0.5);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 1.5);
+  v -= TypeParam::FromDouble(1.0);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 0.5);
+  v *= TypeParam::FromDouble(4.0);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), 2.0);
+}
+
+TEST(FixedPointTest, PrecisionMetadata) {
+  EXPECT_EQ(BitsOf(Precision::kFixed16), 16);
+  EXPECT_EQ(BitsOf(Precision::kFixed32), 32);
+  EXPECT_STREQ(PrecisionName(Precision::kFixed16), "fixed16");
+  EXPECT_STREQ(PrecisionName(Precision::kFixed32), "fixed32");
+}
+
+TEST(FixedPointTest, Fixed32IsStrictlyFinerThanFixed16) {
+  EXPECT_LT(Fixed32::Epsilon(), Fixed16::Epsilon());
+}
+
+TEST(FixedPointTest, RoundingIsToNearest) {
+  // Half the quantization step rounds away from zero.
+  const double eps = Fixed16::Epsilon();
+  EXPECT_DOUBLE_EQ(Fixed16::FromDouble(0.5 * eps).ToDouble(), eps);
+  EXPECT_DOUBLE_EQ(Fixed16::FromDouble(0.49 * eps).ToDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Fixed16::FromDouble(-0.5 * eps).ToDouble(), -eps);
+}
+
+// ---------------------------------------------------------------- Quantize
+
+TEST(QuantizeTest, RoundTripVector) {
+  Rng rng(20);
+  std::vector<float> values(256);
+  for (float& v : values) v = rng.NextFloat(-2.0f, 2.0f);
+  const auto q = Quantize<Fixed32>(values);
+  const auto back = Dequantize<Fixed32>(std::span<const Fixed32>(q));
+  ASSERT_EQ(back.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(back[i], values[i], Fixed32::Epsilon());
+  }
+}
+
+TEST(QuantizeTest, ErrorBoundsRespectEpsilon) {
+  Rng rng(21);
+  std::vector<float> values(4096);
+  for (float& v : values) v = rng.NextFloat(-1.0f, 1.0f);
+  const auto err16 = MeasureQuantizationError<Fixed16>(values);
+  const auto err32 = MeasureQuantizationError<Fixed32>(values);
+  EXPECT_LE(err16.max_abs, Fixed16::Epsilon() / 2 + 1e-9);
+  EXPECT_LE(err32.max_abs, Fixed32::Epsilon() / 2 + 1e-12);
+  EXPECT_LT(err32.rmse, err16.rmse);
+  EXPECT_LE(err16.mean_abs, err16.max_abs);
+  EXPECT_LE(err16.rmse, err16.max_abs + 1e-12);
+}
+
+TEST(QuantizeTest, EmptyInput) {
+  const auto err = MeasureQuantizationError<Fixed16>(std::vector<float>{});
+  EXPECT_EQ(err.max_abs, 0.0);
+  EXPECT_TRUE(Quantize<Fixed16>(std::vector<float>{}).empty());
+}
+
+// Parameterized sweep: quantization error scales with the value range until
+// saturation dominates.
+class QuantizeRangeTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(QuantizeRangeTest, MaxErrorBoundedWithinRange) {
+  const float range = GetParam();
+  Rng rng(22);
+  std::vector<float> values(1024);
+  for (float& v : values) v = rng.NextFloat(-range, range);
+  const auto err = MeasureQuantizationError<Fixed16>(values);
+  if (range <= 30.0f) {  // inside Q5.10 dynamic range
+    EXPECT_LE(err.max_abs, Fixed16::Epsilon() / 2 + 1e-6);
+  } else {  // saturation clips
+    EXPECT_GT(err.max_abs, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, QuantizeRangeTest,
+                         ::testing::Values(0.1f, 1.0f, 10.0f, 30.0f, 100.0f));
+
+}  // namespace
+}  // namespace microrec

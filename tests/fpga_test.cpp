@@ -1,0 +1,224 @@
+// Tests for the accelerator configuration, the pipelined-dataflow timing
+// model, and the resource estimator.
+#include <gtest/gtest.h>
+
+#include "fpga/config.hpp"
+#include "fpga/pipeline_model.hpp"
+#include "fpga/resource_model.hpp"
+
+namespace microrec {
+namespace {
+
+MlpSpec PaperSmallMlp() {
+  MlpSpec spec;
+  spec.input_dim = 352;
+  spec.hidden = {1024, 512, 256};
+  return spec;
+}
+
+MlpSpec PaperLargeMlp() {
+  MlpSpec spec;
+  spec.input_dim = 876;
+  spec.hidden = {1024, 512, 256};
+  return spec;
+}
+
+// ---------------------------------------------------------------- Config
+
+TEST(AcceleratorConfigTest, PaperConfigShape) {
+  const auto c16 = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  ASSERT_EQ(c16.layers.size(), 3u);
+  EXPECT_EQ(c16.layers[0].num_pes, 128u);
+  EXPECT_EQ(c16.layers[1].num_pes, 128u);
+  EXPECT_EQ(c16.layers[2].num_pes, 32u);
+  EXPECT_DOUBLE_EQ(c16.clock.freq_mhz, 120.0);
+
+  const auto c32 = AcceleratorConfig::PaperConfig(Precision::kFixed32);
+  EXPECT_DOUBLE_EQ(c32.clock.freq_mhz, 140.0);
+  const auto c32l = AcceleratorConfig::PaperConfig(Precision::kFixed32, true);
+  EXPECT_DOUBLE_EQ(c32l.clock.freq_mhz, 135.0);  // Table 6: routing-limited
+}
+
+TEST(AcceleratorConfigTest, Fixed16HasMoreParallelismThanFixed32) {
+  const auto c16 = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto c32 = AcceleratorConfig::PaperConfig(Precision::kFixed32);
+  EXPECT_GT(c16.layers[0].mults_per_pe, c32.layers[0].mults_per_pe);
+}
+
+TEST(AcceleratorConfigTest, ValidationCatchesBadConfigs) {
+  AcceleratorConfig config;
+  EXPECT_FALSE(config.Validate().ok());  // no layers
+  config.layers = {LayerPeConfig{0, 8}};
+  EXPECT_FALSE(config.Validate().ok());  // zero PEs
+  config.layers = {LayerPeConfig{8, 0}};
+  EXPECT_FALSE(config.Validate().ok());  // zero mults
+  config.layers = {LayerPeConfig{8, 8}};
+  config.clock.freq_mhz = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.clock.freq_mhz = 100.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// ---------------------------------------------------------------- Pipeline
+
+TEST(PipelineModelTest, StageStructure) {
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  // embedding + 3x(broadcast, gemm, gather) + head = 11 stages.
+  EXPECT_EQ(timing.stages.size(), 11u);
+  EXPECT_EQ(timing.stages.front().name, "embedding_lookup");
+  EXPECT_EQ(timing.stages.back().name, "sigmoid_head");
+}
+
+TEST(PipelineModelTest, LatencyIsSumAndIiIsMax) {
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  Nanoseconds sum = 0.0, worst = 0.0;
+  for (const auto& s : timing.stages) {
+    sum += s.latency_ns;
+    worst = std::max(worst, s.latency_ns);
+  }
+  EXPECT_DOUBLE_EQ(timing.item_latency_ns, sum);
+  EXPECT_DOUBLE_EQ(timing.initiation_interval_ns, worst);
+  EXPECT_GE(timing.item_latency_ns, timing.initiation_interval_ns);
+}
+
+TEST(PipelineModelTest, ThroughputIsClockOverIi) {
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  EXPECT_NEAR(timing.throughput_items_per_s,
+              kNanosPerSecond / timing.initiation_interval_ns, 1e-6);
+}
+
+TEST(PipelineModelTest, GopsMatchesOpsTimesThroughput) {
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  EXPECT_EQ(timing.ops_per_item, 2031616u);
+  EXPECT_NEAR(timing.gops,
+              timing.ops_per_item * timing.throughput_items_per_s / 1e9, 1e-6);
+}
+
+TEST(PipelineModelTest, PaperBallparkSmallModelFixed16) {
+  // Paper Table 2 FPGA fp16 column (small model): 16.3 us latency,
+  // 3.05e5 items/s, 619.5 GOP/s. The model reproduces the order of
+  // magnitude and the shape (latency ~ 10-20 us, throughput ~ 2-4e5).
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  EXPECT_GT(timing.item_latency_ns, Microseconds(5));
+  EXPECT_LT(timing.item_latency_ns, Microseconds(35));
+  EXPECT_GT(timing.throughput_items_per_s, 1.5e5);
+  EXPECT_LT(timing.throughput_items_per_s, 6e5);
+  EXPECT_GT(timing.gops, 300.0);
+  EXPECT_LT(timing.gops, 900.0);
+}
+
+TEST(PipelineModelTest, Fixed16FasterThanFixed32) {
+  const auto t16 = ComputePipelineTiming(
+      PaperSmallMlp(), AcceleratorConfig::PaperConfig(Precision::kFixed16), 458.0);
+  const auto t32 = ComputePipelineTiming(
+      PaperSmallMlp(), AcceleratorConfig::PaperConfig(Precision::kFixed32), 458.0);
+  EXPECT_GT(t16.throughput_items_per_s, t32.throughput_items_per_s);
+}
+
+TEST(PipelineModelTest, LargeModelSlowerThanSmall) {
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto small = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  const auto large = ComputePipelineTiming(PaperLargeMlp(), config, 815.0);
+  EXPECT_LT(large.throughput_items_per_s, small.throughput_items_per_s);
+  EXPECT_GT(large.item_latency_ns, small.item_latency_ns);
+}
+
+TEST(PipelineModelTest, EmbeddingLatencyHiddenUntilItDominates) {
+  // Figure 7's mechanism: growing the embedding stage does not change
+  // throughput while it stays below the widest GEMM stage, then throughput
+  // degrades proportionally.
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto base = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  const auto still_hidden =
+      ComputePipelineTiming(PaperSmallMlp(), config,
+                            base.initiation_interval_ns * 0.9);
+  EXPECT_DOUBLE_EQ(still_hidden.throughput_items_per_s,
+                   base.throughput_items_per_s);
+  const auto dominated =
+      ComputePipelineTiming(PaperSmallMlp(), config,
+                            base.initiation_interval_ns * 3.0);
+  EXPECT_NEAR(dominated.throughput_items_per_s,
+              base.throughput_items_per_s / 3.0,
+              base.throughput_items_per_s * 0.01);
+}
+
+TEST(PipelineModelTest, BatchLatencyLinearInBatch) {
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto timing = ComputePipelineTiming(PaperSmallMlp(), config, 458.0);
+  EXPECT_DOUBLE_EQ(timing.BatchLatency(0), 0.0);
+  EXPECT_DOUBLE_EQ(timing.BatchLatency(1), timing.item_latency_ns);
+  EXPECT_NEAR(timing.BatchLatency(11) - timing.BatchLatency(10),
+              timing.initiation_interval_ns, 1e-6);
+}
+
+// ---------------------------------------------------------------- Resources
+
+TEST(ResourceModelTest, FifoCostGrowsWithAxiWidth) {
+  EXPECT_LT(FifoBram18PerChannel(32), FifoBram18PerChannel(512));
+  // The appendix's claim: 512-bit FIFOs across 34 channels eat over half
+  // of the U280's BRAM.
+  const FpgaResourceBudget budget;
+  EXPECT_GT(34 * FifoBram18PerChannel(512), budget.bram18 / 2);
+  // 32-bit FIFOs are cheap.
+  EXPECT_LT(34 * FifoBram18PerChannel(32), budget.bram18 / 10);
+}
+
+TEST(ResourceModelTest, PaperConfigFitsTheCard) {
+  const FpgaResourceBudget budget;
+  for (Precision p : {Precision::kFixed16, Precision::kFixed32}) {
+    const auto config = AcceleratorConfig::PaperConfig(p);
+    ResourceModelInputs inputs;
+    const auto est = EstimateResources(PaperSmallMlp(), config, inputs);
+    EXPECT_TRUE(est.Fits(budget)) << PrecisionName(p) << ": "
+                                  << est.ToString(budget);
+  }
+}
+
+TEST(ResourceModelTest, DspCountTracksPaperAppendix) {
+  // Appendix: fixed32 build uses 5193 DSPs (288 PEs x 18 + misc);
+  // fixed16 uses 4625.
+  ResourceModelInputs inputs;
+  const auto est32 = EstimateResources(
+      PaperSmallMlp(), AcceleratorConfig::PaperConfig(Precision::kFixed32), inputs);
+  EXPECT_NEAR(est32.dsp48, 5193.0, 150.0);
+  const auto est16 = EstimateResources(
+      PaperSmallMlp(), AcceleratorConfig::PaperConfig(Precision::kFixed16), inputs);
+  EXPECT_NEAR(est16.dsp48, 4625.0, 150.0);
+}
+
+TEST(ResourceModelTest, UtilizationPercentages) {
+  const FpgaResourceBudget budget;
+  ResourceEstimate est;
+  est.bram18 = budget.bram18 / 2;
+  est.dsp48 = budget.dsp48;
+  EXPECT_DOUBLE_EQ(est.bram_pct(budget), 50.0);
+  EXPECT_DOUBLE_EQ(est.dsp_pct(budget), 100.0);
+  EXPECT_DOUBLE_EQ(est.ff_pct(budget), 0.0);
+}
+
+TEST(ResourceModelTest, OnChipTablesConsumeUram) {
+  ResourceModelInputs none;
+  ResourceModelInputs with_tables;
+  with_tables.onchip_table_bytes = 10 * 1024 * 1024;
+  const auto config = AcceleratorConfig::PaperConfig(Precision::kFixed16);
+  const auto base = EstimateResources(PaperSmallMlp(), config, none);
+  const auto loaded = EstimateResources(PaperSmallMlp(), config, with_tables);
+  EXPECT_GT(loaded.uram, base.uram);
+}
+
+TEST(ResourceModelTest, FitsFailsWhenOverBudget) {
+  FpgaResourceBudget tiny;
+  tiny.dsp48 = 10;
+  ResourceModelInputs inputs;
+  const auto est = EstimateResources(
+      PaperSmallMlp(), AcceleratorConfig::PaperConfig(Precision::kFixed16), inputs);
+  EXPECT_FALSE(est.Fits(tiny));
+}
+
+}  // namespace
+}  // namespace microrec

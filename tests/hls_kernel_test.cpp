@@ -1,0 +1,243 @@
+// Tests for the HLS-style kernel model: stream semantics, bank layout /
+// address arithmetic, and bit-identical agreement with MicroRecEngine's
+// functional datapath.
+#include <gtest/gtest.h>
+
+#include "core/microrec.hpp"
+#include "hls/hls_stream.hpp"
+#include "hls/kernel_model.hpp"
+#include "placement/heuristic.hpp"
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+namespace {
+
+RecModelSpec KernelTestModel() {
+  RecModelSpec model;
+  model.name = "hls-test";
+  model.seed = 4711;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    TableSpec spec;
+    spec.id = i;
+    spec.name = "t" + std::to_string(i);
+    spec.rows = 16 + 8 * i;  // small enough for full products
+    spec.dim = (i % 2 == 0) ? 4 : 8;
+    model.tables.push_back(spec);
+  }
+  model.mlp.input_dim = model.FeatureLength();
+  model.mlp.hidden = {32, 16};
+  return model;
+}
+
+PlacementPlan PlanFor(const RecModelSpec& model) {
+  PlacementOptions options;
+  options.max_onchip_tables = model.max_onchip_tables;
+  return HeuristicSearch(model.tables, MemoryPlatformSpec::AlveoU280(),
+                         options)
+      .value();
+}
+
+/// A handcrafted plan that definitely contains Cartesian products, so the
+/// kernel's product address arithmetic is exercised regardless of what the
+/// heuristic would choose: (0,1) and (2,3) merged, the rest single, spread
+/// round-robin over HBM banks.
+PlacementPlan PlanWithProducts(const RecModelSpec& model) {
+  PlacementPlan plan;
+  plan.placements.push_back(TablePlacement{
+      CombinedTable({model.tables[0], model.tables[1]}), 0});
+  plan.placements.push_back(TablePlacement{
+      CombinedTable({model.tables[2], model.tables[3]}), 1});
+  for (std::size_t t = 4; t < model.tables.size(); ++t) {
+    plan.placements.push_back(TablePlacement{
+        CombinedTable(model.tables[t]), static_cast<std::uint32_t>(t - 2)});
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------- Stream
+
+TEST(HlsStreamTest, FifoOrder) {
+  hls::Stream<int> stream;
+  EXPECT_TRUE(stream.Empty());
+  stream.Write(1);
+  stream.Write(2);
+  stream.Write(3);
+  EXPECT_EQ(stream.Size(), 3u);
+  EXPECT_EQ(stream.Read(), 1);
+  EXPECT_EQ(stream.Read(), 2);
+  EXPECT_EQ(stream.Read(), 3);
+  EXPECT_TRUE(stream.Empty());
+}
+
+// ---------------------------------------------------------------- Build
+
+TEST(HlsKernelTest, BuildsFromHeuristicPlan) {
+  const auto model = KernelTestModel();
+  const auto plan = PlanFor(model);
+  auto kernel = hls::KernelModel<Fixed16>::Build(model, plan);
+  ASSERT_TRUE(kernel.ok()) << kernel.status();
+  EXPECT_EQ(kernel->feature_length(), model.FeatureLength());
+  EXPECT_EQ(kernel->address_map().size(), plan.placements.size());
+  EXPECT_GT(kernel->total_bank_elements(), 0u);
+}
+
+TEST(HlsKernelTest, BankElementsMatchPlanStorage) {
+  // Fully materialized small tables: the quantized bank contents must hold
+  // exactly the plan's element count (rows x dim per placed table).
+  const auto model = KernelTestModel();
+  const auto plan = PlanFor(model);
+  auto kernel = hls::KernelModel<Fixed32>::Build(model, plan);
+  ASSERT_TRUE(kernel.ok());
+  std::uint64_t expected = 0;
+  for (const auto& p : plan.placements) {
+    expected += p.table.rows() * p.table.dim();
+  }
+  EXPECT_EQ(kernel->total_bank_elements(), expected);
+}
+
+TEST(HlsKernelTest, RejectsMultiLookupModels) {
+  auto model = DlrmRmc2Model(8, 8);
+  for (auto& t : model.tables) t.rows = 100;
+  const auto plan = PlanFor(model);
+  auto kernel = hls::KernelModel<Fixed16>::Build(model, plan);
+  EXPECT_EQ(kernel.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(HlsKernelTest, RejectsIncompletePlan) {
+  const auto model = KernelTestModel();
+  PlacementPlan partial;
+  partial.placements.push_back(
+      TablePlacement{CombinedTable(model.tables[0]), 0});
+  auto kernel = hls::KernelModel<Fixed16>::Build(model, partial);
+  EXPECT_FALSE(kernel.ok());
+}
+
+// ---------------------------------------------------------------- Run
+
+TEST(HlsKernelTest, QueryValidation) {
+  const auto model = KernelTestModel();
+  auto kernel = hls::KernelModel<Fixed16>::Build(model, PlanFor(model)).value();
+  SparseQuery bad_count;
+  bad_count.indices = {1, 2};
+  EXPECT_EQ(kernel.Run(bad_count).status().code(),
+            StatusCode::kInvalidArgument);
+  SparseQuery bad_range;
+  bad_range.indices.assign(12, 0);
+  bad_range.indices[0] = 9999;
+  EXPECT_EQ(kernel.Run(bad_range).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(HlsKernelTest, OutputIsProbabilityAndDeterministic) {
+  const auto model = KernelTestModel();
+  auto kernel = hls::KernelModel<Fixed16>::Build(model, PlanFor(model)).value();
+  QueryGenerator gen(model, IndexDistribution::kUniform, 3);
+  for (int i = 0; i < 20; ++i) {
+    const SparseQuery q = gen.Next();
+    const float a = kernel.Run(q).value();
+    const float b = kernel.Run(q).value();
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a, 0.0f);
+    EXPECT_LT(a, 1.0f);
+  }
+}
+
+// The headline property: the HLS kernel model -- quantized bank memories,
+// Cartesian address arithmetic, stream dataflow -- produces *bit-identical*
+// CTRs to MicroRecEngine's functional path.
+template <typename Fixed>
+void ExpectKernelMatchesEngine(Precision precision) {
+  const auto model = KernelTestModel();
+  EngineOptions options;
+  options.precision = precision;
+  const auto engine = MicroRecEngine::Build(model, options).value();
+  // Any valid plan must give the same functional result; use one that
+  // contains Cartesian products so their address path is covered.
+  auto kernel =
+      hls::KernelModel<Fixed>::Build(model, PlanWithProducts(model),
+                                     options.max_physical_rows)
+          .value();
+  QueryGenerator gen(model, IndexDistribution::kZipf, 5, 0.9);
+  for (int i = 0; i < 100; ++i) {
+    const SparseQuery q = gen.Next();
+    const float from_engine = engine.Infer(q).value();
+    const float from_kernel = kernel.Run(q).value();
+    ASSERT_EQ(from_engine, from_kernel) << "query " << i;
+  }
+}
+
+TEST(HlsKernelTest, BitIdenticalToEngineFixed16) {
+  ExpectKernelMatchesEngine<Fixed16>(Precision::kFixed16);
+}
+
+TEST(HlsKernelTest, BitIdenticalToEngineFixed32) {
+  ExpectKernelMatchesEngine<Fixed32>(Precision::kFixed32);
+}
+
+TEST(HlsKernelTest, ProductsActuallyExercised) {
+  // Guard against the bit-identical test passing trivially: the plan it
+  // uses must contain Cartesian products with two-member address entries.
+  const auto model = KernelTestModel();
+  const auto plan = PlanWithProducts(model);
+  std::uint32_t products = 0;
+  for (const auto& p : plan.placements) products += p.table.is_product();
+  ASSERT_EQ(products, 2u);
+  auto kernel = hls::KernelModel<Fixed16>::Build(model, plan).value();
+  std::uint32_t two_member = 0;
+  for (const auto& addr : kernel.address_map()) {
+    two_member += (addr.members.size() == 2);
+  }
+  EXPECT_EQ(two_member, 2u);
+}
+
+// Property sweep: bit-identity holds across random models and heuristic
+// plans, not just the handcrafted fixture.
+class HlsKernelPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HlsKernelPropertyTest, RandomModelBitIdentical) {
+  Rng rng(7000 + GetParam());
+  RecModelSpec model;
+  model.name = "hls-prop-" + std::to_string(GetParam());
+  model.seed = 100 + GetParam();
+  const std::uint32_t num_tables = 6 + static_cast<std::uint32_t>(rng.NextBounded(10));
+  for (std::uint32_t i = 0; i < num_tables; ++i) {
+    TableSpec spec;
+    spec.id = i;
+    spec.name = "t" + std::to_string(i);
+    spec.rows = 8 + rng.NextBounded(200);
+    spec.dim = 4u << rng.NextBounded(3);  // 4, 8, or 16
+    model.tables.push_back(spec);
+  }
+  model.mlp.input_dim = model.FeatureLength();
+  model.mlp.hidden = {32, 16};
+
+  EngineOptions options;
+  options.precision = Precision::kFixed32;
+  const auto engine = MicroRecEngine::Build(model, options).value();
+  auto kernel = hls::KernelModel<Fixed32>::Build(model, PlanFor(model),
+                                                 options.max_physical_rows);
+  ASSERT_TRUE(kernel.ok()) << kernel.status();
+
+  QueryGenerator gen(model, IndexDistribution::kUniform, 31 + GetParam());
+  for (int i = 0; i < 25; ++i) {
+    const SparseQuery q = gen.Next();
+    ASSERT_EQ(engine.Infer(q).value(), kernel->Run(q).value())
+        << "seed " << GetParam() << " query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HlsKernelPropertyTest, ::testing::Range(0, 6));
+
+TEST(HlsKernelTest, BatchMatchesSingle) {
+  const auto model = KernelTestModel();
+  auto kernel = hls::KernelModel<Fixed16>::Build(model, PlanFor(model)).value();
+  QueryGenerator gen(model, IndexDistribution::kUniform, 7);
+  const auto queries = gen.NextBatch(9);
+  const auto batch = kernel.RunBatch(queries).value();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], kernel.Run(queries[i]).value());
+  }
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,116 @@
+// Tests for the feature-interaction operations (paper section 2.1).
+#include <gtest/gtest.h>
+
+#include "nn/interaction.hpp"
+
+namespace microrec {
+namespace {
+
+std::vector<std::vector<float>> TwoVectors() {
+  return {{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}};
+}
+
+TEST(InteractionTest, Names) {
+  EXPECT_STREQ(InteractionOpName(InteractionOp::kConcat), "concat");
+  EXPECT_STREQ(InteractionOpName(InteractionOp::kPairwiseDot), "pairwise_dot");
+}
+
+TEST(InteractionTest, EmptyInputRejected) {
+  EXPECT_FALSE(ApplyInteraction(InteractionOp::kConcat, {}).ok());
+  EXPECT_FALSE(InteractionOutputDim(InteractionOp::kConcat, {}).ok());
+}
+
+TEST(InteractionTest, Concat) {
+  const auto vectors = TwoVectors();
+  const auto out = ApplyInteraction(InteractionOp::kConcat, vectors).value();
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(InteractionTest, ConcatAllowsMixedLengths) {
+  std::vector<std::vector<float>> vectors = {{1.0f}, {2.0f, 3.0f}};
+  const auto out = ApplyInteraction(InteractionOp::kConcat, vectors).value();
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3}));
+  const std::uint32_t dims[] = {1, 2};
+  EXPECT_EQ(InteractionOutputDim(InteractionOp::kConcat, dims).value(), 3u);
+}
+
+TEST(InteractionTest, Sum) {
+  const auto vectors = TwoVectors();
+  const auto out = ApplyInteraction(InteractionOp::kSum, vectors).value();
+  EXPECT_EQ(out, (std::vector<float>{5, 7, 9}));
+}
+
+TEST(InteractionTest, SumRejectsMixedLengths) {
+  std::vector<std::vector<float>> vectors = {{1.0f}, {2.0f, 3.0f}};
+  EXPECT_FALSE(ApplyInteraction(InteractionOp::kSum, vectors).ok());
+  const std::uint32_t dims[] = {1, 2};
+  EXPECT_FALSE(InteractionOutputDim(InteractionOp::kSum, dims).ok());
+}
+
+TEST(InteractionTest, WeightedSum) {
+  const auto vectors = TwoVectors();
+  const float weights[] = {2.0f, -1.0f};
+  const auto out =
+      ApplyInteraction(InteractionOp::kWeightedSum, vectors, weights).value();
+  EXPECT_EQ(out, (std::vector<float>{-2, -1, 0}));
+}
+
+TEST(InteractionTest, WeightedSumNeedsMatchingWeights) {
+  const auto vectors = TwoVectors();
+  const float one_weight[] = {2.0f};
+  EXPECT_FALSE(
+      ApplyInteraction(InteractionOp::kWeightedSum, vectors, one_weight).ok());
+}
+
+TEST(InteractionTest, ElementWiseMul) {
+  const auto vectors = TwoVectors();
+  const auto out =
+      ApplyInteraction(InteractionOp::kElementWiseMul, vectors).value();
+  EXPECT_EQ(out, (std::vector<float>{4, 10, 18}));
+}
+
+TEST(InteractionTest, PairwiseDot) {
+  std::vector<std::vector<float>> vectors = {
+      {1.0f, 0.0f}, {0.0f, 1.0f}, {1.0f, 1.0f}};
+  const auto out =
+      ApplyInteraction(InteractionOp::kPairwiseDot, vectors).value();
+  // 6 concatenated elements + 3 dots: (v0.v1)=0, (v0.v2)=1, (v1.v2)=1.
+  ASSERT_EQ(out.size(), 9u);
+  EXPECT_EQ(out[6], 0.0f);
+  EXPECT_EQ(out[7], 1.0f);
+  EXPECT_EQ(out[8], 1.0f);
+  const std::uint32_t dims[] = {2, 2, 2};
+  EXPECT_EQ(InteractionOutputDim(InteractionOp::kPairwiseDot, dims).value(),
+            9u);
+}
+
+TEST(InteractionTest, OutputDimMatchesApplyForAllOps) {
+  std::vector<std::vector<float>> vectors = {
+      {1.0f, 2.0f}, {3.0f, 4.0f}, {5.0f, 6.0f}};
+  const std::uint32_t dims[] = {2, 2, 2};
+  const float weights[] = {1.0f, 1.0f, 1.0f};
+  for (InteractionOp op :
+       {InteractionOp::kConcat, InteractionOp::kSum,
+        InteractionOp::kWeightedSum, InteractionOp::kElementWiseMul,
+        InteractionOp::kPairwiseDot}) {
+    const auto out = ApplyInteraction(op, vectors, weights);
+    ASSERT_TRUE(out.ok()) << InteractionOpName(op);
+    EXPECT_EQ(out->size(), InteractionOutputDim(op, dims).value())
+        << InteractionOpName(op);
+  }
+}
+
+TEST(InteractionTest, SingleVectorIdentityForMostOps) {
+  std::vector<std::vector<float>> one = {{1.5f, -2.5f}};
+  for (InteractionOp op : {InteractionOp::kConcat, InteractionOp::kSum,
+                           InteractionOp::kElementWiseMul}) {
+    EXPECT_EQ(ApplyInteraction(op, one).value(), one[0])
+        << InteractionOpName(op);
+  }
+  // Pairwise dot with one input appends no dots.
+  EXPECT_EQ(ApplyInteraction(InteractionOp::kPairwiseDot, one).value(),
+            one[0]);
+}
+
+}  // namespace
+}  // namespace microrec

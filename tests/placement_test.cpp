@@ -1,0 +1,490 @@
+// Tests for the combination + allocation search: heuristic rules 1-4, the
+// shared allocator's invariants, brute-force validation of the heuristic on
+// small instances, and the published Table 3 outcomes on the production
+// models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "placement/allocator.hpp"
+#include "placement/brute_force.hpp"
+#include "placement/heuristic.hpp"
+#include "placement/plan.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace microrec {
+namespace {
+
+TableSpec MakeSpec(std::uint32_t id, std::uint64_t rows, std::uint32_t dim) {
+  TableSpec spec;
+  spec.id = id;
+  spec.name = "t" + std::to_string(id);
+  spec.rows = rows;
+  spec.dim = dim;
+  return spec;
+}
+
+std::vector<TableSpec> SortedAsc(std::vector<TableSpec> tables) {
+  std::sort(tables.begin(), tables.end(), [](const auto& a, const auto& b) {
+    if (a.TotalBytes() != b.TotalBytes()) return a.TotalBytes() < b.TotalBytes();
+    return a.id < b.id;
+  });
+  return tables;
+}
+
+// ------------------------------------------------------ CombineCandidates
+
+TEST(CombineCandidatesTest, ZeroCandidatesLeavesAllSingle) {
+  const auto tables = SortedAsc(
+      {MakeSpec(0, 10, 4), MakeSpec(1, 20, 4), MakeSpec(2, 30, 4)});
+  const auto combined = CombineCandidates(tables, 0, {});
+  EXPECT_EQ(combined.size(), 3u);
+  for (const auto& t : combined) EXPECT_FALSE(t.is_product());
+}
+
+TEST(CombineCandidatesTest, PairsSmallestWithLargest) {
+  // Rule 3: among candidates {10, 20, 30, 40} rows, pairs are (10,40) and
+  // (20,30).
+  const auto tables =
+      SortedAsc({MakeSpec(0, 10, 4), MakeSpec(1, 20, 4), MakeSpec(2, 30, 4),
+                 MakeSpec(3, 40, 4)});
+  const auto combined = CombineCandidates(tables, 4, {});
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_EQ(combined[0].rows(), 400u);  // 40 x 10
+  EXPECT_EQ(combined[1].rows(), 600u);  // 30 x 20
+}
+
+TEST(CombineCandidatesTest, OddCandidateLeavesMiddleSingle) {
+  const auto tables =
+      SortedAsc({MakeSpec(0, 10, 4), MakeSpec(1, 20, 4), MakeSpec(2, 30, 4)});
+  const auto combined = CombineCandidates(tables, 3, {});
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_TRUE(combined[0].is_product());
+  EXPECT_FALSE(combined[1].is_product());
+  EXPECT_EQ(combined[1].rows(), 20u);  // the middle candidate
+}
+
+TEST(CombineCandidatesTest, ProductsJoinExactlyTwoTables) {
+  // Rule 2: no triples even with many candidates.
+  std::vector<TableSpec> tables;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    tables.push_back(MakeSpec(i, 10 + i, 4));
+  }
+  const auto combined = CombineCandidates(SortedAsc(tables), 10, {});
+  for (const auto& t : combined) {
+    EXPECT_LE(t.member_count(), 2u);
+  }
+}
+
+TEST(CombineCandidatesTest, OversizedProductStaysUnmerged) {
+  PlacementOptions options;
+  options.max_product_bytes = 1024;  // tiny cap
+  const auto tables = SortedAsc({MakeSpec(0, 100, 4), MakeSpec(1, 100, 4)});
+  const auto combined = CombineCandidates(tables, 2, options);
+  EXPECT_EQ(combined.size(), 2u);  // 100x100x8dim = 320 KB > cap
+  for (const auto& t : combined) EXPECT_FALSE(t.is_product());
+}
+
+TEST(CombineCandidatesTest, NonCandidatesPassThroughUnchanged) {
+  const auto tables =
+      SortedAsc({MakeSpec(0, 10, 4), MakeSpec(1, 20, 4), MakeSpec(2, 1000, 8),
+                 MakeSpec(3, 2000, 8)});
+  const auto combined = CombineCandidates(tables, 2, {});
+  ASSERT_EQ(combined.size(), 3u);
+  EXPECT_TRUE(combined[0].is_product());
+  EXPECT_EQ(combined[1].rows(), 1000u);
+  EXPECT_EQ(combined[2].rows(), 2000u);
+}
+
+// ------------------------------------------------------ Allocator
+
+TEST(AllocatorTest, RespectsBankCapacity) {
+  // Tables of 200 MiB each: max one per 256 MiB HBM bank.
+  std::vector<CombinedTable> tables;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    tables.emplace_back(MakeSpec(i, 3'276'800, 16));  // 200 MiB
+  }
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan = AllocateToBanks(tables, platform, {});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(ValidatePlan(*plan, platform).ok());
+}
+
+TEST(AllocatorTest, HugeTableGoesToDdr) {
+  std::vector<CombinedTable> tables;
+  tables.emplace_back(MakeSpec(0, 20'000'000, 16));  // ~1.2 GiB > HBM bank
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan = AllocateToBanks(tables, platform, {});
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->placements.size(), 1u);
+  EXPECT_EQ(platform.KindOfBank(plan->placements[0].bank), MemoryKind::kDdr);
+}
+
+TEST(AllocatorTest, ImpossibleTableFailsCleanly) {
+  std::vector<CombinedTable> tables;
+  tables.emplace_back(MakeSpec(0, 600'000'000, 16));  // ~36 GiB > any bank
+  auto plan = AllocateToBanks(tables, MemoryPlatformSpec::AlveoU280(), {});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AllocatorTest, TinyTablesAreCachedOnChip) {
+  std::vector<CombinedTable> tables;
+  tables.emplace_back(MakeSpec(0, 100, 4));             // 1.6 KB: on-chip
+  tables.emplace_back(MakeSpec(1, 1'000'000, 16));      // 64 MB: DRAM
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan = AllocateToBanks(tables, platform, {});
+  ASSERT_TRUE(plan.ok());
+  int onchip = 0, dram = 0;
+  for (const auto& p : plan->placements) {
+    (platform.KindOfBank(p.bank) == MemoryKind::kOnChip ? onchip : dram)++;
+  }
+  EXPECT_EQ(onchip, 1);
+  EXPECT_EQ(dram, 1);
+}
+
+TEST(AllocatorTest, OnChipDisabledKeepsEverythingInDram) {
+  std::vector<CombinedTable> tables;
+  tables.emplace_back(MakeSpec(0, 100, 4));
+  PlacementOptions options;
+  options.allow_onchip = false;
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan = AllocateToBanks(tables, platform, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(platform.KindOfBank(plan->placements[0].bank), MemoryKind::kOnChip);
+}
+
+TEST(AllocatorTest, MaxOnchipTablesBudgetEnforced) {
+  std::vector<CombinedTable> tables;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    tables.emplace_back(MakeSpec(i, 100, 4));
+  }
+  PlacementOptions options;
+  options.max_onchip_tables = 3;
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan = AllocateToBanks(tables, platform, options);
+  ASSERT_TRUE(plan.ok());
+  int onchip = 0;
+  for (const auto& p : plan->placements) {
+    onchip += (platform.KindOfBank(p.bank) == MemoryKind::kOnChip);
+  }
+  EXPECT_EQ(onchip, 3);
+}
+
+TEST(AllocatorTest, ColocatedOnChipLatencyNeverExceedsOneDramAccess) {
+  // Rule 4's second constraint: if several tables share an on-chip bank,
+  // their summed lookup time must not exceed an off-chip access.
+  std::vector<CombinedTable> tables;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    tables.emplace_back(MakeSpec(i, 50, 4));  // all tiny
+  }
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan = AllocateToBanks(tables, platform, {});
+  ASSERT_TRUE(plan.ok());
+  std::vector<double> bank_latency(platform.total_banks(), 0.0);
+  Bytes largest_vec = 0;
+  for (const auto& p : plan->placements) {
+    largest_vec = std::max(largest_vec, p.table.VectorBytes());
+  }
+  for (const auto& p : plan->placements) {
+    if (platform.KindOfBank(p.bank) == MemoryKind::kOnChip) {
+      bank_latency[p.bank] +=
+          platform.onchip_timing.AccessLatency(p.table.VectorBytes());
+    }
+  }
+  const double budget = platform.hbm_timing.AccessLatency(largest_vec);
+  for (double lat : bank_latency) EXPECT_LE(lat, budget + 1e-9);
+}
+
+TEST(AllocatorTest, BalancedLoadAcrossChannels) {
+  // 68 equal tables over 34 DRAM channels: every channel must carry
+  // exactly 2 (the paper's load-balancing motivation in 3.3).
+  std::vector<CombinedTable> tables;
+  for (std::uint32_t i = 0; i < 68; ++i) {
+    tables.emplace_back(MakeSpec(i, 1'000'000, 8));  // 32 MB, DRAM-sized
+  }
+  PlacementOptions options;
+  options.allow_onchip = false;
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  auto plan = AllocateToBanks(tables, platform, options);
+  ASSERT_TRUE(plan.ok());
+  std::vector<int> per_bank(platform.total_banks(), 0);
+  for (const auto& p : plan->placements) per_bank[p.bank]++;
+  for (std::uint32_t b = 0; b < platform.dram_channels(); ++b) {
+    EXPECT_EQ(per_bank[b], 2) << "bank " << b;
+  }
+}
+
+// ------------------------------------------------------ Plan metrics
+
+TEST(PlanTest, FinalizeMetricsComputesDerivedFields) {
+  std::vector<CombinedTable> tables;
+  tables.emplace_back(MakeSpec(0, 1000, 8));
+  tables.emplace_back(std::vector<TableSpec>{MakeSpec(1, 10, 4), MakeSpec(2, 20, 4)});
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  PlacementOptions options;
+  options.allow_onchip = false;
+  auto plan = AllocateToBanks(tables, platform, options);
+  ASSERT_TRUE(plan.ok());
+  const Bytes original = MakeSpec(0, 1000, 8).TotalBytes() +
+                         MakeSpec(1, 10, 4).TotalBytes() +
+                         MakeSpec(2, 20, 4).TotalBytes();
+  plan->FinalizeMetrics(platform, options, original);
+  EXPECT_EQ(plan->tables_total, 2u);
+  EXPECT_EQ(plan->cartesian_products, 1u);
+  EXPECT_EQ(plan->tables_in_dram, 2u);
+  EXPECT_EQ(plan->dram_access_rounds, 1u);
+  EXPECT_GT(plan->storage_overhead_bytes, 0u);
+  EXPECT_GT(plan->lookup_latency_ns, 0.0);
+}
+
+TEST(PlanTest, ToBankAccessesExpandsLookups) {
+  PlacementPlan plan;
+  plan.placements.push_back(TablePlacement{CombinedTable(MakeSpec(0, 10, 4)), 3});
+  const auto accesses = plan.ToBankAccesses(4);
+  ASSERT_EQ(accesses.size(), 4u);
+  for (const auto& a : accesses) {
+    EXPECT_EQ(a.bank, 3u);
+    EXPECT_EQ(a.bytes, 16u);
+  }
+}
+
+TEST(PlanTest, ValidateCatchesOverCapacity) {
+  PlacementPlan plan;
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  plan.placements.push_back(
+      TablePlacement{CombinedTable(MakeSpec(0, 10'000'000, 16)), 0});  // 640MB on HBM
+  EXPECT_EQ(ValidatePlan(plan, platform).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PlanTest, ValidateCatchesBadBankIndex) {
+  PlacementPlan plan;
+  plan.placements.push_back(TablePlacement{CombinedTable(MakeSpec(0, 10, 4)), 999});
+  EXPECT_EQ(ValidatePlan(plan, MemoryPlatformSpec::AlveoU280()).code(),
+            StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------------ Heuristic search
+
+TEST(HeuristicSearchTest, EmptyInputIsInvalid) {
+  auto plan = HeuristicSearch({}, MemoryPlatformSpec::AlveoU280(), {});
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HeuristicSearchTest, InvalidTableRejected) {
+  auto plan = HeuristicSearch({MakeSpec(0, 0, 4)},
+                              MemoryPlatformSpec::AlveoU280(), {});
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(HeuristicSearchTest, SingleTableTrivialPlan) {
+  PlacementOptions options;
+  options.allow_onchip = false;
+  auto plan = HeuristicSearch({MakeSpec(0, 1000, 8)},
+                              MemoryPlatformSpec::AlveoU280(), options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->tables_total, 1u);
+  EXPECT_EQ(plan->dram_access_rounds, 1u);
+}
+
+TEST(HeuristicSearchTest, CartesianDisabledProducesNoProducts) {
+  Rng rng(51);
+  const auto tables = RandomTables(rng, 40, 100, 100'000);
+  PlacementOptions options;
+  options.allow_cartesian = false;
+  auto plan = HeuristicSearch(tables, MemoryPlatformSpec::AlveoU280(), options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->cartesian_products, 0u);
+  EXPECT_EQ(plan->tables_total, 40u);
+}
+
+TEST(HeuristicSearchTest, CartesianNeverHurtsLatency) {
+  for (std::uint64_t seed : {61, 62, 63, 64, 65}) {
+    Rng rng(seed);
+    const auto tables = RandomTables(rng, 50, 100, 1'000'000);
+    PlacementOptions with;
+    PlacementOptions without;
+    without.allow_cartesian = false;
+    const auto platform = MemoryPlatformSpec::AlveoU280();
+    auto plan_with = HeuristicSearch(tables, platform, with);
+    auto plan_without = HeuristicSearch(tables, platform, without);
+    ASSERT_TRUE(plan_with.ok());
+    ASSERT_TRUE(plan_without.ok());
+    // n=0 is part of the search space, so enabling Cartesian can only help.
+    EXPECT_LE(plan_with->lookup_latency_ns,
+              plan_without->lookup_latency_ns + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(HeuristicSearchTest, PlansAlwaysValid) {
+  for (std::uint64_t seed : {71, 72, 73, 74, 75, 76, 77, 78}) {
+    Rng rng(seed);
+    const auto tables = RandomTables(rng, 30, 100, 3'000'000);
+    const auto platform = MemoryPlatformSpec::AlveoU280();
+    auto plan = HeuristicSearch(tables, platform, {});
+    ASSERT_TRUE(plan.ok()) << "seed " << seed;
+    EXPECT_TRUE(ValidatePlan(*plan, platform).ok()) << "seed " << seed;
+    // Every original table appears in exactly one placement.
+    std::size_t members = 0;
+    for (const auto& p : plan->placements) members += p.table.member_count();
+    EXPECT_EQ(members, tables.size()) << "seed " << seed;
+  }
+}
+
+TEST(HeuristicSearchTest, WorksOnDdrOnlyCard) {
+  // "This algorithm can be generalized to any FPGAs, no matter whether they
+  // are equipped with HBM" (paper 3.4.2).
+  Rng rng(81);
+  const auto tables = RandomTables(rng, 12, 100, 100'000);
+  PlacementOptions options;
+  options.allow_onchip = false;
+  options.allow_cartesian = false;
+  auto plan = HeuristicSearch(tables, MemoryPlatformSpec::DdrOnlyCard(4), options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidatePlan(*plan, MemoryPlatformSpec::DdrOnlyCard(4)).ok());
+  EXPECT_EQ(plan->dram_access_rounds, 3u);  // 12 tables on 4 channels
+
+  // With combining + caching allowed, latency can only improve.
+  auto relaxed = HeuristicSearch(tables, MemoryPlatformSpec::DdrOnlyCard(4), {});
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_LE(relaxed->lookup_latency_ns, plan->lookup_latency_ns + 1e-9);
+}
+
+// ------------------------------------------------------ Brute force
+
+TEST(BruteForceTest, CountPairPartitionsMatchesTelephoneNumbers) {
+  // OEIS A000085: 1, 1, 2, 4, 10, 26, 76, 232, 764.
+  const std::uint64_t expected[] = {1, 1, 2, 4, 10, 26, 76, 232, 764};
+  for (std::uint32_t n = 0; n <= 8; ++n) {
+    EXPECT_EQ(CountPairPartitions(n), expected[n]) << "n=" << n;
+  }
+}
+
+TEST(BruteForceTest, RefusesLargeInstances) {
+  Rng rng(91);
+  const auto tables = RandomTables(rng, 13);
+  auto plan = BruteForceSearch(tables, MemoryPlatformSpec::AlveoU280(), {});
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The heuristic must be near-optimal: on every small instance, its latency
+// is within a small factor of the exhaustive optimum (and its own search
+// includes n=0, so it can never be worse than no-Cartesian).
+class HeuristicVsBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicVsBruteForceTest, HeuristicNearOptimal) {
+  Rng rng(200 + GetParam());
+  const auto tables = RandomTables(rng, 8, 100, 200'000);
+  // A tight platform (few channels) so combining actually matters.
+  MemoryPlatformSpec platform = MemoryPlatformSpec::DdrOnlyCard(3);
+  platform.onchip_banks = 2;
+  auto heuristic = HeuristicSearch(tables, platform, {});
+  auto optimal = BruteForceSearch(tables, platform, {});
+  ASSERT_TRUE(heuristic.ok());
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_GE(heuristic->lookup_latency_ns, optimal->lookup_latency_ns - 1e-9);
+  EXPECT_LE(heuristic->lookup_latency_ns,
+            1.35 * optimal->lookup_latency_ns + 1e-9)
+      << "heuristic " << heuristic->lookup_latency_ns << " vs optimal "
+      << optimal->lookup_latency_ns;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicVsBruteForceTest,
+                         ::testing::Range(0, 12));
+
+// Robustness: random platforms x random table sets either produce a valid
+// plan or a clean ResourceExhausted -- never a crash or an invalid plan.
+class RandomPlatformTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPlatformTest, PlanValidOrCleanError) {
+  Rng rng(9000 + GetParam());
+  MemoryPlatformSpec platform;
+  platform.hbm_channels = static_cast<std::uint32_t>(rng.NextBounded(48));
+  platform.hbm_channel_capacity = 1_MiB << rng.NextBounded(9);  // 1MiB..256MiB
+  platform.ddr_channels = static_cast<std::uint32_t>(rng.NextBounded(4));
+  platform.ddr_channel_capacity = 1_GiB << rng.NextBounded(5);
+  platform.onchip_banks = static_cast<std::uint32_t>(rng.NextBounded(12));
+  platform.onchip_bank_capacity = 64_KiB << rng.NextBounded(4);
+  if (platform.dram_channels() == 0) platform.ddr_channels = 1;
+
+  const auto tables = RandomTables(rng, 5 + static_cast<std::uint32_t>(
+                                             rng.NextBounded(40)),
+                                   100, 5'000'000);
+  auto plan = HeuristicSearch(tables, platform, {});
+  if (plan.ok()) {
+    EXPECT_TRUE(ValidatePlan(*plan, platform).ok()) << "seed " << GetParam();
+    std::size_t members = 0;
+    for (const auto& p : plan->placements) members += p.table.member_count();
+    EXPECT_EQ(members, tables.size());
+    EXPECT_GT(plan->lookup_latency_ns, 0.0);
+  } else {
+    EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted)
+        << plan.status();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlatformTest, ::testing::Range(0, 24));
+
+// ------------------------------------------------------ Production models
+
+TEST(ProductionPlacementTest, SmallModelMatchesPaperTable3) {
+  const auto model = SmallProductionModel();
+  PlacementOptions options;
+  options.max_onchip_tables = model.max_onchip_tables;
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+
+  auto with = HeuristicSearch(model.tables, platform, options);
+  ASSERT_TRUE(with.ok());
+  PlacementOptions no_cartesian = options;
+  no_cartesian.allow_cartesian = false;
+  auto without = HeuristicSearch(model.tables, platform, no_cartesian);
+  ASSERT_TRUE(without.ok());
+
+  // Paper Table 3, smaller model row.
+  EXPECT_EQ(without->tables_total, 47u);
+  EXPECT_EQ(without->tables_in_dram, 39u);
+  EXPECT_EQ(without->dram_access_rounds, 2u);
+  EXPECT_EQ(with->tables_total, 42u);
+  EXPECT_EQ(with->tables_in_dram, 34u);
+  EXPECT_EQ(with->dram_access_rounds, 1u);
+  // Storage overhead is a few percent (paper: 3.2%).
+  const double overhead = static_cast<double>(with->storage_overhead_bytes) /
+                          static_cast<double>(model.TotalEmbeddingBytes());
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 0.06);
+  // Latency ratio ~59% (paper: 59.2%).
+  const double ratio = with->lookup_latency_ns / without->lookup_latency_ns;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 0.7);
+}
+
+TEST(ProductionPlacementTest, LargeModelMatchesPaperTable3) {
+  const auto model = LargeProductionModel();
+  PlacementOptions options;
+  options.max_onchip_tables = model.max_onchip_tables;
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+
+  auto with = HeuristicSearch(model.tables, platform, options);
+  ASSERT_TRUE(with.ok());
+  PlacementOptions no_cartesian = options;
+  no_cartesian.allow_cartesian = false;
+  auto without = HeuristicSearch(model.tables, platform, no_cartesian);
+  ASSERT_TRUE(without.ok());
+
+  // Paper Table 3, larger model row (paper: 98 -> 84 tables, 82 -> 68 in
+  // DRAM, 3 -> 2 rounds).
+  EXPECT_EQ(without->tables_total, 98u);
+  EXPECT_EQ(without->tables_in_dram, 82u);
+  EXPECT_EQ(without->dram_access_rounds, 3u);
+  EXPECT_EQ(with->tables_total, 84u);
+  EXPECT_EQ(with->tables_in_dram, 68u);
+  EXPECT_EQ(with->dram_access_rounds, 2u);
+  const double ratio = with->lookup_latency_ns / without->lookup_latency_ns;
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 0.9);
+}
+
+}  // namespace
+}  // namespace microrec

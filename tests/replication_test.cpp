@@ -1,0 +1,164 @@
+// Tests for table replication over channels (the mechanism behind the
+// paper's Table 5 one-round claims for multi-lookup DLRM models).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "placement/replication.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace microrec {
+namespace {
+
+TableSpec MakeSpec(std::uint32_t id, std::uint64_t rows, std::uint32_t dim) {
+  TableSpec spec;
+  spec.id = id;
+  spec.name = "t" + std::to_string(id);
+  spec.rows = rows;
+  spec.dim = dim;
+  return spec;
+}
+
+ReplicationOptions FourLookups() {
+  ReplicationOptions options;
+  options.lookups_per_table = 4;
+  return options;
+}
+
+TEST(ReplicationTest, EmptyInputRejected) {
+  EXPECT_FALSE(
+      ReplicateAndPlace({}, MemoryPlatformSpec::AlveoU280(), FourLookups())
+          .ok());
+}
+
+TEST(ReplicationTest, ZeroLookupsRejected) {
+  ReplicationOptions options;
+  options.lookups_per_table = 0;
+  EXPECT_FALSE(ReplicateAndPlace({MakeSpec(0, 100, 4)},
+                                 MemoryPlatformSpec::AlveoU280(), options)
+                   .ok());
+}
+
+TEST(ReplicationTest, ReplicasOnDistinctBanks) {
+  const auto plan = ReplicateAndPlace({MakeSpec(0, 1000, 8)},
+                                      MemoryPlatformSpec::AlveoU280(),
+                                      FourLookups())
+                        .value();
+  ASSERT_EQ(plan.tables.size(), 1u);
+  const auto& banks = plan.tables[0].banks;
+  EXPECT_EQ(banks.size(), 4u);
+  EXPECT_EQ(std::set<std::uint32_t>(banks.begin(), banks.end()).size(), 4u);
+}
+
+TEST(ReplicationTest, Dlrm8TablesOneRound) {
+  // Paper 5.4.2: 8 tables x 4 lookups spread over the 32 HBM channels --
+  // one round, because replication makes all 32 lookups independent.
+  const auto model = DlrmRmc2Model(8, 32);
+  const auto plan = ReplicateAndPlace(model.tables,
+                                      MemoryPlatformSpec::AlveoU280(),
+                                      FourLookups())
+                        .value();
+  EXPECT_EQ(plan.dram_access_rounds, 1u);
+  // 4 replicas each: 3x storage overhead.
+  EXPECT_EQ(plan.replication_overhead_bytes, 3 * TotalStorage(model.tables));
+}
+
+TEST(ReplicationTest, Dlrm12TablesTwoRounds) {
+  // 12 tables x 4 lookups = 48 > 34 channels: two rounds (Table 5's lower
+  // bound configuration), even at the largest vector length where HBM
+  // capacity limits each channel to one replica.
+  for (std::uint32_t len : {4u, 64u}) {
+    const auto model = DlrmRmc2Model(12, len);
+    const auto plan = ReplicateAndPlace(model.tables,
+                                        MemoryPlatformSpec::AlveoU280(),
+                                        FourLookups())
+                          .value();
+    EXPECT_EQ(plan.dram_access_rounds, 2u) << "len " << len;
+  }
+}
+
+TEST(ReplicationTest, LatencyMatchesPaperTable5Anchors) {
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  const auto eight = ReplicateAndPlace(DlrmRmc2Model(8, 4).tables, platform,
+                                       FourLookups())
+                         .value();
+  EXPECT_NEAR(eight.lookup_latency_ns, 334.5, 3.0);
+  const auto twelve = ReplicateAndPlace(DlrmRmc2Model(12, 64).tables,
+                                        platform, FourLookups())
+                          .value();
+  EXPECT_NEAR(twelve.lookup_latency_ns, 1296.9, 10.0);
+}
+
+TEST(ReplicationTest, MaxReplicasCapRespected) {
+  ReplicationOptions options;
+  options.lookups_per_table = 4;
+  options.max_replicas = 2;
+  const auto plan = ReplicateAndPlace({MakeSpec(0, 1000, 8)},
+                                      MemoryPlatformSpec::AlveoU280(), options)
+                        .value();
+  EXPECT_EQ(plan.tables[0].replicas(), 2u);
+}
+
+TEST(ReplicationTest, CapacityLimitsReplicas) {
+  // A ~200 MiB table on HBM channels (256 MiB each): replicas are limited
+  // by free capacity, never overcommitted.
+  std::vector<TableSpec> tables;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    tables.push_back(MakeSpec(i, 3'300'000, 16));  // ~201 MiB
+  }
+  const auto plan = ReplicateAndPlace(tables, MemoryPlatformSpec::AlveoU280(),
+                                      FourLookups())
+                        .value();
+  // 34 DRAM channels can hold at most 32 HBM copies + many DDR copies, but
+  // DDR has only 2 channels -> max 2 replicas there per table.
+  std::vector<Bytes> used(36, 0);
+  for (const auto& replicated : plan.tables) {
+    EXPECT_GE(replicated.replicas(), 1u);
+    for (auto bank : replicated.banks) {
+      used[bank] += replicated.table.TotalBytes();
+    }
+  }
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  for (std::uint32_t b = 0; b < platform.dram_channels(); ++b) {
+    EXPECT_LE(used[b], platform.CapacityOfBank(b)) << "bank " << b;
+  }
+}
+
+TEST(ReplicationTest, ImpossibleTableFails) {
+  const auto result = ReplicateAndPlace({MakeSpec(0, 600'000'000, 16)},
+                                        MemoryPlatformSpec::AlveoU280(),
+                                        FourLookups());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ReplicationTest, ToBankAccessesRotatesReplicas) {
+  ReplicationPlan plan;
+  ReplicatedTable replicated;
+  replicated.table = MakeSpec(0, 100, 4);
+  replicated.banks = {5, 9};
+  plan.tables.push_back(replicated);
+  const auto accesses = plan.ToBankAccesses(4);
+  ASSERT_EQ(accesses.size(), 4u);
+  EXPECT_EQ(accesses[0].bank, 5u);
+  EXPECT_EQ(accesses[1].bank, 9u);
+  EXPECT_EQ(accesses[2].bank, 5u);
+  EXPECT_EQ(accesses[3].bank, 9u);
+}
+
+TEST(ReplicationTest, MoreReplicasNeverSlower) {
+  const auto model = DlrmRmc2Model(10, 16);
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  Nanoseconds prev = 1e18;
+  for (std::uint32_t replicas : {1u, 2u, 4u}) {
+    ReplicationOptions options;
+    options.lookups_per_table = 4;
+    options.max_replicas = replicas;
+    const auto plan =
+        ReplicateAndPlace(model.tables, platform, options).value();
+    EXPECT_LE(plan.lookup_latency_ns, prev + 1e-9) << replicas;
+    prev = plan.lookup_latency_ns;
+  }
+}
+
+}  // namespace
+}  // namespace microrec

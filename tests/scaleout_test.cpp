@@ -1,0 +1,82 @@
+// Tests for replicated-pipeline serving and fleet provisioning.
+#include <gtest/gtest.h>
+
+#include "serving/scaleout.hpp"
+#include "serving/serving_sim.hpp"
+
+namespace microrec {
+namespace {
+
+TEST(ReplicatedPipelinesTest, OneReplicaMatchesSinglePipeline) {
+  const auto arrivals = PoissonArrivals(50'000.0, 5'000, 3);
+  const auto single = SimulatePipelinedServer(arrivals, 20'000.0, 3'300.0,
+                                              Milliseconds(30));
+  const auto replicated = SimulateReplicatedPipelines(
+      arrivals, 1, 20'000.0, 3'300.0, Milliseconds(30));
+  EXPECT_DOUBLE_EQ(replicated.p99, single.p99);
+  EXPECT_DOUBLE_EQ(replicated.max, single.max);
+}
+
+TEST(ReplicatedPipelinesTest, ReplicasAbsorbOverload) {
+  // Offered load 2x one pipeline's capacity: one replica diverges, two
+  // keep latency flat.
+  const double capacity = kNanosPerSecond / 3'300.0;  // ~3e5 items/s
+  const auto arrivals = PoissonArrivals(1.8 * capacity, 60'000, 5);
+  const auto one = SimulateReplicatedPipelines(arrivals, 1, 20'000.0, 3'300.0,
+                                               Milliseconds(30));
+  const auto two = SimulateReplicatedPipelines(arrivals, 2, 20'000.0, 3'300.0,
+                                               Milliseconds(30));
+  EXPECT_GT(one.p99, Milliseconds(1));
+  EXPECT_LT(two.p99, Microseconds(200));
+  EXPECT_GT(one.sla_violation_rate, 0.5);
+  EXPECT_DOUBLE_EQ(two.sla_violation_rate, 0.0);
+}
+
+TEST(ReplicatedPipelinesTest, LatencyNonIncreasingInReplicas) {
+  const auto arrivals = PoissonArrivals(500'000.0, 20'000, 7);
+  Nanoseconds prev = 1e18;
+  for (std::uint32_t replicas : {1u, 2u, 4u, 8u}) {
+    const auto report = SimulateReplicatedPipelines(
+        arrivals, replicas, 20'000.0, 3'300.0, Milliseconds(30));
+    EXPECT_LE(report.p99, prev + 1.0) << replicas;
+    prev = report.p99;
+  }
+}
+
+TEST(ReplicatedPipelinesTest, UnloadedLatencyIsItemLatency) {
+  std::vector<Nanoseconds> arrivals = {0.0, 1e9, 2e9};
+  const auto report = SimulateReplicatedPipelines(arrivals, 4, 20'000.0,
+                                                  3'300.0, Milliseconds(30));
+  EXPECT_DOUBLE_EQ(report.max, 20'000.0);
+}
+
+TEST(ProvisionFleetTest, ExactMath) {
+  DeviceClass fpga{3.0e5, 1.65};
+  const FleetPlan plan = ProvisionFleet(1.0e6, fpga, 1.25);
+  // 1e6 * 1.25 / 3e5 = 4.17 -> 5 devices.
+  EXPECT_EQ(plan.devices, 5u);
+  EXPECT_DOUBLE_EQ(plan.dollars_per_hour, 5 * 1.65);
+  EXPECT_DOUBLE_EQ(plan.capacity_items_per_s, 1.5e6);
+  EXPECT_NEAR(plan.utilization, 1.0e6 / 1.5e6, 1e-12);
+}
+
+TEST(ProvisionFleetTest, AtLeastOneDevice) {
+  DeviceClass big{1.0e9, 2.0};
+  const FleetPlan plan = ProvisionFleet(10.0, big);
+  EXPECT_EQ(plan.devices, 1u);
+}
+
+TEST(ProvisionFleetTest, FpgaFleetCheaperThanCpuAtPaperNumbers) {
+  // Paper cost appendix at fleet scale: serving 1M items/s of the small
+  // model takes ~4x fewer dollars on FPGAs.
+  DeviceClass cpu{7.27e4, 1.82};   // CPU B=2048 throughput, $/h
+  DeviceClass fpga{2.84e5, 1.65};  // our fixed16 simulated throughput
+  const auto cpu_plan = ProvisionFleet(1.0e6, cpu);
+  const auto fpga_plan = ProvisionFleet(1.0e6, fpga);
+  EXPECT_LT(fpga_plan.dollars_per_hour, cpu_plan.dollars_per_hour / 3.0);
+  EXPECT_GE(cpu_plan.capacity_items_per_s, 1.0e6);
+  EXPECT_GE(fpga_plan.capacity_items_per_s, 1.0e6);
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,172 @@
+// Tests for the model / placement-plan text serialization.
+#include <gtest/gtest.h>
+
+#include "core/serialization.hpp"
+#include "memsim/dram_timing.hpp"
+#include "placement/heuristic.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace microrec {
+namespace {
+
+TEST(ModelSerializationTest, RoundTripSmallProductionModel) {
+  const RecModelSpec original = SmallProductionModel();
+  const std::string text = SerializeModel(original);
+  const auto parsed_or = ParseModel(text);
+  ASSERT_TRUE(parsed_or.ok()) << parsed_or.status();
+  const RecModelSpec& parsed = *parsed_or;
+
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.seed, original.seed);
+  EXPECT_EQ(parsed.lookups_per_table, original.lookups_per_table);
+  EXPECT_EQ(parsed.max_onchip_tables, original.max_onchip_tables);
+  EXPECT_EQ(parsed.mlp.input_dim, original.mlp.input_dim);
+  EXPECT_EQ(parsed.mlp.hidden, original.mlp.hidden);
+  ASSERT_EQ(parsed.tables.size(), original.tables.size());
+  for (std::size_t i = 0; i < original.tables.size(); ++i) {
+    EXPECT_EQ(parsed.tables[i].id, original.tables[i].id);
+    EXPECT_EQ(parsed.tables[i].rows, original.tables[i].rows);
+    EXPECT_EQ(parsed.tables[i].dim, original.tables[i].dim);
+    EXPECT_EQ(parsed.tables[i].name, original.tables[i].name);
+  }
+}
+
+TEST(ModelSerializationTest, RoundTripDlrm) {
+  const RecModelSpec original = DlrmRmc2Model(12, 64);
+  const auto parsed = ParseModel(SerializeModel(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->lookups_per_table, 4u);
+  EXPECT_EQ(parsed->tables.size(), 12u);
+}
+
+TEST(ModelSerializationTest, CommentsAndBlankLinesIgnored) {
+  std::string text = SerializeModel(SmallProductionModel());
+  text = "# a comment\n\n" + text + "\n# trailing\n";
+  EXPECT_TRUE(ParseModel(text).ok());
+}
+
+TEST(ModelSerializationTest, RejectsMissingHeader) {
+  const auto result = ParseModel("name foo\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelSerializationTest, RejectsUnknownKey) {
+  const auto result = ParseModel("microrec-model v1\nbogus 1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown key"), std::string::npos);
+}
+
+TEST(ModelSerializationTest, RejectsMalformedInteger) {
+  const auto result = ParseModel(
+      "microrec-model v1\nmlp 8 16\ntable 0 abc 4 4 t0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ModelSerializationTest, RejectsInvalidTable) {
+  const auto result = ParseModel(
+      "microrec-model v1\nmlp 8 16\ntable 0 0 4 4 empty\n");
+  EXPECT_FALSE(result.ok());  // zero rows
+}
+
+TEST(ModelSerializationTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseModel("").ok());
+  EXPECT_FALSE(ParseModel("# only comments\n").ok());
+}
+
+TEST(ModelSerializationTest, RejectsInconsistentMlp) {
+  // mlp input dim disagrees with the tables' concatenated length.
+  const auto result = ParseModel(
+      "microrec-model v1\nmlp 99 16\ntable 0 10 4 4 t0\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(PlanSerializationTest, RoundTripProductionPlan) {
+  const RecModelSpec model = SmallProductionModel();
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  PlacementOptions options;
+  options.max_onchip_tables = model.max_onchip_tables;
+  PlacementPlan plan = HeuristicSearch(model.tables, platform, options).value();
+
+  const std::string text = SerializePlan(plan);
+  auto parsed_or = ParsePlan(text, model);
+  ASSERT_TRUE(parsed_or.ok()) << parsed_or.status();
+  PlacementPlan& parsed = *parsed_or;
+
+  // Metrics recompute identically after the round trip.
+  parsed.FinalizeMetrics(platform, options, model.TotalEmbeddingBytes());
+  EXPECT_EQ(parsed.tables_total, plan.tables_total);
+  EXPECT_EQ(parsed.tables_in_dram, plan.tables_in_dram);
+  EXPECT_EQ(parsed.cartesian_products, plan.cartesian_products);
+  EXPECT_NEAR(parsed.lookup_latency_ns, plan.lookup_latency_ns, 1e-9);
+  EXPECT_EQ(parsed.storage_bytes, plan.storage_bytes);
+}
+
+TEST(ModelSerializationTest, SerializationIsIdempotent) {
+  // serialize(parse(serialize(x))) == serialize(x) for the whole zoo.
+  for (const RecModelSpec& model :
+       {SmallProductionModel(), LargeProductionModel(), DlrmRmc2Model(8, 4)}) {
+    const std::string once = SerializeModel(model);
+    const std::string twice = SerializeModel(ParseModel(once).value());
+    EXPECT_EQ(once, twice) << model.name;
+  }
+}
+
+TEST(PlanSerializationTest, SerializationIsIdempotent) {
+  const RecModelSpec model = SmallProductionModel();
+  PlacementOptions options;
+  options.max_onchip_tables = model.max_onchip_tables;
+  const PlacementPlan plan =
+      HeuristicSearch(model.tables, MemoryPlatformSpec::AlveoU280(), options)
+          .value();
+  const std::string once = SerializePlan(plan);
+  const std::string twice = SerializePlan(ParsePlan(once, model).value());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(PlanSerializationTest, RejectsUnknownTableId) {
+  const RecModelSpec model = DlrmRmc2Model(8, 4);
+  const auto result = ParsePlan("microrec-plan v1\nplace 0 99\n", model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown table"), std::string::npos);
+}
+
+TEST(PlanSerializationTest, RejectsDuplicatePlacement) {
+  const RecModelSpec model = DlrmRmc2Model(8, 4);
+  std::string text = "microrec-plan v1\n";
+  for (int i = 0; i < 8; ++i) {
+    text += "place " + std::to_string(i) + " " + std::to_string(i) + "\n";
+  }
+  text += "place 9 0\n";  // table 0 again
+  const auto result = ParsePlan(text, model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("placed twice"), std::string::npos);
+}
+
+TEST(PlanSerializationTest, RejectsIncompleteCoverage) {
+  const RecModelSpec model = DlrmRmc2Model(8, 4);
+  const auto result = ParsePlan("microrec-plan v1\nplace 0 0\n", model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("covers"), std::string::npos);
+}
+
+TEST(PlanSerializationTest, ProductMembersSerialized) {
+  const RecModelSpec model = DlrmRmc2Model(8, 4);
+  PlacementPlan plan;
+  std::vector<TableSpec> pair = {model.tables[0], model.tables[1]};
+  plan.placements.push_back(TablePlacement{CombinedTable(pair), 3});
+  for (std::size_t i = 2; i < 8; ++i) {
+    plan.placements.push_back(
+        TablePlacement{CombinedTable(model.tables[i]),
+                       static_cast<std::uint32_t>(i)});
+  }
+  const std::string text = SerializePlan(plan);
+  EXPECT_NE(text.find("place 3 0x1"), std::string::npos);
+  auto parsed = ParsePlan(text, model);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->placements[0].table.member_count(), 2u);
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,87 @@
+// Tests for the full-system simulator (memory simulator driving the
+// compute pipeline's embedding stage).
+#include <gtest/gtest.h>
+
+#include "core/microrec.hpp"
+#include "core/system_sim.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace microrec {
+namespace {
+
+MicroRecEngine BuildEngine(bool large, bool cartesian = true) {
+  EngineOptions options;
+  options.materialize = false;
+  options.enable_cartesian = cartesian;
+  const auto model = large ? LargeProductionModel() : SmallProductionModel();
+  return std::move(MicroRecEngine::Build(model, options)).value();
+}
+
+TEST(SystemSimTest, SingleItemMatchesAnalyticLatency) {
+  const auto engine = BuildEngine(false);
+  SystemSimulator sim(engine);
+  const auto report = sim.Run(1);
+  EXPECT_NEAR(report.item_latency_max, engine.ItemLatency(), 1e-6);
+  EXPECT_NEAR(report.lookup_latency_mean, engine.EmbeddingLookupLatency(),
+              1e-6);
+}
+
+TEST(SystemSimTest, SteadyThroughputMatchesAnalytic) {
+  for (bool large : {false, true}) {
+    const auto engine = BuildEngine(large);
+    SystemSimulator sim(engine);
+    const auto report = sim.Run(2000);
+    // The embedding stage is shorter than the pipeline II, so the memory
+    // system never becomes the bottleneck: full-system throughput matches
+    // the analytic model within fill/drain effects.
+    EXPECT_NEAR(report.throughput_items_per_s, engine.Throughput(),
+                0.02 * engine.Throughput())
+        << (large ? "large" : "small");
+  }
+}
+
+TEST(SystemSimTest, LookupLatencyStableUnderPipelining) {
+  // Items spaced one II apart never contend for the memory system
+  // (integration of figure 7's flat region).
+  const auto engine = BuildEngine(false);
+  SystemSimulator sim(engine);
+  const auto report = sim.Run(500);
+  EXPECT_NEAR(report.lookup_latency_max, engine.EmbeddingLookupLatency(),
+              1e-6);
+  EXPECT_NEAR(report.lookup_latency_mean, report.lookup_latency_max, 1e-6);
+}
+
+TEST(SystemSimTest, PercentilesOrdered) {
+  const auto engine = BuildEngine(true);
+  SystemSimulator sim(engine);
+  const auto report = sim.Run(300);
+  EXPECT_LE(report.item_latency_p50, report.item_latency_p99);
+  EXPECT_LE(report.item_latency_p99, report.item_latency_max);
+  EXPECT_GT(report.peak_bank_utilization, 0.0);
+  EXPECT_LE(report.peak_bank_utilization, 1.0);
+  EXPECT_EQ(report.items, 300u);
+}
+
+TEST(SystemSimTest, CartesianImprovesSimulatedLookups) {
+  const auto with = BuildEngine(false, true);
+  const auto without = BuildEngine(false, false);
+  SystemSimulator sim_with(with);
+  SystemSimulator sim_without(without);
+  const auto r_with = sim_with.Run(200);
+  const auto r_without = sim_without.Run(200);
+  EXPECT_LT(r_with.lookup_latency_mean, r_without.lookup_latency_mean);
+}
+
+TEST(SystemSimTest, SlowArrivalsLowerThroughputNotLatency) {
+  const auto engine = BuildEngine(false);
+  SystemSimulator sim(engine);
+  const Nanoseconds slow_gap = engine.timing().initiation_interval_ns * 10;
+  const auto report = sim.Run(100, slow_gap);
+  EXPECT_NEAR(report.throughput_items_per_s,
+              kNanosPerSecond / slow_gap,
+              0.02 * kNanosPerSecond / slow_gap);
+  EXPECT_NEAR(report.item_latency_max, engine.ItemLatency(), 1e-6);
+}
+
+}  // namespace
+}  // namespace microrec

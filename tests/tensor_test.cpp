@@ -1,0 +1,220 @@
+// Unit + property tests for the matrix container and GEMM kernels.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "tensor/activations.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+
+namespace microrec {
+namespace {
+
+MatrixF RandomMatrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  MatrixF m(rows, cols);
+  for (float& v : m.flat()) v = rng.NextFloat(-1.0f, 1.0f);
+  return m;
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  MatrixF m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, ConstructZeroInitializes) {
+  MatrixF m(3, 4);
+  EXPECT_EQ(m.size(), 12u);
+  for (float v : m.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(MatrixTest, ElementAccessRowMajor) {
+  MatrixF m(2, 3);
+  m(0, 0) = 1.0f;
+  m(1, 2) = 6.0f;
+  EXPECT_EQ(m.data()[0], 1.0f);
+  EXPECT_EQ(m.data()[5], 6.0f);
+  EXPECT_EQ(m.row(1)[2], 6.0f);
+}
+
+TEST(MatrixTest, StorageIsCacheLineAligned) {
+  MatrixF m(7, 13);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  MatrixF a(2, 2);
+  a(0, 0) = 5.0f;
+  MatrixF b = a;
+  b(0, 0) = 9.0f;
+  EXPECT_EQ(a(0, 0), 5.0f);
+  EXPECT_EQ(b(0, 0), 9.0f);
+}
+
+TEST(MatrixTest, MoveTransfersOwnership) {
+  MatrixF a(2, 2);
+  a(1, 1) = 3.0f;
+  const float* ptr = a.data();
+  MatrixF b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b(1, 1), 3.0f);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented state
+}
+
+TEST(MatrixTest, FillSetsAll) {
+  MatrixF m(3, 3);
+  m.Fill(2.5f);
+  for (float v : m.flat()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(MatrixTest, ResizeDiscardsOldContents) {
+  MatrixF m(2, 2);
+  m.Fill(7.0f);
+  m.Resize(4, 4);
+  EXPECT_EQ(m.rows(), 4u);
+  for (float v : m.flat()) EXPECT_EQ(v, 0.0f);
+}
+
+// ---------------------------------------------------------------- GEMM
+
+TEST(GemmTest, ReferenceOnHandComputedCase) {
+  MatrixF a(2, 3), b(3, 2), c;
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  GemmReference(a, b, c);
+  EXPECT_EQ(c(0, 0), 58.0f);
+  EXPECT_EQ(c(0, 1), 64.0f);
+  EXPECT_EQ(c(1, 0), 139.0f);
+  EXPECT_EQ(c(1, 1), 154.0f);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  Rng rng(31);
+  MatrixF a = RandomMatrix(5, 5, rng);
+  MatrixF eye(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) eye(i, i) = 1.0f;
+  MatrixF c;
+  GemmBlocked(a, eye, c);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_FLOAT_EQ(c(i, j), a(i, j));
+  }
+}
+
+// Property sweep: blocked GEMM must agree with the reference kernel across
+// shapes including non-multiples of the block sizes.
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, BlockedMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(100 + m + k + n);
+  MatrixF a = RandomMatrix(m, k, rng);
+  MatrixF b = RandomMatrix(k, n, rng);
+  MatrixF ref, blocked;
+  GemmReference(a, b, ref);
+  GemmBlocked(a, b, blocked);
+  ASSERT_EQ(blocked.rows(), ref.rows());
+  ASSERT_EQ(blocked.cols(), ref.cols());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(blocked.data()[i], ref.data()[i],
+                1e-4f * static_cast<float>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 352, 64),
+                      std::make_tuple(3, 5, 7), std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 129, 257),
+                      std::make_tuple(17, 200, 33),
+                      std::make_tuple(128, 100, 300),
+                      std::make_tuple(2, 1024, 512)));
+
+TEST(GemmAvx2Test, MatchesReferenceWhenSupported) {
+  if (!CpuSupportsAvx2()) {
+    GTEST_SKIP() << "host lacks AVX2/FMA";
+  }
+  for (auto [m, k, n] : {std::make_tuple(1, 352, 1024),
+                         std::make_tuple(7, 13, 9),      // non-multiple of 8
+                         std::make_tuple(33, 100, 257),
+                         std::make_tuple(64, 64, 8)}) {
+    Rng rng(500 + m + k + n);
+    MatrixF a = RandomMatrix(m, k, rng);
+    MatrixF b = RandomMatrix(k, n, rng);
+    MatrixF ref, vec;
+    GemmReference(a, b, ref);
+    GemmAvx2(a, b, vec);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_NEAR(vec.data()[i], ref.data()[i], 1e-4f * static_cast<float>(k))
+          << m << "x" << k << "x" << n << " at " << i;
+    }
+  }
+}
+
+TEST(GemmAutoTest, AlwaysMatchesReference) {
+  Rng rng(42);
+  MatrixF a = RandomMatrix(17, 120, rng);
+  MatrixF b = RandomMatrix(120, 45, rng);
+  MatrixF ref, autod;
+  GemmReference(a, b, ref);
+  GemmAuto(a, b, autod);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(autod.data()[i], ref.data()[i], 1e-2f);
+  }
+}
+
+TEST(GemvTest, MatchesGemmRow) {
+  Rng rng(32);
+  MatrixF x(1, 20);
+  for (float& v : x.flat()) v = rng.NextFloat(-1.0f, 1.0f);
+  MatrixF b = RandomMatrix(20, 30, rng);
+  MatrixF ref;
+  GemmReference(x, b, ref);
+  std::vector<float> y(30);
+  Gemv(x.row(0), b, y);
+  for (std::size_t j = 0; j < 30; ++j) {
+    EXPECT_NEAR(y[j], ref(0, j), 1e-4f);
+  }
+}
+
+TEST(GemmOpsTest, CountsTwoOpsPerMac) {
+  EXPECT_EQ(GemmOps(1, 352, 1024), 2ull * 352 * 1024);
+  EXPECT_EQ(GemmOps(0, 10, 10), 0u);
+}
+
+// ---------------------------------------------------------------- Activations
+
+TEST(ActivationsTest, ReluClampsNegatives) {
+  std::vector<float> v = {-2.0f, -0.1f, 0.0f, 0.5f, 3.0f};
+  ReluInPlace(v);
+  EXPECT_EQ(v, (std::vector<float>{0.0f, 0.0f, 0.0f, 0.5f, 3.0f}));
+}
+
+TEST(ActivationsTest, SigmoidProperties) {
+  EXPECT_FLOAT_EQ(Sigmoid(0.0f), 0.5f);
+  EXPECT_NEAR(Sigmoid(10.0f), 1.0f, 1e-4);
+  EXPECT_NEAR(Sigmoid(-10.0f), 0.0f, 1e-4);
+  // Symmetry: sigmoid(-x) == 1 - sigmoid(x).
+  for (float x : {0.3f, 1.7f, 4.2f}) {
+    EXPECT_NEAR(Sigmoid(-x), 1.0f - Sigmoid(x), 1e-6);
+  }
+}
+
+TEST(ActivationsTest, SigmoidMonotone) {
+  float prev = Sigmoid(-5.0f);
+  for (float x = -4.5f; x <= 5.0f; x += 0.5f) {
+    const float cur = Sigmoid(x);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace microrec

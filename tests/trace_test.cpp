@@ -1,0 +1,107 @@
+// Tests for query-trace recording, serialization, and replay validation.
+#include <gtest/gtest.h>
+
+#include "serving/serving_sim.hpp"
+#include "workload/trace.hpp"
+
+namespace microrec {
+namespace {
+
+RecModelSpec TraceModel() {
+  RecModelSpec model;
+  model.name = "trace-test";
+  model.seed = 3;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    TableSpec spec;
+    spec.id = i;
+    spec.name = "t" + std::to_string(i);
+    spec.rows = 50 + i;
+    spec.dim = 4;
+    model.tables.push_back(spec);
+  }
+  model.mlp.input_dim = model.FeatureLength();
+  model.mlp.hidden = {8};
+  return model;
+}
+
+TEST(TraceTest, RecordPairsArrivalsWithQueries) {
+  const auto model = TraceModel();
+  QueryGenerator gen(model, IndexDistribution::kUniform, 7);
+  const auto arrivals = PoissonArrivals(1000.0, 20, 9);
+  const auto trace = RecordTrace(gen, arrivals);
+  ASSERT_EQ(trace.size(), 20u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].arrival_ns, arrivals[i]);
+    EXPECT_EQ(trace[i].query.indices.size(), 4u);
+  }
+}
+
+TEST(TraceTest, RoundTrip) {
+  const auto model = TraceModel();
+  QueryGenerator gen(model, IndexDistribution::kZipf, 11, 0.9);
+  const auto arrivals = PoissonArrivals(5000.0, 50, 13);
+  const auto original = RecordTrace(gen, arrivals);
+
+  const std::string text = SerializeTrace(original);
+  const auto parsed = ParseTrace(text, model);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR((*parsed)[i].arrival_ns, original[i].arrival_ns, 0.01);
+    EXPECT_EQ((*parsed)[i].query.indices, original[i].query.indices);
+  }
+}
+
+TEST(TraceTest, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseTrace("q 0 1 2 3 4\n", TraceModel()).ok());
+  EXPECT_FALSE(ParseTrace("", TraceModel()).ok());
+}
+
+TEST(TraceTest, RejectsWrongIndexCount) {
+  const auto result =
+      ParseTrace("microrec-trace v1\nq 0 1 2 3\n", TraceModel());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("expected 4 indices"),
+            std::string::npos);
+}
+
+TEST(TraceTest, RejectsOutOfRangeIndex) {
+  const auto result =
+      ParseTrace("microrec-trace v1\nq 0 1 2 3 9999\n", TraceModel());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TraceTest, RejectsDecreasingArrivals) {
+  const auto result = ParseTrace(
+      "microrec-trace v1\nq 100 1 2 3 4\nq 50 1 2 3 4\n", TraceModel());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nondecreasing"),
+            std::string::npos);
+}
+
+TEST(TraceTest, RejectsNegativeArrival) {
+  EXPECT_FALSE(
+      ParseTrace("microrec-trace v1\nq -5 1 2 3 4\n", TraceModel()).ok());
+}
+
+TEST(TraceTest, CommentsIgnored) {
+  const auto result = ParseTrace(
+      "# header comment\nmicrorec-trace v1\n# mid\nq 0 1 2 3 4\n",
+      TraceModel());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(TraceTest, MultiLookupModelValidated) {
+  auto model = TraceModel();
+  model.lookups_per_table = 2;
+  // 4 tables x 2 lookups = 8 indices per query.
+  const auto ok = ParseTrace(
+      "microrec-trace v1\nq 0 1 2 3 4 5 6 7 8\n", model);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  const auto bad = ParseTrace("microrec-trace v1\nq 0 1 2 3 4\n", model);
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,202 @@
+// Tests for the model zoo (the published parameters of Table 1 and the
+// DLRM-RMC2 benchmark class) and for query generation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/model_zoo.hpp"
+#include "workload/query_gen.hpp"
+
+namespace microrec {
+namespace {
+
+// ------------------------------------------------------ Production models
+
+TEST(ModelZooTest, SmallModelMatchesTable1) {
+  const auto model = SmallProductionModel();
+  EXPECT_TRUE(model.Validate().ok());
+  EXPECT_EQ(model.tables.size(), 47u);          // Table 1: 47 tables
+  EXPECT_EQ(model.FeatureLength(), 352u);       // Table 1: feat len 352
+  EXPECT_EQ(model.mlp.hidden,
+            (std::vector<std::uint32_t>{1024, 512, 256}));
+  // Table 1: 1.3 GB of embeddings (within 10%).
+  const double gb = static_cast<double>(model.TotalEmbeddingBytes()) / 1e9;
+  EXPECT_NEAR(gb, 1.3, 0.13);
+  EXPECT_EQ(model.lookups_per_table, 1u);
+  EXPECT_EQ(model.max_onchip_tables, 8u);
+}
+
+TEST(ModelZooTest, LargeModelMatchesTable1) {
+  const auto model = LargeProductionModel();
+  EXPECT_TRUE(model.Validate().ok());
+  EXPECT_EQ(model.tables.size(), 98u);          // Table 1: 98 tables
+  EXPECT_EQ(model.FeatureLength(), 876u);       // Table 1: feat len 876
+  const double gb = static_cast<double>(model.TotalEmbeddingBytes()) / 1e9;
+  EXPECT_NEAR(gb, 15.1, 1.5);                   // Table 1: 15.1 GB
+  EXPECT_EQ(model.max_onchip_tables, 16u);
+}
+
+TEST(ModelZooTest, ModelsAreDeterministic) {
+  const auto a = SmallProductionModel();
+  const auto b = SmallProductionModel();
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (std::size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_EQ(a.tables[i].rows, b.tables[i].rows);
+    EXPECT_EQ(a.tables[i].dim, b.tables[i].dim);
+  }
+}
+
+TEST(ModelZooTest, TableIdsAreSequential) {
+  const auto model = LargeProductionModel();
+  for (std::size_t i = 0; i < model.tables.size(); ++i) {
+    EXPECT_EQ(model.tables[i].id, i);
+  }
+}
+
+TEST(ModelZooTest, SizeDistributionSpansOrders) {
+  // Section 2.2: table sizes vary wildly, from hundreds of entries to many
+  // millions.
+  const auto model = LargeProductionModel();
+  std::uint64_t min_rows = ~0ull, max_rows = 0;
+  for (const auto& t : model.tables) {
+    min_rows = std::min(min_rows, t.rows);
+    max_rows = std::max(max_rows, t.rows);
+  }
+  EXPECT_LT(min_rows, 1000u);
+  EXPECT_GT(max_rows, 10'000'000u);
+}
+
+TEST(ModelZooTest, VectorLengthsWithinPaperRange) {
+  // Section 3.3: entries have 4-64 elements in most cases.
+  for (const auto& model : {SmallProductionModel(), LargeProductionModel()}) {
+    for (const auto& t : model.tables) {
+      EXPECT_GE(t.dim, 4u) << model.name;
+      EXPECT_LE(t.dim, 64u) << model.name;
+    }
+  }
+}
+
+TEST(ModelZooTest, GiantTablesRequireDdr) {
+  // The large model's biggest tables exceed an HBM bank (256 MiB) and
+  // force DDR placement -- the scenario section 3.2.2's hybrid memory
+  // exists for.
+  const auto model = LargeProductionModel();
+  int over_hbm_bank = 0;
+  for (const auto& t : model.tables) {
+    over_hbm_bank += (t.TotalBytes() > 256_MiB);
+  }
+  EXPECT_EQ(over_hbm_bank, 4);
+}
+
+// ------------------------------------------------------ DLRM-RMC2
+
+TEST(ModelZooTest, DlrmRmc2Shape) {
+  const auto model = DlrmRmc2Model(8, 32);
+  EXPECT_TRUE(model.Validate().ok());
+  EXPECT_EQ(model.tables.size(), 8u);
+  EXPECT_EQ(model.lookups_per_table, 4u);  // paper 5.4.2
+  EXPECT_EQ(model.FeatureLength(), 8u * 32);
+  for (const auto& t : model.tables) {
+    EXPECT_EQ(t.dim, 32u);
+    EXPECT_LE(t.TotalBytes(), 256_MiB);  // "within the capacity of an HBM bank"
+  }
+}
+
+TEST(ModelZooTest, DlrmRmc2CoversPaperGrid) {
+  for (std::uint32_t tables : {8u, 12u}) {
+    for (std::uint32_t len : {4u, 8u, 16u, 32u, 64u}) {
+      const auto model = DlrmRmc2Model(tables, len);
+      EXPECT_TRUE(model.Validate().ok());
+      EXPECT_EQ(model.tables.size(), tables);
+    }
+  }
+}
+
+// ------------------------------------------------------ Random tables
+
+TEST(RandomTablesTest, RespectsBoundsAndCount) {
+  Rng rng(5);
+  const auto tables = RandomTables(rng, 25, 1000, 50'000);
+  EXPECT_EQ(tables.size(), 25u);
+  for (const auto& t : tables) {
+    EXPECT_TRUE(t.Validate().ok());
+    EXPECT_GE(t.rows, 1000u * 9 / 10);  // log-uniform stays near bounds
+    EXPECT_LE(t.rows, 50'000u);
+  }
+}
+
+TEST(RandomTablesTest, DimsFromAllowedSet) {
+  Rng rng(6);
+  const std::set<std::uint32_t> allowed = {4, 8, 16, 32, 64};
+  for (const auto& t : RandomTables(rng, 50)) {
+    EXPECT_TRUE(allowed.count(t.dim)) << t.dim;
+  }
+}
+
+// ------------------------------------------------------ Seeds
+
+TEST(SeedSchemeTest, TableSeedsDistinctPerTable) {
+  const auto model = SmallProductionModel();
+  std::set<std::uint64_t> seeds;
+  for (const auto& t : model.tables) {
+    seeds.insert(TableContentSeed(model, t.id));
+  }
+  EXPECT_EQ(seeds.size(), model.tables.size());
+  EXPECT_NE(MlpWeightSeed(model), TableContentSeed(model, 0));
+}
+
+// ------------------------------------------------------ QueryGenerator
+
+TEST(QueryGeneratorTest, IndicesInRange) {
+  const auto model = SmallProductionModel();
+  QueryGenerator gen(model, IndexDistribution::kUniform, 1);
+  for (int i = 0; i < 100; ++i) {
+    const SparseQuery q = gen.Next();
+    ASSERT_EQ(q.indices.size(), model.tables.size());
+    for (std::size_t t = 0; t < model.tables.size(); ++t) {
+      EXPECT_LT(q.indices[t], model.tables[t].rows);
+    }
+  }
+}
+
+TEST(QueryGeneratorTest, MultiLookupLayout) {
+  const auto model = DlrmRmc2Model(8, 16);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 2);
+  const SparseQuery q = gen.Next();
+  EXPECT_EQ(q.indices.size(), 8u * 4);
+  for (std::size_t i = 0; i < q.indices.size(); ++i) {
+    EXPECT_LT(q.indices[i], model.tables[i / 4].rows);
+  }
+}
+
+TEST(QueryGeneratorTest, DeterministicPerSeed) {
+  const auto model = SmallProductionModel();
+  QueryGenerator a(model, IndexDistribution::kUniform, 9);
+  QueryGenerator b(model, IndexDistribution::kUniform, 9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next().indices, b.Next().indices);
+  }
+}
+
+TEST(QueryGeneratorTest, ZipfSkewsTowardLowIndices) {
+  const auto model = DlrmRmc2Model(8, 4);  // 1M-row tables
+  QueryGenerator gen(model, IndexDistribution::kZipf, 11, /*theta=*/0.99);
+  std::uint64_t hot = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (std::uint64_t idx : gen.Next().indices) {
+      hot += (idx < 10'000);  // hottest 1%
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.25);
+}
+
+TEST(QueryGeneratorTest, BatchConvenience) {
+  const auto model = SmallProductionModel();
+  QueryGenerator gen(model, IndexDistribution::kUniform, 13);
+  const auto batch = gen.NextBatch(17);
+  EXPECT_EQ(batch.size(), 17u);
+}
+
+}  // namespace
+}  // namespace microrec

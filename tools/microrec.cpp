@@ -1,0 +1,19 @@
+// The microrec command-line tool: generate model specs, inspect them, run
+// the placement search, and simulate accelerator timing -- all against the
+// text formats in core/serialization.hpp. See `microrec` with no arguments
+// for usage.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> tokens(argv + 1, argv + argc);
+  const microrec::Status status = microrec::cli::RunCli(tokens, std::cout);
+  if (!status.ok()) {
+    std::cerr << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
