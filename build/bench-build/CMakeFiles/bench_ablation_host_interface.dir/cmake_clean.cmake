@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_host_interface"
+  "../bench/bench_ablation_host_interface.pdb"
+  "CMakeFiles/bench_ablation_host_interface.dir/bench_ablation_host_interface.cpp.o"
+  "CMakeFiles/bench_ablation_host_interface.dir/bench_ablation_host_interface.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_host_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_rowbuffer"
+  "../bench/bench_ablation_rowbuffer.pdb"
+  "CMakeFiles/bench_ablation_rowbuffer.dir/bench_ablation_rowbuffer.cpp.o"
+  "CMakeFiles/bench_ablation_rowbuffer.dir/bench_ablation_rowbuffer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rowbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

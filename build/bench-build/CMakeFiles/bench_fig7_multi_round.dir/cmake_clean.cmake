@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_multi_round"
+  "../bench/bench_fig7_multi_round.pdb"
+  "CMakeFiles/bench_fig7_multi_round.dir/bench_fig7_multi_round.cpp.o"
+  "CMakeFiles/bench_fig7_multi_round.dir/bench_fig7_multi_round.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multi_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaleout_serving"
+  "../bench/bench_scaleout_serving.pdb"
+  "CMakeFiles/bench_scaleout_serving.dir/bench_scaleout_serving.cpp.o"
+  "CMakeFiles/bench_scaleout_serving.dir/bench_scaleout_serving.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaleout_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_cartesian"
+  "../bench/bench_table3_cartesian.pdb"
+  "CMakeFiles/bench_table3_cartesian.dir/bench_table3_cartesian.cpp.o"
+  "CMakeFiles/bench_table3_cartesian.dir/bench_table3_cartesian.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cartesian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_embedding_lookup"
+  "../bench/bench_table4_embedding_lookup.pdb"
+  "CMakeFiles/bench_table4_embedding_lookup.dir/bench_table4_embedding_lookup.cpp.o"
+  "CMakeFiles/bench_table4_embedding_lookup.dir/bench_table4_embedding_lookup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_embedding_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

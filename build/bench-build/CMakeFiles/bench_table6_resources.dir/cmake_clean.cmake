@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_resources"
+  "../bench/bench_table6_resources.pdb"
+  "CMakeFiles/bench_table6_resources.dir/bench_table6_resources.cpp.o"
+  "CMakeFiles/bench_table6_resources.dir/bench_table6_resources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

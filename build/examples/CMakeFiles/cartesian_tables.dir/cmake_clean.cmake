@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cartesian_tables.dir/cartesian_tables.cpp.o"
+  "CMakeFiles/cartesian_tables.dir/cartesian_tables.cpp.o.d"
+  "cartesian_tables"
+  "cartesian_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cartesian_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
