@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -8,6 +9,7 @@
 #include "core/system_sim.hpp"
 #include "placement/heuristic.hpp"
 #include "serving/serving_sim.hpp"
+#include "update/serving_update_sim.hpp"
 #include "workload/model_zoo.hpp"
 #include "workload/trace.hpp"
 
@@ -239,6 +241,101 @@ Status CmdSimulate(const ArgList& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"queries", "qps", "seed", "points", "update-qps-max", "policy",
+       "json"}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  auto queries = args.GetUint("queries", 10'000);
+  if (!queries.ok()) return queries.status();
+  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
+  auto qps = args.GetUint("qps", 150'000);
+  if (!qps.ok()) return qps.status();
+  if (*qps == 0) return Status::InvalidArgument("--qps must be >= 1");
+  auto seed = args.GetUint("seed", 42);
+  if (!seed.ok()) return seed.status();
+  auto points = args.GetUint("points", 5);
+  if (!points.ok()) return points.status();
+  if (*points < 2) return Status::InvalidArgument("--points must be >= 2");
+  auto update_max = args.GetUint("update-qps-max", 5'000'000);
+  if (!update_max.ok()) return update_max.status();
+  if (*update_max == 0) {
+    return Status::InvalidArgument("--update-qps-max must be >= 1");
+  }
+  WritePolicy policy = WritePolicy::kFairInterleave;
+  if (const auto name = args.GetOption("policy")) {
+    if (*name == "fair") {
+      policy = WritePolicy::kFairInterleave;
+    } else if (*name == "yield") {
+      policy = WritePolicy::kUpdatesYield;
+    } else {
+      return Status::InvalidArgument("--policy must be fair or yield");
+    }
+  }
+
+  EngineOptions options;
+  options.materialize = false;
+  auto engine = MicroRecEngine::Build(*model, options);
+  if (!engine.ok()) return engine.status();
+  const auto arrivals =
+      PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+
+  out << "update sweep for " << model->name << ": " << *queries
+      << " queries at " << *qps << " QPS, policy "
+      << WritePolicyName(policy) << "\n";
+  out << "update_qps  p50_us  p99_us  stale_p50_us  stale_p99_us  "
+         "interfered  migrations\n";
+
+  std::ostringstream json;
+  json << "{\n  \"command\": \"update-sweep\",\n  \"model\": \""
+       << model->name << "\",\n  \"qps\": " << *qps << ",\n  \"policy\": \""
+       << WritePolicyName(policy) << "\",\n  \"records\": [\n";
+  // Point k sweeps geometrically from update-qps-max / 2^(points-2) up to
+  // update-qps-max, with an exact 0 first (the no-update baseline).
+  for (std::uint64_t k = 0; k < *points; ++k) {
+    double rate = 0.0;
+    if (k > 0) {
+      rate = static_cast<double>(*update_max);
+      for (std::uint64_t i = k + 1; i < *points; ++i) rate /= 2.0;
+    }
+    UpdateServingConfig config;
+    config.item_latency_ns = engine->timing().item_latency_ns;
+    config.initiation_interval_ns = engine->timing().initiation_interval_ns;
+    config.deltas.update_row_qps = rate;
+    config.deltas.seed = *seed + 1;
+    config.policy = policy;
+    const auto report = SimulateServingWithUpdates(
+        *model, engine->plan(), options.platform, arrivals, config);
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%10.0f  %6.2f  %6.2f  %12.2f  %12.2f  %10llu  %10llu\n",
+                  rate, report.serving.p50 / 1000.0,
+                  report.serving.p99 / 1000.0, report.staleness_p50 / 1000.0,
+                  report.staleness_p99 / 1000.0,
+                  (unsigned long long)report.delayed_queries,
+                  (unsigned long long)report.migrations);
+    out << line;
+    json << "    {\"update_qps\": " << rate
+         << ", \"p99_ns\": " << report.serving.p99
+         << ", \"staleness_p99_ns\": " << report.staleness_p99
+         << ", \"publishes\": " << report.publishes << "}"
+         << (k + 1 < *points ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (const auto path = args.GetOption("json")) {
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::InvalidArgument("cannot open --json file " + *path);
+    }
+    file << json.str();
+    out << "wrote JSON report to " << *path << "\n";
+  }
+  return Status::Ok();
+}
+
 Status CmdSelfCheck(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed({}));
   if (!args.positional().empty()) {
@@ -350,6 +447,10 @@ std::string UsageText() {
       "  simulate <model-file> [--plan F] [--trace F] [--precision 16|32]\n"
       "           [--items N]\n"
       "      analytic + full-system timing of the accelerator\n"
+      "  update-sweep <model-file> [--queries N] [--qps R] [--seed S]\n"
+      "               [--points K] [--update-qps-max U] [--policy fair|yield]\n"
+      "               [--json F]\n"
+      "      serving tail latency + staleness vs online update rate\n"
       "  selfcheck\n"
       "      verify the reproduction's calibration anchors\n";
 }
@@ -370,6 +471,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "plan") return CmdPlan(*args, out);
   if (command == "trace") return CmdTrace(*args, out);
   if (command == "simulate") return CmdSimulate(*args, out);
+  if (command == "update-sweep") return CmdUpdateSweep(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();
   return Status::InvalidArgument("unknown command '" + command + "'");

@@ -9,6 +9,9 @@
 //                     [--zipf THETA] [--out F]
 //   microrec simulate <model-file> [--plan F] [--trace F]
 //                     [--precision 16|32] [--items N]
+//   microrec update-sweep <model-file> [--queries N] [--qps R] [--seed S]
+//                     [--points K] [--update-qps-max U] [--policy fair|yield]
+//                     [--json F]
 #pragma once
 
 #include <ostream>
@@ -25,6 +28,10 @@ Status CmdInspect(const ArgList& args, std::ostream& out);
 Status CmdPlan(const ArgList& args, std::ostream& out);
 Status CmdTrace(const ArgList& args, std::ostream& out);
 Status CmdSimulate(const ArgList& args, std::ostream& out);
+
+/// Sweeps the online embedding-update rate against a fixed query stream and
+/// reports tail latency + snapshot staleness per point (src/update/).
+Status CmdUpdateSweep(const ArgList& args, std::ostream& out);
 
 /// Reruns the reproduction's calibration anchors (Table 5 lookup points,
 /// the GOP/s identity, Table 3 placement structure, event-sim agreement)

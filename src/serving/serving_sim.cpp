@@ -36,11 +36,9 @@ std::string ServingReport::ToString() const {
   return os.str();
 }
 
-namespace {
-
-ServingReport Summarize(const std::vector<Nanoseconds>& arrivals,
-                        const std::vector<Nanoseconds>& completions,
-                        Nanoseconds sla_ns) {
+ServingReport SummarizeServing(const std::vector<Nanoseconds>& arrivals,
+                               const std::vector<Nanoseconds>& completions,
+                               Nanoseconds sla_ns) {
   MICROREC_CHECK(arrivals.size() == completions.size());
   MICROREC_CHECK(!arrivals.empty());
   PercentileTracker latencies;
@@ -71,8 +69,6 @@ ServingReport Summarize(const std::vector<Nanoseconds>& arrivals,
       static_cast<double>(violations) / static_cast<double>(arrivals.size());
   return report;
 }
-
-}  // namespace
 
 ServingReport SimulateBatchedServer(const std::vector<Nanoseconds>& arrivals,
                                     std::uint64_t max_batch,
@@ -106,7 +102,7 @@ ServingReport SimulateBatchedServer(const std::vector<Nanoseconds>& arrivals,
     server_free = done;
     next = end;
   }
-  return Summarize(arrivals, completions, sla_ns);
+  return SummarizeServing(arrivals, completions, sla_ns);
 }
 
 ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
@@ -122,7 +118,7 @@ ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
     completions[i] = start + item_latency_ns;
     last_start = start;
   }
-  return Summarize(arrivals, completions, sla_ns);
+  return SummarizeServing(arrivals, completions, sla_ns);
 }
 
 }  // namespace microrec

@@ -39,6 +39,13 @@ struct ServingReport {
   std::string ToString() const;
 };
 
+/// Builds the percentile report from per-query completion times. Shared by
+/// every serving simulator (including the update-aware one in update/) so
+/// reports are comparable field-for-field.
+ServingReport SummarizeServing(const std::vector<Nanoseconds>& arrivals,
+                               const std::vector<Nanoseconds>& completions,
+                               Nanoseconds sla_ns);
+
 /// Latency of processing a batch of the given size (ns).
 using BatchLatencyFn = std::function<Nanoseconds(std::uint64_t batch)>;
 

@@ -1,0 +1,78 @@
+#include "update/delta_stream.hpp"
+
+#include <cmath>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+DeltaStream::DeltaStream(const RecModelSpec& model,
+                         const DeltaStreamConfig& config)
+    : model_(model), config_(config), rng_(config.seed) {
+  MICROREC_CHECK(config_.update_row_qps >= 0.0);
+  MICROREC_CHECK(config_.rows_per_batch >= 1);
+  MICROREC_CHECK(config_.growth_fraction >= 0.0 &&
+                 config_.growth_fraction <= 1.0);
+  MICROREC_CHECK(!model_.tables.empty());
+  zipf_.reserve(model_.tables.size());
+  rows_.reserve(model_.tables.size());
+  for (const auto& t : model_.tables) {
+    zipf_.emplace_back(t.rows, config_.theta);
+    rows_.push_back(t.rows);
+  }
+  if (config_.update_row_qps > 0.0) {
+    // First batch arrives one exponential inter-batch gap after time 0.
+    const double mean_gap_ns = kNanosPerSecond *
+                               static_cast<double>(config_.rows_per_batch) /
+                               config_.update_row_qps;
+    const double u = std::max(rng_.NextDouble(), 1e-12);
+    next_time_ns_ = -std::log(u) * mean_gap_ns;
+  }
+}
+
+UpdateBatch DeltaStream::NextBatch() {
+  MICROREC_CHECK(config_.update_row_qps > 0.0);
+  UpdateBatch batch;
+  batch.time_ns = next_time_ns_;
+  batch.seq_begin = next_seq_;
+  batch.deltas.reserve(config_.rows_per_batch);
+  for (std::uint32_t i = 0; i < config_.rows_per_batch; ++i) {
+    const std::size_t t = rng_.NextBounded(model_.tables.size());
+    const TableSpec& spec = model_.tables[t];
+    EmbeddingDelta delta;
+    delta.table_id = spec.id;
+    delta.seq = next_seq_++;
+    delta.time_ns = batch.time_ns;
+    delta.kind = config_.kind;
+    const bool grow = config_.growth_fraction > 0.0 &&
+                      rng_.NextDouble() < config_.growth_fraction;
+    if (grow) {
+      // Append a brand-new row; new vocabulary entries arrive as full
+      // vectors, not gradients.
+      delta.row = rows_[t]++;
+      delta.grows_table = true;
+      delta.kind = DeltaKind::kOverwrite;
+      ++grown_rows_;
+    } else {
+      delta.row = zipf_[t].Sample(rng_);
+    }
+    delta.values.resize(spec.dim);
+    for (std::uint32_t c = 0; c < spec.dim; ++c) {
+      delta.values[c] = delta.kind == DeltaKind::kAdd
+                            ? static_cast<float>(rng_.NextGaussian() *
+                                                 config_.magnitude)
+                            : rng_.NextFloat(-0.25f, 0.25f);
+    }
+    batch.deltas.push_back(std::move(delta));
+  }
+  batch.seq_end = next_seq_;
+
+  const double mean_gap_ns = kNanosPerSecond *
+                             static_cast<double>(config_.rows_per_batch) /
+                             config_.update_row_qps;
+  const double u = std::max(rng_.NextDouble(), 1e-12);
+  next_time_ns_ += -std::log(u) * mean_gap_ns;
+  return batch;
+}
+
+}  // namespace microrec

@@ -1,0 +1,128 @@
+#include "update/replan.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "placement/heuristic.hpp"
+
+namespace microrec {
+
+IncrementalReplanner::IncrementalReplanner(std::vector<TableSpec> tables,
+                                           PlacementPlan plan,
+                                           MemoryPlatformSpec platform,
+                                           PlacementOptions options)
+    : tables_(std::move(tables)), plan_(std::move(plan)),
+      platform_(std::move(platform)), options_(options) {}
+
+Bytes IncrementalReplanner::BankOccupancy(std::uint32_t bank) const {
+  Bytes occupancy = 0;
+  for (const TablePlacement& placement : plan_.placements) {
+    if (placement.bank == bank) occupancy += placement.table.TotalBytes();
+  }
+  return occupancy;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+IncrementalReplanner::TableBanks(const PlacementPlan& plan) const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> banks;
+  for (const TablePlacement& placement : plan.placements) {
+    for (const TableSpec& member : placement.table.members()) {
+      banks.emplace_back(member.id, placement.bank);
+    }
+  }
+  return banks;
+}
+
+void IncrementalReplanner::PatchSpecInPlan(std::uint32_t table_id) {
+  const TableSpec* updated = nullptr;
+  for (const TableSpec& t : tables_) {
+    if (t.id == table_id) updated = &t;
+  }
+  MICROREC_CHECK(updated != nullptr);
+  for (TablePlacement& placement : plan_.placements) {
+    bool contains = false;
+    for (const TableSpec& member : placement.table.members()) {
+      if (member.id == table_id) contains = true;
+    }
+    if (!contains) continue;
+    std::vector<TableSpec> members = placement.table.members();
+    for (TableSpec& member : members) {
+      if (member.id == table_id) member = *updated;
+    }
+    placement.table = CombinedTable(std::move(members));
+  }
+}
+
+StatusOr<std::optional<MigrationEvent>> IncrementalReplanner::OnRowGrowth(
+    std::uint32_t table_id, std::uint64_t new_rows, Nanoseconds now) {
+  bool found = false;
+  std::uint64_t old_rows = 0;
+  for (TableSpec& t : tables_) {
+    if (t.id == table_id) {
+      old_rows = t.rows;
+      t.rows = std::max(t.rows, new_rows);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("table id " + std::to_string(table_id) +
+                            " not in the planned model");
+  }
+  PatchSpecInPlan(table_id);
+
+  // Growth only ever adds bytes to banks holding the grown table; check
+  // those. Products sharing the bank are covered by the occupancy sum.
+  bool overflow = false;
+  for (const TablePlacement& placement : plan_.placements) {
+    for (const TableSpec& member : placement.table.members()) {
+      if (member.id != table_id) continue;
+      if (BankOccupancy(placement.bank) >
+          platform_.CapacityOfBank(placement.bank)) {
+        overflow = true;
+      }
+    }
+  }
+  if (!overflow) {
+    plan_.FinalizeMetrics(platform_, options_, TotalStorage(tables_));
+    return std::optional<MigrationEvent>();
+  }
+
+  const auto old_banks = TableBanks(plan_);
+  auto replanned = HeuristicSearch(tables_, platform_, options_);
+  if (!replanned.ok()) {
+    // Keep the planner in its last feasible state: the grown rows cannot be
+    // hosted, so the growth is rejected wholesale.
+    for (TableSpec& t : tables_) {
+      if (t.id == table_id) t.rows = old_rows;
+    }
+    PatchSpecInPlan(table_id);
+    return replanned.status();
+  }
+
+  std::map<std::uint32_t, std::uint32_t> new_bank;
+  for (const auto& [id, bank] : TableBanks(*replanned)) new_bank[id] = bank;
+  std::map<std::uint32_t, Bytes> table_bytes;
+  for (const TableSpec& t : tables_) table_bytes[t.id] = t.TotalBytes();
+
+  MigrationEvent event;
+  event.time_ns = now;
+  event.trigger_table = table_id;
+  for (const auto& [id, bank] : old_banks) {
+    auto it = new_bank.find(id);
+    if (it == new_bank.end() || it->second == bank) continue;
+    ++event.tables_moved;
+    const Bytes bytes = table_bytes[id];
+    event.bytes_moved += bytes;
+    // A migration streams the table onto its destination bank in one long
+    // write; the bank is busy for the transfer.
+    event.cost_ns +=
+        platform_.TimingOfBank(it->second).AccessLatency(bytes);
+    event.destination_writes.push_back(BankAccess{it->second, bytes, id});
+  }
+  plan_ = std::move(*replanned);
+  migrations_.push_back(event);
+  return std::optional<MigrationEvent>(migrations_.back());
+}
+
+}  // namespace microrec

@@ -1,0 +1,75 @@
+// Incremental re-placement under table growth.
+//
+// A delta stream with vocabulary growth slowly inflates tables. While the
+// grown table still fits its bank, the plan's specs are patched in place;
+// the moment a bank overflows, the existing heuristic search (Algorithm 1)
+// is re-run on the updated specs and the serving system pays a migration
+// cost: every original table whose bank changed is streamed onto its new
+// bank.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "embedding/table_spec.hpp"
+#include "memsim/dram_timing.hpp"
+#include "memsim/hybrid_memory.hpp"
+#include "placement/plan.hpp"
+
+namespace microrec {
+
+/// One re-placement triggered by growth.
+struct MigrationEvent {
+  Nanoseconds time_ns = 0.0;
+  std::uint32_t trigger_table = 0;  ///< the table whose growth overflowed
+  std::uint32_t tables_moved = 0;   ///< original tables that changed bank
+  Bytes bytes_moved = 0;
+  Nanoseconds cost_ns = 0.0;  ///< streaming-copy time onto the new banks
+  /// One streaming write per moved table on its destination bank, for
+  /// injection into the serving memory system.
+  std::vector<BankAccess> destination_writes;
+};
+
+class IncrementalReplanner {
+ public:
+  /// `tables` are the model's original specs, `plan` the current placement
+  /// produced from them with `options` on `platform`.
+  IncrementalReplanner(std::vector<TableSpec> tables, PlacementPlan plan,
+                       MemoryPlatformSpec platform,
+                       PlacementOptions options);
+
+  const PlacementPlan& plan() const { return plan_; }
+  const std::vector<TableSpec>& tables() const { return tables_; }
+  const std::vector<MigrationEvent>& migrations() const {
+    return migrations_;
+  }
+
+  /// Occupancy of one bank under the current (possibly grown) specs.
+  Bytes BankOccupancy(std::uint32_t bank) const;
+
+  /// Registers growth of `table_id` to `new_rows` at time `now`. The plan's
+  /// copy of the spec is updated in place; if the grown table's bank (or
+  /// any bank, for products that share it) now exceeds capacity, the
+  /// heuristic re-runs and the resulting migration event is returned.
+  /// Fails with ResourceExhausted if no feasible placement exists anymore.
+  StatusOr<std::optional<MigrationEvent>> OnRowGrowth(std::uint32_t table_id,
+                                                      std::uint64_t new_rows,
+                                                      Nanoseconds now);
+
+ private:
+  /// Bank of each original table id in `plan`.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> TableBanks(
+      const PlacementPlan& plan) const;
+  void PatchSpecInPlan(std::uint32_t table_id);
+
+  std::vector<TableSpec> tables_;
+  PlacementPlan plan_;
+  MemoryPlatformSpec platform_;
+  PlacementOptions options_;
+  std::vector<MigrationEvent> migrations_;
+};
+
+}  // namespace microrec

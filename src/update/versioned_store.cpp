@@ -1,0 +1,212 @@
+#include "update/versioned_store.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace microrec {
+
+VersionedEmbeddingStore::VersionedEmbeddingStore(
+    const TableSpec& spec, std::uint64_t seed,
+    std::uint64_t max_physical_rows)
+    : published_spec_(spec), seed_(seed),
+      max_physical_rows_(max_physical_rows) {
+  MICROREC_CHECK(spec.Validate().ok());
+  MICROREC_CHECK(max_physical_rows >= 1);
+  const std::uint64_t physical =
+      std::min<std::uint64_t>(spec.rows, max_physical_rows);
+  for (Buffer& buffer : buffers_) {
+    buffer.virtual_rows = spec.rows;
+    buffer.physical_rows = physical;
+    buffer.data.resize(physical * spec.dim);
+    for (std::uint64_t r = 0; r < physical; ++r) {
+      float* row = buffer.data.data() + r * spec.dim;
+      for (std::uint32_t c = 0; c < spec.dim; ++c) {
+        row[c] = EmbeddingTable::ReferenceValue(seed, r, c);
+      }
+    }
+  }
+}
+
+std::uint64_t VersionedEmbeddingStore::physical_rows() const {
+  return active_buffer().physical_rows;
+}
+
+std::span<const float> VersionedEmbeddingStore::Lookup(
+    std::uint64_t row) const {
+  const Buffer& buffer = active_buffer();
+  MICROREC_CHECK(row < buffer.virtual_rows);
+  const std::uint64_t physical = row % buffer.physical_rows;
+  return {buffer.data.data() + physical * published_spec_.dim,
+          published_spec_.dim};
+}
+
+void VersionedEmbeddingStore::ReadRow(std::uint64_t row,
+                                      std::span<float> out) const {
+  const std::uint32_t dim = published_spec_.dim;
+  MICROREC_CHECK(out.size() == dim);
+  for (;;) {
+    const std::uint32_t idx = active_.load(std::memory_order_acquire);
+    // The pin increment and the recheck must be seq_cst, pairing with the
+    // writer's seq_cst {store active; load pins}: without a total order the
+    // reader can observe the pre-swap active while the writer observes the
+    // pre-increment pin count, and both would enter the same buffer.
+    pins_[idx].fetch_add(1, std::memory_order_seq_cst);
+    if (active_.load(std::memory_order_seq_cst) == idx) {
+      const Buffer& buffer = buffers_[idx];
+      MICROREC_CHECK(row < buffer.virtual_rows);
+      const std::uint64_t physical = row % buffer.physical_rows;
+      const float* src = buffer.data.data() + physical * dim;
+      std::copy(src, src + dim, out.begin());
+      pins_[idx].fetch_sub(1, std::memory_order_release);
+      return;
+    }
+    // A Publish() swapped buffers between the load and the pin; the pinned
+    // buffer is now the shadow and may be mutated. Unpin and retry.
+    pins_[idx].fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void VersionedEmbeddingStore::ApplyToBuffer(Buffer& buffer,
+                                            const EmbeddingDelta& delta) {
+  const std::uint32_t dim = published_spec_.dim;
+  if (delta.row == buffer.virtual_rows) {
+    // Vocabulary growth: append the new row. While the buffer is below the
+    // physical cap the new row gets deterministic reference content first
+    // (so growth replays are reproducible), then the delta lands on it.
+    if (buffer.physical_rows < max_physical_rows_) {
+      const std::uint64_t r = buffer.physical_rows;
+      buffer.data.resize((r + 1) * dim);
+      float* row = buffer.data.data() + r * dim;
+      for (std::uint32_t c = 0; c < dim; ++c) {
+        row[c] = EmbeddingTable::ReferenceValue(seed_, r, c);
+      }
+      ++buffer.physical_rows;
+    }
+    ++buffer.virtual_rows;
+  }
+  const std::uint64_t physical = delta.row % buffer.physical_rows;
+  float* row = buffer.data.data() + physical * dim;
+  if (delta.kind == DeltaKind::kAdd) {
+    for (std::uint32_t c = 0; c < dim; ++c) row[c] += delta.values[c];
+  } else {
+    for (std::uint32_t c = 0; c < dim; ++c) row[c] = delta.values[c];
+  }
+}
+
+StatusOr<ApplyReport> VersionedEmbeddingStore::Apply(
+    const UpdateBatch& batch) {
+  ApplyReport report;
+  Buffer& buffer = shadow();
+  for (const EmbeddingDelta& delta : batch.deltas) {
+    const bool valid_row =
+        delta.row < buffer.virtual_rows ||
+        (delta.grows_table && delta.row == buffer.virtual_rows);
+    if (delta.table_id != published_spec_.id ||
+        delta.values.size() != published_spec_.dim || !valid_row) {
+      ++report.rejected;
+      continue;
+    }
+    if (delta.grows_table) ++report.grown_rows;
+    ApplyToBuffer(buffer, delta);
+    pending_.push_back(delta);
+    ++report.applied;
+    applied_seq_ = std::max(applied_seq_, delta.seq + 1);
+    applied_time_ns_ = std::max(applied_time_ns_, delta.time_ns);
+  }
+  if (report.applied == 0 && report.rejected > 0) {
+    return Status::InvalidArgument(
+        "no delta in the batch matched table " +
+        std::to_string(published_spec_.id));
+  }
+  return report;
+}
+
+std::uint64_t VersionedEmbeddingStore::Publish() {
+  if (pending_.empty()) return version_.load(std::memory_order_acquire);
+
+  const std::uint32_t old_active = active_.load(std::memory_order_relaxed);
+  const std::uint32_t new_active = 1 - old_active;
+  published_spec_.rows = buffers_[new_active].virtual_rows;
+
+  // The swap: readers entering after this line see the updated buffer.
+  // seq_cst pairs with ReadRow's {pin; recheck} (see the comment there).
+  active_.store(new_active, std::memory_order_seq_cst);
+  // Wait for readers still pinning the retired buffer to drain before
+  // mutating it (it is the new shadow).
+  while (pins_[old_active].load(std::memory_order_seq_cst) != 0) {
+    // spin: reads are short row copies
+  }
+
+  // Catch the retired buffer up by replaying the published deltas in their
+  // original order (same float ops -> bitwise-identical buffers).
+  Buffer& retired = buffers_[old_active];
+  last_published_rows_.clear();
+  std::unordered_set<std::uint64_t> dirty;
+  for (const EmbeddingDelta& delta : pending_) {
+    ApplyToBuffer(retired, delta);
+    if (dirty.insert(delta.row).second) {
+      last_published_rows_.push_back(delta.row);
+    }
+    published_seq_ = std::max(published_seq_, delta.seq + 1);
+    published_time_ns_ = std::max(published_time_ns_, delta.time_ns);
+  }
+  pending_.clear();
+  return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+MergedStoreView::MergedStoreView(
+    std::vector<const VersionedEmbeddingStore*> members)
+    : members_(std::move(members)) {
+  MICROREC_CHECK(!members_.empty());
+  for (const auto* member : members_) MICROREC_CHECK(member != nullptr);
+}
+
+CombinedTable MergedStoreView::combined() const {
+  std::vector<TableSpec> specs;
+  specs.reserve(members_.size());
+  for (const auto* member : members_) specs.push_back(member->spec());
+  return CombinedTable(std::move(specs));
+}
+
+std::uint32_t MergedStoreView::dim() const {
+  std::uint32_t dim = 0;
+  for (const auto* member : members_) dim += member->spec().dim;
+  return dim;
+}
+
+void MergedStoreView::Lookup(std::uint64_t combined_row,
+                             std::span<float> out) const {
+  const CombinedTable table = combined();
+  MICROREC_CHECK(combined_row < table.rows());
+  MICROREC_CHECK(out.size() == table.dim());
+  const std::vector<std::uint64_t> member_rows =
+      table.DecomposeRowIndex(combined_row);
+  std::size_t offset = 0;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    const std::span<const float> vec = members_[m]->Lookup(member_rows[m]);
+    std::copy(vec.begin(), vec.end(), out.begin() + offset);
+    offset += vec.size();
+  }
+}
+
+std::uint64_t MergedStoreView::WriteAmplificationRows(
+    std::size_t member_index) const {
+  MICROREC_CHECK(member_index < members_.size());
+  std::uint64_t amplification = 1;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (m == member_index) continue;
+    amplification *= members_[m]->spec().rows;
+  }
+  return amplification;
+}
+
+std::size_t InvalidatePublishedRows(EmbeddingCacheSim& cache,
+                                    const VersionedEmbeddingStore& store) {
+  std::size_t evicted = 0;
+  for (const std::uint64_t row : store.last_published_rows()) {
+    evicted += cache.Invalidate(store.spec().id, row) ? 1 : 0;
+  }
+  return evicted;
+}
+
+}  // namespace microrec

@@ -1,0 +1,168 @@
+// Versioned embedding storage for online updates.
+//
+// VersionedEmbeddingStore double-buffers a table's contents: readers always
+// serve from a published, immutable snapshot while a shadow copy absorbs
+// delta batches. Publish() atomically swaps the buffers (epoch version++)
+// and replays the pending deltas into the retired buffer so the two copies
+// converge. Readers therefore never observe a torn row, and the serving
+// snapshot trails the newest applied delta by a measurable staleness.
+//
+// The double-buffer protocol (reader side uses pin counts, seqlock-style):
+//   reader:  idx = active; pins[idx]++; recheck active == idx (retry on
+//            mismatch); copy row; pins[idx]--.
+//   writer:  Apply() mutates only the shadow; Publish() stores the new
+//            active index, spin-waits for the retired buffer's pins to
+//            drain, then replays pending deltas into it.
+// One writer thread is assumed (updates are a single ingestion stream);
+// any number of concurrent readers are safe via ReadRow().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "embedding/embedding_table.hpp"
+#include "embedding/hot_cache.hpp"
+#include "embedding/table_spec.hpp"
+#include "update/delta_stream.hpp"
+
+namespace microrec {
+
+/// Outcome of applying one batch to the shadow buffer.
+struct ApplyReport {
+  std::uint64_t applied = 0;
+  std::uint64_t rejected = 0;     ///< wrong table / dim mismatch / bad row
+  std::uint64_t grown_rows = 0;   ///< rows appended by growth deltas
+};
+
+class VersionedEmbeddingStore {
+ public:
+  /// Both buffers start as the deterministic materialization of `spec`
+  /// (identical to EmbeddingTable::Materialize(spec, seed, cap)).
+  VersionedEmbeddingStore(const TableSpec& spec, std::uint64_t seed,
+                          std::uint64_t max_physical_rows = std::uint64_t(1)
+                                                            << 22);
+
+  /// The spec of the *published* snapshot (rows reflects published growth).
+  const TableSpec& spec() const { return published_spec_; }
+  std::uint64_t seed() const { return seed_; }
+  /// Number of Publish() calls so far (the epoch version readers see).
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  std::uint64_t physical_rows() const;
+
+  /// The published vector for a (virtual) row; indices beyond the physical
+  /// cap wrap, exactly like EmbeddingTable::Lookup. Safe only when no
+  /// Publish() runs concurrently (single-threaded simulation use); for
+  /// cross-thread reads use ReadRow().
+  std::span<const float> Lookup(std::uint64_t row) const;
+
+  /// Thread-safe snapshot read: copies the row into `out` (length dim)
+  /// under a buffer pin, so a concurrent Publish() can never tear it.
+  void ReadRow(std::uint64_t row, std::span<float> out) const;
+
+  /// Applies one batch to the shadow buffer. Deltas for other tables, with
+  /// mismatched dims, or targeting rows beyond the shadow's row count are
+  /// rejected (growth deltas at exactly row == rows append). Returns
+  /// InvalidArgument only if *every* delta was rejected.
+  StatusOr<ApplyReport> Apply(const UpdateBatch& batch);
+
+  /// Atomic version swap: the shadow (with all applied deltas) becomes the
+  /// published snapshot, the retired buffer catches up by replaying the
+  /// pending deltas, and the epoch version increments. Returns the new
+  /// version. No-op (returns current version) when nothing is pending.
+  std::uint64_t Publish();
+
+  // ---- Staleness bookkeeping ----
+
+  /// Newest delta timestamp applied to the shadow (0 if none).
+  Nanoseconds applied_time_ns() const { return applied_time_ns_; }
+  /// Newest delta timestamp included in the published snapshot.
+  Nanoseconds published_time_ns() const { return published_time_ns_; }
+  /// Age of the serving snapshot relative to the newest applied delta.
+  Nanoseconds StalenessNs() const {
+    return applied_time_ns_ - published_time_ns_;
+  }
+  std::uint64_t applied_seq() const { return applied_seq_; }
+  std::uint64_t published_seq() const { return published_seq_; }
+  /// Deltas applied to the shadow but not yet published.
+  std::uint64_t pending_deltas() const { return pending_.size(); }
+
+  /// Rows dirtied by the most recent Publish() (deduplicated); the hook for
+  /// hot-cache invalidation.
+  const std::vector<std::uint64_t>& last_published_rows() const {
+    return last_published_rows_;
+  }
+
+ private:
+  struct Buffer {
+    std::vector<float> data;      // row-major [physical_rows x dim]
+    std::uint64_t virtual_rows = 0;
+    std::uint64_t physical_rows = 0;
+  };
+
+  void ApplyToBuffer(Buffer& buffer, const EmbeddingDelta& delta);
+  Buffer& shadow() { return buffers_[1 - active_.load(std::memory_order_relaxed)]; }
+  const Buffer& active_buffer() const {
+    return buffers_[active_.load(std::memory_order_acquire)];
+  }
+
+  TableSpec published_spec_;  // rows tracks the published buffer
+  std::uint64_t seed_ = 0;
+  std::uint64_t max_physical_rows_ = 0;
+
+  std::array<Buffer, 2> buffers_;
+  std::atomic<std::uint32_t> active_{0};
+  mutable std::array<std::atomic<std::uint64_t>, 2> pins_{};
+  std::atomic<std::uint64_t> version_{0};
+
+  std::vector<EmbeddingDelta> pending_;  // applied to shadow, not published
+  std::vector<std::uint64_t> last_published_rows_;
+  Nanoseconds applied_time_ns_ = 0.0;
+  Nanoseconds published_time_ns_ = 0.0;
+  std::uint64_t applied_seq_ = 0;
+  std::uint64_t published_seq_ = 0;
+};
+
+/// Update-aware view of a Cartesian product over versioned member stores:
+/// serves combined lookups by decomposing the product row index and
+/// concatenating the members' published vectors — the arithmetic the
+/// accelerator's lookup module performs when a sparse feature group maps to
+/// a product table, now against live-updated storage.
+class MergedStoreView {
+ public:
+  /// Member stores must outlive the view.
+  explicit MergedStoreView(
+      std::vector<const VersionedEmbeddingStore*> members);
+
+  /// The combined-table spec of the members' *current published* specs
+  /// (recomputed per call: members may have grown).
+  CombinedTable combined() const;
+
+  std::uint64_t rows() const { return combined().rows(); }
+  std::uint32_t dim() const;
+
+  /// The concatenated vector at a combined row index; `out` must be dim().
+  void Lookup(std::uint64_t combined_row, std::span<float> out) const;
+
+  /// Product entries that must be rewritten when one row of the member at
+  /// `member_index` changes: the write amplification a materialized product
+  /// table pays per member-row delta.
+  std::uint64_t WriteAmplificationRows(std::size_t member_index) const;
+
+ private:
+  std::vector<const VersionedEmbeddingStore*> members_;
+};
+
+/// Evicts from `cache` every row dirtied by `store`'s most recent
+/// Publish(), so a cached hot row never serves a stale vector after the
+/// version swap. Returns the number of entries actually evicted.
+std::size_t InvalidatePublishedRows(EmbeddingCacheSim& cache,
+                                    const VersionedEmbeddingStore& store);
+
+}  // namespace microrec

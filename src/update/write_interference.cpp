@@ -1,0 +1,90 @@
+#include "update/write_interference.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace microrec {
+
+const char* WritePolicyName(WritePolicy policy) {
+  switch (policy) {
+    case WritePolicy::kFairInterleave:
+      return "fair-interleave";
+    case WritePolicy::kUpdatesYield:
+      return "updates-yield";
+  }
+  return "unknown";
+}
+
+UpdateWriteInjector::UpdateWriteInjector(const PlacementPlan& plan,
+                                         const MemoryPlatformSpec& platform)
+    : memory_(platform) {
+  RebuildRoutes(plan);
+}
+
+void UpdateWriteInjector::RebuildRoutes(const PlacementPlan& plan) {
+  routes_.clear();
+  for (const TablePlacement& placement : plan.placements) {
+    const CombinedTable& combined = placement.table;
+    for (const TableSpec& member : combined.members()) {
+      Route route;
+      route.bank = placement.bank;
+      if (combined.is_product()) {
+        // One member-row delta dirties every product entry holding that
+        // row: rows() / member.rows entries of the combined vector each.
+        route.amplification_rows =
+            std::max<std::uint64_t>(1, combined.rows() / member.rows);
+        route.bytes_per_row_update =
+            route.amplification_rows * combined.VectorBytes();
+      } else {
+        route.amplification_rows = 1;
+        route.bytes_per_row_update = member.VectorBytes();
+      }
+      routes_[member.id] = route;
+    }
+  }
+}
+
+const UpdateWriteInjector::Route* UpdateWriteInjector::route(
+    std::uint32_t table_id) const {
+  auto it = routes_.find(table_id);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+Nanoseconds UpdateWriteInjector::Inject(const UpdateBatch& batch,
+                                        Nanoseconds issue_ns) {
+  std::vector<BankAccess> accesses;
+  accesses.reserve(batch.deltas.size());
+  for (const EmbeddingDelta& delta : batch.deltas) {
+    const Route* r = route(delta.table_id);
+    if (r == nullptr) continue;
+    accesses.push_back(
+        BankAccess{r->bank, r->bytes_per_row_update, delta.seq});
+    stats_.amplified_rows += r->amplification_rows;
+  }
+  return InjectRaw(accesses, issue_ns);
+}
+
+Nanoseconds UpdateWriteInjector::InjectRaw(
+    const std::vector<BankAccess>& accesses, Nanoseconds issue_ns) {
+  if (accesses.empty()) return issue_ns;
+  const LookupBatchResult result = memory_.IssueBatch(accesses, issue_ns);
+  stats_.write_transactions += accesses.size();
+  for (const BankAccess& access : accesses) {
+    stats_.bytes_written += access.bytes;
+  }
+  stats_.last_completion_ns =
+      std::max(stats_.last_completion_ns, result.completion_ns);
+  return result.completion_ns;
+}
+
+Nanoseconds UpdateWriteInjector::LookupDelay(
+    const std::vector<BankAccess>& lookup, Nanoseconds start_ns) const {
+  Nanoseconds delay = 0.0;
+  for (const BankAccess& access : lookup) {
+    delay = std::max(delay, memory_.bank(access.bank).free_at_ns() - start_ns);
+  }
+  return std::max(delay, 0.0);
+}
+
+}  // namespace microrec

@@ -1,0 +1,90 @@
+// Write-interference model: update traffic on the serving memory system.
+//
+// Update writes are injected as write transactions into the same
+// HybridMemorySystem channels the embedding lookups read from, so updates
+// and lookups compete for HBM/DDR bank occupancy. A lookup batch starting
+// while a bank still drains update writes waits for that bank — the extra
+// delay this module reports. Two write-priority policies are modelled:
+//   kFairInterleave — writes are issued at their generation time, in
+//     arrival order with reads (lowest staleness, most read interference);
+//   kUpdatesYield — writes park until an idle gap in the query arrival
+//     stream and only start inside one (reads keep their tail; staleness
+//     grows when queries leave few gaps).
+//
+// Asymmetry note: lookup self-contention is already folded into the
+// pipeline's initiation interval (the paper's round model), so queries do
+// not re-issue their reads here; the injector adds only the cross-traffic
+// delay. This is what makes the zero-update case collapse exactly onto the
+// no-update serving simulators.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "memsim/hybrid_memory.hpp"
+#include "placement/plan.hpp"
+#include "update/delta_stream.hpp"
+
+namespace microrec {
+
+enum class WritePolicy { kFairInterleave, kUpdatesYield };
+
+const char* WritePolicyName(WritePolicy policy);
+
+struct UpdateWriteStats {
+  std::uint64_t write_transactions = 0;
+  Bytes bytes_written = 0;
+  /// Product-table entries rewritten on behalf of member-row deltas
+  /// (Cartesian write amplification).
+  std::uint64_t amplified_rows = 0;
+  Nanoseconds last_completion_ns = 0.0;
+};
+
+class UpdateWriteInjector {
+ public:
+  /// Routes are derived from `plan`: each original table maps to the bank
+  /// its (possibly Cartesian-combined) placement lives on. A delta to a
+  /// member of a product table dirties every product entry containing that
+  /// member row, so its write transaction carries the amplified byte count.
+  UpdateWriteInjector(const PlacementPlan& plan,
+                      const MemoryPlatformSpec& platform);
+
+  /// Issues one batch's writes at `issue_ns` (>= any previous issue time).
+  /// Writes serialize per bank behind earlier writes. Returns the
+  /// completion time of the slowest write.
+  Nanoseconds Inject(const UpdateBatch& batch, Nanoseconds issue_ns);
+
+  /// Issues raw accesses (e.g. a migration's streaming copy) at `issue_ns`.
+  Nanoseconds InjectRaw(const std::vector<BankAccess>& accesses,
+                        Nanoseconds issue_ns);
+
+  /// Extra delay a lookup batch starting at `start_ns` suffers from
+  /// in-flight update writes: the largest remaining write occupancy across
+  /// the banks the lookup touches. Zero when no writes are in flight.
+  Nanoseconds LookupDelay(const std::vector<BankAccess>& lookup,
+                          Nanoseconds start_ns) const;
+
+  /// Recomputes table->bank routes after an incremental re-placement.
+  void RebuildRoutes(const PlacementPlan& plan);
+
+  const UpdateWriteStats& stats() const { return stats_; }
+  const HybridMemorySystem& memory() const { return memory_; }
+
+  /// Write route of one original table (nullptr if the table is not in the
+  /// plan — its deltas are dropped and counted nowhere).
+  struct Route {
+    std::uint32_t bank = 0;
+    Bytes bytes_per_row_update = 0;
+    std::uint64_t amplification_rows = 1;
+  };
+  const Route* route(std::uint32_t table_id) const;
+
+ private:
+  HybridMemorySystem memory_;
+  std::unordered_map<std::uint32_t, Route> routes_;
+  UpdateWriteStats stats_;
+};
+
+}  // namespace microrec

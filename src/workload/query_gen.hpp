@@ -36,7 +36,10 @@ class QueryGenerator {
   std::vector<SparseQuery> NextBatch(std::size_t batch);
 
  private:
-  const RecModelSpec& model_;
+  // Stored by value: generators frequently outlive the spec they were built
+  // from (e.g. specs built inline at the call site), and a dangling reference
+  // here only shows up as silent garbage row indices.
+  RecModelSpec model_;
   IndexDistribution distribution_;
   Rng rng_;
   std::vector<ZipfSampler> zipf_;  // one per table (kZipf only)

@@ -235,5 +235,40 @@ TEST_F(CliTest, UnknownOptionRejected) {
   EXPECT_NE(status.message().find("unknown option"), std::string::npos);
 }
 
+TEST_F(CliTest, UpdateSweepSmoke) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string json_path = Path("sweep.json");
+  auto [status, out] =
+      Run({"update-sweep", model_path, "--queries", "400", "--qps", "200000",
+           "--points", "3", "--update-qps-max", "1000000", "--policy",
+           "yield", "--json", json_path});
+  ASSERT_TRUE(status.ok()) << status << "\n" << out;
+  EXPECT_NE(out.find("update sweep for alibaba-small"), std::string::npos);
+  EXPECT_NE(out.find("policy updates-yield"), std::string::npos);
+  EXPECT_NE(out.find("update_qps"), std::string::npos);
+  // Three sweep points: the exact-zero baseline plus two geometric rates.
+  EXPECT_NE(out.find("\n         0  "), std::string::npos);
+  EXPECT_NE(out.find("\n    500000  "), std::string::npos);
+  EXPECT_NE(out.find("\n   1000000  "), std::string::npos);
+  std::ifstream json(json_path);
+  ASSERT_TRUE(json.good());
+  std::stringstream contents;
+  contents << json.rdbuf();
+  EXPECT_NE(contents.str().find("\"command\": \"update-sweep\""),
+            std::string::npos);
+  EXPECT_NE(contents.str().find("\"records\""), std::string::npos);
+  EXPECT_NE(contents.str().find("\"staleness_p99_ns\""), std::string::npos);
+}
+
+TEST_F(CliTest, UpdateSweepRejectsBadPolicy) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] =
+      Run({"update-sweep", model_path, "--policy", "sometimes"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--policy"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace microrec::cli
