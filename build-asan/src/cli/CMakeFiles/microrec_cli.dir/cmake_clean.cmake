@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_cli.dir/args.cpp.o"
+  "CMakeFiles/microrec_cli.dir/args.cpp.o.d"
+  "CMakeFiles/microrec_cli.dir/commands.cpp.o"
+  "CMakeFiles/microrec_cli.dir/commands.cpp.o.d"
+  "libmicrorec_cli.a"
+  "libmicrorec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

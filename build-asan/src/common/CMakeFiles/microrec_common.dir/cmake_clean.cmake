@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_common.dir/logging.cpp.o"
+  "CMakeFiles/microrec_common.dir/logging.cpp.o.d"
+  "CMakeFiles/microrec_common.dir/rng.cpp.o"
+  "CMakeFiles/microrec_common.dir/rng.cpp.o.d"
+  "CMakeFiles/microrec_common.dir/stats.cpp.o"
+  "CMakeFiles/microrec_common.dir/stats.cpp.o.d"
+  "CMakeFiles/microrec_common.dir/status.cpp.o"
+  "CMakeFiles/microrec_common.dir/status.cpp.o.d"
+  "CMakeFiles/microrec_common.dir/table_printer.cpp.o"
+  "CMakeFiles/microrec_common.dir/table_printer.cpp.o.d"
+  "CMakeFiles/microrec_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/microrec_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/microrec_common.dir/units.cpp.o"
+  "CMakeFiles/microrec_common.dir/units.cpp.o.d"
+  "CMakeFiles/microrec_common.dir/zipf.cpp.o"
+  "CMakeFiles/microrec_common.dir/zipf.cpp.o.d"
+  "libmicrorec_common.a"
+  "libmicrorec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_core.dir/microrec.cpp.o"
+  "CMakeFiles/microrec_core.dir/microrec.cpp.o.d"
+  "CMakeFiles/microrec_core.dir/serialization.cpp.o"
+  "CMakeFiles/microrec_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/microrec_core.dir/system_sim.cpp.o"
+  "CMakeFiles/microrec_core.dir/system_sim.cpp.o.d"
+  "libmicrorec_core.a"
+  "libmicrorec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_engine.cpp" "src/cpu/CMakeFiles/microrec_cpu.dir/cpu_engine.cpp.o" "gcc" "src/cpu/CMakeFiles/microrec_cpu.dir/cpu_engine.cpp.o.d"
+  "/root/repo/src/cpu/paper_baseline.cpp" "src/cpu/CMakeFiles/microrec_cpu.dir/paper_baseline.cpp.o" "gcc" "src/cpu/CMakeFiles/microrec_cpu.dir/paper_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/microrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/microrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/microrec_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_cpu.dir/cpu_engine.cpp.o"
+  "CMakeFiles/microrec_cpu.dir/cpu_engine.cpp.o.d"
+  "CMakeFiles/microrec_cpu.dir/paper_baseline.cpp.o"
+  "CMakeFiles/microrec_cpu.dir/paper_baseline.cpp.o.d"
+  "libmicrorec_cpu.a"
+  "libmicrorec_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

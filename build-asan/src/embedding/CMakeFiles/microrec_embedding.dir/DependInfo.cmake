@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/cartesian.cpp" "src/embedding/CMakeFiles/microrec_embedding.dir/cartesian.cpp.o" "gcc" "src/embedding/CMakeFiles/microrec_embedding.dir/cartesian.cpp.o.d"
+  "/root/repo/src/embedding/embedding_table.cpp" "src/embedding/CMakeFiles/microrec_embedding.dir/embedding_table.cpp.o" "gcc" "src/embedding/CMakeFiles/microrec_embedding.dir/embedding_table.cpp.o.d"
+  "/root/repo/src/embedding/hot_cache.cpp" "src/embedding/CMakeFiles/microrec_embedding.dir/hot_cache.cpp.o" "gcc" "src/embedding/CMakeFiles/microrec_embedding.dir/hot_cache.cpp.o.d"
+  "/root/repo/src/embedding/table_spec.cpp" "src/embedding/CMakeFiles/microrec_embedding.dir/table_spec.cpp.o" "gcc" "src/embedding/CMakeFiles/microrec_embedding.dir/table_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_embedding.dir/cartesian.cpp.o"
+  "CMakeFiles/microrec_embedding.dir/cartesian.cpp.o.d"
+  "CMakeFiles/microrec_embedding.dir/embedding_table.cpp.o"
+  "CMakeFiles/microrec_embedding.dir/embedding_table.cpp.o.d"
+  "CMakeFiles/microrec_embedding.dir/hot_cache.cpp.o"
+  "CMakeFiles/microrec_embedding.dir/hot_cache.cpp.o.d"
+  "CMakeFiles/microrec_embedding.dir/table_spec.cpp.o"
+  "CMakeFiles/microrec_embedding.dir/table_spec.cpp.o.d"
+  "libmicrorec_embedding.a"
+  "libmicrorec_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/config.cpp" "src/fpga/CMakeFiles/microrec_fpga.dir/config.cpp.o" "gcc" "src/fpga/CMakeFiles/microrec_fpga.dir/config.cpp.o.d"
+  "/root/repo/src/fpga/dataflow_sim.cpp" "src/fpga/CMakeFiles/microrec_fpga.dir/dataflow_sim.cpp.o" "gcc" "src/fpga/CMakeFiles/microrec_fpga.dir/dataflow_sim.cpp.o.d"
+  "/root/repo/src/fpga/host_interface.cpp" "src/fpga/CMakeFiles/microrec_fpga.dir/host_interface.cpp.o" "gcc" "src/fpga/CMakeFiles/microrec_fpga.dir/host_interface.cpp.o.d"
+  "/root/repo/src/fpga/pipeline_model.cpp" "src/fpga/CMakeFiles/microrec_fpga.dir/pipeline_model.cpp.o" "gcc" "src/fpga/CMakeFiles/microrec_fpga.dir/pipeline_model.cpp.o.d"
+  "/root/repo/src/fpga/resource_model.cpp" "src/fpga/CMakeFiles/microrec_fpga.dir/resource_model.cpp.o" "gcc" "src/fpga/CMakeFiles/microrec_fpga.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/microrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/microrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/microrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_fpga.dir/config.cpp.o"
+  "CMakeFiles/microrec_fpga.dir/config.cpp.o.d"
+  "CMakeFiles/microrec_fpga.dir/dataflow_sim.cpp.o"
+  "CMakeFiles/microrec_fpga.dir/dataflow_sim.cpp.o.d"
+  "CMakeFiles/microrec_fpga.dir/host_interface.cpp.o"
+  "CMakeFiles/microrec_fpga.dir/host_interface.cpp.o.d"
+  "CMakeFiles/microrec_fpga.dir/pipeline_model.cpp.o"
+  "CMakeFiles/microrec_fpga.dir/pipeline_model.cpp.o.d"
+  "CMakeFiles/microrec_fpga.dir/resource_model.cpp.o"
+  "CMakeFiles/microrec_fpga.dir/resource_model.cpp.o.d"
+  "libmicrorec_fpga.a"
+  "libmicrorec_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

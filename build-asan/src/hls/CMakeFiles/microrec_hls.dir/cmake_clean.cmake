@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_hls.dir/kernel_model.cpp.o"
+  "CMakeFiles/microrec_hls.dir/kernel_model.cpp.o.d"
+  "libmicrorec_hls.a"
+  "libmicrorec_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/bandwidth.cpp" "src/memsim/CMakeFiles/microrec_memsim.dir/bandwidth.cpp.o" "gcc" "src/memsim/CMakeFiles/microrec_memsim.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/memsim/bank_model.cpp" "src/memsim/CMakeFiles/microrec_memsim.dir/bank_model.cpp.o" "gcc" "src/memsim/CMakeFiles/microrec_memsim.dir/bank_model.cpp.o.d"
+  "/root/repo/src/memsim/channel_sim.cpp" "src/memsim/CMakeFiles/microrec_memsim.dir/channel_sim.cpp.o" "gcc" "src/memsim/CMakeFiles/microrec_memsim.dir/channel_sim.cpp.o.d"
+  "/root/repo/src/memsim/dram_timing.cpp" "src/memsim/CMakeFiles/microrec_memsim.dir/dram_timing.cpp.o" "gcc" "src/memsim/CMakeFiles/microrec_memsim.dir/dram_timing.cpp.o.d"
+  "/root/repo/src/memsim/hybrid_memory.cpp" "src/memsim/CMakeFiles/microrec_memsim.dir/hybrid_memory.cpp.o" "gcc" "src/memsim/CMakeFiles/microrec_memsim.dir/hybrid_memory.cpp.o.d"
+  "/root/repo/src/memsim/trace_analysis.cpp" "src/memsim/CMakeFiles/microrec_memsim.dir/trace_analysis.cpp.o" "gcc" "src/memsim/CMakeFiles/microrec_memsim.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_memsim.dir/bandwidth.cpp.o"
+  "CMakeFiles/microrec_memsim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/microrec_memsim.dir/bank_model.cpp.o"
+  "CMakeFiles/microrec_memsim.dir/bank_model.cpp.o.d"
+  "CMakeFiles/microrec_memsim.dir/channel_sim.cpp.o"
+  "CMakeFiles/microrec_memsim.dir/channel_sim.cpp.o.d"
+  "CMakeFiles/microrec_memsim.dir/dram_timing.cpp.o"
+  "CMakeFiles/microrec_memsim.dir/dram_timing.cpp.o.d"
+  "CMakeFiles/microrec_memsim.dir/hybrid_memory.cpp.o"
+  "CMakeFiles/microrec_memsim.dir/hybrid_memory.cpp.o.d"
+  "CMakeFiles/microrec_memsim.dir/trace_analysis.cpp.o"
+  "CMakeFiles/microrec_memsim.dir/trace_analysis.cpp.o.d"
+  "libmicrorec_memsim.a"
+  "libmicrorec_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

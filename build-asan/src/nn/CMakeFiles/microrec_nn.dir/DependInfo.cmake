@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/calibration.cpp" "src/nn/CMakeFiles/microrec_nn.dir/calibration.cpp.o" "gcc" "src/nn/CMakeFiles/microrec_nn.dir/calibration.cpp.o.d"
+  "/root/repo/src/nn/interaction.cpp" "src/nn/CMakeFiles/microrec_nn.dir/interaction.cpp.o" "gcc" "src/nn/CMakeFiles/microrec_nn.dir/interaction.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/microrec_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/microrec_nn.dir/mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/microrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_nn.dir/calibration.cpp.o"
+  "CMakeFiles/microrec_nn.dir/calibration.cpp.o.d"
+  "CMakeFiles/microrec_nn.dir/interaction.cpp.o"
+  "CMakeFiles/microrec_nn.dir/interaction.cpp.o.d"
+  "CMakeFiles/microrec_nn.dir/mlp.cpp.o"
+  "CMakeFiles/microrec_nn.dir/mlp.cpp.o.d"
+  "libmicrorec_nn.a"
+  "libmicrorec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

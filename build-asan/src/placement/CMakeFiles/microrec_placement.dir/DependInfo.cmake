@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/allocator.cpp" "src/placement/CMakeFiles/microrec_placement.dir/allocator.cpp.o" "gcc" "src/placement/CMakeFiles/microrec_placement.dir/allocator.cpp.o.d"
+  "/root/repo/src/placement/brute_force.cpp" "src/placement/CMakeFiles/microrec_placement.dir/brute_force.cpp.o" "gcc" "src/placement/CMakeFiles/microrec_placement.dir/brute_force.cpp.o.d"
+  "/root/repo/src/placement/heuristic.cpp" "src/placement/CMakeFiles/microrec_placement.dir/heuristic.cpp.o" "gcc" "src/placement/CMakeFiles/microrec_placement.dir/heuristic.cpp.o.d"
+  "/root/repo/src/placement/plan.cpp" "src/placement/CMakeFiles/microrec_placement.dir/plan.cpp.o" "gcc" "src/placement/CMakeFiles/microrec_placement.dir/plan.cpp.o.d"
+  "/root/repo/src/placement/replication.cpp" "src/placement/CMakeFiles/microrec_placement.dir/replication.cpp.o" "gcc" "src/placement/CMakeFiles/microrec_placement.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

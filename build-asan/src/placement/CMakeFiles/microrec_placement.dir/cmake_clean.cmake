@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_placement.dir/allocator.cpp.o"
+  "CMakeFiles/microrec_placement.dir/allocator.cpp.o.d"
+  "CMakeFiles/microrec_placement.dir/brute_force.cpp.o"
+  "CMakeFiles/microrec_placement.dir/brute_force.cpp.o.d"
+  "CMakeFiles/microrec_placement.dir/heuristic.cpp.o"
+  "CMakeFiles/microrec_placement.dir/heuristic.cpp.o.d"
+  "CMakeFiles/microrec_placement.dir/plan.cpp.o"
+  "CMakeFiles/microrec_placement.dir/plan.cpp.o.d"
+  "CMakeFiles/microrec_placement.dir/replication.cpp.o"
+  "CMakeFiles/microrec_placement.dir/replication.cpp.o.d"
+  "libmicrorec_placement.a"
+  "libmicrorec_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

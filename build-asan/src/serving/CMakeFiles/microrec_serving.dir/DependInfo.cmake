@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/hybrid.cpp" "src/serving/CMakeFiles/microrec_serving.dir/hybrid.cpp.o" "gcc" "src/serving/CMakeFiles/microrec_serving.dir/hybrid.cpp.o.d"
+  "/root/repo/src/serving/scaleout.cpp" "src/serving/CMakeFiles/microrec_serving.dir/scaleout.cpp.o" "gcc" "src/serving/CMakeFiles/microrec_serving.dir/scaleout.cpp.o.d"
+  "/root/repo/src/serving/serving_sim.cpp" "src/serving/CMakeFiles/microrec_serving.dir/serving_sim.cpp.o" "gcc" "src/serving/CMakeFiles/microrec_serving.dir/serving_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_serving.dir/hybrid.cpp.o"
+  "CMakeFiles/microrec_serving.dir/hybrid.cpp.o.d"
+  "CMakeFiles/microrec_serving.dir/scaleout.cpp.o"
+  "CMakeFiles/microrec_serving.dir/scaleout.cpp.o.d"
+  "CMakeFiles/microrec_serving.dir/serving_sim.cpp.o"
+  "CMakeFiles/microrec_serving.dir/serving_sim.cpp.o.d"
+  "libmicrorec_serving.a"
+  "libmicrorec_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/activations.cpp" "src/tensor/CMakeFiles/microrec_tensor.dir/activations.cpp.o" "gcc" "src/tensor/CMakeFiles/microrec_tensor.dir/activations.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/tensor/CMakeFiles/microrec_tensor.dir/gemm.cpp.o" "gcc" "src/tensor/CMakeFiles/microrec_tensor.dir/gemm.cpp.o.d"
+  "/root/repo/src/tensor/gemm_avx2.cpp" "src/tensor/CMakeFiles/microrec_tensor.dir/gemm_avx2.cpp.o" "gcc" "src/tensor/CMakeFiles/microrec_tensor.dir/gemm_avx2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

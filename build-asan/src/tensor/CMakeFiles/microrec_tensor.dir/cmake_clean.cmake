@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_tensor.dir/activations.cpp.o"
+  "CMakeFiles/microrec_tensor.dir/activations.cpp.o.d"
+  "CMakeFiles/microrec_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/microrec_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/microrec_tensor.dir/gemm_avx2.cpp.o"
+  "CMakeFiles/microrec_tensor.dir/gemm_avx2.cpp.o.d"
+  "libmicrorec_tensor.a"
+  "libmicrorec_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

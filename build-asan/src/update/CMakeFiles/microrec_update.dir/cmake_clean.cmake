@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_update.dir/delta_stream.cpp.o"
+  "CMakeFiles/microrec_update.dir/delta_stream.cpp.o.d"
+  "CMakeFiles/microrec_update.dir/replan.cpp.o"
+  "CMakeFiles/microrec_update.dir/replan.cpp.o.d"
+  "CMakeFiles/microrec_update.dir/serving_update_sim.cpp.o"
+  "CMakeFiles/microrec_update.dir/serving_update_sim.cpp.o.d"
+  "CMakeFiles/microrec_update.dir/versioned_store.cpp.o"
+  "CMakeFiles/microrec_update.dir/versioned_store.cpp.o.d"
+  "CMakeFiles/microrec_update.dir/write_interference.cpp.o"
+  "CMakeFiles/microrec_update.dir/write_interference.cpp.o.d"
+  "libmicrorec_update.a"
+  "libmicrorec_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

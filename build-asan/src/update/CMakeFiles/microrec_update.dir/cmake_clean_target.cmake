@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicrorec_update.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec_workload.dir/model_zoo.cpp.o"
+  "CMakeFiles/microrec_workload.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/microrec_workload.dir/query_gen.cpp.o"
+  "CMakeFiles/microrec_workload.dir/query_gen.cpp.o.d"
+  "CMakeFiles/microrec_workload.dir/trace.cpp.o"
+  "CMakeFiles/microrec_workload.dir/trace.cpp.o.d"
+  "libmicrorec_workload.a"
+  "libmicrorec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bandwidth_test.cpp" "tests/CMakeFiles/bandwidth_test.dir/bandwidth_test.cpp.o" "gcc" "tests/CMakeFiles/bandwidth_test.dir/bandwidth_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/microrec_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpu/CMakeFiles/microrec_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/serving/CMakeFiles/microrec_serving.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hls/CMakeFiles/microrec_hls.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cli/CMakeFiles/microrec_cli.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/update/CMakeFiles/microrec_update.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fpga/CMakeFiles/microrec_fpga.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/placement/CMakeFiles/microrec_placement.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/microrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nn/CMakeFiles/microrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tensor/CMakeFiles/microrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

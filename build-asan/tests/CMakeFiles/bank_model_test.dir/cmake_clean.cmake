@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_model_test.dir/bank_model_test.cpp.o"
+  "CMakeFiles/bank_model_test.dir/bank_model_test.cpp.o.d"
+  "bank_model_test"
+  "bank_model_test.pdb"
+  "bank_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

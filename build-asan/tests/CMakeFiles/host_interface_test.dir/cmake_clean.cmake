@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_interface_test.dir/host_interface_test.cpp.o"
+  "CMakeFiles/host_interface_test.dir/host_interface_test.cpp.o.d"
+  "host_interface_test"
+  "host_interface_test.pdb"
+  "host_interface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_interface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

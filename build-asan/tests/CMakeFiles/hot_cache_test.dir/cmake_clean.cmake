@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_cache_test.dir/hot_cache_test.cpp.o"
+  "CMakeFiles/hot_cache_test.dir/hot_cache_test.cpp.o.d"
+  "hot_cache_test"
+  "hot_cache_test.pdb"
+  "hot_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_test.dir/scaleout_test.cpp.o"
+  "CMakeFiles/scaleout_test.dir/scaleout_test.cpp.o.d"
+  "scaleout_test"
+  "scaleout_test.pdb"
+  "scaleout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

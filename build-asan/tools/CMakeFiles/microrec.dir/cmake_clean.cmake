@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microrec.dir/microrec.cpp.o"
+  "CMakeFiles/microrec.dir/microrec.cpp.o.d"
+  "microrec"
+  "microrec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microrec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,8 +16,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/microrec_core.dir/DependInfo.cmake"
   "/root/repo/build/src/cpu/CMakeFiles/microrec_cpu.dir/DependInfo.cmake"
   "/root/repo/build/src/serving/CMakeFiles/microrec_serving.dir/DependInfo.cmake"
-  "/root/repo/build/src/placement/CMakeFiles/microrec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/microrec_update.dir/DependInfo.cmake"
   "/root/repo/build/src/fpga/CMakeFiles/microrec_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/microrec_placement.dir/DependInfo.cmake"
   "/root/repo/build/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/microrec_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"

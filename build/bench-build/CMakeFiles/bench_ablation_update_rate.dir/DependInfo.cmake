@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_update_rate.cpp" "bench-build/CMakeFiles/bench_ablation_update_rate.dir/bench_ablation_update_rate.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_update_rate.dir/bench_ablation_update_rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/microrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/microrec_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/microrec_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/microrec_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/microrec_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/microrec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/microrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/microrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/microrec_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

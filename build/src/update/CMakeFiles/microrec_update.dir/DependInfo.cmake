@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/update/delta_stream.cpp" "src/update/CMakeFiles/microrec_update.dir/delta_stream.cpp.o" "gcc" "src/update/CMakeFiles/microrec_update.dir/delta_stream.cpp.o.d"
+  "/root/repo/src/update/replan.cpp" "src/update/CMakeFiles/microrec_update.dir/replan.cpp.o" "gcc" "src/update/CMakeFiles/microrec_update.dir/replan.cpp.o.d"
+  "/root/repo/src/update/serving_update_sim.cpp" "src/update/CMakeFiles/microrec_update.dir/serving_update_sim.cpp.o" "gcc" "src/update/CMakeFiles/microrec_update.dir/serving_update_sim.cpp.o.d"
+  "/root/repo/src/update/versioned_store.cpp" "src/update/CMakeFiles/microrec_update.dir/versioned_store.cpp.o" "gcc" "src/update/CMakeFiles/microrec_update.dir/versioned_store.cpp.o.d"
+  "/root/repo/src/update/write_interference.cpp" "src/update/CMakeFiles/microrec_update.dir/write_interference.cpp.o" "gcc" "src/update/CMakeFiles/microrec_update.dir/write_interference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/microrec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/microrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/microrec_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/microrec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/microrec_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

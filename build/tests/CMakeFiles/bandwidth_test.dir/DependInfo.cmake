@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/serving/CMakeFiles/microrec_serving.dir/DependInfo.cmake"
   "/root/repo/build/src/hls/CMakeFiles/microrec_hls.dir/DependInfo.cmake"
   "/root/repo/build/src/cli/CMakeFiles/microrec_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/microrec_update.dir/DependInfo.cmake"
   "/root/repo/build/src/fpga/CMakeFiles/microrec_fpga.dir/DependInfo.cmake"
   "/root/repo/build/src/placement/CMakeFiles/microrec_placement.dir/DependInfo.cmake"
   "/root/repo/build/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"

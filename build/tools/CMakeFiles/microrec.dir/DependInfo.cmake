@@ -16,13 +16,14 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/cli/CMakeFiles/microrec_cli.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/microrec_core.dir/DependInfo.cmake"
   "/root/repo/build/src/fpga/CMakeFiles/microrec_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/microrec_update.dir/DependInfo.cmake"
   "/root/repo/build/src/placement/CMakeFiles/microrec_placement.dir/DependInfo.cmake"
-  "/root/repo/build/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/microrec_workload.dir/DependInfo.cmake"
-  "/root/repo/build/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/microrec_nn.dir/DependInfo.cmake"
   "/root/repo/build/src/tensor/CMakeFiles/microrec_tensor.dir/DependInfo.cmake"
   "/root/repo/build/src/serving/CMakeFiles/microrec_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/microrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/microrec_memsim.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/microrec_common.dir/DependInfo.cmake"
   )
 
