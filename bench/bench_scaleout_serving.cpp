@@ -32,8 +32,8 @@ int main() {
     TablePrinter table({"Target qps", "CPU servers", "CPU $/h",
                         "FPGA cards", "FPGA $/h", "FPGA cost advantage"});
     for (double qps : {1e5, 5e5, 1e6, 5e6, 1e7}) {
-      const auto cpu_plan = ProvisionFleet(qps, cpu);
-      const auto fpga_plan = ProvisionFleet(qps, fpga);
+      const auto cpu_plan = ProvisionFleet(qps, cpu).value();
+      const auto fpga_plan = ProvisionFleet(qps, fpga).value();
       table.AddRow({TablePrinter::Sci(qps, 0),
                     std::to_string(cpu_plan.devices),
                     TablePrinter::Num(cpu_plan.dollars_per_hour),
@@ -49,12 +49,12 @@ int main() {
   // batched-CPU fleet at 1M qps.
   {
     const double qps = 1e6;
-    const auto fpga_plan = ProvisionFleet(qps, fpga);
+    const auto fpga_plan = ProvisionFleet(qps, fpga).value();
     const auto arrivals = PoissonArrivals(qps, 200'000, 11);
     const auto fpga_fleet = SimulateReplicatedPipelines(
         arrivals, static_cast<std::uint32_t>(fpga_plan.devices),
         engine.ItemLatency(), engine.timing().initiation_interval_ns,
-        Milliseconds(30));
+        Milliseconds(30)).value();
     std::printf("\nFPGA fleet of %llu cards at %.0e qps:\n  %s\n",
                 (unsigned long long)fpga_plan.devices, qps,
                 fpga_fleet.ToString().c_str());

@@ -43,6 +43,11 @@ StatusOr<std::uint64_t> ArgList::GetUint(const std::string& name,
   const auto value = GetOption(name);
   if (!value.has_value()) return default_value;
   try {
+    // stoull accepts a leading '-' and wraps it around; digits only.
+    if (value->empty() ||
+        value->find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument(*value);
+    }
     std::size_t pos = 0;
     const unsigned long long v = std::stoull(*value, &pos);
     if (pos != value->size()) throw std::invalid_argument(*value);

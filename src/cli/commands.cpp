@@ -7,7 +7,11 @@
 #include "core/microrec.hpp"
 #include "core/serialization.hpp"
 #include "core/system_sim.hpp"
+#include "faults/degraded_serving.hpp"
+#include "faults/failover.hpp"
+#include "faults/fault_schedule.hpp"
 #include "placement/heuristic.hpp"
+#include "placement/replication.hpp"
 #include "serving/serving_sim.hpp"
 #include "update/serving_update_sim.hpp"
 #include "workload/model_zoo.hpp"
@@ -336,6 +340,122 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"queries", "qps", "seed", "max-failed", "json"}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  auto queries = args.GetUint("queries", 20'000);
+  if (!queries.ok()) return queries.status();
+  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
+  auto qps = args.GetUint("qps", 150'000);
+  if (!qps.ok()) return qps.status();
+  if (*qps == 0) return Status::InvalidArgument("--qps must be >= 1");
+  auto seed = args.GetUint("seed", 42);
+  if (!seed.ok()) return seed.status();
+  auto max_failed = args.GetUint("max-failed", 8);
+  if (!max_failed.ok()) return max_failed.status();
+
+  const auto platform = MemoryPlatformSpec::AlveoU280();
+  EngineOptions options;
+  options.materialize = false;
+  auto engine = MicroRecEngine::Build(*model, options);
+  if (!engine.ok()) return engine.status();
+  const auto arrivals =
+      PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+
+  out << "fault sweep for " << model->name << ": " << *queries
+      << " queries at " << *qps << " QPS, failing up to " << *max_failed
+      << " HBM channel(s)\n";
+  out << "replicas  failed_ch  availability  shed%    p50_us    p99_us\n";
+
+  std::ostringstream json;
+  json << "{\n  \"command\": \"fault-sweep\",\n  \"model\": \"" << model->name
+       << "\",\n  \"qps\": " << *qps << ",\n  \"records\": [\n";
+  bool first_record = true;
+
+  for (std::uint32_t replication : {1u, 2u, 4u}) {
+    ReplicationOptions ropts;
+    ropts.lookups_per_table = model->lookups_per_table;
+    ropts.max_replicas = replication;
+    ropts.availability_replicas = replication;
+    auto plan = ReplicateAndPlace(model->tables, platform, ropts);
+    if (!plan.ok()) return plan.status();
+
+    // Channels worth failing: distinct HBM banks actually serving lookups,
+    // round-robin by replica index (every table's first replica before any
+    // table's second) so k failures spread over k tables the way random
+    // channel failures do, instead of adversarially concentrating on one
+    // table. Deterministic, and guaranteed to hurt.
+    std::vector<std::uint32_t> candidates;
+    std::uint32_t max_replicas_seen = 0;
+    for (const auto& table : plan->tables) {
+      max_replicas_seen = std::max(max_replicas_seen, table.replicas());
+    }
+    for (std::uint32_t i = 0; i < max_replicas_seen; ++i) {
+      for (const auto& table : plan->tables) {
+        if (i >= table.replicas()) continue;
+        const std::uint32_t bank = table.banks[i];
+        if (bank >= platform.hbm_channels) continue;  // DDR never fails here
+        if (std::find(candidates.begin(), candidates.end(), bank) ==
+            candidates.end()) {
+          candidates.push_back(bank);
+        }
+      }
+    }
+
+    const Nanoseconds item_latency = engine->ItemLatency() -
+                                     engine->EmbeddingLookupLatency() +
+                                     plan->lookup_latency_ns;
+    for (std::uint64_t k = 0; k <= *max_failed; ++k) {
+      if (k > candidates.size()) break;
+      const std::vector<std::uint32_t> failed(candidates.begin(),
+                                              candidates.begin() + k);
+      const FaultSchedule schedule = FaultSchedule::FailChannels(failed);
+      const FailoverRouter router(&*plan, &schedule);
+
+      DegradedServingConfig config;
+      config.pipeline_replicas = 1;
+      config.item_latency_ns = item_latency;
+      config.initiation_interval_ns =
+          engine->timing().initiation_interval_ns;
+      config.base_lookup_latency_ns = plan->lookup_latency_ns;
+      config.lookups_per_table = model->lookups_per_table;
+      auto report = SimulateDegradedServing(arrivals, config, schedule,
+                                            &router, &platform);
+      if (!report.ok()) return report.status();
+
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "%8u  %9llu  %11.2f%%  %5.2f%%  %8.2f  %8.2f\n",
+                    replication, (unsigned long long)k,
+                    100.0 * report->availability, 100.0 * report->shed_rate,
+                    report->serving.p50 / 1000.0,
+                    report->serving.p99 / 1000.0);
+      out << line;
+      json << (first_record ? "" : ",\n") << "    {\"replication\": "
+           << replication << ", \"failed_channels\": " << k
+           << ", \"availability\": " << report->availability
+           << ", \"shed_rate\": " << report->shed_rate
+           << ", \"p50_ns\": " << report->serving.p50
+           << ", \"p99_ns\": " << report->serving.p99 << "}";
+      first_record = false;
+    }
+  }
+  json << "\n  ]\n}\n";
+
+  if (const auto path = args.GetOption("json")) {
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::InvalidArgument("cannot open --json file " + *path);
+    }
+    file << json.str();
+    out << "wrote JSON report to " << *path << "\n";
+  }
+  return Status::Ok();
+}
+
 Status CmdSelfCheck(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed({}));
   if (!args.positional().empty()) {
@@ -451,6 +571,10 @@ std::string UsageText() {
       "               [--points K] [--update-qps-max U] [--policy fair|yield]\n"
       "               [--json F]\n"
       "      serving tail latency + staleness vs online update rate\n"
+      "  fault-sweep <model-file> [--queries N] [--qps R] [--seed S]\n"
+      "              [--max-failed K] [--json F]\n"
+      "      availability + degraded tail latency vs failed HBM channels\n"
+      "      at table-replication factors 1/2/4\n"
       "  selfcheck\n"
       "      verify the reproduction's calibration anchors\n";
 }
@@ -472,6 +596,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "trace") return CmdTrace(*args, out);
   if (command == "simulate") return CmdSimulate(*args, out);
   if (command == "update-sweep") return CmdUpdateSweep(*args, out);
+  if (command == "fault-sweep") return CmdFaultSweep(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();
   return Status::InvalidArgument("unknown command '" + command + "'");

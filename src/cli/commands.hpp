@@ -12,6 +12,8 @@
 //   microrec update-sweep <model-file> [--queries N] [--qps R] [--seed S]
 //                     [--points K] [--update-qps-max U] [--policy fair|yield]
 //                     [--json F]
+//   microrec fault-sweep <model-file> [--queries N] [--qps R] [--seed S]
+//                     [--max-failed K] [--json F]
 #pragma once
 
 #include <ostream>
@@ -32,6 +34,12 @@ Status CmdSimulate(const ArgList& args, std::ostream& out);
 /// Sweeps the online embedding-update rate against a fixed query stream and
 /// reports tail latency + snapshot staleness per point (src/update/).
 Status CmdUpdateSweep(const ArgList& args, std::ostream& out);
+
+/// Sweeps the number of failed HBM channels at replication factors 1/2/4
+/// and reports availability, shed rate, and degraded p50/p99 per point
+/// (src/faults/): "what does a lost channel cost, and how many replicas
+/// buy it back?".
+Status CmdFaultSweep(const ArgList& args, std::ostream& out);
 
 /// Reruns the reproduction's calibration anchors (Table 5 lookup points,
 /// the GOP/s identity, Table 3 placement structure, event-sim agreement)

@@ -1,0 +1,22 @@
+#include "faults/fault_injector.hpp"
+
+namespace microrec {
+
+bool FaultInjector::BankAvailable(std::uint32_t bank, Nanoseconds now) const {
+  ++stats_.checks;
+  if (schedule_ == nullptr || schedule_->BankAvailable(bank, now)) {
+    return true;
+  }
+  ++stats_.rejected_accesses;
+  return false;
+}
+
+double FaultInjector::LatencyMultiplier(std::uint32_t bank,
+                                        Nanoseconds now) const {
+  if (schedule_ == nullptr) return 1.0;
+  const double multiplier = schedule_->BankLatencyMultiplier(bank, now);
+  if (multiplier > 1.0) ++stats_.degraded_accesses;
+  return multiplier;
+}
+
+}  // namespace microrec

@@ -1,0 +1,45 @@
+// FaultInjector: adapts a FaultSchedule to the memsim BankFaultModel hook.
+//
+// Install it on a HybridMemorySystem (set_fault_model) and every issued
+// access is checked against the schedule at its issue time: accesses to a
+// failed bank are rejected (returned in LookupBatchResult::rejected, never
+// silently dropped) and accesses to a degraded bank serve at the window's
+// latency multiplier. The injector also keeps counters so experiments can
+// report how much traffic the faults actually touched.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault_schedule.hpp"
+#include "memsim/hybrid_memory.hpp"
+
+namespace microrec {
+
+class FaultInjector final : public BankFaultModel {
+ public:
+  /// `schedule` may be nullptr (a healthy injector: never rejects, always
+  /// multiplier 1.0). Not owned; must outlive the injector.
+  explicit FaultInjector(const FaultSchedule* schedule)
+      : schedule_(schedule) {}
+
+  bool BankAvailable(std::uint32_t bank, Nanoseconds now) const override;
+  double LatencyMultiplier(std::uint32_t bank,
+                           Nanoseconds now) const override;
+
+  struct Stats {
+    std::uint64_t checks = 0;             ///< availability queries served
+    std::uint64_t rejected_accesses = 0;  ///< bank down at issue time
+    std::uint64_t degraded_accesses = 0;  ///< multiplier > 1 applied
+  };
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  const FaultSchedule* schedule() const { return schedule_; }
+
+ private:
+  const FaultSchedule* schedule_;
+  mutable Stats stats_;  ///< counters only; queries stay logically const
+};
+
+}  // namespace microrec

@@ -13,10 +13,12 @@ ChannelSim::ChannelSim(ChannelTiming timing, double overlap)
 
 MemCompletion ChannelSim::Serve(const MemRequest& request) {
   MICROREC_CHECK(request.arrival_ns >= last_arrival_ns_);
+  MICROREC_CHECK(request.latency_scale >= 1.0);
   last_arrival_ns_ = request.arrival_ns;
 
   const Nanoseconds service =
-      timing_.AccessLatency(request.bytes) - overlap_ * timing_.base_ns;
+      (timing_.AccessLatency(request.bytes) - overlap_ * timing_.base_ns) *
+      request.latency_scale;
   Nanoseconds start = std::max(request.arrival_ns, free_at_ns_);
   // Refresh: an access that would begin inside a refresh window (every
   // interval_ns the channel is blocked for duration_ns) defers to the
@@ -36,7 +38,8 @@ MemCompletion ChannelSim::Serve(const MemRequest& request) {
   // full base latency.
   const bool queued = free_at_ns_ > request.arrival_ns;
   const Nanoseconds effective_service =
-      queued ? service : timing_.AccessLatency(request.bytes);
+      queued ? service
+             : timing_.AccessLatency(request.bytes) * request.latency_scale;
 
   MemCompletion done;
   done.tag = request.tag;

@@ -22,8 +22,16 @@ LookupBatchResult HybridMemorySystem::IssueBatch(
   result.completions.reserve(accesses.size());
   for (const auto& access : accesses) {
     MICROREC_CHECK(access.bank < channels_.size());
+    double scale = 1.0;
+    if (fault_model_ != nullptr) {
+      if (!fault_model_->BankAvailable(access.bank, start_ns)) {
+        result.rejected.push_back(access);
+        continue;
+      }
+      scale = fault_model_->LatencyMultiplier(access.bank, start_ns);
+    }
     const MemCompletion done = channels_[access.bank].Serve(
-        MemRequest{start_ns, access.bytes, access.tag});
+        MemRequest{start_ns, access.bytes, access.tag, scale});
     result.completion_ns = std::max(result.completion_ns, done.completion_ns);
     if (trace_enabled_) {
       trace_.push_back(AccessTraceRecord{access.bank, access.bytes, access.tag,

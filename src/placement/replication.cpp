@@ -11,8 +11,7 @@ std::vector<BankAccess> ReplicationPlan::ToBankAccesses(
   std::uint64_t tag = 0;
   for (const auto& replicated : tables) {
     for (std::uint32_t l = 0; l < lookups_per_table; ++l) {
-      const std::uint32_t bank =
-          replicated.banks[l % replicated.banks.size()];
+      const std::uint32_t bank = replicated.banks[l % replicated.primaries()];
       accesses.push_back(
           BankAccess{bank, replicated.table.VectorBytes(), tag});
     }
@@ -114,6 +113,39 @@ StatusOr<ReplicationPlan> ReplicateAndPlace(
       free[best] -= table.TotalBytes();
       replicated.banks.push_back(best);
       load[best] += share;
+    }
+  }
+
+  for (auto& replicated : plan.tables) {
+    replicated.primary_replicas = replicated.replicas();
+  }
+
+  // Availability floor: top every table up to `availability_replicas`
+  // copies. These rounds skip the latency benefit check -- the copies exist
+  // to survive channel failures, not to shorten the healthy-path round --
+  // but still spread over the least-loaded feasible banks.
+  for (std::uint32_t r = replica_target; r < options.availability_replicas;
+       ++r) {
+    for (auto& replicated : plan.tables) {
+      if (replicated.replicas() > r) continue;
+      const TableSpec& table = replicated.table;
+      std::uint32_t best = dram_banks;
+      for (std::uint32_t b = 0; b < dram_banks; ++b) {
+        if (free[b] < table.TotalBytes()) continue;
+        if (std::find(replicated.banks.begin(), replicated.banks.end(), b) !=
+            replicated.banks.end()) {
+          continue;
+        }
+        if (best == dram_banks || load[b] < load[best] ||
+            (load[b] == load[best] && free[b] < free[best])) {
+          best = b;
+        }
+      }
+      if (best == dram_banks) continue;  // no room for this spare
+      free[best] -= table.TotalBytes();
+      replicated.banks.push_back(best);
+      // Spares carry no steady-state load; leave `load` untouched so later
+      // spares of other tables still spread by primary-replica pressure.
     }
   }
 

@@ -25,8 +25,18 @@ struct ReplicatedTable {
   TableSpec table;
   std::vector<std::uint32_t> banks;  ///< one entry per replica
 
+  /// First `primary_replicas` entries of `banks` carry the healthy-path
+  /// lookups; later entries are availability spares that only serve when a
+  /// primary's channel fails (see ReplicationOptions). 0 means "all banks
+  /// are primaries" (back-compat for hand-built plans).
+  std::uint32_t primary_replicas = 0;
+
   std::uint32_t replicas() const {
     return static_cast<std::uint32_t>(banks.size());
+  }
+  std::uint32_t primaries() const {
+    return primary_replicas == 0 ? replicas()
+                                 : std::min(primary_replicas, replicas());
   }
 };
 
@@ -47,6 +57,12 @@ struct ReplicationOptions {
   std::uint32_t lookups_per_table = 4;
   /// Cap on replicas per table (0 = up to lookups_per_table).
   std::uint32_t max_replicas = 0;
+  /// Availability floor: place at least this many copies of every table
+  /// (capacity permitting) even when an extra copy does not reduce lookup
+  /// latency. Surplus copies are pure failover spares -- the router only
+  /// reads them when a channel hosting a primary replica fails. 0 = off,
+  /// which reproduces the latency-driven placement exactly.
+  std::uint32_t availability_replicas = 0;
 };
 
 /// Greedy replication + placement: every table gets up to

@@ -2,24 +2,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/stats.hpp"
-#include "common/status.hpp"
 
 namespace microrec {
 
-ServingReport SimulateReplicatedPipelines(
+StatusOr<ServingReport> SimulateReplicatedPipelines(
     const std::vector<Nanoseconds>& arrivals, std::uint32_t replicas,
     Nanoseconds item_latency_ns, Nanoseconds initiation_interval_ns,
     Nanoseconds sla_ns) {
-  MICROREC_CHECK(!arrivals.empty());
-  MICROREC_CHECK(replicas >= 1);
+  if (arrivals.empty()) {
+    return Status::InvalidArgument("replicated pipelines: no arrivals");
+  }
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] < arrivals[i - 1]) {
+      return Status::InvalidArgument(
+          "replicated pipelines: arrivals are not nondecreasing at index " +
+          std::to_string(i));
+    }
+  }
+  if (replicas == 0) {
+    return Status::InvalidArgument(
+        "replicated pipelines: replicas must be >= 1");
+  }
+  if (item_latency_ns <= 0.0 || initiation_interval_ns <= 0.0) {
+    return Status::InvalidArgument(
+        "replicated pipelines: item latency and initiation interval must be "
+        "> 0");
+  }
 
   // next_start[k]: earliest time replica k can begin a new item.
   std::vector<Nanoseconds> next_start(replicas, 0.0);
-  PercentileTracker latencies;
-  std::uint64_t violations = 0;
-  Nanoseconds makespan = 0.0;
+  std::vector<Nanoseconds> completions;
+  completions.reserve(arrivals.size());
 
   for (const Nanoseconds arrival : arrivals) {
     // Least-loaded dispatch.
@@ -29,37 +45,25 @@ ServingReport SimulateReplicatedPipelines(
     }
     const Nanoseconds start = std::max(arrival, next_start[best]);
     next_start[best] = start + initiation_interval_ns;
-    const Nanoseconds done = start + item_latency_ns;
-    makespan = std::max(makespan, done);
-    const Nanoseconds latency = done - arrival;
-    latencies.Add(latency);
-    if (latency > sla_ns) ++violations;
+    completions.push_back(start + item_latency_ns);
   }
-
-  ServingReport report;
-  report.queries = arrivals.size();
-  const Nanoseconds span = arrivals.back() - arrivals.front();
-  report.offered_qps =
-      span > 0.0 ? static_cast<double>(arrivals.size() - 1) / ToSeconds(span)
-                 : 0.0;
-  report.achieved_qps =
-      makespan > 0.0 ? static_cast<double>(arrivals.size()) / ToSeconds(makespan)
-                     : 0.0;
-  report.p50 = latencies.Percentile(0.50);
-  report.p95 = latencies.Percentile(0.95);
-  report.p99 = latencies.Percentile(0.99);
-  report.max = latencies.Max();
-  report.mean = latencies.Mean();
-  report.sla_violation_rate =
-      static_cast<double>(violations) / static_cast<double>(arrivals.size());
-  return report;
+  return SummarizeServing(arrivals, completions, sla_ns);
 }
 
-FleetPlan ProvisionFleet(double target_qps, const DeviceClass& device,
-                         double headroom) {
-  MICROREC_CHECK(target_qps > 0.0);
-  MICROREC_CHECK(device.throughput_items_per_s > 0.0);
-  MICROREC_CHECK(headroom >= 1.0);
+StatusOr<FleetPlan> ProvisionFleet(double target_qps,
+                                   const DeviceClass& device,
+                                   double headroom) {
+  if (target_qps <= 0.0) {
+    return Status::InvalidArgument("provision fleet: target_qps must be > 0");
+  }
+  if (device.throughput_items_per_s <= 0.0) {
+    return Status::InvalidArgument(
+        "provision fleet: device throughput must be > 0 items/s");
+  }
+  if (headroom < 1.0) {
+    return Status::InvalidArgument(
+        "provision fleet: headroom below 1.0 plans for overload");
+  }
   FleetPlan plan;
   plan.devices = static_cast<std::uint64_t>(std::ceil(
       target_qps * headroom / device.throughput_items_per_s));

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.hpp"
 #include "common/units.hpp"
 #include "serving/serving_sim.hpp"
 
@@ -15,7 +16,10 @@ namespace microrec {
 /// Simulates `replicas` identical item-streaming pipelines with
 /// least-loaded dispatch: each query goes to the replica that can start it
 /// earliest. Latency per query = start - arrival + item_latency.
-ServingReport SimulateReplicatedPipelines(
+/// Returns InvalidArgument on empty or non-monotonic arrivals,
+/// replicas == 0, or non-positive latency/interval -- recoverable input
+/// errors, not contract violations (these reach the CLI and config files).
+StatusOr<ServingReport> SimulateReplicatedPipelines(
     const std::vector<Nanoseconds>& arrivals, std::uint32_t replicas,
     Nanoseconds item_latency_ns, Nanoseconds initiation_interval_ns,
     Nanoseconds sla_ns);
@@ -34,8 +38,11 @@ struct FleetPlan {
 };
 
 /// Devices needed to serve `target_qps` with `headroom` (e.g. 1.25 = plan
-/// for 80% peak utilisation), and the resulting hourly cost.
-FleetPlan ProvisionFleet(double target_qps, const DeviceClass& device,
-                         double headroom = 1.25);
+/// for 80% peak utilisation), and the resulting hourly cost. Returns
+/// InvalidArgument on a zero-throughput device, non-positive target, or
+/// headroom < 1 instead of dividing by zero.
+StatusOr<FleetPlan> ProvisionFleet(double target_qps,
+                                   const DeviceClass& device,
+                                   double headroom = 1.25);
 
 }  // namespace microrec

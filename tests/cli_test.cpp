@@ -261,6 +261,50 @@ TEST_F(CliTest, UpdateSweepSmoke) {
   EXPECT_NE(contents.str().find("\"staleness_p99_ns\""), std::string::npos);
 }
 
+TEST_F(CliTest, FaultSweepSmoke) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string json_path = Path("faults.json");
+  auto [status, out] =
+      Run({"fault-sweep", model_path, "--queries", "400", "--qps", "200000",
+           "--max-failed", "2", "--json", json_path});
+  ASSERT_TRUE(status.ok()) << status << "\n" << out;
+  EXPECT_NE(out.find("fault sweep for alibaba-small"), std::string::npos);
+  EXPECT_NE(out.find("availability"), std::string::npos);
+  // All three replication factors appear with a zero-failure baseline row.
+  for (const char* row : {"\n       1          0", "\n       2          0",
+                          "\n       4          0"}) {
+    EXPECT_NE(out.find(row), std::string::npos) << row;
+  }
+  std::ifstream json(json_path);
+  ASSERT_TRUE(json.good());
+  std::stringstream contents;
+  contents << json.rdbuf();
+  EXPECT_NE(contents.str().find("\"command\": \"fault-sweep\""),
+            std::string::npos);
+  EXPECT_NE(contents.str().find("\"records\""), std::string::npos);
+  EXPECT_NE(contents.str().find("\"availability\""), std::string::npos);
+}
+
+TEST_F(CliTest, FaultSweepRejectsBadMaxFailed) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] =
+      Run({"fault-sweep", model_path, "--max-failed", "nope"});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, NegativeUintOptionRejectedNotWrapped) {
+  // stoull would happily wrap "-5" to ~1.8e19 and the sweep would then try
+  // to reserve that many arrivals; the parser must reject it instead.
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] =
+      Run({"fault-sweep", model_path, "--queries", "-5"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("integer"), std::string::npos);
+}
+
 TEST_F(CliTest, UpdateSweepRejectsBadPolicy) {
   const std::string model_path = Path("model.txt");
   ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());

@@ -7,7 +7,10 @@
 #include "common/status.hpp"
 #include "embedding/embedding_table.hpp"
 #include "embedding/table_spec.hpp"
+#include "faults/fault_schedule.hpp"
 #include "hls/hls_stream.hpp"
+#include "memsim/channel_sim.hpp"
+#include "memsim/dram_timing.hpp"
 #include "tensor/matrix.hpp"
 
 namespace microrec {
@@ -84,6 +87,43 @@ TEST(FailureDeathTest, CombinedRowIndexValidatesMemberCount) {
       TableSpec{0, "a", 4, 4, 4}, TableSpec{1, "b", 4, 4, 4}});
   EXPECT_DEATH(product.CombinedRowIndex({1}), "MICROREC_CHECK");
   EXPECT_DEATH(product.CombinedRowIndex({1, 99}), "MICROREC_CHECK");
+}
+
+TEST(FailureDeathTest, SubUnityLatencyScaleAborts) {
+  // latency_scale < 1 would make a "fault" a speedup; the channel treats
+  // it as a contract violation, not a recoverable input.
+  ChannelSim channel(HbmChannelTiming());
+  MemRequest request;
+  request.arrival_ns = 0.0;
+  request.bytes = 64;
+  request.latency_scale = 0.5;
+  EXPECT_DEATH(channel.Serve(request), "MICROREC_CHECK");
+}
+
+// ---------------------------------------------------------------- Status
+
+TEST(FaultScheduleStatusTest, MalformedEventsReturnStatusNotAbort) {
+  // Fault windows come from user-facing config (CLI sweeps, generated
+  // schedules), so a bad window is a recoverable input error.
+  FaultSchedule schedule;
+  FaultEvent inverted;
+  inverted.kind = FaultKind::kChannelFail;
+  inverted.start_ns = 100.0;
+  inverted.end_ns = 50.0;
+  const Status status = schedule.Add(inverted);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(schedule.empty());
+}
+
+TEST(FaultScheduleStatusTest, GenerateRejectsBadConfig) {
+  FaultScheduleConfig config;
+  config.horizon_ns = -1.0;
+  EXPECT_FALSE(GenerateFaultSchedule(config).ok());
+  config = FaultScheduleConfig{};
+  config.horizon_ns = 1000.0;
+  config.channel_fail_per_s = 10.0;  // rate without banks to fail
+  config.num_banks = 0;
+  EXPECT_FALSE(GenerateFaultSchedule(config).ok());
 }
 
 // ---------------------------------------------------------------- StatusOr

@@ -1,0 +1,560 @@
+// Tests for the fault-injection subsystem (src/faults/) and the retry
+// machinery it drives in the fpga host interface:
+//   * schedules validate their events and generate deterministically;
+//   * the injector rejects/degrades accesses through HybridMemorySystem
+//     without perturbing the healthy path;
+//   * failover routing never silently drops a lookup -- every lookup lands
+//     on a live bank or is counted as shed;
+//   * DMA retry/backoff timing is exactly bounded by the policy;
+//   * zero-fault degraded serving is field-for-field identical to the
+//     fault-free simulator.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/degraded_serving.hpp"
+#include "faults/failover.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
+#include "fpga/host_interface.hpp"
+#include "memsim/hybrid_memory.hpp"
+#include "placement/replication.hpp"
+#include "serving/scaleout.hpp"
+#include "serving/serving_sim.hpp"
+#include "workload/model_zoo.hpp"
+
+namespace microrec {
+namespace {
+
+FaultEvent Event(FaultKind kind, Nanoseconds start, Nanoseconds end,
+                 std::uint32_t target = 0, double magnitude = 1.0) {
+  FaultEvent e;
+  e.kind = kind;
+  e.start_ns = start;
+  e.end_ns = end;
+  e.target = target;
+  e.magnitude = magnitude;
+  return e;
+}
+
+// ---------------------------------------------------------------- Schedule
+
+TEST(FaultScheduleTest, AddValidatesWindows) {
+  FaultSchedule schedule;
+  EXPECT_FALSE(
+      schedule.Add(Event(FaultKind::kChannelFail, 10.0, 10.0)).ok());
+  EXPECT_FALSE(
+      schedule.Add(Event(FaultKind::kChannelFail, 10.0, 5.0)).ok());
+  EXPECT_FALSE(
+      schedule.Add(Event(FaultKind::kChannelFail, -1.0, 5.0)).ok());
+  // A degrade multiplier below 1 would turn a fault into a speedup.
+  EXPECT_FALSE(
+      schedule.Add(Event(FaultKind::kChannelDegrade, 0.0, 5.0, 0, 0.5)).ok());
+  EXPECT_TRUE(
+      schedule.Add(Event(FaultKind::kChannelDegrade, 0.0, 5.0, 0, 2.0)).ok());
+  EXPECT_EQ(schedule.events().size(), 1u);
+}
+
+TEST(FaultScheduleTest, PointQueriesRespectWindows) {
+  FaultSchedule schedule;
+  ASSERT_TRUE(
+      schedule.Add(Event(FaultKind::kChannelFail, 100.0, 200.0, 3)).ok());
+  ASSERT_TRUE(
+      schedule.Add(Event(FaultKind::kChannelDegrade, 0.0, 50.0, 1, 2.0)).ok());
+  ASSERT_TRUE(
+      schedule.Add(Event(FaultKind::kChannelDegrade, 0.0, 50.0, 1, 3.0)).ok());
+  ASSERT_TRUE(
+      schedule.Add(Event(FaultKind::kReplicaCrash, 10.0, 20.0, 0)).ok());
+  ASSERT_TRUE(schedule.Add(Event(FaultKind::kDmaStall, 40.0, 90.0)).ok());
+
+  // Closed-open interval: failed at start, recovered at end.
+  EXPECT_TRUE(schedule.BankAvailable(3, 99.0));
+  EXPECT_FALSE(schedule.BankAvailable(3, 100.0));
+  EXPECT_FALSE(schedule.BankAvailable(3, 199.0));
+  EXPECT_TRUE(schedule.BankAvailable(3, 200.0));
+  EXPECT_TRUE(schedule.BankAvailable(4, 150.0));  // other banks untouched
+
+  // Overlapping degrades multiply; outside the window the bank is exact 1.
+  EXPECT_DOUBLE_EQ(schedule.BankLatencyMultiplier(1, 25.0), 6.0);
+  EXPECT_EQ(schedule.BankLatencyMultiplier(1, 60.0), 1.0);
+  EXPECT_EQ(schedule.BankLatencyMultiplier(0, 25.0), 1.0);
+
+  EXPECT_FALSE(schedule.ReplicaAlive(0, 15.0));
+  EXPECT_TRUE(schedule.ReplicaAlive(0, 25.0));
+  EXPECT_TRUE(schedule.ReplicaAlive(1, 15.0));
+
+  EXPECT_EQ(schedule.DmaStallEnd(50.0), 90.0);
+  EXPECT_EQ(schedule.DmaStallEnd(95.0), 95.0);  // healthy: returns now
+}
+
+TEST(FaultScheduleTest, FailChannelsIsPermanent) {
+  const FaultSchedule schedule = FaultSchedule::FailChannels({2, 7});
+  EXPECT_FALSE(schedule.BankAvailable(2, 0.0));
+  EXPECT_FALSE(schedule.BankAvailable(7, 1e15));
+  EXPECT_TRUE(schedule.BankAvailable(3, 1e15));
+}
+
+TEST(FaultScheduleTest, GenerationIsDeterministic) {
+  FaultScheduleConfig config;
+  config.seed = 99;
+  config.horizon_ns = Milliseconds(200);
+  config.num_banks = 8;
+  config.channel_fail_per_s = 50.0;
+  config.channel_degrade_per_s = 80.0;
+  config.num_replicas = 4;
+  config.replica_crash_per_s = 30.0;
+  config.dma_stall_per_s = 20.0;
+
+  const auto a = GenerateFaultSchedule(config).value();
+  const auto b = GenerateFaultSchedule(config).value();
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].start_ns, b.events()[i].start_ns);
+    EXPECT_EQ(a.events()[i].end_ns, b.events()[i].end_ns);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+    EXPECT_EQ(a.events()[i].magnitude, b.events()[i].magnitude);
+  }
+
+  FaultScheduleConfig other = config;
+  other.seed = 100;
+  const auto c = GenerateFaultSchedule(other).value();
+  bool identical = a.events().size() == c.events().size();
+  for (std::size_t i = 0; identical && i < a.events().size(); ++i) {
+    identical = a.events()[i].start_ns == c.events()[i].start_ns;
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(FaultScheduleTest, CategoriesDrawFromIndependentStreams) {
+  // Turning replica crashes on must not perturb the channel-fail stream:
+  // each (kind, target) pair has its own sub-seeded generator.
+  FaultScheduleConfig base;
+  base.seed = 7;
+  base.horizon_ns = Milliseconds(100);
+  base.num_banks = 4;
+  base.channel_fail_per_s = 100.0;
+
+  FaultScheduleConfig with_crashes = base;
+  with_crashes.num_replicas = 2;
+  with_crashes.replica_crash_per_s = 200.0;
+
+  auto fails_of = [](const FaultSchedule& s) {
+    std::vector<FaultEvent> fails;
+    for (const auto& e : s.events()) {
+      if (e.kind == FaultKind::kChannelFail) fails.push_back(e);
+    }
+    return fails;
+  };
+  const auto a = fails_of(GenerateFaultSchedule(base).value());
+  const auto b = fails_of(GenerateFaultSchedule(with_crashes).value());
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_ns, b[i].start_ns);
+    EXPECT_EQ(a[i].target, b[i].target);
+  }
+}
+
+TEST(FaultScheduleTest, EmptyConfigGeneratesEmptySchedule) {
+  FaultScheduleConfig config;
+  config.horizon_ns = Milliseconds(100);
+  config.num_banks = 32;
+  config.num_replicas = 4;  // all rates zero
+  EXPECT_TRUE(GenerateFaultSchedule(config).value().empty());
+}
+
+// ---------------------------------------------------------------- Injector
+
+TEST(FaultInjectorTest, RejectsAccessesToFailedBank) {
+  const auto spec = MemoryPlatformSpec::AlveoU280();
+  HybridMemorySystem memory(spec);
+  const FaultSchedule schedule = FaultSchedule::FailChannels({0});
+  FaultInjector injector(&schedule);
+  memory.set_fault_model(&injector);
+
+  const std::vector<BankAccess> batch = {{0, 64, 100}, {1, 64, 101}};
+  const auto result = memory.IssueBatch(batch, 0.0);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].bank, 0u);
+  EXPECT_EQ(result.rejected[0].tag, 100u);
+  ASSERT_EQ(result.completions.size(), 1u);
+  EXPECT_EQ(injector.stats().rejected_accesses, 1u);
+}
+
+TEST(FaultInjectorTest, DegradeMultipliesServiceTime) {
+  const auto spec = MemoryPlatformSpec::AlveoU280();
+  const std::vector<BankAccess> batch = {{0, 64, 0}};
+
+  HybridMemorySystem healthy(spec);
+  const Nanoseconds base = healthy.IssueBatch(batch, 0.0).latency_ns();
+
+  FaultSchedule schedule;
+  ASSERT_TRUE(schedule
+                  .Add(Event(FaultKind::kChannelDegrade, 0.0,
+                             kFaultNoRecovery, 0, 2.0))
+                  .ok());
+  HybridMemorySystem degraded(spec);
+  FaultInjector injector(&schedule);
+  degraded.set_fault_model(&injector);
+  EXPECT_DOUBLE_EQ(degraded.IssueBatch(batch, 0.0).latency_ns(), 2.0 * base);
+  EXPECT_EQ(injector.stats().degraded_accesses, 1u);
+}
+
+TEST(FaultInjectorTest, EmptyScheduleIsBitwiseIdentity) {
+  const auto spec = MemoryPlatformSpec::AlveoU280();
+  std::vector<BankAccess> batch;
+  for (std::uint32_t i = 0; i < 16; ++i) batch.push_back({i % 4, 128, i});
+
+  HybridMemorySystem plain(spec);
+  const auto baseline = plain.IssueBatch(batch, 5.0);
+
+  const FaultSchedule empty;
+  FaultInjector injector(&empty);
+  HybridMemorySystem injected(spec);
+  injected.set_fault_model(&injector);
+  const auto result = injected.IssueBatch(batch, 5.0);
+
+  EXPECT_TRUE(result.rejected.empty());
+  EXPECT_EQ(result.completion_ns, baseline.completion_ns);
+  ASSERT_EQ(result.completions.size(), baseline.completions.size());
+  for (std::size_t i = 0; i < result.completions.size(); ++i) {
+    EXPECT_EQ(result.completions[i].completion_ns,
+              baseline.completions[i].completion_ns);
+  }
+}
+
+// ---------------------------------------------------------------- Failover
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    model_ = DlrmRmc2Model(8, 32);
+    platform_ = MemoryPlatformSpec::AlveoU280();
+    ReplicationOptions options;
+    options.lookups_per_table = model_.lookups_per_table;
+    options.max_replicas = 2;
+    options.availability_replicas = 2;
+    plan_ = ReplicateAndPlace(model_.tables, platform_, options).value();
+  }
+
+  RecModelSpec model_;
+  MemoryPlatformSpec platform_;
+  ReplicationPlan plan_;
+};
+
+TEST_F(FailoverTest, HealthyRoutingMatchesPlanExactly) {
+  const FailoverRouter router(&plan_, nullptr);
+  const auto routed = router.Route(model_.lookups_per_table, 0.0);
+  const auto expected = plan_.ToBankAccesses(model_.lookups_per_table);
+  EXPECT_EQ(routed.shed_lookups, 0u);
+  EXPECT_TRUE(routed.fully_servable());
+  ASSERT_EQ(routed.accesses.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(routed.accesses[i].bank, expected[i].bank);
+    EXPECT_EQ(routed.accesses[i].bytes, expected[i].bytes);
+  }
+  EXPECT_DOUBLE_EQ(router.DegradedLookupLatency(model_.lookups_per_table,
+                                                platform_, 0.0),
+                   plan_.lookup_latency_ns);
+}
+
+TEST_F(FailoverTest, EveryLookupLandsOnLiveBankOrIsShed) {
+  // Kill every second HBM channel the plan uses; whatever survives must
+  // absorb the re-routed lookups, and the totals must balance exactly --
+  // a lookup is either routed to a live bank or counted as shed, never
+  // silently dropped.
+  std::vector<std::uint32_t> victims;
+  for (const auto& table : plan_.tables) {
+    if (table.banks[0] < platform_.hbm_channels && victims.size() % 2 == 0) {
+      victims.push_back(table.banks[0]);
+    }
+  }
+  ASSERT_FALSE(victims.empty());
+  const FaultSchedule schedule = FaultSchedule::FailChannels(victims);
+  const FailoverRouter router(&plan_, &schedule);
+  const auto routed = router.Route(model_.lookups_per_table, 0.0);
+
+  for (const auto& access : routed.accesses) {
+    EXPECT_TRUE(schedule.BankAvailable(access.bank, 0.0))
+        << "lookup routed to dead bank " << access.bank;
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(
+      plan_.tables.size() * model_.lookups_per_table);
+  EXPECT_EQ(routed.accesses.size() + routed.shed_lookups, total);
+  EXPECT_EQ(routed.shed_lookups, 0u);  // replication 2 survives these
+  // Surviving replicas absorb the dead channel's lookups in extra rounds:
+  // availability is preserved at the price of a longer lookup.
+  EXPECT_GT(router.DegradedLookupLatency(model_.lookups_per_table,
+                                         platform_, 0.0),
+            plan_.lookup_latency_ns);
+}
+
+TEST_F(FailoverTest, ZeroSurvivorsShedsAndReports) {
+  // Kill every replica of table 0: its lookups must be shed and reported.
+  std::vector<std::uint32_t> victims(plan_.tables[0].banks);
+  const FaultSchedule schedule = FaultSchedule::FailChannels(victims);
+  const FailoverRouter router(&plan_, &schedule);
+  const auto routed = router.Route(model_.lookups_per_table, 0.0);
+  EXPECT_FALSE(routed.fully_servable());
+  EXPECT_GE(routed.unservable_tables, 1u);
+  EXPECT_GE(routed.shed_lookups, model_.lookups_per_table);
+  EXPECT_EQ(router.LiveReplicas(0, 0.0), 0u);
+  const std::uint64_t total = static_cast<std::uint64_t>(
+      plan_.tables.size() * model_.lookups_per_table);
+  EXPECT_EQ(routed.accesses.size() + routed.shed_lookups, total);
+}
+
+TEST_F(FailoverTest, RecoveryRestoresHealthyRouting) {
+  FaultSchedule schedule;
+  ASSERT_TRUE(schedule
+                  .Add(Event(FaultKind::kChannelFail, 0.0, 1000.0,
+                             plan_.tables[0].banks[0]))
+                  .ok());
+  const FailoverRouter router(&plan_, &schedule);
+  const auto expected = plan_.ToBankAccesses(model_.lookups_per_table);
+
+  const auto during = router.Route(model_.lookups_per_table, 500.0);
+  bool any_moved = false;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    any_moved = any_moved || during.accesses[i].bank != expected[i].bank;
+  }
+  EXPECT_TRUE(any_moved);
+
+  const auto after = router.Route(model_.lookups_per_table, 1000.0);
+  ASSERT_EQ(after.accesses.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(after.accesses[i].bank, expected[i].bank);
+  }
+}
+
+// ---------------------------------------------------------------- Retry
+
+TEST(RetryPolicyTest, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ns = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ns = 35.0;
+  ASSERT_TRUE(policy.Validate().ok());
+  EXPECT_DOUBLE_EQ(policy.BackoffAfterAttempt(1), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffAfterAttempt(2), 20.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffAfterAttempt(3), 35.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffAfterAttempt(4), 35.0);
+}
+
+TEST(RetryPolicyTest, ValidateRejectsDegenerateValues) {
+  RetryPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy{};
+  policy.attempt_timeout_ns = 0.0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy{};
+  policy.backoff_multiplier = 0.5;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
+TEST(DmaRetryTest, HealthyLinkSucceedsFirstAttemptAtHealthyLatency) {
+  const PcieLinkSpec link;
+  const RetryPolicy policy;
+  const auto report =
+      SimulateDmaWithRetries(link, 4096, {0.0, 1000.0}, policy).value();
+  EXPECT_EQ(report.succeeded, 2u);
+  EXPECT_EQ(report.failed, 0u);
+  for (const auto& t : report.transfers) {
+    EXPECT_TRUE(t.success);
+    EXPECT_EQ(t.attempts, 1u);
+    EXPECT_DOUBLE_EQ(t.latency_ns(), report.healthy_latency_ns);
+  }
+  EXPECT_DOUBLE_EQ(report.added_latency_max_ns, 0.0);
+}
+
+TEST(DmaRetryTest, ShortStallClearsWithinTimeout) {
+  const PcieLinkSpec link;
+  RetryPolicy policy;
+  policy.attempt_timeout_ns = Microseconds(50);
+  FaultSchedule schedule;
+  ASSERT_TRUE(schedule
+                  .Add(Event(FaultKind::kDmaStall, 0.0, Microseconds(20)))
+                  .ok());
+  const auto stall = [&schedule](Nanoseconds now) {
+    return schedule.DmaStallEnd(now);
+  };
+  const auto report =
+      SimulateDmaWithRetries(link, 4096, {0.0}, policy, stall).value();
+  ASSERT_EQ(report.succeeded, 1u);
+  const auto& t = report.transfers[0];
+  EXPECT_EQ(t.attempts, 1u);
+  // The attempt waits for the stall to clear, then completes at the
+  // healthy latency from the stall's end.
+  EXPECT_DOUBLE_EQ(t.completion_ns,
+                   Microseconds(20) + report.healthy_latency_ns);
+}
+
+TEST(DmaRetryTest, LongStallTimesOutBacksOffAndRetries) {
+  const PcieLinkSpec link;
+  RetryPolicy policy;
+  policy.attempt_timeout_ns = Microseconds(10);
+  policy.initial_backoff_ns = Microseconds(5);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ns = Milliseconds(1);
+  // Stall covers attempt 1 ([0, 10us) times out) and the first backoff;
+  // attempt 2 at t=15us sees the stall clear at 20us, within its timeout.
+  FaultSchedule schedule;
+  ASSERT_TRUE(schedule
+                  .Add(Event(FaultKind::kDmaStall, 0.0, Microseconds(20)))
+                  .ok());
+  const auto stall = [&schedule](Nanoseconds now) {
+    return schedule.DmaStallEnd(now);
+  };
+  const auto report =
+      SimulateDmaWithRetries(link, 4096, {0.0}, policy, stall).value();
+  ASSERT_EQ(report.succeeded, 1u);
+  const auto& t = report.transfers[0];
+  EXPECT_EQ(t.attempts, 2u);
+  EXPECT_DOUBLE_EQ(t.backoff_total_ns, Microseconds(5));
+  EXPECT_DOUBLE_EQ(t.completion_ns,
+                   Microseconds(20) + report.healthy_latency_ns);
+}
+
+TEST(DmaRetryTest, GiveUpTimeIsExactlyBounded) {
+  const PcieLinkSpec link;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.attempt_timeout_ns = Microseconds(10);
+  policy.initial_backoff_ns = Microseconds(4);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ns = Microseconds(6);
+  // Permanent stall: every attempt times out.
+  const auto stall = [](Nanoseconds) { return kFaultNoRecovery; };
+  const auto report =
+      SimulateDmaWithRetries(link, 4096, {0.0}, policy, stall).value();
+  EXPECT_EQ(report.failed, 1u);
+  const auto& t = report.transfers[0];
+  EXPECT_FALSE(t.success);
+  EXPECT_EQ(t.attempts, 3u);
+  // 3 timeouts + backoffs of 4us and min(8,6)=6us between them.
+  const Nanoseconds expected =
+      3 * Microseconds(10) + Microseconds(4) + Microseconds(6);
+  EXPECT_DOUBLE_EQ(t.latency_ns(), expected);
+  EXPECT_DOUBLE_EQ(policy.WorstCaseGiveUp(), expected);
+}
+
+TEST(DmaRetryTest, RejectsInvalidInputs) {
+  const PcieLinkSpec link;
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  EXPECT_FALSE(SimulateDmaWithRetries(link, 64, {0.0}, bad).ok());
+  EXPECT_FALSE(
+      SimulateDmaWithRetries(link, 64, {10.0, 5.0}, RetryPolicy{}).ok());
+  EXPECT_FALSE(SimulateDmaWithRetries(link, 64, {}, RetryPolicy{}).ok());
+}
+
+// ------------------------------------------------------- Degraded serving
+
+TEST(DegradedServingTest, ZeroFaultIdentity) {
+  const auto arrivals = PoissonArrivals(200'000.0, 2'000, 17);
+  DegradedServingConfig config;
+  config.pipeline_replicas = 2;
+  config.item_latency_ns = Microseconds(5);
+  config.initiation_interval_ns = 300.0;
+  const FaultSchedule empty;
+  const auto report =
+      SimulateDegradedServing(arrivals, config, empty).value();
+  const auto baseline =
+      SimulateReplicatedPipelines(arrivals, 2, config.item_latency_ns,
+                                  config.initiation_interval_ns,
+                                  config.sla_ns)
+          .value();
+  EXPECT_EQ(report.availability, 1.0);
+  EXPECT_EQ(report.shed_unservable, 0u);
+  EXPECT_EQ(report.shed_admission, 0u);
+  EXPECT_EQ(report.serving.p50, baseline.p50);
+  EXPECT_EQ(report.serving.p95, baseline.p95);
+  EXPECT_EQ(report.serving.p99, baseline.p99);
+  EXPECT_EQ(report.serving.max, baseline.max);
+  EXPECT_EQ(report.serving.mean, baseline.mean);
+  EXPECT_EQ(report.serving.achieved_qps, baseline.achieved_qps);
+}
+
+TEST(DegradedServingTest, AllReplicasDownShedsEverything) {
+  const auto arrivals = PoissonArrivals(100'000.0, 500, 3);
+  DegradedServingConfig config;
+  config.pipeline_replicas = 1;
+  config.item_latency_ns = Microseconds(5);
+  config.initiation_interval_ns = 300.0;
+  FaultSchedule schedule;
+  ASSERT_TRUE(schedule
+                  .Add(Event(FaultKind::kReplicaCrash, 0.0,
+                             kFaultNoRecovery, 0))
+                  .ok());
+  const auto report =
+      SimulateDegradedServing(arrivals, config, schedule).value();
+  EXPECT_EQ(report.served, 0u);
+  EXPECT_EQ(report.shed_unservable, report.offered);
+  EXPECT_EQ(report.availability, 0.0);
+  EXPECT_EQ(report.shed_rate, 1.0);
+}
+
+TEST(DegradedServingTest, CrashedReplicaShrinksThePoolNotTheService) {
+  // One of two replicas down for the whole run: everything is still
+  // served, but with half the capacity the queues -- and the tail -- grow.
+  const auto arrivals = PoissonArrivals(400'000.0, 4'000, 11);
+  DegradedServingConfig config;
+  config.pipeline_replicas = 2;
+  config.item_latency_ns = Microseconds(5);
+  config.initiation_interval_ns = 400.0;
+  FaultSchedule schedule;
+  ASSERT_TRUE(schedule
+                  .Add(Event(FaultKind::kReplicaCrash, 0.0,
+                             kFaultNoRecovery, 1))
+                  .ok());
+  const auto degraded =
+      SimulateDegradedServing(arrivals, config, schedule).value();
+  const FaultSchedule empty;
+  const auto healthy =
+      SimulateDegradedServing(arrivals, config, empty).value();
+  EXPECT_EQ(degraded.availability, 1.0);
+  EXPECT_GT(degraded.serving.p99, healthy.serving.p99);
+}
+
+TEST(DegradedServingTest, AdmissionControlShedsInsteadOfQueueingForever) {
+  // Offered load far above a single degraded pipeline's capacity with a
+  // tight admission bound: the simulator must shed, not build an unbounded
+  // queue, and the served tail must respect the bound.
+  const auto arrivals = PoissonArrivals(2'000'000.0, 4'000, 5);
+  DegradedServingConfig config;
+  config.pipeline_replicas = 1;
+  config.item_latency_ns = Microseconds(5);
+  config.initiation_interval_ns = 2'000.0;  // 500 kQPS capacity
+  config.admission_queue_ns = Microseconds(50);
+  const FaultSchedule empty;
+  const auto report =
+      SimulateDegradedServing(arrivals, config, empty).value();
+  EXPECT_GT(report.shed_admission, 0u);
+  EXPECT_LT(report.availability, 1.0);
+  EXPECT_LE(report.serving.max,
+            config.admission_queue_ns + config.item_latency_ns + 1.0);
+}
+
+TEST(DegradedServingTest, RejectsDegenerateInputs) {
+  const FaultSchedule empty;
+  DegradedServingConfig config;
+  config.item_latency_ns = Microseconds(5);
+  config.initiation_interval_ns = 300.0;
+  EXPECT_FALSE(SimulateDegradedServing({}, config, empty).ok());
+  EXPECT_FALSE(
+      SimulateDegradedServing({10.0, 5.0}, config, empty).ok());
+  DegradedServingConfig zero_replicas = config;
+  zero_replicas.pipeline_replicas = 0;
+  EXPECT_FALSE(
+      SimulateDegradedServing({0.0}, zero_replicas, empty).ok());
+  DegradedServingConfig bad_latency = config;
+  bad_latency.item_latency_ns = 0.0;
+  EXPECT_FALSE(SimulateDegradedServing({0.0}, bad_latency, empty).ok());
+}
+
+}  // namespace
+}  // namespace microrec

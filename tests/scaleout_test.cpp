@@ -12,7 +12,7 @@ TEST(ReplicatedPipelinesTest, OneReplicaMatchesSinglePipeline) {
   const auto single = SimulatePipelinedServer(arrivals, 20'000.0, 3'300.0,
                                               Milliseconds(30));
   const auto replicated = SimulateReplicatedPipelines(
-      arrivals, 1, 20'000.0, 3'300.0, Milliseconds(30));
+      arrivals, 1, 20'000.0, 3'300.0, Milliseconds(30)).value();
   EXPECT_DOUBLE_EQ(replicated.p99, single.p99);
   EXPECT_DOUBLE_EQ(replicated.max, single.max);
 }
@@ -23,9 +23,9 @@ TEST(ReplicatedPipelinesTest, ReplicasAbsorbOverload) {
   const double capacity = kNanosPerSecond / 3'300.0;  // ~3e5 items/s
   const auto arrivals = PoissonArrivals(1.8 * capacity, 60'000, 5);
   const auto one = SimulateReplicatedPipelines(arrivals, 1, 20'000.0, 3'300.0,
-                                               Milliseconds(30));
+                                               Milliseconds(30)).value();
   const auto two = SimulateReplicatedPipelines(arrivals, 2, 20'000.0, 3'300.0,
-                                               Milliseconds(30));
+                                               Milliseconds(30)).value();
   EXPECT_GT(one.p99, Milliseconds(1));
   EXPECT_LT(two.p99, Microseconds(200));
   EXPECT_GT(one.sla_violation_rate, 0.5);
@@ -37,7 +37,7 @@ TEST(ReplicatedPipelinesTest, LatencyNonIncreasingInReplicas) {
   Nanoseconds prev = 1e18;
   for (std::uint32_t replicas : {1u, 2u, 4u, 8u}) {
     const auto report = SimulateReplicatedPipelines(
-        arrivals, replicas, 20'000.0, 3'300.0, Milliseconds(30));
+        arrivals, replicas, 20'000.0, 3'300.0, Milliseconds(30)).value();
     EXPECT_LE(report.p99, prev + 1.0) << replicas;
     prev = report.p99;
   }
@@ -46,13 +46,14 @@ TEST(ReplicatedPipelinesTest, LatencyNonIncreasingInReplicas) {
 TEST(ReplicatedPipelinesTest, UnloadedLatencyIsItemLatency) {
   std::vector<Nanoseconds> arrivals = {0.0, 1e9, 2e9};
   const auto report = SimulateReplicatedPipelines(arrivals, 4, 20'000.0,
-                                                  3'300.0, Milliseconds(30));
+                                                  3'300.0, Milliseconds(30))
+                          .value();
   EXPECT_DOUBLE_EQ(report.max, 20'000.0);
 }
 
 TEST(ProvisionFleetTest, ExactMath) {
   DeviceClass fpga{3.0e5, 1.65};
-  const FleetPlan plan = ProvisionFleet(1.0e6, fpga, 1.25);
+  const FleetPlan plan = ProvisionFleet(1.0e6, fpga, 1.25).value();
   // 1e6 * 1.25 / 3e5 = 4.17 -> 5 devices.
   EXPECT_EQ(plan.devices, 5u);
   EXPECT_DOUBLE_EQ(plan.dollars_per_hour, 5 * 1.65);
@@ -62,7 +63,7 @@ TEST(ProvisionFleetTest, ExactMath) {
 
 TEST(ProvisionFleetTest, AtLeastOneDevice) {
   DeviceClass big{1.0e9, 2.0};
-  const FleetPlan plan = ProvisionFleet(10.0, big);
+  const FleetPlan plan = ProvisionFleet(10.0, big).value();
   EXPECT_EQ(plan.devices, 1u);
 }
 
@@ -71,11 +72,49 @@ TEST(ProvisionFleetTest, FpgaFleetCheaperThanCpuAtPaperNumbers) {
   // model takes ~4x fewer dollars on FPGAs.
   DeviceClass cpu{7.27e4, 1.82};   // CPU B=2048 throughput, $/h
   DeviceClass fpga{2.84e5, 1.65};  // our fixed16 simulated throughput
-  const auto cpu_plan = ProvisionFleet(1.0e6, cpu);
-  const auto fpga_plan = ProvisionFleet(1.0e6, fpga);
+  const auto cpu_plan = ProvisionFleet(1.0e6, cpu).value();
+  const auto fpga_plan = ProvisionFleet(1.0e6, fpga).value();
   EXPECT_LT(fpga_plan.dollars_per_hour, cpu_plan.dollars_per_hour / 3.0);
   EXPECT_GE(cpu_plan.capacity_items_per_s, 1.0e6);
   EXPECT_GE(fpga_plan.capacity_items_per_s, 1.0e6);
+}
+
+// ---- Bug-hardening: recoverable input errors return Status, they do not
+// divide by zero or silently mis-report (ISSUE 2 satellite) ----
+
+TEST(ScaleoutHardeningTest, RejectsDegenerateInputs) {
+  const auto arrivals = PoissonArrivals(10'000.0, 100, 3);
+  EXPECT_FALSE(SimulateReplicatedPipelines({}, 2, 20'000.0, 3'300.0,
+                                           Milliseconds(30))
+                   .ok());
+  EXPECT_FALSE(SimulateReplicatedPipelines(arrivals, 0, 20'000.0, 3'300.0,
+                                           Milliseconds(30))
+                   .ok());
+  EXPECT_FALSE(SimulateReplicatedPipelines(arrivals, 2, 0.0, 3'300.0,
+                                           Milliseconds(30))
+                   .ok());
+}
+
+TEST(ScaleoutHardeningTest, RejectsNonMonotonicArrivals) {
+  std::vector<Nanoseconds> backwards = {0.0, 500.0, 400.0, 900.0};
+  const auto result = SimulateReplicatedPipelines(backwards, 2, 20'000.0,
+                                                  3'300.0, Milliseconds(30));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nondecreasing"),
+            std::string::npos);
+}
+
+TEST(ProvisionFleetTest, RejectsZeroThroughputDevice) {
+  const auto result = ProvisionFleet(1.0e6, DeviceClass{0.0, 1.0});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("throughput"), std::string::npos);
+}
+
+TEST(ProvisionFleetTest, RejectsBadTargetAndHeadroom) {
+  DeviceClass fpga{3.0e5, 1.65};
+  EXPECT_FALSE(ProvisionFleet(0.0, fpga).ok());
+  EXPECT_FALSE(ProvisionFleet(-5.0, fpga).ok());
+  EXPECT_FALSE(ProvisionFleet(1.0e6, fpga, 0.5).ok());
 }
 
 }  // namespace

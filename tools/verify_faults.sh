@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Fault-injection smoke of the verify path: builds the main tree, generates
+# a model, runs `microrec fault-sweep`, and asserts the JSON artifact is
+# non-empty and carries sweep records plus the zero-failure baseline.
+# Also runs bench_ablation_faults, which exits non-zero if the zero-fault
+# run is not field-for-field identical to the fault-free simulator.
+# Usage: tools/verify_faults.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-"$repo/build"}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target microrec bench_ablation_faults
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$build/tools/microrec" modelgen small --out "$workdir/model.txt" >/dev/null
+"$build/tools/microrec" fault-sweep "$workdir/model.txt" \
+  --queries 2000 --max-failed 3 --json "$workdir/faults.json" >/dev/null
+
+test -s "$workdir/faults.json" || {
+  echo "FAIL: fault-sweep wrote an empty JSON artifact" >&2
+  exit 1
+}
+grep -q '"command": "fault-sweep"' "$workdir/faults.json"
+grep -q '"records"' "$workdir/faults.json"
+grep -q '"failed_channels": 0' "$workdir/faults.json"
+
+(cd "$workdir" && "$build/bench/bench_ablation_faults" >/dev/null)
+grep -q '"zero_fault_identity": true' "$workdir/BENCH_ablation_faults.json"
+
+echo "faults verify OK (sweep JSON + zero-fault identity)"

@@ -2,16 +2,18 @@
 # Sanitizer leg of the tier-1 verify path: configures a dedicated build tree
 # with MICROREC_SANITIZE=address,undefined and runs the tests most exposed to
 # memory/concurrency bugs -- the lock-free versioned store, the update
-# subsystem around it, the hot cache, and the embedding/Cartesian layer it
-# feeds. Usage:
+# subsystem around it, the hot cache, the embedding/Cartesian layer it
+# feeds, and the fault-injection / failover / degraded-serving machinery
+# (rejected-access bookkeeping, retry state machine, schedule generation).
+# Usage:
 #   tools/verify_sanitize.sh [build-dir] [ctest -R regex]
-# Defaults: build-asan, the update/cache/embedding test binaries. Pass '.' as
-# the regex to run the full suite under sanitizers (slower).
+# The regex matches ctest's discovered names (Suite.Test, e.g. "HotCache").
+# Pass '.' as the regex to run the full suite under sanitizers (slower).
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-"$repo/build-asan"}"
-filter="${2:-"update_test|hot_cache_test|embedding_test|hybrid_test"}"
+filter="${2:-"Update|VersionedStore|HotCache|Embedding|Combined|Hybrid|FaultSchedule|FaultInjector|Failover|RetryPolicy|DmaRetry|DegradedServing|FailureDeath|Scaleout|ProvisionFleet"}"
 
 cmake -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -22,5 +24,6 @@ cmake --build "$build" -j "$(nproc)"
 
 # halt_on_error makes UBSan findings fail the run instead of just logging.
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-ctest --test-dir "$build" --output-on-failure -R "$filter"
+# --no-tests=error guards against a filter that silently matches nothing.
+ctest --test-dir "$build" --output-on-failure --no-tests=error -R "$filter"
 echo "sanitizer verify OK ($filter)"
