@@ -26,41 +26,6 @@ using namespace microrec;
 
 namespace {
 
-struct Record {
-  std::uint32_t replication;
-  std::uint64_t failed_channels;
-  double availability;
-  double shed_rate;
-  Nanoseconds p50_ns;
-  Nanoseconds p99_ns;
-};
-
-void WriteJson(const char* path, const std::vector<Record>& records,
-               bool identity_ok) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::printf("warning: could not open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f,
-               "{\n  \"bench\": \"ablation_faults\",\n"
-               "  \"zero_fault_identity\": %s,\n  \"records\": [\n",
-               identity_ok ? "true" : "false");
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    std::fprintf(f,
-                 "    {\"replication\": %u, \"failed_channels\": %llu, "
-                 "\"availability\": %.6f, \"shed_rate\": %.6f, "
-                 "\"p50_ns\": %.3f, \"p99_ns\": %.3f}%s\n",
-                 r.replication, (unsigned long long)r.failed_channels,
-                 r.availability, r.shed_rate, r.p50_ns, r.p99_ns,
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s (%zu records)\n", path, records.size());
-}
-
 /// Distinct HBM banks serving the plan, round-robin by replica index
 /// (every table's first replica before any table's second) so k failures
 /// spread across k tables the way random channel failures do.
@@ -106,7 +71,7 @@ int main() {
               (unsigned long long)kQueries);
 
   bool identity_ok = true;
-  std::vector<Record> records;
+  bench::JsonReport json("ablation_faults");
   TablePrinter table({"Replication", "Failed ch", "Availability",
                       "Shed rate", "p50 (us)", "p99 (us)"});
   for (std::uint32_t replication : {1u, 2u, 4u}) {
@@ -169,13 +134,17 @@ int main() {
                     TablePrinter::Num(100.0 * report.shed_rate, 2) + "%",
                     TablePrinter::Num(report.serving.p50 / 1000.0, 2),
                     TablePrinter::Num(report.serving.p99 / 1000.0, 2)});
-      records.push_back({replication, k, report.availability,
-                         report.shed_rate, report.serving.p50,
-                         report.serving.p99});
+      json.AddRecord({{"replication", replication},
+                      {"failed_channels", k},
+                      {"availability", report.availability},
+                      {"shed_rate", report.shed_rate},
+                      {"p50_ns", report.serving.p50},
+                      {"p99_ns", report.serving.p99}});
     }
   }
   table.Print();
-  WriteJson("BENCH_ablation_faults.json", records, identity_ok);
+  json.Meta("zero_fault_identity", identity_ok);
+  json.WriteFile();
   bench::PrintNote(
       "replication 1 loses whole tables with their channel (availability "
       "collapses); replication 2 and 4 re-route the dead channel's lookups "

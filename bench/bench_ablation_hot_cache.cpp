@@ -37,6 +37,10 @@ int main() {
 
   TablePrinter table({"Zipf theta", "Cache 256 KiB", "Cache 1 MiB",
                       "Cache 4 MiB", "Cache 16 MiB"});
+  bench::JsonReport json("ablation_hot_cache");
+  json.Meta("table", giant->name);
+  json.Meta("dram_access_ns", dram);
+  json.Meta("onchip_access_ns", onchip);
   const Bytes capacities[] = {256_KiB, 1_MiB, 4_MiB, 16_MiB};
   constexpr int kAccesses = 200'000;
 
@@ -53,11 +57,16 @@ int main() {
       const double hit = cache.stats().hit_rate();
       hit_row.push_back(TablePrinter::Num(100.0 * hit, 1) + "%");
       lat_row.push_back(TablePrinter::Num(hit * onchip + (1 - hit) * dram, 1));
+      json.AddRecord({{"theta", theta},
+                      {"capacity_bytes", static_cast<std::uint64_t>(capacity)},
+                      {"hit_rate", hit},
+                      {"effective_ns", hit * onchip + (1 - hit) * dram}});
     }
     table.AddRow(hit_row);
     table.AddRow(lat_row);
   }
   table.Print();
+  json.WriteFile();
   bench::PrintNote(
       "with production-like skew (theta ~0.9-1.1) a few MiB of URAM would "
       "absorb most lookups of even the largest table -- a promising "

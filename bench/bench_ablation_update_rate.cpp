@@ -14,38 +14,6 @@
 
 using namespace microrec;
 
-namespace {
-
-struct Record {
-  double qps;
-  double update_qps;
-  const char* policy;
-  Nanoseconds p99_ns;
-  Nanoseconds staleness_p99_ns;
-};
-
-void WriteJson(const char* path, const std::vector<Record>& records) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::printf("warning: could not open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n  \"bench\": \"ablation_update_rate\",\n  \"records\": [\n");
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const Record& r = records[i];
-    std::fprintf(f,
-                 "    {\"qps\": %.1f, \"update_qps\": %.1f, \"policy\": "
-                 "\"%s\", \"p99_ns\": %.3f, \"staleness_p99_ns\": %.3f}%s\n",
-                 r.qps, r.update_qps, r.policy, r.p99_ns, r.staleness_p99_ns,
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s (%zu records)\n", path, records.size());
-}
-
-}  // namespace
-
 int main() {
   bench::PrintHeader(
       "Ablation: serving latency and staleness vs online update rate",
@@ -67,7 +35,7 @@ int main() {
 
   TablePrinter table({"Update rows/s", "fair p99 (us)", "fair stale p99 (us)",
                       "yield p99 (us)", "yield stale p99 (us)"});
-  std::vector<Record> records;
+  bench::JsonReport json("ablation_update_rate");
   const double rates[] = {0.0, 1e5, 5e5, 1e6, 5e6, 2e7};
   for (double rate : rates) {
     std::vector<std::string> row = {TablePrinter::Num(rate, 0)};
@@ -83,13 +51,16 @@ int main() {
           model, engine.plan(), options.platform, arrivals, config);
       row.push_back(TablePrinter::Num(report.serving.p99 / 1000.0, 2));
       row.push_back(TablePrinter::Num(report.staleness_p99 / 1000.0, 2));
-      records.push_back({kQueryQps, rate, WritePolicyName(policy),
-                         report.serving.p99, report.staleness_p99});
+      json.AddRecord({{"qps", kQueryQps},
+                      {"update_qps", rate},
+                      {"policy", WritePolicyName(policy)},
+                      {"p99_ns", report.serving.p99},
+                      {"staleness_p99_ns", report.staleness_p99}});
     }
     table.AddRow(row);
   }
   table.Print();
-  WriteJson("BENCH_ablation_update_rate.json", records);
+  json.WriteFile();
   bench::PrintNote(
       "fair interleave keeps the snapshot fresh but lets update writes sit "
       "in front of lookups; updates-yield defers writes behind the query "

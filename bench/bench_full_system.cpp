@@ -23,6 +23,7 @@ int main() {
   TablePrinter table({"Build", "Analytic items/s", "Simulated items/s",
                       "Delta", "Sim p99 latency", "Sim lookup max",
                       "Peak bank util"});
+  bench::JsonReport json("full_system");
   for (bool large : {false, true}) {
     const RecModelSpec model =
         large ? LargeProductionModel() : SmallProductionModel();
@@ -48,9 +49,19 @@ int main() {
                     FormatNanos(paced.lookup_latency_max),
                     TablePrinter::Num(100.0 * saturated.peak_bank_utilization,
                                       1) + "%"});
+      json.AddRecord(
+          {{"build",
+            std::string(large ? "large-" : "small-") + PrecisionName(p)},
+           {"analytic_items_per_s", engine.Throughput()},
+           {"simulated_items_per_s", saturated.throughput_items_per_s},
+           {"delta_pct", delta},
+           {"p99_latency_ns", paced.item_latency_p99},
+           {"lookup_max_ns", paced.lookup_latency_max},
+           {"peak_bank_utilization", saturated.peak_bank_utilization}});
     }
   }
   table.Print();
+  json.WriteFile();
 
   // Refresh sensitivity: the same full-system run with HBM2-like refresh
   // enabled on every DRAM channel.

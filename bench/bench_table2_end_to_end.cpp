@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
         "paper's 16 vCPU) -- compare shapes via the paper-baseline rows");
   }
 
+  bench::JsonReport json("table2_end_to_end");
   for (bool large : {false, true}) {
     const RecModelSpec model =
         large ? LargeProductionModel() : SmallProductionModel();
@@ -60,6 +61,22 @@ int main(int argc, char** argv) {
     const FpgaPoint fp16 = BuildFpga(model, Precision::kFixed16);
     const FpgaPoint fp32 = BuildFpga(model, Precision::kFixed32);
     const std::uint64_t ops = model.mlp.OpsPerItem();
+
+    for (std::uint32_t b : PaperBatchSizes()) {
+      json.AddRecord(
+          {{"model", model.name},
+           {"config", "cpu_paper_b" + std::to_string(b)},
+           {"latency_ns", PaperEndToEndLatency(large, b).value()},
+           {"items_per_s", PaperEndToEndThroughput(large, b).value()}});
+    }
+    for (Precision p : {Precision::kFixed16, Precision::kFixed32}) {
+      const FpgaPoint& point = p == Precision::kFixed16 ? fp16 : fp32;
+      json.AddRecord({{"model", model.name},
+                      {"config", std::string("fpga_") + PrecisionName(p)},
+                      {"latency_ns", point.item_latency},
+                      {"items_per_s", point.throughput},
+                      {"gops", point.gops}});
+    }
 
     TablePrinter table({"", "B=1", "B=64", "B=256", "B=512", "B=1024",
                         "B=2048", "FPGA fx16", "FPGA fx32"});
@@ -133,5 +150,6 @@ int main(int argc, char** argv) {
 
     table.Print();
   }
+  json.WriteFile();
   return 0;
 }

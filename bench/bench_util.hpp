@@ -6,10 +6,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/units.hpp"
+#include "obs/json_writer.hpp"
 
 namespace microrec::bench {
 
@@ -47,5 +51,103 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref) 
 inline void PrintNote(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
 }
+
+/// One typed cell of a bench JSON record.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kUint, kBool };
+  Kind kind = Kind::kNumber;
+  std::string str;
+  double num = 0.0;
+  std::uint64_t uint = 0;
+  bool boolean = false;
+
+  JsonValue(const char* v) : kind(Kind::kString), str(v) {}  // NOLINT
+  JsonValue(std::string v) : kind(Kind::kString), str(std::move(v)) {}  // NOLINT
+  JsonValue(double v) : kind(Kind::kNumber), num(v) {}       // NOLINT
+  JsonValue(std::uint64_t v) : kind(Kind::kUint), uint(v) {}  // NOLINT
+  JsonValue(std::uint32_t v) : kind(Kind::kUint), uint(v) {}  // NOLINT
+  JsonValue(int v) : kind(Kind::kNumber), num(v) {}          // NOLINT
+  JsonValue(bool v) : kind(Kind::kBool), boolean(v) {}       // NOLINT
+
+  void WriteTo(obs::JsonWriter& w) const {
+    switch (kind) {
+      case Kind::kString:
+        w.Value(std::string_view(str));
+        break;
+      case Kind::kNumber:
+        w.Value(num);
+        break;
+      case Kind::kUint:
+        w.Value(uint);
+        break;
+      case Kind::kBool:
+        w.Value(boolean);
+        break;
+    }
+  }
+};
+
+using JsonFields = std::vector<std::pair<std::string, JsonValue>>;
+
+/// Machine-readable companion to a bench's printed table, shared by every
+/// bench binary (one schema: {"bench": ..., metas..., "records": [...]}).
+/// Replaces the per-bench hand-rolled fprintf writers.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Adds a top-level scalar (e.g. "qps", "zero_fault_identity").
+  void Meta(std::string key, JsonValue value) {
+    meta_.emplace_back(std::move(key), std::move(value));
+  }
+
+  void AddRecord(JsonFields fields) { records_.push_back(std::move(fields)); }
+  std::size_t num_records() const { return records_.size(); }
+
+  /// Writes BENCH_<name>.json (or an explicit path); a failed open warns
+  /// and returns false rather than aborting a bench run that already
+  /// printed its table.
+  bool WriteFile(const std::string& path = "") const {
+    const std::string out_path =
+        path.empty() ? "BENCH_" + bench_name_ + ".json" : path;
+    std::ofstream out(out_path);
+    if (!out) {
+      std::printf("warning: could not open %s for writing\n",
+                  out_path.c_str());
+      return false;
+    }
+    {
+      obs::JsonWriter w(out, /*indent=*/2);
+      w.BeginObject();
+      w.KV("bench", bench_name_);
+      for (const auto& [key, value] : meta_) {
+        w.Key(key);
+        value.WriteTo(w);
+      }
+      w.Key("records");
+      w.BeginArray();
+      for (const auto& record : records_) {
+        w.BeginObject();
+        for (const auto& [key, value] : record) {
+          w.Key(key);
+          value.WriteTo(w);
+        }
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    out << "\n";
+    std::printf("wrote %s (%zu records)\n", out_path.c_str(),
+                records_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  JsonFields meta_;
+  std::vector<JsonFields> records_;
+};
 
 }  // namespace microrec::bench

@@ -4,9 +4,12 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/table_printer.hpp"
 #include "core/microrec.hpp"
 #include "core/serialization.hpp"
 #include "core/system_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 #include "faults/degraded_serving.hpp"
 #include "faults/failover.hpp"
 #include "faults/fault_schedule.hpp"
@@ -142,7 +145,7 @@ Status CmdPlan(const ArgList& args, std::ostream& out) {
   return WriteFileOrStream(args, SerializePlan(*plan), out);
 }
 
-Status CmdTrace(const ArgList& args, std::ostream& out) {
+Status CmdRecord(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(
       args.CheckAllowed({"out", "queries", "qps", "seed", "zipf"}));
   auto model = LoadModelArg(args);
@@ -243,6 +246,98 @@ Status CmdSimulate(const ArgList& args, std::ostream& out) {
       << FormatNanos(report.lookup_latency_max) << ", peak bank util "
       << 100.0 * report.peak_bank_utilization << "%\n";
   return Status::Ok();
+}
+
+namespace {
+
+Status WriteNamedFile(const std::string& path, const std::string& content,
+                      std::ostream& out) {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open output file " + path);
+  }
+  file << content;
+  out << "wrote " << content.size() << " bytes to " << path << "\n";
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CmdTrace(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"queries", "qps", "seed", "sample", "trace-out", "metrics-out",
+       "prom-out"}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  auto queries = args.GetUint("queries", 2000);
+  if (!queries.ok()) return queries.status();
+  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
+  auto qps = args.GetUint("qps", 150'000);
+  if (!qps.ok()) return qps.status();
+  if (*qps == 0) return Status::InvalidArgument("--qps must be >= 1");
+  auto seed = args.GetUint("seed", 42);
+  if (!seed.ok()) return seed.status();
+  auto sample = args.GetUint("sample", 1);
+  if (!sample.ok()) return sample.status();
+  if (*sample == 0) return Status::InvalidArgument("--sample must be >= 1");
+
+  EngineOptions options;
+  options.materialize = false;
+  auto engine = MicroRecEngine::Build(*model, options);
+  if (!engine.ok()) return engine.status();
+
+  obs::MetricsRegistry registry;
+  obs::TracerOptions tracer_opts;
+  tracer_opts.sample_every = static_cast<std::uint32_t>(*sample);
+  tracer_opts.process_name = "microrec " + model->name;
+  obs::SpanTracer tracer(tracer_opts);
+
+  SystemSimulator sim(*engine);
+  sim.set_telemetry(obs::Telemetry{&registry, &tracer});
+  const auto arrivals =
+      PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+  const SystemSimReport report = sim.RunArrivals(arrivals);
+
+  out << "traced " << report.items << " queries (1-in-" << *sample
+      << " sampled into " << tracer.num_events() << " trace events)\n";
+  out << "throughput " << report.throughput_items_per_s
+      << " items/s, item p50 " << FormatNanos(report.item_latency_p50)
+      << ", p99 " << FormatNanos(report.item_latency_p99) << "\n\n";
+
+  // Where did the p99 go: per-stage decomposition of the p99-ranked item.
+  // The p99-share column sums exactly to that item's end-to-end latency.
+  out << "p99 latency attribution (p99 item: "
+      << FormatNanos(report.p99_item_latency_ns) << ")\n";
+  TablePrinter table({"stage", "mean (ns)", "p99 share (ns)", "busy (ns)",
+                      "starved (ns)", "blocked (ns)", "occupancy"});
+  double mean_sum = 0.0;
+  double p99_sum = 0.0;
+  for (const StageAttribution& attr : report.attribution) {
+    mean_sum += attr.mean_ns;
+    p99_sum += attr.p99_item_ns;
+    table.AddRow({attr.name, TablePrinter::Num(attr.mean_ns, 1),
+                  TablePrinter::Num(attr.p99_item_ns, 1),
+                  TablePrinter::Num(attr.busy_ns, 0),
+                  TablePrinter::Num(attr.starved_ns, 0),
+                  TablePrinter::Num(attr.blocked_ns, 0),
+                  TablePrinter::Num(100.0 * attr.occupancy, 1) + "%"});
+  }
+  table.AddRow({"TOTAL", TablePrinter::Num(mean_sum, 1),
+                TablePrinter::Num(p99_sum, 1), "", "", "", ""});
+  out << table.ToString();
+
+  const std::string trace_path =
+      args.GetOption("trace-out").value_or("trace.json");
+  const std::string metrics_path =
+      args.GetOption("metrics-out").value_or("metrics.json");
+  const std::string prom_path =
+      args.GetOption("prom-out").value_or("metrics.prom");
+  MICROREC_RETURN_IF_ERROR(
+      WriteNamedFile(trace_path, tracer.ToChromeJson(), out));
+  MICROREC_RETURN_IF_ERROR(
+      WriteNamedFile(metrics_path, registry.ToJson(), out));
+  return WriteNamedFile(prom_path, registry.ToPrometheus(), out);
 }
 
 Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
@@ -561,12 +656,16 @@ std::string UsageText() {
       "      summarize a model spec\n"
       "  plan <model-file> [--no-cartesian] [--no-onchip] [--out F]\n"
       "      run the heuristic table-combination + allocation search\n"
-      "  trace <model-file> [--queries N] [--qps R] [--seed S]\n"
-      "        [--zipf THETA] [--out F]\n"
+      "  record <model-file> [--queries N] [--qps R] [--seed S]\n"
+      "         [--zipf THETA] [--out F]\n"
       "      record a Poisson query trace for replay\n"
       "  simulate <model-file> [--plan F] [--trace F] [--precision 16|32]\n"
       "           [--items N]\n"
       "      analytic + full-system timing of the accelerator\n"
+      "  trace <model-file> [--queries N] [--qps R] [--seed S] [--sample N]\n"
+      "        [--trace-out F] [--metrics-out F] [--prom-out F]\n"
+      "      full-system run with telemetry: Perfetto-loadable trace.json,\n"
+      "      metrics.json / metrics.prom, per-stage p99 attribution table\n"
       "  update-sweep <model-file> [--queries N] [--qps R] [--seed S]\n"
       "               [--points K] [--update-qps-max U] [--policy fair|yield]\n"
       "               [--json F]\n"
@@ -593,8 +692,9 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "modelgen") return CmdModelGen(*args, out);
   if (command == "inspect") return CmdInspect(*args, out);
   if (command == "plan") return CmdPlan(*args, out);
-  if (command == "trace") return CmdTrace(*args, out);
+  if (command == "record") return CmdRecord(*args, out);
   if (command == "simulate") return CmdSimulate(*args, out);
+  if (command == "trace") return CmdTrace(*args, out);
   if (command == "update-sweep") return CmdUpdateSweep(*args, out);
   if (command == "fault-sweep") return CmdFaultSweep(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);

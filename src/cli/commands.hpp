@@ -5,10 +5,13 @@
 //   microrec modelgen <small|large|dlrm> [--tables N] [--veclen L] [--out F]
 //   microrec inspect  <model-file>
 //   microrec plan     <model-file> [--no-cartesian] [--no-onchip] [--out F]
-//   microrec trace    <model-file> [--queries N] [--qps R] [--seed S]
+//   microrec record   <model-file> [--queries N] [--qps R] [--seed S]
 //                     [--zipf THETA] [--out F]
 //   microrec simulate <model-file> [--plan F] [--trace F]
 //                     [--precision 16|32] [--items N]
+//   microrec trace    <model-file> [--queries N] [--qps R] [--seed S]
+//                     [--sample N] [--trace-out F] [--metrics-out F]
+//                     [--prom-out F]
 //   microrec update-sweep <model-file> [--queries N] [--qps R] [--seed S]
 //                     [--points K] [--update-qps-max U] [--policy fair|yield]
 //                     [--json F]
@@ -28,8 +31,17 @@ namespace microrec::cli {
 Status CmdModelGen(const ArgList& args, std::ostream& out);
 Status CmdInspect(const ArgList& args, std::ostream& out);
 Status CmdPlan(const ArgList& args, std::ostream& out);
-Status CmdTrace(const ArgList& args, std::ostream& out);
+
+/// Records a Poisson query trace (indices + arrival times) for replay with
+/// `simulate --trace`.
+Status CmdRecord(const ArgList& args, std::ostream& out);
 Status CmdSimulate(const ArgList& args, std::ostream& out);
+
+/// Runs the full-system simulator with telemetry attached and writes a
+/// Chrome trace-event JSON (Perfetto-loadable), a structured metrics JSON,
+/// and a Prometheus text snapshot; prints the per-stage latency-attribution
+/// table (stage shares sum to the p99-ranked item's end-to-end latency).
+Status CmdTrace(const ArgList& args, std::ostream& out);
 
 /// Sweeps the online embedding-update rate against a fixed query stream and
 /// reports tail latency + snapshot staleness per point (src/update/).

@@ -1,7 +1,9 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace microrec {
 
@@ -30,7 +32,16 @@ namespace internal {
 
 void LogMessage(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  std::fprintf(stderr, "[microrec %s] %s\n", LevelName(level), msg.c_str());
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(now);
+  const auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - secs);
+  const std::size_t tid =
+      std::hash<std::thread::id>()(std::this_thread::get_id());
+  std::fprintf(stderr, "[microrec %s %lld.%06lld t%04zx] %s\n",
+               LevelName(level), static_cast<long long>(secs.count()),
+               static_cast<long long>(micros.count()), tid & 0xffff,
+               msg.c_str());
 }
 
 }  // namespace internal

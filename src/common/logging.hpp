@@ -1,6 +1,11 @@
 // Tiny leveled logger for the library. Benchmarks print their tables via
 // std::cout directly; this logger is for diagnostics only and defaults to
 // warnings so test / bench output stays clean.
+//
+// A filtered MICROREC_LOG is near-free: the macro checks the level before
+// the LogStream (and the streamed message arguments) is ever constructed,
+// so e.g. MICROREC_LOG(kDebug) << Expensive() at the default level costs
+// one atomic load and a branch, and Expensive() never runs.
 #pragma once
 
 #include <sstream>
@@ -13,6 +18,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Global minimum level; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// True when messages at `level` would be emitted.
+inline bool LogEnabled(LogLevel level) { return level >= GetLogLevel(); }
 
 namespace internal {
 void LogMessage(LogLevel level, const std::string& msg);
@@ -32,9 +40,18 @@ class LogStream {
   LogLevel level_;
   std::ostringstream stream_;
 };
+
+/// Lowest-precedence operand that swallows a LogStream so the ternary in
+/// MICROREC_LOG has type void on both arms (the glog idiom).
+struct LogVoidify {
+  void operator&(const LogStream&) {}
+};
 }  // namespace internal
 
 }  // namespace microrec
 
-#define MICROREC_LOG(level) \
-  ::microrec::internal::LogStream(::microrec::LogLevel::level)
+#define MICROREC_LOG(level)                                  \
+  !::microrec::LogEnabled(::microrec::LogLevel::level)       \
+      ? (void)0                                              \
+      : ::microrec::internal::LogVoidify() &                 \
+            ::microrec::internal::LogStream(::microrec::LogLevel::level)

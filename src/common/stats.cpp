@@ -32,13 +32,18 @@ void PercentileTracker::Add(double x) {
   sorted_ = false;
 }
 
-double PercentileTracker::Percentile(double q) const {
-  MICROREC_CHECK(!samples_.empty());
-  MICROREC_CHECK(q >= 0.0 && q <= 1.0);
+void PercentileTracker::EnsureSorted() const {
+  const std::lock_guard<std::mutex> lock(sort_mutex_);
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+}
+
+double PercentileTracker::Percentile(double q) const {
+  MICROREC_CHECK(!samples_.empty());
+  MICROREC_CHECK(q >= 0.0 && q <= 1.0);
+  EnsureSorted();
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);

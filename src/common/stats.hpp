@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 namespace microrec {
@@ -30,7 +31,14 @@ class RunningStats {
 };
 
 /// Collects samples and answers percentile queries. Unsorted storage;
-/// Percentile() sorts lazily and caches.
+/// Percentile() sorts lazily, caches the sorted order, and keeps repeated
+/// queries cheap (no re-sort until the next Add).
+///
+/// Thread safety: the lazy sort mutates state from a const method, so it is
+/// guarded by a mutex -- concurrent Percentile() calls from multiple
+/// threads are safe. Add() is NOT synchronized against readers or other
+/// writers (same contract as the rest of the class): finish writing before
+/// querying concurrently.
 class PercentileTracker {
  public:
   void Add(double x);
@@ -44,6 +52,9 @@ class PercentileTracker {
   double Max() const;
 
  private:
+  void EnsureSorted() const;
+
+  mutable std::mutex sort_mutex_;  ///< guards the lazy sort only
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

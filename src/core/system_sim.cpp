@@ -1,8 +1,58 @@
 #include "core/system_sim.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 
 namespace microrec {
+
+namespace {
+
+// Track layout for the span tracer: track 0 is the async query lane,
+// stages take 1..num_stages, banks follow. Spans on a stage or bank track
+// never overlap because the underlying resource serves one item at a time.
+constexpr obs::TrackId kQueryTrack = 0;
+
+obs::TrackId StageTrack(std::size_t stage) {
+  return static_cast<obs::TrackId>(1 + stage);
+}
+
+obs::TrackId BankTrack(std::size_t num_stages, std::uint32_t bank) {
+  return static_cast<obs::TrackId>(1 + num_stages + bank);
+}
+
+/// Collects per-(item, stage) shares for the attribution table and emits
+/// stage service spans for sampled items.
+class AttributionObserver final : public DataflowStageObserver {
+ public:
+  AttributionObserver(std::size_t num_items,
+                      const std::vector<StageTiming>& stages,
+                      obs::SpanTracer* tracer)
+      : stages_(stages), tracer_(tracer) {
+    share_.assign(stages.size(), std::vector<Nanoseconds>(num_items, 0.0));
+  }
+
+  void OnStageServe(std::size_t item, std::size_t stage, Nanoseconds ready_ns,
+                    Nanoseconds enter_ns, Nanoseconds exit_ns) override {
+    // An item's latency decomposes exactly into per-stage
+    // (FIFO wait + service) shares: ready(stage 0) is its arrival and each
+    // later ready is the previous stage's exit.
+    share_[stage][item] = exit_ns - ready_ns;
+    if (tracer_ != nullptr && tracer_->SampleQuery(item)) {
+      tracer_->CompleteSpan(StageTrack(stage), stages_[stage].name, enter_ns,
+                            exit_ns);
+    }
+  }
+
+  const std::vector<std::vector<Nanoseconds>>& share() const { return share_; }
+
+ private:
+  const std::vector<StageTiming>& stages_;
+  obs::SpanTracer* tracer_;
+  std::vector<std::vector<Nanoseconds>> share_;  // [stage][item]
+};
+
+}  // namespace
 
 SystemSimulator::SystemSimulator(const MicroRecEngine& engine)
     : engine_(engine) {}
@@ -27,17 +77,66 @@ SystemSimReport SystemSimulator::RunArrivals(
   const std::vector<BankAccess> accesses =
       engine_.plan().ToBankAccesses(engine_.model().lookups_per_table);
 
-  DataflowPipeline pipeline(engine_.timing().stages);
+  const std::vector<StageTiming>& stage_timings = engine_.timing().stages;
+  DataflowPipeline pipeline(stage_timings);
+
+  // ---- Optional telemetry (pure observation; see header contract). ----
+  obs::MetricsRegistry* metrics = telemetry_.metrics;
+  obs::SpanTracer* tracer = telemetry_.tracer;
+  const bool instrumented = telemetry_.active();
+
+  std::optional<MemsimTelemetry> memsim_telemetry;
+  if (metrics != nullptr) {
+    memsim_telemetry.emplace(metrics, engine_.options().platform);
+    memory.set_telemetry(&*memsim_telemetry);
+  }
+  if (tracer != nullptr) {
+    tracer->SetTrackName(kQueryTrack, "queries (async)");
+    for (std::size_t j = 0; j < stage_timings.size(); ++j) {
+      tracer->SetTrackName(StageTrack(j),
+                           "stage " + stage_timings[j].name);
+    }
+    for (const auto& access : accesses) {
+      tracer->SetTrackName(
+          BankTrack(stage_timings.size(), access.bank),
+          std::string(MemoryKindName(
+              engine_.options().platform.KindOfBank(access.bank))) +
+              " bank " + std::to_string(access.bank));
+    }
+  }
+  std::optional<AttributionObserver> observer;
+  if (instrumented) {
+    observer.emplace(num_items, stage_timings, tracer);
+  }
+  const obs::HistogramOptions latency_opts{1.0, 1.25, 96};
+  obs::Histogram* lookup_hist =
+      metrics == nullptr
+          ? nullptr
+          : &metrics->histogram("system_lookup_latency_ns", {}, latency_opts);
 
   PercentileTracker lookup_latencies;
   const auto result = pipeline.Run(
-      arrivals, [&](std::size_t /*item*/, std::size_t stage,
-                    Nanoseconds enter_ns) -> Nanoseconds {
+      arrivals,
+      [&](std::size_t item, std::size_t stage,
+          Nanoseconds enter_ns) -> Nanoseconds {
         if (stage != 0) return -1.0;  // compute stages keep their defaults
         const LookupBatchResult batch = memory.IssueBatch(accesses, enter_ns);
         lookup_latencies.Add(batch.latency_ns());
+        if (lookup_hist != nullptr) lookup_hist->Observe(batch.latency_ns());
+        if (tracer != nullptr && tracer->SampleQuery(item)) {
+          // Per-channel access spans: children of the embedding stage span
+          // in time, rendered on their bank's own track.
+          for (std::size_t a = 0; a < batch.completions.size(); ++a) {
+            const MemCompletion& done = batch.completions[a];
+            tracer->CompleteSpan(
+                BankTrack(stage_timings.size(), accesses[a].bank),
+                "lookup t" + std::to_string(done.tag), done.start_ns,
+                done.completion_ns);
+          }
+        }
         return batch.latency_ns();
-      });
+      },
+      observer ? &*observer : nullptr);
 
   SystemSimReport report;
   report.items = num_items;
@@ -60,6 +159,69 @@ SystemSimReport SystemSimulator::RunArrivals(
     }
   }
   report.peak_bank_utilization = peak;
+
+  if (instrumented) {
+    // Per-query async spans (end-to-end), sampled like everything else.
+    if (tracer != nullptr) {
+      for (std::size_t i = 0; i < result.items.size(); ++i) {
+        if (!tracer->SampleQuery(i)) continue;
+        tracer->AsyncSpan("query " + std::to_string(i), i,
+                          result.items[i].arrival_ns,
+                          result.items[i].completion_ns);
+      }
+    }
+
+    // Attribution: the p99-ranked item's latency decomposed per stage, so
+    // the table's rows sum exactly to an observed end-to-end latency.
+    std::vector<std::size_t> order(result.items.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return result.items[a].latency_ns() < result.items[b].latency_ns();
+    });
+    const std::size_t p99_item =
+        order[static_cast<std::size_t>(0.99 * (order.size() - 1))];
+    report.p99_item_latency_ns = result.items[p99_item].latency_ns();
+
+    const auto& share = observer->share();
+    report.attribution.reserve(stage_timings.size());
+    for (std::size_t j = 0; j < stage_timings.size(); ++j) {
+      StageAttribution attr;
+      attr.name = stage_timings[j].name;
+      double sum = 0.0;
+      for (const Nanoseconds v : share[j]) sum += v;
+      attr.mean_ns = sum / static_cast<double>(num_items);
+      attr.p99_item_ns = share[j][p99_item];
+      attr.busy_ns = result.stages[j].busy_ns;
+      attr.starved_ns = result.stages[j].starved_ns;
+      attr.blocked_ns = result.stages[j].blocked_ns;
+      attr.occupancy = result.stages[j].occupancy(result.makespan_ns);
+      report.attribution.push_back(std::move(attr));
+    }
+
+    if (metrics != nullptr) {
+      metrics->counter("system_items_total").Inc(num_items);
+      auto& item_hist =
+          metrics->histogram("system_item_latency_ns", {}, latency_opts);
+      for (const auto& item : result.items) {
+        item_hist.Observe(item.latency_ns());
+      }
+      for (std::size_t j = 0; j < result.stages.size(); ++j) {
+        const obs::MetricLabels labels{{"stage", result.stages[j].name}};
+        metrics->gauge("pipeline_stage_busy_ns", labels)
+            .Set(result.stages[j].busy_ns);
+        metrics->gauge("pipeline_stage_starved_ns", labels)
+            .Set(result.stages[j].starved_ns);
+        metrics->gauge("pipeline_stage_blocked_ns", labels)
+            .Set(result.stages[j].blocked_ns);
+        metrics->gauge("pipeline_stage_occupancy", labels)
+            .Set(result.stages[j].occupancy(result.makespan_ns));
+      }
+      metrics->gauge("system_peak_bank_utilization")
+          .Set(report.peak_bank_utilization);
+      metrics->gauge("system_throughput_items_per_s")
+          .Set(report.throughput_items_per_s);
+    }
+  }
   return report;
 }
 

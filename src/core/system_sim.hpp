@@ -19,8 +19,26 @@
 #include "core/microrec.hpp"
 #include "fpga/dataflow_sim.hpp"
 #include "memsim/hybrid_memory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
 
 namespace microrec {
+
+/// One pipeline stage's share of end-to-end latency ("where did the p99
+/// go"). Only populated when telemetry is attached to the simulator.
+struct StageAttribution {
+  std::string name;
+  /// Mean over items of (FIFO wait + service) at this stage; the per-stage
+  /// means sum exactly to the mean end-to-end latency.
+  Nanoseconds mean_ns = 0.0;
+  /// This stage's share of the p99-ranked item's latency; the per-stage
+  /// shares sum exactly to that item's end-to-end latency.
+  Nanoseconds p99_item_ns = 0.0;
+  Nanoseconds busy_ns = 0.0;
+  Nanoseconds starved_ns = 0.0;
+  Nanoseconds blocked_ns = 0.0;
+  double occupancy = 0.0;  ///< busy / makespan
+};
 
 struct SystemSimReport {
   std::uint64_t items = 0;
@@ -33,6 +51,11 @@ struct SystemSimReport {
   Nanoseconds lookup_latency_max = 0.0;
   /// Busiest memory bank's busy fraction over the run.
   double peak_bank_utilization = 0.0;
+
+  /// Per-stage latency attribution; empty unless telemetry was attached.
+  std::vector<StageAttribution> attribution;
+  /// End-to-end latency of the item the p99 attribution was taken from.
+  Nanoseconds p99_item_latency_ns = 0.0;
 };
 
 class SystemSimulator {
@@ -40,6 +63,16 @@ class SystemSimulator {
   /// Builds from an engine (placement + pipeline config are taken from it).
   /// The engine may be timing-only (materialize=false).
   explicit SystemSimulator(const MicroRecEngine& engine);
+
+  /// Attaches telemetry for subsequent runs: metrics populate the registry
+  /// (per-bank/per-kind memsim counters, stage occupancy, latency
+  /// histograms), the tracer receives per-query spans (sampled 1-in-N per
+  /// its options), and the report's attribution table is filled in. All
+  /// timing fields of the report stay bit-for-bit identical to an
+  /// un-instrumented run -- tested by the identity gate in obs_test.
+  void set_telemetry(const obs::Telemetry& telemetry) {
+    telemetry_ = telemetry;
+  }
 
   /// Streams `num_items` inferences with a fixed inter-arrival gap
   /// (0 = an always-full input queue).
@@ -52,6 +85,7 @@ class SystemSimulator {
 
  private:
   const MicroRecEngine& engine_;
+  obs::Telemetry telemetry_;
 };
 
 }  // namespace microrec

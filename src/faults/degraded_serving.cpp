@@ -57,6 +57,14 @@ StatusOr<DegradedServingReport> SimulateDegradedServing(
   DegradedServingReport report;
   report.offered = arrivals.size();
 
+  // Resolve metric handles once; hot-loop sites only touch them when
+  // telemetry is attached so the disabled path stays identical.
+  obs::Histogram* queue_delay_hist = nullptr;
+  if (config.metrics != nullptr) {
+    queue_delay_hist = &config.metrics->histogram(
+        "degraded_queue_delay_ns", {}, obs::HistogramOptions{1.0, 1.25, 96});
+  }
+
   // next_start[k]: earliest time pipeline replica k can begin a new item
   // (same dispatch state as SimulateReplicatedPipelines; the fault layer
   // only filters which replicas are eligible and reshapes per-item cost).
@@ -112,6 +120,7 @@ StatusOr<DegradedServingReport> SimulateDegradedServing(
 
     next_start[best] = start + initiation;
     const Nanoseconds done = start + item_latency;
+    if (queue_delay_hist != nullptr) queue_delay_hist->Observe(start - arrival);
     served_arrivals.push_back(arrival);
     served_completions.push_back(done);
     report.item_latency_max_ns =
@@ -125,6 +134,14 @@ StatusOr<DegradedServingReport> SimulateDegradedServing(
   if (report.served > 0) {
     report.serving =
         SummarizeServing(served_arrivals, served_completions, config.sla_ns);
+  }
+  if (config.metrics != nullptr) {
+    config.metrics->counter("degraded_offered_total").Inc(report.offered);
+    config.metrics->counter("degraded_served_total").Inc(report.served);
+    config.metrics->counter("degraded_shed_admission_total")
+        .Inc(report.shed_admission);
+    config.metrics->counter("degraded_shed_unservable_total")
+        .Inc(report.shed_unservable);
   }
   return report;
 }

@@ -30,6 +30,7 @@
 #include "faults/failover.hpp"
 #include "faults/fault_schedule.hpp"
 #include "memsim/dram_timing.hpp"
+#include "obs/metrics.hpp"
 #include "serving/serving_sim.hpp"
 
 namespace microrec {
@@ -55,6 +56,11 @@ struct DegradedServingConfig {
   /// bound is shed instead of queued. Defaults to the SLA -- queueing a
   /// query that is already doomed only delays every query behind it.
   Nanoseconds admission_queue_ns = Milliseconds(30);
+
+  /// Optional counts-only telemetry. Offered/served/shed counters and a
+  /// served-query queue-delay histogram are mirrored into this registry
+  /// (names prefixed `degraded_`). Simulation results are unchanged.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DegradedServingReport {

@@ -13,7 +13,8 @@ DataflowPipeline::DataflowPipeline(std::vector<StageTiming> stages)
 
 DataflowRunResult DataflowPipeline::Run(
     const std::vector<Nanoseconds>& arrivals,
-    const StageLatencyOverride& override_fn) const {
+    const StageLatencyOverride& override_fn,
+    DataflowStageObserver* observer) const {
   const std::size_t n = arrivals.size();
   const std::size_t s = stages_.size();
 
@@ -40,10 +41,19 @@ DataflowRunResult DataflowPipeline::Run(
       }
       const Nanoseconds exit = enter + service;
       if (j == 0) result.items[i].start_ns = enter;
+      // Stall attribution: if the item was ready after the stage freed up,
+      // the stage starved on its input; otherwise the item sat in the FIFO
+      // blocked behind the stage's previous item.
+      if (ready > exit_prev[j]) {
+        result.stages[j].starved_ns += ready - exit_prev[j];
+      } else {
+        result.stages[j].blocked_ns += exit_prev[j] - ready;
+      }
       exit_prev[j] = exit;
-      ready = exit;
       result.stages[j].busy_ns += service;
       result.stages[j].items += 1;
+      if (observer != nullptr) observer->OnStageServe(i, j, ready, enter, exit);
+      ready = exit;
     }
     result.items[i].arrival_ns = arrivals[i];
     result.items[i].completion_ns = ready;

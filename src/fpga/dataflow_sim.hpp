@@ -33,11 +33,23 @@ struct DataflowItemTiming {
   Nanoseconds latency_ns() const { return completion_ns - arrival_ns; }
 };
 
-/// Per-stage utilisation from a run.
+/// Per-stage utilisation and stall attribution from a run.
 struct DataflowStageStats {
   std::string name;
   Nanoseconds busy_ns = 0.0;
   std::uint64_t items = 0;
+  /// Stage idle because no item was ready to enter (upstream starvation;
+  /// for stage 0 this includes waiting on arrivals).
+  Nanoseconds starved_ns = 0.0;
+  /// Items held in the inter-stage FIFO because this stage was still busy
+  /// with the previous item (the stage is the local bottleneck). Summed
+  /// over items, so it can exceed wall-clock time.
+  Nanoseconds blocked_ns = 0.0;
+
+  /// Fraction of `makespan` this stage spent serving items.
+  double occupancy(Nanoseconds makespan) const {
+    return makespan > 0.0 ? busy_ns / makespan : 0.0;
+  }
 };
 
 struct DataflowRunResult {
@@ -60,6 +72,22 @@ struct DataflowRunResult {
 using StageLatencyOverride = std::function<Nanoseconds(
     std::size_t item, std::size_t stage, Nanoseconds enter_ns)>;
 
+/// Observation hook called once per (item, stage) service, after the
+/// stage's timing is fully determined: `ready_ns` is when the item could
+/// have entered (left the previous stage / arrived), `enter_ns` when the
+/// stage actually started it, `exit_ns` when it left. enter - ready is the
+/// item's FIFO wait; exit - enter its service time. Pure observation -- the
+/// simulation's timing is identical with or without an observer (obs_test
+/// asserts this bit-for-bit). Kept as an interface rather than an obs
+/// dependency so the fpga layer stays telemetry-agnostic.
+class DataflowStageObserver {
+ public:
+  virtual ~DataflowStageObserver() = default;
+  virtual void OnStageServe(std::size_t item, std::size_t stage,
+                            Nanoseconds ready_ns, Nanoseconds enter_ns,
+                            Nanoseconds exit_ns) = 0;
+};
+
 class DataflowPipeline {
  public:
   /// Builds from the analytic model's stage list (the two models share one
@@ -72,9 +100,11 @@ class DataflowPipeline {
   /// stage s when (a) it has left stage s-1 (or arrived, for s=0; the
   /// inter-stage FIFO holds it meanwhile) and (b) the previous item has
   /// left stage s. `override_fn`, when set, supplies per-item service
-  /// times (return < 0 to keep the default).
+  /// times (return < 0 to keep the default). `observer`, when set, is
+  /// notified of every (item, stage) service with its full timing.
   DataflowRunResult Run(const std::vector<Nanoseconds>& arrivals,
-                        const StageLatencyOverride& override_fn = nullptr) const;
+                        const StageLatencyOverride& override_fn = nullptr,
+                        DataflowStageObserver* observer = nullptr) const;
 
  private:
   std::vector<StageTiming> stages_;

@@ -12,6 +12,7 @@
 #include "common/units.hpp"
 #include "memsim/channel_sim.hpp"
 #include "memsim/dram_timing.hpp"
+#include "obs/metrics.hpp"
 
 namespace microrec {
 
@@ -58,6 +59,41 @@ struct AccessTraceRecord {
   Nanoseconds completion_ns = 0.0;
 };
 
+/// Telemetry adapter for the memory system: resolves per-bank and per-kind
+/// metric handles once at construction so the per-access cost is a couple
+/// of pointer-chased adds. Install with HybridMemorySystem::set_telemetry;
+/// with none installed (the default) the simulator is bit-for-bit the
+/// pre-telemetry code path (counters never feed back into timing, so even
+/// an installed adapter cannot change simulation results).
+class MemsimTelemetry {
+ public:
+  MemsimTelemetry(obs::MetricsRegistry* registry,
+                  const MemoryPlatformSpec& spec);
+
+  void OnAccess(std::uint32_t bank, Bytes bytes, Nanoseconds queue_delay_ns,
+                Nanoseconds service_ns, Nanoseconds backlog_ns);
+  void OnReject(std::uint32_t bank);
+
+ private:
+  struct BankHandles {
+    obs::Counter* accesses = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Gauge* queue_backlog_ns = nullptr;  ///< backlog seen by the last access
+    obs::Gauge* queue_backlog_peak_ns = nullptr;
+  };
+  struct KindHandles {
+    obs::Counter* accesses = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Histogram* queue_delay_ns = nullptr;
+    obs::Histogram* service_ns = nullptr;
+  };
+
+  std::vector<BankHandles> banks_;
+  std::vector<KindHandles> kinds_;  // indexed by MemoryKind of each bank
+  std::vector<std::size_t> kind_of_bank_;
+};
+
 class HybridMemorySystem {
  public:
   /// `overlap` is forwarded to every ChannelSim (0 = paper-calibrated full
@@ -92,6 +128,12 @@ class HybridMemorySystem {
   void set_fault_model(const BankFaultModel* model) { fault_model_ = model; }
   const BankFaultModel* fault_model() const { return fault_model_; }
 
+  /// Installs (or clears, with nullptr) the telemetry adapter. Not owned;
+  /// must outlive the memory system while installed. Pure observation:
+  /// completions are identical with or without it.
+  void set_telemetry(MemsimTelemetry* telemetry) { telemetry_ = telemetry; }
+  const MemsimTelemetry* telemetry() const { return telemetry_; }
+
  private:
   MemoryPlatformSpec spec_;
   double overlap_;
@@ -99,6 +141,7 @@ class HybridMemorySystem {
   bool trace_enabled_ = false;
   std::vector<AccessTraceRecord> trace_;
   const BankFaultModel* fault_model_ = nullptr;
+  MemsimTelemetry* telemetry_ = nullptr;
 };
 
 /// Analytic round-based latency model (DESIGN.md section 5): the latency of

@@ -1,0 +1,139 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.hpp"
+
+namespace microrec::obs {
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  // %.12g round-trips every value the simulators produce (ns-resolution
+  // doubles) without trailing digit noise.
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, int indent)
+    : out_(out), indent_(indent) {}
+
+JsonWriter::~JsonWriter() { MICROREC_CHECK(stack_.empty()); }
+
+void JsonWriter::Indent() {
+  if (indent_ <= 0) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * indent_; ++i) out_ << ' ';
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma and indentation
+  }
+  if (!stack_.empty()) {
+    MICROREC_CHECK(stack_.back() == Scope::kArray);
+    if (has_items_.back()) out_ << ',';
+    has_items_.back() = true;
+    Indent();
+  }
+}
+
+void JsonWriter::RawValue(const std::string& text) {
+  BeforeValue();
+  out_ << text;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  MICROREC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  MICROREC_CHECK(!pending_key_);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  MICROREC_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) Indent();
+  out_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  MICROREC_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  MICROREC_CHECK(!pending_key_);
+  if (has_items_.back()) out_ << ',';
+  has_items_.back() = true;
+  Indent();
+  out_ << '"' << EscapeJson(key) << "\":";
+  if (indent_ > 0) out_ << ' ';
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view v) {
+  RawValue('"' + EscapeJson(v) + '"');
+}
+
+void JsonWriter::Value(double v) { RawValue(JsonNumber(v)); }
+
+void JsonWriter::Value(std::uint64_t v) { RawValue(std::to_string(v)); }
+
+void JsonWriter::Value(std::int64_t v) { RawValue(std::to_string(v)); }
+
+void JsonWriter::Value(bool v) { RawValue(v ? "true" : "false"); }
+
+void JsonWriter::Null() { RawValue("null"); }
+
+}  // namespace microrec::obs

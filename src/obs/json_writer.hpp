@@ -1,0 +1,74 @@
+// Streaming JSON emitter shared by every exporter in the repo: the metrics
+// registry's structured dump, the span tracer's Chrome trace-event output,
+// and the bench harnesses' BENCH_*.json reports. Deliberately tiny -- no
+// DOM, no parsing -- it writes syntactically valid, escaped JSON to an
+// ostream with bracket/comma state tracked so call sites cannot emit a
+// malformed document without tripping a check.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace microrec::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string EscapeJson(std::string_view s);
+
+/// Formats a double as a JSON number. NaN / infinity are not representable
+/// in JSON and are emitted as null.
+std::string JsonNumber(double v);
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2);
+  /// Checks the document was closed back to the top level.
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; the next value call supplies its value.
+  void Key(std::string_view key);
+
+  void Value(std::string_view v);
+  void Value(const char* v) { Value(std::string_view(v)); }
+  void Value(double v);
+  void Value(std::uint64_t v);
+  void Value(std::int64_t v);
+  void Value(int v) { Value(static_cast<std::int64_t>(v)); }
+  void Value(unsigned v) { Value(static_cast<std::uint64_t>(v)); }
+  void Value(bool v);
+  void Null();
+
+  /// Key + value in one call.
+  template <typename T>
+  void KV(std::string_view key, const T& v) {
+    Key(key);
+    Value(v);
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void Indent();
+  void BeforeValue();  ///< comma / newline bookkeeping before any value
+  void RawValue(const std::string& text);
+
+  std::ostream& out_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+}  // namespace microrec::obs

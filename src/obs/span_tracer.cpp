@@ -1,0 +1,172 @@
+#include "obs/span_tracer.hpp"
+
+#include <sstream>
+
+#include "common/status.hpp"
+#include "obs/json_writer.hpp"
+
+namespace microrec::obs {
+
+SpanTracer::SpanTracer(TracerOptions opts) : opts_(std::move(opts)) {
+  MICROREC_CHECK(opts_.sample_every >= 1);
+}
+
+void SpanTracer::SetTrackName(TrackId track, const std::string& name) {
+  Event e;
+  e.phase = 'M';
+  e.track = track;
+  e.name = name;
+  events_.push_back(std::move(e));
+}
+
+std::uint64_t SpanTracer::BeginSpan(TrackId track, std::string name,
+                                    Nanoseconds start_ns) {
+  if (stacks_.size() <= track) stacks_.resize(track + 1);
+  const std::uint64_t handle = next_handle_++;
+  stacks_[track].push_back(OpenSpan{handle, std::move(name), start_ns});
+  return handle;
+}
+
+void SpanTracer::EndSpan(TrackId track, std::uint64_t span,
+                         Nanoseconds end_ns) {
+  MICROREC_CHECK(track < stacks_.size() && !stacks_[track].empty());
+  OpenSpan open = std::move(stacks_[track].back());
+  // LIFO discipline: ending a span that is not the innermost open span on
+  // its track means the instrumentation produced overlapping siblings.
+  MICROREC_CHECK(open.handle == span);
+  MICROREC_CHECK(end_ns >= open.start_ns);
+  stacks_[track].pop_back();
+
+  Event e;
+  e.phase = 'X';
+  e.track = track;
+  e.name = std::move(open.name);
+  e.ts_ns = open.start_ns;
+  e.dur_ns = end_ns - open.start_ns;
+  events_.push_back(std::move(e));
+}
+
+void SpanTracer::CompleteSpan(TrackId track, std::string name,
+                              Nanoseconds start_ns, Nanoseconds end_ns) {
+  MICROREC_CHECK(end_ns >= start_ns);
+  Event e;
+  e.phase = 'X';
+  e.track = track;
+  e.name = std::move(name);
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns - start_ns;
+  events_.push_back(std::move(e));
+}
+
+void SpanTracer::AsyncSpan(std::string name, std::uint64_t id,
+                           Nanoseconds start_ns, Nanoseconds end_ns) {
+  MICROREC_CHECK(end_ns >= start_ns);
+  Event begin;
+  begin.phase = 'b';
+  begin.name = name;
+  begin.ts_ns = start_ns;
+  begin.id = id;
+  events_.push_back(std::move(begin));
+  Event end;
+  end.phase = 'e';
+  end.name = std::move(name);
+  end.ts_ns = end_ns;
+  end.id = id;
+  events_.push_back(std::move(end));
+}
+
+void SpanTracer::Instant(TrackId track, std::string name, Nanoseconds ts_ns) {
+  Event e;
+  e.phase = 'i';
+  e.track = track;
+  e.name = std::move(name);
+  e.ts_ns = ts_ns;
+  events_.push_back(std::move(e));
+}
+
+std::size_t SpanTracer::open_spans() const {
+  std::size_t open = 0;
+  for (const auto& stack : stacks_) open += stack.size();
+  return open;
+}
+
+void SpanTracer::WriteChromeJson(std::ostream& out) const {
+  JsonWriter w(out, /*indent=*/0);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+
+  // Process metadata, then the events in emission order. Chrome trace "ts"
+  // and "dur" are microseconds; fractional values carry the simulator's
+  // sub-ns resolution.
+  w.BeginObject();
+  w.KV("name", "process_name");
+  w.KV("ph", "M");
+  w.KV("pid", 1);
+  w.KV("tid", 0);
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", opts_.process_name);
+  w.EndObject();
+  w.EndObject();
+
+  for (const auto& e : events_) {
+    w.BeginObject();
+    switch (e.phase) {
+      case 'M':
+        w.KV("name", "thread_name");
+        w.KV("ph", "M");
+        w.KV("pid", 1);
+        w.KV("tid", e.track);
+        w.Key("args");
+        w.BeginObject();
+        w.KV("name", e.name);
+        w.EndObject();
+        break;
+      case 'X':
+        w.KV("name", e.name);
+        w.KV("cat", "sim");
+        w.KV("ph", "X");
+        w.KV("ts", e.ts_ns / 1000.0);
+        w.KV("dur", e.dur_ns / 1000.0);
+        w.KV("pid", 1);
+        w.KV("tid", e.track);
+        break;
+      case 'b':
+      case 'e': {
+        w.KV("name", e.name);
+        w.KV("cat", "query");
+        w.KV("ph", std::string(1, e.phase));
+        w.KV("ts", e.ts_ns / 1000.0);
+        w.KV("pid", 1);
+        w.KV("tid", 0);
+        std::ostringstream id;
+        id << "0x" << std::hex << e.id;
+        w.KV("id", id.str());
+        break;
+      }
+      case 'i':
+        w.KV("name", e.name);
+        w.KV("cat", "sim");
+        w.KV("ph", "i");
+        w.KV("ts", e.ts_ns / 1000.0);
+        w.KV("pid", 1);
+        w.KV("tid", e.track);
+        w.KV("s", "t");  // thread-scoped instant
+        break;
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ns");
+  w.EndObject();
+  out << "\n";
+}
+
+std::string SpanTracer::ToChromeJson() const {
+  std::ostringstream os;
+  WriteChromeJson(os);
+  return os.str();
+}
+
+}  // namespace microrec::obs

@@ -1,0 +1,112 @@
+// Per-query span tracing emitted as Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing).
+//
+// The simulators run on virtual time, so spans carry simulated-nanosecond
+// timestamps, not wall clock: a trace of a serving run shows exactly where
+// each sampled query's microseconds went -- pipeline stage by stage,
+// embedding round by round, bank access by bank access.
+//
+// Track model: a track (Chrome "tid") is any serialized resource -- one per
+// pipeline stage, one per memory bank -- so spans on a track never overlap
+// and nest properly (Begin/End enforce LIFO per track; violations abort).
+// Cross-track per-query context uses async spans ("b"/"e" events keyed by
+// query id), which Perfetto renders as a separate async lane.
+//
+// Overhead contract: instrumentation sites hold a `SpanTracer*` that is
+// nullptr when tracing is off, and every emit funnels through an inline
+// null check -- the disabled path is a compare-and-branch, and simulator
+// *results* are bit-for-bit identical with tracing enabled, disabled, or
+// absent (asserted by the identity gate in obs_test, the same guarantee the
+// fault injector makes). Sampling (1-in-N queries) is deterministic in the
+// query index, never random.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace microrec::obs {
+
+struct TracerOptions {
+  /// Trace every Nth query (1 = every query). Must be >= 1.
+  std::uint32_t sample_every = 1;
+  std::string process_name = "microrec-sim";
+};
+
+/// Chrome "tid": one serialized resource (stage, bank, ...).
+using TrackId = std::uint32_t;
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(TracerOptions opts = {});
+
+  /// Deterministic 1-in-N sampling by query index.
+  bool SampleQuery(std::uint64_t query_index) const {
+    return query_index % opts_.sample_every == 0;
+  }
+  const TracerOptions& options() const { return opts_; }
+
+  /// Names a track in the viewer (emits a thread_name metadata event).
+  void SetTrackName(TrackId track, const std::string& name);
+
+  /// Opens a span on `track`; spans on one track must close LIFO.
+  /// Returns a handle for EndSpan.
+  std::uint64_t BeginSpan(TrackId track, std::string name,
+                          Nanoseconds start_ns);
+  void EndSpan(TrackId track, std::uint64_t span, Nanoseconds end_ns);
+
+  /// One-shot closed span (a leaf: no children will be added).
+  void CompleteSpan(TrackId track, std::string name, Nanoseconds start_ns,
+                    Nanoseconds end_ns);
+
+  /// Cross-track span keyed by `id` (e.g. a query's end-to-end latency
+  /// while its stages run on other tracks). Emitted as async "b"/"e".
+  void AsyncSpan(std::string name, std::uint64_t id, Nanoseconds start_ns,
+                 Nanoseconds end_ns);
+
+  /// Zero-duration marker.
+  void Instant(TrackId track, std::string name, Nanoseconds ts_ns);
+
+  std::size_t num_events() const { return events_.size(); }
+  /// Spans begun but not yet ended (0 for a well-formed finished trace).
+  std::size_t open_spans() const;
+
+  /// The full document: {"traceEvents": [...], ...}.
+  void WriteChromeJson(std::ostream& out) const;
+  std::string ToChromeJson() const;
+
+ private:
+  struct Event {
+    char phase = 'X';  // X = complete, i/b/e, M = metadata
+    TrackId track = 0;
+    std::string name;
+    Nanoseconds ts_ns = 0.0;
+    Nanoseconds dur_ns = 0.0;
+    std::uint64_t id = 0;  // async span id
+  };
+  struct OpenSpan {
+    std::uint64_t handle = 0;
+    std::string name;
+    Nanoseconds start_ns = 0.0;
+  };
+
+  TracerOptions opts_;
+  std::vector<Event> events_;
+  std::vector<std::vector<OpenSpan>> stacks_;  // indexed by track
+  std::uint64_t next_handle_ = 1;
+};
+
+/// The bundle instrumentation points carry: either member may be null, and
+/// an all-null bundle is indistinguishable from no telemetry at all.
+class MetricsRegistry;
+struct Telemetry {
+  MetricsRegistry* metrics = nullptr;
+  SpanTracer* tracer = nullptr;
+
+  bool active() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+}  // namespace microrec::obs

@@ -72,6 +72,18 @@ UpdateServingReport SimulateServingWithUpdates(
   PercentileTracker staleness;
   RunningStats interference;
 
+  // Resolve histogram handles once; the hot loop checks a single pointer so
+  // the detached path stays identical.
+  obs::Histogram* staleness_hist = nullptr;
+  obs::Histogram* interference_hist = nullptr;
+  if (config.metrics != nullptr) {
+    const obs::HistogramOptions opts{1.0, 1.25, 96};
+    staleness_hist =
+        &config.metrics->histogram("update_staleness_ns", {}, opts);
+    interference_hist =
+        &config.metrics->histogram("update_interference_ns", {}, opts);
+  }
+
   Nanoseconds last_start = -config.initiation_interval_ns;
   // Channels require nondecreasing issue times; the yield policy can push a
   // batch past the next batch's generation time, so later injections clamp
@@ -179,9 +191,12 @@ UpdateServingReport SimulateServingWithUpdates(
     const Nanoseconds start = tentative + delay;
     if (delay > 0.0) ++report.delayed_queries;
     interference.Add(delay);
+    if (interference_hist != nullptr) interference_hist->Observe(delay);
 
     roll_publishes_forward(start);
-    staleness.Add(std::max(0.0, newest_generated - newest_published));
+    const Nanoseconds stale = std::max(0.0, newest_generated - newest_published);
+    staleness.Add(stale);
+    if (staleness_hist != nullptr) staleness_hist->Observe(stale);
     completions[i] = start + config.item_latency_ns;
     last_start = start;
   }
@@ -203,6 +218,16 @@ UpdateServingReport SimulateServingWithUpdates(
   report.staleness_mean = staleness.Mean();
   report.interference_mean = interference.mean();
   report.interference_max = interference.max();
+  if (config.metrics != nullptr) {
+    config.metrics->counter("update_batches_total").Inc(report.update_batches);
+    config.metrics->counter("update_rows_total").Inc(report.update_rows);
+    config.metrics->counter("update_publishes_total").Inc(report.publishes);
+    config.metrics->counter("update_migrations_total").Inc(report.migrations);
+    config.metrics->counter("update_delayed_queries_total")
+        .Inc(report.delayed_queries);
+    config.metrics->counter("update_bytes_written_total")
+        .Inc(report.update_bytes_written);
+  }
   return report;
 }
 

@@ -166,12 +166,12 @@ TEST_F(CliTest, SimulateRejectsCorruptPlan) {
   EXPECT_FALSE(status.ok());
 }
 
-TEST_F(CliTest, TraceRecordAndReplay) {
+TEST_F(CliTest, RecordAndReplay) {
   const std::string model_path = Path("model.txt");
   ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
   const std::string trace_path = Path("trace.txt");
   {
-    auto [status, out] = Run({"trace", model_path, "--queries", "50", "--qps",
+    auto [status, out] = Run({"record", model_path, "--queries", "50", "--qps",
                               "100000", "--zipf", "0.9", "--out", trace_path});
     ASSERT_TRUE(status.ok()) << status;
   }
@@ -183,21 +183,21 @@ TEST_F(CliTest, TraceRecordAndReplay) {
   }
 }
 
-TEST_F(CliTest, TraceIsDeterministicPerSeed) {
+TEST_F(CliTest, RecordIsDeterministicPerSeed) {
   const std::string model_path = Path("model.txt");
   ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
-  auto [s1, a] = Run({"trace", model_path, "--queries", "10", "--seed", "5"});
-  auto [s2, b] = Run({"trace", model_path, "--queries", "10", "--seed", "5"});
-  auto [s3, c] = Run({"trace", model_path, "--queries", "10", "--seed", "6"});
+  auto [s1, a] = Run({"record", model_path, "--queries", "10", "--seed", "5"});
+  auto [s2, b] = Run({"record", model_path, "--queries", "10", "--seed", "5"});
+  auto [s3, c] = Run({"record", model_path, "--queries", "10", "--seed", "6"});
   ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
 }
 
-TEST_F(CliTest, TraceRejectsBadZipf) {
+TEST_F(CliTest, RecordRejectsBadZipf) {
   const std::string model_path = Path("model.txt");
   ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
-  auto [status, out] = Run({"trace", model_path, "--zipf", "hot"});
+  auto [status, out] = Run({"record", model_path, "--zipf", "hot"});
   EXPECT_FALSE(status.ok());
 }
 
@@ -209,9 +209,50 @@ TEST_F(CliTest, SimulateRejectsMismatchedTrace) {
   ASSERT_TRUE(Run({"modelgen", "small", "--out", small_path}).first.ok());
   ASSERT_TRUE(Run({"modelgen", "dlrm", "--out", dlrm_path}).first.ok());
   const std::string trace_path = Path("trace.txt");
-  ASSERT_TRUE(Run({"trace", dlrm_path, "--queries", "5", "--out", trace_path})
+  ASSERT_TRUE(Run({"record", dlrm_path, "--queries", "5", "--out", trace_path})
                   .first.ok());
   auto [status, out] = Run({"simulate", small_path, "--trace", trace_path});
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(CliTest, TraceWritesTelemetryArtifacts) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string trace_path = Path("trace.json");
+  const std::string metrics_path = Path("metrics.json");
+  const std::string prom_path = Path("metrics.prom");
+  auto [status, out] =
+      Run({"trace", model_path, "--queries", "200", "--qps", "200000",
+           "--sample", "10", "--trace-out", trace_path, "--metrics-out",
+           metrics_path, "--prom-out", prom_path});
+  ASSERT_TRUE(status.ok()) << status << "\n" << out;
+  EXPECT_NE(out.find("traced 200 queries"), std::string::npos);
+  EXPECT_NE(out.find("p99 latency attribution"), std::string::npos);
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+
+  const auto slurp = [](const std::string& p) {
+    std::ifstream f(p);
+    std::stringstream s;
+    s << f.rdbuf();
+    return s.str();
+  };
+  const std::string trace = slurp(trace_path);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("process_name"), std::string::npos);
+  const std::string metrics = slurp(metrics_path);
+  EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics.find("system_item_latency_ns"), std::string::npos);
+  EXPECT_NE(metrics.find("memsim_accesses_total"), std::string::npos);
+  const std::string prom = slurp(prom_path);
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+  EXPECT_NE(prom.find("_bucket{"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceRejectsBadSample) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"trace", model_path, "--sample", "0"});
   EXPECT_FALSE(status.ok());
 }
 

@@ -318,6 +318,47 @@ TEST(PercentileTrackerTest, InterleavedAddAndQuery) {
   EXPECT_DOUBLE_EQ(t.Percentile(0.0), 0.0);
 }
 
+TEST(PercentileTrackerTest, EmptyTrackerAborts) {
+  PercentileTracker t;
+  EXPECT_DEATH(t.Percentile(0.5), "MICROREC_CHECK");
+  EXPECT_DEATH(t.Mean(), "MICROREC_CHECK");
+  EXPECT_DEATH(t.Max(), "MICROREC_CHECK");
+}
+
+TEST(PercentileTrackerTest, OutOfRangeQuantileAborts) {
+  PercentileTracker t;
+  t.Add(1.0);
+  EXPECT_DEATH(t.Percentile(-0.01), "MICROREC_CHECK");
+  EXPECT_DEATH(t.Percentile(1.01), "MICROREC_CHECK");
+}
+
+TEST(PercentileTrackerTest, SingleSampleAnswersEveryQuantile) {
+  PercentileTracker t;
+  t.Add(7.5);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(t.Percentile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(t.Percentile(1.0), 7.5);
+  EXPECT_DOUBLE_EQ(t.Mean(), 7.5);
+  EXPECT_DOUBLE_EQ(t.Max(), 7.5);
+}
+
+TEST(PercentileTrackerTest, ConcurrentConstReadsAreSafe) {
+  // The lazy sort runs under a mutex, so the first Percentile() call
+  // racing from many threads must produce consistent answers (this is the
+  // scenario the unguarded mutable sort made a data race).
+  PercentileTracker t;
+  for (int i = 100; i >= 1; --i) t.Add(i);
+  std::vector<std::thread> readers;
+  std::vector<double> results(8, 0.0);
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    readers.emplace_back([&t, &results, k] {
+      results[k] = t.Percentile(0.5) + t.Percentile(0.99) + t.Max();
+    });
+  }
+  for (auto& th : readers) th.join();
+  for (const double r : results) EXPECT_DOUBLE_EQ(r, results[0]);
+}
+
 // ---------------------------------------------------------------- TablePrinter
 
 TEST(TablePrinterTest, RendersHeaderAndRows) {

@@ -40,6 +40,31 @@ TEST(LoggingTest, StreamAcceptsMixedTypes) {
   SetLogLevel(original);
 }
 
+TEST(LoggingTest, FilteredMessageArgumentsAreNeverEvaluated) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string(1 << 20, 'x');
+  };
+  MICROREC_LOG(kDebug) << "never built: " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(LogEnabled(LogLevel::kDebug));
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LogEnabledTracksLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  SetLogLevel(original);
+}
+
 // ---------------------------------------------------------------- Aborts
 
 using FailureDeathTest = ::testing::Test;

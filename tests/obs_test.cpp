@@ -1,0 +1,427 @@
+// Tests for the telemetry subsystem: metrics registry (counters, gauges,
+// log-bucket histograms, snapshot/diff, exporters), the JSON emitter, the
+// span tracer (nesting, Chrome schema, deterministic sampling), and the
+// end-to-end identity gate -- attaching telemetry must never change
+// simulation results, bit for bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/microrec.hpp"
+#include "core/system_sim.hpp"
+#include "memsim/hybrid_memory.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span_tracer.hpp"
+
+namespace microrec {
+namespace {
+
+using obs::Histogram;
+using obs::HistogramOptions;
+using obs::MetricsRegistry;
+using obs::SpanTracer;
+using obs::TracerOptions;
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterFindOrCreateReturnsStableRef) {
+  MetricsRegistry registry;
+  obs::Counter& a = registry.counter("requests_total");
+  a.Inc();
+  obs::Counter& b = registry.counter("requests_total");
+  EXPECT_EQ(&a, &b);
+  b.Inc(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishInstances) {
+  MetricsRegistry registry;
+  registry.counter("accesses_total", {{"bank", "0"}}).Inc(2);
+  registry.counter("accesses_total", {{"bank", "1"}}).Inc(3);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.counter("accesses_total", {{"bank", "0"}}).value(), 2u);
+  EXPECT_EQ(registry.counter("accesses_total", {{"bank", "1"}}).value(), 3u);
+}
+
+TEST(MetricsRegistryTest, FormatMetricName) {
+  EXPECT_EQ(obs::FormatMetricName("up", {}), "up");
+  EXPECT_EQ(obs::FormatMetricName("x", {{"bank", "3"}, {"kind", "hbm"}}),
+            "x{bank=\"3\",kind=\"hbm\"}");
+}
+
+TEST(MetricsRegistryTest, GaugeSetAddMax) {
+  MetricsRegistry registry;
+  obs::Gauge& g = registry.gauge("depth");
+  g.Set(2.0);
+  g.Add(3.0);
+  EXPECT_EQ(g.value(), 5.0);
+  g.Max(4.0);  // below current value: no-op
+  EXPECT_EQ(g.value(), 5.0);
+  g.Max(9.0);
+  EXPECT_EQ(g.value(), 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleAnswersEveryQuantile) {
+  Histogram h;
+  h.Observe(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42.0);
+  EXPECT_EQ(h.max(), 42.0);
+  // Clamped to observed [min, max], so every quantile is exact here.
+  EXPECT_EQ(h.Quantile(0.0), 42.0);
+  EXPECT_EQ(h.Quantile(0.5), 42.0);
+  EXPECT_EQ(h.Quantile(1.0), 42.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxMeanAreExact) {
+  Histogram h(HistogramOptions{1.0, 1.25, 64});
+  double sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    h.Observe(static_cast<double>(i));
+    sum += i;
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.mean(), sum / 100.0);
+}
+
+TEST(HistogramTest, QuantileWithinOneBucketOfExact) {
+  const HistogramOptions opts{1.0, 1.25, 64};
+  Histogram h(opts);
+  std::vector<double> samples;
+  // Deterministic spread over ~4 decades (well inside the bucket range).
+  for (int i = 0; i < 4000; ++i) {
+    const double x = std::exp(i / 4000.0 * std::log(1.0e4));
+    samples.push_back(x);
+    h.Observe(x);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const std::size_t rank =
+        q == 0.0 ? 0
+                 : static_cast<std::size_t>(std::ceil(
+                       q * static_cast<double>(samples.size()))) - 1;
+    const double exact = samples[rank];
+    const double est = h.Quantile(q);
+    // Documented bound: off by at most one bucket, a factor of `growth`.
+    EXPECT_LE(est, exact * opts.growth * 1.0001) << "q=" << q;
+    EXPECT_GE(est, exact / opts.growth / 1.0001) << "q=" << q;
+  }
+  EXPECT_EQ(h.Quantile(1.0), samples.back());
+}
+
+TEST(HistogramTest, UnderflowAndOverflowBuckets) {
+  Histogram h(HistogramOptions{10.0, 2.0, 4});  // covers [10, 160)
+  h.Observe(1.0);      // underflow
+  h.Observe(1.0e9);    // overflow
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1.0e9);
+  EXPECT_TRUE(std::isinf(h.UpperBound(h.buckets().size() - 1)));
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  Histogram a, b;
+  for (int i = 1; i <= 50; ++i) a.Observe(i);
+  for (int i = 51; i <= 100; ++i) b.Observe(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 100.0);
+  EXPECT_EQ(a.sum(), 100.0 * 101.0 / 2.0);
+}
+
+TEST(HistogramTest, SubtractBaselineIsolatesInterval) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);
+  Histogram earlier = h;  // snapshot
+  for (int i = 0; i < 50; ++i) h.Observe(7.0);
+  Histogram later = h;
+  later.SubtractBaseline(earlier);
+  EXPECT_EQ(later.count(), 50u);
+  EXPECT_EQ(later.sum(), 50.0 * 7.0);
+}
+
+TEST(MetricsSnapshotTest, DiffSubtractsCountersAndKeepsLaterGauges) {
+  MetricsRegistry registry;
+  obs::Counter& c = registry.counter("events_total");
+  obs::Gauge& g = registry.gauge("depth");
+  c.Inc(5);
+  g.Set(3.0);
+  const obs::MetricsSnapshot earlier = registry.Snapshot();
+  c.Inc(7);
+  g.Set(9.0);
+  const obs::MetricsSnapshot later = registry.Snapshot();
+  const obs::MetricsSnapshot diff = obs::DiffSnapshots(later, earlier);
+  ASSERT_EQ(diff.counters.size(), 1u);
+  EXPECT_EQ(diff.counters[0].value, 7u);
+  ASSERT_EQ(diff.gauges.size(), 1u);
+  EXPECT_EQ(diff.gauges[0].value, 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(ExporterTest, JsonExportContainsEverySection) {
+  MetricsRegistry registry;
+  registry.counter("hits_total", {{"kind", "hbm"}}).Inc(3);
+  registry.gauge("depth").Set(1.5);
+  registry.histogram("latency_ns").Observe(12.0);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Labels are part of the metric key: hits_total{kind="hbm"}.
+  EXPECT_NE(json.find("hits_total{kind=\\\"hbm\\\"}"), std::string::npos);
+  EXPECT_NE(json.find("latency_ns"), std::string::npos);
+}
+
+TEST(ExporterTest, PrometheusFormat) {
+  MetricsRegistry registry;
+  registry.counter("hits_total").Inc(3);
+  registry.gauge("depth").Set(1.5);
+  registry.histogram("latency_ns").Observe(12.0);
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE hits_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("hits_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE latency_ns histogram"), std::string::npos);
+  EXPECT_NE(prom.find("latency_ns_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("latency_ns_sum 12"), std::string::npos);
+  EXPECT_NE(prom.find("latency_ns_count 1"), std::string::npos);
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(obs::EscapeJson("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(JsonWriterTest, CompactObjectIsWellFormed) {
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os, /*indent=*/0);
+    w.BeginObject();
+    w.KV("name", "x\"y");
+    w.KV("n", std::uint64_t{7});
+    w.KV("ok", true);
+    w.Key("list");
+    w.BeginArray();
+    w.Value(1);
+    w.Value(2);
+    w.EndArray();
+    w.EndObject();
+  }
+  EXPECT_EQ(os.str(), "{\"name\":\"x\\\"y\",\"n\":7,\"ok\":true,"
+                      "\"list\":[1,2]}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os, 0);
+    w.BeginArray();
+    w.Value(std::nan(""));
+    w.EndArray();
+  }
+  EXPECT_EQ(os.str(), "[null]");
+}
+
+// ---------------------------------------------------------------------------
+// Span tracer
+// ---------------------------------------------------------------------------
+
+TEST(SpanTracerTest, NestedSpansCloseWellFormed) {
+  SpanTracer tracer;
+  tracer.SetTrackName(0, "stage0");
+  const auto outer = tracer.BeginSpan(0, "outer", 0.0);
+  const auto inner = tracer.BeginSpan(0, "inner", 10.0);
+  EXPECT_EQ(tracer.open_spans(), 2u);
+  tracer.EndSpan(0, inner, 20.0);
+  tracer.EndSpan(0, outer, 30.0);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+  // One metadata event (track name) + two complete spans.
+  EXPECT_EQ(tracer.num_events(), 3u);
+}
+
+TEST(SpanTracerDeathTest, MisnestedEndAborts) {
+  SpanTracer tracer;
+  const auto outer = tracer.BeginSpan(0, "outer", 0.0);
+  tracer.BeginSpan(0, "inner", 10.0);
+  // Closing the outer span while the inner one is still open violates the
+  // per-track LIFO contract.
+  EXPECT_DEATH(tracer.EndSpan(0, outer, 20.0), "");
+}
+
+TEST(SpanTracerTest, ChromeJsonSchema) {
+  SpanTracer tracer(TracerOptions{1, "unit-test"});
+  tracer.SetTrackName(1, "memsim bank 0");
+  tracer.CompleteSpan(1, "access", 100.0, 250.0);
+  tracer.AsyncSpan("query", 17, 50.0, 400.0);
+  tracer.Instant(1, "marker", 300.0);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("unit-test"), std::string::npos);
+  EXPECT_NE(json.find("memsim bank 0"), std::string::npos);
+  // Complete spans carry both timestamp and duration.
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+}
+
+TEST(SpanTracerTest, SamplingIsDeterministicInQueryIndex) {
+  SpanTracer every(TracerOptions{1});
+  SpanTracer third(TracerOptions{3});
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(every.SampleQuery(i));
+    EXPECT_EQ(third.SampleQuery(i), i % 3 == 0);
+    // Stateless: asking twice gives the same answer.
+    EXPECT_EQ(third.SampleQuery(i), third.SampleQuery(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Identity gate: telemetry must never change simulation results
+// ---------------------------------------------------------------------------
+
+RecModelSpec TinyModel() {
+  RecModelSpec model;
+  model.name = "tiny-obs-test";
+  model.seed = 99;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    TableSpec spec;
+    spec.id = i;
+    spec.name = "t" + std::to_string(i);
+    spec.rows = 64 + 16 * i;
+    spec.dim = (i % 2 == 0) ? 4 : 8;
+    model.tables.push_back(spec);
+  }
+  model.mlp.input_dim = model.FeatureLength();
+  model.mlp.hidden = {48, 24, 12};
+  return model;
+}
+
+TEST(TelemetryIdentityTest, SystemSimulatorResultsAreBitForBitIdentical) {
+  EngineOptions options;
+  options.materialize = false;
+  const auto engine = MicroRecEngine::Build(TinyModel(), options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  SystemSimulator bare(*engine);
+  const SystemSimReport without = bare.Run(400);
+
+  MetricsRegistry registry;
+  SpanTracer tracer(TracerOptions{4, "obs-test"});
+  SystemSimulator instrumented(*engine);
+  instrumented.set_telemetry(obs::Telemetry{&registry, &tracer});
+  const SystemSimReport with = instrumented.Run(400);
+
+  // Every numeric result field, compared exactly (no tolerance).
+  EXPECT_EQ(with.items, without.items);
+  EXPECT_EQ(with.makespan_ns, without.makespan_ns);
+  EXPECT_EQ(with.throughput_items_per_s, without.throughput_items_per_s);
+  EXPECT_EQ(with.item_latency_p50, without.item_latency_p50);
+  EXPECT_EQ(with.item_latency_p99, without.item_latency_p99);
+  EXPECT_EQ(with.item_latency_max, without.item_latency_max);
+  EXPECT_EQ(with.lookup_latency_mean, without.lookup_latency_mean);
+  EXPECT_EQ(with.lookup_latency_max, without.lookup_latency_max);
+  EXPECT_EQ(with.peak_bank_utilization, without.peak_bank_utilization);
+
+  // The observability side effects only exist on the instrumented run.
+  EXPECT_TRUE(without.attribution.empty());
+  EXPECT_FALSE(with.attribution.empty());
+  EXPECT_GT(registry.size(), 0u);
+  EXPECT_GT(tracer.num_events(), 0u);
+  EXPECT_EQ(tracer.open_spans(), 0u);
+}
+
+TEST(TelemetryIdentityTest, AttributionSumsToP99ItemLatency) {
+  EngineOptions options;
+  options.materialize = false;
+  const auto engine = MicroRecEngine::Build(TinyModel(), options);
+  ASSERT_TRUE(engine.ok());
+
+  MetricsRegistry registry;
+  SystemSimulator sim(*engine);
+  sim.set_telemetry(obs::Telemetry{&registry, nullptr});
+  const SystemSimReport report =
+      sim.Run(500, engine->timing().initiation_interval_ns);
+
+  ASSERT_FALSE(report.attribution.empty());
+  double p99_share_sum = 0.0;
+  double mean_sum = 0.0;
+  for (const auto& stage : report.attribution) {
+    EXPECT_GE(stage.p99_item_ns, 0.0) << stage.name;
+    EXPECT_GE(stage.occupancy, 0.0);
+    EXPECT_LE(stage.occupancy, 1.0 + 1e-9);
+    p99_share_sum += stage.p99_item_ns;
+    mean_sum += stage.mean_ns;
+  }
+  EXPECT_GT(report.p99_item_latency_ns, 0.0);
+  EXPECT_NEAR(p99_share_sum, report.p99_item_latency_ns,
+              1e-6 * report.p99_item_latency_ns);
+  EXPECT_GT(mean_sum, 0.0);
+}
+
+TEST(TelemetryIdentityTest, MemsimBatchUnchangedByTelemetry) {
+  const MemoryPlatformSpec spec = MemoryPlatformSpec::AlveoU280();
+  std::vector<BankAccess> accesses;
+  for (std::uint32_t i = 0; i < 96; ++i) {
+    accesses.push_back(BankAccess{i % 7, 64, i});
+  }
+
+  HybridMemorySystem bare(spec);
+  const LookupBatchResult without = bare.IssueBatch(accesses, 100.0);
+
+  MetricsRegistry registry;
+  MemsimTelemetry telemetry(&registry, spec);
+  HybridMemorySystem instrumented(spec);
+  instrumented.set_telemetry(&telemetry);
+  const LookupBatchResult with = instrumented.IssueBatch(accesses, 100.0);
+
+  EXPECT_EQ(with.start_ns, without.start_ns);
+  EXPECT_EQ(with.completion_ns, without.completion_ns);
+  ASSERT_EQ(with.completions.size(), without.completions.size());
+  for (std::size_t i = 0; i < with.completions.size(); ++i) {
+    EXPECT_EQ(with.completions[i].tag, without.completions[i].tag);
+    EXPECT_EQ(with.completions[i].start_ns, without.completions[i].start_ns);
+    EXPECT_EQ(with.completions[i].completion_ns,
+              without.completions[i].completion_ns);
+    EXPECT_EQ(with.completions[i].queue_delay_ns,
+              without.completions[i].queue_delay_ns);
+  }
+  // And the registry actually saw the traffic.
+  EXPECT_GT(registry.size(), 0u);
+}
+
+}  // namespace
+}  // namespace microrec

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Observability smoke of the verify path: builds the main tree, generates a
+# model, runs `microrec trace` on a small workload, and validates the three
+# artifacts -- trace.json (Chrome trace-event schema), metrics.json
+# (structured dump), and metrics.prom (Prometheus text format) -- then runs
+# the telemetry unit tests, including the identity gates that assert
+# simulation results are bit-for-bit unchanged by instrumentation.
+# Usage: tools/verify_obs.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-"$repo/build"}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target microrec obs_test
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$build/tools/microrec" modelgen small --out "$workdir/model.txt" >/dev/null
+"$build/tools/microrec" trace "$workdir/model.txt" \
+  --queries 500 --qps 200000 --sample 5 \
+  --trace-out "$workdir/trace.json" \
+  --metrics-out "$workdir/metrics.json" \
+  --prom-out "$workdir/metrics.prom" | grep -q "p99 latency attribution"
+
+# Both JSON artifacts must parse, and the trace must carry the Chrome
+# trace-event envelope with complete spans and track metadata.
+python3 -m json.tool "$workdir/trace.json" >/dev/null
+python3 -m json.tool "$workdir/metrics.json" >/dev/null
+grep -q '"traceEvents"' "$workdir/trace.json"
+grep -q '"ph":"X"' "$workdir/trace.json"
+grep -q 'process_name' "$workdir/trace.json"
+grep -q '"counters"' "$workdir/metrics.json"
+grep -q 'system_item_latency_ns' "$workdir/metrics.json"
+
+# Prometheus exposition format: TYPE lines plus histogram series.
+grep -q '^# TYPE ' "$workdir/metrics.prom"
+grep -q '_bucket{' "$workdir/metrics.prom"
+grep -q '_count' "$workdir/metrics.prom"
+
+"$build/tests/obs_test" >/dev/null
+
+echo "obs verify OK (trace + metrics artifacts + identity gates)"

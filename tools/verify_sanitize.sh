@@ -4,7 +4,10 @@
 # memory/concurrency bugs -- the lock-free versioned store, the update
 # subsystem around it, the hot cache, the embedding/Cartesian layer it
 # feeds, and the fault-injection / failover / degraded-serving machinery
-# (rejected-access bookkeeping, retry state machine, schedule generation).
+# (rejected-access bookkeeping, retry state machine, schedule generation),
+# plus the telemetry layer (metrics registry, histograms, span tracer,
+# identity gates) and the concurrency-sensitive PercentileTracker/logging
+# paths.
 # Usage:
 #   tools/verify_sanitize.sh [build-dir] [ctest -R regex]
 # The regex matches ctest's discovered names (Suite.Test, e.g. "HotCache").
@@ -13,7 +16,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-"$repo/build-asan"}"
-filter="${2:-"Update|VersionedStore|HotCache|Embedding|Combined|Hybrid|FaultSchedule|FaultInjector|Failover|RetryPolicy|DmaRetry|DegradedServing|FailureDeath|Scaleout|ProvisionFleet"}"
+filter="${2:-"Update|VersionedStore|HotCache|Embedding|Combined|Hybrid|FaultSchedule|FaultInjector|Failover|RetryPolicy|DmaRetry|DegradedServing|FailureDeath|Scaleout|ProvisionFleet|Metrics|Histogram|Exporter|JsonWriter|SpanTracer|TelemetryIdentity|PercentileTracker|Logging"}"
 
 cmake -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
