@@ -15,6 +15,7 @@
 #include "bench_util.hpp"
 #include "common/table_printer.hpp"
 #include "core/microrec.hpp"
+#include "exec/parallel.hpp"
 #include "faults/degraded_serving.hpp"
 #include "faults/failover.hpp"
 #include "faults/fault_schedule.hpp"
@@ -74,73 +75,109 @@ int main() {
   bench::JsonReport json("ablation_faults");
   TablePrinter table({"Replication", "Failed ch", "Availability",
                       "Shed rate", "p50 (us)", "p99 (us)"});
+
+  // Plans are shared read-only inputs built serially; the flattened
+  // (replication, failed-channels) grid then runs on the deterministic
+  // parallel engine (exec/) and prints in index order -- the table is
+  // byte-identical at any thread count.
+  struct Case {
+    std::uint32_t replication = 0;
+    ReplicationPlan plan;
+    std::vector<std::uint32_t> candidates;
+    Nanoseconds item_latency_ns = 0.0;
+  };
+  std::vector<Case> cases;
   for (std::uint32_t replication : {1u, 2u, 4u}) {
     ReplicationOptions ropts;
     ropts.lookups_per_table = model.lookups_per_table;
     ropts.max_replicas = replication;
     ropts.availability_replicas = replication;
-    const auto plan =
-        ReplicateAndPlace(model.tables, platform, ropts).value();
-    const auto candidates = FailureCandidates(plan, platform.hbm_channels);
-    const Nanoseconds item_latency = engine.ItemLatency() -
-                                     engine.EmbeddingLookupLatency() +
-                                     plan.lookup_latency_ns;
+    Case c;
+    c.replication = replication;
+    c.plan = ReplicateAndPlace(model.tables, platform, ropts).value();
+    c.candidates = FailureCandidates(c.plan, platform.hbm_channels);
+    c.item_latency_ns = engine.ItemLatency() -
+                        engine.EmbeddingLookupLatency() +
+                        c.plan.lookup_latency_ns;
+    cases.push_back(std::move(c));
+  }
+  struct Point {
+    std::size_t case_index = 0;
+    std::uint64_t failed = 0;
+  };
+  std::vector<Point> grid;
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    for (std::uint64_t k = 0;
+         k <= kMaxFailed && k <= cases[c].candidates.size(); ++k) {
+      grid.push_back(Point{c, k});
+    }
+  }
 
-    for (std::uint64_t k = 0; k <= kMaxFailed && k <= candidates.size();
-         ++k) {
-      const std::vector<std::uint32_t> failed(candidates.begin(),
-                                              candidates.begin() + k);
-      const FaultSchedule schedule = FaultSchedule::FailChannels(failed);
-      const FailoverRouter router(&plan, &schedule);
+  exec::ParallelRunner runner(
+      exec::ExecConfig::WithThreads(exec::DefaultThreads()));
+  const auto reports = runner.Map(grid.size(), [&](std::size_t p) {
+    const Case& c = cases[grid[p].case_index];
+    const std::vector<std::uint32_t> failed(
+        c.candidates.begin(), c.candidates.begin() + grid[p].failed);
+    const FaultSchedule schedule = FaultSchedule::FailChannels(failed);
+    const FailoverRouter router(&c.plan, &schedule);
 
+    DegradedServingConfig config;
+    config.pipeline_replicas = 1;
+    config.item_latency_ns = c.item_latency_ns;
+    config.initiation_interval_ns = engine.timing().initiation_interval_ns;
+    config.base_lookup_latency_ns = c.plan.lookup_latency_ns;
+    config.lookups_per_table = model.lookups_per_table;
+    return SimulateDegradedServing(arrivals, config, schedule, &router,
+                                   &platform)
+        .value();
+  });
+
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    const Case& c = cases[grid[p].case_index];
+    const std::uint64_t k = grid[p].failed;
+    const DegradedServingReport& report = reports[p];
+
+    if (k == 0) {
+      // Part (b): zero injected faults == the fault-free simulator,
+      // field for field.
       DegradedServingConfig config;
       config.pipeline_replicas = 1;
-      config.item_latency_ns = item_latency;
+      config.item_latency_ns = c.item_latency_ns;
       config.initiation_interval_ns = engine.timing().initiation_interval_ns;
-      config.base_lookup_latency_ns = plan.lookup_latency_ns;
-      config.lookups_per_table = model.lookups_per_table;
-      const auto report =
-          SimulateDegradedServing(arrivals, config, schedule, &router,
-                                  &platform)
-              .value();
-
-      if (k == 0) {
-        // Part (b): zero injected faults == the fault-free simulator,
-        // field for field.
-        const auto baseline = SimulateReplicatedPipelines(
-                                  arrivals, config.pipeline_replicas,
-                                  config.item_latency_ns,
-                                  config.initiation_interval_ns,
-                                  config.sla_ns)
-                                  .value();
-        const bool same = report.availability == 1.0 &&
-                          report.serving.p50 == baseline.p50 &&
-                          report.serving.p95 == baseline.p95 &&
-                          report.serving.p99 == baseline.p99 &&
-                          report.serving.max == baseline.max &&
-                          report.serving.mean == baseline.mean &&
-                          report.serving.achieved_qps ==
-                              baseline.achieved_qps;
-        if (!same) {
-          identity_ok = false;
-          std::printf("IDENTITY FAILURE at replication %u: fault-aware "
-                      "p99 %.3f vs fault-free %.3f\n",
-                      replication, report.serving.p99, baseline.p99);
-        }
+      const auto baseline = SimulateReplicatedPipelines(
+                                arrivals, config.pipeline_replicas,
+                                config.item_latency_ns,
+                                config.initiation_interval_ns,
+                                config.sla_ns)
+                                .value();
+      const bool same = report.availability == 1.0 &&
+                        report.serving.p50 == baseline.p50 &&
+                        report.serving.p95 == baseline.p95 &&
+                        report.serving.p99 == baseline.p99 &&
+                        report.serving.max == baseline.max &&
+                        report.serving.mean == baseline.mean &&
+                        report.serving.achieved_qps ==
+                            baseline.achieved_qps;
+      if (!same) {
+        identity_ok = false;
+        std::printf("IDENTITY FAILURE at replication %u: fault-aware "
+                    "p99 %.3f vs fault-free %.3f\n",
+                    c.replication, report.serving.p99, baseline.p99);
       }
-
-      table.AddRow({std::to_string(replication), std::to_string(k),
-                    TablePrinter::Num(100.0 * report.availability, 2) + "%",
-                    TablePrinter::Num(100.0 * report.shed_rate, 2) + "%",
-                    TablePrinter::Num(report.serving.p50 / 1000.0, 2),
-                    TablePrinter::Num(report.serving.p99 / 1000.0, 2)});
-      json.AddRecord({{"replication", replication},
-                      {"failed_channels", k},
-                      {"availability", report.availability},
-                      {"shed_rate", report.shed_rate},
-                      {"p50_ns", report.serving.p50},
-                      {"p99_ns", report.serving.p99}});
     }
+
+    table.AddRow({std::to_string(c.replication), std::to_string(k),
+                  TablePrinter::Num(100.0 * report.availability, 2) + "%",
+                  TablePrinter::Num(100.0 * report.shed_rate, 2) + "%",
+                  TablePrinter::Num(report.serving.p50 / 1000.0, 2),
+                  TablePrinter::Num(report.serving.p99 / 1000.0, 2)});
+    json.AddRecord({{"replication", c.replication},
+                    {"failed_channels", k},
+                    {"availability", report.availability},
+                    {"shed_rate", report.shed_rate},
+                    {"p50_ns", report.serving.p50},
+                    {"p99_ns", report.serving.p99}});
   }
   table.Print();
   json.Meta("zero_fault_identity", identity_ok);

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 #include "common/table_printer.hpp"
 #include "core/microrec.hpp"
+#include "exec/parallel.hpp"
 #include "update/serving_update_sim.hpp"
 #include "workload/model_zoo.hpp"
 
@@ -37,23 +38,38 @@ int main() {
                       "yield p99 (us)", "yield stale p99 (us)"});
   bench::JsonReport json("ablation_update_rate");
   const double rates[] = {0.0, 1e5, 5e5, 1e6, 5e6, 2e7};
-  for (double rate : rates) {
-    std::vector<std::string> row = {TablePrinter::Num(rate, 0)};
-    for (WritePolicy policy :
-         {WritePolicy::kFairInterleave, WritePolicy::kUpdatesYield}) {
-      UpdateServingConfig config;
-      config.item_latency_ns = engine.timing().item_latency_ns;
-      config.initiation_interval_ns = engine.timing().initiation_interval_ns;
-      config.deltas.update_row_qps = rate;
-      config.deltas.seed = 11;
-      config.policy = policy;
-      const auto report = SimulateServingWithUpdates(
-          model, engine.plan(), options.platform, arrivals, config);
+  const WritePolicy policies[] = {WritePolicy::kFairInterleave,
+                                  WritePolicy::kUpdatesYield};
+
+  // The rate x policy grid is independent point-wise: run it on the
+  // deterministic parallel engine (exec/), then print in index order --
+  // same table at any thread count.
+  const std::size_t num_rates = std::size(rates);
+  const std::size_t num_policies = std::size(policies);
+  exec::ParallelRunner runner(
+      exec::ExecConfig::WithThreads(exec::DefaultThreads()));
+  const auto reports =
+      runner.Map(num_rates * num_policies, [&](std::size_t p) {
+        UpdateServingConfig config;
+        config.item_latency_ns = engine.timing().item_latency_ns;
+        config.initiation_interval_ns =
+            engine.timing().initiation_interval_ns;
+        config.deltas.update_row_qps = rates[p / num_policies];
+        config.deltas.seed = 11;
+        config.policy = policies[p % num_policies];
+        return SimulateServingWithUpdates(model, engine.plan(),
+                                          options.platform, arrivals, config);
+      });
+
+  for (std::size_t r = 0; r < num_rates; ++r) {
+    std::vector<std::string> row = {TablePrinter::Num(rates[r], 0)};
+    for (std::size_t q = 0; q < num_policies; ++q) {
+      const auto& report = reports[r * num_policies + q];
       row.push_back(TablePrinter::Num(report.serving.p99 / 1000.0, 2));
       row.push_back(TablePrinter::Num(report.staleness_p99 / 1000.0, 2));
       json.AddRecord({{"qps", kQueryQps},
-                      {"update_qps", rate},
-                      {"policy", WritePolicyName(policy)},
+                      {"update_qps", rates[r]},
+                      {"policy", WritePolicyName(policies[q])},
                       {"p99_ns", report.serving.p99},
                       {"staleness_p99_ns", report.staleness_p99}});
     }

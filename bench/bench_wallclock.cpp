@@ -1,0 +1,163 @@
+// Wall-clock throughput of the parallel experiment engine (perf extension,
+// not a paper table): how many simulated queries per wall-second does a
+// fixed update-rate sweep sustain at 1/2/4/8 worker threads, and does every
+// thread count reproduce the 1-thread run bit for bit?
+//
+// The workload is the update-sweep grid the CLI runs (rate x policy points
+// over a shared Poisson arrival stream); each point is one full
+// update-aware serving simulation on its own private memory system, so the
+// sweep is embarrassingly parallel and any deviation from linear scaling is
+// engine overhead (sharding, futures, merge).
+//
+// Bit-identity is asserted unconditionally and fails the run: the N-thread
+// reports must equal the 1-thread reports field for field (double ==, no
+// tolerance). The >= 3x speedup-at-8-threads gate only applies on hosts
+// with >= 8 hardware threads -- on smaller machines (including single-core
+// CI containers, where threading physically cannot pay) the measured
+// numbers are still printed and recorded in BENCH_wallclock.json.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/microrec.hpp"
+#include "exec/parallel.hpp"
+#include "update/serving_update_sim.hpp"
+#include "workload/model_zoo.hpp"
+
+using namespace microrec;
+
+namespace {
+
+struct SweepPoint {
+  double update_qps = 0.0;
+  WritePolicy policy = WritePolicy::kFairInterleave;
+};
+
+bool SameReport(const UpdateServingReport& a, const UpdateServingReport& b) {
+  return a.serving.queries == b.serving.queries &&
+         a.serving.p50 == b.serving.p50 && a.serving.p95 == b.serving.p95 &&
+         a.serving.p99 == b.serving.p99 && a.serving.max == b.serving.max &&
+         a.serving.mean == b.serving.mean &&
+         a.serving.achieved_qps == b.serving.achieved_qps &&
+         a.staleness_p50 == b.staleness_p50 &&
+         a.staleness_p99 == b.staleness_p99 &&
+         a.update_batches == b.update_batches &&
+         a.update_rows == b.update_rows && a.publishes == b.publishes &&
+         a.delayed_queries == b.delayed_queries &&
+         a.migrations == b.migrations;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Parallel experiment engine: simulated queries per wall-second",
+      "perf extension (deterministic sweep parallelism, DESIGN.md s11)");
+
+  const auto model = SmallProductionModel();
+  EngineOptions options;
+  options.materialize = false;
+  const auto engine = MicroRecEngine::Build(model, options).value();
+
+  constexpr double kQueryQps = 200'000.0;
+  constexpr std::uint64_t kQueries = 20'000;
+  const auto arrivals = PoissonArrivals(kQueryQps, kQueries, 7);
+
+  // 16 points: 8 update rates x 2 policies, the update-sweep CLI's grid at
+  // double width so an 8-thread run has two full waves of work.
+  std::vector<SweepPoint> points;
+  const double rates[] = {0.0, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7, 2e7};
+  for (double rate : rates) {
+    for (WritePolicy policy :
+         {WritePolicy::kFairInterleave, WritePolicy::kUpdatesYield}) {
+      points.push_back(SweepPoint{rate, policy});
+    }
+  }
+  const double simulated_queries =
+      static_cast<double>(kQueries) * static_cast<double>(points.size());
+  std::printf("workload: %zu sweep points x %llu queries (%.1fM simulated "
+              "queries per run), %zu hardware thread(s)\n",
+              points.size(), (unsigned long long)kQueries,
+              simulated_queries / 1e6, exec::DefaultThreads());
+
+  auto run_sweep = [&](std::size_t threads) {
+    exec::ParallelRunner runner(exec::ExecConfig::WithThreads(threads));
+    return runner.Map(points.size(), [&](std::size_t p) {
+      UpdateServingConfig config;
+      config.item_latency_ns = engine.timing().item_latency_ns;
+      config.initiation_interval_ns = engine.timing().initiation_interval_ns;
+      config.deltas.update_row_qps = points[p].update_qps;
+      config.deltas.seed = 11;
+      config.policy = points[p].policy;
+      return SimulateServingWithUpdates(model, engine.plan(),
+                                        options.platform, arrivals, config);
+    });
+  };
+
+  const std::vector<UpdateServingReport> baseline = run_sweep(1);
+
+  TablePrinter table({"Threads", "Wall (ms)", "Sim queries / wall-s",
+                      "Speedup vs 1T", "Bit-identical"});
+  bench::JsonReport json("wallclock");
+  json.Meta("sweep_points", static_cast<std::uint64_t>(points.size()));
+  json.Meta("queries_per_point", kQueries);
+  json.Meta("hardware_threads",
+            static_cast<std::uint64_t>(exec::DefaultThreads()));
+
+  bool all_identical = true;
+  double wall_ms_1t = 0.0;
+  double speedup_at_8 = 0.0;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<UpdateServingReport> reports;
+    const Nanoseconds wall_ns =
+        bench::TimeMedian(3, [&] { reports = run_sweep(threads); });
+    bool identical = reports.size() == baseline.size();
+    for (std::size_t p = 0; identical && p < reports.size(); ++p) {
+      identical = SameReport(reports[p], baseline[p]);
+    }
+    all_identical = all_identical && identical;
+
+    const double wall_ms = wall_ns / 1e6;
+    if (threads == 1) wall_ms_1t = wall_ms;
+    const double speedup = wall_ms > 0.0 ? wall_ms_1t / wall_ms : 0.0;
+    if (threads == 8) speedup_at_8 = speedup;
+    const double qps_wall = simulated_queries / (wall_ns / 1e9);
+    table.AddRow({std::to_string(threads), TablePrinter::Num(wall_ms, 1),
+                  TablePrinter::Sci(qps_wall, 2),
+                  TablePrinter::Num(speedup, 2) + "x",
+                  identical ? "yes" : "NO"});
+    json.AddRecord({{"threads", static_cast<std::uint64_t>(threads)},
+                    {"wall_ms", wall_ms},
+                    {"sim_queries_per_wall_s", qps_wall},
+                    {"speedup_vs_1t", speedup},
+                    {"identical", identical}});
+  }
+  table.Print();
+  json.Meta("all_identical", all_identical);
+  json.WriteFile();
+
+  if (!all_identical) {
+    std::printf("FAIL: a multi-thread run diverged from the 1-thread "
+                "baseline\n");
+    return 1;
+  }
+  bench::PrintNote(
+      "every thread count reproduced the serial sweep bit for bit");
+  if (exec::DefaultThreads() >= 8) {
+    if (speedup_at_8 < 3.0) {
+      std::printf("FAIL: expected >= 3x speedup at 8 threads on this "
+                  "%zu-thread host, measured %.2fx\n",
+                  exec::DefaultThreads(), speedup_at_8);
+      return 1;
+    }
+    std::printf("speedup at 8 threads: %.2fx (>= 3x gate passed)\n",
+                speedup_at_8);
+  } else {
+    std::printf("note: host has %zu hardware thread(s); the >= 3x "
+                "speedup-at-8-threads gate needs >= 8 and was not "
+                "enforced\n",
+                exec::DefaultThreads());
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include "core/microrec.hpp"
 #include "core/serialization.hpp"
 #include "core/system_sim.hpp"
+#include "exec/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span_tracer.hpp"
 #include "faults/degraded_serving.hpp"
@@ -15,6 +17,7 @@
 #include "faults/fault_schedule.hpp"
 #include "placement/heuristic.hpp"
 #include "placement/replication.hpp"
+#include "serving/scaleout.hpp"
 #include "serving/serving_sim.hpp"
 #include "update/serving_update_sim.hpp"
 #include "workload/model_zoo.hpp"
@@ -66,6 +69,15 @@ PlacementOptions OptionsFor(const RecModelSpec& model, const ArgList& args) {
   options.allow_cartesian = !args.HasFlag("no-cartesian");
   options.allow_onchip = !args.HasFlag("no-onchip");
   return options;
+}
+
+/// Parses the sweep commands' shared --threads option (default 1 keeps the
+/// historical serial behaviour; 0 = one per hardware thread). The sweeps'
+/// stdout is byte-identical at every thread count -- see exec/parallel.hpp.
+StatusOr<std::size_t> ThreadsFromArgs(const ArgList& args) {
+  auto threads = args.GetUint("threads", 1);
+  if (!threads.ok()) return threads.status();
+  return exec::ResolveThreads(static_cast<std::size_t>(*threads));
 }
 
 }  // namespace
@@ -343,7 +355,7 @@ Status CmdTrace(const ArgList& args, std::ostream& out) {
 Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
       {"queries", "qps", "seed", "points", "update-qps-max", "policy",
-       "json"}));
+       "json", "threads"}));
   auto model = LoadModelArg(args);
   if (!model.ok()) return model.status();
 
@@ -374,12 +386,43 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
     }
   }
 
+  auto threads = ThreadsFromArgs(args);
+  if (!threads.ok()) return threads.status();
+
   EngineOptions options;
   options.materialize = false;
   auto engine = MicroRecEngine::Build(*model, options);
   if (!engine.ok()) return engine.status();
   const auto arrivals =
       PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+
+  // Point k sweeps geometrically from update-qps-max / 2^(points-2) up to
+  // update-qps-max, with an exact 0 first (the no-update baseline).
+  std::vector<double> rates(*points, 0.0);
+  for (std::uint64_t k = 1; k < *points; ++k) {
+    double rate = static_cast<double>(*update_max);
+    for (std::uint64_t i = k + 1; i < *points; ++i) rate /= 2.0;
+    rates[k] = rate;
+  }
+
+  // The points share only read-only state (model, plan, arrivals); every
+  // simulation constructs its own memory system and delta stream, so they
+  // map cleanly onto the parallel runner. Reports come back in point order
+  // and all printing happens below, serially -- stdout and the JSON file
+  // are byte-identical at any --threads value.
+  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(*threads));
+  const std::vector<UpdateServingReport> reports =
+      runner.Map(rates.size(), [&](std::size_t k) {
+        UpdateServingConfig config;
+        config.item_latency_ns = engine->timing().item_latency_ns;
+        config.initiation_interval_ns =
+            engine->timing().initiation_interval_ns;
+        config.deltas.update_row_qps = rates[k];
+        config.deltas.seed = *seed + 1;
+        config.policy = policy;
+        return SimulateServingWithUpdates(*model, engine->plan(),
+                                          options.platform, arrivals, config);
+      });
 
   out << "update sweep for " << model->name << ": " << *queries
       << " queries at " << *qps << " QPS, policy "
@@ -391,32 +434,18 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
   json << "{\n  \"command\": \"update-sweep\",\n  \"model\": \""
        << model->name << "\",\n  \"qps\": " << *qps << ",\n  \"policy\": \""
        << WritePolicyName(policy) << "\",\n  \"records\": [\n";
-  // Point k sweeps geometrically from update-qps-max / 2^(points-2) up to
-  // update-qps-max, with an exact 0 first (the no-update baseline).
   for (std::uint64_t k = 0; k < *points; ++k) {
-    double rate = 0.0;
-    if (k > 0) {
-      rate = static_cast<double>(*update_max);
-      for (std::uint64_t i = k + 1; i < *points; ++i) rate /= 2.0;
-    }
-    UpdateServingConfig config;
-    config.item_latency_ns = engine->timing().item_latency_ns;
-    config.initiation_interval_ns = engine->timing().initiation_interval_ns;
-    config.deltas.update_row_qps = rate;
-    config.deltas.seed = *seed + 1;
-    config.policy = policy;
-    const auto report = SimulateServingWithUpdates(
-        *model, engine->plan(), options.platform, arrivals, config);
+    const UpdateServingReport& report = reports[k];
     char line[160];
     std::snprintf(line, sizeof line,
                   "%10.0f  %6.2f  %6.2f  %12.2f  %12.2f  %10llu  %10llu\n",
-                  rate, report.serving.p50 / 1000.0,
+                  rates[k], report.serving.p50 / 1000.0,
                   report.serving.p99 / 1000.0, report.staleness_p50 / 1000.0,
                   report.staleness_p99 / 1000.0,
                   (unsigned long long)report.delayed_queries,
                   (unsigned long long)report.migrations);
     out << line;
-    json << "    {\"update_qps\": " << rate
+    json << "    {\"update_qps\": " << rates[k]
          << ", \"p99_ns\": " << report.serving.p99
          << ", \"staleness_p99_ns\": " << report.staleness_p99
          << ", \"publishes\": " << report.publishes << "}"
@@ -437,7 +466,7 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
 
 Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
-      {"queries", "qps", "seed", "max-failed", "json"}));
+      {"queries", "qps", "seed", "max-failed", "json", "threads"}));
   auto model = LoadModelArg(args);
   if (!model.ok()) return model.status();
 
@@ -451,6 +480,8 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   if (!seed.ok()) return seed.status();
   auto max_failed = args.GetUint("max-failed", 8);
   if (!max_failed.ok()) return max_failed.status();
+  auto threads = ThreadsFromArgs(args);
+  if (!threads.ok()) return threads.status();
 
   const auto platform = MemoryPlatformSpec::AlveoU280();
   EngineOptions options;
@@ -459,6 +490,96 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   if (!engine.ok()) return engine.status();
   const auto arrivals =
       PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+
+  // Replication plans are built serially up front (they are shared,
+  // read-only inputs); the flattened (replication, failed-channels) grid is
+  // then mapped over the parallel runner, each point building its own fault
+  // schedule, router, and degraded-serving simulation.
+  struct ReplicationCase {
+    std::uint32_t replication = 0;
+    ReplicationPlan plan;
+    std::vector<std::uint32_t> candidates;
+    Nanoseconds item_latency_ns = 0.0;
+  };
+  std::vector<ReplicationCase> cases;
+  for (std::uint32_t replication : {1u, 2u, 4u}) {
+    ReplicationOptions ropts;
+    ropts.lookups_per_table = model->lookups_per_table;
+    ropts.max_replicas = replication;
+    ropts.availability_replicas = replication;
+    auto plan = ReplicateAndPlace(model->tables, platform, ropts);
+    if (!plan.ok()) return plan.status();
+
+    ReplicationCase rc;
+    rc.replication = replication;
+    rc.plan = std::move(*plan);
+
+    // Channels worth failing: distinct HBM banks actually serving lookups,
+    // round-robin by replica index (every table's first replica before any
+    // table's second) so k failures spread over k tables the way random
+    // channel failures do, instead of adversarially concentrating on one
+    // table. Deterministic, and guaranteed to hurt.
+    std::uint32_t max_replicas_seen = 0;
+    for (const auto& table : rc.plan.tables) {
+      max_replicas_seen = std::max(max_replicas_seen, table.replicas());
+    }
+    for (std::uint32_t i = 0; i < max_replicas_seen; ++i) {
+      for (const auto& table : rc.plan.tables) {
+        if (i >= table.replicas()) continue;
+        const std::uint32_t bank = table.banks[i];
+        if (bank >= platform.hbm_channels) continue;  // DDR never fails here
+        if (std::find(rc.candidates.begin(), rc.candidates.end(), bank) ==
+            rc.candidates.end()) {
+          rc.candidates.push_back(bank);
+        }
+      }
+    }
+    rc.item_latency_ns = engine->ItemLatency() -
+                         engine->EmbeddingLookupLatency() +
+                         rc.plan.lookup_latency_ns;
+    cases.push_back(std::move(rc));
+  }
+
+  struct FaultPoint {
+    std::size_t case_index = 0;
+    std::uint64_t failed_channels = 0;
+  };
+  std::vector<FaultPoint> grid;
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    for (std::uint64_t k = 0; k <= *max_failed; ++k) {
+      if (k > cases[c].candidates.size()) break;
+      grid.push_back(FaultPoint{c, k});
+    }
+  }
+
+  struct FaultPointResult {
+    Status status;
+    DegradedServingReport report;
+  };
+  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(*threads));
+  const std::vector<FaultPointResult> results =
+      runner.Map(grid.size(), [&](std::size_t p) {
+        const ReplicationCase& rc = cases[grid[p].case_index];
+        const std::uint64_t k = grid[p].failed_channels;
+        const std::vector<std::uint32_t> failed(
+            rc.candidates.begin(), rc.candidates.begin() + k);
+        const FaultSchedule schedule = FaultSchedule::FailChannels(failed);
+        const FailoverRouter router(&rc.plan, &schedule);
+
+        DegradedServingConfig config;
+        config.pipeline_replicas = 1;
+        config.item_latency_ns = rc.item_latency_ns;
+        config.initiation_interval_ns =
+            engine->timing().initiation_interval_ns;
+        config.base_lookup_latency_ns = rc.plan.lookup_latency_ns;
+        config.lookups_per_table = model->lookups_per_table;
+        auto report = SimulateDegradedServing(arrivals, config, schedule,
+                                              &router, &platform);
+        FaultPointResult result;
+        result.status = report.status();
+        if (report.ok()) result.report = std::move(*report);
+        return result;
+      });
 
   out << "fault sweep for " << model->name << ": " << *queries
       << " queries at " << *qps << " QPS, failing up to " << *max_failed
@@ -469,76 +590,164 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   json << "{\n  \"command\": \"fault-sweep\",\n  \"model\": \"" << model->name
        << "\",\n  \"qps\": " << *qps << ",\n  \"records\": [\n";
   bool first_record = true;
-
-  for (std::uint32_t replication : {1u, 2u, 4u}) {
-    ReplicationOptions ropts;
-    ropts.lookups_per_table = model->lookups_per_table;
-    ropts.max_replicas = replication;
-    ropts.availability_replicas = replication;
-    auto plan = ReplicateAndPlace(model->tables, platform, ropts);
-    if (!plan.ok()) return plan.status();
-
-    // Channels worth failing: distinct HBM banks actually serving lookups,
-    // round-robin by replica index (every table's first replica before any
-    // table's second) so k failures spread over k tables the way random
-    // channel failures do, instead of adversarially concentrating on one
-    // table. Deterministic, and guaranteed to hurt.
-    std::vector<std::uint32_t> candidates;
-    std::uint32_t max_replicas_seen = 0;
-    for (const auto& table : plan->tables) {
-      max_replicas_seen = std::max(max_replicas_seen, table.replicas());
-    }
-    for (std::uint32_t i = 0; i < max_replicas_seen; ++i) {
-      for (const auto& table : plan->tables) {
-        if (i >= table.replicas()) continue;
-        const std::uint32_t bank = table.banks[i];
-        if (bank >= platform.hbm_channels) continue;  // DDR never fails here
-        if (std::find(candidates.begin(), candidates.end(), bank) ==
-            candidates.end()) {
-          candidates.push_back(bank);
-        }
-      }
-    }
-
-    const Nanoseconds item_latency = engine->ItemLatency() -
-                                     engine->EmbeddingLookupLatency() +
-                                     plan->lookup_latency_ns;
-    for (std::uint64_t k = 0; k <= *max_failed; ++k) {
-      if (k > candidates.size()) break;
-      const std::vector<std::uint32_t> failed(candidates.begin(),
-                                              candidates.begin() + k);
-      const FaultSchedule schedule = FaultSchedule::FailChannels(failed);
-      const FailoverRouter router(&*plan, &schedule);
-
-      DegradedServingConfig config;
-      config.pipeline_replicas = 1;
-      config.item_latency_ns = item_latency;
-      config.initiation_interval_ns =
-          engine->timing().initiation_interval_ns;
-      config.base_lookup_latency_ns = plan->lookup_latency_ns;
-      config.lookups_per_table = model->lookups_per_table;
-      auto report = SimulateDegradedServing(arrivals, config, schedule,
-                                            &router, &platform);
-      if (!report.ok()) return report.status();
-
-      char line[160];
-      std::snprintf(line, sizeof line,
-                    "%8u  %9llu  %11.2f%%  %5.2f%%  %8.2f  %8.2f\n",
-                    replication, (unsigned long long)k,
-                    100.0 * report->availability, 100.0 * report->shed_rate,
-                    report->serving.p50 / 1000.0,
-                    report->serving.p99 / 1000.0);
-      out << line;
-      json << (first_record ? "" : ",\n") << "    {\"replication\": "
-           << replication << ", \"failed_channels\": " << k
-           << ", \"availability\": " << report->availability
-           << ", \"shed_rate\": " << report->shed_rate
-           << ", \"p50_ns\": " << report->serving.p50
-           << ", \"p99_ns\": " << report->serving.p99 << "}";
-      first_record = false;
-    }
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    if (!results[p].status.ok()) return results[p].status;
+    const std::uint32_t replication = cases[grid[p].case_index].replication;
+    const std::uint64_t k = grid[p].failed_channels;
+    const DegradedServingReport& report = results[p].report;
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%8u  %9llu  %11.2f%%  %5.2f%%  %8.2f  %8.2f\n",
+                  replication, (unsigned long long)k,
+                  100.0 * report.availability, 100.0 * report.shed_rate,
+                  report.serving.p50 / 1000.0,
+                  report.serving.p99 / 1000.0);
+    out << line;
+    json << (first_record ? "" : ",\n") << "    {\"replication\": "
+         << replication << ", \"failed_channels\": " << k
+         << ", \"availability\": " << report.availability
+         << ", \"shed_rate\": " << report.shed_rate
+         << ", \"p50_ns\": " << report.serving.p50
+         << ", \"p99_ns\": " << report.serving.p99 << "}";
+    first_record = false;
   }
   json << "\n  ]\n}\n";
+
+  if (const auto path = args.GetOption("json")) {
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::InvalidArgument("cannot open --json file " + *path);
+    }
+    file << json.str();
+    out << "wrote JSON report to " << *path << "\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdScaleout(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"queries", "seed", "points", "qps-min", "qps-max", "sla-us",
+       "json", "threads"}));
+  auto model = LoadModelArg(args);
+  if (!model.ok()) return model.status();
+
+  auto queries = args.GetUint("queries", 20'000);
+  if (!queries.ok()) return queries.status();
+  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
+  auto seed = args.GetUint("seed", 42);
+  if (!seed.ok()) return seed.status();
+  auto points = args.GetUint("points", 4);
+  if (!points.ok()) return points.status();
+  if (*points == 0) return Status::InvalidArgument("--points must be >= 1");
+  auto qps_min = args.GetUint("qps-min", 500'000);
+  if (!qps_min.ok()) return qps_min.status();
+  auto qps_max = args.GetUint("qps-max", 4'000'000);
+  if (!qps_max.ok()) return qps_max.status();
+  if (*qps_min == 0 || *qps_max < *qps_min) {
+    return Status::InvalidArgument("need 1 <= --qps-min <= --qps-max");
+  }
+  auto sla_us = args.GetUint("sla-us", 100);
+  if (!sla_us.ok()) return sla_us.status();
+  if (*sla_us == 0) return Status::InvalidArgument("--sla-us must be >= 1");
+  auto threads = ThreadsFromArgs(args);
+  if (!threads.ok()) return threads.status();
+
+  EngineOptions options;
+  options.materialize = false;
+  auto engine = MicroRecEngine::Build(*model, options);
+  if (!engine.ok()) return engine.status();
+  // Same card economics as bench_scaleout_serving: one engine's throughput
+  // per card at the cost appendix's FPGA hourly rate.
+  const DeviceClass fpga{engine->Throughput(), 1.65};
+
+  // Geometric traffic sweep, provisioned serially (ProvisionFleet is
+  // arithmetic); each provisioned fleet is then simulated at its target
+  // load and one card short of it, in parallel over the flattened grid.
+  struct ScaleoutPoint {
+    std::size_t qps_index = 0;
+    double target_qps = 0.0;
+    std::uint64_t devices = 0;  ///< fleet size this point simulates
+    FleetPlan plan;
+    bool underprovisioned = false;
+  };
+  std::vector<ScaleoutPoint> grid;
+  for (std::uint64_t k = 0; k < *points; ++k) {
+    const double ratio = *points == 1
+                             ? 1.0
+                             : static_cast<double>(k) /
+                                   static_cast<double>(*points - 1);
+    const double target_qps =
+        static_cast<double>(*qps_min) *
+        std::pow(static_cast<double>(*qps_max) /
+                     static_cast<double>(*qps_min),
+                 ratio);
+    auto plan = ProvisionFleet(target_qps, fpga);
+    if (!plan.ok()) return plan.status();
+    grid.push_back(ScaleoutPoint{k, target_qps, plan->devices, *plan, false});
+    if (plan->devices > 1) {
+      grid.push_back(
+          ScaleoutPoint{k, target_qps, plan->devices - 1, *plan, true});
+    }
+  }
+
+  struct ScaleoutResult {
+    Status status;
+    ServingReport report;
+  };
+  const Nanoseconds sla_ns = static_cast<double>(*sla_us) * 1000.0;
+  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(*threads));
+  const std::vector<ScaleoutResult> results =
+      runner.Map(grid.size(), [&](std::size_t p) {
+        const ScaleoutPoint& point = grid[p];
+        // Both fleet sizes at one traffic level replay the same arrival
+        // stream: the seed hangs off the qps index, not the grid index.
+        const auto arrivals = PoissonArrivals(
+            point.target_qps, *queries,
+            exec::ParallelRunner::SubSeed(*seed, point.qps_index));
+        auto report = SimulateReplicatedPipelines(
+            arrivals, static_cast<std::uint32_t>(point.devices),
+            engine->ItemLatency(), engine->timing().initiation_interval_ns,
+            sla_ns);
+        ScaleoutResult result;
+        result.status = report.status();
+        if (report.ok()) result.report = std::move(*report);
+        return result;
+      });
+
+  out << "scale-out sweep for " << model->name << ": " << *queries
+      << " queries per point, SLA " << *sla_us << " us, "
+      << fpga.throughput_items_per_s << " items/s per card\n";
+  out << "target_qps     cards  fleet         $/h     util%   p50_us  "
+         "p99_us  sla_viol%\n";
+
+  std::ostringstream json;
+  json << "{\n  \"command\": \"scaleout\",\n  \"model\": \"" << model->name
+       << "\",\n  \"sla_us\": " << *sla_us << ",\n  \"records\": [\n";
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    if (!results[p].status.ok()) return results[p].status;
+    const ScaleoutPoint& point = grid[p];
+    const ServingReport& report = results[p].report;
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "%10.0f  %6llu  %-11s  %6.2f  %6.1f%%  %7.2f  %7.2f  "
+                  "%8.2f%%\n",
+                  point.target_qps, (unsigned long long)point.devices,
+                  point.underprovisioned ? "minus-one" : "provisioned",
+                  point.plan.dollars_per_hour, 100.0 * point.plan.utilization,
+                  report.p50 / 1000.0, report.p99 / 1000.0,
+                  100.0 * report.sla_violation_rate);
+    out << line;
+    json << "    {\"target_qps\": " << point.target_qps
+         << ", \"devices\": " << point.devices
+         << ", \"underprovisioned\": "
+         << (point.underprovisioned ? "true" : "false")
+         << ", \"dollars_per_hour\": " << point.plan.dollars_per_hour
+         << ", \"p50_ns\": " << report.p50
+         << ", \"p99_ns\": " << report.p99
+         << ", \"sla_violation_rate\": " << report.sla_violation_rate << "}"
+         << (p + 1 < grid.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
 
   if (const auto path = args.GetOption("json")) {
     std::ofstream file(*path);
@@ -668,14 +877,21 @@ std::string UsageText() {
       "      metrics.json / metrics.prom, per-stage p99 attribution table\n"
       "  update-sweep <model-file> [--queries N] [--qps R] [--seed S]\n"
       "               [--points K] [--update-qps-max U] [--policy fair|yield]\n"
-      "               [--json F]\n"
+      "               [--json F] [--threads T]\n"
       "      serving tail latency + staleness vs online update rate\n"
       "  fault-sweep <model-file> [--queries N] [--qps R] [--seed S]\n"
-      "              [--max-failed K] [--json F]\n"
+      "              [--max-failed K] [--json F] [--threads T]\n"
       "      availability + degraded tail latency vs failed HBM channels\n"
       "      at table-replication factors 1/2/4\n"
+      "  scaleout <model-file> [--queries N] [--seed S] [--points K]\n"
+      "           [--qps-min R] [--qps-max R] [--sla-us U] [--json F]\n"
+      "           [--threads T]\n"
+      "      fleet provisioning + replicated-pipeline latency vs traffic\n"
       "  selfcheck\n"
-      "      verify the reproduction's calibration anchors\n";
+      "      verify the reproduction's calibration anchors\n"
+      "\n"
+      "sweep commands accept --threads T (0 = one per hardware thread);\n"
+      "output is byte-identical at every thread count\n";
 }
 
 Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
@@ -697,6 +913,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "trace") return CmdTrace(*args, out);
   if (command == "update-sweep") return CmdUpdateSweep(*args, out);
   if (command == "fault-sweep") return CmdFaultSweep(*args, out);
+  if (command == "scaleout") return CmdScaleout(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();
   return Status::InvalidArgument("unknown command '" + command + "'");

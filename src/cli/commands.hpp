@@ -14,9 +14,16 @@
 //                     [--prom-out F]
 //   microrec update-sweep <model-file> [--queries N] [--qps R] [--seed S]
 //                     [--points K] [--update-qps-max U] [--policy fair|yield]
-//                     [--json F]
+//                     [--json F] [--threads T]
 //   microrec fault-sweep <model-file> [--queries N] [--qps R] [--seed S]
-//                     [--max-failed K] [--json F]
+//                     [--max-failed K] [--json F] [--threads T]
+//   microrec scaleout <model-file> [--queries N] [--seed S] [--points K]
+//                     [--qps-min R] [--qps-max R] [--sla-us U] [--json F]
+//                     [--threads T]
+//
+// The sweep commands take --threads T (0 = one per hardware thread): the
+// experiment grid runs on the deterministic parallel runner (src/exec/),
+// so stdout and any JSON output are byte-identical at every thread count.
 #pragma once
 
 #include <ostream>
@@ -52,6 +59,12 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out);
 /// (src/faults/): "what does a lost channel cost, and how many replicas
 /// buy it back?".
 Status CmdFaultSweep(const ArgList& args, std::ostream& out);
+
+/// Sweeps target traffic geometrically between --qps-min and --qps-max,
+/// provisions an FPGA fleet per point (cost-appendix economics), and
+/// simulates each provisioned fleet -- plus the same fleet one card short
+/// -- against its own Poisson arrival stream (src/serving/scaleout.hpp).
+Status CmdScaleout(const ArgList& args, std::ostream& out);
 
 /// Reruns the reproduction's calibration anchors (Table 5 lookup points,
 /// the GOP/s identity, Table 3 placement structure, event-sim agreement)

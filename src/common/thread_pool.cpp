@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/status.hpp"
 
@@ -37,18 +38,35 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::ParallelFor(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& fn) {
+  ParallelFor(count, /*grain=*/0, fn);
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
-  const std::size_t shards = std::min(count, workers_.size());
-  const std::size_t chunk = (count + shards - 1) / shards;
+  const std::size_t default_chunk =
+      (count + workers_.size() - 1) / workers_.size();
+  const std::size_t chunk = std::max<std::size_t>(
+      {std::size_t{1}, grain, default_chunk});
   std::vector<std::future<void>> futures;
-  futures.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    const std::size_t begin = s * chunk;
+  futures.reserve((count + chunk - 1) / chunk);
+  for (std::size_t begin = 0; begin < count; begin += chunk) {
     const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
     futures.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
   }
-  for (auto& f : futures) f.get();
+  // Join everything before surfacing errors: a shard that throws must not
+  // leave sibling shards running against caller state we are about to
+  // unwind. The first failing shard (in shard order) wins.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::WorkerLoop() {

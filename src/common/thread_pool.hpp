@@ -1,6 +1,7 @@
 // Minimal fixed-size thread pool used by the CPU baseline engine to
-// parallelise embedding gathers and GEMM over worker threads, mirroring the
-// multi-core TensorFlow-Serving baseline in the paper.
+// parallelise embedding gathers and GEMM over worker threads (mirroring the
+// multi-core TensorFlow-Serving baseline in the paper) and by the exec
+// engine (src/exec/) to shard sweep points and Monte-Carlo replications.
 #pragma once
 
 #include <condition_variable>
@@ -30,7 +31,19 @@ class ThreadPool {
 
   /// Splits [0, count) into contiguous shards, runs
   /// fn(shard_begin, shard_end) on the pool, and blocks until all complete.
+  ///
+  /// `grain` is the minimum shard size (the last shard may be smaller);
+  /// grain == 0 picks the default of one shard per worker. A larger grain
+  /// bounds scheduling overhead when per-index work is tiny.
+  ///
+  /// Always joins every shard before returning, even when a shard throws:
+  /// the first worker exception (in shard order) is rethrown to the caller
+  /// after all shards have finished, so `fn` and any state it captures by
+  /// reference are never touched by a still-running worker after
+  /// ParallelFor returns or throws.
   void ParallelFor(std::size_t count,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+  void ParallelFor(std::size_t count, std::size_t grain,
                    const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:

@@ -115,12 +115,15 @@ SystemSimReport SystemSimulator::RunArrivals(
           : &metrics->histogram("system_lookup_latency_ns", {}, latency_opts);
 
   PercentileTracker lookup_latencies;
+  // One scratch result reused across every item: after the first item the
+  // per-item lookup issue allocates nothing.
+  LookupBatchResult batch;
   const auto result = pipeline.Run(
       arrivals,
       [&](std::size_t item, std::size_t stage,
           Nanoseconds enter_ns) -> Nanoseconds {
         if (stage != 0) return -1.0;  // compute stages keep their defaults
-        const LookupBatchResult batch = memory.IssueBatch(accesses, enter_ns);
+        memory.IssueBatchInto(accesses, enter_ns, batch);
         lookup_latencies.Add(batch.latency_ns());
         if (lookup_hist != nullptr) lookup_hist->Observe(batch.latency_ns());
         if (tracer != nullptr && tracer->SampleQuery(item)) {

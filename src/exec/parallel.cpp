@@ -1,0 +1,42 @@
+#include "exec/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace microrec::exec {
+
+std::size_t DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t ResolveThreads(std::size_t requested) {
+  return requested == 0 ? DefaultThreads() : requested;
+}
+
+ParallelRunner::ParallelRunner(ExecConfig config)
+    : threads_(ResolveThreads(config.threads)),
+      grain_(std::max<std::size_t>(config.grain, 1)) {
+  if (threads_ > 1) pool_.emplace(threads_);
+}
+
+std::uint64_t ParallelRunner::SubSeed(std::uint64_t base_seed,
+                                      std::uint64_t index) {
+  return HashSeed(base_seed, index);
+}
+
+void ParallelRunner::RunIndexed(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (!pool_.has_value()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  pool_->ParallelFor(count, grain_, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  });
+}
+
+}  // namespace microrec::exec

@@ -22,34 +22,42 @@ DramBank::DramBank(DramBankTiming timing) : timing_(timing) {
 
 Nanoseconds DramBank::Read(std::uint64_t addr, Bytes bytes) {
   MICROREC_CHECK(bytes > 0);
-  Nanoseconds latency = 0.0;
-  std::uint64_t remaining = bytes;
-  std::uint64_t cursor = addr;
   ++stats_.reads;
   stats_.bytes_read += bytes;
 
-  // One CAS per read command.
-  latency += timing_.cas_ns;
+  // Closed-form row/beat accounting (no per-row or per-beat iteration).
+  // The read touches rows [first_row, last_row]; only the first can hit the
+  // open row (every later row follows a row the read just opened). Beat
+  // counts round up per row segment, so the first and last partial
+  // segments are priced separately and every interior segment is exactly a
+  // full row.
+  const std::uint64_t row_bytes = timing_.row_bytes;
+  const std::uint64_t beat_bytes = timing_.beat_bytes;
+  const std::uint64_t first_row = addr / row_bytes;
+  const std::uint64_t last_row = (addr + bytes - 1) / row_bytes;
+  const std::uint64_t rows_touched = last_row - first_row + 1;
 
-  while (remaining > 0) {
-    const std::uint64_t row = cursor / timing_.row_bytes;
-    if (row != open_row_) {
-      latency += timing_.activate_ns;
-      open_row_ = row;
-      ++stats_.row_activations;
-    } else {
-      ++stats_.row_hits;
-    }
-    const std::uint64_t row_end = (row + 1) * timing_.row_bytes;
-    const std::uint64_t chunk =
-        std::min<std::uint64_t>(remaining, row_end - cursor);
-    const std::uint64_t beats =
-        (chunk + timing_.beat_bytes - 1) / timing_.beat_bytes;
-    latency += static_cast<double>(beats) * timing_.beat_ns;
-    cursor += chunk;
-    remaining -= chunk;
+  const bool first_hits = first_row == open_row_;
+  const std::uint64_t activations = rows_touched - (first_hits ? 1 : 0);
+  stats_.row_activations += activations;
+  if (first_hits) ++stats_.row_hits;
+  open_row_ = last_row;
+
+  std::uint64_t beats;
+  if (rows_touched == 1) {
+    beats = (bytes + beat_bytes - 1) / beat_bytes;
+  } else {
+    const std::uint64_t first_chunk = (first_row + 1) * row_bytes - addr;
+    const std::uint64_t last_chunk = addr + bytes - last_row * row_bytes;
+    const std::uint64_t full_rows = rows_touched - 2;
+    beats = (first_chunk + beat_bytes - 1) / beat_bytes +
+            full_rows * ((row_bytes + beat_bytes - 1) / beat_bytes) +
+            (last_chunk + beat_bytes - 1) / beat_bytes;
   }
-  return latency;
+
+  return timing_.cas_ns +
+         static_cast<double>(activations) * timing_.activate_ns +
+         static_cast<double>(beats) * timing_.beat_ns;
 }
 
 void DramBank::PrechargeAll() { open_row_ = kNoOpenRow; }

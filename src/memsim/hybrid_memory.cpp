@@ -74,17 +74,51 @@ HybridMemorySystem::HybridMemorySystem(MemoryPlatformSpec spec, double overlap)
 }
 
 LookupBatchResult HybridMemorySystem::IssueBatch(
-    const std::vector<BankAccess>& accesses, Nanoseconds start_ns) {
+    std::span<const BankAccess> accesses, Nanoseconds start_ns) {
   LookupBatchResult result;
-  result.start_ns = start_ns;
-  result.completion_ns = start_ns;
-  result.completions.reserve(accesses.size());
+  IssueBatchInto(accesses, start_ns, result);
+  return result;
+}
+
+void HybridMemorySystem::IssueBatchInto(std::span<const BankAccess> accesses,
+                                        Nanoseconds start_ns,
+                                        LookupBatchResult& out) {
+  out.start_ns = start_ns;
+  out.completion_ns = start_ns;
+  out.completions.clear();
+  out.rejected.clear();
+  out.completions.reserve(accesses.size());
+
+  // Bank bounds are validated once up front, so the serve loops below run
+  // check-free. (The contract is unchanged: an out-of-range bank aborts;
+  // it now aborts before any access of the batch is served.)
+  const std::size_t num_banks = channels_.size();
   for (const auto& access : accesses) {
-    MICROREC_CHECK(access.bank < channels_.size());
+    MICROREC_CHECK(access.bank < num_banks);
+  }
+
+  // Fast path: no fault oracle to virtual-dispatch, no telemetry, no trace
+  // -- the common case for every healthy-serving simulation, and the loop
+  // the parallel experiment engine hammers from every worker's private
+  // memory system. One branch decides, then the loop body is just
+  // ChannelSim arithmetic and a push into pre-reserved storage.
+  if (fault_model_ == nullptr && telemetry_ == nullptr && !trace_enabled_) {
+    Nanoseconds worst = out.completion_ns;
+    for (const auto& access : accesses) {
+      const MemCompletion done = channels_[access.bank].Serve(
+          MemRequest{start_ns, access.bytes, access.tag, 1.0});
+      if (done.completion_ns > worst) worst = done.completion_ns;
+      out.completions.push_back(done);
+    }
+    out.completion_ns = worst;
+    return;
+  }
+
+  for (const auto& access : accesses) {
     double scale = 1.0;
     if (fault_model_ != nullptr) {
       if (!fault_model_->BankAvailable(access.bank, start_ns)) {
-        result.rejected.push_back(access);
+        out.rejected.push_back(access);
         if (telemetry_ != nullptr) telemetry_->OnReject(access.bank);
         continue;
       }
@@ -100,18 +134,17 @@ LookupBatchResult HybridMemorySystem::IssueBatch(
       telemetry_->OnAccess(access.bank, access.bytes, done.queue_delay_ns,
                            done.completion_ns - done.start_ns, backlog_ns);
     }
-    result.completion_ns = std::max(result.completion_ns, done.completion_ns);
+    out.completion_ns = std::max(out.completion_ns, done.completion_ns);
     if (trace_enabled_) {
       trace_.push_back(AccessTraceRecord{access.bank, access.bytes, access.tag,
                                          done.start_ns, done.completion_ns});
     }
-    result.completions.push_back(done);
+    out.completions.push_back(done);
   }
-  return result;
 }
 
 Nanoseconds HybridMemorySystem::BatchLatencyIdle(
-    const std::vector<BankAccess>& accesses) const {
+    std::span<const BankAccess> accesses) const {
   return RoundLatencyModel(spec_).BatchLatency(accesses);
 }
 
@@ -131,7 +164,7 @@ void HybridMemorySystem::Reset() {
 }
 
 Nanoseconds RoundLatencyModel::BatchLatency(
-    const std::vector<BankAccess>& accesses) const {
+    std::span<const BankAccess> accesses) const {
   std::vector<Nanoseconds> per_bank(spec_.total_banks(), 0.0);
   for (const auto& access : accesses) {
     MICROREC_CHECK(access.bank < spec_.total_banks());
@@ -144,7 +177,7 @@ Nanoseconds RoundLatencyModel::BatchLatency(
 }
 
 std::uint32_t RoundLatencyModel::DramAccessRounds(
-    const std::vector<BankAccess>& accesses) const {
+    std::span<const BankAccess> accesses) const {
   std::vector<std::uint32_t> per_bank(spec_.total_banks(), 0);
   std::uint32_t worst = 0;
   for (const auto& access : accesses) {

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -108,12 +110,27 @@ class HybridMemorySystem {
   /// Issues all accesses at `start_ns`: banks proceed in parallel, accesses
   /// to the same bank serialize in the given order. Returns per-access and
   /// aggregate completion times.
-  LookupBatchResult IssueBatch(const std::vector<BankAccess>& accesses,
+  LookupBatchResult IssueBatch(std::span<const BankAccess> accesses,
                                Nanoseconds start_ns = 0.0);
+
+  /// Braced-list convenience (init-lists don't convert to span).
+  LookupBatchResult IssueBatch(std::initializer_list<BankAccess> accesses,
+                               Nanoseconds start_ns = 0.0) {
+    return IssueBatch(
+        std::span<const BankAccess>(accesses.begin(), accesses.size()),
+        start_ns);
+  }
+
+  /// Scratch-reusing variant for hot loops (one call per simulated item):
+  /// clears and refills `out`'s vectors in place, so steady-state issue
+  /// does no allocation at all. IssueBatch is exactly this plus a fresh
+  /// result; both produce bit-identical completions.
+  void IssueBatchInto(std::span<const BankAccess> accesses,
+                      Nanoseconds start_ns, LookupBatchResult& out);
 
   /// Latency of the batch if the system were idle, without mutating
   /// simulation time (convenience for analytic callers).
-  Nanoseconds BatchLatencyIdle(const std::vector<BankAccess>& accesses) const;
+  Nanoseconds BatchLatencyIdle(std::span<const BankAccess> accesses) const;
 
   const ChannelStats& bank_stats(std::uint32_t bank) const;
   const ChannelSim& bank(std::uint32_t bank) const;
@@ -155,11 +172,11 @@ class RoundLatencyModel {
   const MemoryPlatformSpec& spec() const { return spec_; }
 
   /// Latency of issuing `accesses` concurrently on an idle system.
-  Nanoseconds BatchLatency(const std::vector<BankAccess>& accesses) const;
+  Nanoseconds BatchLatency(std::span<const BankAccess> accesses) const;
 
   /// Maximum number of accesses any single DRAM (HBM or DDR) bank receives:
   /// the paper's "DRAM access rounds".
-  std::uint32_t DramAccessRounds(const std::vector<BankAccess>& accesses) const;
+  std::uint32_t DramAccessRounds(std::span<const BankAccess> accesses) const;
 
  private:
   MemoryPlatformSpec spec_;

@@ -203,6 +203,42 @@ MetricsSnapshot DiffSnapshots(const MetricsSnapshot& later,
   return diff;
 }
 
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& shards) {
+  // std::map keys on the formatted name, so the merged snapshot comes out
+  // in the same sorted order MetricsRegistry::Snapshot produces.
+  std::map<std::string, MetricsSnapshot::CounterValue> counters;
+  std::map<std::string, MetricsSnapshot::GaugeValue> gauges;
+  std::map<std::string, MetricsSnapshot::HistogramValue> histograms;
+
+  for (const MetricsSnapshot& shard : shards) {
+    for (const auto& c : shard.counters) {
+      auto [it, inserted] =
+          counters.emplace(FormatMetricName(c.name, c.labels), c);
+      if (!inserted) it->second.value += c.value;
+    }
+    for (const auto& g : shard.gauges) {
+      // Last writer wins in shard order (sequential Set semantics).
+      gauges.insert_or_assign(FormatMetricName(g.name, g.labels), g);
+    }
+    for (const auto& h : shard.histograms) {
+      auto [it, inserted] =
+          histograms.emplace(FormatMetricName(h.name, h.labels), h);
+      if (!inserted) it->second.histogram.Merge(h.histogram);
+    }
+  }
+
+  MetricsSnapshot merged;
+  merged.counters.reserve(counters.size());
+  for (auto& [key, c] : counters) merged.counters.push_back(std::move(c));
+  merged.gauges.reserve(gauges.size());
+  for (auto& [key, g] : gauges) merged.gauges.push_back(std::move(g));
+  merged.histograms.reserve(histograms.size());
+  for (auto& [key, h] : histograms) {
+    merged.histograms.push_back(std::move(h));
+  }
+  return merged;
+}
+
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream os;
   {

@@ -157,6 +157,16 @@ struct MetricsSnapshot {
 MetricsSnapshot DiffSnapshots(const MetricsSnapshot& later,
                               const MetricsSnapshot& earlier);
 
+/// Exact shard-ordered reduction of per-shard snapshots (the parallel
+/// counterpart of running every shard against one registry sequentially):
+/// counters add, histograms merge bucket-wise (exact; options must match),
+/// and gauges are last-writer-wins in shard order -- shard i+1's value
+/// replaces shard i's, exactly as sequential Set calls would. Metrics are
+/// emitted sorted by formatted name, matching MetricsRegistry::Snapshot
+/// order, so a merged snapshot serializes byte-identically regardless of
+/// how many threads produced the shards.
+MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& shards);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

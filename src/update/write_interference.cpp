@@ -53,33 +53,33 @@ const UpdateWriteInjector::Route* UpdateWriteInjector::route(
 
 Nanoseconds UpdateWriteInjector::Inject(const UpdateBatch& batch,
                                         Nanoseconds issue_ns) {
-  std::vector<BankAccess> accesses;
-  accesses.reserve(batch.deltas.size());
+  access_scratch_.clear();
+  access_scratch_.reserve(batch.deltas.size());
   for (const EmbeddingDelta& delta : batch.deltas) {
     const Route* r = route(delta.table_id);
     if (r == nullptr) continue;
-    accesses.push_back(
+    access_scratch_.push_back(
         BankAccess{r->bank, r->bytes_per_row_update, delta.seq});
     stats_.amplified_rows += r->amplification_rows;
   }
-  return InjectRaw(accesses, issue_ns);
+  return InjectRaw(access_scratch_, issue_ns);
 }
 
 Nanoseconds UpdateWriteInjector::InjectRaw(
-    const std::vector<BankAccess>& accesses, Nanoseconds issue_ns) {
+    std::span<const BankAccess> accesses, Nanoseconds issue_ns) {
   if (accesses.empty()) return issue_ns;
-  const LookupBatchResult result = memory_.IssueBatch(accesses, issue_ns);
+  memory_.IssueBatchInto(accesses, issue_ns, result_scratch_);
   stats_.write_transactions += accesses.size();
   for (const BankAccess& access : accesses) {
     stats_.bytes_written += access.bytes;
   }
   stats_.last_completion_ns =
-      std::max(stats_.last_completion_ns, result.completion_ns);
-  return result.completion_ns;
+      std::max(stats_.last_completion_ns, result_scratch_.completion_ns);
+  return result_scratch_.completion_ns;
 }
 
 Nanoseconds UpdateWriteInjector::LookupDelay(
-    const std::vector<BankAccess>& lookup, Nanoseconds start_ns) const {
+    std::span<const BankAccess> lookup, Nanoseconds start_ns) const {
   Nanoseconds delay = 0.0;
   for (const BankAccess& access : lookup) {
     delay = std::max(delay, memory_.bank(access.bank).free_at_ns() - start_ns);

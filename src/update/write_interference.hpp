@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -57,13 +58,13 @@ class UpdateWriteInjector {
   Nanoseconds Inject(const UpdateBatch& batch, Nanoseconds issue_ns);
 
   /// Issues raw accesses (e.g. a migration's streaming copy) at `issue_ns`.
-  Nanoseconds InjectRaw(const std::vector<BankAccess>& accesses,
+  Nanoseconds InjectRaw(std::span<const BankAccess> accesses,
                         Nanoseconds issue_ns);
 
   /// Extra delay a lookup batch starting at `start_ns` suffers from
   /// in-flight update writes: the largest remaining write occupancy across
   /// the banks the lookup touches. Zero when no writes are in flight.
-  Nanoseconds LookupDelay(const std::vector<BankAccess>& lookup,
+  Nanoseconds LookupDelay(std::span<const BankAccess> lookup,
                           Nanoseconds start_ns) const;
 
   /// Recomputes table->bank routes after an incremental re-placement.
@@ -85,6 +86,10 @@ class UpdateWriteInjector {
   HybridMemorySystem memory_;
   std::unordered_map<std::uint32_t, Route> routes_;
   UpdateWriteStats stats_;
+  /// Scratch reused across Inject calls so per-batch injection does no
+  /// steady-state allocation (accesses staging + issue result).
+  std::vector<BankAccess> access_scratch_;
+  LookupBatchResult result_scratch_;
 };
 
 }  // namespace microrec

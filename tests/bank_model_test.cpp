@@ -2,6 +2,11 @@
 // "merged access is almost 2x cheaper" analysis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "memsim/bank_model.hpp"
 #include "memsim/dram_timing.hpp"
 
@@ -114,6 +119,104 @@ TEST_P(CartesianSpeedupSweep, SpeedupInPlausibleBand) {
 
 INSTANTIATE_TEST_SUITE_P(VectorLengths, CartesianSpeedupSweep,
                          ::testing::Values(4, 8, 16, 32, 64));
+
+// ------------------------------------------------- closed-form vs oracle
+
+/// Straight-line reference for DramBank::Read: walk the read row by row and
+/// beat-count each chunk, exactly the iterative algorithm the production
+/// closed form replaced. Stats must match exactly; the latency may differ
+/// by float summation order only.
+struct ReferenceBank {
+  DramBankTiming timing;
+  std::uint64_t open_row = ~0ull;
+  std::uint64_t activations = 0;
+  std::uint64_t hits = 0;
+
+  Nanoseconds Read(std::uint64_t addr, Bytes bytes) {
+    Nanoseconds latency = timing.cas_ns;
+    std::uint64_t cursor = addr;
+    std::uint64_t remaining = bytes;
+    while (remaining > 0) {
+      const std::uint64_t row = cursor / timing.row_bytes;
+      if (row == open_row) {
+        ++hits;
+      } else {
+        ++activations;
+        latency += timing.activate_ns;
+      }
+      open_row = row;
+      const std::uint64_t row_end = (row + 1) * timing.row_bytes;
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(remaining, row_end - cursor);
+      const std::uint64_t beats =
+          (chunk + timing.beat_bytes - 1) / timing.beat_bytes;
+      latency += static_cast<double>(beats) * timing.beat_ns;
+      cursor += chunk;
+      remaining -= chunk;
+    }
+    return latency;
+  }
+};
+
+TEST(BankModelOracleTest, ClosedFormMatchesRowWalkOnRandomReads) {
+  const DramBankTiming timing = DefaultHbmBankTiming();
+  DramBank bank(timing);
+  ReferenceBank reference{timing};
+  Rng rng(2024);
+  for (int i = 0; i < 5000; ++i) {
+    // Sizes up to several rows, addresses dense enough that open-row hits
+    // and row crossings both occur often.
+    const std::uint64_t addr = rng.Next() % (16 * timing.row_bytes);
+    const Bytes bytes = 1 + rng.Next() % (3 * timing.row_bytes);
+    const Nanoseconds got = bank.Read(addr, bytes);
+    const Nanoseconds want = reference.Read(addr, bytes);
+    ASSERT_NEAR(got, want, 1e-6) << "read " << i << " addr " << addr
+                                 << " bytes " << bytes;
+  }
+  EXPECT_EQ(bank.stats().row_activations, reference.activations);
+  EXPECT_EQ(bank.stats().row_hits, reference.hits);
+}
+
+TEST(BankModelOracleTest, ClosedFormMatchesRowWalkWithPrecharges) {
+  const DramBankTiming timing = DefaultHbmBankTiming();
+  DramBank bank(timing);
+  ReferenceBank reference{timing};
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Next() % 8 == 0) {
+      bank.PrechargeAll();
+      reference.open_row = ~0ull;
+    }
+    const std::uint64_t addr = rng.Next() % (4 * timing.row_bytes);
+    const Bytes bytes = 1 + rng.Next() % (2 * timing.row_bytes);
+    ASSERT_NEAR(bank.Read(addr, bytes), reference.Read(addr, bytes), 1e-6);
+  }
+  EXPECT_EQ(bank.stats().row_activations, reference.activations);
+  EXPECT_EQ(bank.stats().row_hits, reference.hits);
+}
+
+TEST(BankModelOracleTest, ExactRowBoundaryReads) {
+  // Edge cases the closed form prices with its first/interior/last split:
+  // exactly one row, exactly two rows, row-aligned start, and a read that
+  // ends exactly on a row boundary.
+  const DramBankTiming timing = DefaultHbmBankTiming();
+  const std::uint64_t row = timing.row_bytes;
+  for (const auto& [addr, bytes] :
+       std::vector<std::pair<std::uint64_t, Bytes>>{
+           {0, row},          // exactly one full row
+           {0, 2 * row},      // exactly two full rows
+           {row / 2, row},    // crosses one boundary mid-row
+           {row - 1, 2},      // 1 byte in each of two rows
+           {3, row - 3},      // ends exactly on the boundary
+       }) {
+    DramBank bank(timing);
+    ReferenceBank reference{timing};
+    EXPECT_NEAR(bank.Read(addr, bytes), reference.Read(addr, bytes), 1e-6)
+        << "addr " << addr << " bytes " << bytes;
+    EXPECT_EQ(bank.stats().row_activations, reference.activations);
+    EXPECT_EQ(bank.stats().row_hits, reference.hits);
+  }
+}
 
 }  // namespace
 }  // namespace microrec

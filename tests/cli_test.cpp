@@ -37,6 +37,13 @@ class CliTest : public ::testing::Test {
     return {status, out.str()};
   }
 
+  static std::string Slurp(const std::string& path) {
+    std::ifstream file(path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+  }
+
   fs::path dir_;
 };
 
@@ -353,6 +360,90 @@ TEST_F(CliTest, UpdateSweepRejectsBadPolicy) {
       Run({"update-sweep", model_path, "--policy", "sometimes"});
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.message().find("--policy"), std::string::npos);
+}
+
+// --------------------------------------------------- parallel determinism
+
+TEST_F(CliTest, UpdateSweepStdoutIdenticalAcrossThreadCounts) {
+  // The sweep's full stdout and JSON report are the golden artifacts:
+  // running with 8 worker threads must reproduce the serial bytes exactly.
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string json1 = Path("sweep1.json");
+  const std::string json8 = Path("sweep8.json");
+  auto [s1, out1] = Run({"update-sweep", model_path, "--queries", "400",
+                         "--json", json1, "--threads", "1"});
+  auto [s8, out8] = Run({"update-sweep", model_path, "--queries", "400",
+                         "--json", json8, "--threads", "8"});
+  ASSERT_TRUE(s1.ok()) << s1.message();
+  ASSERT_TRUE(s8.ok()) << s8.message();
+  // stdout differs only in the JSON path it echoes; strip that line.
+  auto strip = [](std::string text) {
+    const auto pos = text.find("wrote JSON report");
+    return pos == std::string::npos ? text : text.substr(0, pos);
+  };
+  EXPECT_EQ(strip(out1), strip(out8));
+  EXPECT_EQ(Slurp(json1), Slurp(json8));
+  EXPECT_NE(Slurp(json1).find("update_qps"), std::string::npos);
+}
+
+TEST_F(CliTest, FaultSweepStdoutIdenticalAcrossThreadCounts) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [s1, out1] = Run({"fault-sweep", model_path, "--queries", "400",
+                         "--threads", "1"});
+  auto [s8, out8] = Run({"fault-sweep", model_path, "--queries", "400",
+                         "--threads", "8"});
+  ASSERT_TRUE(s1.ok()) << s1.message();
+  ASSERT_TRUE(s8.ok()) << s8.message();
+  EXPECT_EQ(out1, out8);
+}
+
+TEST_F(CliTest, SweepThreadsZeroMeansHardwareConcurrency) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"update-sweep", model_path, "--queries", "200",
+                            "--threads", "0"});
+  EXPECT_TRUE(status.ok()) << status.message();
+}
+
+TEST_F(CliTest, SweepRejectsBadThreads) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"update-sweep", model_path, "--threads", "two"});
+  EXPECT_FALSE(status.ok());
+}
+
+// ---------------------------------------------------------------- scaleout
+
+TEST_F(CliTest, ScaleoutSmoke) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"scaleout", model_path, "--queries", "500",
+                            "--points", "2"});
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_NE(out.find("provisioned"), std::string::npos);
+  EXPECT_NE(out.find("cards"), std::string::npos);
+}
+
+TEST_F(CliTest, ScaleoutStdoutIdenticalAcrossThreadCounts) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [s1, out1] = Run({"scaleout", model_path, "--queries", "500",
+                         "--points", "3", "--threads", "1"});
+  auto [s8, out8] = Run({"scaleout", model_path, "--queries", "500",
+                         "--points", "3", "--threads", "8"});
+  ASSERT_TRUE(s1.ok()) << s1.message();
+  ASSERT_TRUE(s8.ok()) << s8.message();
+  EXPECT_EQ(out1, out8);
+}
+
+TEST_F(CliTest, ScaleoutRejectsBadQpsRange) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  auto [status, out] = Run({"scaleout", model_path, "--qps-min", "2000000",
+                            "--qps-max", "1000000"});
+  EXPECT_FALSE(status.ok());
 }
 
 }  // namespace

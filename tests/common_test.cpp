@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "common/rng.hpp"
@@ -275,6 +277,80 @@ TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
     for (std::size_t i = begin; i < end; ++i) sum += static_cast<int>(i);
   });
   EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, GrainBoundsShardSize) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::size_t> shard_sizes;
+  pool.ParallelFor(100, /*grain=*/40,
+                   [&](std::size_t begin, std::size_t end) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     shard_sizes.push_back(end - begin);
+                   });
+  // grain 40 over 100 items: shards of 40/40/20, never smaller than the
+  // grain except the tail.
+  ASSERT_EQ(shard_sizes.size(), 3u);
+  std::size_t total = 0;
+  for (std::size_t s : shard_sizes) {
+    total += s;
+    EXPECT_LE(s, 40u);
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanCountRunsOneShard) {
+  ThreadPool pool(4);
+  std::atomic<int> shards{0};
+  std::vector<int> hits(7, 0);
+  pool.ParallelFor(hits.size(), /*grain=*/1000,
+                   [&](std::size_t begin, std::size_t end) {
+                     ++shards;
+                     for (std::size_t i = begin; i < end; ++i) hits[i]++;
+                   });
+  EXPECT_EQ(shards.load(), 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeWithGrainIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, /*grain=*/16,
+                   [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesWorkerException) {
+  // 100 items over 3 workers shard as [0,34) [34,68) [68,100); the middle
+  // shard throws.
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  try {
+    pool.ParallelFor(100, [&](std::size_t begin, std::size_t end) {
+      if (begin == 34) throw std::runtime_error("shard at 34");
+      for (std::size_t i = begin; i < end; ++i) ++completed;
+    });
+    FAIL() << "expected the shard's exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard at 34");
+  }
+  // Every other shard still ran to completion before the rethrow (the pool
+  // joins all shards first, so no worker ever outlives the caller's frame).
+  EXPECT_EQ(completed.load(), 66);
+}
+
+TEST(ThreadPoolTest, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(
+                   4, [&](std::size_t, std::size_t) {
+                     throw std::logic_error("boom");
+                   }),
+               std::logic_error);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](std::size_t begin, std::size_t end) {
+    counter += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(counter.load(), 10);
 }
 
 // ---------------------------------------------------------------- Stats

@@ -373,5 +373,116 @@ TEST(RoundLatencyModelTest, TwelveTablesTakeTwiceEightTables) {
   EXPECT_DOUBLE_EQ(two_rounds, 2.0 * one_round);
 }
 
+// ------------------------------------------------- hot-path equivalences
+
+namespace {
+
+/// Random batch over the first few banks, some with duplicate banks so
+/// in-bank serialization and queueing both occur.
+std::vector<BankAccess> RandomBatch(Rng& rng, std::uint32_t num_banks) {
+  std::vector<BankAccess> accesses;
+  const std::size_t n = 1 + rng.NextBounded(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    accesses.push_back(BankAccess{
+        static_cast<std::uint32_t>(rng.NextBounded(num_banks)),
+        16 + 16 * rng.NextBounded(8), rng.Next() % 1000});
+  }
+  return accesses;
+}
+
+bool SameCompletions(const LookupBatchResult& a, const LookupBatchResult& b) {
+  if (a.start_ns != b.start_ns || a.completion_ns != b.completion_ns ||
+      a.completions.size() != b.completions.size() ||
+      a.rejected.size() != b.rejected.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    const MemCompletion& x = a.completions[i];
+    const MemCompletion& y = b.completions[i];
+    if (x.tag != y.tag || x.start_ns != y.start_ns ||
+        x.completion_ns != y.completion_ns ||
+        x.queue_delay_ns != y.queue_delay_ns) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(HybridMemoryTest, IssueBatchIntoMatchesIssueBatchBitForBit) {
+  const auto spec = MemoryPlatformSpec::AlveoU280();
+  HybridMemorySystem fresh(spec);
+  HybridMemorySystem reused(spec);
+  LookupBatchResult scratch;
+  Rng rng(314);
+  Nanoseconds t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto batch = RandomBatch(rng, 8);
+    t += 50.0 * static_cast<double>(rng.NextBounded(20));
+    const LookupBatchResult a = fresh.IssueBatch(batch, t);
+    reused.IssueBatchInto(batch, t, scratch);
+    ASSERT_TRUE(SameCompletions(a, scratch)) << "batch " << i;
+  }
+  // Scratch reuse also leaves the simulators in identical states.
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(fresh.bank_stats(b).accesses, reused.bank_stats(b).accesses);
+    EXPECT_DOUBLE_EQ(fresh.bank_stats(b).busy_ns,
+                     reused.bank_stats(b).busy_ns);
+    EXPECT_DOUBLE_EQ(fresh.bank_stats(b).last_completion_ns,
+                     reused.bank_stats(b).last_completion_ns);
+  }
+}
+
+TEST(HybridMemoryTest, FastPathMatchesInstrumentedPathBitForBit) {
+  // The devirtualized no-fault/no-telemetry fast path must produce the
+  // same completions as the instrumented slow path: telemetry observes,
+  // never perturbs (the obs identity contract, enforced here at the
+  // memsim level).
+  const auto spec = MemoryPlatformSpec::AlveoU280();
+  HybridMemorySystem fast(spec);
+  HybridMemorySystem instrumented(spec);
+  obs::MetricsRegistry registry;
+  MemsimTelemetry telemetry(&registry, spec);
+  instrumented.set_telemetry(&telemetry);
+
+  Rng rng(2718);
+  Nanoseconds t = 0.0;
+  std::uint64_t total_accesses = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto batch = RandomBatch(rng, 8);
+    total_accesses += batch.size();
+    t += 50.0 * static_cast<double>(rng.NextBounded(20));
+    const LookupBatchResult a = fast.IssueBatch(batch, t);
+    const LookupBatchResult b = instrumented.IssueBatch(batch, t);
+    ASSERT_TRUE(SameCompletions(a, b)) << "batch " << i;
+  }
+  // And the instrumented path really did count every access.
+  std::uint64_t counted = 0;
+  for (const auto& c : registry.Snapshot().counters) {
+    if (c.name == "memsim_accesses_total") counted += c.value;
+  }
+  EXPECT_EQ(counted, total_accesses);
+}
+
+TEST(HybridMemoryTest, TracePathMatchesFastPathBitForBit) {
+  const auto spec = MemoryPlatformSpec::AlveoU280();
+  HybridMemorySystem fast(spec);
+  HybridMemorySystem traced(spec);
+  traced.set_trace_enabled(true);
+  Rng rng(99);
+  Nanoseconds t = 0.0;
+  std::size_t total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto batch = RandomBatch(rng, 8);
+    total += batch.size();
+    t += 100.0 * static_cast<double>(rng.NextBounded(10));
+    const LookupBatchResult a = fast.IssueBatch(batch, t);
+    const LookupBatchResult b = traced.IssueBatch(batch, t);
+    ASSERT_TRUE(SameCompletions(a, b)) << "batch " << i;
+  }
+  EXPECT_EQ(traced.trace().size(), total);
+}
+
 }  // namespace
 }  // namespace microrec
