@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/table_printer.hpp"
@@ -10,8 +12,12 @@
 #include "core/serialization.hpp"
 #include "core/system_sim.hpp"
 #include "exec/parallel.hpp"
+#include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfgate.hpp"
+#include "obs/slo.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/timeseries.hpp"
 #include "faults/degraded_serving.hpp"
 #include "faults/failover.hpp"
 #include "faults/fault_schedule.hpp"
@@ -278,7 +284,7 @@ Status WriteNamedFile(const std::string& path, const std::string& content,
 Status CmdTrace(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
       {"queries", "qps", "seed", "sample", "trace-out", "metrics-out",
-       "prom-out"}));
+       "prom-out", "timeline", "timeline-out", "slo", "sla-us"}));
   auto model = LoadModelArg(args);
   if (!model.ok()) return model.status();
 
@@ -293,6 +299,9 @@ Status CmdTrace(const ArgList& args, std::ostream& out) {
   auto sample = args.GetUint("sample", 1);
   if (!sample.ok()) return sample.status();
   if (*sample == 0) return Status::InvalidArgument("--sample must be >= 1");
+  auto sla_us = args.GetUint("sla-us", 100);
+  if (!sla_us.ok()) return sla_us.status();
+  if (*sla_us == 0) return Status::InvalidArgument("--sla-us must be >= 1");
 
   EngineOptions options;
   options.materialize = false;
@@ -305,10 +314,23 @@ Status CmdTrace(const ArgList& args, std::ostream& out) {
   tracer_opts.process_name = "microrec " + model->name;
   obs::SpanTracer tracer(tracer_opts);
 
-  SystemSimulator sim(*engine);
-  sim.set_telemetry(obs::Telemetry{&registry, &tracer});
   const auto arrivals =
       PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+
+  // The timeline recorder's ring must cover the whole run: size the bucket
+  // from the arrival span (doubled, so completions draining past the last
+  // arrival still land inside the window even under heavy queueing).
+  std::unique_ptr<obs::TimeSeriesRecorder> timeline;
+  if (args.HasFlag("timeline")) {
+    obs::TimeSeriesOptions topts;
+    topts.num_buckets = 512;
+    topts.bucket_ns = std::max(
+        1.0, 2.0 * arrivals.back() / static_cast<double>(topts.num_buckets));
+    timeline = std::make_unique<obs::TimeSeriesRecorder>(topts);
+  }
+
+  SystemSimulator sim(*engine);
+  sim.set_telemetry(obs::Telemetry{&registry, &tracer, timeline.get()});
   const SystemSimReport report = sim.RunArrivals(arrivals);
 
   out << "traced " << report.items << " queries (1-in-" << *sample
@@ -339,6 +361,23 @@ Status CmdTrace(const ArgList& args, std::ostream& out) {
                 TablePrinter::Num(p99_sum, 1), "", "", "", ""});
   out << table.ToString();
 
+  // Critical-path drilldown over the sampled spans: the same p99 query as
+  // above, decomposed into queue / bank-queue / bank-service / stall slices
+  // whose sum reproduces its end-to-end latency.
+  out << "\n" << obs::ComputeCriticalPathAttribution(tracer).ToString();
+
+  if (args.HasFlag("slo")) {
+    std::vector<obs::QueryOutcome> outcomes;
+    for (const obs::SpanTracer::AsyncView& span : tracer.AsyncSpans()) {
+      outcomes.push_back(
+          obs::QueryOutcome{span.start_ns, span.end_ns - span.start_ns, true});
+    }
+    const auto spec = obs::SloSpec::Default(
+        static_cast<double>(*sla_us) * 1000.0, 0.999,
+        std::max(arrivals.back(), 1.0));
+    out << "\n" << obs::EvaluateSlo(spec, outcomes).ToString() << "\n";
+  }
+
   const std::string trace_path =
       args.GetOption("trace-out").value_or("trace.json");
   const std::string metrics_path =
@@ -349,7 +388,15 @@ Status CmdTrace(const ArgList& args, std::ostream& out) {
       WriteNamedFile(trace_path, tracer.ToChromeJson(), out));
   MICROREC_RETURN_IF_ERROR(
       WriteNamedFile(metrics_path, registry.ToJson(), out));
-  return WriteNamedFile(prom_path, registry.ToPrometheus(), out);
+  MICROREC_RETURN_IF_ERROR(
+      WriteNamedFile(prom_path, registry.ToPrometheus(), out));
+  if (timeline != nullptr) {
+    const std::string timeline_path =
+        args.GetOption("timeline-out").value_or("timeline.json");
+    MICROREC_RETURN_IF_ERROR(
+        WriteNamedFile(timeline_path, timeline->ToJson(), out));
+  }
+  return Status::Ok();
 }
 
 Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
@@ -555,6 +602,7 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   struct FaultPointResult {
     Status status;
     DegradedServingReport report;
+    obs::SloReport slo;
   };
   exec::ParallelRunner runner(exec::ExecConfig::WithThreads(*threads));
   const std::vector<FaultPointResult> results =
@@ -573,18 +621,30 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
             engine->timing().initiation_interval_ns;
         config.base_lookup_latency_ns = rc.plan.lookup_latency_ns;
         config.lookups_per_table = model->lookups_per_table;
+        std::vector<obs::QueryOutcome> outcomes;
+        config.outcomes = &outcomes;
         auto report = SimulateDegradedServing(arrivals, config, schedule,
                                               &router, &platform);
         FaultPointResult result;
         result.status = report.status();
-        if (report.ok()) result.report = std::move(*report);
+        if (report.ok()) {
+          result.report = std::move(*report);
+          // Would an on-call have been paged, and how fast? The burn-rate
+          // ladder treats the run's span as the SLO budget period and the
+          // serving SLA as the latency threshold.
+          result.slo = obs::EvaluateSlo(
+              obs::SloSpec::Default(config.sla_ns, 0.999,
+                                    std::max(arrivals.back(), 1.0)),
+              outcomes);
+        }
         return result;
       });
 
   out << "fault sweep for " << model->name << ": " << *queries
       << " queries at " << *qps << " QPS, failing up to " << *max_failed
       << " HBM channel(s)\n";
-  out << "replicas  failed_ch  availability  shed%    p50_us    p99_us\n";
+  out << "replicas  failed_ch  availability  shed%    p50_us    p99_us  "
+         "alert_ms   budget%\n";
 
   std::ostringstream json;
   json << "{\n  \"command\": \"fault-sweep\",\n  \"model\": \"" << model->name
@@ -595,20 +655,32 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
     const std::uint32_t replication = cases[grid[p].case_index].replication;
     const std::uint64_t k = grid[p].failed_channels;
     const DegradedServingReport& report = results[p].report;
-    char line[160];
+    const obs::SloReport& slo = results[p].slo;
+    char alert[24];
+    if (slo.alerted) {
+      std::snprintf(alert, sizeof alert, "%8.3f", slo.time_to_alert_ns / 1e6);
+    } else {
+      std::snprintf(alert, sizeof alert, "%8s", "-");
+    }
+    char line[200];
     std::snprintf(line, sizeof line,
-                  "%8u  %9llu  %11.2f%%  %5.2f%%  %8.2f  %8.2f\n",
+                  "%8u  %9llu  %11.2f%%  %5.2f%%  %8.2f  %8.2f  %s  %7.1f%%\n",
                   replication, (unsigned long long)k,
                   100.0 * report.availability, 100.0 * report.shed_rate,
                   report.serving.p50 / 1000.0,
-                  report.serving.p99 / 1000.0);
+                  report.serving.p99 / 1000.0, alert,
+                  100.0 * slo.error_budget_remaining);
     out << line;
     json << (first_record ? "" : ",\n") << "    {\"replication\": "
          << replication << ", \"failed_channels\": " << k
          << ", \"availability\": " << report.availability
          << ", \"shed_rate\": " << report.shed_rate
          << ", \"p50_ns\": " << report.serving.p50
-         << ", \"p99_ns\": " << report.serving.p99 << "}";
+         << ", \"p99_ns\": " << report.serving.p99
+         << ", \"slo_alerted\": " << (slo.alerted ? "true" : "false")
+         << ", \"time_to_alert_ns\": " << slo.time_to_alert_ns
+         << ", \"error_budget_remaining\": " << slo.error_budget_remaining
+         << "}";
     first_record = false;
   }
   json << "\n  ]\n}\n";
@@ -760,6 +832,119 @@ Status CmdScaleout(const ArgList& args, std::ostream& out) {
   return Status::Ok();
 }
 
+namespace {
+
+StatusOr<double> ParseDoubleOption(const std::string& name,
+                                   const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   text + "'");
+  }
+}
+
+}  // namespace
+
+Status CmdPerfGate(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"baseline-dir", "current-dir", "tolerance", "tol"}));
+  if (!args.positional().empty()) {
+    return Status::InvalidArgument("perfgate takes no positional arguments");
+  }
+  const std::string baseline_dir =
+      args.GetOption("baseline-dir").value_or("bench/baselines");
+  const auto current_dir = args.GetOption("current-dir");
+  if (!current_dir.has_value()) {
+    return Status::InvalidArgument(
+        "perfgate needs --current-dir (directory holding freshly generated "
+        "BENCH_*.json files)");
+  }
+
+  obs::PerfGateOptions opts;
+  if (const auto tol = args.GetOption("tolerance")) {
+    auto value = ParseDoubleOption("tolerance", *tol);
+    if (!value.ok()) return value.status();
+    if (*value < 0.0) {
+      return Status::InvalidArgument("--tolerance must be >= 0");
+    }
+    opts.default_tolerance = *value;
+  }
+  if (const auto overrides = args.GetOption("tol")) {
+    // Comma-separated metric=tolerance pairs, e.g. --tol p99_ns=0.1,gops=0.
+    std::istringstream stream(*overrides);
+    std::string pair;
+    while (std::getline(stream, pair, ',')) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::InvalidArgument(
+            "--tol expects metric=tolerance pairs, got '" + pair + "'");
+      }
+      auto value = ParseDoubleOption("tol", pair.substr(eq + 1));
+      if (!value.ok()) return value.status();
+      opts.metric_tolerance[pair.substr(0, eq)] = *value;
+    }
+  }
+
+  // Every baseline must have a fresh counterpart: a bench that silently
+  // stopped emitting its report is itself a regression.
+  std::error_code ec;
+  std::filesystem::directory_iterator it(baseline_dir, ec);
+  if (ec) {
+    return Status::NotFound("cannot read --baseline-dir " + baseline_dir +
+                            ": " + ec.message());
+  }
+  std::vector<std::filesystem::path> baselines;
+  for (const auto& entry : it) {
+    const std::string filename = entry.path().filename().string();
+    if (filename.rfind("BENCH_", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      baselines.push_back(entry.path());
+    }
+  }
+  std::sort(baselines.begin(), baselines.end());
+  if (baselines.empty()) {
+    return Status::InvalidArgument("no BENCH_*.json baselines in " +
+                                   baseline_dir);
+  }
+
+  obs::PerfGateReport report;
+  for (const auto& baseline_path : baselines) {
+    const std::string name = baseline_path.stem().string();
+    auto baseline_text = ReadFile(baseline_path.string());
+    if (!baseline_text.ok()) return baseline_text.status();
+
+    const auto current_path =
+        std::filesystem::path(*current_dir) / baseline_path.filename();
+    auto current_text = ReadFile(current_path.string());
+    obs::PerfGateFileReport file;
+    if (!current_text.ok()) {
+      file.name = name;
+      file.failures.push_back(name + ": missing current report " +
+                              current_path.string());
+    } else {
+      auto compared =
+          obs::ComparePerfReportText(name, *baseline_text, *current_text,
+                                     opts);
+      if (!compared.ok()) return compared.status();
+      file = std::move(*compared);
+    }
+    report.metrics_compared += file.metrics_compared;
+    report.failures += file.failures.size();
+    report.files.push_back(std::move(file));
+  }
+
+  out << obs::RenderPerfGateReport(report);
+  if (!report.pass()) {
+    return Status::Internal(std::to_string(report.failures) +
+                            " metric(s) outside tolerance");
+  }
+  return Status::Ok();
+}
+
 Status CmdSelfCheck(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed({}));
   if (!args.positional().empty()) {
@@ -873,8 +1058,11 @@ std::string UsageText() {
       "      analytic + full-system timing of the accelerator\n"
       "  trace <model-file> [--queries N] [--qps R] [--seed S] [--sample N]\n"
       "        [--trace-out F] [--metrics-out F] [--prom-out F]\n"
+      "        [--timeline] [--timeline-out F] [--slo] [--sla-us U]\n"
       "      full-system run with telemetry: Perfetto-loadable trace.json,\n"
-      "      metrics.json / metrics.prom, per-stage p99 attribution table\n"
+      "      metrics.json / metrics.prom, per-stage p99 attribution table,\n"
+      "      critical-path p99 drilldown; --timeline adds per-bank\n"
+      "      utilization/backlog time series, --slo a burn-rate SLO report\n"
       "  update-sweep <model-file> [--queries N] [--qps R] [--seed S]\n"
       "               [--points K] [--update-qps-max U] [--policy fair|yield]\n"
       "               [--json F] [--threads T]\n"
@@ -887,6 +1075,11 @@ std::string UsageText() {
       "           [--qps-min R] [--qps-max R] [--sla-us U] [--json F]\n"
       "           [--threads T]\n"
       "      fleet provisioning + replicated-pipeline latency vs traffic\n"
+      "  perfgate --current-dir D [--baseline-dir D] [--tolerance F]\n"
+      "           [--tol metric=F,metric=F]\n"
+      "      compare fresh BENCH_*.json reports against checked-in\n"
+      "      baselines; non-zero exit when any metric drifts out of\n"
+      "      tolerance (improvements fail too: regenerate the baseline)\n"
       "  selfcheck\n"
       "      verify the reproduction's calibration anchors\n"
       "\n"
@@ -902,7 +1095,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   const std::string& command = tokens[0];
   const std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
   auto args = ArgList::Parse(
-      rest, /*flag_keys=*/{"no-cartesian", "no-onchip"});
+      rest, /*flag_keys=*/{"no-cartesian", "no-onchip", "timeline", "slo"});
   if (!args.ok()) return args.status();
 
   if (command == "modelgen") return CmdModelGen(*args, out);
@@ -914,6 +1107,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "update-sweep") return CmdUpdateSweep(*args, out);
   if (command == "fault-sweep") return CmdFaultSweep(*args, out);
   if (command == "scaleout") return CmdScaleout(*args, out);
+  if (command == "perfgate") return CmdPerfGate(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();
   return Status::InvalidArgument("unknown command '" + command + "'");

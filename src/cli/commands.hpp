@@ -11,7 +11,8 @@
 //                     [--precision 16|32] [--items N]
 //   microrec trace    <model-file> [--queries N] [--qps R] [--seed S]
 //                     [--sample N] [--trace-out F] [--metrics-out F]
-//                     [--prom-out F]
+//                     [--prom-out F] [--timeline] [--timeline-out F]
+//                     [--slo] [--sla-us U]
 //   microrec update-sweep <model-file> [--queries N] [--qps R] [--seed S]
 //                     [--points K] [--update-qps-max U] [--policy fair|yield]
 //                     [--json F] [--threads T]
@@ -20,6 +21,8 @@
 //   microrec scaleout <model-file> [--queries N] [--seed S] [--points K]
 //                     [--qps-min R] [--qps-max R] [--sla-us U] [--json F]
 //                     [--threads T]
+//   microrec perfgate --current-dir D [--baseline-dir D] [--tolerance F]
+//                     [--tol metric=F,metric=F]
 //
 // The sweep commands take --threads T (0 = one per hardware thread): the
 // experiment grid runs on the deterministic parallel runner (src/exec/),
@@ -47,7 +50,11 @@ Status CmdSimulate(const ArgList& args, std::ostream& out);
 /// Runs the full-system simulator with telemetry attached and writes a
 /// Chrome trace-event JSON (Perfetto-loadable), a structured metrics JSON,
 /// and a Prometheus text snapshot; prints the per-stage latency-attribution
-/// table (stage shares sum to the p99-ranked item's end-to-end latency).
+/// table (stage shares sum to the p99-ranked item's end-to-end latency)
+/// and the critical-path p99 drilldown (obs/attribution.hpp). --timeline
+/// additionally records per-bank utilization/backlog time series into
+/// timeline.json; --slo evaluates a burn-rate SLO (threshold --sla-us)
+/// over the sampled queries.
 Status CmdTrace(const ArgList& args, std::ostream& out);
 
 /// Sweeps the online embedding-update rate against a fixed query stream and
@@ -65,6 +72,12 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out);
 /// simulates each provisioned fleet -- plus the same fleet one card short
 /// -- against its own Poisson arrival stream (src/serving/scaleout.hpp).
 Status CmdScaleout(const ArgList& args, std::ostream& out);
+
+/// Compares freshly generated BENCH_*.json reports in --current-dir against
+/// the checked-in baselines in --baseline-dir (default bench/baselines) and
+/// returns non-OK when any numeric metric drifts outside tolerance
+/// (obs/perfgate.hpp). CI runs this as the perf-regression gate.
+Status CmdPerfGate(const ArgList& args, std::ostream& out);
 
 /// Reruns the reproduction's calibration anchors (Table 5 lookup points,
 /// the GOP/s identity, Table 3 placement structure, event-sim agreement)

@@ -4,6 +4,9 @@
 #include <optional>
 #include <string>
 
+#include "obs/quantiles.hpp"
+#include "obs/timeseries.hpp"
+
 namespace microrec {
 
 namespace {
@@ -40,7 +43,7 @@ class AttributionObserver final : public DataflowStageObserver {
     share_[stage][item] = exit_ns - ready_ns;
     if (tracer_ != nullptr && tracer_->SampleQuery(item)) {
       tracer_->CompleteSpan(StageTrack(stage), stages_[stage].name, enter_ns,
-                            exit_ns);
+                            exit_ns, item);
     }
   }
 
@@ -83,11 +86,12 @@ SystemSimReport SystemSimulator::RunArrivals(
   // ---- Optional telemetry (pure observation; see header contract). ----
   obs::MetricsRegistry* metrics = telemetry_.metrics;
   obs::SpanTracer* tracer = telemetry_.tracer;
+  obs::TimeSeriesRecorder* timeseries = telemetry_.timeseries;
   const bool instrumented = telemetry_.active();
 
   std::optional<MemsimTelemetry> memsim_telemetry;
-  if (metrics != nullptr) {
-    memsim_telemetry.emplace(metrics, engine_.options().platform);
+  if (metrics != nullptr || timeseries != nullptr) {
+    memsim_telemetry.emplace(metrics, timeseries, engine_.options().platform);
     memory.set_telemetry(&*memsim_telemetry);
   }
   if (tracer != nullptr) {
@@ -95,13 +99,16 @@ SystemSimReport SystemSimulator::RunArrivals(
     for (std::size_t j = 0; j < stage_timings.size(); ++j) {
       tracer->SetTrackName(StageTrack(j),
                            "stage " + stage_timings[j].name);
+      tracer->SetTrackKind(StageTrack(j), obs::TrackKind::kStage);
     }
     for (const auto& access : accesses) {
+      const obs::TrackId track = BankTrack(stage_timings.size(), access.bank);
       tracer->SetTrackName(
-          BankTrack(stage_timings.size(), access.bank),
+          track,
           std::string(MemoryKindName(
               engine_.options().platform.KindOfBank(access.bank))) +
               " bank " + std::to_string(access.bank));
+      tracer->SetTrackKind(track, obs::TrackKind::kBank);
     }
   }
   std::optional<AttributionObserver> observer;
@@ -134,7 +141,7 @@ SystemSimReport SystemSimulator::RunArrivals(
             tracer->CompleteSpan(
                 BankTrack(stage_timings.size(), accesses[a].bank),
                 "lookup t" + std::to_string(done.tag), done.start_ns,
-                done.completion_ns);
+                done.completion_ns, item);
           }
         }
         return batch.latency_ns();
@@ -175,14 +182,14 @@ SystemSimReport SystemSimulator::RunArrivals(
     }
 
     // Attribution: the p99-ranked item's latency decomposed per stage, so
-    // the table's rows sum exactly to an observed end-to-end latency.
-    std::vector<std::size_t> order(result.items.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return result.items[a].latency_ns() < result.items[b].latency_ns();
-    });
-    const std::size_t p99_item =
-        order[static_cast<std::size_t>(0.99 * (order.size() - 1))];
+    // the table's rows sum exactly to an observed end-to-end latency. The
+    // shared helper replicates the argsort + rank formula this code used
+    // inline, so the selected item is unchanged.
+    std::vector<double> latencies(result.items.size());
+    for (std::size_t i = 0; i < latencies.size(); ++i) {
+      latencies[i] = result.items[i].latency_ns();
+    }
+    const std::size_t p99_item = obs::ArgQuantileIndex(latencies, 0.99);
     report.p99_item_latency_ns = result.items[p99_item].latency_ns();
 
     const auto& share = observer->share();

@@ -74,6 +74,16 @@ StatusOr<DegradedServingReport> SimulateDegradedServing(
   served_arrivals.reserve(arrivals.size());
   served_completions.reserve(arrivals.size());
 
+  // Pure observation: the SLO outcome stream mirrors every decision the
+  // loop below makes, one entry per offered query.
+  std::vector<obs::QueryOutcome>* outcomes = config.outcomes;
+  if (outcomes != nullptr) outcomes->reserve(arrivals.size());
+  const auto record_shed = [outcomes](Nanoseconds arrival) {
+    if (outcomes != nullptr) {
+      outcomes->push_back(obs::QueryOutcome{arrival, 0.0, false});
+    }
+  };
+
   for (const Nanoseconds arrival : arrivals) {
     // Least-loaded dispatch over *live* replicas.
     std::uint32_t best = config.pipeline_replicas;
@@ -86,6 +96,7 @@ StatusOr<DegradedServingReport> SimulateDegradedServing(
     }
     if (best == config.pipeline_replicas) {
       ++report.shed_unservable;  // whole fleet is down
+      record_shed(arrival);
       continue;
     }
     const Nanoseconds start = std::max(arrival, next_start[best]);
@@ -99,6 +110,7 @@ StatusOr<DegradedServingReport> SimulateDegradedServing(
           router->Route(config.lookups_per_table, start);
       if (!routed.fully_servable()) {
         ++report.shed_unservable;  // a table lost every replica
+        record_shed(arrival);
         continue;
       }
       const Nanoseconds lookup = router->DegradedLookupLatency(
@@ -115,12 +127,16 @@ StatusOr<DegradedServingReport> SimulateDegradedServing(
     // queries consume no pipeline slot.
     if (start - arrival > config.admission_queue_ns) {
       ++report.shed_admission;
+      record_shed(arrival);
       continue;
     }
 
     next_start[best] = start + initiation;
     const Nanoseconds done = start + item_latency;
     if (queue_delay_hist != nullptr) queue_delay_hist->Observe(start - arrival);
+    if (outcomes != nullptr) {
+      outcomes->push_back(obs::QueryOutcome{arrival, done - arrival, true});
+    }
     served_arrivals.push_back(arrival);
     served_completions.push_back(done);
     report.item_latency_max_ns =

@@ -31,6 +31,7 @@
 #include "faults/fault_schedule.hpp"
 #include "memsim/dram_timing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "serving/serving_sim.hpp"
 
 namespace microrec {
@@ -61,6 +62,11 @@ struct DegradedServingConfig {
   /// served-query queue-delay histogram are mirrored into this registry
   /// (names prefixed `degraded_`). Simulation results are unchanged.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional per-query outcome stream for SLO evaluation: one entry per
+  /// offered query in arrival order (shed queries appear with
+  /// served=false). Pure observation; simulation results are unchanged.
+  std::vector<obs::QueryOutcome>* outcomes = nullptr;
 };
 
 struct DegradedServingReport {

@@ -7,62 +7,83 @@
 namespace microrec {
 
 MemsimTelemetry::MemsimTelemetry(obs::MetricsRegistry* registry,
-                                 const MemoryPlatformSpec& spec) {
-  MICROREC_CHECK(registry != nullptr);
+                                 obs::TimeSeriesRecorder* timeseries,
+                                 const MemoryPlatformSpec& spec)
+    : has_metrics_(registry != nullptr) {
+  MICROREC_CHECK(registry != nullptr || timeseries != nullptr);
   // Queue delays span sub-ns (idle bank) to ~ms (saturated run): 96 buckets
   // at 1.25x growth cover 0.1 ns .. ~200 us.
   obs::HistogramOptions delay_opts{0.1, 1.25, 96};
   banks_.resize(spec.total_banks());
   kind_of_bank_.resize(spec.total_banks());
   kinds_.resize(3);
-  for (const MemoryKind kind :
-       {MemoryKind::kHbm, MemoryKind::kDdr, MemoryKind::kOnChip}) {
-    const auto k = static_cast<std::size_t>(kind);
-    const obs::MetricLabels labels{{"kind", MemoryKindName(kind)}};
-    kinds_[k].accesses = &registry->counter("memsim_accesses_total", labels);
-    kinds_[k].bytes = &registry->counter("memsim_bytes_read_total", labels);
-    kinds_[k].queue_delay_ns =
-        &registry->histogram("memsim_queue_delay_ns", labels, delay_opts);
-    kinds_[k].service_ns =
-        &registry->histogram("memsim_service_ns", labels, delay_opts);
+  if (registry != nullptr) {
+    for (const MemoryKind kind :
+         {MemoryKind::kHbm, MemoryKind::kDdr, MemoryKind::kOnChip}) {
+      const auto k = static_cast<std::size_t>(kind);
+      const obs::MetricLabels labels{{"kind", MemoryKindName(kind)}};
+      kinds_[k].accesses = &registry->counter("memsim_accesses_total", labels);
+      kinds_[k].bytes = &registry->counter("memsim_bytes_read_total", labels);
+      kinds_[k].queue_delay_ns =
+          &registry->histogram("memsim_queue_delay_ns", labels, delay_opts);
+      kinds_[k].service_ns =
+          &registry->histogram("memsim_service_ns", labels, delay_opts);
+    }
   }
   for (std::uint32_t b = 0; b < spec.total_banks(); ++b) {
     const MemoryKind kind = spec.KindOfBank(b);
     kind_of_bank_[b] = static_cast<std::size_t>(kind);
     const obs::MetricLabels labels{{"bank", std::to_string(b)},
                                    {"kind", MemoryKindName(kind)}};
-    banks_[b].accesses =
-        &registry->counter("memsim_bank_accesses_total", labels);
-    banks_[b].bytes = &registry->counter("memsim_bank_bytes_total", labels);
-    banks_[b].rejected =
-        &registry->counter("memsim_bank_rejected_total", labels);
-    banks_[b].queue_backlog_ns =
-        &registry->gauge("memsim_bank_queue_backlog_ns", labels);
-    banks_[b].queue_backlog_peak_ns =
-        &registry->gauge("memsim_bank_queue_backlog_peak_ns", labels);
+    if (registry != nullptr) {
+      banks_[b].accesses =
+          &registry->counter("memsim_bank_accesses_total", labels);
+      banks_[b].bytes = &registry->counter("memsim_bank_bytes_total", labels);
+      banks_[b].rejected =
+          &registry->counter("memsim_bank_rejected_total", labels);
+      banks_[b].queue_backlog_ns =
+          &registry->gauge("memsim_bank_queue_backlog_ns", labels);
+      banks_[b].queue_backlog_peak_ns =
+          &registry->gauge("memsim_bank_queue_backlog_peak_ns", labels);
+    }
+    if (timeseries != nullptr) {
+      banks_[b].busy_ns = &timeseries->series("memsim_bank_busy_ns", labels,
+                                              obs::SeriesKind::kSum);
+      banks_[b].backlog_peak = &timeseries->series(
+          "memsim_bank_queue_ns", labels, obs::SeriesKind::kMax);
+    }
   }
 }
 
 void MemsimTelemetry::OnAccess(std::uint32_t bank, Bytes bytes,
+                               Nanoseconds issue_ns,
                                Nanoseconds queue_delay_ns,
                                Nanoseconds service_ns,
                                Nanoseconds backlog_ns) {
   MICROREC_CHECK(bank < banks_.size());
   BankHandles& h = banks_[bank];
-  h.accesses->Inc();
-  h.bytes->Inc(bytes);
-  h.queue_backlog_ns->Set(backlog_ns);
-  h.queue_backlog_peak_ns->Max(backlog_ns);
-  KindHandles& k = kinds_[kind_of_bank_[bank]];
-  k.accesses->Inc();
-  k.bytes->Inc(bytes);
-  k.queue_delay_ns->Observe(queue_delay_ns);
-  k.service_ns->Observe(service_ns);
+  if (has_metrics_) {
+    h.accesses->Inc();
+    h.bytes->Inc(bytes);
+    h.queue_backlog_ns->Set(backlog_ns);
+    h.queue_backlog_peak_ns->Max(backlog_ns);
+    KindHandles& k = kinds_[kind_of_bank_[bank]];
+    k.accesses->Inc();
+    k.bytes->Inc(bytes);
+    k.queue_delay_ns->Observe(queue_delay_ns);
+    k.service_ns->Observe(service_ns);
+  }
+  if (h.busy_ns != nullptr) {
+    // Busy time lands in the bucket where the bank *started* serving;
+    // backlog is sampled at issue time (what the arriving access saw).
+    h.busy_ns->Observe(issue_ns + queue_delay_ns, service_ns);
+    h.backlog_peak->Observe(issue_ns, backlog_ns);
+  }
 }
 
 void MemsimTelemetry::OnReject(std::uint32_t bank) {
   MICROREC_CHECK(bank < banks_.size());
-  banks_[bank].rejected->Inc();
+  if (has_metrics_) banks_[bank].rejected->Inc();
 }
 
 HybridMemorySystem::HybridMemorySystem(MemoryPlatformSpec spec, double overlap)
@@ -131,7 +152,8 @@ void HybridMemorySystem::IssueBatchInto(std::span<const BankAccess> accesses,
     const MemCompletion done = channels_[access.bank].Serve(
         MemRequest{start_ns, access.bytes, access.tag, scale});
     if (telemetry_ != nullptr) {
-      telemetry_->OnAccess(access.bank, access.bytes, done.queue_delay_ns,
+      telemetry_->OnAccess(access.bank, access.bytes, start_ns,
+                           done.queue_delay_ns,
                            done.completion_ns - done.start_ns, backlog_ns);
     }
     out.completion_ns = std::max(out.completion_ns, done.completion_ns);

@@ -15,6 +15,7 @@
 #include "memsim/channel_sim.hpp"
 #include "memsim/dram_timing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace microrec {
 
@@ -69,11 +70,22 @@ struct AccessTraceRecord {
 /// an installed adapter cannot change simulation results).
 class MemsimTelemetry {
  public:
+  /// Either sink may be null, but not both. The metrics registry receives
+  /// the aggregate counters/histograms; the time-series recorder (when
+  /// present) additionally gets per-bank busy/backlog timelines bucketed
+  /// on simulated time.
   MemsimTelemetry(obs::MetricsRegistry* registry,
+                  obs::TimeSeriesRecorder* timeseries,
                   const MemoryPlatformSpec& spec);
+  MemsimTelemetry(obs::MetricsRegistry* registry,
+                  const MemoryPlatformSpec& spec)
+      : MemsimTelemetry(registry, nullptr, spec) {}
 
-  void OnAccess(std::uint32_t bank, Bytes bytes, Nanoseconds queue_delay_ns,
-                Nanoseconds service_ns, Nanoseconds backlog_ns);
+  /// `issue_ns` is when the batch issued the access; the bank started
+  /// serving it `queue_delay_ns` later.
+  void OnAccess(std::uint32_t bank, Bytes bytes, Nanoseconds issue_ns,
+                Nanoseconds queue_delay_ns, Nanoseconds service_ns,
+                Nanoseconds backlog_ns);
   void OnReject(std::uint32_t bank);
 
  private:
@@ -83,6 +95,8 @@ class MemsimTelemetry {
     obs::Counter* rejected = nullptr;
     obs::Gauge* queue_backlog_ns = nullptr;  ///< backlog seen by the last access
     obs::Gauge* queue_backlog_peak_ns = nullptr;
+    obs::TimeSeries* busy_ns = nullptr;      ///< kSum: service ns per bucket
+    obs::TimeSeries* backlog_peak = nullptr; ///< kMax: backlog high-water
   };
   struct KindHandles {
     obs::Counter* accesses = nullptr;
@@ -91,6 +105,7 @@ class MemsimTelemetry {
     obs::Histogram* service_ns = nullptr;
   };
 
+  bool has_metrics_ = false;
   std::vector<BankHandles> banks_;
   std::vector<KindHandles> kinds_;  // indexed by MemoryKind of each bank
   std::vector<std::size_t> kind_of_bank_;

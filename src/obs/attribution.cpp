@@ -1,0 +1,217 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "common/status.hpp"
+#include "obs/quantiles.hpp"
+
+namespace microrec::obs {
+
+Nanoseconds QueryAttribution::ComponentSum() const {
+  Nanoseconds sum = 0.0;
+  for (const AttributionComponent& c : components) sum += c.ns;
+  return sum;
+}
+
+namespace {
+
+using SpanView = SpanTracer::SpanView;
+using AsyncView = SpanTracer::AsyncView;
+
+struct QuerySpans {
+  std::vector<SpanView> stages;
+  std::vector<SpanView> banks;
+};
+
+QueryAttribution AttributeOne(const SpanTracer& tracer, const AsyncView& q,
+                              QuerySpans& spans) {
+  QueryAttribution qa;
+  qa.query = q.id;
+  qa.start_ns = q.start_ns;
+  qa.end_ns = q.end_ns;
+  qa.total_ns = q.end_ns - q.start_ns;
+
+  if (spans.stages.empty()) {
+    // Tracer sampled the query but no stage observer ran; keep the sum
+    // invariant with a single catch-all slice.
+    qa.components.push_back(
+        AttributionComponent{"", "unattributed", "query", qa.total_ns});
+    return qa;
+  }
+  std::stable_sort(spans.stages.begin(), spans.stages.end(),
+                   [](const SpanView& a, const SpanView& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+
+  // Serial critical path: the stages of one query never overlap, so
+  // latency telescopes into (wait before stage_k) + (residency in stage_k)
+  // exactly, anchored at the query's arrival.
+  Nanoseconds prev_exit = q.start_ns;
+  for (const SpanView& s : spans.stages) {
+    const std::string stage_name(s.name);
+    const Nanoseconds enter = s.start_ns;
+    const Nanoseconds exit = s.start_ns + s.dur_ns;
+    const Nanoseconds wait = enter - prev_exit;
+    if (wait > 0.0) {
+      qa.components.push_back(
+          AttributionComponent{stage_name, "queue", stage_name, wait});
+    }
+
+    // Bank spans launched inside this stage's residency window belong to
+    // its fan-out (in practice: the embedding stage).
+    const SpanView* critical = nullptr;
+    for (const SpanView& b : spans.banks) {
+      if (b.start_ns < enter || b.start_ns > exit) continue;
+      if (critical == nullptr ||
+          b.start_ns + b.dur_ns > critical->start_ns + critical->dur_ns) {
+        critical = &b;
+      }
+    }
+    if (critical == nullptr) {
+      qa.components.push_back(
+          AttributionComponent{stage_name, "service", stage_name, s.dur_ns});
+    } else {
+      // The stage is gated by its slowest ("critical") bank: decompose the
+      // residency into that bank's queueing delay, its service time, and
+      // whatever the stage spent after the data was back (stall).
+      const std::string bank_name = tracer.track_name(critical->track);
+      const Nanoseconds bank_queue =
+          std::max(0.0, critical->start_ns - enter);
+      qa.components.push_back(AttributionComponent{stage_name, "bank-queue",
+                                                   bank_name, bank_queue});
+      qa.components.push_back(AttributionComponent{
+          stage_name, "bank-service", bank_name, critical->dur_ns});
+      const Nanoseconds stall =
+          exit - (critical->start_ns + critical->dur_ns);
+      if (stall > 0.0) {
+        qa.components.push_back(
+            AttributionComponent{stage_name, "stall", stage_name, stall});
+      }
+    }
+    prev_exit = exit;
+  }
+  if (q.end_ns - prev_exit > 0.0) {
+    qa.components.push_back(AttributionComponent{
+        "", "unattributed", "query", q.end_ns - prev_exit});
+  }
+  return qa;
+}
+
+std::string ComponentLabel(const AttributionComponent& c) {
+  std::string label = c.stage.empty() ? c.category : c.stage + " " + c.category;
+  if (!c.resource.empty() && c.resource != c.stage) {
+    label += " @ " + c.resource;
+  }
+  return label;
+}
+
+void AppendComponentTable(std::ostringstream& os,
+                          const std::vector<AttributionComponent>& components,
+                          Nanoseconds total_ns) {
+  int rank = 0;
+  for (const AttributionComponent& c : components) {
+    const double share = total_ns > 0.0 ? 100.0 * c.ns / total_ns : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %2d  %-44s %12.2f ns  %5.1f%%\n",
+                  ++rank, ComponentLabel(c).c_str(), c.ns, share);
+    os << line;
+  }
+}
+
+}  // namespace
+
+AttributionReport ComputeCriticalPathAttribution(const SpanTracer& tracer,
+                                                 std::size_t top_k) {
+  const std::vector<AsyncView> queries = tracer.AsyncSpans();
+  MICROREC_CHECK(!queries.empty());
+
+  std::map<std::uint64_t, QuerySpans> by_query;
+  for (const SpanView& s : tracer.CompleteSpans()) {
+    if (s.query == kNoQuery) continue;
+    switch (tracer.track_kind(s.track)) {
+      case TrackKind::kStage:
+        by_query[s.query].stages.push_back(s);
+        break;
+      case TrackKind::kBank:
+        by_query[s.query].banks.push_back(s);
+        break;
+      case TrackKind::kOther:
+        break;
+    }
+  }
+
+  AttributionReport report;
+  report.queries_analyzed = queries.size();
+
+  std::vector<QueryAttribution> attributions;
+  attributions.reserve(queries.size());
+  std::vector<double> totals;
+  totals.reserve(queries.size());
+  // Aggregate keyed on (stage, category, resource); std::map keeps the
+  // reduction order deterministic.
+  std::map<std::tuple<std::string, std::string, std::string>, Nanoseconds>
+      mean_sums;
+  static const QuerySpans kEmpty;
+  for (const AsyncView& q : queries) {
+    auto it = by_query.find(q.id);
+    QuerySpans scratch = it == by_query.end() ? kEmpty : it->second;
+    QueryAttribution qa = AttributeOne(tracer, q, scratch);
+    totals.push_back(qa.total_ns);
+    report.mean_total_ns += qa.total_ns;
+    for (const AttributionComponent& c : qa.components) {
+      mean_sums[{c.stage, c.category, c.resource}] += c.ns;
+    }
+    attributions.push_back(std::move(qa));
+  }
+  const double n = static_cast<double>(queries.size());
+  report.mean_total_ns /= n;
+  for (const auto& [key, sum] : mean_sums) {
+    report.mean_components.push_back(AttributionComponent{
+        std::get<0>(key), std::get<1>(key), std::get<2>(key), sum / n});
+  }
+  auto by_share = [](const AttributionComponent& a,
+                     const AttributionComponent& b) {
+    if (a.ns != b.ns) return a.ns > b.ns;
+    return std::tie(a.stage, a.category, a.resource) <
+           std::tie(b.stage, b.category, b.resource);
+  };
+  std::sort(report.mean_components.begin(), report.mean_components.end(),
+            by_share);
+
+  // The p99 sampled query, selected with the same rank arithmetic the
+  // SystemSimulator report uses.
+  report.p99 = attributions[ArgQuantileIndex(totals, 0.99)];
+  report.p99_ranked = report.p99.components;
+  std::sort(report.p99_ranked.begin(), report.p99_ranked.end(), by_share);
+  if (report.p99_ranked.size() > top_k) report.p99_ranked.resize(top_k);
+  return report;
+}
+
+std::string AttributionReport::ToString() const {
+  std::ostringstream os;
+  os << "critical-path attribution over " << queries_analyzed
+     << " sampled queries\n";
+  {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "p99 drilldown: query %llu, %.2f ns end-to-end "
+                  "(component sum %.2f ns)\n",
+                  static_cast<unsigned long long>(p99.query), p99.total_ns,
+                  p99.ComponentSum());
+    os << line;
+  }
+  AppendComponentTable(os, p99_ranked, p99.total_ns);
+  {
+    char line[160];
+    std::snprintf(line, sizeof(line), "mean query: %.2f ns\n", mean_total_ns);
+    os << line;
+  }
+  AppendComponentTable(os, mean_components, mean_total_ns);
+  return os.str();
+}
+
+}  // namespace microrec::obs

@@ -1,0 +1,82 @@
+// Critical-path tail-latency attribution over an in-memory span trace.
+//
+// The SpanTracer already records, per sampled query, the serialized stage
+// spans (one track per pipeline stage, TrackKind::kStage) and the parallel
+// bank-access spans underneath the embedding stage (TrackKind::kBank).
+// This engine walks those spans -- directly, no JSON round trip -- and
+// decomposes every sampled query's end-to-end latency into an exact sum of
+// named components:
+//
+//   * queue         time between the previous stage's exit and this
+//                   stage's entry (FIFO wait; the serial critical path
+//                   telescopes, so these are exact, not estimates)
+//   * bank-queue    for the stage that fans out to memory banks: the
+//                   *critical* bank's queueing delay (the bank whose
+//                   completion gates the stage)
+//   * bank-service  the critical bank's service time
+//   * stall         stage residency beyond the critical bank's completion
+//                   (downstream backpressure / batching stalls)
+//   * service       in-stage time for stages with no bank children
+//
+// Summing a query's components reproduces its end-to-end latency to within
+// floating-point noise -- the test suite asserts the invariant within one
+// memory-channel beat. The "p99 drilldown" ranks the components of the
+// p99-ranked sampled query (selected with the exact rank formula the
+// SystemSimulator report uses, so both views name the same query).
+//
+// Pure analysis: reading the tracer never mutates it, and nothing here
+// runs unless the caller asks for the report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/span_tracer.hpp"
+
+namespace microrec::obs {
+
+/// One slice of one (or the mean) query's latency.
+struct AttributionComponent {
+  std::string stage;     ///< stage track name ("" for unattributed time)
+  std::string category;  ///< queue|service|bank-queue|bank-service|stall
+  std::string resource;  ///< the resource charged (stage or bank name)
+  Nanoseconds ns = 0.0;
+};
+
+/// One sampled query's exact latency decomposition.
+struct QueryAttribution {
+  std::uint64_t query = 0;
+  Nanoseconds start_ns = 0.0;
+  Nanoseconds end_ns = 0.0;
+  Nanoseconds total_ns = 0.0;  ///< end - start
+  std::vector<AttributionComponent> components;
+
+  Nanoseconds ComponentSum() const;
+};
+
+struct AttributionReport {
+  std::uint64_t queries_analyzed = 0;
+  Nanoseconds mean_total_ns = 0.0;
+  /// Mean ns/query per (stage, category, resource), sorted by descending
+  /// share; sums to mean_total_ns within floating-point noise.
+  std::vector<AttributionComponent> mean_components;
+  /// The p99-ranked sampled query, fully decomposed.
+  QueryAttribution p99;
+  /// The p99 query's components ranked by descending contribution,
+  /// truncated to the requested top-k.
+  std::vector<AttributionComponent> p99_ranked;
+
+  /// Human-readable drilldown table.
+  std::string ToString() const;
+};
+
+/// Analyzes every query that has an async span in the tracer. Queries with
+/// no query-tagged stage spans get a single "unattributed" component so
+/// the sum invariant still holds. Aborts (CHECK) when the tracer has no
+/// async spans at all.
+AttributionReport ComputeCriticalPathAttribution(const SpanTracer& tracer,
+                                                 std::size_t top_k = 8);
+
+}  // namespace microrec::obs

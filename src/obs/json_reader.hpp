@@ -1,0 +1,67 @@
+// Minimal JSON parser, the read-side counterpart of json_writer.hpp. The
+// repo's exporters only ever *wrote* JSON; the perf-regression gate needs
+// to read the bench reports back, so this adds a small recursive-descent
+// parser producing an owning DOM value. Deliberately scoped to what our
+// own emitters produce (objects, arrays, strings with escapes, doubles,
+// bool, null) plus standard \uXXXX escapes; it is not a general-purpose
+// validator beyond rejecting malformed input with a positioned error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace microrec::obs {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Parses a complete document; trailing non-whitespace is an error.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors abort on kind mismatch (call sites check kind first).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  /// Object members in document order (duplicate keys keep the last).
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace microrec::obs

@@ -10,13 +10,42 @@
 
 namespace microrec::obs {
 
+namespace {
+
+/// Prometheus exposition escaping for label values: backslash, double
+/// quote, and newline must be escaped or the line becomes unparseable.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Prometheus sample-value rendering. JsonNumber turns NaN/Inf into JSON
+/// `null`, which the exposition format cannot carry; Prometheus spells
+/// them NaN / +Inf / -Inf.
+std::string PrometheusNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0.0 ? "+Inf" : "-Inf";
+  return JsonNumber(value);
+}
+
+}  // namespace
+
 std::string FormatMetricName(const std::string& name,
                              const MetricLabels& labels) {
   if (labels.empty()) return name;
   std::string out = name + "{";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     if (i > 0) out += ',';
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
   }
   out += '}';
   return out;
@@ -304,8 +333,8 @@ std::string MetricsSnapshot::ToPrometheus() const {
   }
   for (const auto& g : gauges) {
     type_line(g.name, "gauge");
-    os << FormatMetricName(g.name, g.labels) << " " << JsonNumber(g.value)
-       << "\n";
+    os << FormatMetricName(g.name, g.labels) << " "
+       << PrometheusNumber(g.value) << "\n";
   }
   for (const auto& h : histograms) {
     type_line(h.name, "histogram");
@@ -322,7 +351,7 @@ std::string MetricsSnapshot::ToPrometheus() const {
          << "\n";
     }
     os << FormatMetricName(h.name + "_sum", h.labels) << " "
-       << JsonNumber(h.histogram.sum()) << "\n";
+       << PrometheusNumber(h.histogram.sum()) << "\n";
     os << FormatMetricName(h.name + "_count", h.labels) << " "
        << h.histogram.count() << "\n";
   }

@@ -1,0 +1,178 @@
+#include "obs/perfgate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace microrec::obs {
+
+double PerfGateOptions::ToleranceFor(const std::string& metric) const {
+  auto it = metric_tolerance.find(metric);
+  return it == metric_tolerance.end() ? default_tolerance : it->second;
+}
+
+namespace {
+
+constexpr double kAbsSlack = 1e-9;
+
+void CompareValue(const std::string& locator, const std::string& key,
+                  const JsonValue& base, const JsonValue& cur,
+                  const PerfGateOptions& opts, PerfGateFileReport& report) {
+  if (base.kind() != cur.kind()) {
+    report.failures.push_back(locator + "." + key + ": type changed");
+    return;
+  }
+  switch (base.kind()) {
+    case JsonValue::Kind::kNumber: {
+      const double b = base.AsNumber();
+      const double c = cur.AsNumber();
+      MetricDiff diff;
+      diff.record = locator;
+      diff.metric = key;
+      diff.baseline = b;
+      diff.current = c;
+      diff.tolerance = opts.ToleranceFor(key);
+      const double scale = std::max(std::abs(b), std::abs(c));
+      diff.rel_delta = scale > 0.0 ? (c - b) / scale : 0.0;
+      diff.pass = std::abs(c - b) <= diff.tolerance * scale + kAbsSlack;
+      ++report.metrics_compared;
+      if (!diff.pass) {
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "%s.%s: %s %.6g -> %.6g (%+.2f%%, tolerance %.1f%%)",
+                      locator.c_str(), key.c_str(),
+                      c > b ? "regressed" : "improved", b, c,
+                      100.0 * diff.rel_delta, 100.0 * diff.tolerance);
+        report.failures.emplace_back(line);
+      }
+      report.diffs.push_back(diff);
+      break;
+    }
+    case JsonValue::Kind::kString:
+      if (base.AsString() != cur.AsString()) {
+        report.failures.push_back(locator + "." + key + ": '" +
+                                  base.AsString() + "' -> '" + cur.AsString() +
+                                  "'");
+      }
+      break;
+    case JsonValue::Kind::kBool:
+      if (base.AsBool() != cur.AsBool()) {
+        report.failures.push_back(locator + "." + key + ": bool changed");
+      }
+      break;
+    case JsonValue::Kind::kNull:
+      break;
+    case JsonValue::Kind::kArray:
+    case JsonValue::Kind::kObject:
+      // Nested containers inside records are not part of the bench schema;
+      // flag them so a schema change cannot slip through unchecked.
+      report.failures.push_back(locator + "." + key +
+                                ": nested value not comparable");
+      break;
+  }
+}
+
+void CompareFlatObject(const std::string& locator, const JsonValue& base,
+                       const JsonValue& cur, const PerfGateOptions& opts,
+                       PerfGateFileReport& report) {
+  for (const auto& [key, base_value] : base.AsObject()) {
+    if (key == "records") continue;  // handled structurally by the caller
+    const JsonValue* cur_value = cur.Find(key);
+    if (cur_value == nullptr) {
+      report.failures.push_back(locator + "." + key + ": missing in current");
+      continue;
+    }
+    CompareValue(locator, key, base_value, *cur_value, opts, report);
+  }
+  for (const auto& [key, cur_value] : cur.AsObject()) {
+    (void)cur_value;
+    if (key == "records") continue;
+    if (base.Find(key) == nullptr) {
+      report.failures.push_back(locator + "." + key +
+                                ": new field not in baseline");
+    }
+  }
+}
+
+}  // namespace
+
+PerfGateFileReport ComparePerfReports(const std::string& name,
+                                      const JsonValue& baseline,
+                                      const JsonValue& current,
+                                      const PerfGateOptions& opts) {
+  PerfGateFileReport report;
+  report.name = name;
+  if (!baseline.is_object() || !current.is_object()) {
+    report.failures.push_back(name + ": report is not a JSON object");
+    return report;
+  }
+  CompareFlatObject("meta", baseline, current, opts, report);
+
+  const JsonValue* base_records = baseline.Find("records");
+  const JsonValue* cur_records = current.Find("records");
+  if ((base_records == nullptr) != (cur_records == nullptr)) {
+    report.failures.push_back(name + ": records array presence changed");
+    return report;
+  }
+  if (base_records == nullptr) return report;
+  if (!base_records->is_array() || !cur_records->is_array()) {
+    report.failures.push_back(name + ": records is not an array");
+    return report;
+  }
+  const auto& base_arr = base_records->AsArray();
+  const auto& cur_arr = cur_records->AsArray();
+  if (base_arr.size() != cur_arr.size()) {
+    report.failures.push_back(
+        name + ": record count " + std::to_string(base_arr.size()) + " -> " +
+        std::to_string(cur_arr.size()));
+    return report;
+  }
+  // Bench reports are deterministic, so records match positionally.
+  for (std::size_t i = 0; i < base_arr.size(); ++i) {
+    const std::string locator = "records[" + std::to_string(i) + "]";
+    if (!base_arr[i].is_object() || !cur_arr[i].is_object()) {
+      report.failures.push_back(locator + ": record is not an object");
+      continue;
+    }
+    CompareFlatObject(locator, base_arr[i], cur_arr[i], opts, report);
+  }
+  return report;
+}
+
+StatusOr<PerfGateFileReport> ComparePerfReportText(
+    const std::string& name, const std::string& baseline_text,
+    const std::string& current_text, const PerfGateOptions& opts) {
+  StatusOr<JsonValue> baseline = JsonValue::Parse(baseline_text);
+  if (!baseline.ok()) {
+    return Status::InvalidArgument(name +
+                                   " baseline: " + baseline.status().message());
+  }
+  StatusOr<JsonValue> current = JsonValue::Parse(current_text);
+  if (!current.ok()) {
+    return Status::InvalidArgument(name +
+                                   " current: " + current.status().message());
+  }
+  return ComparePerfReports(name, baseline.value(), current.value(), opts);
+}
+
+std::string RenderPerfGateReport(const PerfGateReport& report) {
+  std::ostringstream os;
+  for (const PerfGateFileReport& file : report.files) {
+    os << (file.pass() ? "PASS" : "FAIL") << "  " << file.name << "  ("
+       << file.metrics_compared << " metrics";
+    if (!file.failures.empty()) {
+      os << ", " << file.failures.size() << " failures";
+    }
+    os << ")\n";
+    for (const std::string& line : file.failures) {
+      os << "      " << line << "\n";
+    }
+  }
+  os << (report.pass() ? "perfgate: PASS" : "perfgate: FAIL") << " ("
+     << report.metrics_compared << " metrics compared, " << report.failures
+     << " failures)\n";
+  return os.str();
+}
+
+}  // namespace microrec::obs

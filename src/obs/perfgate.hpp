@@ -1,0 +1,79 @@
+// Perf-regression gate: compares a freshly generated bench report (the
+// BENCH_*.json files emitted by bench/ binaries) against a checked-in
+// baseline and fails when any numeric metric drifts outside tolerance.
+//
+// The gate is symmetric on purpose: a large *improvement* also fails,
+// because for a deterministic simulator an unexpected change in either
+// direction means the model changed, not that the code got faster. The
+// report message distinguishes the direction so a legitimate improvement
+// is easy to bless by regenerating the baseline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/json_reader.hpp"
+
+namespace microrec::obs {
+
+struct PerfGateOptions {
+  /// Relative tolerance applied to every numeric field by default. A field
+  /// passes when |current - base| <= tol * max(|base|, |current|) + 1e-9.
+  double default_tolerance = 0.05;
+  /// Per-metric overrides keyed by JSON field name (e.g. "p99_ns").
+  std::map<std::string, double> metric_tolerance;
+
+  double ToleranceFor(const std::string& metric) const;
+};
+
+/// One compared numeric field.
+struct MetricDiff {
+  std::string record;      ///< "records[3]" or "meta" style locator
+  std::string metric;      ///< JSON field name
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_delta = 0.0;  ///< (current - base) / max(|base|, eps)
+  double tolerance = 0.0;
+  bool pass = true;
+};
+
+struct PerfGateFileReport {
+  std::string name;  ///< bench name (file stem)
+  std::vector<MetricDiff> diffs;
+  std::vector<std::string> failures;  ///< human-readable failure lines
+  std::uint64_t metrics_compared = 0;
+
+  bool pass() const { return failures.empty(); }
+};
+
+struct PerfGateReport {
+  std::vector<PerfGateFileReport> files;
+  std::uint64_t metrics_compared = 0;
+  std::uint64_t failures = 0;
+
+  bool pass() const { return failures == 0; }
+};
+
+/// Compares two parsed bench reports (objects with scalar meta fields and a
+/// "records" array of flat objects). Structural mismatches -- missing
+/// fields, different record counts, string fields that differ -- are hard
+/// failures; numeric fields are tolerance-checked.
+PerfGateFileReport ComparePerfReports(const std::string& name,
+                                      const JsonValue& baseline,
+                                      const JsonValue& current,
+                                      const PerfGateOptions& opts);
+
+/// Convenience: parse both documents then compare. Parse errors surface as
+/// a failed status rather than a gate failure.
+StatusOr<PerfGateFileReport> ComparePerfReportText(
+    const std::string& name, const std::string& baseline_text,
+    const std::string& current_text, const PerfGateOptions& opts);
+
+/// Renders the report as an aligned human-readable table (worst offenders
+/// first), ending with a PASS/FAIL verdict line.
+std::string RenderPerfGateReport(const PerfGateReport& report);
+
+}  // namespace microrec::obs

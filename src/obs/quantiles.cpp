@@ -1,0 +1,39 @@
+#include "obs/quantiles.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace microrec::obs {
+
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  MICROREC_CHECK(!sorted.empty());
+  MICROREC_CHECK(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return SortedQuantile(samples, q);
+}
+
+std::size_t QuantileRankIndex(std::size_t n, double q) {
+  MICROREC_CHECK(n >= 1);
+  MICROREC_CHECK(q >= 0.0 && q <= 1.0);
+  return static_cast<std::size_t>(q * static_cast<double>(n - 1));
+}
+
+std::size_t ArgQuantileIndex(const std::vector<double>& values, double q) {
+  MICROREC_CHECK(!values.empty());
+  std::vector<std::size_t> order(values.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  return order[QuantileRankIndex(values.size(), q)];
+}
+
+}  // namespace microrec::obs

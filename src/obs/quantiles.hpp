@@ -1,0 +1,39 @@
+// Shared quantile arithmetic for every latency summary in the repo.
+//
+// Three call sites used to carry their own percentile code: the serving
+// summarizer (via PercentileTracker), the scale-out simulators (through the
+// same summarizer), and the system simulator's p99-item ranking. They now
+// all funnel through these helpers, so "p99" means the same interpolation
+// everywhere -- and the critical-path attribution engine ranks queries with
+// the exact index formula the SystemSimulator report uses, keeping the two
+// views of "the p99 item" literally the same item.
+//
+// The interpolation is bit-for-bit the formula PercentileTracker::Percentile
+// has always used (closest-rank linear interpolation over the sorted
+// samples); swapping a call site onto these helpers changes no output byte.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace microrec::obs {
+
+/// Linear interpolation between closest ranks over an already-sorted,
+/// non-empty sample vector; q in [0, 1]. Identical arithmetic to
+/// PercentileTracker::Percentile (common/stats.hpp).
+double SortedQuantile(const std::vector<double>& sorted, double q);
+
+/// Sorts a copy and interpolates; convenience for one-shot summaries.
+double Quantile(std::vector<double> samples, double q);
+
+/// Rank index of the q-quantile element among n samples, matching the
+/// SystemSimulator's p99-item selection: floor(q * (n - 1)).
+std::size_t QuantileRankIndex(std::size_t n, double q);
+
+/// Index (into the original vector) of the q-ranked element: argsort by
+/// value, then pick rank QuantileRankIndex(n, q). The argsort is the exact
+/// code the SystemSimulator used inline (std::sort over the index vector),
+/// so the selected item is unchanged, ties included.
+std::size_t ArgQuantileIndex(const std::vector<double>& values, double q);
+
+}  // namespace microrec::obs

@@ -1,0 +1,148 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace microrec::obs {
+
+SloSpec SloSpec::Default(Nanoseconds latency_threshold_ns, double objective,
+                         Nanoseconds budget_period_ns) {
+  MICROREC_CHECK(latency_threshold_ns > 0.0);
+  MICROREC_CHECK(objective > 0.0 && objective < 1.0);
+  MICROREC_CHECK(budget_period_ns > 0.0);
+  SloSpec spec;
+  spec.latency_threshold_ns = latency_threshold_ns;
+  spec.objective = objective;
+  // The SRE workbook ladder with the 30-day period replaced by the run's
+  // span: page on 14.4x burn over period/720 (the 1h analogue), ticket on
+  // 6x over period/120 (the 6h analogue); short windows are 1/12 of long.
+  BurnRateRule page;
+  page.severity = "page";
+  page.long_window_ns = budget_period_ns / 720.0;
+  page.short_window_ns = page.long_window_ns / 12.0;
+  page.burn_threshold = 14.4;
+  BurnRateRule ticket;
+  ticket.severity = "ticket";
+  ticket.long_window_ns = budget_period_ns / 120.0;
+  ticket.short_window_ns = ticket.long_window_ns / 12.0;
+  ticket.burn_threshold = 6.0;
+  spec.rules = {page, ticket};
+  return spec;
+}
+
+std::string SloReport::ToString() const {
+  std::ostringstream os;
+  os << "slo " << name << ": " << bad << "/" << total << " bad ("
+     << 100.0 * bad_fraction << "% vs budget "
+     << 100.0 * (1.0 - objective) << "%), budget remaining "
+     << 100.0 * error_budget_remaining << "%";
+  for (const auto& rule : rules) {
+    os << " | " << rule.severity << " "
+       << (rule.fired ? "FIRED @" + FormatNanos(rule.first_alert_ns)
+                      : "quiet")
+       << " (peak burn " << rule.peak_burn << "x)";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Sliding window over the outcome stream: counts total/bad outcomes with
+/// arrival in (now - width, now]. Advance is amortized O(1) per outcome.
+struct Window {
+  Nanoseconds width = 0.0;
+  std::size_t begin = 0;  ///< first outcome inside the window
+  std::size_t next = 0;   ///< first outcome not yet admitted
+  std::uint64_t bad = 0;
+
+  void Advance(const std::vector<QueryOutcome>& outcomes,
+               const std::vector<bool>& is_bad, std::size_t upto,
+               Nanoseconds now) {
+    while (next <= upto) {
+      if (is_bad[next]) ++bad;
+      ++next;
+    }
+    while (begin < next && outcomes[begin].arrival_ns <= now - width) {
+      if (is_bad[begin]) --bad;
+      ++begin;
+    }
+  }
+
+  std::uint64_t total() const { return next - begin; }
+
+  double BurnRate(double budget) const {
+    if (total() == 0) return 0.0;
+    const double bad_fraction =
+        static_cast<double>(bad) / static_cast<double>(total());
+    return bad_fraction / budget;
+  }
+};
+
+}  // namespace
+
+SloReport EvaluateSlo(const SloSpec& spec,
+                      const std::vector<QueryOutcome>& outcomes) {
+  MICROREC_CHECK(spec.latency_threshold_ns > 0.0);
+  MICROREC_CHECK(spec.objective > 0.0 && spec.objective < 1.0);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    MICROREC_CHECK(outcomes[i].arrival_ns >= outcomes[i - 1].arrival_ns);
+  }
+
+  SloReport report;
+  report.name = spec.name;
+  report.objective = spec.objective;
+  report.total = outcomes.size();
+  const double budget = 1.0 - spec.objective;
+
+  std::vector<bool> is_bad(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    is_bad[i] = !outcomes[i].served ||
+                outcomes[i].latency_ns > spec.latency_threshold_ns;
+    if (is_bad[i]) ++report.bad;
+  }
+  if (report.total > 0) {
+    report.bad_fraction =
+        static_cast<double>(report.bad) / static_cast<double>(report.total);
+  }
+  report.error_budget_remaining = 1.0 - report.bad_fraction / budget;
+
+  report.rules.reserve(spec.rules.size());
+  for (const BurnRateRule& rule : spec.rules) {
+    MICROREC_CHECK(rule.long_window_ns > 0.0);
+    MICROREC_CHECK(rule.short_window_ns > 0.0);
+    BurnRateRuleResult result;
+    result.severity = rule.severity;
+    result.burn_threshold = rule.burn_threshold;
+
+    Window long_w{rule.long_window_ns};
+    Window short_w{rule.short_window_ns};
+    // Evaluate at every arrival: both windows must burn at or above the
+    // threshold simultaneously for the rule to fire.
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const Nanoseconds now = outcomes[i].arrival_ns;
+      long_w.Advance(outcomes, is_bad, i, now);
+      short_w.Advance(outcomes, is_bad, i, now);
+      const double long_burn = long_w.BurnRate(budget);
+      const double short_burn = short_w.BurnRate(budget);
+      result.peak_burn = std::max(result.peak_burn, long_burn);
+      if (!result.fired && long_burn >= rule.burn_threshold &&
+          short_burn >= rule.burn_threshold) {
+        result.fired = true;
+        result.first_alert_ns = now;
+      }
+    }
+    if (result.fired) {
+      report.alerted = true;
+      if (report.time_to_alert_ns == 0.0 ||
+          result.first_alert_ns < report.time_to_alert_ns) {
+        report.time_to_alert_ns = result.first_alert_ns;
+      }
+    }
+    report.rules.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace microrec::obs

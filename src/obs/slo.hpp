@@ -1,0 +1,96 @@
+// Declarative SLOs with multi-window burn-rate alerting, evaluated over a
+// simulated serving run's per-query outcomes.
+//
+// An SLO here is "fraction of offered queries that are served within the
+// latency threshold must be at least `objective`". A query is *bad* if it
+// was shed (availability) or finished over the threshold (latency), so one
+// spec covers both targets the way production SLOs do.
+//
+// Alerting follows the multiwindow, multi-burn-rate recipe (Google SRE
+// workbook ch. 5): a rule fires when the error-budget burn rate -- the
+// bad fraction divided by the budget (1 - objective) -- exceeds the rule's
+// threshold over BOTH a long window (evidence the problem is real) and a
+// short window (evidence it is still happening). Window lengths scale with
+// the simulated run: the helper derives the classic 1h/5m and 6h/30m pairs
+// from a budget period equal to the run's span, so a 100 ms simulation
+// alerts with the same relative dynamics a 30-day production budget would.
+//
+// Everything is pure observation over an outcome vector: collecting
+// outcomes from a simulator never changes its results (same contract as
+// the rest of obs/), and evaluation is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace microrec::obs {
+
+/// One offered query's fate, in arrival order (nondecreasing arrival_ns).
+struct QueryOutcome {
+  Nanoseconds arrival_ns = 0.0;
+  Nanoseconds latency_ns = 0.0;  ///< meaningful only when served
+  bool served = true;            ///< false = shed / failed (always bad)
+};
+
+/// One burn-rate alerting rule: fire when burn >= threshold over both
+/// windows simultaneously.
+struct BurnRateRule {
+  std::string severity = "page";
+  Nanoseconds long_window_ns = 0.0;
+  Nanoseconds short_window_ns = 0.0;
+  double burn_threshold = 1.0;
+};
+
+struct SloSpec {
+  std::string name = "latency";
+  /// A served query is bad when its latency exceeds this.
+  Nanoseconds latency_threshold_ns = 0.0;
+  /// Target good fraction (e.g. 0.999 = 99.9%); budget is 1 - objective.
+  double objective = 0.999;
+  std::vector<BurnRateRule> rules;
+
+  /// Spec with the standard two-rule ladder (page: 14.4x burn over
+  /// period/720 with a /12 short window; ticket: 6x over period/120),
+  /// scaled so `budget_period_ns` plays the role of the 30-day budget
+  /// window. Pass the run's simulated span.
+  static SloSpec Default(Nanoseconds latency_threshold_ns,
+                         double objective, Nanoseconds budget_period_ns);
+};
+
+struct BurnRateRuleResult {
+  std::string severity;
+  double burn_threshold = 0.0;
+  bool fired = false;
+  /// Arrival time of the query whose evaluation first tripped the rule.
+  Nanoseconds first_alert_ns = 0.0;
+  /// Peak burn rate the rule's long window reached.
+  double peak_burn = 0.0;
+};
+
+struct SloReport {
+  std::string name;
+  std::uint64_t total = 0;
+  std::uint64_t bad = 0;
+  double bad_fraction = 0.0;
+  double objective = 0.0;
+  /// Fraction of the error budget left at the end of the run:
+  /// 1 - bad_fraction / (1 - objective). Negative = budget blown.
+  double error_budget_remaining = 1.0;
+  std::vector<BurnRateRuleResult> rules;
+  bool alerted = false;
+  /// Earliest first_alert_ns over fired rules; 0 when none fired.
+  Nanoseconds time_to_alert_ns = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates `spec` over outcomes sorted by arrival (checked). Burn rates
+/// are recomputed at every outcome's arrival with two-pointer sliding
+/// windows, so the whole evaluation is O(outcomes x rules).
+SloReport EvaluateSlo(const SloSpec& spec,
+                      const std::vector<QueryOutcome>& outcomes);
+
+}  // namespace microrec::obs

@@ -12,11 +12,31 @@ SpanTracer::SpanTracer(TracerOptions opts) : opts_(std::move(opts)) {
 }
 
 void SpanTracer::SetTrackName(TrackId track, const std::string& name) {
+  if (track_names_.size() <= track) track_names_.resize(track + 1);
+  track_names_[track] = name;
   Event e;
   e.phase = 'M';
   e.track = track;
   e.name = name;
   events_.push_back(std::move(e));
+}
+
+std::string SpanTracer::track_name(TrackId track) const {
+  if (track < track_names_.size() && !track_names_[track].empty()) {
+    return track_names_[track];
+  }
+  return "track " + std::to_string(track);
+}
+
+void SpanTracer::SetTrackKind(TrackId track, TrackKind kind) {
+  if (track_kinds_.size() <= track) {
+    track_kinds_.resize(track + 1, TrackKind::kOther);
+  }
+  track_kinds_[track] = kind;
+}
+
+TrackKind SpanTracer::track_kind(TrackId track) const {
+  return track < track_kinds_.size() ? track_kinds_[track] : TrackKind::kOther;
 }
 
 std::uint64_t SpanTracer::BeginSpan(TrackId track, std::string name,
@@ -47,7 +67,8 @@ void SpanTracer::EndSpan(TrackId track, std::uint64_t span,
 }
 
 void SpanTracer::CompleteSpan(TrackId track, std::string name,
-                              Nanoseconds start_ns, Nanoseconds end_ns) {
+                              Nanoseconds start_ns, Nanoseconds end_ns,
+                              std::uint64_t query) {
   MICROREC_CHECK(end_ns >= start_ns);
   Event e;
   e.phase = 'X';
@@ -55,6 +76,7 @@ void SpanTracer::CompleteSpan(TrackId track, std::string name,
   e.name = std::move(name);
   e.ts_ns = start_ns;
   e.dur_ns = end_ns - start_ns;
+  e.query = query;
   events_.push_back(std::move(e));
 }
 
@@ -88,6 +110,29 @@ std::size_t SpanTracer::open_spans() const {
   std::size_t open = 0;
   for (const auto& stack : stacks_) open += stack.size();
   return open;
+}
+
+std::vector<SpanTracer::SpanView> SpanTracer::CompleteSpans() const {
+  std::vector<SpanView> spans;
+  for (const Event& e : events_) {
+    if (e.phase != 'X') continue;
+    spans.push_back(SpanView{e.track, e.name, e.ts_ns, e.dur_ns, e.query});
+  }
+  return spans;
+}
+
+std::vector<SpanTracer::AsyncView> SpanTracer::AsyncSpans() const {
+  // AsyncSpan pushes the 'b'/'e' pair back to back, so a 'b' is always
+  // immediately followed by its matching 'e'.
+  std::vector<AsyncView> spans;
+  for (std::size_t i = 0; i + 1 < events_.size(); ++i) {
+    const Event& b = events_[i];
+    if (b.phase != 'b') continue;
+    const Event& e = events_[i + 1];
+    MICROREC_CHECK(e.phase == 'e' && e.id == b.id);
+    spans.push_back(AsyncView{b.id, b.name, b.ts_ns, e.ts_ns});
+  }
+  return spans;
 }
 
 void SpanTracer::WriteChromeJson(std::ostream& out) const {
@@ -131,6 +176,12 @@ void SpanTracer::WriteChromeJson(std::ostream& out) const {
         w.KV("dur", e.dur_ns / 1000.0);
         w.KV("pid", 1);
         w.KV("tid", e.track);
+        if (e.query != kNoQuery) {
+          w.Key("args");
+          w.BeginObject();
+          w.KV("query", e.query);
+          w.EndObject();
+        }
         break;
       case 'b':
       case 'e': {

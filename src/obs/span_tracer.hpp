@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/units.hpp"
@@ -39,6 +40,17 @@ struct TracerOptions {
 /// Chrome "tid": one serialized resource (stage, bank, ...).
 using TrackId = std::uint32_t;
 
+/// Sentinel for spans not attributed to any particular query.
+inline constexpr std::uint64_t kNoQuery = ~std::uint64_t{0};
+
+/// What resource a track models; attribution walks stage tracks for the
+/// serial critical path and bank tracks for the parallel lookup fan-out.
+enum class TrackKind : std::uint8_t {
+  kOther = 0,
+  kStage,
+  kBank,
+};
+
 class SpanTracer {
  public:
   explicit SpanTracer(TracerOptions opts = {});
@@ -49,8 +61,16 @@ class SpanTracer {
   }
   const TracerOptions& options() const { return opts_; }
 
-  /// Names a track in the viewer (emits a thread_name metadata event).
+  /// Names a track in the viewer (emits a thread_name metadata event) and
+  /// for in-memory consumers (track_name below).
   void SetTrackName(TrackId track, const std::string& name);
+  /// Last name set for the track; "track <N>" when never named.
+  std::string track_name(TrackId track) const;
+
+  /// Declares what resource a track models (default kOther). Purely an
+  /// annotation for in-memory consumers; not emitted to Chrome JSON.
+  void SetTrackKind(TrackId track, TrackKind kind);
+  TrackKind track_kind(TrackId track) const;
 
   /// Opens a span on `track`; spans on one track must close LIFO.
   /// Returns a handle for EndSpan.
@@ -58,9 +78,11 @@ class SpanTracer {
                           Nanoseconds start_ns);
   void EndSpan(TrackId track, std::uint64_t span, Nanoseconds end_ns);
 
-  /// One-shot closed span (a leaf: no children will be added).
+  /// One-shot closed span (a leaf: no children will be added). Spans
+  /// tagged with a query index feed critical-path attribution and show up
+  /// in the viewer as args.query.
   void CompleteSpan(TrackId track, std::string name, Nanoseconds start_ns,
-                    Nanoseconds end_ns);
+                    Nanoseconds end_ns, std::uint64_t query = kNoQuery);
 
   /// Cross-track span keyed by `id` (e.g. a query's end-to-end latency
   /// while its stages run on other tracks). Emitted as async "b"/"e".
@@ -74,6 +96,28 @@ class SpanTracer {
   /// Spans begun but not yet ended (0 for a well-formed finished trace).
   std::size_t open_spans() const;
 
+  /// Read-only view of one recorded complete ('X') span. The name view
+  /// borrows from the tracer; it stays valid until more events are added.
+  struct SpanView {
+    TrackId track = 0;
+    std::string_view name;
+    Nanoseconds start_ns = 0.0;
+    Nanoseconds dur_ns = 0.0;
+    std::uint64_t query = kNoQuery;
+  };
+  /// One recorded async ('b'/'e') span, paired by id.
+  struct AsyncView {
+    std::uint64_t id = 0;
+    std::string_view name;
+    Nanoseconds start_ns = 0.0;
+    Nanoseconds end_ns = 0.0;
+  };
+
+  /// In-memory access for analysis (attribution) without a JSON round
+  /// trip. Complete spans come back in emission order.
+  std::vector<SpanView> CompleteSpans() const;
+  std::vector<AsyncView> AsyncSpans() const;
+
   /// The full document: {"traceEvents": [...], ...}.
   void WriteChromeJson(std::ostream& out) const;
   std::string ToChromeJson() const;
@@ -86,6 +130,7 @@ class SpanTracer {
     Nanoseconds ts_ns = 0.0;
     Nanoseconds dur_ns = 0.0;
     std::uint64_t id = 0;  // async span id
+    std::uint64_t query = kNoQuery;
   };
   struct OpenSpan {
     std::uint64_t handle = 0;
@@ -96,17 +141,23 @@ class SpanTracer {
   TracerOptions opts_;
   std::vector<Event> events_;
   std::vector<std::vector<OpenSpan>> stacks_;  // indexed by track
+  std::vector<TrackKind> track_kinds_;         // indexed by track
+  std::vector<std::string> track_names_;       // indexed by track
   std::uint64_t next_handle_ = 1;
 };
 
-/// The bundle instrumentation points carry: either member may be null, and
+/// The bundle instrumentation points carry: any member may be null, and
 /// an all-null bundle is indistinguishable from no telemetry at all.
 class MetricsRegistry;
+class TimeSeriesRecorder;
 struct Telemetry {
   MetricsRegistry* metrics = nullptr;
   SpanTracer* tracer = nullptr;
+  TimeSeriesRecorder* timeseries = nullptr;
 
-  bool active() const { return metrics != nullptr || tracer != nullptr; }
+  bool active() const {
+    return metrics != nullptr || tracer != nullptr || timeseries != nullptr;
+  }
 };
 
 }  // namespace microrec::obs

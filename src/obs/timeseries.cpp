@@ -1,0 +1,193 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/status.hpp"
+#include "obs/json_writer.hpp"
+
+namespace microrec::obs {
+
+const char* SeriesKindName(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kSum:
+      return "sum";
+    case SeriesKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+TimeSeries::TimeSeries(SeriesKind kind, TimeSeriesOptions opts)
+    : kind_(kind), opts_(opts) {
+  MICROREC_CHECK(opts_.bucket_ns > 0.0);
+  MICROREC_CHECK(opts_.num_buckets >= 1);
+  ring_.assign(opts_.num_buckets, 0.0);
+}
+
+std::uint64_t TimeSeries::first_bucket() const { return any_ ? base_bucket_ : 0; }
+
+std::uint64_t TimeSeries::end_bucket() const { return any_ ? max_bucket_ + 1 : 0; }
+
+double TimeSeries::BucketValue(std::uint64_t b) const {
+  if (!any_ || b < base_bucket_ || b > max_bucket_) return 0.0;
+  return ring_[b % opts_.num_buckets];
+}
+
+void TimeSeries::AdvanceTo(std::uint64_t bucket) {
+  if (!any_) {
+    any_ = true;
+    base_bucket_ = bucket;
+    max_bucket_ = bucket;
+    ring_[bucket % opts_.num_buckets] = 0.0;
+    return;
+  }
+  if (bucket <= max_bucket_) return;
+  // Slide the window forward, zeroing slots the new range reuses. If the
+  // jump exceeds the ring, every slot resets.
+  const std::uint64_t steps = bucket - max_bucket_;
+  if (steps >= opts_.num_buckets) {
+    std::fill(ring_.begin(), ring_.end(), 0.0);
+  } else {
+    for (std::uint64_t b = max_bucket_ + 1; b <= bucket; ++b) {
+      ring_[b % opts_.num_buckets] = 0.0;
+    }
+  }
+  max_bucket_ = bucket;
+  if (max_bucket_ - base_bucket_ >= opts_.num_buckets) {
+    base_bucket_ = max_bucket_ - opts_.num_buckets + 1;
+  }
+}
+
+void TimeSeries::Accumulate(std::uint64_t bucket, double value,
+                            std::uint64_t samples) {
+  AdvanceTo(bucket);
+  if (bucket < base_bucket_) {
+    dropped_samples_ += samples;
+    return;
+  }
+  num_samples_ += samples;
+  double& slot = ring_[bucket % opts_.num_buckets];
+  if (kind_ == SeriesKind::kSum) {
+    slot += value;
+  } else {
+    slot = std::max(slot, value);
+  }
+}
+
+void TimeSeries::Observe(Nanoseconds t_ns, double value) {
+  MICROREC_CHECK(t_ns >= 0.0);
+  Accumulate(static_cast<std::uint64_t>(t_ns / opts_.bucket_ns), value, 1);
+}
+
+void TimeSeries::Merge(const TimeSeries& other) {
+  MICROREC_CHECK(kind_ == other.kind_);
+  MICROREC_CHECK(opts_ == other.opts_);
+  if (!other.any_) return;
+  num_samples_ += other.num_samples_;
+  dropped_samples_ += other.dropped_samples_;
+  if (!any_) {
+    // Wholesale copy of the other window.
+    any_ = true;
+    base_bucket_ = other.base_bucket_;
+    max_bucket_ = other.max_bucket_;
+    for (std::uint64_t b = base_bucket_; b <= max_bucket_; ++b) {
+      ring_[b % opts_.num_buckets] = other.ring_[b % opts_.num_buckets];
+    }
+    return;
+  }
+  // Union window: extend forward to the other's newest bucket, then back
+  // toward its oldest as far as the ring allows. Slots pulled back into the
+  // window may hold stale evicted values, so they reset first.
+  AdvanceTo(other.max_bucket_);
+  if (other.base_bucket_ < base_bucket_) {
+    const std::uint64_t lowest =
+        max_bucket_ >= opts_.num_buckets - 1
+            ? max_bucket_ - opts_.num_buckets + 1
+            : 0;
+    const std::uint64_t new_base = std::max(other.base_bucket_, lowest);
+    for (std::uint64_t b = new_base; b < base_bucket_; ++b) {
+      ring_[b % opts_.num_buckets] = 0.0;
+    }
+    base_bucket_ = new_base;
+  }
+  // Bucket-wise reduction; both kinds are commutative and associative, so a
+  // shard-ordered merge matches a sequential run whenever the union fits
+  // the ring. Contributions older than the merged window count as dropped,
+  // never silently lost.
+  for (std::uint64_t b = other.base_bucket_; b <= other.max_bucket_; ++b) {
+    if (b < base_bucket_) {
+      ++dropped_samples_;
+      continue;
+    }
+    const double v = other.ring_[b % opts_.num_buckets];
+    double& slot = ring_[b % opts_.num_buckets];
+    if (kind_ == SeriesKind::kSum) {
+      slot += v;
+    } else {
+      slot = std::max(slot, v);
+    }
+  }
+}
+
+TimeSeries& TimeSeriesRecorder::series(const std::string& name,
+                                       const MetricLabels& labels,
+                                       SeriesKind kind) {
+  return series(name, labels, kind, default_opts_);
+}
+
+TimeSeries& TimeSeriesRecorder::series(const std::string& name,
+                                       const MetricLabels& labels,
+                                       SeriesKind kind,
+                                       const TimeSeriesOptions& opts) {
+  const std::string key = FormatMetricName(name, labels);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Entry entry{name, labels, std::make_unique<TimeSeries>(kind, opts)};
+    it = series_.emplace(key, std::move(entry)).first;
+  }
+  return *it->second.series;
+}
+
+void TimeSeriesRecorder::MergeFrom(const TimeSeriesRecorder& other) {
+  for (const auto& [key, entry] : other.series_) {
+    TimeSeries& mine = series(entry.name, entry.labels, entry.series->kind(),
+                              entry.series->options());
+    mine.Merge(*entry.series);
+  }
+}
+
+void TimeSeriesRecorder::WriteJson(std::ostream& out) const {
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("series");
+  w.BeginObject();
+  for (const auto& [key, entry] : series_) {
+    const TimeSeries& s = *entry.series;
+    w.Key(key);
+    w.BeginObject();
+    w.KV("kind", SeriesKindName(s.kind()));
+    w.KV("bucket_ns", s.options().bucket_ns);
+    w.KV("start_bucket", s.first_bucket());
+    w.KV("samples", s.num_samples());
+    w.KV("dropped_samples", s.dropped_samples());
+    w.Key("values");
+    w.BeginArray();
+    for (std::uint64_t b = s.first_bucket(); b < s.end_bucket(); ++b) {
+      w.Value(s.BucketValue(b));
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  out << "\n";
+}
+
+std::string TimeSeriesRecorder::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace microrec::obs

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "common/stats.hpp"
 #include "common/status.hpp"
+#include "serving/serving_sim.hpp"
 
 namespace microrec {
 
@@ -122,32 +122,8 @@ HybridFleetReport SimulateHybridFleet(const std::vector<Nanoseconds>& arrivals,
     completion[query_id] = done;
   }
 
-  PercentileTracker latencies;
-  std::uint64_t violations = 0;
-  Nanoseconds makespan = 0.0;
-  for (std::size_t i = 0; i < arrivals.size(); ++i) {
-    const Nanoseconds latency = completion[i] - arrivals[i];
-    latencies.Add(latency);
-    if (latency > sla_ns) ++violations;
-    makespan = std::max(makespan, completion[i]);
-  }
-
-  ServingReport& overall = report.overall;
-  overall.queries = arrivals.size();
-  const Nanoseconds span = arrivals.back() - arrivals.front();
-  overall.offered_qps =
-      span > 0.0 ? static_cast<double>(arrivals.size() - 1) / ToSeconds(span)
-                 : 0.0;
-  overall.achieved_qps =
-      makespan > 0.0 ? static_cast<double>(arrivals.size()) / ToSeconds(makespan)
-                     : 0.0;
-  overall.p50 = latencies.Percentile(0.50);
-  overall.p95 = latencies.Percentile(0.95);
-  overall.p99 = latencies.Percentile(0.99);
-  overall.max = latencies.Max();
-  overall.mean = latencies.Mean();
-  overall.sla_violation_rate =
-      static_cast<double>(violations) / static_cast<double>(arrivals.size());
+  // Same summary arithmetic as every other serving simulator.
+  report.overall = SummarizeServing(arrivals, completion, sla_ns);
   return report;
 }
 

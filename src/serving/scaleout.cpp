@@ -4,8 +4,6 @@
 #include <cmath>
 #include <string>
 
-#include "common/stats.hpp"
-
 namespace microrec {
 
 StatusOr<ServingReport> SimulateReplicatedPipelines(

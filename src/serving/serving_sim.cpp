@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/status.hpp"
+#include "obs/quantiles.hpp"
 
 namespace microrec {
 
@@ -41,12 +42,13 @@ ServingReport SummarizeServing(const std::vector<Nanoseconds>& arrivals,
                                Nanoseconds sla_ns) {
   MICROREC_CHECK(arrivals.size() == completions.size());
   MICROREC_CHECK(!arrivals.empty());
-  PercentileTracker latencies;
+  std::vector<double> latencies;
+  latencies.reserve(arrivals.size());
   std::uint64_t violations = 0;
   Nanoseconds makespan_end = 0.0;
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     const Nanoseconds latency = completions[i] - arrivals[i];
-    latencies.Add(latency);
+    latencies.push_back(latency);
     if (latency > sla_ns) ++violations;
     makespan_end = std::max(makespan_end, completions[i]);
   }
@@ -60,11 +62,16 @@ ServingReport SummarizeServing(const std::vector<Nanoseconds>& arrivals,
       makespan_end > 0.0
           ? static_cast<double>(arrivals.size()) / ToSeconds(makespan_end)
           : 0.0;
-  report.p50 = latencies.Percentile(0.50);
-  report.p95 = latencies.Percentile(0.95);
-  report.p99 = latencies.Percentile(0.99);
-  report.max = latencies.Max();
-  report.mean = latencies.Mean();
+  // Shared quantile helper, same interpolation (and, summing the sorted
+  // samples, the same floating-point mean) PercentileTracker produced here.
+  std::sort(latencies.begin(), latencies.end());
+  report.p50 = obs::SortedQuantile(latencies, 0.50);
+  report.p95 = obs::SortedQuantile(latencies, 0.95);
+  report.p99 = obs::SortedQuantile(latencies, 0.99);
+  report.max = latencies.back();
+  double sum = 0.0;
+  for (const double latency : latencies) sum += latency;
+  report.mean = sum / static_cast<double>(latencies.size());
   report.sla_violation_rate =
       static_cast<double>(violations) / static_cast<double>(arrivals.size());
   return report;
@@ -108,7 +115,8 @@ ServingReport SimulateBatchedServer(const std::vector<Nanoseconds>& arrivals,
 ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
                                       Nanoseconds item_latency_ns,
                                       Nanoseconds initiation_interval_ns,
-                                      Nanoseconds sla_ns) {
+                                      Nanoseconds sla_ns,
+                                      std::vector<Nanoseconds>* completions_out) {
   MICROREC_CHECK(!arrivals.empty());
   std::vector<Nanoseconds> completions(arrivals.size());
   Nanoseconds last_start = -initiation_interval_ns;
@@ -118,7 +126,9 @@ ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
     completions[i] = start + item_latency_ns;
     last_start = start;
   }
-  return SummarizeServing(arrivals, completions, sla_ns);
+  const ServingReport report = SummarizeServing(arrivals, completions, sla_ns);
+  if (completions_out != nullptr) *completions_out = std::move(completions);
+  return report;
 }
 
 }  // namespace microrec

@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "common/stats.hpp"
 #include "common/units.hpp"
 
 namespace microrec {
@@ -61,10 +60,12 @@ ServingReport SimulateBatchedServer(const std::vector<Nanoseconds>& arrivals,
 
 /// Simulates the item-streaming pipeline: query i begins at
 /// max(arrival_i, start_{i-1} + initiation_interval) and completes
-/// item_latency later.
-ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
-                                      Nanoseconds item_latency_ns,
-                                      Nanoseconds initiation_interval_ns,
-                                      Nanoseconds sla_ns);
+/// item_latency later. When `completions_out` is non-null it receives the
+/// per-query completion times (for SLO evaluation); passing it changes no
+/// report field.
+ServingReport SimulatePipelinedServer(
+    const std::vector<Nanoseconds>& arrivals, Nanoseconds item_latency_ns,
+    Nanoseconds initiation_interval_ns, Nanoseconds sla_ns,
+    std::vector<Nanoseconds>* completions_out = nullptr);
 
 }  // namespace microrec

@@ -53,12 +53,24 @@ UpdateServingReport SimulateServingWithUpdates(
 
   std::vector<Nanoseconds> completions(arrivals.size());
 
+  // Pure observation: mirror every query's fate into the SLO outcome
+  // stream when a collector is attached (this simulator never sheds).
+  const auto record_outcomes = [&]() {
+    if (config.outcomes == nullptr) return;
+    config.outcomes->reserve(config.outcomes->size() + arrivals.size());
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      config.outcomes->push_back(
+          obs::QueryOutcome{arrivals[i], completions[i] - arrivals[i], true});
+    }
+  };
+
   if (!updates_on) {
     // Zero update rate short-circuits onto the exact no-update code path:
     // same arithmetic, same summarizer, bit-for-bit identical report.
-    report.serving =
-        SimulatePipelinedServer(arrivals, config.item_latency_ns,
-                                config.initiation_interval_ns, config.sla_ns);
+    report.serving = SimulatePipelinedServer(
+        arrivals, config.item_latency_ns, config.initiation_interval_ns,
+        config.sla_ns, config.outcomes != nullptr ? &completions : nullptr);
+    record_outcomes();
     return report;
   }
 
@@ -210,6 +222,7 @@ UpdateServingReport SimulateServingWithUpdates(
   }
 
   report.serving = SummarizeServing(arrivals, completions, config.sla_ns);
+  record_outcomes();
   report.update_bytes_written = injector.stats().bytes_written;
   report.staleness_p50 = staleness.Percentile(0.50);
   report.staleness_p95 = staleness.Percentile(0.95);

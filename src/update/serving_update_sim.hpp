@@ -20,6 +20,7 @@
 #include "common/units.hpp"
 #include "memsim/dram_timing.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "placement/plan.hpp"
 #include "serving/serving_sim.hpp"
 #include "update/delta_stream.hpp"
@@ -50,6 +51,11 @@ struct UpdateServingConfig {
   /// staleness and interference histograms are mirrored into this registry
   /// (names prefixed `update_`). Simulation results are unchanged.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional per-query outcome stream for SLO evaluation (this simulator
+  /// never sheds, so every outcome has served=true). Pure observation;
+  /// simulation results are unchanged.
+  std::vector<obs::QueryOutcome>* outcomes = nullptr;
 };
 
 struct UpdateServingReport {

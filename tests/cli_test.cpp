@@ -446,5 +446,109 @@ TEST_F(CliTest, ScaleoutRejectsBadQpsRange) {
   EXPECT_FALSE(status.ok());
 }
 
+// ---------------------------------------------------------------- trace
+// (analysis flags)
+
+TEST_F(CliTest, TraceTimelineAndSloFlags) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string timeline_path = Path("timeline.json");
+  auto [status, out] =
+      Run({"trace", model_path, "--queries", "300", "--qps", "300000",
+           "--timeline", "--slo", "--sla-us", "200",
+           "--trace-out", Path("t.json"), "--metrics-out", Path("m.json"),
+           "--prom-out", Path("m.prom"), "--timeline-out", timeline_path});
+  ASSERT_TRUE(status.ok()) << status << "\n" << out;
+  // The critical-path drilldown prints alongside the stage table, and the
+  // component sum reproduces the p99 query's end-to-end latency.
+  EXPECT_NE(out.find("critical-path attribution"), std::string::npos);
+  EXPECT_NE(out.find("p99 drilldown"), std::string::npos);
+  EXPECT_NE(out.find("slo latency:"), std::string::npos);
+  const std::string timeline = Slurp(timeline_path);
+  EXPECT_NE(timeline.find("\"series\""), std::string::npos);
+  EXPECT_NE(timeline.find("memsim_bank_busy_ns"), std::string::npos);
+  EXPECT_NE(timeline.find("memsim_bank_queue_ns"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- perfgate
+
+TEST_F(CliTest, PerfGatePassesThenFailsOnRegression) {
+  const std::string base_dir = Path("baselines");
+  const std::string cur_dir = Path("current");
+  fs::create_directories(base_dir);
+  fs::create_directories(cur_dir);
+  const std::string doc =
+      "{\"bench\": \"demo\", \"qps\": 100,\n"
+      " \"records\": [{\"p99_ns\": 100.0, \"name\": \"a\"}]}\n";
+  std::ofstream(base_dir + "/BENCH_demo.json") << doc;
+  std::ofstream(cur_dir + "/BENCH_demo.json") << doc;
+
+  auto [ok_status, ok_out] =
+      Run({"perfgate", "--baseline-dir", base_dir, "--current-dir", cur_dir});
+  ASSERT_TRUE(ok_status.ok()) << ok_status << "\n" << ok_out;
+  EXPECT_NE(ok_out.find("perfgate: PASS"), std::string::npos);
+
+  // A synthetic 20% latency regression must fail the gate...
+  std::string regressed = doc;
+  regressed.replace(regressed.find("100.0"), 5, "120.0");
+  std::ofstream(cur_dir + "/BENCH_demo.json") << regressed;
+  auto [bad_status, bad_out] =
+      Run({"perfgate", "--baseline-dir", base_dir, "--current-dir", cur_dir});
+  EXPECT_FALSE(bad_status.ok());
+  EXPECT_NE(bad_out.find("perfgate: FAIL"), std::string::npos);
+  EXPECT_NE(bad_out.find("regressed"), std::string::npos);
+
+  // ...unless the metric's tolerance is widened explicitly.
+  auto [tol_status, tol_out] =
+      Run({"perfgate", "--baseline-dir", base_dir, "--current-dir", cur_dir,
+           "--tol", "p99_ns=0.25"});
+  EXPECT_TRUE(tol_status.ok()) << tol_out;
+}
+
+TEST_F(CliTest, PerfGateFailsOnMissingCurrentReport) {
+  const std::string base_dir = Path("baselines");
+  const std::string cur_dir = Path("current");
+  fs::create_directories(base_dir);
+  fs::create_directories(cur_dir);
+  std::ofstream(base_dir + "/BENCH_demo.json")
+      << "{\"bench\": \"demo\", \"records\": []}\n";
+  auto [status, out] =
+      Run({"perfgate", "--baseline-dir", base_dir, "--current-dir", cur_dir});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(out.find("missing current report"), std::string::npos);
+}
+
+TEST_F(CliTest, PerfGateRejectsBadArguments) {
+  EXPECT_FALSE(Run({"perfgate"}).first.ok());  // --current-dir required
+  EXPECT_FALSE(Run({"perfgate", "--current-dir", Path("x"), "--baseline-dir",
+                    Path("nonexistent")})
+                   .first.ok());
+  const std::string base_dir = Path("baselines");
+  fs::create_directories(base_dir);
+  std::ofstream(base_dir + "/BENCH_demo.json") << "{}";
+  EXPECT_FALSE(Run({"perfgate", "--baseline-dir", base_dir, "--current-dir",
+                    Path("x"), "--tol", "nonsense"})
+                   .first.ok());
+}
+
+// ---------------------------------------------------------------- fault-sweep
+// (SLO columns)
+
+TEST_F(CliTest, FaultSweepReportsSloColumns) {
+  const std::string model_path = Path("model.txt");
+  ASSERT_TRUE(Run({"modelgen", "small", "--out", model_path}).first.ok());
+  const std::string json_path = Path("faults.json");
+  auto [status, out] =
+      Run({"fault-sweep", model_path, "--queries", "400", "--qps", "200000",
+           "--max-failed", "1", "--json", json_path});
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_NE(out.find("alert_ms"), std::string::npos);
+  EXPECT_NE(out.find("budget%"), std::string::npos);
+  const std::string json = Slurp(json_path);
+  EXPECT_NE(json.find("\"slo_alerted\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_to_alert_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"error_budget_remaining\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace microrec::cli

@@ -7,15 +7,23 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/microrec.hpp"
 #include "core/system_sim.hpp"
 #include "memsim/hybrid_memory.hpp"
+#include "obs/attribution.hpp"
+#include "obs/json_reader.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfgate.hpp"
+#include "obs/quantiles.hpp"
+#include "obs/slo.hpp"
 #include "obs/span_tracer.hpp"
+#include "obs/timeseries.hpp"
 
 namespace microrec {
 namespace {
@@ -214,6 +222,46 @@ TEST(ExporterTest, PrometheusFormat) {
   EXPECT_NE(prom.find("latency_ns_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(prom.find("latency_ns_sum 12"), std::string::npos);
   EXPECT_NE(prom.find("latency_ns_count 1"), std::string::npos);
+}
+
+TEST(ExporterTest, EmptyRegistryExportsAreEmptyButWellFormed) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.ToPrometheus().empty());
+  const std::string json = registry.ToJson();
+  // JSON export still emits the (empty) sections so consumers need no
+  // special case.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ExporterTest, PrometheusEscapesLabelValues) {
+  // Backslash, double quote, and newline must be escaped inside label
+  // values (Prometheus exposition format rules).
+  EXPECT_EQ(obs::FormatMetricName("x", {{"path", "a\\b\"c\nd"}}),
+            "x{path=\"a\\\\b\\\"c\\nd\"}");
+  MetricsRegistry registry;
+  registry.counter("hits_total", {{"path", "a\"b\nc\\d"}}).Inc();
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("hits_total{path=\"a\\\"b\\nc\\\\d\"} 1"),
+            std::string::npos);
+  // The raw (unescaped) newline must not appear inside the metric line.
+  EXPECT_EQ(prom.find("a\"b\nc"), std::string::npos);
+}
+
+TEST(ExporterTest, PrometheusRendersNonFiniteGauges) {
+  MetricsRegistry registry;
+  registry.gauge("g_nan").Set(std::nan(""));
+  registry.gauge("g_pinf").Set(std::numeric_limits<double>::infinity());
+  registry.gauge("g_ninf").Set(-std::numeric_limits<double>::infinity());
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("g_nan NaN"), std::string::npos);
+  EXPECT_NE(prom.find("g_pinf +Inf"), std::string::npos);
+  EXPECT_NE(prom.find("g_ninf -Inf"), std::string::npos);
+  // The JSON exporter keeps its documents parseable instead: null.
+  const std::string json = registry.ToJson();
+  EXPECT_EQ(json.find("NaN"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
 }
 
 TEST(JsonWriterTest, EscapesSpecialCharacters) {
@@ -421,6 +469,413 @@ TEST(TelemetryIdentityTest, MemsimBatchUnchangedByTelemetry) {
   }
   // And the registry actually saw the traffic.
   EXPECT_GT(registry.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared quantile helpers
+// ---------------------------------------------------------------------------
+
+TEST(QuantilesTest, SortedQuantileMatchesPercentileTrackerExactly) {
+  std::vector<double> samples;
+  for (int i = 0; i < 257; ++i) {
+    samples.push_back(std::fmod(static_cast<double>(i) * 37.5, 101.0));
+  }
+  PercentileTracker tracker;
+  for (double s : samples) tracker.Add(s);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(obs::SortedQuantile(sorted, q), tracker.Percentile(q)) << q;
+  }
+  EXPECT_EQ(obs::Quantile(samples, 0.99), tracker.Percentile(0.99));
+}
+
+TEST(QuantilesTest, ArgQuantileIndexPicksTheRankedElement) {
+  const std::vector<double> values = {5.0, 1.0, 9.0, 3.0, 7.0, 2.0};
+  EXPECT_EQ(obs::QuantileRankIndex(values.size(), 0.0), 0u);
+  EXPECT_EQ(obs::QuantileRankIndex(values.size(), 1.0), values.size() - 1);
+  EXPECT_EQ(values[obs::ArgQuantileIndex(values, 0.0)], 1.0);
+  EXPECT_EQ(values[obs::ArgQuantileIndex(values, 1.0)], 9.0);
+  // 0.5 * (6 - 1) = 2.5 -> rank 2 -> third smallest.
+  EXPECT_EQ(values[obs::ArgQuantileIndex(values, 0.5)], 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Time series
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, SumAndMaxBucketKinds) {
+  const obs::TimeSeriesOptions opts{10.0, 8};
+  obs::TimeSeries sum(obs::SeriesKind::kSum, opts);
+  sum.Observe(5.0, 1.0);
+  sum.Observe(9.0, 2.0);   // same bucket 0
+  sum.Observe(25.0, 4.0);  // bucket 2
+  EXPECT_EQ(sum.BucketValue(0), 3.0);
+  EXPECT_EQ(sum.BucketValue(1), 0.0);
+  EXPECT_EQ(sum.BucketValue(2), 4.0);
+  EXPECT_EQ(sum.num_samples(), 3u);
+
+  obs::TimeSeries max(obs::SeriesKind::kMax, opts);
+  max.Observe(5.0, 1.0);
+  max.Observe(9.0, 7.0);
+  max.Observe(7.0, 3.0);
+  EXPECT_EQ(max.BucketValue(0), 7.0);
+}
+
+TEST(TimeSeriesTest, RingDropsSamplesBehindTheWindow) {
+  obs::TimeSeries series(obs::SeriesKind::kSum,
+                         obs::TimeSeriesOptions{10.0, 4});
+  series.Observe(100.0, 1.0);  // bucket 10; window starts there
+  EXPECT_EQ(series.first_bucket(), 10u);
+  EXPECT_EQ(series.end_bucket(), 11u);
+  series.Observe(0.0, 1.0);  // bucket 0: behind the window, dropped
+  EXPECT_EQ(series.dropped_samples(), 1u);
+  EXPECT_EQ(series.num_samples(), 1u);
+  EXPECT_EQ(series.BucketValue(0), 0.0);
+  // Sliding far forward evicts the old window: bucket 10 leaves as the
+  // ring advances to [97, 100].
+  series.Observe(1000.0, 2.0);
+  EXPECT_EQ(series.BucketValue(10), 0.0);
+  EXPECT_EQ(series.BucketValue(100), 2.0);
+  EXPECT_EQ(series.first_bucket(), 97u);
+}
+
+TEST(TimeSeriesTest, ShardedMergeEqualsSequentialObservation) {
+  // The merge algebra behind deterministic parallel sweeps: observing a
+  // stream sequentially and merging per-shard recorders must serialize to
+  // the same bytes, for both bucket kinds.
+  const obs::TimeSeriesOptions opts{50.0, 64};
+  obs::TimeSeriesRecorder sequential(opts);
+  obs::TimeSeriesRecorder shard_a(opts);
+  obs::TimeSeriesRecorder shard_b(opts);
+  for (int i = 0; i < 200; ++i) {
+    const double t = static_cast<double>(i) * 13.0;
+    const double v = std::fmod(static_cast<double>(i) * 7.0, 29.0);
+    sequential.series("busy", {{"bank", "0"}}).Observe(t, v);
+    sequential
+        .series("depth", {{"bank", "0"}}, obs::SeriesKind::kMax)
+        .Observe(t, v);
+    obs::TimeSeriesRecorder& shard = (i % 2 == 0) ? shard_a : shard_b;
+    shard.series("busy", {{"bank", "0"}}).Observe(t, v);
+    shard.series("depth", {{"bank", "0"}}, obs::SeriesKind::kMax)
+        .Observe(t, v);
+  }
+  shard_a.MergeFrom(shard_b);
+  EXPECT_EQ(shard_a.ToJson(), sequential.ToJson());
+}
+
+TEST(TimeSeriesTest, MergeIntoEmptyRecorderCopies) {
+  const obs::TimeSeriesOptions opts{10.0, 16};
+  obs::TimeSeriesRecorder full(opts);
+  full.series("busy").Observe(35.0, 2.0);
+  obs::TimeSeriesRecorder empty(opts);
+  empty.MergeFrom(full);
+  EXPECT_EQ(empty.ToJson(), full.ToJson());
+}
+
+TEST(TimeSeriesDeathTest, MergeRejectsMismatchedKind) {
+  obs::TimeSeries sum(obs::SeriesKind::kSum);
+  obs::TimeSeries max(obs::SeriesKind::kMax);
+  EXPECT_DEATH(sum.Merge(max), "");
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+// ---------------------------------------------------------------------------
+
+TEST(JsonReaderTest, ParsesScalarsContainersAndEscapes) {
+  const auto doc = obs::JsonValue::Parse(
+      "{\"a\": 1.5, \"b\": [true, null, \"x\\ny\"], \"c\": {\"d\": -2e3}}");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc->is_object());
+  const obs::JsonValue* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->AsNumber(), 1.5);
+  const obs::JsonValue* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->AsArray().size(), 3u);
+  EXPECT_TRUE(b->AsArray()[0].AsBool());
+  EXPECT_TRUE(b->AsArray()[1].is_null());
+  EXPECT_EQ(b->AsArray()[2].AsString(), "x\ny");
+  EXPECT_EQ(doc->Find("c")->Find("d")->AsNumber(), -2000.0);
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
+  std::ostringstream os;
+  {
+    obs::JsonWriter w(os, 2);
+    w.BeginObject();
+    w.KV("name", "a\"b\\c");
+    w.KV("n", std::uint64_t{7});
+    w.Key("xs");
+    w.BeginArray();
+    w.Value(1.25);
+    w.Value(false);
+    w.EndArray();
+    w.EndObject();
+  }
+  const auto doc = obs::JsonValue::Parse(os.str());
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->Find("name")->AsString(), "a\"b\\c");
+  EXPECT_EQ(doc->Find("n")->AsNumber(), 7.0);
+  EXPECT_EQ(doc->Find("xs")->AsArray()[0].AsNumber(), 1.25);
+}
+
+TEST(JsonReaderTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::JsonValue::Parse("").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("[1, 2").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"unterminated").ok());
+  // Depth bomb: past the recursion cap, a clean error instead of a crash.
+  EXPECT_FALSE(obs::JsonValue::Parse(std::string(100, '[')).ok());
+  // Errors carry the offending offset.
+  const auto err = obs::JsonValue::Parse("[1, x]");
+  EXPECT_NE(err.status().ToString().find("offset"), std::string::npos);
+}
+
+TEST(JsonReaderTest, DuplicateKeysKeepTheLastValue) {
+  const auto doc = obs::JsonValue::Parse("{\"k\": 1, \"k\": 2}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("k")->AsNumber(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn-rate monitor
+// ---------------------------------------------------------------------------
+
+std::vector<obs::QueryOutcome> SyntheticOutcomes(std::size_t n,
+                                                 std::size_t bad_from,
+                                                 double good_latency,
+                                                 double bad_latency) {
+  std::vector<obs::QueryOutcome> outcomes;
+  for (std::size_t i = 0; i < n; ++i) {
+    outcomes.push_back(obs::QueryOutcome{
+        static_cast<double>(i) * 1000.0,
+        i >= bad_from ? bad_latency : good_latency, true});
+  }
+  return outcomes;
+}
+
+TEST(SloTest, HealthyRunStaysQuietWithFullBudget) {
+  const auto outcomes = SyntheticOutcomes(2000, 2000, 500.0, 0.0);
+  const auto spec = obs::SloSpec::Default(1000.0, 0.999, 2.0e6);
+  const obs::SloReport report = obs::EvaluateSlo(spec, outcomes);
+  EXPECT_EQ(report.bad, 0u);
+  EXPECT_FALSE(report.alerted);
+  EXPECT_EQ(report.time_to_alert_ns, 0.0);
+  EXPECT_EQ(report.error_budget_remaining, 1.0);
+  for (const auto& rule : report.rules) EXPECT_FALSE(rule.fired) << rule.severity;
+}
+
+TEST(SloTest, LatencyRegressionPagesShortlyAfterOnset) {
+  // Good for the first half, then every query blows the threshold: the
+  // page rule must fire shortly after the onset at t = 1 ms, not at the
+  // end of the run.
+  const auto outcomes = SyntheticOutcomes(2000, 1000, 500.0, 5000.0);
+  const auto spec = obs::SloSpec::Default(1000.0, 0.999, 2.0e6);
+  const obs::SloReport report = obs::EvaluateSlo(spec, outcomes);
+  EXPECT_EQ(report.bad, 1000u);
+  EXPECT_TRUE(report.alerted);
+  EXPECT_GE(report.time_to_alert_ns, 1.0e6);
+  EXPECT_LE(report.time_to_alert_ns, 1.2e6);
+  EXPECT_LT(report.error_budget_remaining, 0.0);
+}
+
+TEST(SloTest, ShedQueriesAreBadRegardlessOfLatency) {
+  auto outcomes = SyntheticOutcomes(1000, 1000, 500.0, 0.0);
+  for (std::size_t i = 600; i < 1000; ++i) {
+    outcomes[i].served = false;
+    outcomes[i].latency_ns = 0.0;  // fast, but shed: still bad
+  }
+  const auto spec = obs::SloSpec::Default(1000.0, 0.999, 1.0e6);
+  const obs::SloReport report = obs::EvaluateSlo(spec, outcomes);
+  EXPECT_EQ(report.bad, 400u);
+  EXPECT_TRUE(report.alerted);
+}
+
+// ---------------------------------------------------------------------------
+// Perf-regression gate
+// ---------------------------------------------------------------------------
+
+constexpr const char* kBaselineBench = R"({
+  "bench": "demo",
+  "qps": 150000,
+  "records": [
+    {"name": "p0", "p99_ns": 100.0, "throughput": 2.0e6, "ok": true},
+    {"name": "p1", "p99_ns": 240.0, "throughput": 1.5e6, "ok": true}
+  ]
+})";
+
+obs::PerfGateFileReport GateAgainstBaseline(const std::string& current,
+                                            const obs::PerfGateOptions& opts) {
+  const auto report =
+      obs::ComparePerfReportText("demo", kBaselineBench, current, opts);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return *report;
+}
+
+TEST(PerfGateTest, IdenticalReportPasses) {
+  const auto report = GateAgainstBaseline(kBaselineBench, {});
+  EXPECT_TRUE(report.pass());
+  EXPECT_GT(report.metrics_compared, 0u);
+}
+
+TEST(PerfGateTest, TwentyPercentRegressionFailsAtDefaultTolerance) {
+  std::string current = kBaselineBench;
+  const std::size_t pos = current.find("100.0");
+  ASSERT_NE(pos, std::string::npos);
+  current.replace(pos, 5, "120.0");
+  const auto report = GateAgainstBaseline(current, {});
+  EXPECT_FALSE(report.pass());
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("p99_ns"), std::string::npos);
+  EXPECT_NE(report.failures[0].find("regressed"), std::string::npos);
+
+  // Symmetric: a 20% *improvement* fails too (the model changed).
+  std::string improved = kBaselineBench;
+  improved.replace(improved.find("100.0"), 5, "80.0");
+  const auto up = GateAgainstBaseline(improved, {});
+  EXPECT_FALSE(up.pass());
+  EXPECT_NE(up.failures[0].find("improved"), std::string::npos);
+}
+
+TEST(PerfGateTest, PerMetricToleranceOverridesDefault) {
+  std::string current = kBaselineBench;
+  current.replace(current.find("100.0"), 5, "120.0");
+  obs::PerfGateOptions opts;
+  opts.metric_tolerance["p99_ns"] = 0.25;
+  EXPECT_TRUE(GateAgainstBaseline(current, opts).pass());
+  // The override is per-metric, not global: a throughput drift still fails.
+  current.replace(current.find("2.0e6"), 5, "2.4e6");
+  EXPECT_FALSE(GateAgainstBaseline(current, opts).pass());
+}
+
+TEST(PerfGateTest, StructuralMismatchesAreHardFailures) {
+  // Missing record.
+  const auto fewer = GateAgainstBaseline(R"({
+    "bench": "demo", "qps": 150000,
+    "records": [{"name": "p0", "p99_ns": 100.0, "throughput": 2.0e6,
+                 "ok": true}]
+  })", {});
+  EXPECT_FALSE(fewer.pass());
+
+  // String field changed.
+  std::string renamed = kBaselineBench;
+  renamed.replace(renamed.find("\"p1\""), 4, "\"pX\"");
+  EXPECT_FALSE(GateAgainstBaseline(renamed, {}).pass());
+
+  // Metric vanished from a record.
+  std::string missing = kBaselineBench;
+  missing.replace(missing.find(", \"ok\": true}"), 12, "");
+  EXPECT_FALSE(GateAgainstBaseline(missing, {}).pass());
+}
+
+TEST(PerfGateTest, RenderEndsWithVerdictLine) {
+  obs::PerfGateReport report;
+  report.files.push_back(GateAgainstBaseline(kBaselineBench, {}));
+  report.metrics_compared = report.files[0].metrics_compared;
+  const std::string text = obs::RenderPerfGateReport(report);
+  EXPECT_NE(text.find("perfgate: PASS"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution
+// ---------------------------------------------------------------------------
+
+TEST(AttributionTest, DecomposesHandBuiltTraceExactly) {
+  SpanTracer tracer;
+  tracer.SetTrackName(1, "stage_a");
+  tracer.SetTrackKind(1, obs::TrackKind::kStage);
+  tracer.SetTrackName(2, "stage_b");
+  tracer.SetTrackKind(2, obs::TrackKind::kStage);
+  tracer.SetTrackName(3, "bank 0");
+  tracer.SetTrackKind(3, obs::TrackKind::kBank);
+
+  // Query 0: starts at 0, ends at 100. stage_a occupies [10, 40] with a
+  // bank access [15, 35] under it; stage_b occupies [50, 90].
+  tracer.AsyncSpan("query 0", 0, 0.0, 100.0);
+  tracer.CompleteSpan(1, "stage_a", 10.0, 40.0, 0);
+  tracer.CompleteSpan(3, "lookup", 15.0, 35.0, 0);
+  tracer.CompleteSpan(2, "stage_b", 50.0, 90.0, 0);
+
+  const obs::AttributionReport report =
+      obs::ComputeCriticalPathAttribution(tracer);
+  EXPECT_EQ(report.queries_analyzed, 1u);
+  const obs::QueryAttribution& q = report.p99;
+  EXPECT_EQ(q.total_ns, 100.0);
+  EXPECT_EQ(q.ComponentSum(), 100.0);
+
+  auto component = [&](const std::string& stage,
+                       const std::string& category) -> double {
+    for (const auto& c : q.components) {
+      if (c.stage == stage && c.category == category) return c.ns;
+    }
+    ADD_FAILURE() << "missing " << stage << "/" << category;
+    return -1.0;
+  };
+  EXPECT_EQ(component("stage_a", "queue"), 10.0);       // 0 -> enter 10
+  EXPECT_EQ(component("stage_a", "bank-queue"), 5.0);   // 10 -> bank 15
+  EXPECT_EQ(component("stage_a", "bank-service"), 20.0);
+  EXPECT_EQ(component("stage_a", "stall"), 5.0);        // bank 35 -> exit 40
+  EXPECT_EQ(component("stage_b", "queue"), 10.0);       // 40 -> 50
+  EXPECT_EQ(component("stage_b", "service"), 40.0);
+  EXPECT_EQ(component("", "unattributed"), 10.0);       // 90 -> end 100
+}
+
+TEST(AttributionTest, SumInvariantHoldsForEverySimulatedQuery) {
+  EngineOptions options;
+  options.materialize = false;
+  const auto engine = MicroRecEngine::Build(TinyModel(), options);
+  ASSERT_TRUE(engine.ok());
+
+  SpanTracer tracer(TracerOptions{1, "attr-test"});
+  SystemSimulator sim(*engine);
+  sim.set_telemetry(obs::Telemetry{nullptr, &tracer});
+  const SystemSimReport report = sim.Run(300);
+
+  const obs::AttributionReport attribution =
+      obs::ComputeCriticalPathAttribution(tracer);
+  EXPECT_EQ(attribution.queries_analyzed, 300u);
+  // Exact-sum invariant, bounded by one memory-channel beat (the finest
+  // timing quantum in the simulator).
+  const double beat_ns =
+      MemoryPlatformSpec::AlveoU280().hbm_timing.beat_ns;
+  for (const auto& c : attribution.p99.components) EXPECT_GE(c.ns, 0.0);
+  EXPECT_NEAR(attribution.p99.ComponentSum(), attribution.p99.total_ns,
+              beat_ns);
+  // The drilldown names the same query the system report ranks as p99.
+  EXPECT_NEAR(attribution.p99.total_ns, report.p99_item_latency_ns, beat_ns);
+  double mean_sum = 0.0;
+  for (const auto& c : attribution.mean_components) mean_sum += c.ns;
+  EXPECT_NEAR(mean_sum, attribution.mean_total_ns,
+              1e-6 * attribution.mean_total_ns + 1e-9);
+}
+
+TEST(TelemetryIdentityTest, TimeSeriesRecorderPreservesBitIdentity) {
+  EngineOptions options;
+  options.materialize = false;
+  const auto engine = MicroRecEngine::Build(TinyModel(), options);
+  ASSERT_TRUE(engine.ok());
+
+  SystemSimulator bare(*engine);
+  const SystemSimReport without = bare.Run(400);
+
+  obs::TimeSeriesRecorder timeline(obs::TimeSeriesOptions{500.0, 4096});
+  SystemSimulator instrumented(*engine);
+  instrumented.set_telemetry(obs::Telemetry{nullptr, nullptr, &timeline});
+  const SystemSimReport with = instrumented.Run(400);
+
+  EXPECT_EQ(with.makespan_ns, without.makespan_ns);
+  EXPECT_EQ(with.item_latency_p50, without.item_latency_p50);
+  EXPECT_EQ(with.item_latency_p99, without.item_latency_p99);
+  EXPECT_EQ(with.lookup_latency_max, without.lookup_latency_max);
+  EXPECT_EQ(with.peak_bank_utilization, without.peak_bank_utilization);
+  // The recorder saw per-bank busy/backlog timelines.
+  EXPECT_GT(timeline.size(), 0u);
 }
 
 }  // namespace

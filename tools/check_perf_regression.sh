@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Perf-regression gate of the verify path: builds the deterministic bench
+# binaries, regenerates their BENCH_*.json reports in a scratch directory,
+# and compares them against the checked-in baselines in bench/baselines/
+# with `microrec perfgate`. Every compared bench is byte-deterministic
+# (fixed seeds, simulated time only -- bench_table2_end_to_end runs with
+# --no-measure so no wall-clock numbers enter the report), so the default
+# 5% tolerance is pure slack for cross-platform libm drift; any real model
+# change trips the gate in either direction.
+#
+# Usage: tools/check_perf_regression.sh [build-dir] [out-dir]
+# Exit status is microrec perfgate's: non-zero when any metric drifts.
+# To bless an intended change, copy the freshly generated files over
+# bench/baselines/ (see EXPERIMENTS.md) and commit them with the change
+# that caused the drift.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-"$repo/build"}"
+out="${2:-}"
+
+benches=(bench_full_system bench_table2_end_to_end bench_ablation_hot_cache
+         bench_ablation_update_rate bench_ablation_faults)
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target microrec "${benches[@]}"
+
+if [[ -z "$out" ]]; then
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' EXIT
+fi
+mkdir -p "$out"
+
+# Each bench writes BENCH_<name>.json into its working directory.
+(
+  cd "$out"
+  "$build/bench/bench_full_system" >full_system.log
+  "$build/bench/bench_table2_end_to_end" --no-measure >table2.log
+  "$build/bench/bench_ablation_hot_cache" >hot_cache.log
+  "$build/bench/bench_ablation_update_rate" >update_rate.log
+  "$build/bench/bench_ablation_faults" >faults.log
+)
+
+"$build/tools/microrec" perfgate \
+  --baseline-dir "$repo/bench/baselines" \
+  --current-dir "$out"

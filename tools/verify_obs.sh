@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Observability smoke of the verify path: builds the main tree, generates a
-# model, runs `microrec trace` on a small workload, and validates the three
-# artifacts -- trace.json (Chrome trace-event schema), metrics.json
-# (structured dump), and metrics.prom (Prometheus text format) -- then runs
-# the telemetry unit tests, including the identity gates that assert
-# simulation results are bit-for-bit unchanged by instrumentation.
+# model, runs `microrec trace` on a small workload with the analysis layer
+# enabled, and validates the four artifacts -- trace.json (Chrome
+# trace-event schema), metrics.json (structured dump), metrics.prom
+# (Prometheus text format), and timeline.json (per-bank time series) --
+# plus the critical-path attribution drilldown and the burn-rate SLO
+# report, then runs the telemetry unit tests, including the identity gates
+# that assert simulation results are bit-for-bit unchanged by
+# instrumentation.
 # Usage: tools/verify_obs.sh [build-dir]
 set -euo pipefail
 
@@ -20,14 +23,23 @@ trap 'rm -rf "$workdir"' EXIT
 "$build/tools/microrec" modelgen small --out "$workdir/model.txt" >/dev/null
 "$build/tools/microrec" trace "$workdir/model.txt" \
   --queries 500 --qps 200000 --sample 5 \
+  --timeline --slo --sla-us 200 \
   --trace-out "$workdir/trace.json" \
   --metrics-out "$workdir/metrics.json" \
-  --prom-out "$workdir/metrics.prom" | grep -q "p99 latency attribution"
+  --prom-out "$workdir/metrics.prom" \
+  --timeline-out "$workdir/timeline.json" > "$workdir/trace.out"
+grep -q "p99 latency attribution" "$workdir/trace.out"
+grep -q "critical-path attribution" "$workdir/trace.out"
+grep -q "p99 drilldown" "$workdir/trace.out"
+grep -q "slo latency:" "$workdir/trace.out"
 
-# Both JSON artifacts must parse, and the trace must carry the Chrome
+# The JSON artifacts must parse, and the trace must carry the Chrome
 # trace-event envelope with complete spans and track metadata.
 python3 -m json.tool "$workdir/trace.json" >/dev/null
 python3 -m json.tool "$workdir/metrics.json" >/dev/null
+python3 -m json.tool "$workdir/timeline.json" >/dev/null
+grep -q 'memsim_bank_busy_ns' "$workdir/timeline.json"
+grep -q 'memsim_bank_queue_ns' "$workdir/timeline.json"
 grep -q '"traceEvents"' "$workdir/trace.json"
 grep -q '"ph":"X"' "$workdir/trace.json"
 grep -q 'process_name' "$workdir/trace.json"

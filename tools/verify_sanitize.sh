@@ -6,7 +6,9 @@
 # feeds, and the fault-injection / failover / degraded-serving machinery
 # (rejected-access bookkeeping, retry state machine, schedule generation),
 # plus the telemetry layer (metrics registry, histograms, span tracer,
-# identity gates), the concurrency-sensitive PercentileTracker/logging
+# identity gates) and its analysis layer (critical-path attribution, time
+# series, SLO burn rate, perf gate, JSON reader), the
+# concurrency-sensitive PercentileTracker/logging
 # paths, and the parallel experiment engine (thread pool, ParallelRunner,
 # snapshot merging, cross-thread determinism) with the memsim hot path it
 # drives.
@@ -18,7 +20,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-"$repo/build-asan"}"
-filter="${2:-"Update|VersionedStore|HotCache|Embedding|Combined|Hybrid|FaultSchedule|FaultInjector|Failover|RetryPolicy|DmaRetry|DegradedServing|FailureDeath|Scaleout|ProvisionFleet|Metrics|Histogram|Exporter|JsonWriter|SpanTracer|TelemetryIdentity|PercentileTracker|Logging|ThreadPool|ParallelRunner|MergeSnapshots|ParallelDeterminism|BankModelOracle|HybridMemory"}"
+filter="${2:-"Update|VersionedStore|HotCache|Embedding|Combined|Hybrid|FaultSchedule|FaultInjector|Failover|RetryPolicy|DmaRetry|DegradedServing|FailureDeath|Scaleout|ProvisionFleet|Metrics|Histogram|Exporter|JsonWriter|JsonReader|SpanTracer|TelemetryIdentity|Attribution|TimeSeries|Slo|PerfGate|Quantiles|PercentileTracker|Logging|ThreadPool|ParallelRunner|MergeSnapshots|ParallelDeterminism|BankModelOracle|HybridMemory"}"
 
 cmake -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
