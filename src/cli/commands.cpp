@@ -7,12 +7,14 @@
 #include <memory>
 #include <sstream>
 
+#include "cli/sweep_args.hpp"
 #include "common/table_printer.hpp"
 #include "core/microrec.hpp"
 #include "core/serialization.hpp"
 #include "core/system_sim.hpp"
 #include "exec/parallel.hpp"
 #include "obs/attribution.hpp"
+#include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfgate.hpp"
 #include "obs/slo.hpp"
@@ -23,6 +25,8 @@
 #include "faults/fault_schedule.hpp"
 #include "placement/heuristic.hpp"
 #include "placement/replication.hpp"
+#include "sched/fleet.hpp"
+#include "sched/sweep.hpp"
 #include "serving/scaleout.hpp"
 #include "serving/serving_sim.hpp"
 #include "update/serving_update_sim.hpp"
@@ -75,15 +79,6 @@ PlacementOptions OptionsFor(const RecModelSpec& model, const ArgList& args) {
   options.allow_cartesian = !args.HasFlag("no-cartesian");
   options.allow_onchip = !args.HasFlag("no-onchip");
   return options;
-}
-
-/// Parses the sweep commands' shared --threads option (default 1 keeps the
-/// historical serial behaviour; 0 = one per hardware thread). The sweeps'
-/// stdout is byte-identical at every thread count -- see exec/parallel.hpp.
-StatusOr<std::size_t> ThreadsFromArgs(const ArgList& args) {
-  auto threads = args.GetUint("threads", 1);
-  if (!threads.ok()) return threads.status();
-  return exec::ResolveThreads(static_cast<std::size_t>(*threads));
 }
 
 }  // namespace
@@ -406,14 +401,9 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
   auto model = LoadModelArg(args);
   if (!model.ok()) return model.status();
 
-  auto queries = args.GetUint("queries", 10'000);
-  if (!queries.ok()) return queries.status();
-  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
-  auto qps = args.GetUint("qps", 150'000);
-  if (!qps.ok()) return qps.status();
-  if (*qps == 0) return Status::InvalidArgument("--qps must be >= 1");
-  auto seed = args.GetUint("seed", 42);
-  if (!seed.ok()) return seed.status();
+  SweepArgsSpec sweep_spec;
+  auto sweep = SweepArgs::Parse(args, sweep_spec);
+  if (!sweep.ok()) return sweep.status();
   auto points = args.GetUint("points", 5);
   if (!points.ok()) return points.status();
   if (*points < 2) return Status::InvalidArgument("--points must be >= 2");
@@ -433,15 +423,12 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
     }
   }
 
-  auto threads = ThreadsFromArgs(args);
-  if (!threads.ok()) return threads.status();
-
   EngineOptions options;
   options.materialize = false;
   auto engine = MicroRecEngine::Build(*model, options);
   if (!engine.ok()) return engine.status();
-  const auto arrivals =
-      PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+  const auto arrivals = PoissonArrivals(static_cast<double>(sweep->qps),
+                                        sweep->queries, sweep->seed);
 
   // Point k sweeps geometrically from update-qps-max / 2^(points-2) up to
   // update-qps-max, with an exact 0 first (the no-update baseline).
@@ -457,7 +444,7 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
   // map cleanly onto the parallel runner. Reports come back in point order
   // and all printing happens below, serially -- stdout and the JSON file
   // are byte-identical at any --threads value.
-  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(*threads));
+  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(sweep->threads));
   const std::vector<UpdateServingReport> reports =
       runner.Map(rates.size(), [&](std::size_t k) {
         UpdateServingConfig config;
@@ -465,22 +452,23 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
         config.initiation_interval_ns =
             engine->timing().initiation_interval_ns;
         config.deltas.update_row_qps = rates[k];
-        config.deltas.seed = *seed + 1;
+        config.deltas.seed = sweep->seed + 1;
         config.policy = policy;
         return SimulateServingWithUpdates(*model, engine->plan(),
                                           options.platform, arrivals, config);
       });
 
-  out << "update sweep for " << model->name << ": " << *queries
-      << " queries at " << *qps << " QPS, policy "
+  out << "update sweep for " << model->name << ": " << sweep->queries
+      << " queries at " << sweep->qps << " QPS, policy "
       << WritePolicyName(policy) << "\n";
   out << "update_qps  p50_us  p99_us  stale_p50_us  stale_p99_us  "
          "interfered  migrations\n";
 
   std::ostringstream json;
   json << "{\n  \"command\": \"update-sweep\",\n  \"model\": \""
-       << model->name << "\",\n  \"qps\": " << *qps << ",\n  \"policy\": \""
-       << WritePolicyName(policy) << "\",\n  \"records\": [\n";
+       << model->name << "\",\n  \"qps\": " << sweep->qps
+       << ",\n  \"policy\": \"" << WritePolicyName(policy)
+       << "\",\n  \"records\": [\n";
   for (std::uint64_t k = 0; k < *points; ++k) {
     const UpdateServingReport& report = reports[k];
     char line[160];
@@ -517,26 +505,20 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   auto model = LoadModelArg(args);
   if (!model.ok()) return model.status();
 
-  auto queries = args.GetUint("queries", 20'000);
-  if (!queries.ok()) return queries.status();
-  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
-  auto qps = args.GetUint("qps", 150'000);
-  if (!qps.ok()) return qps.status();
-  if (*qps == 0) return Status::InvalidArgument("--qps must be >= 1");
-  auto seed = args.GetUint("seed", 42);
-  if (!seed.ok()) return seed.status();
+  SweepArgsSpec sweep_spec;
+  sweep_spec.default_queries = 20'000;
+  auto sweep = SweepArgs::Parse(args, sweep_spec);
+  if (!sweep.ok()) return sweep.status();
   auto max_failed = args.GetUint("max-failed", 8);
   if (!max_failed.ok()) return max_failed.status();
-  auto threads = ThreadsFromArgs(args);
-  if (!threads.ok()) return threads.status();
 
   const auto platform = MemoryPlatformSpec::AlveoU280();
   EngineOptions options;
   options.materialize = false;
   auto engine = MicroRecEngine::Build(*model, options);
   if (!engine.ok()) return engine.status();
-  const auto arrivals =
-      PoissonArrivals(static_cast<double>(*qps), *queries, *seed);
+  const auto arrivals = PoissonArrivals(static_cast<double>(sweep->qps),
+                                        sweep->queries, sweep->seed);
 
   // Replication plans are built serially up front (they are shared,
   // read-only inputs); the flattened (replication, failed-channels) grid is
@@ -604,7 +586,7 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
     DegradedServingReport report;
     obs::SloReport slo;
   };
-  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(*threads));
+  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(sweep->threads));
   const std::vector<FaultPointResult> results =
       runner.Map(grid.size(), [&](std::size_t p) {
         const ReplicationCase& rc = cases[grid[p].case_index];
@@ -640,15 +622,15 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
         return result;
       });
 
-  out << "fault sweep for " << model->name << ": " << *queries
-      << " queries at " << *qps << " QPS, failing up to " << *max_failed
+  out << "fault sweep for " << model->name << ": " << sweep->queries
+      << " queries at " << sweep->qps << " QPS, failing up to " << *max_failed
       << " HBM channel(s)\n";
   out << "replicas  failed_ch  availability  shed%    p50_us    p99_us  "
          "alert_ms   budget%\n";
 
   std::ostringstream json;
   json << "{\n  \"command\": \"fault-sweep\",\n  \"model\": \"" << model->name
-       << "\",\n  \"qps\": " << *qps << ",\n  \"records\": [\n";
+       << "\",\n  \"qps\": " << sweep->qps << ",\n  \"records\": [\n";
   bool first_record = true;
   for (std::size_t p = 0; p < grid.size(); ++p) {
     if (!results[p].status.ok()) return results[p].status;
@@ -703,11 +685,11 @@ Status CmdScaleout(const ArgList& args, std::ostream& out) {
   auto model = LoadModelArg(args);
   if (!model.ok()) return model.status();
 
-  auto queries = args.GetUint("queries", 20'000);
-  if (!queries.ok()) return queries.status();
-  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
-  auto seed = args.GetUint("seed", 42);
-  if (!seed.ok()) return seed.status();
+  SweepArgsSpec sweep_spec;
+  sweep_spec.default_queries = 20'000;
+  sweep_spec.wants_qps = false;  // scaleout sweeps --qps-min/--qps-max
+  auto sweep = SweepArgs::Parse(args, sweep_spec);
+  if (!sweep.ok()) return sweep.status();
   auto points = args.GetUint("points", 4);
   if (!points.ok()) return points.status();
   if (*points == 0) return Status::InvalidArgument("--points must be >= 1");
@@ -721,8 +703,6 @@ Status CmdScaleout(const ArgList& args, std::ostream& out) {
   auto sla_us = args.GetUint("sla-us", 100);
   if (!sla_us.ok()) return sla_us.status();
   if (*sla_us == 0) return Status::InvalidArgument("--sla-us must be >= 1");
-  auto threads = ThreadsFromArgs(args);
-  if (!threads.ok()) return threads.status();
 
   EngineOptions options;
   options.materialize = false;
@@ -767,15 +747,15 @@ Status CmdScaleout(const ArgList& args, std::ostream& out) {
     ServingReport report;
   };
   const Nanoseconds sla_ns = static_cast<double>(*sla_us) * 1000.0;
-  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(*threads));
+  exec::ParallelRunner runner(exec::ExecConfig::WithThreads(sweep->threads));
   const std::vector<ScaleoutResult> results =
       runner.Map(grid.size(), [&](std::size_t p) {
         const ScaleoutPoint& point = grid[p];
         // Both fleet sizes at one traffic level replay the same arrival
         // stream: the seed hangs off the qps index, not the grid index.
         const auto arrivals = PoissonArrivals(
-            point.target_qps, *queries,
-            exec::ParallelRunner::SubSeed(*seed, point.qps_index));
+            point.target_qps, sweep->queries,
+            exec::ParallelRunner::SubSeed(sweep->seed, point.qps_index));
         auto report = SimulateReplicatedPipelines(
             arrivals, static_cast<std::uint32_t>(point.devices),
             engine->ItemLatency(), engine->timing().initiation_interval_ns,
@@ -786,7 +766,7 @@ Status CmdScaleout(const ArgList& args, std::ostream& out) {
         return result;
       });
 
-  out << "scale-out sweep for " << model->name << ": " << *queries
+  out << "scale-out sweep for " << model->name << ": " << sweep->queries
       << " queries per point, SLA " << *sla_us << " us, "
       << fpga.throughput_items_per_s << " items/s per card\n";
   out << "target_qps     cards  fleet         $/h     util%   p50_us  "
@@ -827,6 +807,129 @@ Status CmdScaleout(const ArgList& args, std::ostream& out) {
       return Status::InvalidArgument("cannot open --json file " + *path);
     }
     file << json.str();
+    out << "wrote JSON report to " << *path << "\n";
+  }
+  return Status::Ok();
+}
+
+Status CmdSchedSweep(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"queries", "qps", "seed", "sla-us", "json", "threads"}));
+  if (!args.positional().empty()) {
+    return Status::InvalidArgument(
+        "sched-sweep takes no positional arguments");
+  }
+  SweepArgsSpec sweep_spec;
+  sweep_spec.default_queries = 40'000;
+  sweep_spec.default_qps = 700'000;
+  auto sweep = SweepArgs::Parse(args, sweep_spec);
+  if (!sweep.ok()) return sweep.status();
+  auto sla_us = args.GetUint("sla-us", 2'000);
+  if (!sla_us.ok()) return sla_us.status();
+  if (*sla_us == 0) return Status::InvalidArgument("--sla-us must be >= 1");
+
+  sched::SweepGridConfig config;
+  config.queries = sweep->queries;
+  config.qps = static_cast<double>(sweep->qps);
+  config.seed = sweep->seed;
+  config.sla_ns = static_cast<double>(*sla_us) * 1000.0;
+  config.threads = sweep->threads;
+
+  const sched::SchedSweepResult result = sched::RunSchedSweep(config);
+
+  out << "scheduler sweep: " << sweep->queries << " queries at "
+      << sweep->qps << " QPS base rate, SLA " << *sla_us
+      << " us, 4 arrival processes x 7 policies\n";
+  out << "process      policy            served%    p50_us    p99_us  "
+         "slo_bad%   fpga%    cpu%  cache%   degr%\n";
+  for (const sched::SweepRecord& record : result.records) {
+    const sched::SchedReport& r = record.report;
+    const double offered = static_cast<double>(r.offered);
+    char line[220];
+    std::snprintf(
+        line, sizeof line,
+        "%-11s  %-16s  %6.2f%%  %8.2f  %8.2f  %7.3f%%  %5.1f%%  %5.1f%%  "
+        "%5.1f%%  %5.1f%%\n",
+        record.process.c_str(), record.policy.c_str(),
+        100.0 * r.availability, r.serving.p50 / 1000.0,
+        r.serving.p99 / 1000.0, 100.0 * r.slo.bad_fraction,
+        100.0 * static_cast<double>(r.usage[sched::kFleetFpga].queries) /
+            offered,
+        100.0 * static_cast<double>(r.usage[sched::kFleetCpu].queries) /
+            offered,
+        100.0 * static_cast<double>(r.usage[sched::kFleetHotCache].queries) /
+            offered,
+        100.0 * static_cast<double>(r.usage[sched::kFleetDegraded].queries) /
+            offered);
+    out << line;
+  }
+
+  out << "\nheadline: p99 under bursty load, slo-aware vs best "
+         "availability-keeping static policy\n";
+  for (const sched::SweepHeadline& h : result.headlines) {
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "%-11s  slo-aware %9.2f us  vs  %-16s %10.2f us  -> %s\n",
+                  h.process.c_str(), h.slo_aware_p99 / 1000.0,
+                  h.best_static.c_str(), h.best_static_p99 / 1000.0,
+                  h.slo_beats_best_static ? "WIN" : "LOSS");
+    out << line;
+  }
+  out << "HEADLINE: slo-aware beats every static single-path policy on p99 "
+         "under bursty load: "
+      << (result.slo_beats_best_static_any ? "YES" : "NO") << "\n";
+
+  if (const auto path = args.GetOption("json")) {
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::InvalidArgument("cannot open --json file " + *path);
+    }
+    obs::JsonWriter json(file);
+    json.BeginObject();
+    json.KV("command", "sched-sweep");
+    json.KV("queries", sweep->queries);
+    json.KV("qps", sweep->qps);
+    json.KV("seed", sweep->seed);
+    json.KV("sla_us", *sla_us);
+    json.Key("records");
+    json.BeginArray();
+    for (const sched::SweepRecord& record : result.records) {
+      const sched::SchedReport& r = record.report;
+      json.BeginObject();
+      json.KV("process", record.process);
+      json.KV("policy", record.policy);
+      json.KV("offered", r.offered);
+      json.KV("served", r.served);
+      json.KV("availability", r.availability);
+      json.KV("p50_ns", r.serving.p50);
+      json.KV("p99_ns", r.serving.p99);
+      json.KV("mean_ns", r.serving.mean);
+      json.KV("slo_bad_fraction", r.slo.bad_fraction);
+      json.KV("slo_alerted", r.slo.alerted);
+      json.Key("backend_queries");
+      json.BeginObject();
+      for (const sched::BackendUsage& usage : r.usage) {
+        json.KV(usage.name, usage.queries);
+      }
+      json.EndObject();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("headlines");
+    json.BeginArray();
+    for (const sched::SweepHeadline& h : result.headlines) {
+      json.BeginObject();
+      json.KV("process", h.process);
+      json.KV("best_static", h.best_static);
+      json.KV("best_static_p99_ns", h.best_static_p99);
+      json.KV("slo_aware_p99_ns", h.slo_aware_p99);
+      json.KV("slo_beats_best_static", h.slo_beats_best_static);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.KV("slo_beats_best_static_any", result.slo_beats_best_static_any);
+    json.EndObject();
+    file << "\n";
     out << "wrote JSON report to " << *path << "\n";
   }
   return Status::Ok();
@@ -1075,6 +1178,11 @@ std::string UsageText() {
       "           [--qps-min R] [--qps-max R] [--sla-us U] [--json F]\n"
       "           [--threads T]\n"
       "      fleet provisioning + replicated-pipeline latency vs traffic\n"
+      "  sched-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]\n"
+      "              [--json F] [--threads T]\n"
+      "      scheduling policy x arrival process over the standard\n"
+      "      four-path backend fleet (src/sched/), with the slo-aware vs\n"
+      "      best-static p99 headline under bursty load\n"
       "  perfgate --current-dir D [--baseline-dir D] [--tolerance F]\n"
       "           [--tol metric=F,metric=F]\n"
       "      compare fresh BENCH_*.json reports against checked-in\n"
@@ -1107,6 +1215,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "update-sweep") return CmdUpdateSweep(*args, out);
   if (command == "fault-sweep") return CmdFaultSweep(*args, out);
   if (command == "scaleout") return CmdScaleout(*args, out);
+  if (command == "sched-sweep") return CmdSchedSweep(*args, out);
   if (command == "perfgate") return CmdPerfGate(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();

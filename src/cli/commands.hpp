@@ -21,6 +21,8 @@
 //   microrec scaleout <model-file> [--queries N] [--seed S] [--points K]
 //                     [--qps-min R] [--qps-max R] [--sla-us U] [--json F]
 //                     [--threads T]
+//   microrec sched-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]
+//                     [--json F] [--threads T]
 //   microrec perfgate --current-dir D [--baseline-dir D] [--tolerance F]
 //                     [--tol metric=F,metric=F]
 //
@@ -72,6 +74,13 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out);
 /// simulates each provisioned fleet -- plus the same fleet one card short
 /// -- against its own Poisson arrival stream (src/serving/scaleout.hpp).
 Status CmdScaleout(const ArgList& args, std::ostream& out);
+
+/// Sweeps scheduling policy x arrival process over the standard four-path
+/// backend fleet (src/sched/): per point, served fraction, tail latency,
+/// SLO bad fraction, and the per-backend routing mix; then the headline
+/// comparison of slo-aware routing against the best static single-backend
+/// policy on p99 under each bursty process.
+Status CmdSchedSweep(const ArgList& args, std::ostream& out);
 
 /// Compares freshly generated BENCH_*.json reports in --current-dir against
 /// the checked-in baselines in --baseline-dir (default bench/baselines) and

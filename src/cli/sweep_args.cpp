@@ -1,0 +1,33 @@
+#include "cli/sweep_args.hpp"
+
+#include "exec/parallel.hpp"
+
+namespace microrec::cli {
+
+StatusOr<SweepArgs> SweepArgs::Parse(const ArgList& args,
+                                     const SweepArgsSpec& spec) {
+  SweepArgs parsed;
+  auto queries = args.GetUint("queries", spec.default_queries);
+  if (!queries.ok()) return queries.status();
+  if (*queries == 0) return Status::InvalidArgument("--queries must be >= 1");
+  parsed.queries = *queries;
+
+  parsed.qps = spec.default_qps;
+  if (spec.wants_qps) {
+    auto qps = args.GetUint("qps", spec.default_qps);
+    if (!qps.ok()) return qps.status();
+    if (*qps == 0) return Status::InvalidArgument("--qps must be >= 1");
+    parsed.qps = *qps;
+  }
+
+  auto seed = args.GetUint("seed", spec.default_seed);
+  if (!seed.ok()) return seed.status();
+  parsed.seed = *seed;
+
+  auto threads = args.GetUint("threads", 1);
+  if (!threads.ok()) return threads.status();
+  parsed.threads = exec::ResolveThreads(static_cast<std::size_t>(*threads));
+  return parsed;
+}
+
+}  // namespace microrec::cli

@@ -1,0 +1,37 @@
+// Shared parsing of the sweep commands' common options. update-sweep,
+// fault-sweep, scaleout, and sched-sweep all take --queries/--seed/--threads
+// (and most take --qps); each used to validate them with its own copy of
+// the same code. One helper keeps the defaults per command but the
+// validation -- and its exact error messages -- in one place.
+#pragma once
+
+#include <cstdint>
+
+#include "cli/args.hpp"
+#include "common/status.hpp"
+
+namespace microrec::cli {
+
+/// Per-command defaults for the shared sweep options.
+struct SweepArgsSpec {
+  std::uint64_t default_queries = 10'000;
+  std::uint64_t default_qps = 150'000;
+  std::uint64_t default_seed = 42;
+  /// scaleout sweeps its own --qps-min/--qps-max grid instead of a single
+  /// --qps; it sets this false and `qps` stays at the default.
+  bool wants_qps = true;
+};
+
+struct SweepArgs {
+  std::uint64_t queries = 0;
+  std::uint64_t qps = 0;
+  std::uint64_t seed = 0;
+  /// Resolved worker count (0 on the command line = one per hardware
+  /// thread, via exec::ResolveThreads).
+  std::size_t threads = 1;
+
+  static StatusOr<SweepArgs> Parse(const ArgList& args,
+                                   const SweepArgsSpec& spec);
+};
+
+}  // namespace microrec::cli

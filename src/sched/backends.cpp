@@ -1,0 +1,296 @@
+#include "sched/backends.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace microrec::sched {
+
+// ---------------------------------------------------------------------------
+// PipelineBackend
+// ---------------------------------------------------------------------------
+
+PipelineBackend::PipelineBackend(const PipelineBackendConfig& config)
+    : config_(config) {
+  MICROREC_CHECK(config.replicas >= 1);
+  MICROREC_CHECK(config.item_latency_ns > 0.0);
+  MICROREC_CHECK(config.initiation_interval_ns > 0.0);
+  // A k-item query streams for (k - 1) intervals and finishes one item
+  // latency after its last start, so the linear model is exact here:
+  // service(k) = (item_latency - ii) + k * ii. Lookups ride inside the
+  // pipeline's item latency (that is the paper's point), so the marginal
+  // per-lookup cost is zero.
+  cost_.fixed_ns = config.item_latency_ns - config.initiation_interval_ns;
+  cost_.per_item_ns = config.initiation_interval_ns;
+  cost_.per_lookup_ns = 0.0;
+  replicas_.assign(config.replicas,
+                   PipelineServer(config.item_latency_ns,
+                                  config.initiation_interval_ns));
+}
+
+double PipelineBackend::capacity_items_per_s() const {
+  return static_cast<double>(config_.replicas) * kNanosPerSecond /
+         config_.initiation_interval_ns;
+}
+
+Nanoseconds PipelineBackend::QueueDepthNs(Nanoseconds now) const {
+  Nanoseconds earliest = replicas_[0].NextStart();
+  for (std::size_t k = 1; k < replicas_.size(); ++k) {
+    earliest = std::min(earliest, replicas_[k].NextStart());
+  }
+  return std::max(0.0, earliest - now);
+}
+
+bool PipelineBackend::Admit(const SchedQuery& q) {
+  // Least-loaded dispatch: earliest NextStart, lowest index on ties --
+  // the same rule (and the same floating-point comparisons) as
+  // SimulateReplicatedPipelines.
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < replicas_.size(); ++k) {
+    if (replicas_[k].NextStart() < replicas_[best].NextStart()) best = k;
+  }
+  done_.Push(q.id, replicas_[best].Admit(q.arrival_ns, q.items));
+  return true;
+}
+
+void PipelineBackend::Drain(Nanoseconds now,
+                            std::vector<SchedCompletion>& out) {
+  done_.DrainUntil(now, out);
+}
+
+void PipelineBackend::Finalize(std::vector<SchedCompletion>& out) {
+  done_.DrainAll(out);
+}
+
+// ---------------------------------------------------------------------------
+// CpuBatchedBackend
+// ---------------------------------------------------------------------------
+
+CpuBatchedBackend::CpuBatchedBackend(const CpuBackendConfig& config)
+    : config_(config) {
+  MICROREC_CHECK(config.servers >= 1);
+  MICROREC_CHECK(config.max_batch >= 1);
+  // The expectation a policy should plan with includes the aggregation
+  // window: a non-full batch launches a full timeout after its window
+  // opens, on top of the framework dispatch overhead.
+  cost_.fixed_ns = config.fixed_overhead_ns + config.batch_timeout_ns;
+  cost_.per_item_ns = config.per_item_ns;
+  cost_.per_lookup_ns = config.per_lookup_ns;
+  const BatchLatencyFn latency_fn = [config](std::uint64_t batch) {
+    return config.fixed_overhead_ns +
+           static_cast<double>(batch) *
+               (config.per_item_ns +
+                static_cast<double>(config.lookups_per_item) *
+                    config.per_lookup_ns);
+  };
+  servers_.reserve(config.servers);
+  for (std::uint32_t s = 0; s < config.servers; ++s) {
+    servers_.emplace_back(config.max_batch, config.batch_timeout_ns,
+                          latency_fn);
+  }
+}
+
+double CpuBatchedBackend::capacity_items_per_s() const {
+  const Nanoseconds full_batch_ns =
+      config_.fixed_overhead_ns +
+      static_cast<double>(config_.max_batch) *
+          (config_.per_item_ns +
+           static_cast<double>(config_.lookups_per_item) *
+               config_.per_lookup_ns);
+  return static_cast<double>(config_.servers) *
+         static_cast<double>(config_.max_batch) /
+         ToSeconds(full_batch_ns);
+}
+
+Nanoseconds CpuBatchedBackend::QueueDepthNs(Nanoseconds now) const {
+  Nanoseconds earliest_free = servers_[0].server_free();
+  for (std::size_t s = 1; s < servers_.size(); ++s) {
+    earliest_free = std::min(earliest_free, servers_[s].server_free());
+  }
+  return std::max(0.0, earliest_free - now);
+}
+
+bool CpuBatchedBackend::Admit(const SchedQuery& q) {
+  // The query's items join one server's batch queue as individual units
+  // (they may straddle batches when a batch fills mid-query); the query
+  // completes with its last unit.
+  OnlineBatchedServer& server = servers_[next_server_];
+  next_server_ = (next_server_ + 1) % servers_.size();
+  for (std::uint64_t u = 0; u < q.items; ++u) {
+    server.Assign(static_cast<std::size_t>(q.id), q.arrival_ns);
+  }
+  in_flight_[q.id] = {q.items, 0.0};
+  return true;
+}
+
+void CpuBatchedBackend::Resolve(
+    const std::vector<std::pair<std::size_t, Nanoseconds>>& raw) {
+  for (const auto& [unit_id, completion] : raw) {
+    auto it = in_flight_.find(unit_id);
+    MICROREC_CHECK(it != in_flight_.end());
+    auto& [remaining, latest] = it->second;
+    latest = std::max(latest, completion);
+    if (--remaining == 0) {
+      done_.Push(it->first, latest);
+      in_flight_.erase(it);
+    }
+  }
+}
+
+void CpuBatchedBackend::Drain(Nanoseconds now,
+                              std::vector<SchedCompletion>& out) {
+  std::vector<std::pair<std::size_t, Nanoseconds>> raw;
+  for (auto& server : servers_) server.Flush(now, raw);
+  Resolve(raw);
+  done_.DrainUntil(now, out);
+}
+
+void CpuBatchedBackend::Finalize(std::vector<SchedCompletion>& out) {
+  std::vector<std::pair<std::size_t, Nanoseconds>> raw;
+  for (auto& server : servers_) {
+    server.Flush(0.0, raw, /*final_flush=*/true);
+  }
+  Resolve(raw);
+  done_.DrainAll(out);
+}
+
+// ---------------------------------------------------------------------------
+// HotCacheBackend
+// ---------------------------------------------------------------------------
+
+HotCacheBackend::HotCacheBackend(const HotCacheBackendConfig& config)
+    : config_(config),
+      pipeline_(config.miss_item_latency_ns, config.initiation_interval_ns),
+      cache_(config.cache_capacity_bytes),
+      zipf_(config.key_space, config.zipf_theta),
+      rng_(config.seed) {
+  MICROREC_CHECK(config.hit_item_latency_ns > 0.0);
+  MICROREC_CHECK(config.miss_item_latency_ns >= config.hit_item_latency_ns);
+  MICROREC_CHECK(config.initiation_interval_ns > 0.0);
+  // Cold-cache expectation: every item misses. Admit refines the fixed
+  // term from the observed hit rate as the cache warms.
+  cost_.fixed_ns =
+      config.miss_item_latency_ns - config.initiation_interval_ns;
+  cost_.per_item_ns = config.initiation_interval_ns;
+  cost_.per_lookup_ns = 0.0;
+}
+
+double HotCacheBackend::capacity_items_per_s() const {
+  return kNanosPerSecond / config_.initiation_interval_ns;
+}
+
+Nanoseconds HotCacheBackend::QueueDepthNs(Nanoseconds now) const {
+  return std::max(0.0, pipeline_.NextStart() - now);
+}
+
+bool HotCacheBackend::Admit(const SchedQuery& q) {
+  // One representative hot-row probe per item; the query's item latency is
+  // the hit-weighted mix of the cached and full-path latencies.
+  std::uint64_t hits = 0;
+  for (std::uint64_t u = 0; u < q.items; ++u) {
+    const std::uint64_t row = zipf_.Sample(rng_);
+    if (cache_.Access(/*table_id=*/0, row, config_.entry_bytes)) ++hits;
+  }
+  const double hit_fraction =
+      static_cast<double>(hits) / static_cast<double>(q.items);
+  const Nanoseconds item_latency =
+      hit_fraction * config_.hit_item_latency_ns +
+      (1.0 - hit_fraction) * config_.miss_item_latency_ns;
+  done_.Push(q.id,
+             pipeline_.AdmitWithLatency(q.arrival_ns, q.items, item_latency));
+  const double hr = cache_.stats().hit_rate();
+  cost_.fixed_ns = hr * config_.hit_item_latency_ns +
+                   (1.0 - hr) * config_.miss_item_latency_ns -
+                   config_.initiation_interval_ns;
+  return true;
+}
+
+void HotCacheBackend::Drain(Nanoseconds now,
+                            std::vector<SchedCompletion>& out) {
+  done_.DrainUntil(now, out);
+}
+
+void HotCacheBackend::Finalize(std::vector<SchedCompletion>& out) {
+  done_.DrainAll(out);
+}
+
+// ---------------------------------------------------------------------------
+// DegradedPoolBackend
+// ---------------------------------------------------------------------------
+
+DegradedPoolBackend::DegradedPoolBackend(const DegradedBackendConfig& config)
+    : config_(config) {
+  MICROREC_CHECK(config.replicas >= 1);
+  MICROREC_CHECK(config.item_latency_ns > 0.0);
+  MICROREC_CHECK(config.initiation_interval_ns > 0.0);
+  cost_.fixed_ns = config.item_latency_ns - config.initiation_interval_ns;
+  cost_.per_item_ns = config.initiation_interval_ns;
+  cost_.per_lookup_ns = 0.0;
+  replicas_.assign(config.replicas,
+                   PipelineServer(config.item_latency_ns,
+                                  config.initiation_interval_ns));
+}
+
+double DegradedPoolBackend::capacity_items_per_s() const {
+  return static_cast<double>(config_.replicas) * kNanosPerSecond /
+         config_.initiation_interval_ns;
+}
+
+bool DegradedPoolBackend::Accepting(Nanoseconds now) const {
+  for (std::uint32_t k = 0; k < config_.replicas; ++k) {
+    if (config_.faults.ReplicaAlive(k, now)) return true;
+  }
+  return false;
+}
+
+Nanoseconds DegradedPoolBackend::QueueDepthNs(Nanoseconds now) const {
+  // Backlog of the least-loaded *alive* replica; falls back to the whole
+  // pool when dark (policies consult Accepting first).
+  bool any_alive = false;
+  Nanoseconds earliest = 0.0;
+  for (std::uint32_t k = 0; k < config_.replicas; ++k) {
+    if (!config_.faults.ReplicaAlive(k, now)) continue;
+    const Nanoseconds next = replicas_[k].NextStart();
+    earliest = any_alive ? std::min(earliest, next) : next;
+    any_alive = true;
+  }
+  if (!any_alive) {
+    earliest = replicas_[0].NextStart();
+    for (std::size_t k = 1; k < replicas_.size(); ++k) {
+      earliest = std::min(earliest, replicas_[k].NextStart());
+    }
+  }
+  return std::max(0.0, earliest - now);
+}
+
+bool DegradedPoolBackend::Admit(const SchedQuery& q) {
+  // Least-loaded dispatch over replicas alive at the arrival instant.
+  bool found = false;
+  std::uint32_t best = 0;
+  for (std::uint32_t k = 0; k < config_.replicas; ++k) {
+    if (!config_.faults.ReplicaAlive(k, q.arrival_ns)) continue;
+    if (!found || replicas_[k].NextStart() < replicas_[best].NextStart()) {
+      best = k;
+      found = true;
+    }
+  }
+  if (!found) return false;  // pool dark: shed
+  // Degrade windows (keyed by replica index) stretch the item latency.
+  const double multiplier =
+      config_.faults.BankLatencyMultiplier(best, q.arrival_ns);
+  done_.Push(q.id,
+             replicas_[best].AdmitWithLatency(
+                 q.arrival_ns, q.items, config_.item_latency_ns * multiplier));
+  return true;
+}
+
+void DegradedPoolBackend::Drain(Nanoseconds now,
+                                std::vector<SchedCompletion>& out) {
+  done_.DrainUntil(now, out);
+}
+
+void DegradedPoolBackend::Finalize(std::vector<SchedCompletion>& out) {
+  done_.DrainAll(out);
+}
+
+}  // namespace microrec::sched

@@ -1,0 +1,193 @@
+// Backend adapters over the repo's existing execution paths.
+//
+// Each adapter wraps the same state machine its pre-sched simulator runs
+// -- PipelineServer for the item-streaming paths, OnlineBatchedServer for
+// the CPU baseline -- so routing every query of a stream to one backend
+// reproduces that simulator's completions bit for bit (gated by
+// tests/sched_test.cpp). The adapters add only what scheduling needs:
+// cost-model coefficients, queue-depth probes, and the sorted
+// Drain/Finalize completion surface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "embedding/hot_cache.hpp"
+#include "faults/fault_schedule.hpp"
+#include "sched/backend.hpp"
+#include "serving/batched_server.hpp"
+#include "serving/pipeline_server.hpp"
+
+namespace microrec::sched {
+
+// ---------------------------------------------------------------------------
+// PipelineBackend: R replicas of the MicroRec item-streaming pipeline with
+// least-loaded dispatch -- the accelerator path. A k-item query streams k
+// back-to-back items through one replica. With one replica and single-item
+// queries this is exactly SimulatePipelinedServer; with R replicas it is
+// exactly SimulateReplicatedPipelines.
+// ---------------------------------------------------------------------------
+
+struct PipelineBackendConfig {
+  std::string name = "fpga";
+  std::uint32_t replicas = 1;
+  Nanoseconds item_latency_ns = 0.0;
+  Nanoseconds initiation_interval_ns = 0.0;
+};
+
+class PipelineBackend : public Backend {
+ public:
+  explicit PipelineBackend(const PipelineBackendConfig& config);
+
+  std::string_view name() const override { return config_.name; }
+  const BackendCostModel& cost_model() const override { return cost_; }
+  double capacity_items_per_s() const override;
+  Nanoseconds QueueDepthNs(Nanoseconds now) const override;
+  bool Admit(const SchedQuery& q) override;
+  void Drain(Nanoseconds now, std::vector<SchedCompletion>& out) override;
+  void Finalize(std::vector<SchedCompletion>& out) override;
+
+ private:
+  PipelineBackendConfig config_;
+  BackendCostModel cost_;
+  std::vector<PipelineServer> replicas_;
+  CompletionQueue done_;
+};
+
+// ---------------------------------------------------------------------------
+// CpuBatchedBackend: S batched CPU inference servers (the
+// TensorFlow-Serving baseline) with round-robin query placement. Each
+// query's items enter its server's batch queue as individual units, so the
+// shared batch-forming state machine is untouched; the query completes
+// when its last unit's batch does. With one server and single-item queries
+// this is exactly SimulateBatchedServer.
+// ---------------------------------------------------------------------------
+
+struct CpuBackendConfig {
+  std::string name = "cpu";
+  std::uint32_t servers = 1;
+  std::uint64_t max_batch = 64;
+  Nanoseconds batch_timeout_ns = 0.0;
+  /// Per-batch framework overhead (operator dispatch; see
+  /// cpu/overhead_model.hpp for the paper-calibrated anchors).
+  Nanoseconds fixed_overhead_ns = 0.0;
+  Nanoseconds per_item_ns = 0.0;
+  Nanoseconds per_lookup_ns = 0.0;
+  /// Lookups per item assumed by the batch latency function (the fleet's
+  /// nominal model shape).
+  std::uint64_t lookups_per_item = 1;
+};
+
+class CpuBatchedBackend : public Backend {
+ public:
+  explicit CpuBatchedBackend(const CpuBackendConfig& config);
+
+  std::string_view name() const override { return config_.name; }
+  const BackendCostModel& cost_model() const override { return cost_; }
+  double capacity_items_per_s() const override;
+  Nanoseconds QueueDepthNs(Nanoseconds now) const override;
+  bool Admit(const SchedQuery& q) override;
+  void Drain(Nanoseconds now, std::vector<SchedCompletion>& out) override;
+  void Finalize(std::vector<SchedCompletion>& out) override;
+
+ private:
+  /// Resolves raw (unit id, batch completion) pairs into whole-query
+  /// completions pushed onto done_.
+  void Resolve(const std::vector<std::pair<std::size_t, Nanoseconds>>& raw);
+
+  CpuBackendConfig config_;
+  BackendCostModel cost_;
+  std::vector<OnlineBatchedServer> servers_;
+  std::size_t next_server_ = 0;
+  /// query id -> (units still in flight, latest unit completion).
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, Nanoseconds>>
+      in_flight_;
+  CompletionQueue done_;
+};
+
+// ---------------------------------------------------------------------------
+// HotCacheBackend: a single pipeline fronted by the LRU hot-row cache.
+// Each item draws its row from a Zipf distribution; hits stream at the
+// cached-item latency, misses pay the full HBM-path latency. The per-query
+// item latency is the hit-weighted mix, and the cost model's fixed term
+// tracks the observed hit rate so policies see the cache warming up.
+// ---------------------------------------------------------------------------
+
+struct HotCacheBackendConfig {
+  std::string name = "hot_cache";
+  Nanoseconds hit_item_latency_ns = 0.0;
+  Nanoseconds miss_item_latency_ns = 0.0;
+  Nanoseconds initiation_interval_ns = 0.0;
+  Bytes cache_capacity_bytes = 0;
+  Bytes entry_bytes = 64;
+  std::uint64_t key_space = 1u << 20;
+  double zipf_theta = 0.9;
+  std::uint64_t seed = 1;
+};
+
+class HotCacheBackend : public Backend {
+ public:
+  explicit HotCacheBackend(const HotCacheBackendConfig& config);
+
+  std::string_view name() const override { return config_.name; }
+  const BackendCostModel& cost_model() const override { return cost_; }
+  double capacity_items_per_s() const override;
+  Nanoseconds QueueDepthNs(Nanoseconds now) const override;
+  bool Admit(const SchedQuery& q) override;
+  void Drain(Nanoseconds now, std::vector<SchedCompletion>& out) override;
+  void Finalize(std::vector<SchedCompletion>& out) override;
+
+  double hit_rate() const { return cache_.stats().hit_rate(); }
+
+ private:
+  HotCacheBackendConfig config_;
+  BackendCostModel cost_;
+  PipelineServer pipeline_;
+  EmbeddingCacheSim cache_;
+  ZipfSampler zipf_;
+  Rng rng_;
+  CompletionQueue done_;
+};
+
+// ---------------------------------------------------------------------------
+// DegradedPoolBackend: a replica pool driven by a FaultSchedule. A replica
+// covered by a kReplicaCrash window accepts nothing; kChannelDegrade
+// windows (keyed by replica index) multiply its item latency. When every
+// replica is down the backend stops Accepting and Admit sheds, which is
+// how fault windows become visible to scheduling policies.
+// ---------------------------------------------------------------------------
+
+struct DegradedBackendConfig {
+  std::string name = "degraded";
+  std::uint32_t replicas = 1;
+  Nanoseconds item_latency_ns = 0.0;
+  Nanoseconds initiation_interval_ns = 0.0;
+  FaultSchedule faults;
+};
+
+class DegradedPoolBackend : public Backend {
+ public:
+  explicit DegradedPoolBackend(const DegradedBackendConfig& config);
+
+  std::string_view name() const override { return config_.name; }
+  const BackendCostModel& cost_model() const override { return cost_; }
+  double capacity_items_per_s() const override;
+  Nanoseconds QueueDepthNs(Nanoseconds now) const override;
+  bool Accepting(Nanoseconds now) const override;
+  bool Admit(const SchedQuery& q) override;
+  void Drain(Nanoseconds now, std::vector<SchedCompletion>& out) override;
+  void Finalize(std::vector<SchedCompletion>& out) override;
+
+ private:
+  DegradedBackendConfig config_;
+  BackendCostModel cost_;
+  std::vector<PipelineServer> replicas_;
+  CompletionQueue done_;
+};
+
+}  // namespace microrec::sched

@@ -1,0 +1,113 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace microrec::sched {
+
+std::string SchedReport::ToString() const {
+  std::ostringstream os;
+  os << policy << ": " << served << "/" << offered << " served"
+     << " | availability " << 100.0 * availability << "%"
+     << " | p99 " << FormatNanos(serving.p99)
+     << " | SLO bad " << 100.0 * slo.bad_fraction << "%"
+     << (slo.alerted ? " [ALERT]" : "");
+  return os.str();
+}
+
+SchedReport SimulateScheduledServing(
+    const std::vector<SchedQuery>& queries,
+    std::vector<std::unique_ptr<Backend>>& backends,
+    SchedulingPolicy& policy, const SchedOptions& options) {
+  MICROREC_CHECK(!queries.empty());
+  MICROREC_CHECK(!backends.empty());
+  MICROREC_CHECK(options.sla_ns > 0.0);
+
+  struct Record {
+    Nanoseconds arrival = 0.0;
+    Nanoseconds completion = 0.0;
+    bool served = false;
+  };
+  std::vector<Record> records(queries.size());
+
+  SchedReport report;
+  report.policy = std::string(policy.name());
+  report.usage.resize(backends.size());
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    report.usage[i].name = std::string(backends[i]->name());
+  }
+
+  // Backends emit their own streams sorted; the cross-backend merge sorts
+  // by (completion, id) so feedback order is a total order.
+  std::vector<SchedCompletion> step;
+  const auto deliver = [&]() {
+    std::sort(step.begin(), step.end(),
+              [](const SchedCompletion& a, const SchedCompletion& b) {
+                if (a.completion_ns != b.completion_ns) {
+                  return a.completion_ns < b.completion_ns;
+                }
+                return a.query_id < b.query_id;
+              });
+    for (const SchedCompletion& c : step) {
+      Record& r = records[c.query_id];
+      r.completion = c.completion_ns;
+      r.served = true;
+      policy.OnOutcome({r.arrival, c.completion_ns - r.arrival, true});
+    }
+    step.clear();
+  };
+
+  for (const SchedQuery& q : queries) {
+    MICROREC_CHECK(q.id < records.size());
+    records[q.id].arrival = q.arrival_ns;
+    for (auto& backend : backends) backend->Drain(q.arrival_ns, step);
+    deliver();
+    const std::size_t pick = policy.Route(q, backends);
+    MICROREC_CHECK(pick < backends.size());
+    if (backends[pick]->Admit(q)) {
+      ++report.usage[pick].queries;
+      report.usage[pick].items += q.items;
+    } else {
+      policy.OnOutcome({q.arrival_ns, 0.0, false});
+    }
+  }
+  for (auto& backend : backends) backend->Finalize(step);
+  deliver();
+
+  // Reports: percentile summary over served queries, SLO over all offered.
+  std::vector<Nanoseconds> served_arrivals;
+  std::vector<Nanoseconds> served_completions;
+  std::vector<obs::QueryOutcome> outcomes;
+  outcomes.reserve(records.size());
+  for (const Record& r : records) {
+    obs::QueryOutcome outcome;
+    outcome.arrival_ns = r.arrival;
+    outcome.served = r.served;
+    if (r.served) {
+      outcome.latency_ns = r.completion - r.arrival;
+      served_arrivals.push_back(r.arrival);
+      served_completions.push_back(r.completion);
+    }
+    outcomes.push_back(outcome);
+  }
+
+  report.offered = queries.size();
+  report.served = served_arrivals.size();
+  report.shed = report.offered - report.served;
+  report.availability = static_cast<double>(report.served) /
+                        static_cast<double>(report.offered);
+  if (!served_arrivals.empty()) {
+    report.serving =
+        SummarizeServing(served_arrivals, served_completions, options.sla_ns);
+  }
+  const Nanoseconds span =
+      queries.back().arrival_ns - queries.front().arrival_ns;
+  const obs::SloSpec spec = obs::SloSpec::Default(
+      options.sla_ns, options.slo_objective, span > 0.0 ? span : 1.0);
+  report.slo = obs::EvaluateSlo(spec, outcomes);
+  return report;
+}
+
+}  // namespace microrec::sched

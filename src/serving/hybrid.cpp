@@ -3,73 +3,10 @@
 #include <algorithm>
 
 #include "common/status.hpp"
+#include "serving/batched_server.hpp"
 #include "serving/serving_sim.hpp"
 
 namespace microrec {
-
-namespace {
-
-/// Online model of one batched CPU server: queries are assigned in arrival
-/// order; batches launch when full, or once their aggregation window has
-/// provably closed relative to the advancing simulation clock.
-class OnlineBatchedServer {
- public:
-  OnlineBatchedServer(std::uint64_t max_batch, Nanoseconds timeout,
-                      const BatchLatencyFn& latency_fn)
-      : max_batch_(max_batch), timeout_(timeout), latency_fn_(latency_fn) {}
-
-  void Assign(std::size_t query_id, Nanoseconds arrival) {
-    pending_.push_back({query_id, arrival});
-  }
-
-  /// Launches every batch whose composition can no longer change given
-  /// that all future assignments arrive at or after `now`. Appends
-  /// (query_id, completion) pairs to `completions`.
-  void Flush(Nanoseconds now,
-             std::vector<std::pair<std::size_t, Nanoseconds>>& completions,
-             bool final_flush = false) {
-    while (!pending_.empty()) {
-      const Nanoseconds window_open =
-          std::max(pending_.front().arrival, server_free_);
-      const Nanoseconds window_close = window_open + timeout_;
-      // Members: pending queries that arrived by window close.
-      std::size_t count = 0;
-      while (count < pending_.size() && count < max_batch_ &&
-             pending_[count].arrival <= window_close) {
-        ++count;
-      }
-      const bool full = count == max_batch_;
-      // A non-full batch may still grow while future arrivals could fall
-      // inside the window.
-      if (!full && !final_flush && window_close >= now) return;
-      const Nanoseconds launch =
-          full ? std::max(window_open, pending_[count - 1].arrival)
-               : window_close;
-      if (!full && !final_flush && launch > now) return;
-      const Nanoseconds done = launch + latency_fn_(count);
-      for (std::size_t i = 0; i < count; ++i) {
-        completions.emplace_back(pending_[i].query_id, done);
-      }
-      pending_.erase(pending_.begin(),
-                     pending_.begin() + static_cast<std::ptrdiff_t>(count));
-      server_free_ = done;
-    }
-  }
-
- private:
-  struct Pending {
-    std::size_t query_id;
-    Nanoseconds arrival;
-  };
-
-  std::uint64_t max_batch_;
-  Nanoseconds timeout_;
-  const BatchLatencyFn& latency_fn_;
-  std::vector<Pending> pending_;
-  Nanoseconds server_free_ = 0.0;
-};
-
-}  // namespace
 
 HybridFleetReport SimulateHybridFleet(const std::vector<Nanoseconds>& arrivals,
                                       const HybridFleetConfig& config,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "serving/pipeline_server.hpp"
+
 namespace microrec {
 
 StatusOr<ServingReport> SimulateReplicatedPipelines(
@@ -30,20 +32,18 @@ StatusOr<ServingReport> SimulateReplicatedPipelines(
         "> 0");
   }
 
-  // next_start[k]: earliest time replica k can begin a new item.
-  std::vector<Nanoseconds> next_start(replicas, 0.0);
+  std::vector<PipelineServer> pipelines(
+      replicas, PipelineServer(item_latency_ns, initiation_interval_ns));
   std::vector<Nanoseconds> completions;
   completions.reserve(arrivals.size());
 
   for (const Nanoseconds arrival : arrivals) {
-    // Least-loaded dispatch.
+    // Least-loaded dispatch: earliest NextStart, lowest index on ties.
     std::uint32_t best = 0;
     for (std::uint32_t k = 1; k < replicas; ++k) {
-      if (next_start[k] < next_start[best]) best = k;
+      if (pipelines[k].NextStart() < pipelines[best].NextStart()) best = k;
     }
-    const Nanoseconds start = std::max(arrival, next_start[best]);
-    next_start[best] = start + initiation_interval_ns;
-    completions.push_back(start + item_latency_ns);
+    completions.push_back(pipelines[best].Admit(arrival));
   }
   return SummarizeServing(arrivals, completions, sla_ns);
 }

@@ -6,6 +6,8 @@
 
 #include "common/status.hpp"
 #include "obs/quantiles.hpp"
+#include "serving/batched_server.hpp"
+#include "serving/pipeline_server.hpp"
 
 namespace microrec {
 
@@ -84,30 +86,21 @@ ServingReport SimulateBatchedServer(const std::vector<Nanoseconds>& arrivals,
                                     Nanoseconds sla_ns) {
   MICROREC_CHECK(!arrivals.empty());
   MICROREC_CHECK(max_batch >= 1);
-  std::vector<Nanoseconds> completions(arrivals.size());
 
-  Nanoseconds server_free = 0.0;
-  std::size_t next = 0;
-  while (next < arrivals.size()) {
-    // The batch window opens when the first pending query is available and
-    // the server is idle.
-    const Nanoseconds window_open = std::max(arrivals[next], server_free);
-    const Nanoseconds window_close = window_open + batch_timeout_ns;
-    // Take every query that has arrived by window close, up to max_batch.
-    std::size_t end = next;
-    while (end < arrivals.size() && end - next < max_batch &&
-           arrivals[end] <= window_close) {
-      ++end;
-    }
-    // A full batch launches as soon as its last member arrives; a partial
-    // batch waits out the aggregation timeout hoping for more queries.
-    const bool full = (end - next) == max_batch;
-    const Nanoseconds launch =
-        full ? std::max(window_open, arrivals[end - 1]) : window_close;
-    const Nanoseconds done = launch + latency_fn(end - next);
-    for (std::size_t i = next; i < end; ++i) completions[i] = done;
-    server_free = done;
-    next = end;
+  // Assign-all + final flush over the shared batch-forming state machine:
+  // with every query queued up front, the online server's window-open /
+  // window-close / launch arithmetic is the offline algorithm.
+  OnlineBatchedServer server(max_batch, batch_timeout_ns, latency_fn);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    server.Assign(i, arrivals[i]);
+  }
+  std::vector<std::pair<std::size_t, Nanoseconds>> done;
+  done.reserve(arrivals.size());
+  server.Flush(arrivals.back(), done, /*final_flush=*/true);
+
+  std::vector<Nanoseconds> completions(arrivals.size());
+  for (const auto& [query_id, completion] : done) {
+    completions[query_id] = completion;
   }
   return SummarizeServing(arrivals, completions, sla_ns);
 }
@@ -119,12 +112,9 @@ ServingReport SimulatePipelinedServer(const std::vector<Nanoseconds>& arrivals,
                                       std::vector<Nanoseconds>* completions_out) {
   MICROREC_CHECK(!arrivals.empty());
   std::vector<Nanoseconds> completions(arrivals.size());
-  Nanoseconds last_start = -initiation_interval_ns;
+  PipelineServer pipeline(item_latency_ns, initiation_interval_ns);
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
-    const Nanoseconds start =
-        std::max(arrivals[i], last_start + initiation_interval_ns);
-    completions[i] = start + item_latency_ns;
-    last_start = start;
+    completions[i] = pipeline.Admit(arrivals[i]);
   }
   const ServingReport report = SummarizeServing(arrivals, completions, sla_ns);
   if (completions_out != nullptr) *completions_out = std::move(completions);

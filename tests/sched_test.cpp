@@ -1,0 +1,608 @@
+// Tests for the multi-path scheduling subsystem (src/sched/):
+//   * the load generator's Poisson path is bit-identical to
+//     PoissonArrivals, bursty processes concentrate arrivals where their
+//     rate envelopes say, and size mixes never shift arrival times;
+//   * the Backend adapters are zero-overhead: routing a whole stream to
+//     one backend reproduces the pre-sched simulator (pipelined, batched,
+//     replicated) field for field;
+//   * policies route as documented (round-robin cycles, queue-depth picks
+//     the argmin, slo-aware offloads only once the fast path's occupancy
+//     gate trips, degraded pools shed only while fully down);
+//   * the sweep grid is byte-identical across thread counts and its
+//     headline rows are consistent with the grid records.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "faults/fault_schedule.hpp"
+#include "sched/backend.hpp"
+#include "sched/backends.hpp"
+#include "sched/fleet.hpp"
+#include "sched/load_gen.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/sweep.hpp"
+#include "serving/scaleout.hpp"
+#include "serving/serving_sim.hpp"
+
+namespace microrec::sched {
+namespace {
+
+std::vector<SchedQuery> UnitQueries(const std::vector<Nanoseconds>& arrivals,
+                                    std::uint64_t lookups_per_item = 1) {
+  std::vector<SchedQuery> queries;
+  queries.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    queries.push_back(SchedQuery{i, arrivals[i], 1, lookups_per_item});
+  }
+  return queries;
+}
+
+/// Runs every query through one backend and scatters completions by id.
+std::vector<Nanoseconds> RunThrough(Backend& backend,
+                                    const std::vector<SchedQuery>& queries) {
+  for (const auto& q : queries) EXPECT_TRUE(backend.Admit(q));
+  std::vector<SchedCompletion> done;
+  backend.Finalize(done);
+  EXPECT_EQ(done.size(), queries.size());
+  std::vector<Nanoseconds> completions(queries.size(), 0.0);
+  for (const auto& c : done) completions[c.query_id] = c.completion_ns;
+  return completions;
+}
+
+void ExpectSameReport(const ServingReport& a, const ServingReport& b) {
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.achieved_qps, b.achieved_qps);
+  EXPECT_EQ(a.sla_violation_rate, b.sla_violation_rate);
+}
+
+// ----------------------------------------------------------------- LoadGen
+
+TEST(LoadGenTest, PoissonBitIdenticalToPoissonArrivals) {
+  LoadGenConfig config;
+  config.process = ArrivalProcess::kPoisson;
+  config.rate_qps = 200'000.0;
+  config.num_queries = 5'000;
+  config.seed = 7;
+  const auto queries = GenerateLoad(config);
+  const auto arrivals = PoissonArrivals(config.rate_qps, config.num_queries,
+                                        config.seed);
+  ASSERT_EQ(queries.size(), arrivals.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].arrival_ns, arrivals[i]) << "query " << i;
+    EXPECT_EQ(queries[i].id, i);
+  }
+}
+
+TEST(LoadGenTest, DeterministicAndWellFormedForEveryProcess) {
+  for (auto process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kMmpp,
+        ArrivalProcess::kFlashCrowd, ArrivalProcess::kDiurnal}) {
+    LoadGenConfig config;
+    config.process = process;
+    config.rate_qps = 100'000.0;
+    config.num_queries = 2'000;
+    config.seed = 11;
+    config.sizes.large_fraction = 0.25;
+    config.sizes.lookups_per_item = 8;
+    const auto a = GenerateLoad(config);
+    const auto b = GenerateLoad(config);
+    ASSERT_EQ(a.size(), config.num_queries);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+      EXPECT_EQ(a[i].items, b[i].items);
+      EXPECT_EQ(a[i].id, i);
+      EXPECT_EQ(a[i].lookups_per_item, 8u);
+      if (i > 0) {
+        EXPECT_GE(a[i].arrival_ns, a[i - 1].arrival_ns);
+      }
+    }
+  }
+}
+
+TEST(LoadGenTest, FlashCrowdConcentratesArrivalsInsideTheWindow) {
+  LoadGenConfig config;
+  config.process = ArrivalProcess::kFlashCrowd;
+  config.rate_qps = 100'000.0;
+  config.num_queries = 8'000;
+  config.seed = 3;
+  config.burst_multiplier = 5.0;
+  config.flash_start_ns = Milliseconds(10);
+  config.flash_duration_ns = Milliseconds(10);
+  const auto queries = GenerateLoad(config);
+  std::uint64_t inside = 0;
+  const Nanoseconds end = config.flash_start_ns + config.flash_duration_ns;
+  for (const auto& q : queries) {
+    if (q.arrival_ns >= config.flash_start_ns && q.arrival_ns < end) {
+      ++inside;
+    }
+  }
+  const Nanoseconds span = queries.back().arrival_ns;
+  const double window_share = config.flash_duration_ns / span;
+  const double inside_share =
+      static_cast<double>(inside) / static_cast<double>(queries.size());
+  // The 5x window must hold clearly more than its uniform share of
+  // arrivals (at 5x rate the exact share is 5w / (1 + 4w)).
+  EXPECT_GT(inside_share, 2.0 * window_share);
+}
+
+TEST(LoadGenTest, SizeMixDrawsBimodalWithoutShiftingArrivals) {
+  LoadGenConfig config;
+  config.process = ArrivalProcess::kMmpp;
+  config.rate_qps = 150'000.0;
+  config.num_queries = 4'000;
+  config.seed = 5;
+  config.sizes = {/*small_items=*/2, /*large_items=*/32,
+                  /*large_fraction=*/0.5, /*lookups_per_item=*/4};
+  const auto mixed = GenerateLoad(config);
+  std::uint64_t large = 0;
+  for (const auto& q : mixed) {
+    ASSERT_TRUE(q.items == 2 || q.items == 32);
+    if (q.items == 32) ++large;
+  }
+  EXPECT_GT(large, config.num_queries / 4);
+  EXPECT_LT(large, 3 * config.num_queries / 4);
+
+  config.sizes.large_fraction = 0.0;
+  const auto small_only = GenerateLoad(config);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(mixed[i].arrival_ns, small_only[i].arrival_ns) << "query " << i;
+    EXPECT_EQ(small_only[i].items, 2u);
+  }
+}
+
+TEST(LoadGenTest, ProcessNamesRoundTrip) {
+  for (auto process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kMmpp,
+        ArrivalProcess::kFlashCrowd, ArrivalProcess::kDiurnal}) {
+    const auto parsed = ParseArrivalProcess(ArrivalProcessName(process));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), process);
+  }
+  EXPECT_FALSE(ParseArrivalProcess("bursty").ok());
+}
+
+// ------------------------------------------------------------ SchedBackend
+
+TEST(SchedBackendTest, CostModelIsLinearInItemsAndLookups) {
+  const BackendCostModel model{1000.0, 10.0, 2.0};
+  EXPECT_EQ(model.ServiceTime(0, 5), 1000.0);
+  EXPECT_EQ(model.ServiceTime(1, 0), 1010.0);
+  EXPECT_EQ(model.ServiceTime(4, 8), 1000.0 + 4.0 * (10.0 + 16.0));
+}
+
+TEST(SchedBackendTest, CompletionQueueDrainsInCompletionThenIdOrder) {
+  CompletionQueue q;
+  q.Push(3, 50.0);
+  q.Push(1, 10.0);
+  q.Push(2, 50.0);
+  q.Push(0, 30.0);
+  std::vector<SchedCompletion> out;
+  q.DrainUntil(30.0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].query_id, 1u);
+  EXPECT_EQ(out[1].query_id, 0u);
+  q.DrainAll(out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[2].query_id, 2u);  // ties on completion break by id
+  EXPECT_EQ(out[3].query_id, 3u);
+}
+
+TEST(SchedBackendTest, PipelineBackendMatchesPipelinedServerBitForBit) {
+  const auto arrivals = PoissonArrivals(400'000.0, 3'000, 21);
+  PipelineBackendConfig config;
+  config.replicas = 1;
+  config.item_latency_ns = 15'000.0;
+  config.initiation_interval_ns = 300.0;
+  PipelineBackend backend(config);
+  const auto completions = RunThrough(backend, UnitQueries(arrivals));
+
+  std::vector<Nanoseconds> expected;
+  SimulatePipelinedServer(arrivals, config.item_latency_ns,
+                          config.initiation_interval_ns, Milliseconds(1),
+                          &expected);
+  ASSERT_EQ(completions.size(), expected.size());
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    EXPECT_EQ(completions[i], expected[i]) << "query " << i;
+  }
+}
+
+TEST(SchedBackendTest, PipelineBackendMatchesReplicatedPipelines) {
+  const auto arrivals = PoissonArrivals(2'000'000.0, 4'000, 9);
+  PipelineBackendConfig config;
+  config.replicas = 3;
+  config.item_latency_ns = 20'000.0;
+  config.initiation_interval_ns = 500.0;
+  PipelineBackend backend(config);
+  const auto completions = RunThrough(backend, UnitQueries(arrivals));
+  const Nanoseconds sla = Milliseconds(1);
+  const auto ours = SummarizeServing(arrivals, completions, sla);
+  const auto expected =
+      SimulateReplicatedPipelines(arrivals, config.replicas,
+                                  config.item_latency_ns,
+                                  config.initiation_interval_ns, sla)
+          .value();
+  ExpectSameReport(ours, expected);
+}
+
+TEST(SchedBackendTest, CpuBackendMatchesBatchedServerBitForBit) {
+  const auto arrivals = PoissonArrivals(50'000.0, 3'000, 17);
+  CpuBackendConfig config;
+  config.servers = 1;
+  config.max_batch = 64;
+  config.batch_timeout_ns = Milliseconds(1);
+  config.fixed_overhead_ns = 400'000.0;
+  config.per_item_ns = 300.0;
+  config.per_lookup_ns = 50.0;
+  config.lookups_per_item = 8;
+  CpuBatchedBackend backend(config);
+  const auto completions = RunThrough(backend, UnitQueries(arrivals, 8));
+  const Nanoseconds sla = Milliseconds(10);
+  const auto ours = SummarizeServing(arrivals, completions, sla);
+  const auto expected = SimulateBatchedServer(
+      arrivals, config.max_batch, config.batch_timeout_ns,
+      [&](std::uint64_t batch) {
+        return config.fixed_overhead_ns +
+               static_cast<double>(batch) *
+                   (config.per_item_ns +
+                    static_cast<double>(config.lookups_per_item) *
+                        config.per_lookup_ns);
+      },
+      sla);
+  ExpectSameReport(ours, expected);
+}
+
+TEST(SchedBackendTest, DrainSurfacesOnlyElapsedCompletionsInOrder) {
+  PipelineBackendConfig config;
+  config.replicas = 2;
+  config.item_latency_ns = 1'000.0;
+  config.initiation_interval_ns = 100.0;
+  PipelineBackend backend(config);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        backend.Admit(SchedQuery{i, static_cast<double>(i) * 50.0, 1, 1}));
+  }
+  std::vector<SchedCompletion> early;
+  backend.Drain(1'200.0, early);
+  EXPECT_GT(early.size(), 0u);
+  EXPECT_LT(early.size(), 10u);
+  for (const auto& c : early) EXPECT_LE(c.completion_ns, 1'200.0);
+  for (std::size_t i = 1; i < early.size(); ++i) {
+    EXPECT_LE(early[i - 1].completion_ns, early[i].completion_ns);
+  }
+  std::vector<SchedCompletion> rest;
+  backend.Finalize(rest);
+  EXPECT_EQ(early.size() + rest.size(), 10u);
+}
+
+TEST(SchedBackendTest, DegradedPoolShedsOnlyWhileEveryReplicaIsDown) {
+  DegradedBackendConfig config;
+  config.replicas = 2;
+  config.item_latency_ns = 1'000.0;
+  config.initiation_interval_ns = 100.0;
+  FaultEvent crash0;
+  crash0.kind = FaultKind::kReplicaCrash;
+  crash0.target = 0;
+  crash0.start_ns = 1'000.0;
+  crash0.end_ns = 5'000.0;
+  FaultEvent crash1 = crash0;
+  crash1.target = 1;
+  crash1.start_ns = 2'000.0;
+  crash1.end_ns = 4'000.0;
+  ASSERT_TRUE(config.faults.Add(crash0).ok());
+  ASSERT_TRUE(config.faults.Add(crash1).ok());
+  DegradedPoolBackend backend(config);
+
+  EXPECT_TRUE(backend.Accepting(0.0));    // both up
+  EXPECT_TRUE(backend.Accepting(1'500.0));  // replica 1 still up
+  EXPECT_FALSE(backend.Accepting(3'000.0));  // both down
+  EXPECT_TRUE(backend.Accepting(4'500.0));  // replica 1 back
+
+  EXPECT_TRUE(backend.Admit(SchedQuery{0, 0.0, 1, 1}));
+  EXPECT_FALSE(backend.Admit(SchedQuery{1, 3'000.0, 1, 1}));  // shed
+  EXPECT_TRUE(backend.Admit(SchedQuery{2, 4'500.0, 1, 1}));
+  std::vector<SchedCompletion> done;
+  backend.Finalize(done);
+  EXPECT_EQ(done.size(), 2u);  // the shed query never completes
+}
+
+TEST(SchedBackendTest, HotCacheWarmsUpAndRefinesItsCostModel) {
+  HotCacheBackendConfig config;
+  config.hit_item_latency_ns = 1'000.0;
+  config.miss_item_latency_ns = 10'000.0;
+  config.initiation_interval_ns = 100.0;
+  config.cache_capacity_bytes = 1u << 20;
+  config.key_space = 1u << 14;
+  config.zipf_theta = 1.1;
+  config.seed = 29;
+  HotCacheBackend backend(config);
+  const Nanoseconds cold_fixed = backend.cost_model().fixed_ns;
+  for (std::uint64_t i = 0; i < 4'000; ++i) {
+    ASSERT_TRUE(
+        backend.Admit(SchedQuery{i, static_cast<double>(i) * 200.0, 4, 1}));
+  }
+  std::vector<SchedCompletion> done;
+  backend.Finalize(done);
+  EXPECT_EQ(done.size(), 4'000u);
+  EXPECT_GT(backend.hit_rate(), 0.5);  // a skewed stream warms the cache
+  // The cost model's fixed term follows the observed hit rate downward.
+  EXPECT_LT(backend.cost_model().fixed_ns, cold_fixed);
+}
+
+// ------------------------------------------------------------- SchedPolicy
+
+std::vector<std::unique_ptr<Backend>> TwoPipelineFleet() {
+  std::vector<std::unique_ptr<Backend>> fleet;
+  PipelineBackendConfig fast;
+  fast.name = "fast";
+  fast.replicas = 1;
+  fast.item_latency_ns = 1'000.0;
+  fast.initiation_interval_ns = 1'000.0;
+  PipelineBackendConfig slow;
+  slow.name = "slow";
+  slow.replicas = 1;
+  slow.item_latency_ns = 5'000.0;
+  slow.initiation_interval_ns = 500.0;
+  fleet.push_back(std::make_unique<PipelineBackend>(fast));
+  fleet.push_back(std::make_unique<PipelineBackend>(slow));
+  return fleet;
+}
+
+TEST(SchedPolicyTest, StaticAlwaysPicksItsBackend) {
+  auto fleet = TwoPipelineFleet();
+  auto policy = MakeStaticPolicy(1, "static:slow");
+  EXPECT_EQ(policy->name(), "static:slow");
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy->Route(SchedQuery{i, static_cast<double>(i), 1, 1},
+                            fleet),
+              1u);
+  }
+}
+
+TEST(SchedPolicyTest, RoundRobinCyclesTheFleet) {
+  auto fleet = TwoPipelineFleet();
+  auto policy = MakeRoundRobinPolicy();
+  std::vector<std::size_t> picks;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    picks.push_back(
+        policy->Route(SchedQuery{i, static_cast<double>(i), 1, 1}, fleet));
+  }
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(SchedPolicyTest, QueueDepthPicksTheLowestPredictedLatency) {
+  auto fleet = TwoPipelineFleet();
+  auto policy = MakeQueueDepthPolicy();
+  // Idle: fast (1 us service) beats slow (5 us).
+  EXPECT_EQ(policy->Route(SchedQuery{0, 0.0, 1, 1}, fleet), 0u);
+  // Pile work onto fast until its backlog dwarfs slow's service time.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fleet[0]->Admit(SchedQuery{i + 1, 0.0, 1, 1}));
+  }
+  EXPECT_EQ(policy->Route(SchedQuery{100, 0.0, 1, 1}, fleet), 1u);
+}
+
+TEST(SchedPolicyTest, SloAwareKeepsTheFastPathUntilTheGateTrips) {
+  auto fleet = TwoPipelineFleet();
+  SloAwarePolicyConfig config;
+  config.sla_ns = 10'000.0;  // gate starts at 0.4 * 10 us = 4 us
+  auto policy = MakeSloAwarePolicy(config);
+  // Idle fast path: occupancy 1 us / 10 us is under the gate.
+  EXPECT_EQ(policy->Route(SchedQuery{0, 0.0, 1, 1}, fleet), 0u);
+  // 10 queued items = 10 us of backlog: occupancy over the gate, offload.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fleet[0]->Admit(SchedQuery{i + 1, 0.0, 1, 1}));
+  }
+  EXPECT_EQ(policy->Route(SchedQuery{100, 0.0, 1, 1}, fleet), 1u);
+}
+
+TEST(SchedPolicyTest, SloAwareChargesTheQuerysOwnSizeAgainstTheGate) {
+  // A fleet where the fast path wins on modeled service time at every
+  // query size (low fixed cost AND low per-item cost), so the only reason
+  // to leave it is the occupancy gate.
+  std::vector<std::unique_ptr<Backend>> fleet;
+  PipelineBackendConfig fast;
+  fast.name = "fast";
+  fast.item_latency_ns = 1'000.0;
+  fast.initiation_interval_ns = 1'000.0;  // fixed 0, 1 us per item
+  PipelineBackendConfig slow;
+  slow.name = "slow";
+  slow.item_latency_ns = 20'000.0;
+  slow.initiation_interval_ns = 2'000.0;  // fixed 18 us, 2 us per item
+  fleet.push_back(std::make_unique<PipelineBackend>(fast));
+  fleet.push_back(std::make_unique<PipelineBackend>(slow));
+
+  SloAwarePolicyConfig config;
+  config.sla_ns = 10'000.0;
+  auto policy = MakeSloAwarePolicy(config);
+  // An idle fast path still rejects a 64-item query: 64 x 1 us of its own
+  // service blows the 4 us gate, so large re-rank work offloads first.
+  EXPECT_EQ(policy->Route(SchedQuery{0, 0.0, 64, 1}, fleet), 1u);
+  // The small query behind it stays on the fast path.
+  EXPECT_EQ(policy->Route(SchedQuery{1, 0.0, 1, 1}, fleet), 0u);
+}
+
+// ------------------------------------------------------------ SchedServing
+
+TEST(SchedServingTest, StaticFpgaReproducesReplicatedPipelinesExactly) {
+  // The zero-overhead identity gate: the whole sched stack (load gen ->
+  // policy -> Backend adapter -> completion merge -> report) must
+  // reproduce the pre-sched simulator bit for bit when every query takes
+  // the single-backend path.
+  LoadGenConfig load;
+  load.process = ArrivalProcess::kPoisson;
+  load.rate_qps = 600'000.0;
+  load.num_queries = 5'000;
+  load.seed = 42;
+  const auto queries = GenerateLoad(load);
+
+  FleetConfig fleet_config;
+  fleet_config.horizon_ns = queries.back().arrival_ns;
+  auto fleet = BuildStandardFleet(fleet_config);
+  auto policy = MakeStaticPolicy(kFleetFpga, "static:fpga");
+  SchedOptions options;
+  options.sla_ns = Milliseconds(2);
+  const auto report =
+      SimulateScheduledServing(queries, fleet, *policy, options);
+
+  const auto arrivals = PoissonArrivals(load.rate_qps, load.num_queries,
+                                        load.seed);
+  const auto expected =
+      SimulateReplicatedPipelines(arrivals, fleet_config.fpga_replicas,
+                                  fleet_config.fpga_item_latency_ns,
+                                  fleet_config.fpga_initiation_interval_ns,
+                                  options.sla_ns)
+          .value();
+  EXPECT_EQ(report.offered, load.num_queries);
+  EXPECT_EQ(report.served, load.num_queries);
+  EXPECT_EQ(report.availability, 1.0);
+  ExpectSameReport(report.serving, expected);
+  ASSERT_EQ(report.usage.size(), kFleetSize);
+  EXPECT_EQ(report.usage[kFleetFpga].queries, load.num_queries);
+  EXPECT_EQ(report.usage[kFleetCpu].queries, 0u);
+}
+
+TEST(SchedServingTest, ShedQueriesCountAgainstAvailabilityAndSlo) {
+  LoadGenConfig load;
+  load.process = ArrivalProcess::kPoisson;
+  load.rate_qps = 200'000.0;
+  load.num_queries = 3'000;
+  load.seed = 8;
+  const auto queries = GenerateLoad(load);
+
+  FleetConfig fleet_config;
+  fleet_config.horizon_ns = queries.back().arrival_ns;
+  auto fleet = BuildStandardFleet(fleet_config);
+  auto policy = MakeStaticPolicy(kFleetDegraded, "static:degraded");
+  SchedOptions options;
+  options.sla_ns = Milliseconds(2);
+  const auto report =
+      SimulateScheduledServing(queries, fleet, *policy, options);
+  // The standard fleet's degraded pool has crash windows inside the
+  // horizon, so a policy pinned to it must shed.
+  EXPECT_GT(report.shed, 0u);
+  EXPECT_EQ(report.offered, report.served + report.shed);
+  EXPECT_LT(report.availability, 1.0);
+  EXPECT_GT(report.slo.bad_fraction, 0.0);
+  std::uint64_t usage_total = 0;
+  for (const auto& u : report.usage) usage_total += u.queries;
+  EXPECT_EQ(usage_total, report.served);
+}
+
+// -------------------------------------------------------------- SchedSweep
+
+void ExpectSameSweep(const SchedSweepResult& a, const SchedSweepResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].process, b.records[i].process);
+    EXPECT_EQ(a.records[i].report.policy, b.records[i].report.policy);
+    EXPECT_EQ(a.records[i].report.served, b.records[i].report.served);
+    EXPECT_EQ(a.records[i].report.shed, b.records[i].report.shed);
+    EXPECT_EQ(a.records[i].report.serving.p50,
+              b.records[i].report.serving.p50);
+    EXPECT_EQ(a.records[i].report.serving.p99,
+              b.records[i].report.serving.p99);
+    EXPECT_EQ(a.records[i].report.serving.mean,
+              b.records[i].report.serving.mean);
+    EXPECT_EQ(a.records[i].report.slo.bad_fraction,
+              b.records[i].report.slo.bad_fraction);
+    ASSERT_EQ(a.records[i].report.usage.size(),
+              b.records[i].report.usage.size());
+    for (std::size_t u = 0; u < a.records[i].report.usage.size(); ++u) {
+      EXPECT_EQ(a.records[i].report.usage[u].queries,
+                b.records[i].report.usage[u].queries);
+      EXPECT_EQ(a.records[i].report.usage[u].items,
+                b.records[i].report.usage[u].items);
+    }
+  }
+  ASSERT_EQ(a.headlines.size(), b.headlines.size());
+  for (std::size_t i = 0; i < a.headlines.size(); ++i) {
+    EXPECT_EQ(a.headlines[i].best_static, b.headlines[i].best_static);
+    EXPECT_EQ(a.headlines[i].best_static_p99, b.headlines[i].best_static_p99);
+    EXPECT_EQ(a.headlines[i].slo_aware_p99, b.headlines[i].slo_aware_p99);
+  }
+  EXPECT_EQ(a.slo_beats_best_static_any, b.slo_beats_best_static_any);
+}
+
+TEST(SchedSweepTest, ByteIdenticalAcrossThreadCounts) {
+  SweepGridConfig config;
+  config.queries = 1'500;
+  config.qps = 500'000.0;
+  config.seed = 13;
+  config.threads = 1;
+  const auto serial = RunSchedSweep(config);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    SweepGridConfig threaded = config;
+    threaded.threads = threads;
+    ExpectSameSweep(serial, RunSchedSweep(threaded));
+  }
+}
+
+TEST(SchedSweepTest, GridShapeAndHeadlinesAreConsistent) {
+  SweepGridConfig config;
+  config.queries = 1'200;
+  config.qps = 400'000.0;
+  config.seed = 4;
+  const auto result = RunSchedSweep(config);
+  ASSERT_EQ(result.records.size(), kNumProcesses * kNumPolicies);
+  // Process-major grid order, headline rows for the bursty processes only.
+  EXPECT_EQ(result.records[0].process, "poisson");
+  EXPECT_EQ(result.records[kNumPolicies].process, "mmpp");
+  ASSERT_EQ(result.headlines.size(), kNumProcesses - 1);
+  bool any = false;
+  for (const auto& h : result.headlines) {
+    // The headline's slo-aware p99 is the grid's slo-aware record.
+    const auto* block = &result.records[0];
+    for (std::size_t p = 0; p < kNumProcesses; ++p) {
+      if (result.records[p * kNumPolicies].process == h.process) {
+        block = &result.records[p * kNumPolicies];
+      }
+    }
+    EXPECT_EQ(h.slo_aware_p99,
+              block[kPolicySloAware].report.serving.p99);
+    if (h.slo_beats_best_static) {
+      EXPECT_LT(h.slo_aware_p99, h.best_static_p99);
+      any = true;
+    }
+  }
+  EXPECT_EQ(result.slo_beats_best_static_any, any);
+}
+
+TEST(SchedSweepTest, CliStdoutByteIdenticalAcrossThreads) {
+  const std::vector<std::string> base = {"sched-sweep", "--queries", "1200",
+                                         "--qps",       "400000",    "--seed",
+                                         "4"};
+  std::ostringstream serial;
+  auto serial_args = base;
+  serial_args.insert(serial_args.end(), {"--threads", "1"});
+  ASSERT_TRUE(cli::RunCli(serial_args, serial).ok());
+  EXPECT_NE(serial.str().find("HEADLINE:"), std::string::npos);
+  for (const char* threads : {"2", "4"}) {
+    std::ostringstream threaded;
+    auto threaded_args = base;
+    threaded_args.insert(threaded_args.end(), {"--threads", threads});
+    ASSERT_TRUE(cli::RunCli(threaded_args, threaded).ok());
+    EXPECT_EQ(serial.str(), threaded.str()) << "--threads " << threads;
+  }
+}
+
+TEST(SchedSweepTest, CliRejectsBadArguments) {
+  std::ostringstream out;
+  EXPECT_FALSE(
+      cli::RunCli({"sched-sweep", "--queries", "0"}, out).ok());
+  EXPECT_FALSE(
+      cli::RunCli({"sched-sweep", "--unknown-flag", "1"}, out).ok());
+}
+
+}  // namespace
+}  // namespace microrec::sched
