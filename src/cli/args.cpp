@@ -58,6 +58,21 @@ StatusOr<std::uint64_t> ArgList::GetUint(const std::string& name,
   }
 }
 
+StatusOr<double> ArgList::GetDouble(const std::string& name,
+                                    double default_value) const {
+  const auto value = GetOption(name);
+  if (!value.has_value()) return default_value;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*value, &pos);
+    if (pos != value->size()) throw std::invalid_argument(*value);
+    return v;
+  } catch (...) {
+    return Status::InvalidArgument("option --" + name +
+                                   " expects a number, got '" + *value + "'");
+  }
+}
+
 Status ArgList::CheckAllowed(const std::set<std::string>& allowed) const {
   for (const auto& [name, value] : options_) {
     (void)value;

@@ -30,6 +30,11 @@ class ArgList {
   StatusOr<std::uint64_t> GetUint(const std::string& name,
                                   std::uint64_t default_value) const;
 
+  /// Like GetUint for real-valued options (accepts anything std::stod
+  /// fully consumes).
+  StatusOr<double> GetDouble(const std::string& name,
+                             double default_value) const;
+
   /// Returns an error naming any option/flag not in `allowed`.
   Status CheckAllowed(const std::set<std::string>& allowed) const;
 

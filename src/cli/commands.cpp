@@ -25,6 +25,7 @@
 #include "faults/fault_schedule.hpp"
 #include "placement/heuristic.hpp"
 #include "placement/replication.hpp"
+#include "sched/chaos.hpp"
 #include "sched/fleet.hpp"
 #include "sched/sweep.hpp"
 #include "serving/scaleout.hpp"
@@ -501,7 +502,8 @@ Status CmdUpdateSweep(const ArgList& args, std::ostream& out) {
 
 Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
-      {"queries", "qps", "seed", "max-failed", "json", "threads"}));
+      {"queries", "qps", "seed", "max-failed", "fault-max-failed", "json",
+       "threads"}));
   auto model = LoadModelArg(args);
   if (!model.ok()) return model.status();
 
@@ -509,8 +511,11 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   sweep_spec.default_queries = 20'000;
   auto sweep = SweepArgs::Parse(args, sweep_spec);
   if (!sweep.ok()) return sweep.status();
-  auto max_failed = args.GetUint("max-failed", 8);
-  if (!max_failed.ok()) return max_failed.status();
+  FaultArgsSpec fault_spec;
+  fault_spec.wants_max_failed = true;
+  auto fault = FaultArgs::Parse(args, fault_spec);
+  if (!fault.ok()) return fault.status();
+  const std::uint64_t max_failed = fault->max_failed;
 
   const auto platform = MemoryPlatformSpec::AlveoU280();
   EngineOptions options;
@@ -575,7 +580,7 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
   };
   std::vector<FaultPoint> grid;
   for (std::size_t c = 0; c < cases.size(); ++c) {
-    for (std::uint64_t k = 0; k <= *max_failed; ++k) {
+    for (std::uint64_t k = 0; k <= max_failed; ++k) {
       if (k > cases[c].candidates.size()) break;
       grid.push_back(FaultPoint{c, k});
     }
@@ -623,7 +628,7 @@ Status CmdFaultSweep(const ArgList& args, std::ostream& out) {
       });
 
   out << "fault sweep for " << model->name << ": " << sweep->queries
-      << " queries at " << sweep->qps << " QPS, failing up to " << *max_failed
+      << " queries at " << sweep->qps << " QPS, failing up to " << max_failed
       << " HBM channel(s)\n";
   out << "replicas  failed_ch  availability  shed%    p50_us    p99_us  "
          "alert_ms   budget%\n";
@@ -935,6 +940,171 @@ Status CmdSchedSweep(const ArgList& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status CmdChaosSweep(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"queries", "qps", "seed", "sla-us", "json", "threads",
+       "fault-intensity-max", "fault-points", "fault-seed"}));
+  if (!args.positional().empty()) {
+    return Status::InvalidArgument(
+        "chaos-sweep takes no positional arguments");
+  }
+  SweepArgsSpec sweep_spec;
+  sweep_spec.default_queries = 30'000;
+  sweep_spec.default_qps = 500'000;
+  auto sweep = SweepArgs::Parse(args, sweep_spec);
+  if (!sweep.ok()) return sweep.status();
+  auto sla_us = args.GetUint("sla-us", 2'000);
+  if (!sla_us.ok()) return sla_us.status();
+  if (*sla_us == 0) return Status::InvalidArgument("--sla-us must be >= 1");
+  FaultArgsSpec fault_spec;
+  fault_spec.wants_intensity = true;
+  auto fault = FaultArgs::Parse(args, fault_spec);
+  if (!fault.ok()) return fault.status();
+
+  sched::ChaosSweepConfig config;
+  config.queries = sweep->queries;
+  config.qps = static_cast<double>(sweep->qps);
+  config.seed = sweep->seed;
+  config.fault_seed = fault->fault_seed;
+  config.sla_ns = static_cast<double>(*sla_us) * 1000.0;
+  config.intensity_max = fault->intensity_max;
+  config.intensity_points =
+      static_cast<std::size_t>(fault->intensity_points);
+  config.threads = sweep->threads;
+
+  const sched::ChaosSweepResult result = sched::RunChaosSweep(config);
+
+  out << "chaos sweep: " << sweep->queries << " queries at " << sweep->qps
+      << " QPS, SLA " << *sla_us << " us, " << config.intensity_points
+      << " fault intensities x " << sched::kNumChaosPolicies
+      << " policies\n";
+  out << "intensity  policy               served%    p99_us  goodput%  "
+         "timeout  retry  hedge  wins  recovered\n";
+  for (const sched::ChaosRecord& record : result.records) {
+    const sched::SchedReport& r = record.report.base;
+    const char* recovered = record.recovery.windows.empty()
+                                ? "-"
+                                : (record.recovery.all_recovered ? "yes"
+                                                                 : "NO");
+    char line[220];
+    std::snprintf(
+        line, sizeof line,
+        "%9.2f  %-19s  %6.2f%%  %8.2f  %7.2f%%  %7llu  %5llu  %5llu  %4llu"
+        "  %s\n",
+        record.intensity, record.policy.c_str(), 100.0 * r.availability,
+        r.serving.p99 / 1000.0, 100.0 * (1.0 - r.slo.bad_fraction),
+        static_cast<unsigned long long>(record.report.timed_out),
+        static_cast<unsigned long long>(record.report.retries),
+        static_cast<unsigned long long>(record.report.hedges),
+        static_cast<unsigned long long>(record.report.hedge_wins),
+        recovered);
+    out << line;
+  }
+
+  out << "\nheadline per intensity: breaker-retry-hedge vs best "
+         "availability-keeping static\n";
+  for (const sched::ChaosHeadline& h : result.headlines) {
+    char line[220];
+    std::snprintf(
+        line, sizeof line,
+        "%9.2f  ft %9.2f us / %6.2f%% goodput  vs  %-16s %9.2f us / "
+        "%6.2f%%  recovery ft=%s static-stuck=%s  -> %s\n",
+        h.intensity, h.ft_p99 / 1000.0, 100.0 * h.ft_goodput,
+        h.best_static.c_str(), h.best_static_p99 / 1000.0,
+        100.0 * h.best_static_goodput, h.ft_recovered ? "yes" : "NO",
+        h.some_static_never_recovered ? "yes" : "no",
+        h.win ? "WIN" : "LOSS");
+    out << line;
+  }
+  out << "HEADLINE: fault-tolerant scheduling beats every static "
+         "single-path policy on p99 and goodput at full intensity, and "
+         "recovers where a static cannot: "
+      << (result.headline_win ? "YES" : "NO") << "\n";
+
+  if (const auto path = args.GetOption("json")) {
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::InvalidArgument("cannot open --json file " + *path);
+    }
+    obs::JsonWriter json(file);
+    json.BeginObject();
+    json.KV("command", "chaos-sweep");
+    json.KV("queries", sweep->queries);
+    json.KV("qps", sweep->qps);
+    json.KV("seed", sweep->seed);
+    json.KV("fault_seed", fault->fault_seed);
+    json.KV("sla_us", *sla_us);
+    json.KV("intensity_max", config.intensity_max);
+    json.KV("intensity_points",
+            static_cast<std::uint64_t>(config.intensity_points));
+    json.Key("records");
+    json.BeginArray();
+    for (const sched::ChaosRecord& record : result.records) {
+      const sched::SchedReport& r = record.report.base;
+      json.BeginObject();
+      json.KV("intensity", record.intensity);
+      json.KV("policy", record.policy);
+      json.KV("offered", r.offered);
+      json.KV("served", r.served);
+      json.KV("availability", r.availability);
+      json.KV("p50_ns", r.serving.p50);
+      json.KV("p99_ns", r.serving.p99);
+      json.KV("goodput", 1.0 - r.slo.bad_fraction);
+      json.KV("timed_out", record.report.timed_out);
+      json.KV("retries", record.report.retries);
+      json.KV("hedges", record.report.hedges);
+      json.KV("hedge_wins", record.report.hedge_wins);
+      json.KV("cancelled_completions", record.report.cancelled_completions);
+      json.KV("breaker_opens", record.report.breaker_opens);
+      json.KV("breaker_sheds", record.report.breaker_sheds);
+      json.KV("forced_admits", record.report.forced_admits);
+      json.KV("all_recovered", record.recovery.all_recovered);
+      json.KV("worst_time_to_recover_ns",
+              record.recovery.worst_time_to_recover_ns);
+      json.Key("windows");
+      json.BeginArray();
+      for (const obs::WindowRecovery& w : record.recovery.windows) {
+        json.BeginObject();
+        json.KV("label", w.label);
+        json.KV("goodput_during", w.goodput_during);
+        json.KV("shed_rate_during", w.shed_rate_during);
+        json.KV("burn_during", w.burn_during);
+        json.KV("burn_after", w.burn_after);
+        json.KV("hedge_wins_during", w.hedge_wins_during);
+        json.KV("recovered", w.recovered);
+        json.KV("time_to_recover_ns", w.time_to_recover_ns);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("headlines");
+    json.BeginArray();
+    for (const sched::ChaosHeadline& h : result.headlines) {
+      json.BeginObject();
+      json.KV("intensity", h.intensity);
+      json.KV("best_static", h.best_static);
+      json.KV("best_static_p99_ns", h.best_static_p99);
+      json.KV("best_static_goodput", h.best_static_goodput);
+      json.KV("ft_p99_ns", h.ft_p99);
+      json.KV("ft_goodput", h.ft_goodput);
+      json.KV("ft_beats_all_static_p99", h.ft_beats_all_static_p99);
+      json.KV("ft_beats_all_static_goodput", h.ft_beats_all_static_goodput);
+      json.KV("ft_recovered", h.ft_recovered);
+      json.KV("some_static_never_recovered", h.some_static_never_recovered);
+      json.KV("win", h.win);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.KV("headline_win", result.headline_win);
+    json.EndObject();
+    file << "\n";
+    out << "wrote JSON report to " << *path << "\n";
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 StatusOr<double> ParseDoubleOption(const std::string& name,
@@ -1171,7 +1341,7 @@ std::string UsageText() {
       "               [--json F] [--threads T]\n"
       "      serving tail latency + staleness vs online update rate\n"
       "  fault-sweep <model-file> [--queries N] [--qps R] [--seed S]\n"
-      "              [--max-failed K] [--json F] [--threads T]\n"
+      "              [--fault-max-failed K] [--json F] [--threads T]\n"
       "      availability + degraded tail latency vs failed HBM channels\n"
       "      at table-replication factors 1/2/4\n"
       "  scaleout <model-file> [--queries N] [--seed S] [--points K]\n"
@@ -1183,6 +1353,13 @@ std::string UsageText() {
       "      scheduling policy x arrival process over the standard\n"
       "      four-path backend fleet (src/sched/), with the slo-aware vs\n"
       "      best-static p99 headline under bursty load\n"
+      "  chaos-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]\n"
+      "              [--fault-intensity-max F] [--fault-points K]\n"
+      "              [--fault-seed S] [--json F] [--threads T]\n"
+      "      fault intensity x policy over the four-path fleet with\n"
+      "      crash/brownout/stall fault injection on every backend;\n"
+      "      compares breaker+retry+hedge scheduling against the static\n"
+      "      policies on p99, goodput, and per-fault-window recovery\n"
       "  perfgate --current-dir D [--baseline-dir D] [--tolerance F]\n"
       "           [--tol metric=F,metric=F]\n"
       "      compare fresh BENCH_*.json reports against checked-in\n"
@@ -1216,6 +1393,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "fault-sweep") return CmdFaultSweep(*args, out);
   if (command == "scaleout") return CmdScaleout(*args, out);
   if (command == "sched-sweep") return CmdSchedSweep(*args, out);
+  if (command == "chaos-sweep") return CmdChaosSweep(*args, out);
   if (command == "perfgate") return CmdPerfGate(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();

@@ -23,6 +23,9 @@
 //                     [--threads T]
 //   microrec sched-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]
 //                     [--json F] [--threads T]
+//   microrec chaos-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]
+//                     [--fault-intensity-max F] [--fault-points K]
+//                     [--fault-seed S] [--json F] [--threads T]
 //   microrec perfgate --current-dir D [--baseline-dir D] [--tolerance F]
 //                     [--tol metric=F,metric=F]
 //
@@ -81,6 +84,14 @@ Status CmdScaleout(const ArgList& args, std::ostream& out);
 /// comparison of slo-aware routing against the best static single-backend
 /// policy on p99 under each bursty process.
 Status CmdSchedSweep(const ArgList& args, std::ostream& out);
+
+/// Sweeps fault intensity x serving policy over the standard fleet with
+/// every backend behind a fault-injected wrapper (src/sched/chaos.hpp):
+/// per point, availability, tail latency, goodput, retry/hedge/timeout
+/// accounting, and per-fault-window recovery metrics; then the headline
+/// comparison of breaker+retry+hedge scheduling against every static
+/// single-path policy on p99, goodput, and time-to-recover.
+Status CmdChaosSweep(const ArgList& args, std::ostream& out);
 
 /// Compares freshly generated BENCH_*.json reports in --current-dir against
 /// the checked-in baselines in --baseline-dir (default bench/baselines) and

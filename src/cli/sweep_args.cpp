@@ -30,4 +30,41 @@ StatusOr<SweepArgs> SweepArgs::Parse(const ArgList& args,
   return parsed;
 }
 
+StatusOr<FaultArgs> FaultArgs::Parse(const ArgList& args,
+                                     const FaultArgsSpec& spec) {
+  FaultArgs parsed;
+  if (spec.wants_max_failed) {
+    // --fault-max-failed is canonical; --max-failed predates the shared
+    // parser and stays as an alias. The canonical spelling wins if both
+    // are given.
+    auto legacy = args.GetUint("max-failed", spec.default_max_failed);
+    if (!legacy.ok()) return legacy.status();
+    auto max_failed = args.GetUint("fault-max-failed", *legacy);
+    if (!max_failed.ok()) return max_failed.status();
+    parsed.max_failed = *max_failed;
+  }
+  if (spec.wants_intensity) {
+    auto intensity =
+        args.GetDouble("fault-intensity-max", spec.default_intensity_max);
+    if (!intensity.ok()) return intensity.status();
+    if (*intensity < 0.0 || *intensity > 1.0) {
+      return Status::InvalidArgument(
+          "--fault-intensity-max must be in [0, 1]");
+    }
+    parsed.intensity_max = *intensity;
+
+    auto points = args.GetUint("fault-points", spec.default_intensity_points);
+    if (!points.ok()) return points.status();
+    if (*points == 0) {
+      return Status::InvalidArgument("--fault-points must be >= 1");
+    }
+    parsed.intensity_points = *points;
+
+    auto fault_seed = args.GetUint("fault-seed", spec.default_fault_seed);
+    if (!fault_seed.ok()) return fault_seed.status();
+    parsed.fault_seed = *fault_seed;
+  }
+  return parsed;
+}
+
 }  // namespace microrec::cli

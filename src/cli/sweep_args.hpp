@@ -34,4 +34,32 @@ struct SweepArgs {
                                    const SweepArgsSpec& spec);
 };
 
+/// Which of the shared --fault-* options a command takes, and their
+/// defaults. fault-sweep wants the failure-count grid bound; chaos-sweep
+/// wants the intensity grid and its fault seed.
+struct FaultArgsSpec {
+  bool wants_max_failed = false;
+  std::uint64_t default_max_failed = 8;
+  bool wants_intensity = false;
+  double default_intensity_max = 1.0;
+  std::uint64_t default_intensity_points = 3;
+  std::uint64_t default_fault_seed = 7;
+};
+
+/// Parsed --fault-* options shared by the fault-facing sweeps
+/// (fault-sweep's channel grid, chaos-sweep's intensity grid).
+struct FaultArgs {
+  /// --fault-max-failed (fault-sweep also accepts the legacy
+  /// --max-failed spelling): largest failed-channel count in the grid.
+  std::uint64_t max_failed = 0;
+  /// --fault-intensity-max in [0, 1] and --fault-points >= 1: the
+  /// intensity grid; --fault-seed seeds the scenario noise.
+  double intensity_max = 0.0;
+  std::uint64_t intensity_points = 0;
+  std::uint64_t fault_seed = 0;
+
+  static StatusOr<FaultArgs> Parse(const ArgList& args,
+                                   const FaultArgsSpec& spec);
+};
+
 }  // namespace microrec::cli

@@ -101,6 +101,18 @@ Nanoseconds FaultSchedule::DmaStallEnd(Nanoseconds now) const {
   return end;
 }
 
+Nanoseconds FaultSchedule::StallEnd(std::uint32_t target,
+                                    Nanoseconds now) const {
+  Nanoseconds end = now;
+  for (const auto& e : events_) {
+    if (e.kind == FaultKind::kDmaStall && e.target == target &&
+        Covers(e, now)) {
+      end = std::max(end, e.end_ns);
+    }
+  }
+  return end;
+}
+
 FaultSchedule FaultSchedule::FailChannels(
     const std::vector<std::uint32_t>& banks, Nanoseconds from_ns) {
   FaultSchedule schedule;

@@ -72,7 +72,14 @@ class FaultSchedule {
 
   /// End of the latest kDmaStall window covering `now`, or `now` itself
   /// when the link is healthy (a valid LinkStallFn for host_interface).
+  /// Matches any target: the card has one host link.
   Nanoseconds DmaStallEnd(Nanoseconds now) const;
+
+  /// Target-keyed stall variant for schedules that drive several stallable
+  /// units (the scheduler's per-backend fault models key kDmaStall windows
+  /// by backend index): end of the latest kDmaStall window with this
+  /// `target` covering `now`, or `now` itself when none does.
+  Nanoseconds StallEnd(std::uint32_t target, Nanoseconds now) const;
 
   /// Structural helper: the given banks fail at `from_ns` and never
   /// recover. The shape behind "what does losing k channels cost?" sweeps.

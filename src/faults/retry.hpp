@@ -1,0 +1,38 @@
+// Deterministic timeout / exponential-backoff retry policy.
+//
+// One policy shape covers every retry loop in the repo: the host DMA
+// engine re-issuing a stalled transfer (fpga/host_interface) and the
+// fault-tolerant scheduler re-admitting a query to a surviving backend
+// (sched/ft_scheduler). Both need the same three knobs -- how long to
+// wait on one attempt, how long to sleep between attempts, and when to
+// give up -- so the math lives here once and the two state machines
+// cannot drift apart. No jitter: backoffs are a pure function of the
+// attempt number, so timing bounds are exactly testable.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "common/units.hpp"
+
+namespace microrec {
+
+/// Exponential-backoff retry policy for one logical operation.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;
+  /// An attempt that has not completed after this long is abandoned.
+  Nanoseconds attempt_timeout_ns = Microseconds(50);
+  /// Backoff slept after the k-th failed attempt (k = 1, 2, ...):
+  /// min(initial * multiplier^(k-1), max).
+  Nanoseconds initial_backoff_ns = Microseconds(10);
+  double backoff_multiplier = 2.0;
+  Nanoseconds max_backoff_ns = Milliseconds(1);
+
+  Status Validate() const;
+  Nanoseconds BackoffAfterAttempt(std::uint32_t attempt) const;
+  /// Worst-case time from issue to giving up: max_attempts timeouts plus
+  /// the backoffs between them. Useful as an SLA budget check.
+  Nanoseconds WorstCaseGiveUp() const;
+};
+
+}  // namespace microrec

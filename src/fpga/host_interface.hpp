@@ -15,6 +15,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "faults/retry.hpp"
 #include "obs/metrics.hpp"
 #include "workload/model_zoo.hpp"
 
@@ -64,29 +65,12 @@ HostTransferReport AnalyzeHostTransfer(const RecModelSpec& model,
 // A production host interface cannot assume the link is healthy: DMA
 // engines stall (driver resets, SR-IOV contention, link retraining) and
 // the host must time the attempt out, back off, and retry rather than hang
-// the serving thread. The policy below is deterministic -- no jitter -- so
-// timing bounds are exactly testable; the stall oracle is a plain function
-// so the fpga layer stays independent of the faults module (a
-// FaultSchedule's DmaStallEnd binds directly).
+// the serving thread. The timeout/backoff/give-up math is the shared
+// RetryPolicy (faults/retry.hpp) -- the same policy shape the scheduler
+// uses for query re-admission -- so DMA retries and query retries cannot
+// drift apart. The stall oracle is a plain function (a FaultSchedule's
+// DmaStallEnd binds directly).
 // ---------------------------------------------------------------------------
-
-/// Exponential-backoff retry policy for one DMA transfer.
-struct RetryPolicy {
-  std::uint32_t max_attempts = 4;
-  /// An attempt that has not completed after this long is abandoned.
-  Nanoseconds attempt_timeout_ns = Microseconds(50);
-  /// Backoff slept after the k-th failed attempt (k = 1, 2, ...):
-  /// min(initial * multiplier^(k-1), max).
-  Nanoseconds initial_backoff_ns = Microseconds(10);
-  double backoff_multiplier = 2.0;
-  Nanoseconds max_backoff_ns = Milliseconds(1);
-
-  Status Validate() const;
-  Nanoseconds BackoffAfterAttempt(std::uint32_t attempt) const;
-  /// Worst-case time from issue to giving up: max_attempts timeouts plus
-  /// the backoffs between them. Useful as an SLA budget check.
-  Nanoseconds WorstCaseGiveUp() const;
-};
 
 /// Link-health oracle: returns the end of the stall window covering `now`,
 /// or `now` itself when the link is healthy at `now`.

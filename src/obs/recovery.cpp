@@ -1,0 +1,140 @@
+#include "obs/recovery.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace microrec::obs {
+
+namespace {
+
+bool IsGood(const QueryOutcome& o, Nanoseconds sla_ns) {
+  return o.served && o.latency_ns <= sla_ns;
+}
+
+/// Bad fraction over outcomes with arrival in [from, to), as a burn rate.
+double BurnOver(const std::vector<QueryOutcome>& outcomes, Nanoseconds from,
+                Nanoseconds to, Nanoseconds sla_ns, double objective) {
+  std::uint64_t total = 0;
+  std::uint64_t bad = 0;
+  for (const QueryOutcome& o : outcomes) {
+    if (o.arrival_ns < from) continue;
+    if (o.arrival_ns >= to) break;
+    ++total;
+    if (!IsGood(o, sla_ns)) ++bad;
+  }
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_fraction / (1.0 - objective);
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream os;
+  for (const WindowRecovery& w : windows) {
+    os << w.label << ": goodput " << 100.0 * w.goodput_during
+       << "% during, burn " << w.burn_during << " -> " << w.burn_after
+       << ", ";
+    if (w.recovered) {
+      os << "recovered in " << FormatNanos(w.time_to_recover_ns);
+    } else {
+      os << "NEVER RECOVERED";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+RecoveryReport EvaluateRecovery(
+    const RecoveryOptions& options, const std::vector<QueryOutcome>& outcomes,
+    const std::vector<FaultWindow>& windows,
+    const std::vector<Nanoseconds>* hedge_win_arrivals) {
+  MICROREC_CHECK(options.sla_ns > 0.0);
+  MICROREC_CHECK(options.objective > 0.0 && options.objective < 1.0);
+  MICROREC_CHECK(options.recovery_window_ns > 0.0);
+  MICROREC_CHECK(options.min_window_count >= 1);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    MICROREC_CHECK(outcomes[i].arrival_ns >= outcomes[i - 1].arrival_ns);
+  }
+
+  std::vector<Nanoseconds> wins;
+  if (hedge_win_arrivals != nullptr) {
+    wins = *hedge_win_arrivals;
+    std::sort(wins.begin(), wins.end());
+  }
+
+  RecoveryReport report;
+  report.windows.reserve(windows.size());
+  for (const FaultWindow& window : windows) {
+    WindowRecovery w;
+    w.label = window.label;
+    w.start_ns = window.start_ns;
+    w.end_ns = window.end_ns;
+
+    for (const QueryOutcome& o : outcomes) {
+      if (o.arrival_ns < window.start_ns) continue;
+      if (o.arrival_ns >= window.end_ns) break;
+      ++w.offered_during;
+      if (IsGood(o, options.sla_ns)) ++w.good_during;
+      if (!o.served) ++w.shed_during;
+    }
+    if (w.offered_during > 0) {
+      const double offered = static_cast<double>(w.offered_during);
+      w.goodput_during = static_cast<double>(w.good_during) / offered;
+      w.shed_rate_during = static_cast<double>(w.shed_during) / offered;
+      w.burn_during = (1.0 - w.goodput_during) / (1.0 - options.objective);
+    }
+    w.burn_after =
+        BurnOver(outcomes, window.end_ns,
+                 window.end_ns + options.recovery_window_ns, options.sla_ns,
+                 options.objective);
+    w.hedge_wins_during = static_cast<std::uint64_t>(
+        std::lower_bound(wins.begin(), wins.end(), window.end_ns) -
+        std::lower_bound(wins.begin(), wins.end(), window.start_ns));
+    if (w.offered_during > 0) {
+      w.hedge_win_rate_during = static_cast<double>(w.hedge_wins_during) /
+                                static_cast<double>(w.offered_during);
+    }
+
+    // Time-to-recover: slide a trailing recovery_window_ns over outcomes
+    // at or past the window's end; recovered at the first evaluation
+    // point where the trailing window holds enough queries and its good
+    // fraction meets the objective.
+    std::size_t lo = 0;  // first outcome inside the trailing window
+    std::uint64_t good_in_window = 0;
+    std::uint64_t total_in_window = 0;
+    for (std::size_t hi = 0; hi < outcomes.size(); ++hi) {
+      const QueryOutcome& o = outcomes[hi];
+      ++total_in_window;
+      if (IsGood(o, options.sla_ns)) ++good_in_window;
+      while (outcomes[lo].arrival_ns <
+             o.arrival_ns - options.recovery_window_ns) {
+        --total_in_window;
+        if (IsGood(outcomes[lo], options.sla_ns)) --good_in_window;
+        ++lo;
+      }
+      if (o.arrival_ns < window.end_ns) continue;
+      if (total_in_window < options.min_window_count) continue;
+      const double good_fraction = static_cast<double>(good_in_window) /
+                                   static_cast<double>(total_in_window);
+      if (good_fraction >= options.objective) {
+        w.recovered = true;
+        w.time_to_recover_ns = o.arrival_ns - window.end_ns;
+        break;
+      }
+    }
+
+    report.all_recovered &= w.recovered;
+    if (w.recovered) {
+      report.worst_time_to_recover_ns =
+          std::max(report.worst_time_to_recover_ns, w.time_to_recover_ns);
+    }
+    report.windows.push_back(std::move(w));
+  }
+  return report;
+}
+
+}  // namespace microrec::obs

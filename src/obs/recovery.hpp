@@ -1,0 +1,93 @@
+// Recovery metrics: what a fault window did to a serving run, and how
+// long the system took to get healthy again after it lifted.
+//
+// EvaluateSlo answers "was the budget blown over the whole run"; recovery
+// analysis answers the on-call's sharper questions about one labeled
+// fault window [start, end):
+//
+//   * goodput during: fraction of queries offered inside the window that
+//     were served within the SLA (shed and timed-out queries count
+//     against it),
+//   * burn rate during vs after: bad fraction / (1 - objective), the same
+//     burn definition obs::EvaluateSlo uses, measured over the window and
+//     over the recovery_window_ns right after it,
+//   * hedge wins during: how often the duplicate request saved a query
+//     inside the window (callers pass the hedge-won arrival times),
+//   * time-to-recover: the first instant at or after the window's end
+//     where the trailing recovery_window_ns of outcomes is good again
+//     (good fraction >= objective over at least min_window_count
+//     queries). A run that never reaches that state within its outcomes
+//     reports recovered = false -- "never recovered within the run".
+//
+// Pure observation over an arrival-sorted outcome vector, deterministic,
+// O(outcomes) per window via two-pointer sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/slo.hpp"
+
+namespace microrec::obs {
+
+/// One labeled fault window, closed-open like faults::FaultEvent.
+struct FaultWindow {
+  std::string label;
+  Nanoseconds start_ns = 0.0;
+  Nanoseconds end_ns = 0.0;
+};
+
+struct RecoveryOptions {
+  /// A served query is good when its latency is <= sla_ns.
+  Nanoseconds sla_ns = 0.0;
+  /// Target good fraction; burn = bad fraction / (1 - objective).
+  double objective = 0.99;
+  /// Trailing window for the recovery detector, and the span of the
+  /// "after" burn measurement.
+  Nanoseconds recovery_window_ns = 0.0;
+  /// Outcomes the trailing window must hold before it can declare
+  /// recovery (a single good query is not a recovery).
+  std::uint64_t min_window_count = 32;
+};
+
+struct WindowRecovery {
+  std::string label;
+  Nanoseconds start_ns = 0.0;
+  Nanoseconds end_ns = 0.0;
+
+  std::uint64_t offered_during = 0;
+  std::uint64_t good_during = 0;
+  std::uint64_t shed_during = 0;  ///< offered during and not served
+  double goodput_during = 1.0;    ///< good / offered (1.0 when none offered)
+  double shed_rate_during = 0.0;
+  double burn_during = 0.0;
+  double burn_after = 0.0;  ///< over [end, end + recovery_window_ns)
+  std::uint64_t hedge_wins_during = 0;
+  double hedge_win_rate_during = 0.0;  ///< wins / offered during
+
+  bool recovered = false;
+  /// First time at or after end_ns where the trailing window is good
+  /// again, minus end_ns. Meaningful only when recovered.
+  Nanoseconds time_to_recover_ns = 0.0;
+};
+
+struct RecoveryReport {
+  std::vector<WindowRecovery> windows;
+  bool all_recovered = true;
+  /// Max time_to_recover_ns over recovered windows.
+  Nanoseconds worst_time_to_recover_ns = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Evaluates every fault window over outcomes sorted by arrival
+/// (checked). `hedge_win_arrivals` (optional) holds the arrival times of
+/// hedge-won queries, in any order.
+RecoveryReport EvaluateRecovery(
+    const RecoveryOptions& options, const std::vector<QueryOutcome>& outcomes,
+    const std::vector<FaultWindow>& windows,
+    const std::vector<Nanoseconds>* hedge_win_arrivals = nullptr);
+
+}  // namespace microrec::obs

@@ -1,0 +1,117 @@
+// The chaos sweep: a fault-intensity x policy grid that measures how each
+// serving policy rides through deterministic backend faults, and whether
+// the fault-tolerance layer (breakers + retries + hedges) actually buys
+// what it claims -- the headline gated by bench_chaos.
+//
+// The blessed scenario scales with one intensity knob s in [0, 1]:
+//
+//   fpga       crash            [0.30, 0.30 + 0.25 s) of the horizon
+//   cpu        brownout x(1+3s) [0.20, 0.20 + 0.45 s)
+//   hot_cache  stall            [0.55, 0.55 + 0.10 s)
+//   degraded   (its built-in fleet fault windows only)
+//
+// plus low-rate seeded brownout noise on every backend from
+// GenerateFaultSchedule, so the grid exercises the generator too. At
+// s = 0 every schedule is empty and each static point is bit-identical to
+// the healthy scheduler (test-gated). The windows overlap so that no
+// instant kills every path at once -- the regime where rerouting can win
+// -- but every static single-path policy crosses at least one window it
+// cannot escape.
+//
+// Grid order is intensity-major, policy-minor; points run on the
+// deterministic parallel runner, so results are byte-identical at any
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "faults/fault_schedule.hpp"
+#include "obs/recovery.hpp"
+#include "sched/ft_scheduler.hpp"
+#include "sched/load_gen.hpp"
+
+namespace microrec::sched {
+
+/// Policy indices within each intensity's block of the grid.
+inline constexpr std::size_t kChaosStaticFpga = 0;
+inline constexpr std::size_t kChaosStaticCpu = 1;
+inline constexpr std::size_t kChaosStaticHotCache = 2;
+inline constexpr std::size_t kChaosStaticDegraded = 3;
+inline constexpr std::size_t kChaosQueueDepth = 4;
+inline constexpr std::size_t kChaosBreakerRetry = 5;
+inline constexpr std::size_t kChaosBreakerRetryHedge = 6;
+inline constexpr std::size_t kNumChaosPolicies = 7;
+
+const char* ChaosPolicyName(std::size_t policy_index);
+
+struct ChaosSweepConfig {
+  std::uint64_t queries = 30'000;
+  double qps = 500'000.0;
+  std::uint64_t seed = 42;
+  /// Seeds the noise events of every scenario schedule.
+  std::uint64_t fault_seed = 7;
+  Nanoseconds sla_ns = Milliseconds(2);
+  double slo_objective = 0.99;
+  QuerySizeConfig sizes = {/*small_items=*/1, /*large_items=*/64,
+                           /*large_fraction=*/0.1, /*lookups_per_item=*/8};
+  /// Intensity grid: intensity_points values evenly spaced over
+  /// [0, intensity_max], always including both ends (a single point sits
+  /// at intensity_max).
+  double intensity_max = 1.0;
+  std::size_t intensity_points = 3;
+  std::size_t threads = 1;
+};
+
+/// One intensity's fault scenario: per-backend schedules (fleet order)
+/// plus the labeled windows recovery analysis scores against.
+struct ChaosScenario {
+  std::vector<FaultSchedule> schedules;
+  std::vector<obs::FaultWindow> windows;
+};
+
+ChaosScenario BuildChaosScenario(double intensity, std::uint64_t fault_seed,
+                                 Nanoseconds horizon_ns);
+
+/// The fault-tolerance configuration the chaos grid's breaker-retry
+/// policies run with (exposed so bench/tests drive the identical setup).
+FtOptions ChaosFtOptions(const ChaosSweepConfig& config, bool hedge);
+
+struct ChaosRecord {
+  double intensity = 0.0;
+  std::string policy;  ///< ChaosPolicyName, not the routing policy name
+  FtSchedReport report;
+  obs::RecoveryReport recovery;
+};
+
+/// Per-intensity comparison backing the headline.
+struct ChaosHeadline {
+  double intensity = 0.0;
+  std::string best_static;
+  Nanoseconds best_static_p99 = 0.0;
+  double best_static_goodput = 0.0;  ///< max goodput over the statics
+  Nanoseconds ft_p99 = 0.0;          ///< breaker-retry-hedge
+  double ft_goodput = 0.0;
+  bool ft_beats_all_static_p99 = false;
+  bool ft_beats_all_static_goodput = false;
+  bool ft_recovered = false;
+  bool some_static_never_recovered = false;
+  bool win = false;  ///< all four conditions
+};
+
+struct ChaosSweepResult {
+  std::vector<ChaosRecord> records;  ///< intensity-major, policy-minor
+  std::vector<ChaosHeadline> headlines;  ///< one per intensity > 0
+  /// The acceptance headline, evaluated at the highest intensity:
+  /// breaker+retry+hedge beats every static single-path policy on both
+  /// p99 and goodput, recovers from every fault window, while at least
+  /// one static policy never recovers within the run.
+  bool headline_win = false;
+};
+
+/// Runs the grid. Deterministic in (config minus threads).
+ChaosSweepResult RunChaosSweep(const ChaosSweepConfig& config);
+
+}  // namespace microrec::sched

@@ -1,0 +1,459 @@
+#include "sched/ft_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace microrec::sched {
+
+namespace {
+
+constexpr std::size_t kNoPick = std::numeric_limits<std::size_t>::max();
+
+enum class EventKind : std::uint8_t { kAdmission, kTimeout, kDeadline };
+
+struct Event {
+  Nanoseconds time = 0.0;
+  std::uint64_t seq = 0;  ///< FIFO among equal-time events; total order
+  EventKind kind = EventKind::kAdmission;
+  std::uint64_t query = 0;
+  /// kAdmission: 0 = original, k >= 1 = k-th retry.
+  std::uint32_t attempt = 0;
+  bool is_hedge = false;
+  /// kTimeout: which dispatched attempt timed out, and where it ran.
+  std::uint64_t token = 0;
+  std::size_t backend = 0;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// One dispatched admission of a query.
+struct AttemptRec {
+  std::uint64_t token = 0;
+  std::size_t backend = 0;
+  bool is_hedge = false;
+  bool timed_out = false;
+  bool completed = false;
+};
+
+enum class Terminal : std::uint8_t { kPending, kServed, kShed, kTimedOut };
+
+struct QueryState {
+  Nanoseconds arrival = 0.0;
+  Nanoseconds completion = 0.0;
+  Terminal terminal = Terminal::kPending;
+  std::uint32_t admitted = 0;     ///< dispatched admissions (hedges incl.)
+  std::uint32_t retry_count = 0;  ///< sequential retries scheduled
+  std::uint32_t tried_mask = 0;   ///< backends this query has been admitted to
+  bool hedge_scheduled = false;
+  std::vector<AttemptRec> attempts;
+};
+
+struct TaggedCompletion {
+  Nanoseconds completion_ns = 0.0;
+  std::uint64_t query_id = 0;
+  std::size_t backend = 0;
+};
+
+}  // namespace
+
+std::string FtSchedReport::ToString() const {
+  std::ostringstream os;
+  os << base.ToString() << " | timed_out " << timed_out << " | retries "
+     << retries << " | hedge " << hedge_wins << "/" << hedges
+     << " | breaker opens " << breaker_opens;
+  return os.str();
+}
+
+FtSchedReport SimulateFaultTolerantServing(
+    const std::vector<SchedQuery>& queries,
+    std::vector<std::unique_ptr<Backend>>& backends,
+    SchedulingPolicy& policy, const FtOptions& options) {
+  MICROREC_CHECK(!queries.empty());
+  MICROREC_CHECK(!backends.empty());
+  MICROREC_CHECK(options.base.sla_ns > 0.0);
+  MICROREC_CHECK(backends.size() <= 32);  // tried_mask is a uint32
+  if (options.retries_enabled) {
+    MICROREC_CHECK(options.retry.Validate().ok());
+  }
+  if (options.breakers_enabled) {
+    MICROREC_CHECK(options.probe_interval_ns > 0.0);
+  }
+
+  const std::size_t n_backends = backends.size();
+  const bool breakers_on = options.breakers_enabled;
+
+  FtSchedReport report;
+  report.base.policy = std::string(policy.name());
+  report.base.usage.resize(n_backends);
+  for (std::size_t i = 0; i < n_backends; ++i) {
+    report.base.usage[i].name = std::string(backends[i]->name());
+  }
+
+  std::vector<QueryState> states(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    // GenerateLoad's contract (ids 0..n-1 in stream order), relied on by
+    // the re-admission path to recover a query's sizes from its id.
+    MICROREC_CHECK(queries[i].id == i);
+    states[i].arrival = queries[i].arrival_ns;
+  }
+
+  std::vector<CircuitBreaker> breakers;
+  if (breakers_on) {
+    breakers.assign(n_backends, CircuitBreaker(options.breaker));
+  }
+
+  // Hedge-delay estimator: bounded-memory latency histogram (obs). Only
+  // consulted when hedging is enabled.
+  obs::Histogram latency_hist(
+      obs::HistogramOptions{/*min_value=*/1000.0, /*growth=*/1.2,
+                            /*num_buckets=*/96});
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t next_seq = 0;
+  std::uint64_t next_token = 1;
+  const auto push_event = [&](Event e) {
+    e.seq = next_seq++;
+    events.push(e);
+  };
+  for (const SchedQuery& q : queries) {
+    Event e;
+    e.time = q.arrival_ns;
+    e.kind = EventKind::kAdmission;
+    e.query = q.id;
+    push_event(e);
+  }
+
+  // ---- Completion delivery --------------------------------------------
+  std::vector<SchedCompletion> backend_scratch;
+  std::vector<TaggedCompletion> step;
+  const auto deliver = [&]() {
+    std::sort(step.begin(), step.end(),
+              [](const TaggedCompletion& a, const TaggedCompletion& b) {
+                if (a.completion_ns != b.completion_ns) {
+                  return a.completion_ns < b.completion_ns;
+                }
+                if (a.query_id != b.query_id) return a.query_id < b.query_id;
+                return a.backend < b.backend;
+              });
+    for (const TaggedCompletion& c : step) {
+      QueryState& s = states[c.query_id];
+      // Match the completion to its earliest outstanding attempt on this
+      // backend (a query is admitted at most once per backend, but the
+      // lookup shape stays correct if that ever changes).
+      AttemptRec* attempt = nullptr;
+      for (AttemptRec& a : s.attempts) {
+        if (a.backend == c.backend && !a.completed) {
+          attempt = &a;
+          break;
+        }
+      }
+      MICROREC_CHECK(attempt != nullptr);
+      attempt->completed = true;
+      if (breakers_on && !attempt->timed_out) {
+        breakers[c.backend].OnSuccess(c.completion_ns);
+      }
+      if (s.terminal == Terminal::kPending) {
+        s.terminal = Terminal::kServed;
+        s.completion = c.completion_ns;
+        const Nanoseconds latency = c.completion_ns - s.arrival;
+        policy.OnOutcome({s.arrival, latency, true});
+        if (options.hedge.enabled) latency_hist.Observe(latency);
+        if (attempt->is_hedge) {
+          ++report.hedge_wins;
+          report.hedge_win_arrival_ns.push_back(s.arrival);
+        }
+      } else {
+        ++report.cancelled_completions;
+      }
+    }
+    step.clear();
+  };
+  const auto drain_until = [&](Nanoseconds now) {
+    for (std::size_t b = 0; b < n_backends; ++b) {
+      backend_scratch.clear();
+      backends[b]->Drain(now, backend_scratch);
+      for (const SchedCompletion& c : backend_scratch) {
+        step.push_back({c.completion_ns, c.query_id, b});
+      }
+    }
+    deliver();
+  };
+
+  // ---- Health probes ---------------------------------------------------
+  Nanoseconds probe_next = options.probe_interval_ns;
+  const auto run_probes = [&](Nanoseconds now) {
+    if (!breakers_on) return;
+    while (probe_next <= now) {
+      for (std::size_t b = 0; b < n_backends; ++b) {
+        if (!backends[b]->Accepting(probe_next)) {
+          breakers[b].OnFailure(probe_next);
+          ++report.probes_failed;
+        }
+      }
+      probe_next += options.probe_interval_ns;
+    }
+  };
+
+  // ---- Admission -------------------------------------------------------
+  const auto handle_admission = [&](const Event& e) {
+    QueryState& s = states[e.query];
+    if (s.terminal != Terminal::kPending) return;  // resolved before firing
+    if (e.is_hedge && s.admitted == 0) return;     // primary never admitted
+    SchedQuery q2;
+    q2.id = e.query;
+    q2.arrival_ns = e.time;
+    // Sizes come from the offered query (ids are 0..n-1 in stream order).
+    q2.items = queries[e.query].items;
+    q2.lookups_per_item = queries[e.query].lookups_per_item;
+
+    const bool unrestricted = !breakers_on && e.attempt == 0 && !e.is_hedge;
+    std::size_t pick = kNoPick;
+    bool forced = false;
+    if (unrestricted) {
+      // Exactly the base scheduler's path: the policy's pick is admitted
+      // unconditionally (a rejected admit is a shed).
+      pick = policy.Route(q2, backends);
+      MICROREC_CHECK(pick < n_backends);
+    } else {
+      // Restricted admission: breaker-allowed, accepting, and (for
+      // retries/hedges) not already tried by this query.
+      const bool restrict_tried = e.attempt > 0 || e.is_hedge;
+      bool all_open = breakers_on;
+      std::uint32_t admissible = 0;
+      for (std::size_t b = 0; b < n_backends; ++b) {
+        const bool allowed = !breakers_on || breakers[b].Allow(e.time);
+        if (breakers_on && breakers[b].state() != BreakerState::kOpen) {
+          all_open = false;
+        }
+        if (allowed && backends[b]->Accepting(e.time) &&
+            !(restrict_tried && (s.tried_mask >> b & 1u))) {
+          admissible |= 1u << b;
+        }
+      }
+      const std::size_t preferred = policy.Route(q2, backends);
+      MICROREC_CHECK(preferred < n_backends);
+      if (admissible >> preferred & 1u) {
+        pick = preferred;
+      } else {
+        Nanoseconds best = 0.0;
+        for (std::size_t b = 0; b < n_backends; ++b) {
+          if (!(admissible >> b & 1u)) continue;
+          const Nanoseconds predicted = backends[b]->PredictLatency(q2);
+          if (pick == kNoPick || predicted < best) {
+            pick = b;
+            best = predicted;
+          }
+        }
+      }
+      if (pick == kNoPick && breakers_on && all_open) {
+        if (q2.items <= options.high_priority_max_items) {
+          // High priority: bypass the breaker that reopens soonest.
+          Nanoseconds best_reopen = 0.0;
+          for (std::size_t b = 0; b < n_backends; ++b) {
+            if (restrict_tried && (s.tried_mask >> b & 1u)) continue;
+            if (pick == kNoPick || breakers[b].reopen_at_ns() < best_reopen) {
+              pick = b;
+              best_reopen = breakers[b].reopen_at_ns();
+            }
+          }
+          forced = pick != kNoPick;
+        } else if (s.admitted == 0) {
+          ++report.breaker_sheds;
+        }
+      }
+      if (pick == kNoPick) {
+        // No admissible backend. Original admissions shed terminally;
+        // retries/hedges leave the query to its in-flight attempts.
+        if (s.admitted == 0) {
+          s.terminal = Terminal::kShed;
+          policy.OnOutcome({s.arrival, 0.0, false});
+        }
+        return;
+      }
+    }
+
+    if (!backends[pick]->Admit(q2)) {
+      if (breakers_on) breakers[pick].OnFailure(e.time);
+      if (s.admitted == 0) {
+        s.terminal = Terminal::kShed;
+        policy.OnOutcome({s.arrival, 0.0, false});
+      }
+      return;
+    }
+
+    ++report.base.usage[pick].queries;
+    report.base.usage[pick].items += q2.items;
+    ++s.admitted;
+    s.tried_mask |= 1u << pick;
+    AttemptRec attempt;
+    attempt.token = next_token++;
+    attempt.backend = pick;
+    attempt.is_hedge = e.is_hedge;
+    s.attempts.push_back(attempt);
+    if (forced) ++report.forced_admits;
+    if (breakers_on && breakers[pick].state() == BreakerState::kHalfOpen) {
+      breakers[pick].OnDispatch(e.time);
+      ++report.probe_dispatches;
+    }
+    if (e.is_hedge) ++report.hedges;
+    if (e.attempt > 0 && !e.is_hedge) ++report.retries;
+
+    if (options.retries_enabled) {
+      Event timeout;
+      timeout.time = e.time + options.retry.attempt_timeout_ns;
+      timeout.kind = EventKind::kTimeout;
+      timeout.query = e.query;
+      timeout.token = attempt.token;
+      timeout.backend = pick;
+      push_event(timeout);
+    }
+    if (e.attempt == 0 && !e.is_hedge) {
+      if (options.deadline_ns > 0.0) {
+        Event deadline;
+        deadline.time = s.arrival + options.deadline_ns;
+        deadline.kind = EventKind::kDeadline;
+        deadline.query = e.query;
+        push_event(deadline);
+      }
+      if (options.hedge.enabled && !s.hedge_scheduled &&
+          latency_hist.count() >= options.hedge.min_history) {
+        const Nanoseconds delay =
+            std::max(options.hedge.delay_scale *
+                         latency_hist.Quantile(options.hedge.quantile),
+                     options.hedge.min_delay_ns);
+        s.hedge_scheduled = true;
+        Event hedge;
+        hedge.time = e.time + delay;
+        hedge.kind = EventKind::kAdmission;
+        hedge.query = e.query;
+        hedge.is_hedge = true;
+        push_event(hedge);
+      }
+    }
+  };
+
+  // ---- Timeout / deadline ---------------------------------------------
+  const auto handle_timeout = [&](const Event& e) {
+    QueryState& s = states[e.query];
+    AttemptRec* attempt = nullptr;
+    for (AttemptRec& a : s.attempts) {
+      if (a.token == e.token) {
+        attempt = &a;
+        break;
+      }
+    }
+    MICROREC_CHECK(attempt != nullptr);
+    if (attempt->completed) return;  // finished inside the timeout
+    attempt->timed_out = true;
+    if (breakers_on) breakers[e.backend].OnFailure(e.time);
+    if (s.terminal != Terminal::kPending) return;
+    // Re-admit after backoff, if budget and deadline allow.
+    if (s.retry_count + 1 >= options.retry.max_attempts) return;
+    ++s.retry_count;
+    const Nanoseconds backoff =
+        options.retry.BackoffAfterAttempt(s.retry_count);
+    const Nanoseconds t = e.time + backoff;
+    if (options.deadline_ns > 0.0 && t >= s.arrival + options.deadline_ns) {
+      return;
+    }
+    Event retry;
+    retry.time = t;
+    retry.kind = EventKind::kAdmission;
+    retry.query = e.query;
+    retry.attempt = s.retry_count;
+    push_event(retry);
+  };
+
+  const auto handle_deadline = [&](const Event& e) {
+    QueryState& s = states[e.query];
+    if (s.terminal != Terminal::kPending) return;
+    s.terminal = Terminal::kTimedOut;
+    ++report.timed_out;
+    policy.OnOutcome({s.arrival, 0.0, false});
+  };
+
+  // ---- Event loop ------------------------------------------------------
+  while (!events.empty()) {
+    const Event e = events.top();
+    events.pop();
+    drain_until(e.time);
+    run_probes(e.time);
+    switch (e.kind) {
+      case EventKind::kAdmission:
+        handle_admission(e);
+        break;
+      case EventKind::kTimeout:
+        handle_timeout(e);
+        break;
+      case EventKind::kDeadline:
+        handle_deadline(e);
+        break;
+    }
+  }
+  for (std::size_t b = 0; b < n_backends; ++b) {
+    backend_scratch.clear();
+    backends[b]->Finalize(backend_scratch);
+    for (const SchedCompletion& c : backend_scratch) {
+      step.push_back({c.completion_ns, c.query_id, b});
+    }
+  }
+  deliver();
+
+  // The never-drop invariant, enforced, not just reported: everything
+  // admitted at least once was flushed by Finalize above, so no query can
+  // still be pending.
+  for (const QueryState& s : states) {
+    MICROREC_CHECK(s.terminal != Terminal::kPending);
+  }
+
+  // ---- Report: identical arithmetic to SimulateScheduledServing --------
+  std::vector<Nanoseconds> served_arrivals;
+  std::vector<Nanoseconds> served_completions;
+  std::vector<obs::QueryOutcome> outcomes;
+  outcomes.reserve(states.size());
+  for (const QueryState& s : states) {
+    obs::QueryOutcome outcome;
+    outcome.arrival_ns = s.arrival;
+    outcome.served = s.terminal == Terminal::kServed;
+    if (outcome.served) {
+      outcome.latency_ns = s.completion - s.arrival;
+      served_arrivals.push_back(s.arrival);
+      served_completions.push_back(s.completion);
+    }
+    outcomes.push_back(outcome);
+  }
+
+  report.base.offered = queries.size();
+  report.base.served = served_arrivals.size();
+  report.base.shed = report.base.offered - report.base.served;
+  report.base.availability = static_cast<double>(report.base.served) /
+                             static_cast<double>(report.base.offered);
+  if (!served_arrivals.empty()) {
+    report.base.serving = SummarizeServing(served_arrivals, served_completions,
+                                           options.base.sla_ns);
+  }
+  const Nanoseconds span =
+      queries.back().arrival_ns - queries.front().arrival_ns;
+  const obs::SloSpec spec = obs::SloSpec::Default(
+      options.base.sla_ns, options.base.slo_objective, span > 0.0 ? span : 1.0);
+  report.base.slo = obs::EvaluateSlo(spec, outcomes);
+
+  for (const CircuitBreaker& breaker : breakers) {
+    report.breaker_opens += breaker.opens();
+    report.breaker_closes += breaker.closes();
+  }
+  if (options.outcomes != nullptr) *options.outcomes = std::move(outcomes);
+  return report;
+}
+
+}  // namespace microrec::sched

@@ -1,0 +1,124 @@
+// Fault-tolerant scheduled serving: the SimulateScheduledServing loop
+// rebuilt as a discrete-event simulation so queries can be re-admitted
+// after their arrival instant -- which is what deadlines, retries, and
+// hedges require -- while every backend still sees nondecreasing admit
+// times (its contract).
+//
+// On top of the base loop it layers, each independently switchable:
+//
+//   * Circuit breakers (sched/health.hpp), one per backend, fed by
+//     deterministic health probes (a probe clock checks Accepting every
+//     probe_interval_ns), attempt timeouts, and rejected admits. Routing
+//     only considers breaker-allowed backends; half-open breakers admit
+//     accounted trial queries.
+//   * Per-query deadlines with retry-and-re-admit: an attempt that has
+//     not completed after retry.attempt_timeout_ns is abandoned (the
+//     inner machine cannot cancel work, so its eventual completion is
+//     accounted as cancelled) and the query re-admits to a surviving
+//     backend it has not tried yet, after RetryPolicy exponential
+//     backoff. A query still pending at arrival + deadline_ns is a
+//     timeout: terminal, bad for the SLO, never served.
+//   * Hedged requests: once enough latency history exists, each query
+//     schedules one duplicate admission after a p99-derived delay; the
+//     first completion wins, the loser's completion is cancelled and
+//     accounted.
+//   * Priority-class load shedding: when every breaker is open,
+//     low-priority (large re-rank) queries shed immediately; high-
+//     priority queries force-admit to the breaker that reopens soonest.
+//
+// Terminal accounting is exact: every offered query ends in exactly one
+// of {served, shed, timed_out} (the never-drop invariant, gated in
+// tests/chaos_test.cpp). With every feature disabled the event loop
+// replays SimulateScheduledServing's admission and feedback sequence
+// bit for bit (also test-gated), so the fault-tolerance layer costs
+// nothing when off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "faults/retry.hpp"
+#include "obs/slo.hpp"
+#include "sched/health.hpp"
+#include "sched/scheduler.hpp"
+
+namespace microrec::sched {
+
+/// Hedged-request knobs. The hedge delay adapts: it is
+/// max(delay_scale * observed-latency-quantile, min_delay_ns), and no
+/// hedge is scheduled until min_history latencies have been observed
+/// (hedging off a cold estimate would double-send everything).
+struct HedgeConfig {
+  bool enabled = false;
+  double quantile = 0.99;
+  double delay_scale = 1.0;
+  Nanoseconds min_delay_ns = Microseconds(200);
+  std::uint64_t min_history = 64;
+};
+
+struct FtOptions {
+  SchedOptions base;
+
+  /// 0 disables deadlines. A pending query is timed out (terminal) at
+  /// arrival + deadline_ns; no retry is scheduled past it.
+  Nanoseconds deadline_ns = 0.0;
+
+  bool breakers_enabled = false;
+  CircuitBreakerConfig breaker;
+  /// Health-probe cadence feeding the breakers (Accepting checks).
+  Nanoseconds probe_interval_ns = Microseconds(50);
+
+  /// Retries: attempt_timeout_ns abandons an attempt, BackoffAfterAttempt
+  /// spaces re-admissions, max_attempts bounds total admissions per query
+  /// (the original counts as attempt 1). Hedges do not count.
+  bool retries_enabled = false;
+  RetryPolicy retry;
+
+  HedgeConfig hedge;
+
+  /// Priority class boundary: queries with items <= this are high
+  /// priority (the interactive small-candidate-set class) and bypass
+  /// all-breakers-open shedding.
+  std::uint64_t high_priority_max_items = 1;
+
+  /// Optional: receives every offered query's outcome in arrival order
+  /// (the input to obs::EvaluateRecovery).
+  std::vector<obs::QueryOutcome>* outcomes = nullptr;
+};
+
+struct FtSchedReport {
+  /// The base scheduler's report shape, built with the identical
+  /// arithmetic. base.shed counts every unserved query; timed_out below
+  /// is the subset that was admitted but missed its deadline.
+  SchedReport base;
+
+  std::uint64_t timed_out = 0;
+  std::uint64_t retries = 0;       ///< successful re-admissions
+  std::uint64_t hedges = 0;        ///< hedge admissions dispatched
+  std::uint64_t hedge_wins = 0;    ///< queries whose hedge finished first
+  std::uint64_t cancelled_completions = 0;  ///< losers + late stragglers
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_sheds = 0;   ///< all-open, low-priority sheds
+  std::uint64_t forced_admits = 0;   ///< all-open, high-priority bypasses
+  std::uint64_t probe_dispatches = 0;  ///< half-open trial admissions
+  std::uint64_t probes_failed = 0;     ///< health probes that found a dark backend
+  /// Arrival times of hedge-won queries (for per-fault-window rates).
+  std::vector<Nanoseconds> hedge_win_arrival_ns;
+
+  std::string ToString() const;
+};
+
+/// Runs the stream through the fleet under `policy` with the
+/// fault-tolerance layer of `options`. Same input contract as
+/// SimulateScheduledServing; deterministic for the same reasons, plus a
+/// (time, sequence-number) total order over re-admission events.
+FtSchedReport SimulateFaultTolerantServing(
+    const std::vector<SchedQuery>& queries,
+    std::vector<std::unique_ptr<Backend>>& backends,
+    SchedulingPolicy& policy, const FtOptions& options);
+
+}  // namespace microrec::sched

@@ -1,0 +1,741 @@
+// Tests for the fault-tolerance stack: circuit breakers (sched/health),
+// the backend fault model (sched/fault_model), the fault-tolerant
+// event-loop scheduler (sched/ft_scheduler), recovery metrics
+// (obs/recovery), and the chaos sweep (sched/chaos) plus its CLI command.
+//
+// The load-bearing gates:
+//   * with every feature disabled the fault-tolerant scheduler replays
+//     SimulateScheduledServing bit for bit (the layer costs nothing off),
+//   * the never-drop invariant: every offered query ends served, shed, or
+//     timed out -- exactly one of them,
+//   * hedge determinism: the same seed yields the identical report,
+//   * the chaos sweep is byte-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "faults/fault_schedule.hpp"
+#include "obs/recovery.hpp"
+#include "sched/backends.hpp"
+#include "sched/chaos.hpp"
+#include "sched/fault_model.hpp"
+#include "sched/fleet.hpp"
+#include "sched/ft_scheduler.hpp"
+#include "sched/health.hpp"
+#include "sched/load_gen.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace microrec {
+namespace {
+
+// ---- Shared helpers -------------------------------------------------------
+
+std::vector<sched::SchedQuery> UnitQueries(
+    const std::vector<Nanoseconds>& arrivals) {
+  std::vector<sched::SchedQuery> queries;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    sched::SchedQuery q;
+    q.id = i;
+    q.arrival_ns = arrivals[i];
+    q.items = 1;
+    q.lookups_per_item = 1;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::unique_ptr<sched::Backend> MakePipeline(const std::string& name,
+                                             Nanoseconds item_latency_ns,
+                                             Nanoseconds ii_ns) {
+  sched::PipelineBackendConfig config;
+  config.name = name;
+  config.replicas = 1;
+  config.item_latency_ns = item_latency_ns;
+  config.initiation_interval_ns = ii_ns;
+  return std::make_unique<sched::PipelineBackend>(config);
+}
+
+FaultSchedule OneEvent(FaultKind kind, Nanoseconds start, Nanoseconds end,
+                       std::uint32_t target, double magnitude = 1.0) {
+  FaultEvent event;
+  event.kind = kind;
+  event.start_ns = start;
+  event.end_ns = end;
+  event.target = target;
+  event.magnitude = magnitude;
+  FaultSchedule schedule;
+  EXPECT_TRUE(schedule.Add(event).ok());
+  return schedule;
+}
+
+std::vector<sched::SchedCompletion> RunThrough(
+    sched::Backend& backend, const std::vector<sched::SchedQuery>& queries) {
+  for (const sched::SchedQuery& q : queries) {
+    EXPECT_TRUE(backend.Admit(q));
+  }
+  std::vector<sched::SchedCompletion> out;
+  backend.Finalize(out);
+  return out;
+}
+
+void ExpectSameBaseReport(const sched::SchedReport& a,
+                          const sched::SchedReport& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.serving.p50, b.serving.p50);
+  EXPECT_EQ(a.serving.p95, b.serving.p95);
+  EXPECT_EQ(a.serving.p99, b.serving.p99);
+  EXPECT_EQ(a.serving.max, b.serving.max);
+  EXPECT_EQ(a.serving.mean, b.serving.mean);
+  EXPECT_EQ(a.slo.bad_fraction, b.slo.bad_fraction);
+  ASSERT_EQ(a.usage.size(), b.usage.size());
+  for (std::size_t i = 0; i < a.usage.size(); ++i) {
+    EXPECT_EQ(a.usage[i].queries, b.usage[i].queries);
+    EXPECT_EQ(a.usage[i].items, b.usage[i].items);
+  }
+}
+
+// ---- Circuit breaker ------------------------------------------------------
+
+sched::CircuitBreakerConfig SmallBreaker() {
+  sched::CircuitBreakerConfig config;
+  config.failure_threshold = 2;
+  config.cooldown_ns = 100.0;
+  config.cooldown_backoff = 2.0;
+  config.max_cooldown_ns = 400.0;
+  config.half_open_probes = 2;
+  config.close_threshold = 2;
+  return config;
+}
+
+TEST(CircuitBreakerTest, ClosedToOpenToHalfOpenToClosed) {
+  sched::CircuitBreaker breaker(SmallBreaker());
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow(0.0));
+
+  breaker.OnFailure(10.0);
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kClosed);
+  breaker.OnFailure(20.0);
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_EQ(breaker.reopen_at_ns(), 120.0);
+  EXPECT_FALSE(breaker.Allow(119.0));
+
+  // Cool-down elapsed: half-open, with half_open_probes trial slots.
+  EXPECT_TRUE(breaker.Allow(120.0));
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kHalfOpen);
+  breaker.OnDispatch(120.0);
+  EXPECT_TRUE(breaker.Allow(121.0));
+  breaker.OnDispatch(121.0);
+  EXPECT_FALSE(breaker.Allow(122.0));  // trial slots exhausted
+  EXPECT_EQ(breaker.half_open_dispatches(), 2u);
+
+  // close_threshold trial successes close it again.
+  breaker.OnSuccess(130.0);
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kHalfOpen);
+  breaker.OnSuccess(131.0);
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kClosed);
+  EXPECT_EQ(breaker.closes(), 1u);
+  EXPECT_EQ(breaker.half_open_successes(), 2u);
+
+  // Recovery reset the cool-down backoff to the base value.
+  breaker.OnFailure(200.0);
+  breaker.OnFailure(201.0);
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kOpen);
+  EXPECT_EQ(breaker.reopen_at_ns(), 301.0);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensWithBackedOffCooldown) {
+  sched::CircuitBreaker breaker(SmallBreaker());
+  breaker.OnFailure(0.0);
+  breaker.OnFailure(0.0);
+  EXPECT_EQ(breaker.reopen_at_ns(), 100.0);
+
+  // First trial failure: cool-down doubles.
+  EXPECT_TRUE(breaker.Allow(100.0));
+  breaker.OnDispatch(100.0);
+  breaker.OnFailure(110.0);
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_EQ(breaker.half_open_failures(), 1u);
+  EXPECT_EQ(breaker.reopen_at_ns(), 310.0);  // 110 + 2 * 100
+
+  // Second trial failure: doubled again, now at the cap.
+  EXPECT_TRUE(breaker.Allow(310.0));
+  breaker.OnFailure(320.0);
+  EXPECT_EQ(breaker.reopen_at_ns(), 720.0);  // 320 + 400 (capped)
+
+  // Capped: no further growth.
+  EXPECT_TRUE(breaker.Allow(720.0));
+  breaker.OnFailure(730.0);
+  EXPECT_EQ(breaker.reopen_at_ns(), 1130.0);  // 730 + 400
+}
+
+TEST(CircuitBreakerTest, StragglerSuccessWhileOpenIsIgnored) {
+  sched::CircuitBreaker breaker(SmallBreaker());
+  breaker.OnFailure(0.0);
+  breaker.OnFailure(0.0);
+  ASSERT_EQ(breaker.state(), sched::BreakerState::kOpen);
+  // A completion from before the trip must not close the breaker early.
+  breaker.OnSuccess(50.0);
+  EXPECT_EQ(breaker.state(), sched::BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow(50.0));
+  EXPECT_EQ(breaker.closes(), 0u);
+}
+
+// ---- Backend fault model --------------------------------------------------
+
+TEST(BackendFaultModelTest, EmptyScheduleIsBitExactPassthrough) {
+  auto plain = MakePipeline("p", 50.0, 10.0);
+  sched::FaultInjectedBackend wrapped(MakePipeline("p", 50.0, 10.0),
+                                      sched::BackendFaultModel());
+  EXPECT_TRUE(wrapped.model().empty());
+  EXPECT_TRUE(wrapped.Accepting(123.0));
+  EXPECT_EQ(wrapped.QueueDepthNs(0.0), plain->QueueDepthNs(0.0));
+
+  const auto queries = UnitQueries({0.0, 10.0, 20.0});
+  const auto expected = RunThrough(*plain, queries);
+  const auto got = RunThrough(wrapped, queries);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].query_id, expected[i].query_id);
+    EXPECT_EQ(got[i].completion_ns, expected[i].completion_ns);
+  }
+  EXPECT_EQ(wrapped.crash_rejects(), 0u);
+}
+
+TEST(BackendFaultModelTest, CrashWindowRejectsAdmitsAndCounts) {
+  sched::FaultInjectedBackend wrapped(
+      MakePipeline("p", 50.0, 10.0),
+      sched::BackendFaultModel(
+          OneEvent(FaultKind::kReplicaCrash, 100.0, 200.0, /*target=*/3), 3));
+  EXPECT_TRUE(wrapped.Accepting(99.0));
+  EXPECT_FALSE(wrapped.Accepting(150.0));
+  EXPECT_TRUE(wrapped.Accepting(200.0));  // closed-open window
+
+  sched::SchedQuery inside;
+  inside.id = 0;
+  inside.arrival_ns = 150.0;
+  EXPECT_FALSE(wrapped.Admit(inside));
+  EXPECT_EQ(wrapped.crash_rejects(), 1u);
+
+  sched::SchedQuery after;
+  after.id = 1;
+  after.arrival_ns = 250.0;
+  EXPECT_TRUE(wrapped.Admit(after));
+  std::vector<sched::SchedCompletion> out;
+  wrapped.Finalize(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].query_id, 1u);
+  EXPECT_EQ(out[0].completion_ns, 300.0);
+}
+
+TEST(BackendFaultModelTest, BrownoutScalesResidenceTimeFromAdmit) {
+  sched::FaultInjectedBackend wrapped(
+      MakePipeline("p", 50.0, 10.0),
+      sched::BackendFaultModel(
+          OneEvent(FaultKind::kChannelDegrade, 0.0, 1000.0, /*target=*/0,
+                   /*magnitude=*/3.0),
+          0));
+  // Admitted inside the window: completion = admit + 3 x healthy residence.
+  // Admitted after it: untouched.
+  const auto out = RunThrough(wrapped, UnitQueries({0.0, 2000.0}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].completion_ns, 150.0);   // 0 + (50 - 0) * 3
+  EXPECT_EQ(out[1].completion_ns, 2050.0);  // healthy
+  // The queue-depth probe scales too, so policies see the slowdown.
+  auto probe_ref = MakePipeline("p", 50.0, 10.0);
+  EXPECT_GE(wrapped.QueueDepthNs(500.0), probe_ref->QueueDepthNs(500.0));
+}
+
+TEST(BackendFaultModelTest, StallDefersCompletionsToWindowEnd) {
+  sched::FaultInjectedBackend wrapped(
+      MakePipeline("p", 50.0, 10.0),
+      sched::BackendFaultModel(
+          OneEvent(FaultKind::kDmaStall, 0.0, 500.0, /*target=*/0), 0));
+  const auto out = RunThrough(wrapped, UnitQueries({0.0, 600.0}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].completion_ns, 500.0);  // 50 deferred to stall end
+  EXPECT_EQ(out[1].completion_ns, 650.0);  // after the window: healthy
+}
+
+TEST(BackendFaultModelTest, StallEndIsTargetKeyed) {
+  const FaultSchedule schedule =
+      OneEvent(FaultKind::kDmaStall, 100.0, 200.0, /*target=*/2);
+  EXPECT_EQ(schedule.StallEnd(2, 150.0), 200.0);
+  EXPECT_EQ(schedule.StallEnd(1, 150.0), 150.0);  // other unit: live
+  EXPECT_EQ(schedule.StallEnd(2, 200.0), 200.0);  // closed-open window
+  // The any-target DMA variant still sees it (one host link).
+  EXPECT_EQ(schedule.DmaStallEnd(150.0), 200.0);
+}
+
+// ---- Fault-tolerant scheduler --------------------------------------------
+
+sched::LoadGenConfig SmallChaosLoad() {
+  sched::LoadGenConfig load;
+  load.process = sched::ArrivalProcess::kPoisson;
+  load.rate_qps = 500'000.0;
+  load.num_queries = 3000;
+  load.seed = 42;
+  load.sizes = {/*small_items=*/1, /*large_items=*/64,
+                /*large_fraction=*/0.1, /*lookups_per_item=*/8};
+  return load;
+}
+
+sched::FleetConfig SmallFleetConfig() {
+  sched::FleetConfig config;
+  config.seed = 42;
+  config.horizon_ns = Milliseconds(6);
+  config.lookups_per_item = 8;
+  return config;
+}
+
+TEST(FtSchedulerTest, DisabledLayerMatchesBaseSchedulerBitForBit) {
+  const auto stream = sched::GenerateLoad(SmallChaosLoad());
+  sched::SchedOptions base_options;
+  base_options.sla_ns = Milliseconds(2);
+  base_options.slo_objective = 0.99;
+
+  auto base_fleet = sched::BuildStandardFleet(SmallFleetConfig());
+  auto base_policy = sched::MakeQueueDepthPolicy();
+  const sched::SchedReport base = sched::SimulateScheduledServing(
+      stream, base_fleet, *base_policy, base_options);
+
+  // Unwrapped fleet, every fault-tolerance feature off.
+  auto ft_fleet = sched::BuildStandardFleet(SmallFleetConfig());
+  auto ft_policy = sched::MakeQueueDepthPolicy();
+  sched::FtOptions ft_options;
+  ft_options.base = base_options;
+  const sched::FtSchedReport ft =
+      sched::SimulateFaultTolerantServing(stream, ft_fleet, *ft_policy,
+                                          ft_options);
+  ExpectSameBaseReport(ft.base, base);
+  EXPECT_EQ(ft.timed_out, 0u);
+  EXPECT_EQ(ft.retries, 0u);
+  EXPECT_EQ(ft.hedges, 0u);
+  EXPECT_EQ(ft.cancelled_completions, 0u);
+  EXPECT_EQ(ft.breaker_opens, 0u);
+
+  // Fleet wrapped with empty schedules: the wrappers are passthrough, so
+  // the report is still bit-identical (the acceptance gate for "the fault
+  // layer costs nothing when off").
+  auto wrapped_fleet = sched::WrapFleetWithFaults(
+      sched::BuildStandardFleet(SmallFleetConfig()),
+      std::vector<FaultSchedule>(sched::kFleetSize));
+  auto wrapped_policy = sched::MakeQueueDepthPolicy();
+  const sched::FtSchedReport wrapped = sched::SimulateFaultTolerantServing(
+      stream, wrapped_fleet, *wrapped_policy, ft_options);
+  ExpectSameBaseReport(wrapped.base, base);
+}
+
+TEST(FtSchedulerTest, RetryReroutesToUntriedBackendAfterTimeout) {
+  // Backend a browns out 50x for the whole run; b stays healthy. Every
+  // original admission (static:a) times out and re-admits to b.
+  std::vector<std::unique_ptr<sched::Backend>> fleet;
+  fleet.push_back(MakePipeline("a", Microseconds(20), 300.0));
+  fleet.push_back(MakePipeline("b", Microseconds(40), 300.0));
+  std::vector<FaultSchedule> schedules(2);
+  schedules[0] = OneEvent(FaultKind::kChannelDegrade, 0.0, Milliseconds(10),
+                          /*target=*/0, /*magnitude=*/50.0);
+  auto wrapped = sched::WrapFleetWithFaults(std::move(fleet), schedules);
+
+  std::vector<Nanoseconds> arrivals;
+  for (int i = 0; i < 10; ++i) arrivals.push_back(i * Microseconds(50));
+  const auto queries = UnitQueries(arrivals);
+
+  auto policy = sched::MakeStaticPolicy(0, "static:a");
+  sched::FtOptions options;
+  options.base.sla_ns = Microseconds(200);
+  options.retries_enabled = true;
+  options.retry.max_attempts = 3;
+  options.retry.attempt_timeout_ns = Microseconds(100);
+  options.retry.initial_backoff_ns = Microseconds(10);
+  const sched::FtSchedReport report =
+      sched::SimulateFaultTolerantServing(queries, wrapped, *policy, options);
+
+  EXPECT_EQ(report.base.served, 10u);
+  EXPECT_EQ(report.base.shed, 0u);
+  EXPECT_EQ(report.timed_out, 0u);
+  EXPECT_EQ(report.retries, 10u);
+  // a's browned-out completions (admit + 1 ms) land after each query was
+  // already served off b and are accounted as cancelled.
+  EXPECT_EQ(report.cancelled_completions, 10u);
+  EXPECT_EQ(report.base.usage[0].queries, 10u);  // originals
+  EXPECT_EQ(report.base.usage[1].queries, 10u);  // retries
+  // Served latency = timeout (100us) + backoff (10us) + b's 40us.
+  EXPECT_EQ(report.base.serving.max, Microseconds(150));
+}
+
+TEST(FtSchedulerTest, DeadlineTimesOutStuckQueriesExactlyOnce) {
+  std::vector<std::unique_ptr<sched::Backend>> fleet;
+  fleet.push_back(MakePipeline("a", Microseconds(20), 300.0));
+  std::vector<FaultSchedule> schedules(1);
+  schedules[0] = OneEvent(FaultKind::kChannelDegrade, 0.0, Milliseconds(100),
+                          /*target=*/0, /*magnitude=*/100.0);
+  auto wrapped = sched::WrapFleetWithFaults(std::move(fleet), schedules);
+
+  std::vector<Nanoseconds> arrivals;
+  for (int i = 0; i < 10; ++i) arrivals.push_back(i * Microseconds(50));
+  const auto queries = UnitQueries(arrivals);
+
+  auto policy = sched::MakeStaticPolicy(0, "static:a");
+  sched::FtOptions options;
+  options.base.sla_ns = Microseconds(200);
+  options.deadline_ns = Microseconds(200);  // every completion takes 2 ms
+  const sched::FtSchedReport report =
+      sched::SimulateFaultTolerantServing(queries, wrapped, *policy, options);
+
+  EXPECT_EQ(report.base.served, 0u);
+  EXPECT_EQ(report.base.shed, 10u);
+  EXPECT_EQ(report.timed_out, 10u);
+  EXPECT_EQ(report.base.availability, 0.0);
+  // Each stuck completion eventually arrived and was cancelled.
+  EXPECT_EQ(report.cancelled_completions, 10u);
+}
+
+TEST(FtSchedulerTest, AllBreakersOpenShedsLargeAndForceAdmitsSmall) {
+  // Both backends crash over [20us, 50us); probes trip both breakers open
+  // mid-window, and the 1 ms cool-down holds them open long after the
+  // crash lifts. Small (high-priority) queries then force-admit to the
+  // healthy-again hardware; large ones shed at the breaker.
+  std::vector<std::unique_ptr<sched::Backend>> fleet;
+  fleet.push_back(MakePipeline("a", Microseconds(10), 300.0));
+  fleet.push_back(MakePipeline("b", Microseconds(10), 300.0));
+  std::vector<FaultSchedule> schedules(2);
+  schedules[0] = OneEvent(FaultKind::kReplicaCrash, Microseconds(20),
+                          Microseconds(50), /*target=*/0);
+  schedules[1] = OneEvent(FaultKind::kReplicaCrash, Microseconds(20),
+                          Microseconds(50), /*target=*/1);
+  auto wrapped = sched::WrapFleetWithFaults(std::move(fleet), schedules);
+
+  std::vector<sched::SchedQuery> queries;
+  for (std::uint64_t i = 0; i <= 50; ++i) {
+    sched::SchedQuery q;
+    q.id = i;
+    q.arrival_ns = i * Microseconds(2);
+    q.items = (i % 2 == 0) ? 1 : 64;
+    q.lookups_per_item = 1;
+    queries.push_back(q);
+  }
+
+  auto policy = sched::MakeStaticPolicy(0, "static:a");
+  sched::FtOptions options;
+  options.base.sla_ns = Microseconds(500);
+  options.breakers_enabled = true;
+  options.breaker.failure_threshold = 3;
+  options.breaker.cooldown_ns = Milliseconds(1);
+  options.probe_interval_ns = Microseconds(5);
+  options.high_priority_max_items = 1;
+  const sched::FtSchedReport report =
+      sched::SimulateFaultTolerantServing(queries, wrapped, *policy, options);
+
+  EXPECT_EQ(report.breaker_opens, 2u);
+  EXPECT_GT(report.probes_failed, 0u);
+  EXPECT_GT(report.forced_admits, 0u);  // small queries after the crash
+  EXPECT_GT(report.breaker_sheds, 0u);  // large queries, all breakers open
+  EXPECT_GT(report.base.served, 0u);
+  EXPECT_EQ(report.base.served + report.base.shed, report.base.offered);
+}
+
+TEST(FtSchedulerTest, NeverDropInvariantUnderFullChaos) {
+  sched::ChaosSweepConfig config;
+  config.queries = 4000;
+  const Nanoseconds span =
+      static_cast<double>(config.queries) / config.qps * kNanosPerSecond;
+  const sched::ChaosScenario scenario =
+      sched::BuildChaosScenario(1.0, config.fault_seed, span);
+
+  sched::LoadGenConfig load = SmallChaosLoad();
+  load.num_queries = config.queries;
+  const auto stream = sched::GenerateLoad(load);
+
+  sched::FleetConfig fleet_config = SmallFleetConfig();
+  fleet_config.horizon_ns = span;
+  auto fleet = sched::WrapFleetWithFaults(
+      sched::BuildStandardFleet(fleet_config), scenario.schedules);
+  auto policy = sched::MakeQueueDepthPolicy();
+  std::vector<obs::QueryOutcome> outcomes;
+  sched::FtOptions options = sched::ChaosFtOptions(config, /*hedge=*/true);
+  options.outcomes = &outcomes;
+  const sched::FtSchedReport report =
+      sched::SimulateFaultTolerantServing(stream, fleet, *policy, options);
+
+  // Exactly one terminal outcome per offered query, in arrival order.
+  ASSERT_EQ(outcomes.size(), stream.size());
+  std::uint64_t served = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].arrival_ns, stream[i].arrival_ns);
+    if (outcomes[i].served) ++served;
+  }
+  EXPECT_EQ(served, report.base.served);
+  EXPECT_EQ(report.base.served + report.base.shed, report.base.offered);
+  EXPECT_LE(report.timed_out, report.base.shed);
+  // Hedge accounting: every win names an arrival, wins never exceed
+  // dispatched hedges.
+  EXPECT_EQ(report.hedge_wins, report.hedge_win_arrival_ns.size());
+  EXPECT_LE(report.hedge_wins, report.hedges);
+}
+
+TEST(FtSchedulerTest, HedgedRunIsDeterministic) {
+  sched::ChaosSweepConfig config;
+  config.queries = 4000;
+  const Nanoseconds span =
+      static_cast<double>(config.queries) / config.qps * kNanosPerSecond;
+  const sched::ChaosScenario scenario =
+      sched::BuildChaosScenario(1.0, config.fault_seed, span);
+  sched::LoadGenConfig load = SmallChaosLoad();
+  load.num_queries = config.queries;
+  const auto stream = sched::GenerateLoad(load);
+
+  const auto run = [&]() {
+    sched::FleetConfig fleet_config = SmallFleetConfig();
+    fleet_config.horizon_ns = span;
+    auto fleet = sched::WrapFleetWithFaults(
+        sched::BuildStandardFleet(fleet_config), scenario.schedules);
+    auto policy = sched::MakeQueueDepthPolicy();
+    return sched::SimulateFaultTolerantServing(
+        stream, fleet, *policy, sched::ChaosFtOptions(config, /*hedge=*/true));
+  };
+  const sched::FtSchedReport first = run();
+  const sched::FtSchedReport second = run();
+
+  EXPECT_GT(first.hedges, 0u);
+  ExpectSameBaseReport(first.base, second.base);
+  EXPECT_EQ(first.timed_out, second.timed_out);
+  EXPECT_EQ(first.retries, second.retries);
+  EXPECT_EQ(first.hedges, second.hedges);
+  EXPECT_EQ(first.hedge_wins, second.hedge_wins);
+  EXPECT_EQ(first.cancelled_completions, second.cancelled_completions);
+  EXPECT_EQ(first.breaker_opens, second.breaker_opens);
+  ASSERT_EQ(first.hedge_win_arrival_ns.size(),
+            second.hedge_win_arrival_ns.size());
+  for (std::size_t i = 0; i < first.hedge_win_arrival_ns.size(); ++i) {
+    EXPECT_EQ(first.hedge_win_arrival_ns[i], second.hedge_win_arrival_ns[i]);
+  }
+}
+
+// ---- Recovery metrics -----------------------------------------------------
+
+obs::RecoveryOptions SmallRecoveryOptions() {
+  obs::RecoveryOptions options;
+  options.sla_ns = 100.0;
+  options.objective = 0.8;
+  options.recovery_window_ns = 500.0;
+  options.min_window_count = 10;
+  return options;
+}
+
+/// 1000 served outcomes at 10 ns spacing; arrivals in [bad_start,
+/// bad_end) exceed the SLA, the rest are comfortably inside it.
+std::vector<obs::QueryOutcome> SyntheticOutcomes(Nanoseconds bad_start,
+                                                 Nanoseconds bad_end) {
+  std::vector<obs::QueryOutcome> outcomes;
+  for (int i = 0; i < 1000; ++i) {
+    obs::QueryOutcome o;
+    o.arrival_ns = i * 10.0;
+    o.served = true;
+    const bool bad = o.arrival_ns >= bad_start && o.arrival_ns < bad_end;
+    o.latency_ns = bad ? 200.0 : 50.0;
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+TEST(RecoveryTest, WindowMetricsAndTimeToRecover) {
+  const auto outcomes = SyntheticOutcomes(3000.0, 5000.0);
+  const std::vector<obs::FaultWindow> windows = {{"w", 3000.0, 5000.0}};
+  const obs::RecoveryReport report =
+      obs::EvaluateRecovery(SmallRecoveryOptions(), outcomes, windows);
+
+  ASSERT_EQ(report.windows.size(), 1u);
+  const obs::WindowRecovery& w = report.windows[0];
+  EXPECT_EQ(w.offered_during, 200u);
+  EXPECT_EQ(w.good_during, 0u);
+  EXPECT_EQ(w.goodput_during, 0.0);
+  EXPECT_EQ(w.shed_during, 0u);
+  // burn = bad fraction / (1 - objective) = 1.0 / 0.2.
+  EXPECT_DOUBLE_EQ(w.burn_during, 5.0);
+  EXPECT_EQ(w.burn_after, 0.0);  // [5000, 5500) is all good
+  EXPECT_TRUE(w.recovered);
+  EXPECT_GT(w.time_to_recover_ns, 0.0);
+  EXPECT_LE(w.time_to_recover_ns, 1000.0);
+  EXPECT_TRUE(report.all_recovered);
+  EXPECT_EQ(report.worst_time_to_recover_ns, w.time_to_recover_ns);
+}
+
+TEST(RecoveryTest, NeverRecoversWhenBadnessContinues) {
+  // Bad from the window start to the end of the run.
+  const auto outcomes = SyntheticOutcomes(3000.0, 1e18);
+  const std::vector<obs::FaultWindow> windows = {{"w", 3000.0, 5000.0}};
+  const obs::RecoveryReport report =
+      obs::EvaluateRecovery(SmallRecoveryOptions(), outcomes, windows);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_FALSE(report.windows[0].recovered);
+  EXPECT_FALSE(report.all_recovered);
+  EXPECT_GT(report.windows[0].burn_after, 0.0);
+}
+
+TEST(RecoveryTest, HedgeWinsCountedPerWindow) {
+  const auto outcomes = SyntheticOutcomes(3000.0, 5000.0);
+  const std::vector<obs::FaultWindow> windows = {{"w", 3000.0, 5000.0}};
+  const std::vector<Nanoseconds> wins = {3100.0, 4990.0, 9000.0};
+  const obs::RecoveryReport report = obs::EvaluateRecovery(
+      SmallRecoveryOptions(), outcomes, windows, &wins);
+  ASSERT_EQ(report.windows.size(), 1u);
+  EXPECT_EQ(report.windows[0].hedge_wins_during, 2u);  // 9000 is outside
+  EXPECT_DOUBLE_EQ(report.windows[0].hedge_win_rate_during, 2.0 / 200.0);
+}
+
+TEST(RecoveryTest, NoWindowsIsVacuouslyRecovered) {
+  const auto outcomes = SyntheticOutcomes(3000.0, 5000.0);
+  const obs::RecoveryReport report =
+      obs::EvaluateRecovery(SmallRecoveryOptions(), outcomes, {});
+  EXPECT_TRUE(report.windows.empty());
+  EXPECT_TRUE(report.all_recovered);
+  EXPECT_EQ(report.worst_time_to_recover_ns, 0.0);
+}
+
+// ---- Chaos sweep ----------------------------------------------------------
+
+sched::ChaosSweepConfig SmallSweepConfig() {
+  sched::ChaosSweepConfig config;
+  config.queries = 3000;
+  config.intensity_points = 2;
+  return config;
+}
+
+void ExpectSameChaosRecord(const sched::ChaosRecord& a,
+                           const sched::ChaosRecord& b) {
+  EXPECT_EQ(a.intensity, b.intensity);
+  EXPECT_EQ(a.policy, b.policy);
+  ExpectSameBaseReport(a.report.base, b.report.base);
+  EXPECT_EQ(a.report.timed_out, b.report.timed_out);
+  EXPECT_EQ(a.report.retries, b.report.retries);
+  EXPECT_EQ(a.report.hedges, b.report.hedges);
+  EXPECT_EQ(a.report.hedge_wins, b.report.hedge_wins);
+  EXPECT_EQ(a.report.breaker_opens, b.report.breaker_opens);
+  EXPECT_EQ(a.recovery.all_recovered, b.recovery.all_recovered);
+  EXPECT_EQ(a.recovery.worst_time_to_recover_ns,
+            b.recovery.worst_time_to_recover_ns);
+}
+
+TEST(ChaosSweepTest, ScenarioIsDeterministicAndScalesWithIntensity) {
+  const Nanoseconds horizon = Milliseconds(8);
+  const sched::ChaosScenario zero =
+      sched::BuildChaosScenario(0.0, /*fault_seed=*/7, horizon);
+  EXPECT_TRUE(zero.windows.empty());
+  for (const FaultSchedule& s : zero.schedules) EXPECT_TRUE(s.empty());
+
+  const sched::ChaosScenario full =
+      sched::BuildChaosScenario(1.0, /*fault_seed=*/7, horizon);
+  ASSERT_EQ(full.schedules.size(), sched::kFleetSize);
+  EXPECT_EQ(full.windows.size(), 3u);
+  EXPECT_FALSE(full.schedules[sched::kFleetFpga].empty());
+  EXPECT_FALSE(full.schedules[sched::kFleetCpu].empty());
+  EXPECT_FALSE(full.schedules[sched::kFleetHotCache].empty());
+
+  const sched::ChaosScenario again =
+      sched::BuildChaosScenario(1.0, /*fault_seed=*/7, horizon);
+  for (std::size_t b = 0; b < full.schedules.size(); ++b) {
+    const auto& x = full.schedules[b].events();
+    const auto& y = again.schedules[b].events();
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(x[i].kind, y[i].kind);
+      EXPECT_EQ(x[i].start_ns, y[i].start_ns);
+      EXPECT_EQ(x[i].end_ns, y[i].end_ns);
+      EXPECT_EQ(x[i].target, y[i].target);
+      EXPECT_EQ(x[i].magnitude, y[i].magnitude);
+      // Every event of schedule b targets backend b.
+      EXPECT_EQ(x[i].target, static_cast<std::uint32_t>(b));
+    }
+  }
+}
+
+TEST(ChaosSweepTest, ByteIdenticalAtAnyThreadCount) {
+  sched::ChaosSweepConfig config = SmallSweepConfig();
+  const sched::ChaosSweepResult serial = sched::RunChaosSweep(config);
+  ASSERT_EQ(serial.records.size(),
+            config.intensity_points * sched::kNumChaosPolicies);
+  ASSERT_EQ(serial.headlines.size(), config.intensity_points - 1);
+
+  config.threads = 4;
+  const sched::ChaosSweepResult threaded = sched::RunChaosSweep(config);
+  ASSERT_EQ(threaded.records.size(), serial.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    ExpectSameChaosRecord(serial.records[i], threaded.records[i]);
+  }
+  EXPECT_EQ(serial.headline_win, threaded.headline_win);
+}
+
+TEST(ChaosSweepTest, ZeroIntensityPointsMatchHealthyBaseScheduler) {
+  const sched::ChaosSweepConfig config = SmallSweepConfig();
+  const sched::ChaosSweepResult result = sched::RunChaosSweep(config);
+
+  // Reconstruct the sweep's documented load: one Poisson stream at the
+  // config seed, and a fresh unwrapped fleet per policy.
+  sched::LoadGenConfig load = SmallChaosLoad();
+  load.num_queries = config.queries;
+  const auto stream = sched::GenerateLoad(load);
+  const Nanoseconds span =
+      static_cast<double>(config.queries) / config.qps * kNanosPerSecond;
+  sched::SchedOptions base_options;
+  base_options.sla_ns = config.sla_ns;
+  base_options.slo_objective = config.slo_objective;
+
+  const std::pair<std::size_t, std::size_t> checks[] = {
+      {sched::kChaosStaticFpga, sched::kFleetFpga},
+      {sched::kChaosQueueDepth, sched::kFleetSize},
+  };
+  for (const auto& [policy_index, static_backend] : checks) {
+    sched::FleetConfig fleet_config = SmallFleetConfig();
+    fleet_config.horizon_ns = span;
+    auto fleet = sched::BuildStandardFleet(fleet_config);
+    auto policy = static_backend < sched::kFleetSize
+                      ? sched::MakeStaticPolicy(static_backend, "static:fpga")
+                      : sched::MakeQueueDepthPolicy();
+    const sched::SchedReport base = sched::SimulateScheduledServing(
+        stream, fleet, *policy, base_options);
+    ExpectSameBaseReport(result.records[policy_index].report.base, base);
+    EXPECT_TRUE(result.records[policy_index].recovery.windows.empty());
+  }
+}
+
+TEST(ChaosSweepTest, CliChaosSweepIsThreadIdenticalOnStdout) {
+  const std::vector<std::string> base_args = {
+      "chaos-sweep", "--queries", "2000", "--fault-points", "2"};
+  std::ostringstream serial;
+  std::vector<std::string> args = base_args;
+  args.push_back("--threads");
+  args.push_back("1");
+  ASSERT_TRUE(cli::RunCli(args, serial).ok());
+  EXPECT_NE(serial.str().find("HEADLINE"), std::string::npos);
+
+  std::ostringstream threaded;
+  args.back() = "4";
+  ASSERT_TRUE(cli::RunCli(args, threaded).ok());
+  EXPECT_EQ(serial.str(), threaded.str());
+}
+
+TEST(ChaosSweepTest, CliChaosSweepRejectsBadArguments) {
+  std::ostringstream out;
+  EXPECT_FALSE(cli::RunCli({"chaos-sweep", "positional"}, out).ok());
+  EXPECT_FALSE(cli::RunCli({"chaos-sweep", "--queries", "0"}, out).ok());
+  EXPECT_FALSE(
+      cli::RunCli({"chaos-sweep", "--fault-intensity-max", "1.5"}, out).ok());
+  EXPECT_FALSE(
+      cli::RunCli({"chaos-sweep", "--fault-intensity-max", "abc"}, out).ok());
+  EXPECT_FALSE(cli::RunCli({"chaos-sweep", "--fault-points", "0"}, out).ok());
+  EXPECT_FALSE(cli::RunCli({"chaos-sweep", "--sla-us", "0"}, out).ok());
+  EXPECT_FALSE(cli::RunCli({"chaos-sweep", "--bogus", "1"}, out).ok());
+}
+
+}  // namespace
+}  // namespace microrec

@@ -20,7 +20,8 @@ build="${1:-"$repo/build"}"
 out="${2:-}"
 
 benches=(bench_full_system bench_table2_end_to_end bench_ablation_hot_cache
-         bench_ablation_update_rate bench_ablation_faults bench_scheduler)
+         bench_ablation_update_rate bench_ablation_faults bench_scheduler
+         bench_chaos)
 
 cmake -B "$build" -S "$repo" >/dev/null
 cmake --build "$build" -j "$(nproc)" --target microrec "${benches[@]}"
@@ -40,6 +41,7 @@ mkdir -p "$out"
   "$build/bench/bench_ablation_update_rate" >update_rate.log
   "$build/bench/bench_ablation_faults" >faults.log
   "$build/bench/bench_scheduler" >scheduler.log
+  "$build/bench/bench_chaos" >chaos.log
 )
 
 "$build/tools/microrec" perfgate \
