@@ -10,16 +10,22 @@
 // scheduling must beat every static single-path policy on BOTH p99 and
 // goodput, recover from every fault window, while at least one static
 // policy never recovers within the run (the run fails loudly otherwise).
-// Part (c): the grid rerun with 4 worker threads must be field-for-field
-// identical to the serial run.
+// Part (c): the grid rerun with 4 worker threads -- and the flight
+// recorder attached to the blessed point -- must be field-for-field
+// identical to the serial unrecorded run (threads and recording both cost
+// nothing).
 // Part (d): the zero-intensity grid points must be bit-identical to the
 // healthy SimulateScheduledServing loop (the fault layer costs nothing
-// when off). Emits BENCH_chaos.json alongside the table.
+// when off).
+// Part (e): the recorded event log must reconcile exactly with the
+// blessed report's counters (every terminal accounted, no eviction).
+// Emits BENCH_chaos.json alongside the table.
 #include <cstdio>
 #include <string>
 
 #include "bench_util.hpp"
 #include "common/table_printer.hpp"
+#include "obs/event_log.hpp"
 #include "sched/chaos.hpp"
 #include "sched/fleet.hpp"
 #include "sched/policy.hpp"
@@ -78,14 +84,46 @@ int main() {
 
   const auto serial = sched::RunChaosSweep(config);
 
-  // Part (c): rerunning on 4 worker threads must change nothing.
+  // Part (c): rerunning on 4 worker threads, now with the flight recorder
+  // attached to the blessed point, must change nothing in any record.
   sched::ChaosSweepConfig threaded_config = config;
   threaded_config.threads = 4;
+  threaded_config.record_events = true;
   const auto threaded = sched::RunChaosSweep(threaded_config);
   bool threads_identical = serial.records.size() == threaded.records.size();
   for (std::size_t i = 0; threads_identical && i < serial.records.size();
        ++i) {
     threads_identical = SameRecord(serial.records[i], threaded.records[i]);
+  }
+
+  // Part (e): the recorded log reconciles exactly with the blessed
+  // report's counters -- every offered query's terminal is in the log.
+  const sched::ChaosRecord& blessed = threaded.records.back();
+  bool recorder_consistent =
+      blessed.events != nullptr && blessed.events->dropped() == 0;
+  if (recorder_consistent) {
+    // Retries and hedges reconcile against dispatched admits (kRetry /
+    // kHedgeIssue record *scheduled* re-admissions, which the loop skips
+    // when the query resolves before they fire).
+    std::uint64_t serves = 0, hedge_wins = 0, misses = 0, retries = 0,
+                  hedges = 0;
+    for (const obs::SchedEvent& e : blessed.events->events()) {
+      switch (e.kind) {
+        case obs::SchedEventKind::kServe: ++serves; break;
+        case obs::SchedEventKind::kHedgeWin: ++hedge_wins; break;
+        case obs::SchedEventKind::kDeadlineMiss: ++misses; break;
+        case obs::SchedEventKind::kAdmit:
+          if (e.hedge) ++hedges;
+          else if (e.attempt > 0) ++retries;
+          break;
+        default: break;
+      }
+    }
+    const sched::FtSchedReport& r = blessed.report;
+    recorder_consistent = serves + hedge_wins == r.base.served &&
+                          hedge_wins == r.hedge_wins &&
+                          misses == r.timed_out && retries == r.retries &&
+                          hedges == r.hedges;
   }
 
   // Part (d): at intensity 0 every schedule is empty and the static /
@@ -191,6 +229,7 @@ int main() {
   json.Meta("headline_win", serial.headline_win);
   json.Meta("threads_identical", threads_identical);
   json.Meta("zero_intensity_identity", zero_identity);
+  json.Meta("recorder_consistent", recorder_consistent);
   json.WriteFile();
 
   bench::PrintNote(
@@ -200,7 +239,13 @@ int main() {
       "each window as its breaker opens and hedges shave the stragglers, "
       "keeping goodput high while every static path loses its window");
   if (!threads_identical) {
-    std::printf("FAIL: threaded chaos sweep differs from serial sweep\n");
+    std::printf("FAIL: threaded+recorded chaos sweep differs from serial "
+                "unrecorded sweep\n");
+    return 1;
+  }
+  if (!recorder_consistent) {
+    std::printf("FAIL: flight-recorder event log does not reconcile with "
+                "the blessed point's scheduler counters\n");
     return 1;
   }
   if (!zero_identity) {

@@ -14,6 +14,8 @@
 #include "core/system_sim.hpp"
 #include "exec/parallel.hpp"
 #include "obs/attribution.hpp"
+#include "obs/event_log.hpp"
+#include "obs/explain.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfgate.hpp"
@@ -817,9 +819,102 @@ Status CmdScaleout(const ArgList& args, std::ostream& out) {
   return Status::Ok();
 }
 
+namespace {
+
+// The recorded point's scheduler counters as a metrics snapshot (with
+// HELP text), embedded into the postmortem so a responder sees the run's
+// totals next to the event window.
+obs::MetricsSnapshot FtReportMetrics(const sched::FtSchedReport& report) {
+  obs::MetricsRegistry registry;
+  const struct {
+    const char* name;
+    const char* help;
+    std::uint64_t value;
+  } counters[] = {
+      {"microrec_sched_offered", "queries offered to the scheduler",
+       report.base.offered},
+      {"microrec_sched_served", "queries served before the horizon",
+       report.base.served},
+      {"microrec_sched_shed", "queries never served (sheds + timeouts)",
+       report.base.shed},
+      {"microrec_sched_timed_out",
+       "admitted queries that missed their deadline", report.timed_out},
+      {"microrec_sched_retries", "successful re-admissions after a timeout",
+       report.retries},
+      {"microrec_sched_hedges", "hedge admissions dispatched", report.hedges},
+      {"microrec_sched_hedge_wins", "queries whose hedge finished first",
+       report.hedge_wins},
+      {"microrec_sched_cancelled_completions",
+       "completions that arrived for already-resolved queries",
+       report.cancelled_completions},
+      {"microrec_sched_breaker_opens", "circuit-breaker open transitions",
+       report.breaker_opens},
+      {"microrec_sched_breaker_sheds",
+       "low-priority sheds while every breaker was open",
+       report.breaker_sheds},
+      {"microrec_sched_forced_admits",
+       "high-priority force-admits while every breaker was open",
+       report.forced_admits},
+  };
+  for (const auto& c : counters) {
+    registry.counter(c.name).Inc(c.value);
+    registry.SetHelp(c.name, c.help);
+  }
+  registry.gauge("microrec_sched_availability")
+      .Set(report.base.availability);
+  registry.SetHelp("microrec_sched_availability",
+                   "served fraction of offered queries");
+  registry.gauge("microrec_sched_p99_ns").Set(report.base.serving.p99);
+  registry.SetHelp("microrec_sched_p99_ns",
+                   "served-latency p99 in nanoseconds");
+  return registry.Snapshot();
+}
+
+// Shared tail of `sched-sweep` / `chaos-sweep --record-events/--postmortem`:
+// dumps the flight-recorder log and/or the SLO-alert postmortem for the
+// recorded point. `span_ns` is the run's expected span -- the budget
+// period the postmortem's alert windows derive from, matching the spec the
+// scheduler evaluated the SLO against.
+Status WriteFlightRecorderOutputs(const ArgList& args,
+                                  const obs::EventLog& log,
+                                  const sched::FtSchedReport& report,
+                                  Nanoseconds sla_ns, double slo_objective,
+                                  Nanoseconds span_ns, std::ostream& out) {
+  if (const auto path = args.GetOption("record-events")) {
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::InvalidArgument("cannot open --record-events file " +
+                                     *path);
+    }
+    file << log.ToJson();
+    out << "wrote " << log.size() << " recorded event(s) to " << *path
+        << "\n";
+  }
+  if (const auto path = args.GetOption("postmortem")) {
+    const obs::SloSpec spec = obs::SloSpec::Default(
+        sla_ns, slo_objective, span_ns > 0.0 ? span_ns : 1.0);
+    obs::PostmortemTrigger trigger(log);
+    obs::PostmortemReport postmortem =
+        trigger.Trigger(spec, report.base.slo);
+    postmortem.metrics = FtReportMetrics(report);
+    std::ofstream file(*path);
+    if (!file) {
+      return Status::InvalidArgument("cannot open --postmortem file " +
+                                     *path);
+    }
+    file << postmortem.ToJson();
+    out << "wrote postmortem (" << postmortem.alerts.size()
+        << " fired burn-rate rule(s)) to " << *path << "\n";
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status CmdSchedSweep(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
-      {"queries", "qps", "seed", "sla-us", "json", "threads"}));
+      {"queries", "qps", "seed", "sla-us", "json", "threads",
+       "record-events", "postmortem"}));
   if (!args.positional().empty()) {
     return Status::InvalidArgument(
         "sched-sweep takes no positional arguments");
@@ -937,13 +1032,31 @@ Status CmdSchedSweep(const ArgList& args, std::ostream& out) {
     file << "\n";
     out << "wrote JSON report to " << *path << "\n";
   }
+
+  if (args.GetOption("record-events").has_value() ||
+      args.GetOption("postmortem").has_value()) {
+    // Re-run the flash-crowd x slo-aware point -- the grid's headline
+    // regime -- with the flight recorder attached; bit-identical to the
+    // grid's record for that point (test-gated).
+    obs::EventLog log;
+    const sched::FtSchedReport recorded = sched::RecordSchedSweepPoint(
+        config, /*process_index=*/2, sched::kPolicySloAware, log);
+    out << "flight recorder: flash-crowd x slo-aware, " << log.size()
+        << " event(s) recorded\n";
+    const Nanoseconds span_ns =
+        static_cast<double>(config.queries) / config.qps * kNanosPerSecond;
+    MICROREC_RETURN_IF_ERROR(WriteFlightRecorderOutputs(
+        args, log, recorded, config.sla_ns, config.slo_objective, span_ns,
+        out));
+  }
   return Status::Ok();
 }
 
 Status CmdChaosSweep(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
       {"queries", "qps", "seed", "sla-us", "json", "threads",
-       "fault-intensity-max", "fault-points", "fault-seed"}));
+       "fault-intensity-max", "fault-points", "fault-seed",
+       "record-events", "postmortem"}));
   if (!args.positional().empty()) {
     return Status::InvalidArgument(
         "chaos-sweep takes no positional arguments");
@@ -971,6 +1084,8 @@ Status CmdChaosSweep(const ArgList& args, std::ostream& out) {
   config.intensity_points =
       static_cast<std::size_t>(fault->intensity_points);
   config.threads = sweep->threads;
+  config.record_events = args.GetOption("record-events").has_value() ||
+                         args.GetOption("postmortem").has_value();
 
   const sched::ChaosSweepResult result = sched::RunChaosSweep(config);
 
@@ -1101,6 +1216,91 @@ Status CmdChaosSweep(const ArgList& args, std::ostream& out) {
     json.EndObject();
     file << "\n";
     out << "wrote JSON report to " << *path << "\n";
+  }
+
+  if (config.record_events) {
+    // The blessed point: highest intensity x breaker-retry-hedge.
+    const sched::ChaosRecord& blessed = result.records.back();
+    out << "flight recorder: intensity " << blessed.intensity << " x "
+        << blessed.policy << ", " << blessed.events->size()
+        << " event(s) recorded\n";
+    const Nanoseconds span_ns =
+        static_cast<double>(config.queries) / config.qps * kNanosPerSecond;
+    MICROREC_RETURN_IF_ERROR(WriteFlightRecorderOutputs(
+        args, *blessed.events, blessed.report, config.sla_ns,
+        config.slo_objective, span_ns, out));
+  }
+  return Status::Ok();
+}
+
+Status CmdExplain(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed({"query", "worst"}));
+  if (args.positional().size() != 1) {
+    return Status::InvalidArgument(
+        "explain expects one positional argument: an event-log file "
+        "recorded with sched-sweep/chaos-sweep --record-events");
+  }
+  auto text = ReadFile(args.positional()[0]);
+  if (!text.ok()) return text.status();
+  auto log = obs::EventLog::FromJson(*text);
+  if (!log.ok()) return log.status();
+
+  out << "event log: " << log->size() << " event(s), "
+      << log->total_appended() << " appended, " << log->dropped()
+      << " evicted";
+  if (!log->backend_names().empty()) {
+    out << "; fleet:";
+    for (const std::string& name : log->backend_names()) out << " " << name;
+  }
+  out << "\n";
+  std::uint64_t served = 0, sheds = 0, misses = 0;
+  for (const obs::SchedEvent& e : log->events()) {
+    switch (e.kind) {
+      case obs::SchedEventKind::kServe:
+      case obs::SchedEventKind::kHedgeWin:
+        ++served;
+        break;
+      case obs::SchedEventKind::kShed:
+        ++sheds;
+        break;
+      case obs::SchedEventKind::kDeadlineMiss:
+        ++misses;
+        break;
+      default:
+        break;
+    }
+  }
+  out << "terminals: " << served << " served, " << sheds << " shed, "
+      << misses << " deadline-missed\n";
+
+  if (args.GetOption("query").has_value()) {
+    auto query = args.GetUint("query", 0);
+    if (!query.ok()) return query.status();
+    const obs::QueryTimeline timeline =
+        obs::BuildQueryTimeline(*log, *query);
+    if (timeline.events.empty()) {
+      return Status::NotFound("no recorded events for query " +
+                              std::to_string(*query) +
+                              " (evicted, or never offered)");
+    }
+    out << "\n" << obs::RenderTimeline(*log, timeline);
+    return Status::Ok();
+  }
+
+  auto worst = args.GetUint("worst", 3);
+  if (!worst.ok()) return worst.status();
+  if (*worst == 0) return Status::InvalidArgument("--worst must be >= 1");
+  const std::vector<obs::QueryTimeline> timelines = obs::RankWorstQueries(
+      *log, static_cast<std::size_t>(*worst));
+  if (timelines.empty()) {
+    out << "no query events in the log\n";
+    return Status::Ok();
+  }
+  out << "worst " << timelines.size()
+      << " quer" << (timelines.size() == 1 ? "y" : "ies")
+      << " (deadline misses, then sheds, then slowest served):\n";
+  for (const obs::QueryTimeline& timeline : timelines) {
+    out << "\n" << obs::RenderTimeline(*log, timeline);
   }
   return Status::Ok();
 }
@@ -1349,17 +1549,30 @@ std::string UsageText() {
       "           [--threads T]\n"
       "      fleet provisioning + replicated-pipeline latency vs traffic\n"
       "  sched-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]\n"
-      "              [--json F] [--threads T]\n"
+      "              [--json F] [--threads T] [--record-events F]\n"
+      "              [--postmortem F]\n"
       "      scheduling policy x arrival process over the standard\n"
       "      four-path backend fleet (src/sched/), with the slo-aware vs\n"
-      "      best-static p99 headline under bursty load\n"
+      "      best-static p99 headline under bursty load; --record-events\n"
+      "      attaches the flight recorder to the flash-crowd x slo-aware\n"
+      "      point, --postmortem snapshots its burn-rate alerts\n"
       "  chaos-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]\n"
       "              [--fault-intensity-max F] [--fault-points K]\n"
       "              [--fault-seed S] [--json F] [--threads T]\n"
+      "              [--record-events F] [--postmortem F]\n"
       "      fault intensity x policy over the four-path fleet with\n"
       "      crash/brownout/stall fault injection on every backend;\n"
       "      compares breaker+retry+hedge scheduling against the static\n"
-      "      policies on p99, goodput, and per-fault-window recovery\n"
+      "      policies on p99, goodput, and per-fault-window recovery;\n"
+      "      --record-events attaches the flight recorder to the highest\n"
+      "      intensity x breaker-retry-hedge point, --postmortem writes\n"
+      "      the SLO-alert snapshot for it\n"
+      "  explain <events-file> [--query ID] [--worst N]\n"
+      "      reconstruct causal per-query timelines from a recorded event\n"
+      "      log: every routing decision with the per-backend probes the\n"
+      "      policy saw, breaker overrides, retries, hedges, and the\n"
+      "      terminal fate; default ranks the N worst queries (deadline\n"
+      "      misses first), --query drills into one id\n"
       "  perfgate --current-dir D [--baseline-dir D] [--tolerance F]\n"
       "           [--tol metric=F,metric=F]\n"
       "      compare fresh BENCH_*.json reports against checked-in\n"
@@ -1394,6 +1607,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "scaleout") return CmdScaleout(*args, out);
   if (command == "sched-sweep") return CmdSchedSweep(*args, out);
   if (command == "chaos-sweep") return CmdChaosSweep(*args, out);
+  if (command == "explain") return CmdExplain(*args, out);
   if (command == "perfgate") return CmdPerfGate(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();

@@ -22,10 +22,13 @@
 //                     [--qps-min R] [--qps-max R] [--sla-us U] [--json F]
 //                     [--threads T]
 //   microrec sched-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]
-//                     [--json F] [--threads T]
+//                     [--json F] [--threads T] [--record-events F]
+//                     [--postmortem F]
 //   microrec chaos-sweep [--queries N] [--qps R] [--seed S] [--sla-us U]
 //                     [--fault-intensity-max F] [--fault-points K]
 //                     [--fault-seed S] [--json F] [--threads T]
+//                     [--record-events F] [--postmortem F]
+//   microrec explain  <events-file> [--query ID] [--worst N]
 //   microrec perfgate --current-dir D [--baseline-dir D] [--tolerance F]
 //                     [--tol metric=F,metric=F]
 //
@@ -92,6 +95,14 @@ Status CmdSchedSweep(const ArgList& args, std::ostream& out);
 /// comparison of breaker+retry+hedge scheduling against every static
 /// single-path policy on p99, goodput, and time-to-recover.
 Status CmdChaosSweep(const ArgList& args, std::ostream& out);
+
+/// Reads a flight-recorder event log (sched-sweep / chaos-sweep
+/// --record-events) and reconstructs causal per-query timelines
+/// (obs/explain.hpp): the log summary plus either the --worst N ranked
+/// offenders (deadline misses first, default 3) or one --query's full
+/// admit -> terminal sequence, with routing overrides annotated from the
+/// recorded probes and breaker transitions.
+Status CmdExplain(const ArgList& args, std::ostream& out);
 
 /// Compares freshly generated BENCH_*.json reports in --current-dir against
 /// the checked-in baselines in --baseline-dir (default bench/baselines) and

@@ -196,6 +196,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     const Meta& m = meta_.at(key);
     snap.histograms.push_back({m.name, m.labels, *h});
   }
+  snap.help = help_;
   return snap;
 }
 
@@ -217,6 +218,9 @@ MetricsSnapshot DiffSnapshots(const MetricsSnapshot& later,
   }
 
   diff.gauges = later.gauges;  // gauges have no meaningful delta
+
+  diff.help = later.help;
+  diff.help.insert(earlier.help.begin(), earlier.help.end());
 
   std::map<std::string, const Histogram*> hist_base;
   for (const auto& h : earlier.histograms) {
@@ -257,6 +261,10 @@ MetricsSnapshot MergeSnapshots(const std::vector<MetricsSnapshot>& shards) {
   }
 
   MetricsSnapshot merged;
+  for (const MetricsSnapshot& shard : shards) {
+    // First shard to document a family wins, matching sequential SetHelp.
+    merged.help.insert(shard.help.begin(), shard.help.end());
+  }
   merged.counters.reserve(counters.size());
   for (auto& [key, c] : counters) merged.counters.push_back(std::move(c));
   merged.gauges.reserve(gauges.size());
@@ -321,8 +329,25 @@ std::string MetricsSnapshot::ToJson() const {
 std::string MetricsSnapshot::ToPrometheus() const {
   std::ostringstream os;
   std::string last_type_for;
+  // One HELP + TYPE header pair per metric family, HELP first (the
+  // exposition-format order: HELP, TYPE, then samples).
   auto type_line = [&](const std::string& name, const char* type) {
-    if (name == last_type_for) return;  // one TYPE line per metric family
+    if (name == last_type_for) return;
+    const auto it = help.find(name);
+    const std::string text =
+        it == help.end() ? "microrec metric " + name : it->second;
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+      if (c == '\\') {
+        escaped += "\\\\";
+      } else if (c == '\n') {
+        escaped += "\\n";
+      } else {
+        escaped += c;
+      }
+    }
+    os << "# HELP " << name << " " << escaped << "\n";
     os << "# TYPE " << name << " " << type << "\n";
     last_type_for = name;
   };

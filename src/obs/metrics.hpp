@@ -142,6 +142,10 @@ struct MetricsSnapshot {
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+  /// Per-family help strings (keyed by bare metric name, no labels),
+  /// emitted as `# HELP` lines; families without an entry get a generic
+  /// fallback so every family's exposition is HELP, TYPE, samples.
+  std::map<std::string, std::string> help;
 
   /// Structured JSON export.
   std::string ToJson() const;
@@ -181,6 +185,12 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, const MetricLabels& labels = {},
                        const HistogramOptions& opts = {});
 
+  /// Attaches a `# HELP` string to the metric family `name` (all label
+  /// sets); shows up in ToPrometheus ahead of the family's TYPE line.
+  void SetHelp(const std::string& name, const std::string& text) {
+    help_[name] = text;
+  }
+
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
@@ -203,6 +213,7 @@ class MetricsRegistry {
   Table<Gauge> gauges_;
   Table<Histogram> histograms_;
   std::map<std::string, Meta> meta_;  // keyed by formatted name
+  std::map<std::string, std::string> help_;  // keyed by bare family name
 };
 
 }  // namespace microrec::obs

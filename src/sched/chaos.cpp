@@ -248,6 +248,19 @@ ChaosSweepResult RunChaosSweep(const ChaosSweepConfig& config) {
     ChaosRecord record;
     record.intensity = intensities[intensity_index];
     record.policy = ChaosPolicyName(policy_index);
+    if (config.record_events &&
+        intensity_index + 1 == intensities.size() &&
+        policy_index == kChaosBreakerRetryHedge) {
+      // Flight-record the blessed point, inside the parallel map so the
+      // recorded log carries the same thread-count identity guarantee as
+      // the reports. Fault windows are fixed up front; pre-register them
+      // so the export interleaves them with the decisions they caused.
+      record.events = std::make_shared<obs::EventLog>();
+      for (std::size_t b = 0; b < scenario.schedules.size(); ++b) {
+        AppendFaultWindowEvents(scenario.schedules[b], b, *record.events);
+      }
+      ft.event_log = record.events.get();
+    }
     record.report = SimulateFaultTolerantServing(stream, fleet, *policy, ft);
 
     obs::RecoveryOptions recovery;

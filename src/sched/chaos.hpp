@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,11 @@ struct ChaosSweepConfig {
   double intensity_max = 1.0;
   std::size_t intensity_points = 3;
   std::size_t threads = 1;
+  /// Attach a flight recorder to the blessed grid point (highest
+  /// intensity x breaker-retry-hedge, i.e. records.back()) and store the
+  /// log in that record's `events`. Recording never changes any record's
+  /// report (test-gated).
+  bool record_events = false;
 };
 
 /// One intensity's fault scenario: per-backend schedules (fleet order)
@@ -84,6 +90,10 @@ struct ChaosRecord {
   std::string policy;  ///< ChaosPolicyName, not the routing policy name
   FtSchedReport report;
   obs::RecoveryReport recovery;
+  /// Flight-recorder log (only on the blessed point when
+  /// ChaosSweepConfig::record_events; null otherwise). Includes the
+  /// scenario's fault windows pre-registered as fault-begin/end events.
+  std::shared_ptr<obs::EventLog> events;
 };
 
 /// Per-intensity comparison backing the headline.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/status.hpp"
+#include "obs/event_log.hpp"
 
 namespace microrec::sched {
 
@@ -89,6 +90,26 @@ std::vector<std::unique_ptr<Backend>> WrapFleetWithFaults(
         BackendFaultModel(schedules[i], static_cast<std::uint32_t>(i))));
   }
   return wrapped;
+}
+
+void AppendFaultWindowEvents(const FaultSchedule& schedule,
+                             std::size_t backend_index, obs::EventLog& log) {
+  for (const FaultEvent& f : schedule.events()) {
+    obs::SchedEvent begin;
+    begin.time_ns = f.start_ns;
+    begin.kind = obs::SchedEventKind::kFaultBegin;
+    begin.backend = static_cast<std::int32_t>(backend_index);
+    begin.label = FaultKindName(f.kind);
+    begin.value = f.magnitude;
+    log.Append(std::move(begin));
+
+    obs::SchedEvent end;
+    end.time_ns = f.end_ns;
+    end.kind = obs::SchedEventKind::kFaultEnd;
+    end.backend = static_cast<std::int32_t>(backend_index);
+    end.label = FaultKindName(f.kind);
+    log.Append(std::move(end));
+  }
 }
 
 }  // namespace microrec::sched

@@ -33,6 +33,10 @@
 #include "faults/fault_schedule.hpp"
 #include "sched/backend.hpp"
 
+namespace microrec::obs {
+class EventLog;
+}
+
 namespace microrec::sched {
 
 /// Point-query view of one backend's fault timeline: the slice of a
@@ -119,5 +123,13 @@ class FaultInjectedBackend : public Backend {
 std::vector<std::unique_ptr<Backend>> WrapFleetWithFaults(
     std::vector<std::unique_ptr<Backend>> fleet,
     const std::vector<FaultSchedule>& schedules);
+
+/// Pre-registers backend `backend_index`'s fault windows into the flight
+/// recorder as kFaultBegin / kFaultEnd events (label = fault kind, value =
+/// magnitude). Fault schedules are fixed before the run, so the windows go
+/// in up front instead of through the event loop -- the recorder's
+/// Sorted() order interleaves them with the decisions they caused.
+void AppendFaultWindowEvents(const FaultSchedule& schedule,
+                             std::size_t backend_index, obs::EventLog& log);
 
 }  // namespace microrec::sched

@@ -5,8 +5,10 @@
 #include <queue>
 #include <sstream>
 
+#include "common/logging.hpp"
 #include "common/status.hpp"
 #include "obs/metrics.hpp"
+#include "sched/policy.hpp"
 
 namespace microrec::sched {
 
@@ -99,6 +101,17 @@ FtSchedReport SimulateFaultTolerantServing(
     report.base.usage[i].name = std::string(backends[i]->name());
   }
 
+  // Flight recorder. Every Append below reads only values the scheduler
+  // already computed (or pure const probes), so recording never changes
+  // the simulation -- the identity gate in tests/chaos_test.cpp.
+  obs::EventLog* const elog = options.event_log;
+  if (elog != nullptr && elog->backend_names().empty()) {
+    std::vector<std::string> names;
+    names.reserve(n_backends);
+    for (const auto& b : backends) names.emplace_back(b->name());
+    elog->set_backend_names(std::move(names));
+  }
+
   std::vector<QueryState> states(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     // GenerateLoad's contract (ids 0..n-1 in stream order), relied on by
@@ -110,6 +123,30 @@ FtSchedReport SimulateFaultTolerantServing(
   std::vector<CircuitBreaker> breakers;
   if (breakers_on) {
     breakers.assign(n_backends, CircuitBreaker(options.breaker));
+    if (elog != nullptr) {
+      for (std::size_t b = 0; b < n_backends; ++b) {
+        breakers[b].set_transition_listener(
+            [elog, b](BreakerState to, Nanoseconds now,
+                      Nanoseconds reopen_at_ns) {
+              obs::SchedEvent ev;
+              ev.time_ns = now;
+              ev.backend = static_cast<std::int32_t>(b);
+              switch (to) {
+                case BreakerState::kOpen:
+                  ev.kind = obs::SchedEventKind::kBreakerOpen;
+                  ev.value = reopen_at_ns;
+                  break;
+                case BreakerState::kHalfOpen:
+                  ev.kind = obs::SchedEventKind::kBreakerHalfOpen;
+                  break;
+                case BreakerState::kClosed:
+                  ev.kind = obs::SchedEventKind::kBreakerClose;
+                  break;
+              }
+              elog->Append(std::move(ev));
+            });
+      }
+    }
   }
 
   // Hedge-delay estimator: bounded-memory latency histogram (obs). Only
@@ -172,8 +209,32 @@ FtSchedReport SimulateFaultTolerantServing(
           ++report.hedge_wins;
           report.hedge_win_arrival_ns.push_back(s.arrival);
         }
+        if (elog != nullptr) {
+          obs::SchedEvent ev;
+          ev.time_ns = c.completion_ns;
+          ev.kind = attempt->is_hedge ? obs::SchedEventKind::kHedgeWin
+                                      : obs::SchedEventKind::kServe;
+          ev.query = c.query_id;
+          ev.hedge = attempt->is_hedge;
+          ev.backend = static_cast<std::int32_t>(c.backend);
+          ev.value = latency;
+          elog->Append(std::move(ev));
+        }
       } else {
         ++report.cancelled_completions;
+        MICROREC_LOG(kDebug)
+            << "cancelled straggler completion: query=" << c.query_id
+            << " backend=" << c.backend
+            << (attempt->is_hedge ? " (lost hedge race)" : "");
+        if (elog != nullptr) {
+          obs::SchedEvent ev;
+          ev.time_ns = c.completion_ns;
+          ev.kind = obs::SchedEventKind::kCancel;
+          ev.query = c.query_id;
+          ev.hedge = attempt->is_hedge;
+          ev.backend = static_cast<std::int32_t>(c.backend);
+          elog->Append(std::move(ev));
+        }
       }
     }
     step.clear();
@@ -224,6 +285,17 @@ FtSchedReport SimulateFaultTolerantServing(
       // unconditionally (a rejected admit is a shed).
       pick = policy.Route(q2, backends);
       MICROREC_CHECK(pick < n_backends);
+      if (elog != nullptr) {
+        obs::SchedEvent ev;
+        ev.time_ns = e.time;
+        ev.kind = obs::SchedEventKind::kRoute;
+        ev.query = e.query;
+        ev.backend = static_cast<std::int32_t>(pick);
+        ev.preferred = static_cast<std::int32_t>(pick);
+        CollectBackendProbes(q2, backends, ev);
+        for (obs::BackendProbe& p : ev.probes) p.admissible = true;
+        elog->Append(std::move(ev));
+      }
     } else {
       // Restricted admission: breaker-allowed, accepting, and (for
       // retries/hedges) not already tried by this query.
@@ -267,16 +339,55 @@ FtSchedReport SimulateFaultTolerantServing(
             }
           }
           forced = pick != kNoPick;
+          if (forced) {
+            MICROREC_LOG(kDebug)
+                << "all breakers open: force-admitting high-priority query "
+                << e.query << " to backend " << pick << " (reopens at "
+                << best_reopen << " ns)";
+          }
         } else if (s.admitted == 0) {
           ++report.breaker_sheds;
         }
+      }
+      if (elog != nullptr) {
+        obs::SchedEvent ev;
+        ev.time_ns = e.time;
+        ev.kind = obs::SchedEventKind::kRoute;
+        ev.query = e.query;
+        ev.attempt = e.attempt;
+        ev.hedge = e.is_hedge;
+        ev.backend = pick == kNoPick ? obs::kNoBackend
+                                     : static_cast<std::int32_t>(pick);
+        ev.preferred = static_cast<std::int32_t>(preferred);
+        if (forced) ev.label = "forced";
+        CollectBackendProbes(q2, backends, ev);
+        for (std::size_t b = 0; b < n_backends; ++b) {
+          ev.probes[b].admissible = (admissible >> b & 1u) != 0;
+          if (breakers_on) {
+            ev.probes[b].breaker =
+                static_cast<std::int8_t>(breakers[b].state());
+          }
+        }
+        elog->Append(std::move(ev));
       }
       if (pick == kNoPick) {
         // No admissible backend. Original admissions shed terminally;
         // retries/hedges leave the query to its in-flight attempts.
         if (s.admitted == 0) {
+          MICROREC_LOG(kDebug)
+              << "no admissible backend for query " << e.query
+              << (all_open ? " (all breakers open): shedding"
+                           : " (nothing accepting): shedding");
           s.terminal = Terminal::kShed;
           policy.OnOutcome({s.arrival, 0.0, false});
+          if (elog != nullptr) {
+            obs::SchedEvent ev;
+            ev.time_ns = e.time;
+            ev.kind = obs::SchedEventKind::kShed;
+            ev.query = e.query;
+            ev.label = all_open ? "breakers-open" : "no-admissible";
+            elog->Append(std::move(ev));
+          }
         }
         return;
       }
@@ -284,9 +395,22 @@ FtSchedReport SimulateFaultTolerantServing(
 
     if (!backends[pick]->Admit(q2)) {
       if (breakers_on) breakers[pick].OnFailure(e.time);
+      MICROREC_LOG(kDebug) << "backend " << pick << " rejected admit of query "
+                           << e.query
+                           << (s.admitted == 0 ? ": shedding"
+                                               : " (re-admission attempt)");
       if (s.admitted == 0) {
         s.terminal = Terminal::kShed;
         policy.OnOutcome({s.arrival, 0.0, false});
+        if (elog != nullptr) {
+          obs::SchedEvent ev;
+          ev.time_ns = e.time;
+          ev.kind = obs::SchedEventKind::kShed;
+          ev.query = e.query;
+          ev.backend = static_cast<std::int32_t>(pick);
+          ev.label = "admit-rejected";
+          elog->Append(std::move(ev));
+        }
       }
       return;
     }
@@ -307,6 +431,17 @@ FtSchedReport SimulateFaultTolerantServing(
     }
     if (e.is_hedge) ++report.hedges;
     if (e.attempt > 0 && !e.is_hedge) ++report.retries;
+    if (elog != nullptr) {
+      obs::SchedEvent ev;
+      ev.time_ns = e.time;
+      ev.kind = obs::SchedEventKind::kAdmit;
+      ev.query = e.query;
+      ev.attempt = e.attempt;
+      ev.hedge = e.is_hedge;
+      ev.backend = static_cast<std::int32_t>(pick);
+      if (forced) ev.label = "forced";
+      elog->Append(std::move(ev));
+    }
 
     if (options.retries_enabled) {
       Event timeout;
@@ -338,6 +473,15 @@ FtSchedReport SimulateFaultTolerantServing(
         hedge.query = e.query;
         hedge.is_hedge = true;
         push_event(hedge);
+        if (elog != nullptr) {
+          obs::SchedEvent ev;
+          ev.time_ns = e.time;
+          ev.kind = obs::SchedEventKind::kHedgeIssue;
+          ev.query = e.query;
+          ev.hedge = true;
+          ev.value = delay;
+          elog->Append(std::move(ev));
+        }
       }
     }
   };
@@ -356,22 +500,51 @@ FtSchedReport SimulateFaultTolerantServing(
     if (attempt->completed) return;  // finished inside the timeout
     attempt->timed_out = true;
     if (breakers_on) breakers[e.backend].OnFailure(e.time);
-    if (s.terminal != Terminal::kPending) return;
-    // Re-admit after backoff, if budget and deadline allow.
-    if (s.retry_count + 1 >= options.retry.max_attempts) return;
-    ++s.retry_count;
-    const Nanoseconds backoff =
-        options.retry.BackoffAfterAttempt(s.retry_count);
-    const Nanoseconds t = e.time + backoff;
-    if (options.deadline_ns > 0.0 && t >= s.arrival + options.deadline_ns) {
-      return;
+    // Re-admit after backoff, if budget and deadline allow. `no_retry`
+    // names the reason the retry chain ends here (recorded on the
+    // timeout event); empty = a retry was scheduled.
+    const char* no_retry = "";
+    bool scheduled = false;
+    Nanoseconds backoff = 0.0;
+    if (s.terminal != Terminal::kPending) {
+      no_retry = "already-resolved";
+    } else if (s.retry_count + 1 >= options.retry.max_attempts) {
+      no_retry = "retry-budget-exhausted";
+    } else {
+      ++s.retry_count;
+      backoff = options.retry.BackoffAfterAttempt(s.retry_count);
+      const Nanoseconds t = e.time + backoff;
+      if (options.deadline_ns > 0.0 && t >= s.arrival + options.deadline_ns) {
+        no_retry = "past-deadline";
+      } else {
+        scheduled = true;
+        Event retry;
+        retry.time = t;
+        retry.kind = EventKind::kAdmission;
+        retry.query = e.query;
+        retry.attempt = s.retry_count;
+        push_event(retry);
+      }
     }
-    Event retry;
-    retry.time = t;
-    retry.kind = EventKind::kAdmission;
-    retry.query = e.query;
-    retry.attempt = s.retry_count;
-    push_event(retry);
+    if (elog != nullptr) {
+      obs::SchedEvent ev;
+      ev.time_ns = e.time;
+      ev.kind = obs::SchedEventKind::kAttemptTimeout;
+      ev.query = e.query;
+      ev.hedge = attempt->is_hedge;
+      ev.backend = static_cast<std::int32_t>(e.backend);
+      ev.label = no_retry;
+      elog->Append(std::move(ev));
+      if (scheduled) {
+        obs::SchedEvent retry_ev;
+        retry_ev.time_ns = e.time;
+        retry_ev.kind = obs::SchedEventKind::kRetry;
+        retry_ev.query = e.query;
+        retry_ev.attempt = s.retry_count;
+        retry_ev.value = backoff;
+        elog->Append(std::move(retry_ev));
+      }
+    }
   };
 
   const auto handle_deadline = [&](const Event& e) {
@@ -380,6 +553,15 @@ FtSchedReport SimulateFaultTolerantServing(
     s.terminal = Terminal::kTimedOut;
     ++report.timed_out;
     policy.OnOutcome({s.arrival, 0.0, false});
+    if (elog != nullptr) {
+      obs::SchedEvent ev;
+      ev.time_ns = e.time;
+      ev.kind = obs::SchedEventKind::kDeadlineMiss;
+      ev.query = e.query;
+      ev.attempt = s.admitted;
+      ev.value = options.deadline_ns;
+      elog->Append(std::move(ev));
+    }
   };
 
   // ---- Event loop ------------------------------------------------------

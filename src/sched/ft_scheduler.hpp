@@ -41,6 +41,7 @@
 
 #include "common/units.hpp"
 #include "faults/retry.hpp"
+#include "obs/event_log.hpp"
 #include "obs/slo.hpp"
 #include "sched/health.hpp"
 #include "sched/scheduler.hpp"
@@ -87,6 +88,13 @@ struct FtOptions {
   /// Optional: receives every offered query's outcome in arrival order
   /// (the input to obs::EvaluateRecovery).
   std::vector<obs::QueryOutcome>* outcomes = nullptr;
+
+  /// Optional flight recorder (obs/event_log.hpp): every routing
+  /// decision (with per-backend probes), admit, retry, hedge, shed,
+  /// breaker transition, and terminal is appended as a typed event.
+  /// Recording reads only pure probes -- with or without a recorder the
+  /// simulation is bit-for-bit identical (gated in tests/chaos_test.cpp).
+  obs::EventLog* event_log = nullptr;
 };
 
 struct FtSchedReport {

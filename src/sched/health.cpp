@@ -36,6 +36,7 @@ void CircuitBreaker::TripOpen(Nanoseconds now) {
       std::min(cooldown_current_ * config_.cooldown_backoff,
                config_.max_cooldown_ns);
   ++opens_;
+  Notify(BreakerState::kOpen, now, reopen_at_);
 }
 
 bool CircuitBreaker::Allow(Nanoseconds now) {
@@ -43,6 +44,7 @@ bool CircuitBreaker::Allow(Nanoseconds now) {
     state_ = BreakerState::kHalfOpen;
     trial_dispatched_ = 0;
     trial_successes_ = 0;
+    Notify(BreakerState::kHalfOpen, now, 0.0);
   }
   switch (state_) {
     case BreakerState::kClosed:
@@ -61,7 +63,7 @@ void CircuitBreaker::OnDispatch(Nanoseconds /*now*/) {
   ++half_open_dispatches_;
 }
 
-void CircuitBreaker::OnSuccess(Nanoseconds /*now*/) {
+void CircuitBreaker::OnSuccess(Nanoseconds now) {
   switch (state_) {
     case BreakerState::kClosed:
       consecutive_failures_ = 0;
@@ -77,6 +79,7 @@ void CircuitBreaker::OnSuccess(Nanoseconds /*now*/) {
         consecutive_failures_ = 0;
         cooldown_current_ = config_.cooldown_ns;  // recovered: reset backoff
         ++closes_;
+        Notify(BreakerState::kClosed, now, 0.0);
       }
       break;
   }

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/units.hpp"
 
@@ -39,7 +40,22 @@ struct CircuitBreakerConfig {
 
 class CircuitBreaker {
  public:
+  /// Observer for state transitions: called with the state entered, the
+  /// simulated time of the transition, and -- entering open -- the reopen
+  /// time (0 otherwise). Purely observational: listeners see transitions
+  /// after the breaker's own bookkeeping and must not call back into it.
+  using TransitionListener =
+      std::function<void(BreakerState to, Nanoseconds now,
+                         Nanoseconds reopen_at_ns)>;
+
   explicit CircuitBreaker(const CircuitBreakerConfig& config = {});
+
+  /// Installs (or clears, with an empty function) the transition
+  /// observer. The scheduler's flight recorder hooks in here; with no
+  /// listener the breaker behaves identically.
+  void set_transition_listener(TransitionListener listener) {
+    listener_ = std::move(listener);
+  }
 
   BreakerState state() const { return state_; }
   /// Meaningful while open: the time the breaker turns half-open.
@@ -70,7 +86,11 @@ class CircuitBreaker {
 
  private:
   void TripOpen(Nanoseconds now);
+  void Notify(BreakerState to, Nanoseconds now, Nanoseconds reopen_at_ns) {
+    if (listener_) listener_(to, now, reopen_at_ns);
+  }
 
+  TransitionListener listener_;
   CircuitBreakerConfig config_;
   BreakerState state_ = BreakerState::kClosed;
   std::uint32_t consecutive_failures_ = 0;

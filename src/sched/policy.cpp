@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/status.hpp"
+#include "obs/event_log.hpp"
 
 namespace microrec::sched {
 
@@ -166,6 +167,18 @@ std::unique_ptr<SchedulingPolicy> MakeQueueDepthPolicy() {
 std::unique_ptr<SchedulingPolicy> MakeSloAwarePolicy(
     const SloAwarePolicyConfig& config) {
   return std::make_unique<SloAwarePolicy>(config);
+}
+
+void CollectBackendProbes(const SchedQuery& q,
+                          const std::vector<std::unique_ptr<Backend>>& backends,
+                          obs::SchedEvent& event) {
+  event.probes.resize(backends.size());
+  for (std::size_t b = 0; b < backends.size(); ++b) {
+    obs::BackendProbe& p = event.probes[b];
+    p.score_ns = backends[b]->PredictLatency(q);
+    p.queue_ns = backends[b]->QueueDepthNs(q.arrival_ns);
+    p.accepting = backends[b]->Accepting(q.arrival_ns);
+  }
 }
 
 }  // namespace microrec::sched

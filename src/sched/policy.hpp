@@ -24,6 +24,10 @@
 #include "obs/slo.hpp"
 #include "sched/backend.hpp"
 
+namespace microrec::obs {
+struct SchedEvent;
+}
+
 namespace microrec::sched {
 
 class SchedulingPolicy {
@@ -87,5 +91,15 @@ struct SloAwarePolicyConfig {
 
 std::unique_ptr<SchedulingPolicy> MakeSloAwarePolicy(
     const SloAwarePolicyConfig& config);
+
+/// Captures, into `event.probes`, the decision signals every policy ranks
+/// on -- PredictLatency, QueueDepthNs, Accepting -- for each backend at
+/// `q`'s arrival instant. Reads only the fleet's pure const probes, so
+/// collecting never perturbs a run; the scheduler's flight recorder calls
+/// this on every routing decision. `admissible` and `breaker` are left for
+/// the caller (only the scheduler knows its admission filter).
+void CollectBackendProbes(const SchedQuery& q,
+                          const std::vector<std::unique_ptr<Backend>>& backends,
+                          obs::SchedEvent& event);
 
 }  // namespace microrec::sched

@@ -144,4 +144,47 @@ SchedSweepResult RunSchedSweep(const SweepGridConfig& config) {
   return result;
 }
 
+FtSchedReport RecordSchedSweepPoint(const SweepGridConfig& config,
+                                    std::size_t process_index,
+                                    std::size_t policy_index,
+                                    obs::EventLog& log) {
+  MICROREC_CHECK(process_index < kNumProcesses);
+  MICROREC_CHECK(policy_index < kNumPolicies);
+  MICROREC_CHECK(config.queries >= 1);
+  MICROREC_CHECK(config.qps > 0.0);
+  MICROREC_CHECK(config.sla_ns > 0.0);
+
+  // Exactly the grid's stream for this process (same sub-seed, same burst
+  // geometry) and the grid's fleet/policy construction.
+  const Nanoseconds span_ns =
+      static_cast<double>(config.queries) / config.qps * kNanosPerSecond;
+  LoadGenConfig load;
+  load.process = kProcesses[process_index];
+  load.rate_qps = config.qps;
+  load.num_queries = config.queries;
+  load.seed = exec::ParallelRunner::SubSeed(config.seed, process_index);
+  load.sizes = config.sizes;
+  load.burst_dwell_mean_ns = 0.07 * span_ns;
+  load.calm_dwell_mean_ns = 0.28 * span_ns;
+  load.flash_start_ns = 0.30 * span_ns;
+  load.flash_duration_ns = 0.20 * span_ns;
+  load.diurnal_period_ns = 0.50 * span_ns;
+  const std::vector<SchedQuery> stream = GenerateLoad(load);
+
+  FleetConfig fleet_config;
+  fleet_config.seed = config.seed;
+  fleet_config.horizon_ns = span_ns;
+  fleet_config.lookups_per_item = config.sizes.lookups_per_item;
+  auto fleet = BuildStandardFleet(fleet_config);
+  auto policy = MakeGridPolicy(policy_index, config);
+
+  // The FT event loop with the whole layer off replays the base loop bit
+  // for bit, so this record's report matches the sweep's for the point.
+  FtOptions ft;
+  ft.base.sla_ns = config.sla_ns;
+  ft.base.slo_objective = config.slo_objective;
+  ft.event_log = &log;
+  return SimulateFaultTolerantServing(stream, fleet, *policy, ft);
+}
+
 }  // namespace microrec::sched

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "sched/ft_scheduler.hpp"
 #include "sched/load_gen.hpp"
 #include "sched/scheduler.hpp"
 
@@ -77,5 +78,16 @@ struct SchedSweepResult {
 /// every point gets a fresh standard fleet, and all reduction happens in
 /// grid order.
 SchedSweepResult RunSchedSweep(const SweepGridConfig& config);
+
+/// Re-runs one grid point (same stream, fleet, and policy as the grid
+/// would build) with a flight recorder attached, through the
+/// fault-tolerant event loop with the whole FT layer off -- bit-identical
+/// to the base loop (test-gated), so the recorded report matches the
+/// sweep's record for that point exactly. Backs `sched-sweep
+/// --record-events`.
+FtSchedReport RecordSchedSweepPoint(const SweepGridConfig& config,
+                                    std::size_t process_index,
+                                    std::size_t policy_index,
+                                    obs::EventLog& log);
 
 }  // namespace microrec::sched

@@ -11,14 +11,20 @@
 //   * hedge determinism: the same seed yields the identical report,
 //   * the chaos sweep is byte-identical at any thread count.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cli/commands.hpp"
 #include "faults/fault_schedule.hpp"
+#include "obs/event_log.hpp"
+#include "obs/explain.hpp"
 #include "obs/recovery.hpp"
 #include "sched/backends.hpp"
 #include "sched/chaos.hpp"
@@ -602,6 +608,66 @@ TEST(RecoveryTest, NoWindowsIsVacuouslyRecovered) {
   EXPECT_EQ(report.worst_time_to_recover_ns, 0.0);
 }
 
+TEST(RecoveryTest, ZeroLengthWindowOffersNothingAndStaysFinite) {
+  // A [t, t) window contains no arrivals: every rate must come out as its
+  // documented vacuous value, not a 0/0.
+  const auto outcomes = SyntheticOutcomes(3000.0, 5000.0);
+  const std::vector<obs::FaultWindow> windows = {{"zero", 4000.0, 4000.0}};
+  const obs::RecoveryReport report =
+      obs::EvaluateRecovery(SmallRecoveryOptions(), outcomes, windows);
+  ASSERT_EQ(report.windows.size(), 1u);
+  const obs::WindowRecovery& w = report.windows[0];
+  EXPECT_EQ(w.offered_during, 0u);
+  EXPECT_EQ(w.goodput_during, 1.0);
+  EXPECT_EQ(w.shed_rate_during, 0.0);
+  EXPECT_EQ(w.hedge_win_rate_during, 0.0);
+  EXPECT_EQ(w.burn_during, 0.0);
+  // The detector still runs from the window's end over real outcomes.
+  EXPECT_GT(w.burn_after, 0.0);  // [4000, 4500) is inside the bad span
+}
+
+TEST(RecoveryTest, OverlappingWindowsOnSameTargetScoreIndependently) {
+  const auto outcomes = SyntheticOutcomes(3000.0, 5000.0);
+  const std::vector<obs::FaultWindow> windows = {
+      {"whole", 3000.0, 5000.0}, {"tail", 4000.0, 5000.0}};
+  const obs::RecoveryReport report =
+      obs::EvaluateRecovery(SmallRecoveryOptions(), outcomes, windows);
+  ASSERT_EQ(report.windows.size(), 2u);
+  EXPECT_EQ(report.windows[0].offered_during, 200u);
+  EXPECT_EQ(report.windows[1].offered_during, 100u);
+  EXPECT_EQ(report.windows[0].goodput_during, 0.0);
+  EXPECT_EQ(report.windows[1].goodput_during, 0.0);
+  // Both end at the same instant, so both recover at the same time.
+  EXPECT_TRUE(report.all_recovered);
+  EXPECT_EQ(report.windows[0].time_to_recover_ns,
+            report.windows[1].time_to_recover_ns);
+}
+
+TEST(RecoveryTest, WindowWithNoCompletedQueriesIsAllShed) {
+  // Every query offered during the window was shed: goodput must hit 0
+  // and burn must be exactly 1/(1 - objective), with no served-latency
+  // division anywhere.
+  auto outcomes = SyntheticOutcomes(1e18, 1e18);  // all good by default
+  for (obs::QueryOutcome& o : outcomes) {
+    if (o.arrival_ns >= 3000.0 && o.arrival_ns < 5000.0) {
+      o.served = false;
+      o.latency_ns = 0.0;
+    }
+  }
+  const std::vector<obs::FaultWindow> windows = {{"dark", 3000.0, 5000.0}};
+  const obs::RecoveryReport report =
+      obs::EvaluateRecovery(SmallRecoveryOptions(), outcomes, windows);
+  ASSERT_EQ(report.windows.size(), 1u);
+  const obs::WindowRecovery& w = report.windows[0];
+  EXPECT_EQ(w.offered_during, 200u);
+  EXPECT_EQ(w.good_during, 0u);
+  EXPECT_EQ(w.shed_during, 200u);
+  EXPECT_EQ(w.goodput_during, 0.0);
+  EXPECT_EQ(w.shed_rate_during, 1.0);
+  EXPECT_DOUBLE_EQ(w.burn_during, 1.0 / (1.0 - 0.8));
+  EXPECT_TRUE(w.recovered);
+}
+
 // ---- Chaos sweep ----------------------------------------------------------
 
 sched::ChaosSweepConfig SmallSweepConfig() {
@@ -735,6 +801,209 @@ TEST(ChaosSweepTest, CliChaosSweepRejectsBadArguments) {
   EXPECT_FALSE(cli::RunCli({"chaos-sweep", "--fault-points", "0"}, out).ok());
   EXPECT_FALSE(cli::RunCli({"chaos-sweep", "--sla-us", "0"}, out).ok());
   EXPECT_FALSE(cli::RunCli({"chaos-sweep", "--bogus", "1"}, out).ok());
+}
+
+// ---- Flight recorder ------------------------------------------------------
+
+TEST(FlightRecorderTest, AttachedRecorderIsBitIdenticalAndReconciles) {
+  sched::ChaosSweepConfig config;
+  config.queries = 4000;
+  const Nanoseconds span =
+      static_cast<double>(config.queries) / config.qps * kNanosPerSecond;
+  const sched::ChaosScenario scenario =
+      sched::BuildChaosScenario(1.0, config.fault_seed, span);
+  sched::LoadGenConfig load = SmallChaosLoad();
+  load.num_queries = config.queries;
+  const auto stream = sched::GenerateLoad(load);
+
+  const auto run = [&](obs::EventLog* log) {
+    sched::FleetConfig fleet_config = SmallFleetConfig();
+    fleet_config.horizon_ns = span;
+    auto fleet = sched::WrapFleetWithFaults(
+        sched::BuildStandardFleet(fleet_config), scenario.schedules);
+    auto policy = sched::MakeQueueDepthPolicy();
+    sched::FtOptions options = sched::ChaosFtOptions(config, /*hedge=*/true);
+    // Tighten the deadline so this small run produces deadline misses to
+    // reconstruct (the blessed 30k-query sweep gets them at the default).
+    options.deadline_ns = 0.6 * config.sla_ns;
+    options.event_log = log;
+    return sched::SimulateFaultTolerantServing(stream, fleet, *policy,
+                                               options);
+  };
+  const sched::FtSchedReport bare = run(nullptr);
+  obs::EventLog log;
+  const sched::FtSchedReport recorded = run(&log);
+
+  // Attaching the recorder changes nothing in the report.
+  ExpectSameBaseReport(bare.base, recorded.base);
+  EXPECT_EQ(bare.timed_out, recorded.timed_out);
+  EXPECT_EQ(bare.retries, recorded.retries);
+  EXPECT_EQ(bare.hedges, recorded.hedges);
+  EXPECT_EQ(bare.hedge_wins, recorded.hedge_wins);
+  EXPECT_EQ(bare.cancelled_completions, recorded.cancelled_completions);
+  EXPECT_EQ(bare.breaker_opens, recorded.breaker_opens);
+  EXPECT_EQ(bare.breaker_sheds, recorded.breaker_sheds);
+
+  // The log reconciles exactly with the report's counters. Retries and
+  // hedges are counted from the dispatched admit events: kRetry /
+  // kHedgeIssue record *scheduled* re-admissions, which the event loop
+  // skips when the query resolves before they fire.
+  ASSERT_EQ(log.dropped(), 0u);
+  std::uint64_t serves = 0, hedge_wins = 0, sheds = 0, misses = 0,
+                retry_admits = 0, hedge_admits = 0, retries_scheduled = 0,
+                hedges_scheduled = 0, opens = 0;
+  std::unordered_set<std::uint64_t> missed_queries;
+  for (const obs::SchedEvent& e : log.events()) {
+    switch (e.kind) {
+      case obs::SchedEventKind::kServe: ++serves; break;
+      case obs::SchedEventKind::kHedgeWin: ++hedge_wins; break;
+      case obs::SchedEventKind::kShed: ++sheds; break;
+      case obs::SchedEventKind::kDeadlineMiss:
+        ++misses;
+        missed_queries.insert(e.query);
+        break;
+      case obs::SchedEventKind::kAdmit:
+        if (e.hedge) ++hedge_admits;
+        else if (e.attempt > 0) ++retry_admits;
+        break;
+      case obs::SchedEventKind::kRetry: ++retries_scheduled; break;
+      case obs::SchedEventKind::kHedgeIssue: ++hedges_scheduled; break;
+      case obs::SchedEventKind::kBreakerOpen: ++opens; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(serves + hedge_wins, recorded.base.served);
+  EXPECT_EQ(hedge_wins, recorded.hedge_wins);
+  EXPECT_EQ(sheds + misses, recorded.base.shed);
+  EXPECT_EQ(misses, recorded.timed_out);
+  EXPECT_EQ(retry_admits, recorded.retries);
+  EXPECT_EQ(hedge_admits, recorded.hedges);
+  EXPECT_GE(retries_scheduled, retry_admits);
+  EXPECT_GE(hedges_scheduled, hedge_admits);
+  EXPECT_EQ(opens, recorded.breaker_opens);
+
+  // Every deadline-missed query's full admit -> terminal story is
+  // reconstructible from the ring (the ISSUE's 100% completeness gate).
+  EXPECT_GT(missed_queries.size(), 0u);
+  for (const std::uint64_t query : missed_queries) {
+    const obs::QueryTimeline t = obs::BuildQueryTimeline(log, query);
+    EXPECT_TRUE(t.complete) << "query " << query;
+    EXPECT_EQ(t.terminal, "deadline-miss") << "query " << query;
+    EXPECT_GE(t.admits, 1u) << "query " << query;
+  }
+}
+
+TEST(FlightRecorderTest, RecordedSweepIsThreadIdenticalByteForByte) {
+  sched::ChaosSweepConfig config = SmallSweepConfig();
+  const sched::ChaosSweepResult unrecorded = sched::RunChaosSweep(config);
+  ASSERT_EQ(unrecorded.records.back().events, nullptr);
+
+  config.record_events = true;
+  const sched::ChaosSweepResult serial = sched::RunChaosSweep(config);
+  config.threads = 4;
+  const sched::ChaosSweepResult threaded = sched::RunChaosSweep(config);
+
+  // Recording changes no record, at any thread count.
+  ASSERT_EQ(serial.records.size(), unrecorded.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    ExpectSameChaosRecord(unrecorded.records[i], serial.records[i]);
+    ExpectSameChaosRecord(unrecorded.records[i], threaded.records[i]);
+  }
+
+  // Only the blessed point carries a log, and the serialized log is
+  // byte-identical across thread counts.
+  for (std::size_t i = 0; i + 1 < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].events, nullptr);
+  }
+  ASSERT_NE(serial.records.back().events, nullptr);
+  ASSERT_NE(threaded.records.back().events, nullptr);
+  EXPECT_GT(serial.records.back().events->size(), 0u);
+  EXPECT_EQ(serial.records.back().events->ToJson(),
+            threaded.records.back().events->ToJson());
+}
+
+TEST(FlightRecorderTest, CliWritesEventsAndPostmortemAndExplainReadsThem) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("microrec_chaos_recorder_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string events_path = (dir / "events.json").string();
+  const std::string postmortem_path = (dir / "postmortem.json").string();
+
+  const std::vector<std::string> base_args = {
+      "chaos-sweep", "--queries", "3000", "--fault-points", "2"};
+  std::ostringstream plain;
+  ASSERT_TRUE(cli::RunCli(base_args, plain).ok());
+
+  std::vector<std::string> args = base_args;
+  args.insert(args.end(), {"--record-events", events_path, "--postmortem",
+                           postmortem_path});
+  std::ostringstream recorded;
+  ASSERT_TRUE(cli::RunCli(args, recorded).ok());
+
+  // The recorder only appends to stdout; the sweep output is unchanged.
+  ASSERT_GT(recorded.str().size(), plain.str().size());
+  EXPECT_EQ(recorded.str().substr(0, plain.str().size()), plain.str());
+  EXPECT_NE(recorded.str().find("flight recorder:"), std::string::npos);
+  EXPECT_NE(recorded.str().find("wrote postmortem"), std::string::npos);
+
+  // The events file round-trips through the parser...
+  std::ifstream events_file(events_path);
+  std::ostringstream events_text;
+  events_text << events_file.rdbuf();
+  const auto parsed = obs::EventLog::FromJson(events_text.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_GT(parsed.value().size(), 0u);
+  // ...and the postmortem snapshot carries its alert sections.
+  std::ifstream pm_file(postmortem_path);
+  std::ostringstream pm_text;
+  pm_text << pm_file.rdbuf();
+  EXPECT_NE(pm_text.str().find("\"alerts\""), std::string::npos);
+  EXPECT_NE(pm_text.str().find("\"slo\""), std::string::npos);
+
+  // `explain` reconstructs timelines straight from the written file.
+  std::ostringstream worst;
+  ASSERT_TRUE(cli::RunCli({"explain", events_path, "--worst", "2"}, worst)
+                  .ok());
+  EXPECT_NE(worst.str().find("event log:"), std::string::npos);
+  EXPECT_NE(worst.str().find("worst 2"), std::string::npos);
+  EXPECT_NE(worst.str().find("admission(s)"), std::string::npos);
+
+  // A recorded query renders a per-event timeline; an unknown id is a
+  // clean NotFound, not garbage output.
+  std::uint64_t recorded_query = obs::kNoQuery;
+  for (const obs::SchedEvent& e : parsed.value().events()) {
+    if (e.query != obs::kNoQuery) {
+      recorded_query = e.query;
+      break;
+    }
+  }
+  ASSERT_NE(recorded_query, obs::kNoQuery);
+  std::ostringstream single;
+  ASSERT_TRUE(cli::RunCli({"explain", events_path, "--query",
+                           std::to_string(recorded_query)},
+                          single)
+                  .ok());
+  EXPECT_NE(single.str().find("query " + std::to_string(recorded_query)),
+            std::string::npos);
+  std::ostringstream missing;
+  EXPECT_FALSE(cli::RunCli({"explain", events_path, "--query", "999999999"},
+                           missing)
+                   .ok());
+
+  fs::remove_all(dir);
+}
+
+TEST(FlightRecorderTest, CliExplainRejectsBadArguments) {
+  std::ostringstream out;
+  // No events file, two events files, missing file, bad option values.
+  EXPECT_FALSE(cli::RunCli({"explain"}, out).ok());
+  EXPECT_FALSE(cli::RunCli({"explain", "a.json", "b.json"}, out).ok());
+  EXPECT_FALSE(
+      cli::RunCli({"explain", "/nonexistent/events.json"}, out).ok());
+  EXPECT_FALSE(cli::RunCli({"explain", "a.json", "--worst", "0"}, out).ok());
+  EXPECT_FALSE(cli::RunCli({"explain", "a.json", "--bogus", "1"}, out).ok());
 }
 
 }  // namespace

@@ -16,6 +16,8 @@
 #include "core/system_sim.hpp"
 #include "memsim/hybrid_memory.hpp"
 #include "obs/attribution.hpp"
+#include "obs/event_log.hpp"
+#include "obs/explain.hpp"
 #include "obs/json_reader.hpp"
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
@@ -876,6 +878,293 @@ TEST(TelemetryIdentityTest, TimeSeriesRecorderPreservesBitIdentity) {
   EXPECT_EQ(with.peak_bank_utilization, without.peak_bank_utilization);
   // The recorder saw per-bank busy/backlog timelines.
   EXPECT_GT(timeline.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler flight recorder: event log, explain, postmortem
+// ---------------------------------------------------------------------------
+
+obs::SchedEvent MakeEvent(obs::SchedEventKind kind, Nanoseconds t,
+                          std::uint64_t query = obs::kNoQuery) {
+  obs::SchedEvent e;
+  e.kind = kind;
+  e.time_ns = t;
+  e.query = query;
+  return e;
+}
+
+TEST(EventLogTest, AppendAssignsSequenceAndRingEvicts) {
+  obs::EventLog log(/*capacity=*/4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    log.Append(MakeEvent(obs::SchedEventKind::kAdmit, 10.0 * i, i));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.total_appended(), 6u);
+  EXPECT_EQ(log.dropped(), 2u);
+  // The two oldest-appended events were evicted; survivors keep the
+  // sequence numbers Append assigned.
+  EXPECT_EQ(log.events().front().query, 2u);
+  EXPECT_EQ(log.events().front().seq, 2u);
+  EXPECT_EQ(log.events().back().query, 5u);
+  EXPECT_EQ(log.events().back().seq, 5u);
+}
+
+TEST(EventLogTest, SortedOrdersByTimeThenSequence) {
+  obs::EventLog log;
+  // Appended out of time order (as probe-clock and pre-registered fault
+  // events are in real runs); equal times fall back to append order.
+  log.Append(MakeEvent(obs::SchedEventKind::kFaultBegin, 30.0));
+  log.Append(MakeEvent(obs::SchedEventKind::kAdmit, 10.0, 1));
+  log.Append(MakeEvent(obs::SchedEventKind::kServe, 10.0, 1));
+  const std::vector<obs::SchedEvent> sorted = log.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].kind, obs::SchedEventKind::kAdmit);
+  EXPECT_EQ(sorted[1].kind, obs::SchedEventKind::kServe);
+  EXPECT_EQ(sorted[2].kind, obs::SchedEventKind::kFaultBegin);
+  EXPECT_LT(sorted[0].seq, sorted[1].seq);
+}
+
+TEST(EventLogTest, KindNamesRoundTripThroughParse) {
+  for (int k = 0; k <= static_cast<int>(obs::SchedEventKind::kDeadlineMiss);
+       ++k) {
+    const auto kind = static_cast<obs::SchedEventKind>(k);
+    const char* name = obs::SchedEventKindName(kind);
+    ASSERT_STRNE(name, "?");
+    const auto parsed = obs::ParseSchedEventKind(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(obs::ParseSchedEventKind("not-a-kind").ok());
+}
+
+obs::EventLog RichLog() {
+  obs::EventLog log;
+  log.set_backend_names({"fpga", "cpu"});
+  obs::SchedEvent route = MakeEvent(obs::SchedEventKind::kRoute, 5.0, 7);
+  route.backend = 1;
+  route.preferred = 0;
+  route.probes = {{/*score_ns=*/120.0, /*queue_ns=*/100.0,
+                   /*accepting=*/true, /*admissible=*/false, /*breaker=*/1},
+                  {/*score_ns=*/80.0, /*queue_ns=*/0.0, /*accepting=*/true,
+                   /*admissible=*/true, /*breaker=*/0}};
+  obs::SchedEvent open = MakeEvent(obs::SchedEventKind::kBreakerOpen, 2.0);
+  open.backend = 0;
+  open.value = 52.0;  // reopen time
+  obs::SchedEvent serve = MakeEvent(obs::SchedEventKind::kServe, 45.0, 7);
+  serve.backend = 1;
+  serve.value = 40.0;
+  serve.label = "label with \"quotes\"";
+  log.Append(open);
+  log.Append(route);
+  log.Append(serve);
+  return log;
+}
+
+TEST(EventLogTest, JsonRoundTripIsExact) {
+  const obs::EventLog log = RichLog();
+  const std::string json = log.ToJson();
+  const auto parsed = obs::EventLog::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), log.size());
+  EXPECT_EQ(parsed->total_appended(), log.total_appended());
+  EXPECT_EQ(parsed->dropped(), log.dropped());
+  EXPECT_EQ(parsed->backend_names(), log.backend_names());
+  // Serializing the parse reproduces the original bytes (the determinism
+  // `explain` and the verify scripts rely on).
+  EXPECT_EQ(parsed->ToJson(), json);
+  EXPECT_FALSE(obs::EventLog::FromJson("{\"events\": 3}").ok());
+  EXPECT_FALSE(obs::EventLog::FromJson("[]").ok());
+}
+
+TEST(EventLogTest, MergeEqualsSequentialAppend) {
+  obs::EventLog shard_a;
+  shard_a.set_backend_names({"fpga", "cpu"});
+  shard_a.Append(MakeEvent(obs::SchedEventKind::kAdmit, 10.0, 1));
+  shard_a.Append(MakeEvent(obs::SchedEventKind::kServe, 20.0, 1));
+  obs::EventLog shard_b;
+  shard_b.Append(MakeEvent(obs::SchedEventKind::kAdmit, 5.0, 2));
+
+  const obs::EventLog merged = obs::MergeEventLogs({shard_a, shard_b});
+  // The merge documents its capacity as the shards' sum (so it never
+  // evicts); mirror that so ToJson compares byte-for-byte.
+  obs::EventLog sequential(shard_a.capacity() + shard_b.capacity());
+  sequential.set_backend_names({"fpga", "cpu"});
+  for (const obs::EventLog* shard : {&shard_a, &shard_b}) {
+    for (const obs::SchedEvent& e : shard->events()) sequential.Append(e);
+  }
+  EXPECT_EQ(merged.ToJson(), sequential.ToJson());
+  EXPECT_EQ(merged.total_appended(),
+            shard_a.total_appended() + shard_b.total_appended());
+  EXPECT_EQ(merged.dropped(), 0u);
+  EXPECT_EQ(merged.backend_names(), shard_a.backend_names());
+}
+
+TEST(ExplainTest, TimelineReconstructsTerminalAndLatency) {
+  const obs::EventLog log = RichLog();
+  const obs::QueryTimeline t = obs::BuildQueryTimeline(log, 7);
+  EXPECT_EQ(t.query, 7u);
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.arrival_ns, 5.0);
+  EXPECT_EQ(t.terminal, "serve");
+  EXPECT_EQ(t.latency_ns, 40.0);
+  EXPECT_TRUE(t.complete);
+
+  const obs::QueryTimeline none = obs::BuildQueryTimeline(log, 99);
+  EXPECT_TRUE(none.events.empty());
+  EXPECT_FALSE(none.complete);
+}
+
+TEST(ExplainTest, RenderAnnotatesBreakerOverride) {
+  const obs::EventLog log = RichLog();
+  const std::string text =
+      obs::RenderTimeline(log, obs::BuildQueryTimeline(log, 7));
+  // The policy preferred fpga, but its breaker opened at t=2ns.
+  EXPECT_NE(text.find("route -> cpu"), std::string::npos);
+  EXPECT_NE(text.find("policy preferred fpga"), std::string::npos);
+  EXPECT_NE(text.find("breaker was open since t=2ns"), std::string::npos);
+  EXPECT_NE(text.find("breaker=open"), std::string::npos);
+}
+
+TEST(ExplainTest, RankWorstPutsDeadlineMissesFirst) {
+  obs::EventLog log;
+  // Query 1: served fast. Query 2: served slow. Query 3: deadline miss.
+  obs::SchedEvent e = MakeEvent(obs::SchedEventKind::kRoute, 1.0, 1);
+  log.Append(e);
+  e = MakeEvent(obs::SchedEventKind::kServe, 2.0, 1);
+  e.value = 1.0;
+  log.Append(e);
+  e = MakeEvent(obs::SchedEventKind::kRoute, 1.0, 2);
+  log.Append(e);
+  e = MakeEvent(obs::SchedEventKind::kServe, 90.0, 2);
+  e.value = 89.0;
+  log.Append(e);
+  e = MakeEvent(obs::SchedEventKind::kRoute, 3.0, 3);
+  log.Append(e);
+  log.Append(MakeEvent(obs::SchedEventKind::kDeadlineMiss, 50.0, 3));
+
+  const auto worst = obs::RankWorstQueries(log, 2);
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].query, 3u);
+  EXPECT_EQ(worst[0].terminal, "deadline-miss");
+  EXPECT_EQ(worst[1].query, 2u);  // slowest served next
+  EXPECT_TRUE(worst[0].complete);
+}
+
+TEST(PostmortemTest, WindowContainsAlertAndCountsActivity) {
+  obs::EventLog log;
+  log.Append(MakeEvent(obs::SchedEventKind::kAdmit, 10.0, 1));
+  obs::SchedEvent open = MakeEvent(obs::SchedEventKind::kBreakerOpen, 80.0);
+  open.backend = 0;
+  log.Append(open);
+  log.Append(MakeEvent(obs::SchedEventKind::kShed, 90.0, 2));
+  log.Append(MakeEvent(obs::SchedEventKind::kShed, 150.0, 3));  // after alert
+
+  obs::SloSpec spec;
+  spec.latency_threshold_ns = 100.0;
+  spec.objective = 0.99;
+  spec.rules.push_back({"page", /*long=*/50.0, /*short=*/10.0, 14.4});
+  obs::SloReport slo;
+  slo.name = "latency";
+  slo.objective = 0.99;
+  slo.total = 4;
+  slo.bad = 2;
+  slo.rules.push_back({"page", 14.4, /*fired=*/true,
+                       /*first_alert_ns=*/100.0, /*peak_burn=*/30.0});
+  slo.alerted = true;
+
+  const obs::PostmortemTrigger trigger(log);
+  const obs::PostmortemReport report = trigger.Trigger(spec, slo);
+  ASSERT_EQ(report.alerts.size(), 1u);
+  const obs::PostmortemAlert& alert = report.alerts[0];
+  EXPECT_EQ(alert.alert_ns, 100.0);
+  // Window = [alert - rule long window, alert]; always contains the alert.
+  EXPECT_EQ(alert.window_begin_ns, 50.0);
+  EXPECT_LE(alert.window_begin_ns, alert.alert_ns);
+  EXPECT_EQ(alert.events_in_window, 2u);  // breaker-open + first shed
+  for (const obs::SchedEvent& e : alert.events) {
+    EXPECT_GE(e.time_ns, alert.window_begin_ns);
+    EXPECT_LE(e.time_ns, alert.alert_ns);
+  }
+  // Activity diff: sheds total 2, in window 1; the admit is outside.
+  for (std::size_t k = 0; k < alert.kind_names.size(); ++k) {
+    if (alert.kind_names[k] == std::string("shed")) {
+      EXPECT_EQ(alert.kind_window_counts[k], 1u);
+      EXPECT_EQ(alert.kind_total_counts[k], 2u);
+    }
+    if (alert.kind_names[k] == std::string("admit")) {
+      EXPECT_EQ(alert.kind_window_counts[k], 0u);
+    }
+  }
+  ASSERT_EQ(alert.breaker_states.size(), 1u);
+  EXPECT_EQ(alert.breaker_states[0], "open");
+  EXPECT_EQ(alert.breaker_open_since_ns[0], 80.0);
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"alerts\""), std::string::npos);
+  EXPECT_NE(json.find("\"activity\""), std::string::npos);
+}
+
+TEST(PostmortemTest, NothingFiredYieldsEmptyAlertsButBudgetNumbers) {
+  const obs::EventLog log = RichLog();
+  obs::SloSpec spec;
+  obs::SloReport slo;
+  slo.total = 10;
+  slo.error_budget_remaining = 0.75;
+  const obs::PostmortemReport report =
+      obs::PostmortemTrigger(log).Trigger(spec, slo);
+  EXPECT_TRUE(report.alerts.empty());
+  EXPECT_EQ(report.total, 10u);
+  EXPECT_EQ(report.error_budget_remaining, 0.75);
+}
+
+TEST(ExporterTest, HelpPrecedesTypePrecedesSamples) {
+  MetricsRegistry registry;
+  registry.counter("hits_total", {{"kind", "hbm"}}).Inc(3);
+  registry.counter("hits_total", {{"kind", "ddr"}}).Inc(1);
+  registry.SetHelp("hits_total", "accesses that hit");
+  registry.gauge("depth").Set(2.0);  // no help set: generic fallback
+  registry.histogram("latency_ns").Observe(5.0);
+  registry.SetHelp("latency_ns", "line1\nline2\\tail");
+
+  const std::string prom = registry.ToPrometheus();
+  const struct {
+    const char* help;
+    const char* type;
+    const char* sample;
+  } families[] = {
+      {"# HELP hits_total accesses that hit", "# TYPE hits_total counter",
+       "hits_total{kind=\"ddr\"} 1"},
+      {"# HELP depth microrec metric depth", "# TYPE depth gauge",
+       "depth 2"},
+      // Newlines and backslashes in HELP text are escaped per the
+      // exposition format.
+      {"# HELP latency_ns line1\\nline2\\\\tail",
+       "# TYPE latency_ns histogram", "latency_ns_count 1"},
+  };
+  for (const auto& f : families) {
+    const std::size_t help_pos = prom.find(f.help);
+    const std::size_t type_pos = prom.find(f.type);
+    const std::size_t sample_pos = prom.find(f.sample);
+    ASSERT_NE(help_pos, std::string::npos) << f.help << "\n" << prom;
+    ASSERT_NE(type_pos, std::string::npos) << f.type;
+    ASSERT_NE(sample_pos, std::string::npos) << f.sample;
+    EXPECT_LT(help_pos, type_pos) << f.help;
+    EXPECT_LT(type_pos, sample_pos) << f.type;
+  }
+  // One HELP + TYPE pair per family, not per label set.
+  std::size_t count = 0;
+  for (std::size_t pos = prom.find("# HELP hits_total");
+       pos != std::string::npos;
+       pos = prom.find("# HELP hits_total", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+  // Snapshots carry the help text through diff and merge.
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.help.at("hits_total"), "accesses that hit");
+  const obs::MetricsSnapshot merged = obs::MergeSnapshots({snap, snap});
+  EXPECT_EQ(merged.help.at("hits_total"), "accesses that hit");
 }
 
 }  // namespace

@@ -5,9 +5,12 @@
 # trace-event schema), metrics.json (structured dump), metrics.prom
 # (Prometheus text format), and timeline.json (per-bank time series) --
 # plus the critical-path attribution drilldown and the burn-rate SLO
-# report, then runs the telemetry unit tests, including the identity gates
-# that assert simulation results are bit-for-bit unchanged by
-# instrumentation.
+# report; then exercises the scheduler flight recorder end to end -- a
+# small chaos sweep with --record-events/--postmortem, JSON validation of
+# both artifacts, and `microrec explain` reconstructing the worst-offender
+# timelines from the written log; then runs the telemetry unit tests,
+# including the identity gates that assert simulation results are
+# bit-for-bit unchanged by instrumentation.
 # Usage: tools/verify_obs.sh [build-dir]
 set -euo pipefail
 
@@ -46,10 +49,29 @@ grep -q 'process_name' "$workdir/trace.json"
 grep -q '"counters"' "$workdir/metrics.json"
 grep -q 'system_item_latency_ns' "$workdir/metrics.json"
 
-# Prometheus exposition format: TYPE lines plus histogram series.
+# Prometheus exposition format: HELP + TYPE lines plus histogram series.
+grep -q '^# HELP ' "$workdir/metrics.prom"
 grep -q '^# TYPE ' "$workdir/metrics.prom"
 grep -q '_bucket{' "$workdir/metrics.prom"
 grep -q '_count' "$workdir/metrics.prom"
+
+# Flight recorder leg: a small chaos sweep records the blessed point's
+# event log and the burn-rate postmortem, both artifacts parse as JSON,
+# and `explain` reconstructs per-query timelines straight from the file.
+"$build/tools/microrec" chaos-sweep --queries 3000 --fault-points 2 \
+  --record-events "$workdir/events.json" \
+  --postmortem "$workdir/postmortem.json" > "$workdir/chaos.out"
+grep -q "flight recorder:" "$workdir/chaos.out"
+grep -q "wrote postmortem" "$workdir/chaos.out"
+python3 -m json.tool "$workdir/events.json" >/dev/null
+python3 -m json.tool "$workdir/postmortem.json" >/dev/null
+grep -q '"events"' "$workdir/events.json"
+grep -q '"alerts"' "$workdir/postmortem.json"
+"$build/tools/microrec" explain "$workdir/events.json" --worst 3 \
+  > "$workdir/explain.out"
+grep -q "event log:" "$workdir/explain.out"
+grep -q "deadline-missed" "$workdir/explain.out"
+grep -q "admission(s)" "$workdir/explain.out"
 
 "$build/tests/obs_test" >/dev/null
 
