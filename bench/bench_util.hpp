@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <functional>
 #include <string>
 #include <utility>
@@ -102,6 +103,19 @@ class JsonReport {
     meta_.emplace_back(std::move(key), std::move(value));
   }
 
+  /// Declares metric names (meta or record fields) as wall-clock-dependent:
+  /// the perf gate checks their presence and type against a blessed
+  /// baseline but skips the value comparison. Emitted into the report as a
+  /// "volatile_metrics" meta string that obs::ComparePerfReports reads from
+  /// the *baseline* side. Deterministic fields -- and the boolean pass
+  /// gates derived from the volatile numbers -- stay hard-compared.
+  void MarkVolatile(std::initializer_list<std::string> names) {
+    for (const auto& n : names) {
+      if (!volatile_.empty()) volatile_ += ",";
+      volatile_ += n;
+    }
+  }
+
   void AddRecord(JsonFields fields) { records_.push_back(std::move(fields)); }
   std::size_t num_records() const { return records_.size(); }
 
@@ -121,6 +135,7 @@ class JsonReport {
       obs::JsonWriter w(out, /*indent=*/2);
       w.BeginObject();
       w.KV("bench", bench_name_);
+      if (!volatile_.empty()) w.KV("volatile_metrics", volatile_);
       for (const auto& [key, value] : meta_) {
         w.Key(key);
         value.WriteTo(w);
@@ -146,6 +161,7 @@ class JsonReport {
 
  private:
   std::string bench_name_;
+  std::string volatile_;  ///< comma-joined MarkVolatile names
   JsonFields meta_;
   std::vector<JsonFields> records_;
 };

@@ -49,6 +49,13 @@ void ThreadPool::ParallelFor(
       (count + workers_.size() - 1) / workers_.size();
   const std::size_t chunk = std::max<std::size_t>(
       {std::size_t{1}, grain, default_chunk});
+  if (chunk >= count) {
+    // Single shard: run inline on the caller instead of round-tripping
+    // through the queue. Besides latency this keeps the hot inference path
+    // allocation-free (Submit allocates a packaged_task + future).
+    fn(0, count);
+    return;
+  }
   std::vector<std::future<void>> futures;
   futures.reserve((count + chunk - 1) / chunk);
   for (std::size_t begin = 0; begin < count; begin += chunk) {

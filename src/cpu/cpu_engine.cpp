@@ -2,6 +2,11 @@
 
 #include <chrono>
 #include <cstring>
+#include <utility>
+
+#include "tensor/activations.hpp"
+#include "tensor/gather.hpp"
+#include "tensor/gemm.hpp"
 
 namespace microrec {
 
@@ -30,8 +35,38 @@ CpuEngine::CpuEngine(const RecModelSpec& model, std::uint64_t max_physical_rows,
   }
 }
 
+void CpuEngine::ReserveScratch(InferenceScratch& scratch,
+                               std::size_t max_batch) const {
+  scratch.features.ResizeUninit(max_batch, feature_length());
+  // Replay the ping-pong schedule so each buffer's capacity covers every
+  // layer width it will ever host at this batch size.
+  MatrixF* bufs[2] = {&scratch.mlp.a, &scratch.mlp.b};
+  for (std::size_t i = 0; i < model_.mlp.hidden.size(); ++i) {
+    bufs[i % 2]->ResizeUninit(max_batch, model_.mlp.hidden[i]);
+  }
+  scratch.probs.reserve(max_batch);
+  scratch.one.reserve(feature_length());
+}
+
 void CpuEngine::GatherQuery(const SparseQuery& query,
                             std::span<float> out) const {
+  const std::uint32_t lookups = model_.lookups_per_table;
+  MICROREC_CHECK(query.indices.size() == tables_.size() * lookups);
+  const std::span<const std::uint64_t> indices(query.indices);
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const std::uint32_t dim = tables_[t].spec().dim;
+    MICROREC_CHECK(offset + dim <= out.size());
+    GatherSumPoolAuto(tables_[t].packed_view(),
+                      indices.subspan(t * lookups, lookups),
+                      out.subspan(offset, dim));
+    offset += dim;
+  }
+  MICROREC_CHECK(offset == out.size());
+}
+
+void CpuEngine::GatherQueryReference(const SparseQuery& query,
+                                     std::span<float> out) const {
   const std::uint32_t lookups = model_.lookups_per_table;
   MICROREC_CHECK(query.indices.size() == tables_.size() * lookups);
   std::size_t offset = 0;
@@ -57,7 +92,16 @@ void CpuEngine::GatherQuery(const SparseQuery& query,
 
 void CpuEngine::EmbeddingLayer(std::span<const SparseQuery> queries,
                                MatrixF& features) const {
-  features.Resize(queries.size(), feature_length());
+  features.ResizeUninit(queries.size(), feature_length());
+  if (pool_.num_threads() == 1) {
+    // Run inline: sharding a 1-worker pool only adds dispatch overhead, and
+    // the std::function hand-off below allocates (the zero-alloc guarantee
+    // holds for single-threaded engines).
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      GatherQuery(queries[i], features.row(i));
+    }
+    return;
+  }
   pool_.ParallelFor(queries.size(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       GatherQuery(queries[i], features.row(i));
@@ -65,13 +109,82 @@ void CpuEngine::EmbeddingLayer(std::span<const SparseQuery> queries,
   });
 }
 
+std::span<const float> CpuEngine::InferBatch(
+    std::span<const SparseQuery> queries, InferenceScratch& scratch,
+    CpuBatchTiming* timing) const {
+  const Nanoseconds t0 = NowNs();
+  EmbeddingLayer(queries, scratch.features);
+  const Nanoseconds t1 = NowNs();
+  scratch.probs.resize(queries.size());
+  mlp_.ForwardBatch(scratch.features, scratch.mlp, scratch.probs);
+  const Nanoseconds t2 = NowNs();
+  if (timing != nullptr) {
+    timing->embedding_ns = t1 - t0;
+    timing->dnn_ns = t2 - t1;
+    timing->overhead_ns =
+        overhead_.EmbeddingOverhead(
+            static_cast<std::uint32_t>(tables_.size())) +
+        overhead_.DnnOverhead(
+            static_cast<std::uint32_t>(model_.mlp.hidden.size()));
+  }
+  return scratch.probs;
+}
+
 std::vector<float> CpuEngine::InferBatch(std::span<const SparseQuery> queries,
                                          CpuBatchTiming* timing) const {
+  InferenceScratch scratch;
+  InferBatch(queries, scratch, timing);
+  return std::move(scratch.probs);
+}
+
+float CpuEngine::InferOne(const SparseQuery& query,
+                          InferenceScratch& scratch) const {
+  scratch.one.resize(feature_length());
+  GatherQuery(query, scratch.one);
+  return mlp_.ForwardOne(scratch.one, scratch.mlp);
+}
+
+float CpuEngine::InferOne(const SparseQuery& query) const {
+  InferenceScratch scratch;
+  return InferOne(query, scratch);
+}
+
+std::vector<float> CpuEngine::InferBatchReference(
+    std::span<const SparseQuery> queries, CpuBatchTiming* timing) const {
+  // Frozen pre-optimization path; structure deliberately preserved:
+  // fresh feature matrix, scalar per-element pooling, unfused GEMM with a
+  // separate bias + ReLU sweep, and a reallocated activation matrix per
+  // layer. Changing this defeats the wall-clock speedup gate.
   MatrixF features;
   const Nanoseconds t0 = NowNs();
-  EmbeddingLayer(queries, features);
+  features.Resize(queries.size(), feature_length());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    GatherQueryReference(queries[i], features.row(i));
+  }
   const Nanoseconds t1 = NowNs();
-  std::vector<float> probs = mlp_.ForwardBatch(features);
+  MatrixF activ = features;
+  MatrixF next;
+  for (std::size_t i = 0; i < model_.mlp.hidden.size(); ++i) {
+    GemmAuto(activ, mlp_.weights(i), next);
+    const std::span<const float> bias = mlp_.biases(i);
+    for (std::size_t r = 0; r < next.rows(); ++r) {
+      auto row = next.row(r);
+      for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
+      ReluInPlace(row);
+    }
+    activ = std::move(next);
+    next = MatrixF();
+  }
+  std::vector<float> probs(activ.rows());
+  const MatrixF& head = mlp_.head_weights();
+  for (std::size_t r = 0; r < activ.rows(); ++r) {
+    float logit = mlp_.head_bias();
+    const auto row = activ.row(r);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      logit += row[j] * head(j, 0);
+    }
+    probs[r] = Sigmoid(logit);
+  }
   const Nanoseconds t2 = NowNs();
   if (timing != nullptr) {
     timing->embedding_ns = t1 - t0;
@@ -83,12 +196,6 @@ std::vector<float> CpuEngine::InferBatch(std::span<const SparseQuery> queries,
             static_cast<std::uint32_t>(model_.mlp.hidden.size()));
   }
   return probs;
-}
-
-float CpuEngine::InferOne(const SparseQuery& query) const {
-  std::vector<float> features(feature_length());
-  GatherQuery(query, features);
-  return mlp_.Forward(features);
 }
 
 CpuBatchTiming CpuEngine::MeasureEmbeddingLayer(

@@ -7,6 +7,15 @@
 // structure: per-batch operator dispatch + memory-bound embedding stage +
 // compute-bound FC stage. Wall-clock measurements on this host are reported
 // alongside the paper's published numbers (cpu/paper_baseline.hpp).
+//
+// The hot path is built for hardware speed: gathers run through the
+// vectorized gather/sum-pool kernel over the packed row layout
+// (tensor/gather.hpp), the MLP through the fused-epilogue register-tiled
+// GEMM (tensor/gemm.hpp), and all intermediate state lives in a
+// caller-held InferenceScratch so steady-state batches perform zero heap
+// allocations. The pre-optimization path is kept as InferBatchReference --
+// the correctness ground truth for tests and the honest "before" baseline
+// the wall-clock benches gate their speedup against.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,18 @@ struct CpuBatchTiming {
   Nanoseconds total_ns() const { return embedding_ns + dnn_ns + overhead_ns; }
 };
 
+/// Per-thread arena for the inference hot path: the feature matrix, the
+/// MLP's ping-pong activation buffers, and the output probabilities.
+/// Buffers grow to high-water marks and are then reused, so steady-state
+/// InferBatch/InferOne calls perform zero heap allocations (test-enforced
+/// in zero_alloc_test). Not thread-safe: use one scratch per thread.
+struct InferenceScratch {
+  MatrixF features;          ///< [batch x feature_len]
+  MlpScratch mlp;            ///< ping-pong activations
+  std::vector<float> probs;  ///< one probability per query
+  std::vector<float> one;    ///< single-query feature vector (InferOne)
+};
+
 class CpuEngine {
  public:
   /// Materializes the model's tables (capped per table by
@@ -45,28 +66,57 @@ class CpuEngine {
   const MlpModel& mlp() const { return mlp_; }
   std::span<const EmbeddingTable> tables() const { return tables_; }
 
+  /// Pre-sizes every scratch buffer for batches up to `max_batch` so even
+  /// the first InferBatch call through it is allocation-free.
+  void ReserveScratch(InferenceScratch& scratch, std::size_t max_batch) const;
+
   /// Gathers + concatenates embeddings for a batch into `features`
   /// ([batch x feature_len]). This is the embedding layer in isolation
   /// (Table 4's measured quantity).
   void EmbeddingLayer(std::span<const SparseQuery> queries,
                       MatrixF& features) const;
 
-  /// Full inference over a batch; fills `timing` if non-null.
+  /// Full inference over a batch through caller-held scratch; returns a
+  /// view of scratch.probs (valid until the next call with that scratch).
+  /// Fills `timing` if non-null. Zero heap allocations in steady state.
+  std::span<const float> InferBatch(std::span<const SparseQuery> queries,
+                                    InferenceScratch& scratch,
+                                    CpuBatchTiming* timing = nullptr) const;
+
+  /// Convenience wrapper owning a transient scratch.
   std::vector<float> InferBatch(std::span<const SparseQuery> queries,
                                 CpuBatchTiming* timing = nullptr) const;
 
-  /// Reference single-item forward used by correctness tests.
+  /// Single-item forward through caller-held scratch: the real batch-1
+  /// latency path (vectorized GEMV, no per-call allocation).
+  float InferOne(const SparseQuery& query, InferenceScratch& scratch) const;
+
+  /// Convenience wrapper owning a transient scratch.
   float InferOne(const SparseQuery& query) const;
 
   /// Embedding layer timing alone (measured + overhead) for a batch.
   CpuBatchTiming MeasureEmbeddingLayer(
       std::span<const SparseQuery> queries) const;
 
+  /// The frozen pre-optimization implementation: scalar per-element
+  /// gather/pooling via EmbeddingTable::Lookup, unfused GEMM with a
+  /// separate bias+ReLU sweep, and fresh buffers every layer. Kept
+  /// bit-for-bit as correctness ground truth and as the baseline the
+  /// wall-clock benches measure the vectorized path's speedup against.
+  std::vector<float> InferBatchReference(std::span<const SparseQuery> queries,
+                                         CpuBatchTiming* timing = nullptr)
+      const;
+
   std::uint32_t feature_length() const { return model_.FeatureLength(); }
 
  private:
-  /// Writes the concatenated feature vector of one query into `out`.
+  /// Writes the concatenated feature vector of one query into `out` via
+  /// the dispatched vectorized gather kernel.
   void GatherQuery(const SparseQuery& query, std::span<float> out) const;
+
+  /// Pre-optimization gather (memcpy + scalar sum-pool over Lookup()).
+  void GatherQueryReference(const SparseQuery& query,
+                            std::span<float> out) const;
 
   RecModelSpec model_;
   std::vector<EmbeddingTable> tables_;

@@ -14,9 +14,9 @@ EmbeddingTable EmbeddingTable::Materialize(const TableSpec& spec,
   table.spec_ = spec;
   table.seed_ = seed;
   table.physical_rows_ = std::min<std::uint64_t>(spec.rows, max_physical_rows);
-  table.data_.resize(table.physical_rows_ * spec.dim);
+  table.data_.Resize(table.physical_rows_, spec.dim);
   for (std::uint64_t r = 0; r < table.physical_rows_; ++r) {
-    float* row = table.data_.data() + r * spec.dim;
+    const std::span<float> row = table.data_.row(r);
     for (std::uint32_t c = 0; c < spec.dim; ++c) {
       row[c] = ReferenceValue(seed, r, c);
     }
@@ -26,8 +26,7 @@ EmbeddingTable EmbeddingTable::Materialize(const TableSpec& spec,
 
 std::span<const float> EmbeddingTable::Lookup(std::uint64_t row) const {
   MICROREC_CHECK(row < spec_.rows);
-  const std::uint64_t physical = row % physical_rows_;
-  return {data_.data() + physical * spec_.dim, spec_.dim};
+  return data_.row(row % physical_rows_);
 }
 
 float EmbeddingTable::ReferenceValue(std::uint64_t seed, std::uint64_t row,

@@ -18,6 +18,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "embedding/table_spec.hpp"
+#include "tensor/packed_rows.hpp"
 
 namespace microrec {
 
@@ -38,6 +39,11 @@ class EmbeddingTable {
   /// physical cap wrap. Never fails for row < spec().rows.
   std::span<const float> Lookup(std::uint64_t row) const;
 
+  /// Zero-copy view of the packed row arena (rows padded to 8 floats) for
+  /// the vectorized gather kernels (tensor/gather.hpp). The view's `rows`
+  /// is the physical count; gather kernels wrap virtual indices themselves.
+  PackedTableView packed_view() const { return data_.view(); }
+
   /// Ground-truth content function: what Lookup(row)[col] returns for a
   /// fully materialized table. Deterministic in (seed, row, col); values
   /// are in (-0.25, 0.25) so MLP pre-activations stay in fixed-point range.
@@ -55,7 +61,7 @@ class EmbeddingTable {
   TableSpec spec_;
   std::uint64_t seed_ = 0;
   std::uint64_t physical_rows_ = 0;
-  std::vector<float> data_;  // row-major [physical_rows_ x dim]
+  PackedRowBuffer data_;  // [physical_rows_ x dim], stride padded to 8
 };
 
 /// Gathers the vectors for `indices` (one per table, in order) from

@@ -61,47 +61,58 @@ MlpModel MlpModel::Create(const MlpSpec& spec, std::uint64_t seed) {
   return model;
 }
 
-float MlpModel::Forward(std::span<const float> input) const {
-  MICROREC_CHECK(input.size() == spec_.input_dim);
-  std::vector<float> activ(input.begin(), input.end());
-  std::vector<float> next;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    next.assign(spec_.hidden[i], 0.0f);
-    Gemv(activ, weights_[i], next);
-    for (std::size_t j = 0; j < next.size(); ++j) next[j] += biases_[i][j];
-    ReluInPlace(next);
-    activ.swap(next);
-  }
+float MlpModel::HeadLogit(std::span<const float> activ) const {
   float logit = head_bias_;
   for (std::size_t j = 0; j < activ.size(); ++j) {
     logit += activ[j] * head_weights_(j, 0);
   }
-  return Sigmoid(logit);
+  return logit;
+}
+
+float MlpModel::ForwardOne(std::span<const float> input,
+                           MlpScratch& scratch) const {
+  MICROREC_CHECK(input.size() == spec_.input_dim);
+  MatrixF* bufs[2] = {&scratch.a, &scratch.b};
+  std::span<const float> activ = input;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    MatrixF& next = *bufs[i % 2];
+    next.ResizeUninit(1, spec_.hidden[i]);
+    GemvAutoEx(activ, weights_[i], next.row(0),
+               {.bias = biases_[i], .relu = true});
+    activ = next.row(0);
+  }
+  return Sigmoid(HeadLogit(activ));
+}
+
+float MlpModel::Forward(std::span<const float> input) const {
+  MlpScratch scratch;
+  return ForwardOne(input, scratch);
+}
+
+void MlpModel::ForwardBatch(const MatrixF& inputs, MlpScratch& scratch,
+                            std::span<float> probs) const {
+  MICROREC_CHECK(inputs.cols() == spec_.input_dim);
+  MICROREC_CHECK(probs.size() == inputs.rows());
+  // Ping-pong between the two persistent buffers: layer i writes one while
+  // reading the other (layer 0 reads `inputs`), so no layer allocates once
+  // the buffers have grown to the spec's widths. Bias + ReLU are fused
+  // into the GEMM's register write-back instead of a second sweep.
+  MatrixF* bufs[2] = {&scratch.a, &scratch.b};
+  const MatrixF* activ = &inputs;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    MatrixF& next = *bufs[i % 2];
+    GemmAutoEx(*activ, weights_[i], next, {.bias = biases_[i], .relu = true});
+    activ = &next;
+  }
+  for (std::size_t r = 0; r < activ->rows(); ++r) {
+    probs[r] = Sigmoid(HeadLogit(activ->row(r)));
+  }
 }
 
 std::vector<float> MlpModel::ForwardBatch(const MatrixF& inputs) const {
-  MICROREC_CHECK(inputs.cols() == spec_.input_dim);
-  MatrixF activ = inputs;
-  MatrixF next;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    GemmAuto(activ, weights_[i], next);
-    for (std::size_t r = 0; r < next.rows(); ++r) {
-      auto row = next.row(r);
-      for (std::size_t j = 0; j < row.size(); ++j) row[j] += biases_[i][j];
-      ReluInPlace(row);
-    }
-    activ = std::move(next);
-    next = MatrixF();
-  }
-  std::vector<float> out(activ.rows());
-  for (std::size_t r = 0; r < activ.rows(); ++r) {
-    float logit = head_bias_;
-    const auto row = activ.row(r);
-    for (std::size_t j = 0; j < row.size(); ++j) {
-      logit += row[j] * head_weights_(j, 0);
-    }
-    out[r] = Sigmoid(logit);
-  }
+  MlpScratch scratch;
+  std::vector<float> out(inputs.rows());
+  ForwardBatch(inputs, scratch, out);
   return out;
 }
 

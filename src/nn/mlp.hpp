@@ -33,6 +33,14 @@ struct MlpSpec {
   Status Validate() const;
 };
 
+/// Reusable activation buffers for the forward pass: two ping-pong
+/// matrices that layer i writes alternately (layer i reads the other).
+/// Matrix storage is capacity-reusing, so after the first call at a given
+/// batch size every subsequent forward performs zero heap allocations.
+struct MlpScratch {
+  MatrixF a, b;
+};
+
 /// Float MLP with deterministic He-style initialisation.
 class MlpModel {
  public:
@@ -48,15 +56,31 @@ class MlpModel {
   float head_bias() const { return head_bias_; }
 
   /// Single-item forward pass: input length spec().input_dim, returns the
-  /// click probability (sigmoid output).
+  /// click probability (sigmoid output). Allocation-free wrapper state is
+  /// available via ForwardOne.
   float Forward(std::span<const float> input) const;
 
+  /// Single-item forward through caller-held scratch (the batch-1 latency
+  /// path): vectorized GEMV with fused bias+ReLU, zero allocations in
+  /// steady state. Bit-identical to Forward.
+  float ForwardOne(std::span<const float> input, MlpScratch& scratch) const;
+
   /// Batched forward pass: `inputs` is [batch x input_dim]; returns one
-  /// probability per row. Uses the blocked GEMM kernel (this is the path
-  /// the CPU baseline measures).
+  /// probability per row. Uses the dispatched GEMM kernel (this is the
+  /// path the CPU baseline measures).
   std::vector<float> ForwardBatch(const MatrixF& inputs) const;
 
+  /// Batched forward through caller-held scratch: fused-epilogue GEMM into
+  /// ping-pong buffers, probabilities written to `probs` (one per input
+  /// row), zero heap allocations in steady state.
+  void ForwardBatch(const MatrixF& inputs, MlpScratch& scratch,
+                    std::span<float> probs) const;
+
  private:
+  /// Head logit for one activation row (shared by every forward variant so
+  /// batch-1, batched, and reference paths are bit-consistent).
+  float HeadLogit(std::span<const float> activ) const;
+
   MlpSpec spec_;
   std::vector<MatrixF> weights_;           // [in x out] per hidden layer
   std::vector<std::vector<float>> biases_; // per hidden layer

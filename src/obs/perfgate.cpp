@@ -35,7 +35,8 @@ void CompareValue(const std::string& locator, const std::string& key,
       diff.tolerance = opts.ToleranceFor(key);
       const double scale = std::max(std::abs(b), std::abs(c));
       diff.rel_delta = scale > 0.0 ? (c - b) / scale : 0.0;
-      diff.pass = std::abs(c - b) <= diff.tolerance * scale + kAbsSlack;
+      diff.pass = opts.volatile_metrics.contains(key) ||
+                  std::abs(c - b) <= diff.tolerance * scale + kAbsSlack;
       ++report.metrics_compared;
       if (!diff.pass) {
         char line[256];
@@ -95,6 +96,21 @@ void CompareFlatObject(const std::string& locator, const JsonValue& base,
   }
 }
 
+/// Splits a comma-separated name list ("a,b,c" or "a, b"); surrounding
+/// whitespace is trimmed and empty pieces dropped.
+std::set<std::string> ParseVolatileList(const std::string& list) {
+  std::set<std::string> names;
+  std::string piece;
+  std::istringstream is(list);
+  while (std::getline(is, piece, ',')) {
+    const std::size_t first = piece.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const std::size_t last = piece.find_last_not_of(" \t");
+    names.insert(piece.substr(first, last - first + 1));
+  }
+  return names;
+}
+
 }  // namespace
 
 PerfGateFileReport ComparePerfReports(const std::string& name,
@@ -107,7 +123,14 @@ PerfGateFileReport ComparePerfReports(const std::string& name,
     report.failures.push_back(name + ": report is not a JSON object");
     return report;
   }
-  CompareFlatObject("meta", baseline, current, opts, report);
+  // Honor the baseline's own volatile-metric declaration (only the
+  // *baseline*'s: a current report cannot exempt itself from the gate).
+  PerfGateOptions effective = opts;
+  if (const JsonValue* v = baseline.Find("volatile_metrics");
+      v != nullptr && v->kind() == JsonValue::Kind::kString) {
+    effective.volatile_metrics.merge(ParseVolatileList(v->AsString()));
+  }
+  CompareFlatObject("meta", baseline, current, effective, report);
 
   const JsonValue* base_records = baseline.Find("records");
   const JsonValue* cur_records = current.Find("records");
@@ -135,7 +158,7 @@ PerfGateFileReport ComparePerfReports(const std::string& name,
       report.failures.push_back(locator + ": record is not an object");
       continue;
     }
-    CompareFlatObject(locator, base_arr[i], cur_arr[i], opts, report);
+    CompareFlatObject(locator, base_arr[i], cur_arr[i], effective, report);
   }
   return report;
 }

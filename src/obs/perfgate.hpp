@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,15 @@ struct PerfGateOptions {
   double default_tolerance = 0.05;
   /// Per-metric overrides keyed by JSON field name (e.g. "p99_ns").
   std::map<std::string, double> metric_tolerance;
+
+  /// Metric names whose *values* are never compared (presence and type
+  /// still are). Union-ed with the baseline's own declaration: a baseline
+  /// whose meta carries `"volatile_metrics": "a,b,c"` (see
+  /// bench::JsonReport::MarkVolatile) exempts those fields, so genuinely
+  /// nondeterministic wall-clock numbers can live in a blessed baseline
+  /// while the deterministic fields -- and the pass/fail gate booleans
+  /// around them -- stay hard-compared.
+  std::set<std::string> volatile_metrics;
 
   double ToleranceFor(const std::string& metric) const;
 };

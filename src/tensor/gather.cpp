@@ -1,0 +1,53 @@
+#include "tensor/gather.hpp"
+
+#include <cstring>
+
+#include "common/status.hpp"
+#include "tensor/gemm.hpp"
+
+namespace microrec {
+
+namespace {
+
+/// Wraps a virtual row into the physical arena; the benches' power-of-two
+/// physical caps take the mask path instead of an integer divide.
+inline std::uint64_t WrapRow(std::uint64_t row, std::uint64_t rows) {
+  if ((rows & (rows - 1)) == 0) return row & (rows - 1);
+  return row < rows ? row : row % rows;
+}
+
+}  // namespace
+
+void GatherSumPoolScalar(const PackedTableView& view,
+                         std::span<const std::uint64_t> indices,
+                         std::span<float> out) {
+  MICROREC_CHECK(!view.empty() && !indices.empty());
+  MICROREC_CHECK(out.size() == view.dim);
+  const float* first = view.row(WrapRow(indices[0], view.rows));
+  if (indices.size() == 1) {
+    std::memcpy(out.data(), first, view.dim * sizeof(float));
+    return;
+  }
+  // Pool in lookup order, one accumulator per element: any vectorized
+  // variant that preserves this order is bit-exact equal.
+  for (std::uint32_t d = 0; d < view.dim; ++d) out[d] = first[d];
+  for (std::size_t l = 1; l < indices.size(); ++l) {
+    const float* vec = view.row(WrapRow(indices[l], view.rows));
+    if (l + 1 < indices.size()) {
+      __builtin_prefetch(view.row(WrapRow(indices[l + 1], view.rows)));
+    }
+    for (std::uint32_t d = 0; d < view.dim; ++d) out[d] += vec[d];
+  }
+}
+
+void GatherSumPoolAuto(const PackedTableView& view,
+                       std::span<const std::uint64_t> indices,
+                       std::span<float> out) {
+  if (CpuSupportsAvx2()) {
+    GatherSumPoolAvx2(view, indices, out);
+  } else {
+    GatherSumPoolScalar(view, indices, out);
+  }
+}
+
+}  // namespace microrec

@@ -1,0 +1,52 @@
+// Embedding gather / sum-pool kernels over the packed row layout.
+//
+// The gather is the memory-bound term that dominates recommendation
+// inference (RecNMP, arXiv 1912.12953): per query it reads `lookups`
+// random rows of a table and either copies (lookups == 1) or element-wise
+// sums them into the output slice. Two implementations share one contract:
+//
+//   * GatherSumPoolScalar -- portable reference, also the non-AVX2 path.
+//   * GatherSumPoolAvx2   -- 8-wide vector accumulation with software
+//     prefetch of upcoming lookups' rows (the index-dependent loads the
+//     hardware prefetcher cannot predict).
+//
+// Both pool in lookup order with one accumulator per output element (pure
+// additions, no reassociation), so scalar and AVX2 results are bit-exact
+// equal -- property-tested in tensor_test.
+//
+// Indices are *virtual* rows; the kernel wraps them modulo view.rows,
+// mirroring EmbeddingTable's physical-row capping. The power-of-two cap the
+// benches use turns the modulo into a mask.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/packed_rows.hpp"
+
+namespace microrec {
+
+/// Sum-pools view rows `indices[i] % view.rows` into `out` (length
+/// view.dim). With one index this is a row copy.
+void GatherSumPoolScalar(const PackedTableView& view,
+                         std::span<const std::uint64_t> indices,
+                         std::span<float> out);
+
+/// AVX2 variant; bit-exact equal to GatherSumPoolScalar. Only call when
+/// CpuSupportsAvx2() (tensor/gemm.hpp) is true.
+void GatherSumPoolAvx2(const PackedTableView& view,
+                       std::span<const std::uint64_t> indices,
+                       std::span<float> out);
+
+/// Runtime dispatch: AVX2 when the host supports it, scalar otherwise.
+void GatherSumPoolAuto(const PackedTableView& view,
+                       std::span<const std::uint64_t> indices,
+                       std::span<float> out);
+
+/// Bytes of row data a gather of `lookups` indices reads (the numerator of
+/// the gather GB/s metric in bench_kernels).
+constexpr std::uint64_t GatherBytes(std::uint64_t lookups, std::uint32_t dim) {
+  return lookups * dim * sizeof(float);
+}
+
+}  // namespace microrec

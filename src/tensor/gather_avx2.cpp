@@ -1,0 +1,142 @@
+// AVX2 gather/sum-pool kernel (compiled with -mavx2 -mfma for this file
+// only; callers reach it through GatherSumPoolAuto's runtime dispatch).
+//
+// The rows of one gather are index-dependent loads the hardware prefetcher
+// cannot predict, but the indices themselves are all known up front, so the
+// kernel resolves a few lookups ahead and issues _mm_prefetch for every
+// cache line of those rows while the current row is being pooled. Pooling
+// is 8-wide vector adds in lookup order with one accumulator per element
+// (no FMA, no reassociation), so the result is bit-exact equal to the
+// scalar kernel.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.hpp"
+#include "tensor/gather.hpp"
+
+namespace microrec {
+
+namespace {
+
+inline std::uint64_t WrapRow(std::uint64_t row, std::uint64_t rows) {
+  if ((rows & (rows - 1)) == 0) return row & (rows - 1);
+  return row < rows ? row : row % rows;
+}
+
+/// Prefetches every cache line of one packed row.
+inline void PrefetchRow(const float* row, std::uint32_t dim) {
+  const char* p = reinterpret_cast<const char*>(row);
+  const std::size_t bytes = dim * sizeof(float);
+  for (std::size_t b = 0; b < bytes; b += kCacheLineBytes) {
+    _mm_prefetch(p + b, _MM_HINT_T0);
+  }
+}
+
+/// Store mask with the low `tail` lanes enabled (tail in [1, 7]).
+inline __m256i TailMask(std::uint32_t tail) {
+  alignas(32) std::int32_t lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::uint32_t i = 0; i < tail; ++i) lanes[i] = -1;
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+}  // namespace
+
+void GatherSumPoolAvx2(const PackedTableView& view,
+                       std::span<const std::uint64_t> indices,
+                       std::span<float> out) {
+  MICROREC_CHECK(!view.empty() && !indices.empty());
+  MICROREC_CHECK(out.size() == view.dim);
+  const std::uint64_t rows = view.rows;
+  const std::uint32_t dim = view.dim;
+  const std::size_t n = indices.size();
+  if (n == 1) {
+    std::memcpy(out.data(), view.row(WrapRow(indices[0], rows)),
+                dim * sizeof(float));
+    return;
+  }
+
+  // Resolve and prefetch a few lookups ahead of the one being pooled; the
+  // ring holds the already-wrapped row pointers so each index is resolved
+  // exactly once.
+  constexpr std::size_t kAhead = 4;
+  const std::size_t ahead = std::min<std::size_t>(kAhead, n);
+  const float* ring[kAhead];
+  for (std::size_t l = 0; l < ahead; ++l) {
+    ring[l] = view.row(WrapRow(indices[l], rows));
+    PrefetchRow(ring[l], dim);
+  }
+
+  const std::size_t nfull = dim / 8;
+  const std::uint32_t tail = dim % 8;
+  const __m256i tmask = tail != 0 ? TailMask(tail) : _mm256_setzero_si256();
+  float* dst = out.data();
+
+  // dim <= 64 (every model in the paper's range): the whole output row fits
+  // in 8 ymm registers, so pool entirely in registers and store once at the
+  // end. Padding lanes of the last block accumulate garbage-free zeros and
+  // are dropped by the masked store. Same per-element add order as the
+  // general path below, so both are bit-exact equal to the scalar kernel.
+  if (dim <= 64) {
+    const std::size_t nblk = (dim + 7) / 8;  // blocks incl. the padded tail
+    __m256 acc[8];
+    {
+      const float* src = ring[0];
+      for (std::size_t v = 0; v < nblk; ++v) {
+        acc[v] = _mm256_loadu_ps(src + 8 * v);
+      }
+    }
+    for (std::size_t l = 1; l < n; ++l) {
+      const float* src = ring[l % ahead];
+      if (l - 1 + ahead < n) {
+        const float* next = view.row(WrapRow(indices[l - 1 + ahead], rows));
+        PrefetchRow(next, dim);
+        ring[(l - 1 + ahead) % ahead] = next;
+      }
+      for (std::size_t v = 0; v < nblk; ++v) {
+        acc[v] = _mm256_add_ps(acc[v], _mm256_loadu_ps(src + 8 * v));
+      }
+    }
+    for (std::size_t v = 0; v < nfull; ++v) {
+      _mm256_storeu_ps(dst + 8 * v, acc[v]);
+    }
+    if (tail != 0) _mm256_maskstore_ps(dst + 8 * nfull, tmask, acc[nfull]);
+    return;
+  }
+
+  for (std::size_t l = 0; l < n; ++l) {
+    const float* src = ring[l % ahead];
+    if (l + ahead < n) {
+      const float* next = view.row(WrapRow(indices[l + ahead], rows));
+      PrefetchRow(next, dim);
+      ring[(l + ahead) % ahead] = next;
+    }
+    // Full-width loads are always safe (rows are padded to 8 floats); the
+    // tail store is masked because `out` is a slice of the feature matrix,
+    // not padded storage.
+    if (l == 0) {
+      for (std::size_t v = 0; v < nfull; ++v) {
+        _mm256_storeu_ps(dst + 8 * v, _mm256_loadu_ps(src + 8 * v));
+      }
+      if (tail != 0) {
+        _mm256_maskstore_ps(dst + 8 * nfull, tmask,
+                            _mm256_loadu_ps(src + 8 * nfull));
+      }
+    } else {
+      for (std::size_t v = 0; v < nfull; ++v) {
+        const __m256 acc = _mm256_add_ps(_mm256_loadu_ps(dst + 8 * v),
+                                         _mm256_loadu_ps(src + 8 * v));
+        _mm256_storeu_ps(dst + 8 * v, acc);
+      }
+      if (tail != 0) {
+        const __m256 acc =
+            _mm256_add_ps(_mm256_maskload_ps(dst + 8 * nfull, tmask),
+                          _mm256_loadu_ps(src + 8 * nfull));
+        _mm256_maskstore_ps(dst + 8 * nfull, tmask, acc);
+      }
+    }
+  }
+}
+
+}  // namespace microrec

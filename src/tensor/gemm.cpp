@@ -4,6 +4,28 @@
 
 namespace microrec {
 
+namespace {
+
+/// Applies bias + ReLU to the tile [i0,i1) x [j0,j1) of c.
+void ApplyEpilogueTile(MatrixF& c, std::size_t i0, std::size_t i1,
+                       std::size_t j0, std::size_t j1,
+                       const GemmEpilogue& epilogue) {
+  if (epilogue.empty()) return;
+  const std::size_t n = c.cols();
+  const float* bias = epilogue.bias.empty() ? nullptr : epilogue.bias.data();
+  for (std::size_t i = i0; i < i1; ++i) {
+    float* crow = c.data() + i * n;
+    for (std::size_t j = j0; j < j1; ++j) {
+      float v = crow[j];
+      if (bias != nullptr) v += bias[j];
+      if (epilogue.relu && v < 0.0f) v = 0.0f;
+      crow[j] = v;
+    }
+  }
+}
+
+}  // namespace
+
 void GemmReference(const MatrixF& a, const MatrixF& b, MatrixF& c) {
   MICROREC_CHECK(a.cols() == b.rows());
   c.Resize(a.rows(), b.cols());
@@ -19,20 +41,24 @@ void GemmReference(const MatrixF& a, const MatrixF& b, MatrixF& c) {
   }
 }
 
-void GemmBlocked(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+void GemmBlockedEx(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                   const GemmEpilogue& epilogue) {
   MICROREC_CHECK(a.cols() == b.rows());
+  MICROREC_CHECK(epilogue.bias.empty() || epilogue.bias.size() == b.cols());
   c.Resize(a.rows(), b.cols());
-  c.Fill(0.0f);
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   // Block sizes chosen so an (MB x KB) A-panel and (KB x NB) B-panel fit in
-  // L1/L2 comfortably; i-k-j loop order streams B rows and keeps C rows hot.
+  // L1/L2 comfortably; i-k-j order within a tile streams B rows and keeps C
+  // rows hot. The j0 loop is outside p0 so a (i0, j0) tile finishes its full
+  // k accumulation before the next tile starts, letting the epilogue run on
+  // the still-hot tile instead of a second pass over the whole output.
   constexpr std::size_t kMB = 64, kKB = 128, kNB = 256;
   for (std::size_t i0 = 0; i0 < m; i0 += kMB) {
     const std::size_t i1 = std::min(m, i0 + kMB);
-    for (std::size_t p0 = 0; p0 < k; p0 += kKB) {
-      const std::size_t p1 = std::min(k, p0 + kKB);
-      for (std::size_t j0 = 0; j0 < n; j0 += kNB) {
-        const std::size_t j1 = std::min(n, j0 + kNB);
+    for (std::size_t j0 = 0; j0 < n; j0 += kNB) {
+      const std::size_t j1 = std::min(n, j0 + kNB);
+      for (std::size_t p0 = 0; p0 < k; p0 += kKB) {
+        const std::size_t p1 = std::min(k, p0 + kKB);
         for (std::size_t i = i0; i < i1; ++i) {
           float* crow = c.data() + i * n;
           const float* arow = a.data() + i * k;
@@ -45,8 +71,13 @@ void GemmBlocked(const MatrixF& a, const MatrixF& b, MatrixF& c) {
           }
         }
       }
+      ApplyEpilogueTile(c, i0, i1, j0, j1, epilogue);
     }
   }
+}
+
+void GemmBlocked(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  GemmBlockedEx(a, b, c, {});
 }
 
 bool CpuSupportsAvx2() {
@@ -55,17 +86,24 @@ bool CpuSupportsAvx2() {
   return supported;
 }
 
-void GemmAuto(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+void GemmAutoEx(const MatrixF& a, const MatrixF& b, MatrixF& c,
+                const GemmEpilogue& epilogue) {
   if (CpuSupportsAvx2()) {
-    GemmAvx2(a, b, c);
+    GemmAvx2Ex(a, b, c, epilogue);
   } else {
-    GemmBlocked(a, b, c);
+    GemmBlockedEx(a, b, c, epilogue);
   }
 }
 
-void Gemv(std::span<const float> x, const MatrixF& b, std::span<float> y) {
+void GemmAuto(const MatrixF& a, const MatrixF& b, MatrixF& c) {
+  GemmAutoEx(a, b, c, {});
+}
+
+void GemvEx(std::span<const float> x, const MatrixF& b, std::span<float> y,
+            const GemmEpilogue& epilogue) {
   MICROREC_CHECK(x.size() == b.rows());
   MICROREC_CHECK(y.size() == b.cols());
+  MICROREC_CHECK(epilogue.bias.empty() || epilogue.bias.size() == b.cols());
   const std::size_t k = b.rows(), n = b.cols();
   std::fill(y.begin(), y.end(), 0.0f);
   for (std::size_t p = 0; p < k; ++p) {
@@ -74,6 +112,28 @@ void Gemv(std::span<const float> x, const MatrixF& b, std::span<float> y) {
     for (std::size_t j = 0; j < n; ++j) {
       y[j] += xv * brow[j];
     }
+  }
+  if (!epilogue.empty()) {
+    const float* bias = epilogue.bias.empty() ? nullptr : epilogue.bias.data();
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = y[j];
+      if (bias != nullptr) v += bias[j];
+      if (epilogue.relu && v < 0.0f) v = 0.0f;
+      y[j] = v;
+    }
+  }
+}
+
+void Gemv(std::span<const float> x, const MatrixF& b, std::span<float> y) {
+  GemvEx(x, b, y, {});
+}
+
+void GemvAutoEx(std::span<const float> x, const MatrixF& b,
+                std::span<float> y, const GemmEpilogue& epilogue) {
+  if (CpuSupportsAvx2()) {
+    GemvAvx2Ex(x, b, y, epilogue);
+  } else {
+    GemvEx(x, b, y, epilogue);
   }
 }
 

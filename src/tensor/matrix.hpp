@@ -39,15 +39,27 @@ class Matrix {
   }
   ~Matrix() { Free(); }
 
+  /// Sets the shape and value-initializes every element. Storage is reused
+  /// (no allocation) whenever the new element count fits the existing
+  /// capacity, so steady-state reshapes of scratch matrices are heap-free.
   void Resize(std::size_t rows, std::size_t cols) {
-    Free();
+    ResizeUninit(rows, cols);
+    for (std::size_t i = 0; i < rows_ * cols_; ++i) data_[i] = T();
+  }
+
+  /// Like Resize but leaves element values unspecified when storage is
+  /// reused; for hot paths that overwrite every element anyway. Freshly
+  /// allocated storage is still value-initialized.
+  void ResizeUninit(std::size_t rows, std::size_t cols) {
+    if (rows * cols > capacity_) {
+      Free();
+      capacity_ = rows * cols;
+      data_ = static_cast<T*>(::operator new[](
+          capacity_ * sizeof(T), std::align_val_t(kCacheLineBytes)));
+      for (std::size_t i = 0; i < capacity_; ++i) new (data_ + i) T();
+    }
     rows_ = rows;
     cols_ = cols;
-    if (rows * cols > 0) {
-      data_ = static_cast<T*>(::operator new[](
-          rows * cols * sizeof(T), std::align_val_t(kCacheLineBytes)));
-      for (std::size_t i = 0; i < rows * cols; ++i) new (data_ + i) T();
-    }
   }
 
   std::size_t rows() const { return rows_; }
@@ -86,15 +98,15 @@ class Matrix {
  private:
   void Free() {
     if (data_ != nullptr) {
-      for (std::size_t i = 0; i < size(); ++i) data_[i].~T();
+      for (std::size_t i = 0; i < capacity_; ++i) data_[i].~T();
       ::operator delete[](data_, std::align_val_t(kCacheLineBytes));
       data_ = nullptr;
     }
-    rows_ = cols_ = 0;
+    rows_ = cols_ = capacity_ = 0;
   }
 
   void CopyFrom(const Matrix& other) {
-    Resize(other.rows_, other.cols_);
+    ResizeUninit(other.rows_, other.cols_);
     for (std::size_t i = 0; i < size(); ++i) data_[i] = other.data_[i];
   }
 
@@ -102,11 +114,13 @@ class Matrix {
     data_ = std::exchange(other.data_, nullptr);
     rows_ = std::exchange(other.rows_, 0);
     cols_ = std::exchange(other.cols_, 0);
+    capacity_ = std::exchange(other.capacity_, 0);
   }
 
   T* data_ = nullptr;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  std::size_t capacity_ = 0;  ///< constructed elements backing data_
 };
 
 using MatrixF = Matrix<float>;

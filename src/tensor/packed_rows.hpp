@@ -1,0 +1,75 @@
+// Packed embedding-row layout shared by the gather kernels.
+//
+// Rows live in one contiguous, 64-byte-aligned arena with the per-row
+// stride padded up to a multiple of 8 floats (one AVX2 vector), so a
+// vectorized kernel can always issue full-width loads: the tail lanes of a
+// row read deterministic zero padding instead of the next row. Both the
+// materialized EmbeddingTable and the hot-row cache store their rows in
+// this layout, which is what lets them share one gather/sum-pool kernel
+// (tensor/gather.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace microrec {
+
+/// Floats per AVX2 vector; row strides are padded to a multiple of this.
+inline constexpr std::uint32_t kPackedRowLanes = 8;
+
+constexpr std::uint32_t PackedRowStride(std::uint32_t dim) {
+  return (dim + kPackedRowLanes - 1) / kPackedRowLanes * kPackedRowLanes;
+}
+
+/// Non-owning view of a packed row arena. `rows` is the *physical* row
+/// count: gather kernels wrap incoming indices modulo `rows`, mirroring
+/// EmbeddingTable's physical-row capping.
+struct PackedTableView {
+  const float* data = nullptr;
+  std::uint64_t rows = 0;
+  std::uint32_t dim = 0;     ///< logical floats per row
+  std::uint32_t stride = 0;  ///< allocated floats per row (multiple of 8)
+
+  const float* row(std::uint64_t r) const { return data + r * stride; }
+  bool empty() const { return rows == 0; }
+};
+
+/// Owning packed row arena. Padding lanes are zero and stay zero (writers
+/// go through `row()` spans of length `dim`), so full-width vector loads
+/// over the stride are always safe and sum-pooling the padding is a no-op.
+class PackedRowBuffer {
+ public:
+  PackedRowBuffer() = default;
+  PackedRowBuffer(std::uint64_t rows, std::uint32_t dim) { Resize(rows, dim); }
+
+  void Resize(std::uint64_t rows, std::uint32_t dim) {
+    rows_ = rows;
+    dim_ = dim;
+    storage_.Resize(rows, PackedRowStride(dim));  // zero-fills, incl. padding
+  }
+
+  std::uint64_t rows() const { return rows_; }
+  std::uint32_t dim() const { return dim_; }
+  std::uint32_t stride() const { return storage_.cols(); }
+
+  /// Mutable logical row (length dim; padding lanes are not exposed).
+  std::span<float> row(std::uint64_t r) {
+    return storage_.row(r).subspan(0, dim_);
+  }
+  std::span<const float> row(std::uint64_t r) const {
+    return storage_.row(r).subspan(0, dim_);
+  }
+
+  PackedTableView view() const {
+    return PackedTableView{storage_.data(), rows_, dim_, stride()};
+  }
+
+ private:
+  MatrixF storage_;  // [rows x stride], 64-byte aligned
+  std::uint64_t rows_ = 0;
+  std::uint32_t dim_ = 0;
+};
+
+}  // namespace microrec

@@ -135,6 +135,25 @@ RecModelSpec DlrmRmc2Model(std::uint32_t num_tables, std::uint32_t vec_len) {
   return model;
 }
 
+RecModelSpec PooledCpuGateModel() {
+  RecModelSpec model;
+  model.name = "pooled-cpu-gate";
+  model.seed = 0xca7e;
+  model.lookups_per_table = 80;  // heavy pooling: gather-dominated
+  model.max_onchip_tables = 0;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    TableSpec spec;
+    spec.id = i;
+    spec.name = "pooled_" + std::to_string(i);
+    spec.rows = 1ull << 16;  // power of two: wrap is a mask
+    spec.dim = 64;
+    model.tables.push_back(std::move(spec));
+  }
+  model.mlp.input_dim = model.FeatureLength();  // 512
+  model.mlp.hidden = {512, 256, 128};
+  return model;
+}
+
 std::vector<TableSpec> RandomTables(Rng& rng, std::uint32_t count,
                                     std::uint64_t min_rows,
                                     std::uint64_t max_rows) {

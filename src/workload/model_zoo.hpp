@@ -56,6 +56,14 @@ RecModelSpec LargeProductionModel();
 /// [4, 64], each table within one HBM bank (256 MB).
 RecModelSpec DlrmRmc2Model(std::uint32_t num_tables, std::uint32_t vec_len);
 
+/// Pooled, embedding-heavy workload for the CPU wall-clock speedup gate
+/// (bench_kernels / bench_wallclock): 8 tables x 80 lookups x dim 64
+/// (RecNMP/DLRM pooling regime, where the gather dominates end-to-end
+/// time) with RMC-size hidden layers (512, 256, 128). Rows per table are
+/// a power of two (2^16) so, after physical capping at that size, gather
+/// index wrapping is a mask rather than a divide.
+RecModelSpec PooledCpuGateModel();
+
 /// Random table sets for property tests and ablations: `count` tables with
 /// log-uniform row counts in [min_rows, max_rows] and dims drawn from
 /// {4, 8, 16, 32, 64}.

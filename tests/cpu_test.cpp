@@ -142,6 +142,73 @@ TEST(CpuEngineTest, MultiLookupPoolingSums) {
   }
 }
 
+TEST(CpuEngineTest, ScratchInferBatchMatchesWrapper) {
+  const auto model = TinyModel();
+  CpuEngine engine(model, 1 << 20);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 9);
+  const auto queries = gen.NextBatch(13);
+  const auto wrapper = engine.InferBatch(queries);
+  InferenceScratch scratch;
+  const auto probs = engine.InferBatch(queries, scratch);
+  ASSERT_EQ(probs.size(), wrapper.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_EQ(probs[i], wrapper[i]) << "row " << i;
+  }
+}
+
+TEST(CpuEngineTest, ReferencePathMatchesOptimized) {
+  // The frozen pre-optimization path (scalar gather, unfused GEMM,
+  // per-layer reallocation) must agree with the vectorized engine. The
+  // gather is bit-exact by construction; FMA contraction in the GEMM
+  // bounds the MLP difference to a few ULP, comfortably inside 1e-5.
+  const auto model = PooledCpuGateModel();
+  CpuEngine engine(model, /*max_physical_rows=*/1 << 12, {}, /*threads=*/1);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 10);
+  const auto queries = gen.NextBatch(33);
+  const auto reference = engine.InferBatchReference(queries);
+  InferenceScratch scratch;
+  const auto optimized = engine.InferBatch(queries, scratch);
+  ASSERT_EQ(reference.size(), optimized.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(optimized[i], reference[i], 1e-5f) << "row " << i;
+  }
+}
+
+TEST(CpuEngineTest, EmptyBatchIsWellDefined) {
+  const auto model = TinyModel();
+  CpuEngine engine(model, 1 << 20);
+  const std::vector<SparseQuery> none;
+  InferenceScratch scratch;
+  EXPECT_TRUE(engine.InferBatch(none, scratch).empty());
+  EXPECT_TRUE(engine.InferBatch(none).empty());
+  EXPECT_TRUE(engine.InferBatchReference(none).empty());
+}
+
+TEST(CpuEngineTest, InferOneScratchMatchesWrapper) {
+  const auto model = TinyModel();
+  CpuEngine engine(model, 1 << 20);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 11);
+  InferenceScratch scratch;
+  for (int i = 0; i < 8; ++i) {
+    const SparseQuery query = gen.Next();
+    EXPECT_EQ(engine.InferOne(query, scratch), engine.InferOne(query));
+  }
+}
+
+TEST(CpuEngineTest, ReserveScratchDoesNotChangeResults) {
+  const auto model = TinyModel();
+  CpuEngine engine(model, 1 << 20);
+  QueryGenerator gen(model, IndexDistribution::kUniform, 12);
+  const auto queries = gen.NextBatch(21);
+  InferenceScratch cold;
+  InferenceScratch reserved;
+  engine.ReserveScratch(reserved, 64);  // over-reserve past the batch size
+  const auto a = engine.InferBatch(queries, cold);
+  const auto b = engine.InferBatch(queries, reserved);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
 TEST(CpuEngineTest, MultithreadedMatchesSingleThreaded) {
   const auto model = TinyModel();
   CpuEngine one(model, 1 << 20, {}, /*threads=*/1);

@@ -190,6 +190,41 @@ TEST(EmbeddingTableTest, FullMaterializationFlag) {
   EXPECT_TRUE(EmbeddingTable::Materialize(spec, 1).fully_materialized());
 }
 
+TEST(EmbeddingTableTest, PackedViewAgreesWithLookup) {
+  // The zero-copy packed view is what the vectorized gather reads; it must
+  // expose exactly the rows Lookup() serves, with the stride padded to 8
+  // floats and the padding lanes zero.
+  const TableSpec spec = MakeSpec(0, 40, 13);  // dim not a multiple of 8
+  const auto table = EmbeddingTable::Materialize(spec, 19);
+  const PackedTableView view = table.packed_view();
+  EXPECT_EQ(view.rows, table.physical_rows());
+  EXPECT_EQ(view.dim, spec.dim);
+  EXPECT_EQ(view.stride, PackedRowStride(spec.dim));
+  for (std::uint64_t r = 0; r < view.rows; ++r) {
+    const auto expected = table.Lookup(r);
+    const float* row = view.row(r);
+    for (std::uint32_t c = 0; c < spec.dim; ++c) {
+      ASSERT_EQ(row[c], expected[c]) << "row " << r << " col " << c;
+    }
+    for (std::uint32_t c = spec.dim; c < view.stride; ++c) {
+      ASSERT_EQ(row[c], 0.0f) << "padding lane " << c << " of row " << r;
+    }
+  }
+}
+
+TEST(EmbeddingTableTest, PackedViewCoversCappedTables) {
+  const TableSpec spec = MakeSpec(0, 1'000'000, 8);
+  const auto table =
+      EmbeddingTable::Materialize(spec, 23, /*max_physical_rows=*/64);
+  const PackedTableView view = table.packed_view();
+  EXPECT_EQ(view.rows, 64u);
+  // Virtual indices wrap identically through Lookup and the view.
+  const auto wrapped = table.Lookup(64 + 5);
+  for (std::uint32_t c = 0; c < spec.dim; ++c) {
+    EXPECT_EQ(view.row(5)[c], wrapped[c]);
+  }
+}
+
 TEST(GatherConcatTest, ConcatenatesInTableOrder) {
   std::vector<EmbeddingTable> tables;
   tables.push_back(EmbeddingTable::Materialize(MakeSpec(0, 10, 4), 1));

@@ -103,6 +103,48 @@ TEST(MlpModelTest, BatchMatchesSingle) {
   }
 }
 
+TEST(MlpModelTest, ScratchForwardBatchMatchesWrapper) {
+  const MlpSpec spec = SmallSpec();
+  const MlpModel model = MlpModel::Create(spec, 9);
+  Rng rng(13);
+  MatrixF inputs(11, spec.input_dim);
+  for (float& v : inputs.flat()) v = rng.NextFloat(-0.25f, 0.25f);
+  const std::vector<float> wrapper = model.ForwardBatch(inputs);
+  MlpScratch scratch;
+  std::vector<float> probs(inputs.rows());
+  model.ForwardBatch(inputs, scratch, probs);
+  ASSERT_EQ(probs.size(), wrapper.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_EQ(probs[i], wrapper[i]) << "row " << i;  // same code path
+  }
+  // A second pass through the warm scratch is bit-identical too.
+  std::vector<float> again(inputs.rows());
+  model.ForwardBatch(inputs, scratch, again);
+  EXPECT_EQ(again, probs);
+}
+
+TEST(MlpModelTest, ForwardOneMatchesForward) {
+  const MlpSpec spec = SmallSpec();
+  const MlpModel model = MlpModel::Create(spec, 21);
+  Rng rng(14);
+  MlpScratch scratch;
+  for (int i = 0; i < 10; ++i) {
+    const auto input = RandomInput(spec.input_dim, rng);
+    EXPECT_EQ(model.ForwardOne(input, scratch), model.Forward(input));
+  }
+}
+
+TEST(MlpModelTest, ForwardBatchHandlesEmptyBatch) {
+  const MlpSpec spec = SmallSpec();
+  const MlpModel model = MlpModel::Create(spec, 9);
+  MatrixF inputs(0, spec.input_dim);
+  MlpScratch scratch;
+  std::vector<float> probs;
+  model.ForwardBatch(inputs, scratch, probs);
+  EXPECT_TRUE(probs.empty());
+  EXPECT_TRUE(model.ForwardBatch(inputs).empty());
+}
+
 TEST(MlpModelTest, PaperSizedModelRuns) {
   MlpSpec spec;
   spec.input_dim = 352;

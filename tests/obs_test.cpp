@@ -776,6 +776,71 @@ TEST(PerfGateTest, StructuralMismatchesAreHardFailures) {
   EXPECT_FALSE(GateAgainstBaseline(missing, {}).pass());
 }
 
+// A wall-clock bench blesses its baseline with a volatile_metrics meta:
+// those numeric fields are structure-checked but never value-compared, so
+// hardware-speed drift cannot flake the gate while booleans and
+// deterministic fields stay load-bearing.
+constexpr const char* kVolatileBaseline = R"({
+  "bench": "wall",
+  "volatile_metrics": "qps, wall_ms",
+  "avx2": true,
+  "records": [
+    {"name": "r0", "qps": 1.0e6, "wall_ms": 12.0, "identical": true}
+  ]
+})";
+
+TEST(PerfGateTest, BaselineDeclaredVolatileMetricsIgnoreDrift) {
+  std::string current = kVolatileBaseline;
+  current.replace(current.find("1.0e6"), 5, "9.0e6");  // 9x faster machine
+  current.replace(current.find("12.0"), 4, "99.0");
+  const auto report = obs::ComparePerfReportText("wall", kVolatileBaseline,
+                                                 current, {});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->pass()) << obs::RenderPerfGateReport({{*report}, 0});
+}
+
+TEST(PerfGateTest, VolatileMetricsDoNotExemptBooleans) {
+  // A bool flipping is a correctness signal (e.g. avx2 silently off), not
+  // noise -- volatility never applies to it.
+  std::string current = kVolatileBaseline;
+  current.replace(current.find("\"avx2\": true"), 12, "\"avx2\": false");
+  const auto report = obs::ComparePerfReportText("wall", kVolatileBaseline,
+                                                 current, {});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->pass());
+}
+
+TEST(PerfGateTest, VolatileMetricsMustStillBePresent) {
+  std::string current = kVolatileBaseline;
+  const std::string dropped = ", \"wall_ms\": 12.0";
+  current.replace(current.find(dropped), dropped.size(), "");
+  const auto report = obs::ComparePerfReportText("wall", kVolatileBaseline,
+                                                 current, {});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->pass());  // structural: the field vanished
+}
+
+TEST(PerfGateTest, CurrentReportCannotExemptItself) {
+  // Only the *blessed baseline* may declare volatility; a current report
+  // claiming its own metrics are volatile is ignored.
+  constexpr const char* baseline = R"({
+    "bench": "wall", "qps": 1.0e6, "records": []
+  })";
+  constexpr const char* current = R"({
+    "bench": "wall", "volatile_metrics": "qps", "qps": 9.0e6, "records": []
+  })";
+  const auto report = obs::ComparePerfReportText("wall", baseline, current, {});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->pass());
+  // The drift itself is among the failures (not just the new meta field).
+  bool qps_failed = false;
+  for (const std::string& line : report->failures) {
+    qps_failed |= line.find("qps") != std::string::npos &&
+                  line.find("regressed") != std::string::npos;
+  }
+  EXPECT_TRUE(qps_failed);
+}
+
 TEST(PerfGateTest, RenderEndsWithVerdictLine) {
   obs::PerfGateReport report;
   report.files.push_back(GateAgainstBaseline(kBaselineBench, {}));

@@ -2,11 +2,16 @@
 # Perf-regression gate of the verify path: builds the deterministic bench
 # binaries, regenerates their BENCH_*.json reports in a scratch directory,
 # and compares them against the checked-in baselines in bench/baselines/
-# with `microrec perfgate`. Every compared bench is byte-deterministic
+# with `microrec perfgate`. The simulator benches are byte-deterministic
 # (fixed seeds, simulated time only -- bench_table2_end_to_end runs with
 # --no-measure so no wall-clock numbers enter the report), so the default
 # 5% tolerance is pure slack for cross-platform libm drift; any real model
-# change trips the gate in either direction.
+# change trips the gate in either direction. bench_kernels and
+# bench_wallclock DO measure wall-clock rates: their baselines declare
+# those fields in a "volatile_metrics" meta (structure-checked, never
+# value-compared), while the boolean gates -- avx2_supported, all_exact,
+# cpu_match, cpu_speedup_batch256_ge_2 -- stay hard-compared so a silent
+# scalar fallback or a lost speedup fails the gate deterministically.
 #
 # Usage: tools/check_perf_regression.sh [build-dir] [out-dir]
 # Exit status is microrec perfgate's: non-zero when any metric drifts.
@@ -21,7 +26,7 @@ out="${2:-}"
 
 benches=(bench_full_system bench_table2_end_to_end bench_ablation_hot_cache
          bench_ablation_update_rate bench_ablation_faults bench_scheduler
-         bench_chaos)
+         bench_chaos bench_kernels bench_wallclock)
 
 cmake -B "$build" -S "$repo" >/dev/null
 cmake --build "$build" -j "$(nproc)" --target microrec "${benches[@]}"
@@ -42,6 +47,8 @@ mkdir -p "$out"
   "$build/bench/bench_ablation_faults" >faults.log
   "$build/bench/bench_scheduler" >scheduler.log
   "$build/bench/bench_chaos" >chaos.log
+  "$build/bench/bench_kernels" >kernels.log
+  "$build/bench/bench_wallclock" >wallclock.log
 )
 
 "$build/tools/microrec" perfgate \

@@ -17,7 +17,12 @@
 # breakers, backend fault models, the event-loop scheduler's re-admission
 # bookkeeping, recovery metrics, the chaos sweep), and the flight
 # recorder on top of that (event ring + merge, timeline reconstruction,
-# postmortem snapshots, the recorder-attached identity gates).
+# postmortem snapshots, the recorder-attached identity gates), and the
+# vectorized CPU hot path (packed row layout, AVX2 gather/sum-pool vs
+# scalar, fused GEMM/GEMV epilogues, the packed hot-row cache, the
+# zero-allocation inference scratch, and the CpuEngine dispatch over them
+# -- exactly the code where a lane off-by-one or a padded-tail overread
+# would live).
 # Usage:
 #   tools/verify_sanitize.sh [build-dir] [ctest -R regex]
 # The regex matches ctest's discovered names (Suite.Test, e.g. "HotCache").
@@ -26,7 +31,7 @@ set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-"$repo/build-asan"}"
-filter="${2:-"Update|VersionedStore|HotCache|Embedding|Combined|Hybrid|FaultSchedule|FaultInjector|Failover|RetryPolicy|DmaRetry|DegradedServing|FailureDeath|Scaleout|ProvisionFleet|Metrics|Histogram|Exporter|JsonWriter|JsonReader|SpanTracer|TelemetryIdentity|Attribution|TimeSeries|Slo|PerfGate|Quantiles|PercentileTracker|Logging|ThreadPool|ParallelRunner|MergeSnapshots|ParallelDeterminism|BankModelOracle|HybridMemory|LoadGen|SchedBackend|SchedPolicy|SchedServing|SchedSweep|CircuitBreaker|BackendFaultModel|FtScheduler|Recovery|ChaosSweep|EventLog|Explain|Postmortem|FlightRecorder"}"
+filter="${2:-"Update|VersionedStore|HotCache|Embedding|Combined|Hybrid|FaultSchedule|FaultInjector|Failover|RetryPolicy|DmaRetry|DegradedServing|FailureDeath|Scaleout|ProvisionFleet|Metrics|Histogram|Exporter|JsonWriter|JsonReader|SpanTracer|TelemetryIdentity|Attribution|TimeSeries|Slo|PerfGate|Quantiles|PercentileTracker|Logging|ThreadPool|ParallelRunner|MergeSnapshots|ParallelDeterminism|BankModelOracle|HybridMemory|LoadGen|SchedBackend|SchedPolicy|SchedServing|SchedSweep|CircuitBreaker|BackendFaultModel|FtScheduler|Recovery|ChaosSweep|EventLog|Explain|Postmortem|FlightRecorder|Gather|PackedRow|GemmFused|GemvFused|MatrixCapacity|ZeroAlloc|CpuEngine|MlpModel"}"
 
 cmake -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
