@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_prof_util.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/table_printer.hpp"
@@ -252,7 +253,7 @@ int main() {
   TablePrinter table(
       {"Kernel", "Scalar/ref", "AVX2/opt", "Unit", "Speedup", "Exact"});
   bench::JsonReport json("kernels");
-  json.MarkVolatile({"scalar_rate", "avx2_rate", "speedup"});
+  json.MarkVolatile({"scalar_rate", "avx2_rate", "speedup", "prof_*"});
   json.Meta("avx2_supported", avx2);
   bool all_exact = true;
   for (const KernelRow& row : rows) {
@@ -272,11 +273,32 @@ int main() {
   }
   table.Print();
   json.Meta("all_exact", all_exact);
+
+  // -------------------------------- hardware phase attribution (obs/prof/)
+  // Perf-counter profile of the optimized engine at batch 256: where do
+  // the cycles go per phase, and does each phase land on the side of the
+  // roofline its kernel was designed for? The two classification bools
+  // are hard-gated; every prof_* number is volatile.
+  bench::PrintHeader(
+      "Hardware phase attribution: counters + roofline at batch 256",
+      "observability extension (hardware profiling layer, DESIGN.md s17)");
+  const auto prof_section = bench::RunProfSection(
+      json, PooledCpuGateModel(), /*batch=*/256, /*batches=*/24, /*seed=*/7);
   json.WriteFile();
 
   if (!all_exact) {
     std::printf("FAIL: an AVX2 kernel diverged from its reference beyond "
                 "the documented contract\n");
+    return 1;
+  }
+  if (!prof_section.gather_memory_bound || !prof_section.gemm_compute_bound) {
+    std::printf("FAIL: roofline classification inverted (gather %s, gemm "
+                "%s); expected gather memory-bound and batched GEMM "
+                "compute-bound on every host\n",
+                prof_section.gather_memory_bound ? "memory-bound"
+                                                 : "NOT memory-bound",
+                prof_section.gemm_compute_bound ? "compute-bound"
+                                                : "NOT compute-bound");
     return 1;
   }
   if (avx2) {

@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_prof_util.hpp"
 #include "bench_util.hpp"
 #include "common/table_printer.hpp"
 #include "core/microrec.hpp"
@@ -86,7 +87,28 @@ struct CpuPoint {
   double opt_qps = 0.0;
   double speedup = 0.0;
   bool match = true;
+  double p50_us = 0.0;  ///< optimized-path per-batch wall-clock percentiles
+  double p95_us = 0.0;
+  double p99_us = 0.0;
 };
+
+/// Per-batch latency distribution of the optimized path: `reps` InferBatch
+/// calls recorded through a timer-tier HwProfiler's histogram (the same
+/// obs::Histogram the full-system sims use), so the bench reports real
+/// p50/p95/p99, not just the median-of-9 throughput number.
+void MeasureLatencyPercentiles(CpuEngine& engine,
+                               std::span<const SparseQuery> queries,
+                               InferenceScratch& scratch, int reps,
+                               CpuPoint& p) {
+  obs::prof::HwProfiler prof(
+      {.backend = obs::prof::ProfBackend::kTimer});
+  engine.set_profiler(&prof);
+  for (int i = 0; i < reps; ++i) engine.InferBatch(queries, scratch);
+  engine.set_profiler(nullptr);
+  p.p50_us = prof.batch_latency().Quantile(0.50) / 1e3;
+  p.p95_us = prof.batch_latency().Quantile(0.95) / 1e3;
+  p.p99_us = prof.batch_latency().Quantile(0.99) / 1e3;
+}
 
 }  // namespace
 
@@ -111,7 +133,8 @@ int main() {
     QueryGenerator gen(cpu_model, IndexDistribution::kUniform, 7);
     InferenceScratch scratch;
     TablePrinter cpu_table({"Batch", "Reference q/s", "Optimized q/s",
-                            "Speedup", "Match"});
+                            "Speedup", "Match", "p50 us", "p95 us",
+                            "p99 us"});
     for (const std::size_t batch :
          {std::size_t{1}, std::size_t{64}, std::size_t{256}}) {
       const auto queries = gen.NextBatch(batch);
@@ -127,13 +150,17 @@ int main() {
       p.opt_qps = static_cast<double>(batch) / (opt_ns / 1e9);
       p.speedup = p.ref_qps > 0.0 ? p.opt_qps / p.ref_qps : 0.0;
       p.match = MatchesWithinUlps(engine.InferBatchReference(queries), probs);
+      MeasureLatencyPercentiles(engine, queries, scratch, /*reps=*/33, p);
       cpu_match = cpu_match && p.match;
       if (batch == 256) cpu_speedup_256 = p.speedup;
       cpu_table.AddRow({std::to_string(batch),
                         TablePrinter::Sci(p.ref_qps, 2),
                         TablePrinter::Sci(p.opt_qps, 2),
                         TablePrinter::Num(p.speedup, 2) + "x",
-                        p.match ? "yes" : "NO"});
+                        p.match ? "yes" : "NO",
+                        TablePrinter::Num(p.p50_us, 1),
+                        TablePrinter::Num(p.p95_us, 1),
+                        TablePrinter::Num(p.p99_us, 1)});
       cpu_points.push_back(p);
     }
     cpu_table.Print();
@@ -189,7 +216,8 @@ int main() {
                       "Speedup vs 1T", "Bit-identical"});
   bench::JsonReport json("wallclock");
   json.MarkVolatile({"wall_ms", "sim_queries_per_wall_s", "speedup_vs_1t",
-                     "ref_qps", "opt_qps", "speedup", "hardware_threads"});
+                     "ref_qps", "opt_qps", "speedup", "hardware_threads",
+                     "opt_p50_us", "opt_p95_us", "opt_p99_us", "prof_*"});
   json.Meta("sweep_points", static_cast<std::uint64_t>(points.size()));
   json.Meta("queries_per_point", kQueries);
   json.Meta("hardware_threads",
@@ -201,7 +229,10 @@ int main() {
                     {"ref_qps", p.ref_qps},
                     {"opt_qps", p.opt_qps},
                     {"speedup", p.speedup},
-                    {"match", p.match}});
+                    {"match", p.match},
+                    {"opt_p50_us", p.p50_us},
+                    {"opt_p95_us", p.p95_us},
+                    {"opt_p99_us", p.p99_us}});
   }
 
   bool all_identical = true;
@@ -243,6 +274,13 @@ int main() {
   // host difference to the perf gate).
   const bool cpu_gate = !avx2 || cpu_speedup_256 >= 2.0;
   json.Meta("cpu_speedup_batch256_ge_2", cpu_gate);
+
+  // -------------------------------- hardware phase attribution (obs/prof/)
+  bench::PrintHeader(
+      "Hardware phase attribution: counters + roofline at batch 256",
+      "observability extension (hardware profiling layer, DESIGN.md s17)");
+  const auto prof_section = bench::RunProfSection(
+      json, cpu_model, /*batch=*/256, /*batches=*/24, /*seed=*/13);
   json.WriteFile();
 
   if (!cpu_match) {
@@ -261,6 +299,17 @@ int main() {
   } else {
     std::printf("note: host lacks AVX2; the >= 2x CPU speedup gate was "
                 "not enforced (measured %.2fx)\n", cpu_speedup_256);
+  }
+
+  if (!prof_section.gather_memory_bound || !prof_section.gemm_compute_bound) {
+    std::printf("FAIL: roofline classification inverted (gather %s, gemm "
+                "%s); expected gather memory-bound and batched GEMM "
+                "compute-bound on every host\n",
+                prof_section.gather_memory_bound ? "memory-bound"
+                                                 : "NOT memory-bound",
+                prof_section.gemm_compute_bound ? "compute-bound"
+                                                : "NOT compute-bound");
+    return 1;
   }
 
   if (!all_identical) {

@@ -10,6 +10,7 @@
 #include "cli/sweep_args.hpp"
 #include "common/table_printer.hpp"
 #include "core/microrec.hpp"
+#include "cpu/cpu_engine.hpp"
 #include "core/serialization.hpp"
 #include "core/system_sim.hpp"
 #include "exec/parallel.hpp"
@@ -19,6 +20,7 @@
 #include "obs/json_writer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfgate.hpp"
+#include "obs/prof/report.hpp"
 #include "obs/slo.hpp"
 #include "obs/span_tracer.hpp"
 #include "obs/timeseries.hpp"
@@ -1418,6 +1420,87 @@ Status CmdPerfGate(const ArgList& args, std::ostream& out) {
   return Status::Ok();
 }
 
+Status CmdProfile(const ArgList& args, std::ostream& out) {
+  MICROREC_RETURN_IF_ERROR(args.CheckAllowed(
+      {"batch", "batches", "seed", "backend", "max-rows", "json",
+       "prom-out"}));
+  RecModelSpec model;
+  if (args.positional().empty()) {
+    model = PooledCpuGateModel();
+  } else if (args.positional().size() == 1) {
+    auto text = ReadFile(args.positional()[0]);
+    if (!text.ok()) return text.status();
+    auto parsed = ParseModel(*text);
+    if (!parsed.ok()) return parsed.status();
+    model = std::move(*parsed);
+  } else {
+    return Status::InvalidArgument("profile takes at most one <model-file>");
+  }
+
+  auto batch = args.GetUint("batch", 256);
+  if (!batch.ok()) return batch.status();
+  if (*batch == 0) return Status::InvalidArgument("--batch must be >= 1");
+  auto batches = args.GetUint("batches", 64);
+  if (!batches.ok()) return batches.status();
+  if (*batches == 0) return Status::InvalidArgument("--batches must be >= 1");
+  auto seed = args.GetUint("seed", 42);
+  if (!seed.ok()) return seed.status();
+  auto max_rows = args.GetUint("max-rows", 1ull << 16);
+  if (!max_rows.ok()) return max_rows.status();
+  if (*max_rows == 0) return Status::InvalidArgument("--max-rows must be >= 1");
+
+  obs::prof::ProfilerOptions popts;
+  if (const auto backend = args.GetOption("backend")) {
+    if (*backend == "perf") {
+      popts.backend = obs::prof::ProfBackend::kPerfEvent;
+    } else if (*backend == "timer") {
+      popts.backend = obs::prof::ProfBackend::kTimer;
+    } else {
+      return Status::InvalidArgument("--backend must be perf or timer");
+    }
+  }
+
+  // One worker thread so the thread-scoped counters see the whole batch.
+  CpuEngine engine(model, *max_rows, FrameworkOverheadParams{}, /*threads=*/1);
+  QueryGenerator generator(model, IndexDistribution::kUniform, *seed);
+  InferenceScratch scratch;
+  engine.ReserveScratch(scratch, *batch);
+
+  // Warm up detached: fault in table pages and grow every buffer to its
+  // high-water mark so the measured batches profile steady-state work.
+  const std::vector<SparseQuery> warmup = generator.NextBatch(*batch);
+  engine.InferBatch(warmup, scratch);
+
+  obs::prof::HwProfiler profiler(popts);
+  engine.set_profiler(&profiler);
+  double checksum = 0.0;
+  for (std::uint64_t b = 0; b < *batches; ++b) {
+    const std::vector<SparseQuery> queries = generator.NextBatch(*batch);
+    const auto probs = engine.InferBatch(queries, scratch);
+    checksum += probs.empty() ? 0.0 : probs.front();
+  }
+  engine.set_profiler(nullptr);
+
+  const obs::prof::RooflineSpec roofline = obs::prof::ProbeRoofline();
+  const auto report = obs::prof::ProfileReport::Build(profiler, roofline);
+
+  out << "profiled " << model.name << ": " << *batches << " batches of "
+      << *batch << " (checksum " << checksum << ")\n";
+  out << report.ToText();
+
+  const std::string json_path = args.GetOption("json").value_or("profile.json");
+  MICROREC_RETURN_IF_ERROR(WriteNamedFile(json_path, report.ToJson(), out));
+  if (const auto prom_path = args.GetOption("prom-out")) {
+    obs::MetricsRegistry registry;
+    report.ExportMetrics(registry);
+    obs::prof::ProfileReport::ExportBatchLatency(profiler.batch_latency(),
+                                                 registry);
+    MICROREC_RETURN_IF_ERROR(
+        WriteNamedFile(*prom_path, registry.ToPrometheus(), out));
+  }
+  return Status::Ok();
+}
+
 Status CmdSelfCheck(const ArgList& args, std::ostream& out) {
   MICROREC_RETURN_IF_ERROR(args.CheckAllowed({}));
   if (!args.positional().empty()) {
@@ -1578,6 +1661,15 @@ std::string UsageText() {
       "      compare fresh BENCH_*.json reports against checked-in\n"
       "      baselines; non-zero exit when any metric drifts out of\n"
       "      tolerance (improvements fail too: regenerate the baseline)\n"
+      "  profile [model-file] [--batch N] [--batches K] [--seed S]\n"
+      "          [--backend perf|timer] [--max-rows N] [--json F]\n"
+      "          [--prom-out F]\n"
+      "      profile the measured CPU engine on this machine: perf-counter\n"
+      "      phase attribution (gather/gemm/head_sigmoid/batch), probed\n"
+      "      roofline with memory- vs compute-bound verdicts, per-batch\n"
+      "      wall-clock p50/p95/p99; writes profile.json (+ --prom-out\n"
+      "      Prometheus snapshot); degrades to a wall-clock-only timer\n"
+      "      tier when perf_event is unavailable\n"
       "  selfcheck\n"
       "      verify the reproduction's calibration anchors\n"
       "\n"
@@ -1609,6 +1701,7 @@ Status RunCli(const std::vector<std::string>& tokens, std::ostream& out) {
   if (command == "chaos-sweep") return CmdChaosSweep(*args, out);
   if (command == "explain") return CmdExplain(*args, out);
   if (command == "perfgate") return CmdPerfGate(*args, out);
+  if (command == "profile") return CmdProfile(*args, out);
   if (command == "selfcheck") return CmdSelfCheck(*args, out);
   out << UsageText();
   return Status::InvalidArgument("unknown command '" + command + "'");

@@ -31,6 +31,9 @@
 //   microrec explain  <events-file> [--query ID] [--worst N]
 //   microrec perfgate --current-dir D [--baseline-dir D] [--tolerance F]
 //                     [--tol metric=F,metric=F]
+//   microrec profile  [model-file] [--batch N] [--batches K] [--seed S]
+//                     [--backend perf|timer] [--max-rows N] [--json F]
+//                     [--prom-out F]
 //
 // The sweep commands take --threads T (0 = one per hardware thread): the
 // experiment grid runs on the deterministic parallel runner (src/exec/),
@@ -109,6 +112,19 @@ Status CmdExplain(const ArgList& args, std::ostream& out);
 /// returns non-OK when any numeric metric drifts outside tolerance
 /// (obs/perfgate.hpp). CI runs this as the perf-regression gate.
 Status CmdPerfGate(const ArgList& args, std::ostream& out);
+
+/// Profiles the measured CPU engine on real hardware (obs/prof/): runs
+/// `--batches` inference batches of `--batch` queries through a 1-thread
+/// CpuEngine with the hardware profiler attached, probes this machine's
+/// roofline ceilings, and prints the phase table (gather / gemm /
+/// head_sigmoid / batch with IPC, LLC miss rate, achieved GB/s / GOP/s,
+/// percent-of-roof, memory- vs compute-bound verdict) plus per-batch
+/// wall-clock p50/p95/p99. Writes profile.json (--json) and optionally a
+/// Prometheus snapshot (--prom-out). --backend timer skips perf_event;
+/// the default requests it and degrades gracefully when the kernel
+/// refuses (containers, perf_event_paranoid) -- profile.json records the
+/// tier that actually ran.
+Status CmdProfile(const ArgList& args, std::ostream& out);
 
 /// Reruns the reproduction's calibration anchors (Table 5 lookup points,
 /// the GOP/s identity, Table 3 placement structure, event-sim agreement)

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/prof/profiler.hpp"
 #include "tensor/activations.hpp"
 #include "tensor/gather.hpp"
 #include "tensor/gemm.hpp"
@@ -32,6 +33,17 @@ CpuEngine::CpuEngine(const RecModelSpec& model, std::uint64_t max_physical_rows,
   for (const auto& spec : model_.tables) {
     tables_.push_back(EmbeddingTable::Materialize(
         spec, TableContentSeed(model_, spec.id), max_physical_rows));
+    // Gather phase work per query, declared once so the hot path only
+    // multiplies by the batch size: row data streamed in (GatherBytes) and
+    // sum-pooling adds (lookups-1 vector adds per table; single-lookup
+    // tables are a pure copy).
+    const std::uint64_t lookups = model_.lookups_per_table;
+    gather_bytes_per_query_ +=
+        static_cast<double>(GatherBytes(lookups, spec.dim));
+    if (lookups > 1) {
+      gather_flops_per_query_ +=
+          static_cast<double>((lookups - 1)) * spec.dim;
+    }
   }
 }
 
@@ -92,6 +104,12 @@ void CpuEngine::GatherQueryReference(const SparseQuery& query,
 
 void CpuEngine::EmbeddingLayer(std::span<const SparseQuery> queries,
                                MatrixF& features) const {
+  obs::prof::ProfScope prof_scope(profiler_, "gather");
+  if (profiler_ != nullptr) {
+    profiler_->AddPhaseWork(
+        "gather", gather_bytes_per_query_ * static_cast<double>(queries.size()),
+        gather_flops_per_query_ * static_cast<double>(queries.size()));
+  }
   features.ResizeUninit(queries.size(), feature_length());
   if (pool_.num_threads() == 1) {
     // Run inline: sharding a 1-worker pool only adds dispatch overhead, and
@@ -112,12 +130,14 @@ void CpuEngine::EmbeddingLayer(std::span<const SparseQuery> queries,
 std::span<const float> CpuEngine::InferBatch(
     std::span<const SparseQuery> queries, InferenceScratch& scratch,
     CpuBatchTiming* timing) const {
+  obs::prof::ProfScope prof_scope(profiler_, "batch");
   const Nanoseconds t0 = NowNs();
   EmbeddingLayer(queries, scratch.features);
   const Nanoseconds t1 = NowNs();
   scratch.probs.resize(queries.size());
-  mlp_.ForwardBatch(scratch.features, scratch.mlp, scratch.probs);
+  mlp_.ForwardBatch(scratch.features, scratch.mlp, scratch.probs, profiler_);
   const Nanoseconds t2 = NowNs();
+  if (profiler_ != nullptr) profiler_->RecordBatch(t2 - t0);
   if (timing != nullptr) {
     timing->embedding_ns = t1 - t0;
     timing->dnn_ns = t2 - t1;
@@ -140,8 +160,15 @@ std::vector<float> CpuEngine::InferBatch(std::span<const SparseQuery> queries,
 float CpuEngine::InferOne(const SparseQuery& query,
                           InferenceScratch& scratch) const {
   scratch.one.resize(feature_length());
-  GatherQuery(query, scratch.one);
-  return mlp_.ForwardOne(scratch.one, scratch.mlp);
+  {
+    obs::prof::ProfScope prof_scope(profiler_, "gather");
+    if (profiler_ != nullptr) {
+      profiler_->AddPhaseWork("gather", gather_bytes_per_query_,
+                              gather_flops_per_query_);
+    }
+    GatherQuery(query, scratch.one);
+  }
+  return mlp_.ForwardOne(scratch.one, scratch.mlp, profiler_);
 }
 
 float CpuEngine::InferOne(const SparseQuery& query) const {

@@ -33,6 +33,10 @@
 
 namespace microrec {
 
+namespace obs::prof {
+class HwProfiler;
+}  // namespace obs::prof
+
 /// Per-batch timing breakdown.
 struct CpuBatchTiming {
   Nanoseconds embedding_ns = 0.0;  ///< measured gather + concat
@@ -65,6 +69,19 @@ class CpuEngine {
   const RecModelSpec& model() const { return model_; }
   const MlpModel& mlp() const { return mlp_; }
   std::span<const EmbeddingTable> tables() const { return tables_; }
+
+  /// Attaches a hardware profiler (obs/prof/): InferBatch/InferOne phases
+  /// (gather / gemm / head_sigmoid / batch) accumulate perf counters,
+  /// declared work, and per-batch latency into it. nullptr (the default)
+  /// detaches: the hot path then pays one pointer test per phase, performs
+  /// no reads or allocations, and outputs are bit-identical -- the same
+  /// identity discipline as SpanTracer, enforced in prof_test. Counters
+  /// cover the calling thread only: profile with a 1-thread engine for
+  /// exact attribution.
+  void set_profiler(obs::prof::HwProfiler* profiler) {
+    profiler_ = profiler;
+  }
+  obs::prof::HwProfiler* profiler() const { return profiler_; }
 
   /// Pre-sizes every scratch buffer for batches up to `max_batch` so even
   /// the first InferBatch call through it is allocation-free.
@@ -123,6 +140,9 @@ class CpuEngine {
   MlpModel mlp_;
   FrameworkOverheadParams overhead_;
   mutable ThreadPool pool_;
+  obs::prof::HwProfiler* profiler_ = nullptr;
+  double gather_bytes_per_query_ = 0.0;  ///< row data read per query
+  double gather_flops_per_query_ = 0.0;  ///< pooling adds per query
 };
 
 }  // namespace microrec

@@ -2,10 +2,24 @@
 
 #include <cmath>
 
+#include "obs/prof/profiler.hpp"
 #include "tensor/activations.hpp"
 #include "tensor/gemm.hpp"
 
 namespace microrec {
+
+namespace {
+
+/// Declared data volume of one [m x k] * [k x n] fused-GEMM layer: every
+/// operand touched at least once (activations in, weights, activations
+/// out). The intensity denominator the roofline classifies -- cache reuse
+/// above this floor only pushes the phase further compute-bound.
+double GemmLayerBytes(std::size_t m, std::size_t k, std::size_t n) {
+  return 4.0 * (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                static_cast<double>(m) * n);
+}
+
+}  // namespace
 
 std::uint64_t MlpSpec::OpsPerItem() const {
   std::uint64_t ops = 0;
@@ -69,19 +83,28 @@ float MlpModel::HeadLogit(std::span<const float> activ) const {
   return logit;
 }
 
-float MlpModel::ForwardOne(std::span<const float> input,
-                           MlpScratch& scratch) const {
+float MlpModel::ForwardOne(std::span<const float> input, MlpScratch& scratch,
+                           obs::prof::HwProfiler* prof) const {
   MICROREC_CHECK(input.size() == spec_.input_dim);
   MatrixF* bufs[2] = {&scratch.a, &scratch.b};
   std::span<const float> activ = input;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    MatrixF& next = *bufs[i % 2];
-    next.ResizeUninit(1, spec_.hidden[i]);
-    GemvAutoEx(activ, weights_[i], next.row(0),
-               {.bias = biases_[i], .relu = true});
-    activ = next.row(0);
+  {
+    obs::prof::ProfScope scope(prof, "gemm");
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      MatrixF& next = *bufs[i % 2];
+      next.ResizeUninit(1, spec_.hidden[i]);
+      GemvAutoEx(activ, weights_[i], next.row(0),
+                 {.bias = biases_[i], .relu = true});
+      activ = next.row(0);
+    }
   }
-  return Sigmoid(HeadLogit(activ));
+  float prob = 0.0f;
+  {
+    obs::prof::ProfScope scope(prof, "head_sigmoid");
+    prob = Sigmoid(HeadLogit(activ));
+  }
+  if (prof != nullptr) AddForwardWork(*prof, /*batch=*/1);
+  return prob;
 }
 
 float MlpModel::Forward(std::span<const float> input) const {
@@ -89,24 +112,54 @@ float MlpModel::Forward(std::span<const float> input) const {
   return ForwardOne(input, scratch);
 }
 
+void MlpModel::AddForwardWork(obs::prof::HwProfiler& prof,
+                              std::size_t batch) const {
+  double gemm_bytes = 0.0;
+  double gemm_flops = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    gemm_bytes += GemmLayerBytes(batch, spec_.LayerInputDim(i),
+                                 spec_.hidden[i]);
+    gemm_flops += 2.0 * static_cast<double>(batch) *
+                  static_cast<double>(spec_.LayerMacs(i));
+  }
+  prof.AddPhaseWork("gemm", gemm_bytes, gemm_flops);
+  const double last = static_cast<double>(spec_.hidden.back());
+  // Head: one dot product over the last activation row + sigmoid per item;
+  // bytes are the activation row and the head weight column.
+  prof.AddPhaseWork("head_sigmoid",
+                    static_cast<double>(batch) * 2.0 * last * 4.0,
+                    static_cast<double>(batch) * (2.0 * last + 4.0));
+}
+
 void MlpModel::ForwardBatch(const MatrixF& inputs, MlpScratch& scratch,
-                            std::span<float> probs) const {
+                            std::span<float> probs,
+                            obs::prof::HwProfiler* prof) const {
   MICROREC_CHECK(inputs.cols() == spec_.input_dim);
   MICROREC_CHECK(probs.size() == inputs.rows());
   // Ping-pong between the two persistent buffers: layer i writes one while
   // reading the other (layer 0 reads `inputs`), so no layer allocates once
   // the buffers have grown to the spec's widths. Bias + ReLU are fused
-  // into the GEMM's register write-back instead of a second sweep.
+  // into the GEMM's register write-back instead of a second sweep (which
+  // is why there is no separate "activation" profiling phase: activation
+  // cost is inside "gemm" by construction).
   MatrixF* bufs[2] = {&scratch.a, &scratch.b};
   const MatrixF* activ = &inputs;
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    MatrixF& next = *bufs[i % 2];
-    GemmAutoEx(*activ, weights_[i], next, {.bias = biases_[i], .relu = true});
-    activ = &next;
+  {
+    obs::prof::ProfScope scope(prof, "gemm");
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      MatrixF& next = *bufs[i % 2];
+      GemmAutoEx(*activ, weights_[i], next,
+                 {.bias = biases_[i], .relu = true});
+      activ = &next;
+    }
   }
-  for (std::size_t r = 0; r < activ->rows(); ++r) {
-    probs[r] = Sigmoid(HeadLogit(activ->row(r)));
+  {
+    obs::prof::ProfScope scope(prof, "head_sigmoid");
+    for (std::size_t r = 0; r < activ->rows(); ++r) {
+      probs[r] = Sigmoid(HeadLogit(activ->row(r)));
+    }
   }
+  if (prof != nullptr) AddForwardWork(*prof, inputs.rows());
 }
 
 std::vector<float> MlpModel::ForwardBatch(const MatrixF& inputs) const {

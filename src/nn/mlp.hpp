@@ -17,6 +17,10 @@
 
 namespace microrec {
 
+namespace obs::prof {
+class HwProfiler;
+}  // namespace obs::prof
+
 struct MlpSpec {
   std::uint32_t input_dim = 0;
   std::vector<std::uint32_t> hidden = {1024, 512, 256};
@@ -62,8 +66,12 @@ class MlpModel {
 
   /// Single-item forward through caller-held scratch (the batch-1 latency
   /// path): vectorized GEMV with fused bias+ReLU, zero allocations in
-  /// steady state. Bit-identical to Forward.
-  float ForwardOne(std::span<const float> input, MlpScratch& scratch) const;
+  /// steady state. Bit-identical to Forward. `prof`, when non-null,
+  /// attributes the FC layers to the "gemm" phase and the head dot +
+  /// sigmoid to "head_sigmoid" (hardware counters + declared work); it
+  /// never changes the computation.
+  float ForwardOne(std::span<const float> input, MlpScratch& scratch,
+                   obs::prof::HwProfiler* prof = nullptr) const;
 
   /// Batched forward pass: `inputs` is [batch x input_dim]; returns one
   /// probability per row. Uses the dispatched GEMM kernel (this is the
@@ -72,14 +80,20 @@ class MlpModel {
 
   /// Batched forward through caller-held scratch: fused-epilogue GEMM into
   /// ping-pong buffers, probabilities written to `probs` (one per input
-  /// row), zero heap allocations in steady state.
+  /// row), zero heap allocations in steady state. `prof` as in ForwardOne
+  /// (nullptr: a single branch, bit-identical outputs either way).
   void ForwardBatch(const MatrixF& inputs, MlpScratch& scratch,
-                    std::span<float> probs) const;
+                    std::span<float> probs,
+                    obs::prof::HwProfiler* prof = nullptr) const;
 
  private:
   /// Head logit for one activation row (shared by every forward variant so
   /// batch-1, batched, and reference paths are bit-consistent).
   float HeadLogit(std::span<const float> activ) const;
+
+  /// Declares the gemm/head phases' data volume and op counts for one
+  /// forward of `batch` items into `prof` (roofline denominators).
+  void AddForwardWork(obs::prof::HwProfiler& prof, std::size_t batch) const;
 
   MlpSpec spec_;
   std::vector<MatrixF> weights_;           // [in x out] per hidden layer

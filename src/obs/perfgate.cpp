@@ -12,6 +12,18 @@ double PerfGateOptions::ToleranceFor(const std::string& metric) const {
   return it == metric_tolerance.end() ? default_tolerance : it->second;
 }
 
+bool PerfGateOptions::IsVolatile(const std::string& metric) const {
+  if (volatile_metrics.contains(metric)) return true;
+  for (const std::string& pattern : volatile_metrics) {
+    if (!pattern.empty() && pattern.back() == '*' &&
+        metric.compare(0, pattern.size() - 1, pattern, 0,
+                       pattern.size() - 1) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 constexpr double kAbsSlack = 1e-9;
@@ -35,7 +47,7 @@ void CompareValue(const std::string& locator, const std::string& key,
       diff.tolerance = opts.ToleranceFor(key);
       const double scale = std::max(std::abs(b), std::abs(c));
       diff.rel_delta = scale > 0.0 ? (c - b) / scale : 0.0;
-      diff.pass = opts.volatile_metrics.contains(key) ||
+      diff.pass = opts.IsVolatile(key) ||
                   std::abs(c - b) <= diff.tolerance * scale + kAbsSlack;
       ++report.metrics_compared;
       if (!diff.pass) {

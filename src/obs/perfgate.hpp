@@ -33,10 +33,16 @@ struct PerfGateOptions {
   /// bench::JsonReport::MarkVolatile) exempts those fields, so genuinely
   /// nondeterministic wall-clock numbers can live in a blessed baseline
   /// while the deterministic fields -- and the pass/fail gate booleans
-  /// around them -- stay hard-compared.
+  /// around them -- stay hard-compared. Entries ending in '*' are prefix
+  /// wildcards: "prof_*" exempts every metric starting with "prof_" (the
+  /// hardware-counter fields, which vary run to run and host to host).
   std::set<std::string> volatile_metrics;
 
   double ToleranceFor(const std::string& metric) const;
+
+  /// True when `metric` matches an exact entry or a trailing-'*' prefix
+  /// entry of volatile_metrics.
+  bool IsVolatile(const std::string& metric) const;
 };
 
 /// One compared numeric field.

@@ -1,0 +1,292 @@
+#include "obs/prof/counters.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace microrec::obs::prof {
+
+std::string_view HwCounterName(HwCounter c) {
+  switch (c) {
+    case HwCounter::kCycles:
+      return "cycles";
+    case HwCounter::kInstructions:
+      return "instructions";
+    case HwCounter::kLlcRefs:
+      return "llc_refs";
+    case HwCounter::kLlcMisses:
+      return "llc_misses";
+    case HwCounter::kBranchMisses:
+      return "branch_misses";
+    case HwCounter::kStalledCycles:
+      return "stalled_cycles";
+    case HwCounter::kDtlbMisses:
+      return "dtlb_misses";
+  }
+  return "unknown";
+}
+
+std::string_view ProfBackendName(ProfBackend b) {
+  switch (b) {
+    case ProfBackend::kPerfEvent:
+      return "perf_event";
+    case ProfBackend::kTimer:
+      return "timer";
+    case ProfBackend::kNull:
+      return "null";
+  }
+  return "unknown";
+}
+
+double ScaleCounterValue(std::uint64_t raw, std::uint64_t enabled,
+                         std::uint64_t running) {
+  if (running == 0) return 0.0;
+  if (running >= enabled) return static_cast<double>(raw);
+  return static_cast<double>(raw) * static_cast<double>(enabled) /
+         static_cast<double>(running);
+}
+
+CounterDelta DeltaScaled(const GroupReading& begin, const GroupReading& end) {
+  CounterDelta delta;
+  delta.wall_ns = end.wall_ns - begin.wall_ns;
+  for (std::size_t i = 0; i < kNumHwCounters; ++i) {
+    const CounterSample& b = begin.counters[i];
+    const CounterSample& e = end.counters[i];
+    if (!b.valid || !e.valid) continue;
+    delta.valid[i] = true;
+    const std::uint64_t raw = e.raw >= b.raw ? e.raw - b.raw : 0;
+    const std::uint64_t enabled =
+        e.time_enabled >= b.time_enabled ? e.time_enabled - b.time_enabled : 0;
+    const std::uint64_t running =
+        e.time_running >= b.time_running ? e.time_running - b.time_running : 0;
+    if (enabled == 0) {
+      // Degenerate zero-length interval: nothing was counted.
+      delta.value[i] = 0.0;
+      continue;
+    }
+    delta.value[i] = ScaleCounterValue(raw, enabled, running);
+    if (running < enabled) delta.multiplexed = true;
+  }
+  return delta;
+}
+
+CounterDelta& CounterDelta::operator+=(const CounterDelta& other) {
+  wall_ns += other.wall_ns;
+  multiplexed = multiplexed || other.multiplexed;
+  for (std::size_t i = 0; i < kNumHwCounters; ++i) {
+    if (!other.valid[i]) continue;
+    valid[i] = true;
+    value[i] += other.value[i];
+  }
+  return *this;
+}
+
+namespace {
+
+Nanoseconds WallNowNs() {
+  return static_cast<Nanoseconds>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#ifdef __linux__
+
+struct EventConfig {
+  std::uint32_t type = 0;
+  std::uint64_t config = 0;
+};
+
+/// perf_event attr (type, config) for each HwCounter, in enum order.
+EventConfig ConfigFor(HwCounter c) {
+  constexpr std::uint64_t kDtlbLoadMiss =
+      PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+      (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+  switch (c) {
+    case HwCounter::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case HwCounter::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case HwCounter::kLlcRefs:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES};
+    case HwCounter::kLlcMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES};
+    case HwCounter::kBranchMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES};
+    case HwCounter::kStalledCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND};
+    case HwCounter::kDtlbMisses:
+      return {PERF_TYPE_HW_CACHE, kDtlbLoadMiss};
+  }
+  return {};
+}
+
+int PerfEventOpen(HwCounter c, int group_fd) {
+  const EventConfig cfg = ConfigFor(c);
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = cfg.type;
+  attr.config = cfg.config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // leader starts disabled, armed once
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+CounterGroup CounterGroup::Open() {
+#ifdef __linux__
+  CounterGroup group;
+  const int leader =
+      PerfEventOpen(HwCounter::kCycles, /*group_fd=*/-1);
+  if (leader < 0) {
+    const int err = errno;
+    MICROREC_LOG(kWarning)
+        << "prof: perf_event_open unavailable (" << std::strerror(err)
+        << (err == EPERM || err == EACCES
+                ? "; perf_event_paranoid or seccomp denies it"
+                : "")
+        << "); falling back to wall-clock timer backend";
+    return OpenTimerOnly();
+  }
+  group.backend_ = ProfBackend::kPerfEvent;
+  group.leader_fd_ = leader;
+  group.fds_[static_cast<std::size_t>(HwCounter::kCycles)] = leader;
+  for (std::size_t i = 1; i < kNumHwCounters; ++i) {
+    const auto c = static_cast<HwCounter>(i);
+    const int fd = PerfEventOpen(c, leader);
+    group.fds_[i] = fd;
+    if (fd < 0) {
+      // Individual events (stalled-cycles, dTLB on some PMUs) may be
+      // unsupported; keep the rest of the group rather than degrading.
+      MICROREC_LOG(kInfo) << "prof: counter '" << HwCounterName(c)
+                          << "' unavailable on this host ("
+                          << std::strerror(errno) << "); reported as invalid";
+    }
+  }
+  ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  return group;
+#else
+  MICROREC_LOG(kWarning)
+      << "prof: perf_event is Linux-only; falling back to timer backend";
+  return OpenTimerOnly();
+#endif
+}
+
+CounterGroup CounterGroup::OpenTimerOnly() {
+  CounterGroup group;
+  group.backend_ = ProfBackend::kTimer;
+  return group;
+}
+
+CounterGroup CounterGroup::OpenNull() { return CounterGroup(); }
+
+CounterGroup::CounterGroup(CounterGroup&& other) noexcept
+    : backend_(other.backend_),
+      fds_(other.fds_),
+      leader_fd_(other.leader_fd_),
+      multiplexing_seen_(other.multiplexing_seen_) {
+  other.fds_.fill(-1);
+  other.leader_fd_ = -1;
+  other.backend_ = ProfBackend::kNull;
+}
+
+CounterGroup& CounterGroup::operator=(CounterGroup&& other) noexcept {
+  if (this != &other) {
+    Close();
+    backend_ = other.backend_;
+    fds_ = other.fds_;
+    leader_fd_ = other.leader_fd_;
+    multiplexing_seen_ = other.multiplexing_seen_;
+    other.fds_.fill(-1);
+    other.leader_fd_ = -1;
+    other.backend_ = ProfBackend::kNull;
+  }
+  return *this;
+}
+
+CounterGroup::~CounterGroup() { Close(); }
+
+void CounterGroup::Close() {
+#ifdef __linux__
+  for (int& fd : fds_) {
+    // The leader appears once in fds_; close each distinct fd once.
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+  leader_fd_ = -1;
+#endif
+}
+
+std::size_t CounterGroup::num_valid() const {
+  std::size_t n = 0;
+  for (const int fd : fds_) {
+    if (fd >= 0) ++n;
+  }
+  return n;
+}
+
+GroupReading CounterGroup::Read() const {
+  GroupReading reading;
+  if (backend_ == ProfBackend::kNull) return reading;
+  reading.wall_ns = WallNowNs();
+#ifdef __linux__
+  if (backend_ != ProfBackend::kPerfEvent) return reading;
+  // PERF_FORMAT_GROUP layout: { nr, time_enabled, time_running, values[nr] }
+  // where values appear in the order the events joined the group.
+  std::uint64_t buf[3 + kNumHwCounters];
+  const ssize_t n = read(leader_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) {
+    MICROREC_LOG(kWarning) << "prof: perf group read failed ("
+                           << std::strerror(errno)
+                           << "); reading downgraded to wall clock";
+    return reading;
+  }
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  std::uint64_t slot = 0;
+  for (std::size_t i = 0; i < kNumHwCounters; ++i) {
+    if (fds_[i] < 0) continue;
+    if (slot >= nr) break;
+    CounterSample& sample = reading.counters[i];
+    sample.raw = buf[3 + slot];
+    sample.time_enabled = enabled;
+    sample.time_running = running;
+    sample.valid = true;
+    ++slot;
+  }
+  if (running < enabled && !multiplexing_seen_) {
+    multiplexing_seen_ = true;
+    MICROREC_LOG(kWarning)
+        << "prof: PMU multiplexing detected (group ran "
+        << (enabled > 0
+                ? 100.0 * static_cast<double>(running) /
+                      static_cast<double>(enabled)
+                : 0.0)
+        << "% of enabled time); counts are scaled estimates";
+  }
+#endif
+  return reading;
+}
+
+}  // namespace microrec::obs::prof

@@ -1,0 +1,167 @@
+// Hardware performance-counter groups for the *measured* side of the repo
+// (the CPU engine and its kernels), built on Linux perf_event_open.
+//
+// Unlike everything else under obs/ -- which observes simulated time --
+// this layer reads real PMU counters around real execution. Seven events
+// cover the questions every kernel PR asks: cycles, instructions (IPC),
+// LLC references/misses (is the gather missing to DRAM?), branch misses,
+// backend-stalled cycles, and dTLB load misses (is the packed layout
+// paying page walks?).
+//
+// All events are opened as ONE perf group (cycles is the leader) so a
+// single read() returns a consistent snapshot of every counter, plus the
+// group's time_enabled / time_running pair. When the kernel multiplexes
+// the group against other users of the PMU, time_running < time_enabled
+// and the raw counts only cover the running fraction; DeltaScaled()
+// extrapolates by enabled/running (the standard perf scaling estimate)
+// and flags the reading so consumers can label the numbers as scaled.
+//
+// The backend degrades gracefully instead of failing:
+//
+//   tier 1  kPerfEvent -- perf_event_open succeeded for at least the
+//           group leader; unsupported siblings are dropped individually.
+//   tier 2  kTimer     -- perf_event_open unavailable (EPERM under
+//           perf_event_paranoid / seccomp, ENOENT without a PMU, any
+//           container without the syscall): wall-clock timestamps only.
+//   tier 3  kNull      -- explicitly disabled; reads return nothing and
+//           cost nothing.
+//
+// Every degradation is logged via MICROREC_LOG so the tier in use is
+// always visible in output, and backend() reports it for profile.json's
+// `profiler_backend` field. Counters count the calling thread only
+// (pid=0, no inherit -- PERF_FORMAT_GROUP cannot be combined with
+// inherited children), so attribute work from the thread that runs it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace microrec::obs::prof {
+
+/// The fixed event set every CounterGroup asks for, in group order.
+enum class HwCounter : std::uint32_t {
+  kCycles = 0,
+  kInstructions,
+  kLlcRefs,
+  kLlcMisses,
+  kBranchMisses,
+  kStalledCycles,  ///< backend stall cycles (not every PMU exposes this)
+  kDtlbMisses,     ///< dTLB load misses
+};
+
+inline constexpr std::size_t kNumHwCounters = 7;
+
+/// Short stable name used in JSON / Prometheus ("cycles", "llc_misses"...).
+std::string_view HwCounterName(HwCounter c);
+
+/// Which tier of the fallback chain a profiler is actually running on.
+enum class ProfBackend : std::uint8_t { kPerfEvent = 0, kTimer, kNull };
+
+/// "perf_event" | "timer" | "null" (the profile.json vocabulary).
+std::string_view ProfBackendName(ProfBackend b);
+
+/// One counter's slice of a group read: the raw (unscaled) count plus the
+/// group's enabled/running times at that instant. `valid` is false when
+/// the event could not be opened on this host (the rest is then zero).
+struct CounterSample {
+  std::uint64_t raw = 0;
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+  bool valid = false;
+};
+
+/// A consistent snapshot of the whole group: every counter's sample plus a
+/// steady_clock wall timestamp (always valid, every backend).
+struct GroupReading {
+  std::array<CounterSample, kNumHwCounters> counters{};
+  Nanoseconds wall_ns = 0.0;
+
+  const CounterSample& operator[](HwCounter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Scaled counter deltas over an interval, the unit phase attribution
+/// accumulates. Invalid counters stay at 0 with valid=false.
+struct CounterDelta {
+  std::array<double, kNumHwCounters> value{};
+  std::array<bool, kNumHwCounters> valid{};
+  Nanoseconds wall_ns = 0.0;
+  bool multiplexed = false;  ///< any counter ran < 100% of the interval
+
+  double Get(HwCounter c) const { return value[static_cast<std::size_t>(c)]; }
+  bool Valid(HwCounter c) const { return valid[static_cast<std::size_t>(c)]; }
+
+  CounterDelta& operator+=(const CounterDelta& other);
+};
+
+/// The perf multiplexing-scaling estimate for one interval: extrapolates a
+/// raw count that was only collected for `running` of `enabled` ns to the
+/// whole interval. running == 0 (never scheduled onto the PMU) yields 0;
+/// running >= enabled yields the raw count unchanged. Pure math, exposed
+/// for the synthetic-reading tests.
+double ScaleCounterValue(std::uint64_t raw, std::uint64_t enabled,
+                         std::uint64_t running);
+
+/// Interval scaling between two monotone readings of the same group:
+/// per counter, (raw_end - raw_begin) scaled by the interval's
+/// enabled/running delta, with the multiplexed flag set when any valid
+/// counter's running delta trails its enabled delta. Pure math over the
+/// two readings (also used with synthetic readings in tests).
+CounterDelta DeltaScaled(const GroupReading& begin, const GroupReading& end);
+
+/// One opened perf group (or its degraded stand-in). Movable, not
+/// copyable; closes its fds on destruction.
+class CounterGroup {
+ public:
+  /// Opens the full event set for the calling thread, degrading through
+  /// the tier chain as needed. Never fails: the worst case is a
+  /// wall-clock-only kTimer group. Each degradation logs once.
+  static CounterGroup Open();
+
+  /// A wall-clock-only group (tier 2), bypassing perf_event entirely.
+  /// The CI path: perf_event is unavailable on shared runners.
+  static CounterGroup OpenTimerOnly();
+
+  /// The inert tier-3 group: Read() stamps nothing, not even wall time.
+  static CounterGroup OpenNull();
+
+  CounterGroup(CounterGroup&& other) noexcept;
+  CounterGroup& operator=(CounterGroup&& other) noexcept;
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+  ~CounterGroup();
+
+  ProfBackend backend() const { return backend_; }
+
+  /// True when the event for `c` was opened and is being counted.
+  bool CounterValid(HwCounter c) const {
+    return fds_[static_cast<std::size_t>(c)] >= 0;
+  }
+  /// Number of successfully opened events (0 on timer/null backends).
+  std::size_t num_valid() const;
+
+  /// Snapshot of all counters (one read() syscall on the perf backend)
+  /// plus the wall clock. Timer backend: wall clock only. Null backend:
+  /// all-zero.
+  GroupReading Read() const;
+
+  /// True once any Read() observed time_running < time_enabled (the
+  /// kernel multiplexed this group); sticky, logged on first detection.
+  bool multiplexing_seen() const { return multiplexing_seen_; }
+
+ private:
+  CounterGroup() = default;
+  void Close();
+
+  ProfBackend backend_ = ProfBackend::kNull;
+  std::array<int, kNumHwCounters> fds_ = {-1, -1, -1, -1, -1, -1, -1};
+  int leader_fd_ = -1;
+  mutable bool multiplexing_seen_ = false;
+};
+
+}  // namespace microrec::obs::prof

@@ -1,0 +1,45 @@
+#include "obs/prof/profiler.hpp"
+
+namespace microrec::obs::prof {
+
+namespace {
+
+CounterGroup OpenFor(ProfBackend requested) {
+  switch (requested) {
+    case ProfBackend::kPerfEvent:
+      return CounterGroup::Open();
+    case ProfBackend::kTimer:
+      return CounterGroup::OpenTimerOnly();
+    case ProfBackend::kNull:
+      return CounterGroup::OpenNull();
+  }
+  return CounterGroup::OpenNull();
+}
+
+}  // namespace
+
+HwProfiler::HwProfiler(ProfilerOptions opts)
+    : group_(OpenFor(opts.backend)), batch_latency_(opts.batch_histogram) {}
+
+void HwProfiler::AddPhaseSample(std::string_view phase,
+                                const CounterDelta& delta) {
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(phase), PhaseStats{}).first;
+  }
+  PhaseStats& stats = it->second;
+  ++stats.calls;
+  stats.totals += delta;
+}
+
+void HwProfiler::AddPhaseWork(std::string_view phase, double bytes,
+                              double flops) {
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(phase), PhaseStats{}).first;
+  }
+  it->second.bytes += bytes;
+  it->second.flops += flops;
+}
+
+}  // namespace microrec::obs::prof

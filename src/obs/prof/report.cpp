@@ -1,0 +1,230 @@
+#include "obs/prof/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table_printer.hpp"
+#include "obs/json_writer.hpp"
+
+namespace microrec::obs::prof {
+
+namespace {
+
+double Ratio(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+
+}  // namespace
+
+ProfileReport ProfileReport::Build(const HwProfiler& prof,
+                                   const RooflineSpec& roofline) {
+  ProfileReport report;
+  report.backend = prof.backend();
+  report.multiplexing_seen = prof.multiplexing_seen();
+  report.roofline = roofline;
+
+  double wall_total = 0.0;
+  for (const auto& [name, stats] : prof.phases()) {
+    wall_total += stats.totals.wall_ns;
+  }
+  for (const auto& [name, stats] : prof.phases()) {
+    PhaseReport phase;
+    phase.name = name;
+    phase.calls = stats.calls;
+    phase.wall_ms = stats.totals.wall_ns / 1e6;
+    phase.wall_share = Ratio(stats.totals.wall_ns, wall_total);
+
+    const CounterDelta& t = stats.totals;
+    phase.counters_valid = t.Valid(HwCounter::kCycles) &&
+                           t.Valid(HwCounter::kInstructions);
+    phase.scaled = t.multiplexed;
+    if (phase.counters_valid) {
+      phase.cycles = t.Get(HwCounter::kCycles);
+      phase.instructions = t.Get(HwCounter::kInstructions);
+      phase.ipc = Ratio(phase.instructions, phase.cycles);
+      if (t.Valid(HwCounter::kLlcRefs) && t.Valid(HwCounter::kLlcMisses)) {
+        phase.llc_miss_rate =
+            Ratio(t.Get(HwCounter::kLlcMisses), t.Get(HwCounter::kLlcRefs));
+      }
+      if (t.Valid(HwCounter::kBranchMisses)) {
+        phase.branch_miss_rate =
+            Ratio(t.Get(HwCounter::kBranchMisses), phase.instructions);
+      }
+      if (t.Valid(HwCounter::kStalledCycles)) {
+        phase.stall_frac = Ratio(t.Get(HwCounter::kStalledCycles),
+                                 phase.cycles);
+      }
+      if (t.Valid(HwCounter::kDtlbMisses)) {
+        phase.dtlb_mpki =
+            1000.0 * Ratio(t.Get(HwCounter::kDtlbMisses), phase.instructions);
+      }
+    }
+
+    phase.gbs = Ratio(stats.bytes, t.wall_ns);        // bytes/ns == GB/s
+    phase.gops = Ratio(stats.flops, t.wall_ns);       // flops/ns == GOP/s
+    phase.intensity = Ratio(stats.flops, stats.bytes);
+    phase.bound = ClassifyIntensity(phase.intensity, roofline);
+    switch (phase.bound) {
+      case PhaseBound::kMemory:
+        phase.roof_pct = 100.0 * Ratio(phase.gbs, roofline.peak_bw_gbs);
+        break;
+      case PhaseBound::kCompute:
+        phase.roof_pct = 100.0 * Ratio(phase.gops, roofline.peak_gops);
+        break;
+      case PhaseBound::kUnknown:
+        break;
+    }
+    report.phases.push_back(std::move(phase));
+  }
+
+  const Histogram& h = prof.batch_latency();
+  report.latency.batches = h.count();
+  report.latency.p50_us = h.Quantile(0.50) / 1e3;
+  report.latency.p95_us = h.Quantile(0.95) / 1e3;
+  report.latency.p99_us = h.Quantile(0.99) / 1e3;
+  report.latency.mean_us = h.mean() / 1e3;
+  report.latency.max_us = h.max() / 1e3;
+  return report;
+}
+
+const PhaseReport* ProfileReport::FindPhase(const std::string& name) const {
+  for (const PhaseReport& phase : phases) {
+    if (phase.name == name) return &phase;
+  }
+  return nullptr;
+}
+
+std::string ProfileReport::ToJson() const {
+  std::ostringstream os;
+  {
+    JsonWriter w(os, /*indent=*/2);
+    w.BeginObject();
+    w.KV("profiler_backend", ProfBackendName(backend));
+    w.KV("multiplexing_seen", multiplexing_seen);
+    w.Key("roofline");
+    w.BeginObject();
+    w.KV("peak_bw_gbs", roofline.peak_bw_gbs);
+    w.KV("peak_gops", roofline.peak_gops);
+    w.KV("ridge_flops_per_byte", roofline.RidgeFlopsPerByte());
+    w.KV("probed", roofline.probed);
+    w.EndObject();
+    w.Key("batch_latency");
+    w.BeginObject();
+    w.KV("batches", latency.batches);
+    w.KV("p50_us", latency.p50_us);
+    w.KV("p95_us", latency.p95_us);
+    w.KV("p99_us", latency.p99_us);
+    w.KV("mean_us", latency.mean_us);
+    w.KV("max_us", latency.max_us);
+    w.EndObject();
+    w.Key("phases");
+    w.BeginArray();
+    for (const PhaseReport& phase : phases) {
+      w.BeginObject();
+      w.KV("name", phase.name);
+      w.KV("calls", phase.calls);
+      w.KV("wall_ms", phase.wall_ms);
+      w.KV("wall_share", phase.wall_share);
+      w.KV("counters_valid", phase.counters_valid);
+      w.KV("scaled", phase.scaled);
+      w.KV("cycles", phase.cycles);
+      w.KV("instructions", phase.instructions);
+      w.KV("ipc", phase.ipc);
+      w.KV("llc_miss_rate", phase.llc_miss_rate);
+      w.KV("branch_miss_rate", phase.branch_miss_rate);
+      w.KV("stall_frac", phase.stall_frac);
+      w.KV("dtlb_mpki", phase.dtlb_mpki);
+      w.KV("gbs", phase.gbs);
+      w.KV("gops", phase.gops);
+      w.KV("intensity", phase.intensity);
+      w.KV("roof_pct", phase.roof_pct);
+      w.KV("bound", PhaseBoundName(phase.bound));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string ProfileReport::ToText() const {
+  std::ostringstream os;
+  os << "profiler backend: " << ProfBackendName(backend)
+     << (multiplexing_seen ? " (multiplexed: counts are scaled estimates)"
+                           : "")
+     << "\n";
+  os << "roofline: " << TablePrinter::Num(roofline.peak_bw_gbs, 1)
+     << " GB/s memory, " << TablePrinter::Num(roofline.peak_gops, 1)
+     << " GOP/s compute, ridge "
+     << TablePrinter::Num(roofline.RidgeFlopsPerByte(), 2) << " flops/byte"
+     << (roofline.probed ? "" : " (probe failed: fallback ceilings)") << "\n";
+
+  TablePrinter table({"Phase", "Calls", "Wall ms", "Share", "IPC",
+                      "LLC miss", "Stall", "GB/s", "GOP/s", "Intensity",
+                      "% roof", "Bound"});
+  const bool counters = backend == ProfBackend::kPerfEvent;
+  for (const PhaseReport& phase : phases) {
+    table.AddRow({phase.name, std::to_string(phase.calls),
+                  TablePrinter::Num(phase.wall_ms, 2),
+                  TablePrinter::Num(100.0 * phase.wall_share, 1) + "%",
+                  phase.counters_valid ? TablePrinter::Num(phase.ipc, 2) : "-",
+                  phase.counters_valid
+                      ? TablePrinter::Num(100.0 * phase.llc_miss_rate, 1) + "%"
+                      : "-",
+                  phase.counters_valid && counters
+                      ? TablePrinter::Num(100.0 * phase.stall_frac, 1) + "%"
+                      : "-",
+                  TablePrinter::Num(phase.gbs, 2),
+                  TablePrinter::Num(phase.gops, 2),
+                  TablePrinter::Num(phase.intensity, 3),
+                  TablePrinter::Num(phase.roof_pct, 1) + "%",
+                  std::string(PhaseBoundName(phase.bound))});
+  }
+  os << table.ToString();
+  os << "batch latency: p50 " << TablePrinter::Num(latency.p50_us, 1)
+     << " us, p95 " << TablePrinter::Num(latency.p95_us, 1) << " us, p99 "
+     << TablePrinter::Num(latency.p99_us, 1) << " us over "
+     << latency.batches << " batches\n";
+  return os.str();
+}
+
+void ProfileReport::ExportMetrics(MetricsRegistry& registry) const {
+  registry.SetHelp("prof_phase_wall_ns", "phase wall time (ns, accumulated)");
+  registry.SetHelp("prof_phase_ipc", "instructions per cycle");
+  registry.SetHelp("prof_phase_llc_miss_rate", "LLC misses / references");
+  registry.SetHelp("prof_phase_gbs", "achieved bandwidth (GB/s)");
+  registry.SetHelp("prof_phase_gops", "achieved compute (GOP/s)");
+  registry.SetHelp("prof_phase_roof_pct",
+                   "achieved rate as % of binding roofline ceiling");
+  registry.SetHelp("prof_batch_latency_us", "per-batch wall latency (us)");
+  registry.gauge("prof_backend_tier")
+      .Set(static_cast<double>(static_cast<int>(backend)));
+  registry.gauge("prof_roofline_peak_bw_gbs").Set(roofline.peak_bw_gbs);
+  registry.gauge("prof_roofline_peak_gops").Set(roofline.peak_gops);
+  for (const PhaseReport& phase : phases) {
+    const MetricLabels labels = {{"phase", phase.name}};
+    registry.counter("prof_phase_calls", labels).Inc(phase.calls);
+    registry.gauge("prof_phase_wall_ns", labels).Set(phase.wall_ms * 1e6);
+    registry.gauge("prof_phase_ipc", labels).Set(phase.ipc);
+    registry.gauge("prof_phase_llc_miss_rate", labels)
+        .Set(phase.llc_miss_rate);
+    registry.gauge("prof_phase_stall_frac", labels).Set(phase.stall_frac);
+    registry.gauge("prof_phase_dtlb_mpki", labels).Set(phase.dtlb_mpki);
+    registry.gauge("prof_phase_gbs", labels).Set(phase.gbs);
+    registry.gauge("prof_phase_gops", labels).Set(phase.gops);
+    registry.gauge("prof_phase_intensity", labels).Set(phase.intensity);
+    registry.gauge("prof_phase_roof_pct", labels).Set(phase.roof_pct);
+    registry.gauge("prof_phase_memory_bound", labels)
+        .Set(phase.bound == PhaseBound::kMemory ? 1.0 : 0.0);
+  }
+}
+
+void ProfileReport::ExportBatchLatency(const Histogram& batch_latency_ns,
+                                       MetricsRegistry& registry) {
+  registry.SetHelp("prof_batch_latency_ns",
+                   "per-batch wall-clock latency (ns)");
+  registry
+      .histogram("prof_batch_latency_ns", {}, batch_latency_ns.options())
+      .Merge(batch_latency_ns);
+}
+
+}  // namespace microrec::obs::prof

@@ -1,0 +1,97 @@
+// Derived-metric layer over a HwProfiler: turns raw phase counter totals
+// into the numbers a kernel author acts on -- IPC, LLC miss rate, branch
+// miss rate, stall fraction, dTLB MPKI, achieved GB/s and GOP/s, the
+// arithmetic intensity, the percent-of-roof against the machine-probed
+// roofline, and the memory- vs compute-bound verdict -- plus the
+// wall-clock per-batch latency percentiles (p50/p95/p99 from the
+// profiler's obs::Histogram, not just means).
+//
+// Three consumers share one ProfileReport: the `microrec profile` CLI
+// (text roofline/phase table + profile.json), the Prometheus exporter
+// (ExportMetrics into an obs::MetricsRegistry), and the counter sections
+// of bench_kernels / bench_wallclock. profile.json always records which
+// fallback tier produced it (`profiler_backend`): counter-derived fields
+// are present-but-zero with counters_valid=false on the timer tier, so
+// the schema is identical on a laptop, a bare-metal perf host, and CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/prof/counters.hpp"
+#include "obs/prof/profiler.hpp"
+#include "obs/prof/roofline.hpp"
+
+namespace microrec::obs::prof {
+
+/// One phase's derived metrics. Counter-derived fields (ipc through
+/// dtlb_mpki) are 0 with counters_valid=false when the backing events
+/// were unavailable; wall-derived fields (wall_ms, gbs, gops, intensity,
+/// bound) are valid on both the perf_event and timer tiers.
+struct PhaseReport {
+  std::string name;
+  std::uint64_t calls = 0;
+  double wall_ms = 0.0;
+  double wall_share = 0.0;  ///< of the sum of all phases' wall time
+
+  bool counters_valid = false;  ///< cycles+instructions were counted
+  bool scaled = false;          ///< multiplexing-scaled estimates
+  double ipc = 0.0;
+  double llc_miss_rate = 0.0;     ///< misses / references
+  double branch_miss_rate = 0.0;  ///< misses / instructions
+  double stall_frac = 0.0;        ///< backend-stalled / cycles
+  double dtlb_mpki = 0.0;         ///< dTLB misses per kilo-instruction
+  double cycles = 0.0;            ///< scaled totals, for ratio re-derivation
+  double instructions = 0.0;
+
+  double gbs = 0.0;        ///< declared bytes / wall time
+  double gops = 0.0;       ///< declared flops / wall time
+  double intensity = 0.0;  ///< declared flops / declared bytes
+  double roof_pct = 0.0;   ///< achieved rate / binding roof ceiling
+  PhaseBound bound = PhaseBound::kUnknown;
+};
+
+/// Wall-clock batch-latency percentiles (microseconds).
+struct LatencyPercentiles {
+  std::uint64_t batches = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct ProfileReport {
+  ProfBackend backend = ProfBackend::kNull;
+  bool multiplexing_seen = false;
+  RooflineSpec roofline;
+  std::vector<PhaseReport> phases;  ///< insertion-independent (name-sorted)
+  LatencyPercentiles latency;
+
+  /// Derives every metric from the profiler's accumulated phase stats and
+  /// the probed roofline.
+  static ProfileReport Build(const HwProfiler& prof,
+                             const RooflineSpec& roofline);
+
+  const PhaseReport* FindPhase(const std::string& name) const;
+
+  /// profile.json: backend + roofline + phases + latency percentiles.
+  std::string ToJson() const;
+
+  /// The human-readable roofline/phase table (TablePrinter layout).
+  std::string ToText() const;
+
+  /// Exports `prof_*` gauges/counters into `registry` for the Prometheus
+  /// exposition (one labeled series per phase per metric).
+  void ExportMetrics(MetricsRegistry& registry) const;
+
+  /// Merges the profiler's per-batch latency histogram into `registry` as
+  /// `prof_batch_latency_ns` (exact bucket-wise copy, so the Prometheus
+  /// exposition carries the full distribution, not just the percentiles).
+  static void ExportBatchLatency(const Histogram& batch_latency_ns,
+                                 MetricsRegistry& registry);
+};
+
+}  // namespace microrec::obs::prof

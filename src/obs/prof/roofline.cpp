@@ -1,0 +1,109 @@
+#include "obs/prof/roofline.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "tensor/gemm.hpp"
+
+namespace microrec::obs::prof {
+
+namespace {
+
+double NowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Best-of-N streaming copy rate in GB/s (bytes moved = 2x buffer: one
+/// read + one write stream, the classic STREAM "copy" accounting).
+double ProbeBandwidthGbs(const RooflineProbeOptions& opts) {
+  const std::size_t n = opts.copy_bytes / sizeof(float);
+  if (n == 0) return 0.0;
+  std::vector<float> src(n, 1.0f);
+  std::vector<float> dst(n, 0.0f);
+  double best_gbs = 0.0;
+  for (int rep = 0; rep < opts.reps; ++rep) {
+    const double t0 = NowNs();
+    std::memcpy(dst.data(), src.data(), n * sizeof(float));
+    const double t1 = NowNs();
+    // The destination feeds back into the source so the copy cannot be
+    // elided across reps.
+    src[rep % n] = dst[(rep + 1) % n] + 1.0f;
+    const double ns = t1 - t0;
+    if (ns <= 0.0) continue;
+    const double gbs = 2.0 * static_cast<double>(n) * sizeof(float) / ns;
+    if (gbs > best_gbs) best_gbs = gbs;
+  }
+  return best_gbs;
+}
+
+/// Best-of-N FMA probe rate in GOP/s (single thread).
+double ProbeFmaGops(const RooflineProbeOptions& opts) {
+  const bool avx2 = CpuSupportsAvx2();
+  const std::uint64_t flops = FmaProbeFlops(opts.fma_iters, avx2);
+  double best_gops = 0.0;
+  float sink = 0.0f;
+  for (int rep = 0; rep < opts.reps; ++rep) {
+    const double t0 = NowNs();
+    sink += avx2 ? FmaProbeKernelAvx2(opts.fma_iters)
+                 : FmaProbeKernelScalar(opts.fma_iters);
+    const double t1 = NowNs();
+    const double ns = t1 - t0;
+    if (ns <= 0.0) continue;
+    const double gops = static_cast<double>(flops) / ns;
+    if (gops > best_gops) best_gops = gops;
+  }
+  // Keep the checksum observable so the probe kernels cannot be elided.
+  if (!std::isfinite(sink)) {
+    MICROREC_LOG(kWarning) << "prof: FMA probe checksum diverged";
+    return 0.0;
+  }
+  return best_gops;
+}
+
+}  // namespace
+
+RooflineSpec ProbeRoofline(const RooflineProbeOptions& opts) {
+  RooflineSpec spec;
+  spec.peak_bw_gbs = ProbeBandwidthGbs(opts);
+  spec.peak_gops = ProbeFmaGops(opts);
+  spec.probed = true;
+  if (!(spec.peak_bw_gbs > 0.0) || !std::isfinite(spec.peak_bw_gbs) ||
+      !(spec.peak_gops > 0.0) || !std::isfinite(spec.peak_gops)) {
+    MICROREC_LOG(kWarning)
+        << "prof: roofline probe failed (bw=" << spec.peak_bw_gbs
+        << " GB/s, fma=" << spec.peak_gops
+        << " GOP/s); using conservative fallback ceilings "
+        << kFallbackBwGbs << " GB/s / " << kFallbackGops << " GOP/s";
+    spec.peak_bw_gbs = kFallbackBwGbs;
+    spec.peak_gops = kFallbackGops;
+    spec.probed = false;
+  }
+  return spec;
+}
+
+std::string_view PhaseBoundName(PhaseBound b) {
+  switch (b) {
+    case PhaseBound::kMemory:
+      return "memory-bound";
+    case PhaseBound::kCompute:
+      return "compute-bound";
+    case PhaseBound::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+PhaseBound ClassifyIntensity(double flops_per_byte,
+                             const RooflineSpec& spec) {
+  if (!spec.valid() || !(flops_per_byte > 0.0)) return PhaseBound::kUnknown;
+  return flops_per_byte < spec.RidgeFlopsPerByte() ? PhaseBound::kMemory
+                                                   : PhaseBound::kCompute;
+}
+
+}  // namespace microrec::obs::prof

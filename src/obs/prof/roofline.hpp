@@ -1,0 +1,71 @@
+// Machine-probed roofline model for phase classification.
+//
+// A roofline has two ceilings: peak memory bandwidth (GB/s) and peak
+// floating-point throughput (GOP/s). A phase whose arithmetic intensity
+// (flops per byte of data moved) lies left of the ridge point
+// (peak_gops / peak_bw) cannot be limited by the FPU -- it is
+// memory-bound; right of the ridge it is compute-bound. This is the
+// classification RecNMP-style analyses start from: the embedding gather
+// (~0.25 flops/byte for sum-pooling) sits far left of any real machine's
+// ridge, the FC GEMM at production batch sizes far right.
+//
+// Both ceilings are *measured on this machine*, not read from a spec
+// sheet: bandwidth with a streaming copy over a buffer far beyond LLC,
+// compute with the 16-chain FMA probe kernel (tensor/gemm.hpp), so the
+// classification and the "percent of roof" numbers refer to what this
+// host can actually do. A probe that fails or returns garbage degrades to
+// documented conservative constants and logs the degradation
+// (MICROREC_LOG), never aborts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace microrec::obs::prof {
+
+/// The two measured ceilings plus how they were obtained.
+struct RooflineSpec {
+  double peak_bw_gbs = 0.0;   ///< streaming bandwidth, GB/s
+  double peak_gops = 0.0;     ///< single-thread FMA throughput, GOP/s
+  bool probed = false;        ///< false when the fallback constants are in use
+
+  /// Arithmetic intensity (flops/byte) at which the two roofs intersect.
+  double RidgeFlopsPerByte() const {
+    return peak_bw_gbs > 0.0 ? peak_gops / peak_bw_gbs : 0.0;
+  }
+  bool valid() const { return peak_bw_gbs > 0.0 && peak_gops > 0.0; }
+};
+
+/// Conservative fallbacks when probing fails (a slow DDR3-era host: any
+/// real machine measures above these, and the gather/GEMM intensities sit
+/// orders of magnitude either side of the resulting ridge anyway).
+inline constexpr double kFallbackBwGbs = 4.0;
+inline constexpr double kFallbackGops = 2.0;
+
+struct RooflineProbeOptions {
+  /// Streaming-copy working set; must exceed LLC so the probe measures
+  /// DRAM, not cache (64 MiB clears every current CPU's LLC slice/thread
+  /// share while staying cheap to allocate).
+  std::uint64_t copy_bytes = 64ull << 20;
+  /// Best-of repetitions for each ceiling.
+  int reps = 3;
+  /// FMA probe iterations per rep (~tens of ms at a few GHz).
+  std::uint64_t fma_iters = 1u << 22;
+};
+
+/// Measures both ceilings on the calling thread. Never fails: a probe
+/// that cannot produce a positive finite rate falls back to the
+/// documented constants with probed=false and a logged warning.
+RooflineSpec ProbeRoofline(const RooflineProbeOptions& opts = {});
+
+/// Memory- vs compute-bound verdict for one phase.
+enum class PhaseBound : std::uint8_t { kMemory = 0, kCompute, kUnknown };
+
+std::string_view PhaseBoundName(PhaseBound b);
+
+/// Classifies an arithmetic intensity against the roofline's ridge point.
+/// kUnknown when the spec is invalid or the intensity is not positive
+/// (a phase that declared no work).
+PhaseBound ClassifyIntensity(double flops_per_byte, const RooflineSpec& spec);
+
+}  // namespace microrec::obs::prof

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 #include "tensor/matrix.hpp"
@@ -74,6 +75,18 @@ void GemvAutoEx(std::span<const float> x, const MatrixF& b,
 /// multiply + one add per MAC, matching the paper's GOP/s accounting.
 constexpr std::size_t GemmOps(std::size_t m, std::size_t k, std::size_t n) {
   return 2 * m * k * n;
+}
+
+/// FMA-peak probe kernels for the roofline layer (obs/prof/roofline.hpp):
+/// `iters` rounds over 16 independent accumulator chains (8 lanes each on
+/// AVX2), enough ILP to saturate both FMA ports. Returns a value-dependent
+/// checksum so the loop cannot be dead-code-eliminated; flops executed are
+/// FmaProbeFlops(iters, avx2). The AVX2 variant requires CpuSupportsAvx2().
+float FmaProbeKernelScalar(std::size_t iters);
+float FmaProbeKernelAvx2(std::size_t iters);
+
+constexpr std::uint64_t FmaProbeFlops(std::size_t iters, bool avx2) {
+  return 2ull * 16ull * (avx2 ? 8ull : 1ull) * iters;
 }
 
 }  // namespace microrec

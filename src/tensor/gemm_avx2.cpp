@@ -215,4 +215,27 @@ void GemvAvx2Ex(std::span<const float> x, const MatrixF& b,
   }
 }
 
+float FmaProbeKernelAvx2(std::size_t iters) {
+  // 16 independent 8-lane FMA chains: at 2 FMA ports x ~4-cycle latency,
+  // 16 in-flight chains keep both ports saturated.
+  __m256 acc[16];
+  for (std::size_t i = 0; i < 16; ++i) {
+    acc[i] = _mm256_set1_ps(0.5f + 0.01f * static_cast<float>(i));
+  }
+  const __m256 m = _mm256_set1_ps(0.999f);
+  const __m256 a = _mm256_set1_ps(1e-3f);
+  for (std::size_t it = 0; it < iters; ++it) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      acc[i] = _mm256_fmadd_ps(acc[i], m, a);
+    }
+  }
+  __m256 sum = _mm256_setzero_ps();
+  for (std::size_t i = 0; i < 16; ++i) sum = _mm256_add_ps(sum, acc[i]);
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, sum);
+  float total = 0.0f;
+  for (const float v : lanes) total += v;
+  return total;
+}
+
 }  // namespace microrec

@@ -841,6 +841,42 @@ TEST(PerfGateTest, CurrentReportCannotExemptItself) {
   EXPECT_TRUE(qps_failed);
 }
 
+TEST(PerfGateTest, WildcardEntryMatchesPrefixedMetrics) {
+  obs::PerfGateOptions opts;
+  opts.volatile_metrics = {"prof_*", "wall_ms"};
+  EXPECT_TRUE(opts.IsVolatile("prof_ipc"));
+  EXPECT_TRUE(opts.IsVolatile("prof_"));  // the empty-suffix edge
+  EXPECT_TRUE(opts.IsVolatile("wall_ms"));
+  EXPECT_FALSE(opts.IsVolatile("profits"));  // prefix, not substring
+  EXPECT_FALSE(opts.IsVolatile("qps"));
+  EXPECT_FALSE(opts.IsVolatile("pro"));  // shorter than the prefix
+}
+
+TEST(PerfGateTest, BaselineDeclaredWildcardIgnoresDriftAcrossPrefix) {
+  constexpr const char* baseline = R"({
+    "bench": "wall", "volatile_metrics": "prof_*",
+    "records": [{"name": "gather", "prof_gbs": 4.0, "prof_ipc": 0.5,
+                 "memory_bound": true}]
+  })";
+  std::string current = baseline;
+  current.replace(current.find("4.0"), 3, "9.9");
+  current.replace(current.find("0.5"), 3, "2.5");
+  const auto drifted = obs::ComparePerfReportText("wall", baseline, current,
+                                                  {});
+  ASSERT_TRUE(drifted.ok()) << drifted.status();
+  EXPECT_TRUE(drifted->pass())
+      << obs::RenderPerfGateReport({{*drifted}, 0});
+
+  // The wildcard never exempts the classification bool riding alongside.
+  std::string flipped = baseline;
+  flipped.replace(flipped.find("\"memory_bound\": true"), 20,
+                  "\"memory_bound\": false");
+  const auto report = obs::ComparePerfReportText("wall", baseline, flipped,
+                                                 {});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->pass());
+}
+
 TEST(PerfGateTest, RenderEndsWithVerdictLine) {
   obs::PerfGateReport report;
   report.files.push_back(GateAgainstBaseline(kBaselineBench, {}));

@@ -12,6 +12,13 @@
 # value-compared), while the boolean gates -- avx2_supported, all_exact,
 # cpu_match, cpu_speedup_batch256_ge_2 -- stay hard-compared so a silent
 # scalar fallback or a lost speedup fails the gate deterministically.
+# volatile_metrics entries ending in '*' are prefix wildcards: the
+# hardware-profiling sections declare "prof_*" once to cover every
+# per-phase counter/roofline number (IPC, GB/s, roof %, latency
+# percentiles, backend tier) instead of enumerating them, while the
+# host-independent classification booleans -- gather_memory_bound,
+# gemm_compute_bound -- stay hard-compared so a misattributed phase or a
+# broken roofline probe fails the gate even though the raw rates float.
 #
 # Usage: tools/check_perf_regression.sh [build-dir] [out-dir]
 # Exit status is microrec perfgate's: non-zero when any metric drifts.

@@ -8,9 +8,12 @@
 # report; then exercises the scheduler flight recorder end to end -- a
 # small chaos sweep with --record-events/--postmortem, JSON validation of
 # both artifacts, and `microrec explain` reconstructing the worst-offender
-# timelines from the written log; then runs the telemetry unit tests,
-# including the identity gates that assert simulation results are
-# bit-for-bit unchanged by instrumentation.
+# timelines from the written log; then the hardware profiling layer --
+# `microrec profile` on its forced timer tier (the worst-case fallback
+# every CI container hits), validating profile.json's schema, the
+# roofline classification, and the Prometheus export; then runs the
+# telemetry unit tests, including the identity gates that assert
+# simulation results are bit-for-bit unchanged by instrumentation.
 # Usage: tools/verify_obs.sh [build-dir]
 set -euo pipefail
 
@@ -18,7 +21,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-"$repo/build"}"
 
 cmake -B "$build" -S "$repo" >/dev/null
-cmake --build "$build" -j "$(nproc)" --target microrec obs_test
+cmake --build "$build" -j "$(nproc)" --target microrec obs_test prof_test
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -73,6 +76,27 @@ grep -q "event log:" "$workdir/explain.out"
 grep -q "deadline-missed" "$workdir/explain.out"
 grep -q "admission(s)" "$workdir/explain.out"
 
-"$build/tests/obs_test" >/dev/null
+# Hardware profiling leg: force the timer tier (what every locked-down
+# container gets) and require a complete, well-formed profile anyway --
+# graceful degradation is the contract, not a lucky outcome.
+"$build/tools/microrec" profile --batch 32 --batches 8 \
+  --backend timer \
+  --json "$workdir/profile.json" \
+  --prom-out "$workdir/profile.prom" > "$workdir/profile.out"
+grep -q "profiler backend: timer" "$workdir/profile.out"
+grep -q "memory-bound" "$workdir/profile.out"
+grep -q "compute-bound" "$workdir/profile.out"
+grep -q "batch latency: p50" "$workdir/profile.out"
+python3 -m json.tool "$workdir/profile.json" >/dev/null
+grep -q '"profiler_backend": "timer"' "$workdir/profile.json"
+grep -q '"roofline"' "$workdir/profile.json"
+grep -q '"batch_latency"' "$workdir/profile.json"
+grep -q '"phases"' "$workdir/profile.json"
+grep -q 'prof_phase_gbs{phase="gather"}' "$workdir/profile.prom"
+grep -q 'prof_batch_latency_ns_bucket{' "$workdir/profile.prom"
+grep -q 'prof_backend_tier' "$workdir/profile.prom"
 
-echo "obs verify OK (trace + metrics artifacts + identity gates)"
+"$build/tests/obs_test" >/dev/null
+"$build/tests/prof_test" >/dev/null
+
+echo "obs verify OK (trace + metrics + profile artifacts + identity gates)"
